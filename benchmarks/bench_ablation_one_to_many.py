@@ -1,0 +1,69 @@
+"""Ablation: the one-to-many connection restriction.
+
+"This one-to-many restriction simplified the routing algorithm
+immensely and eliminated the need for heuristics in a many-to-many
+abutment.  A many-to-many connection can still be made by defining a
+cell which contains one of the sets of cells, and connecting that one
+to the other many."
+
+The benchmark measures the paper's prescribed workaround (wrap one
+side in a composition cell) against the flat attempt, which the
+pending list rejects.
+"""
+
+import pytest
+
+from repro.core.errors import ConnectionError_
+from repro.geometry.point import Point
+
+from conftest import fresh_editor
+
+
+def test_many_to_many_rejected(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    editor = fresh_editor()
+    editor.new_cell("flat")
+    for i in range(2):
+        editor.create(at=Point(0, 8000 * i), cell_name="nand", name=f"g{i}")
+        editor.create(
+            at=Point(30000, 8000 * i), cell_name="srcell", name=f"s{i}"
+        )
+    editor.connect("g0", "A", "s0", "TAP")
+    with pytest.raises(ConnectionError_, match="one instance"):
+        editor.connect("g1", "A", "s1", "TAP")
+    summary.record(
+        "ablation (one-to-many)",
+        "pending connections come from a single instance",
+        "second from-instance rejected with the wrap-a-cell hint",
+    )
+
+
+def test_wrapped_many_to_many(benchmark, summary):
+    """The workaround: wrap the gates in a composition cell, then
+    connect that one cell to the many targets."""
+
+    def build():
+        editor = fresh_editor()
+        # The "many" on one side, wrapped into a single cell.
+        editor.new_cell("gatepair")
+        editor.create(at=Point(0, 0), cell_name="nand", name="g0")
+        editor.create(at=Point(8000, 0), cell_name="nand", name="g1")
+        editor.finish()
+        # Now one-to-many works: the wrapped pair is one instance.
+        editor.new_cell("system")
+        editor.create(at=Point(2600, 0), cell_name="gatepair", name="gates")
+        editor.create(at=Point(0, 20000), cell_name="srcell", nx=4, name="sr")
+        editor.connect("gates", "g0.A", "sr", "TAP[0,0]")
+        editor.connect("gates", "g1.A", "sr", "TAP[2,0]")
+        return editor, editor.do_route()
+
+    editor, result = benchmark(build)
+    assert result.solved.wire_count == 2
+    assert editor.check().made_count >= 4
+    summary.record(
+        "ablation (wrapped cell)",
+        "many-to-many via a composition cell wrapper",
+        "two gates routed to two taps through one wrapped instance",
+    )

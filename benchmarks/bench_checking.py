@@ -1,0 +1,92 @@
+"""The checking pass at scale.
+
+The paper's composition errors "often go unnoticed until late in the
+design cycle" because checking was manual.  These benchmarks measure
+the automated pass (DRC + extraction) over growing shift-register
+rows, so downstream users know the cost of checking early and often.
+"""
+
+import pytest
+
+from repro.cif.parser import parse_cif
+from repro.cif.semantics import elaborate
+from repro.core.convert import composition_to_cif
+from repro.drc.engine import check_geometry
+from repro.extract.netlist import extract_netlist
+from repro.geometry.point import Point
+
+from conftest import fresh_editor
+
+
+def flat_row(length):
+    editor = fresh_editor()
+    editor.new_cell("row")
+    editor.create(at=Point(0, 0), cell_name="srcell", nx=length, name="sr")
+    text = composition_to_cif(editor.cell, editor.technology)
+    flat = elaborate(parse_cif(text), editor.technology).cell("row").flatten()
+    return editor, flat
+
+
+@pytest.mark.parametrize("length", [2, 8, 32])
+def test_drc_scaling(benchmark, length, summary):
+    editor, flat = flat_row(length)
+    report = benchmark(lambda: check_geometry(flat, editor.technology))
+    assert report.is_clean
+    if length == 32:
+        summary.record(
+            "checking (DRC scaling)",
+            "composition errors need checking; automate it",
+            f"{report.shapes_checked} shapes over a {length}-cell row "
+            "check clean",
+        )
+
+
+@pytest.mark.parametrize("length", [2, 8, 32])
+def test_extraction_scaling(benchmark, length, summary):
+    editor, flat = flat_row(length)
+    netlist = benchmark(lambda: extract_netlist(flat, editor.technology))
+    sr = editor.cell.instance("sr")
+    assert netlist.connected(
+        sr.connector("IN[0,0]").position,
+        "metal",
+        sr.connector(f"OUT[{length - 1},0]").position,
+        "metal",
+    )
+    if length == 32:
+        summary.record(
+            "checking (extraction scaling)",
+            "abutment connections are electrically real",
+            f"{length}-cell chain continuous end to end at mask level; "
+            f"{netlist.node_count} nodes extracted",
+        )
+
+
+def test_checker_finds_planted_break(benchmark, summary):
+    """Plant the paper's failure (an instance nudged after connection)
+    and confirm the pass finds it — every time, mechanically."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    editor = fresh_editor()
+    editor.new_cell("row")
+    editor.create(at=Point(0, 0), cell_name="srcell", name="a")
+    editor.create(at=Point(9000, 0), cell_name="srcell", name="b")
+    editor.connect("b", "IN", "a", "OUT")
+    editor.do_abut()
+    editor.move_by("b", 1000, 0)  # the silent accident
+
+    report = editor.check()
+    assert report.made_count == 0
+    assert len(report.near_misses) >= 1
+
+    text = composition_to_cif(editor.cell, editor.technology)
+    flat = elaborate(parse_cif(text), editor.technology).cell("row").flatten()
+    netlist = extract_netlist(flat, editor.technology)
+    a = editor.cell.instance("a")
+    b = editor.cell.instance("b")
+    assert not netlist.connected(
+        a.connector("OUT").position, "metal", b.connector("IN").position, "metal"
+    )
+    summary.record(
+        "checking (planted break)",
+        "connections can be inadvertently destroyed, silently",
+        "a 1000-cmicron nudge: netcheck near miss + broken mask continuity",
+    )

@@ -1,0 +1,92 @@
+"""Figure 2: the Riot display organisation.
+
+Editing area + cell menu + command menu.  The benchmark times a full
+screen redraw of the assembled logic block and verifies the layout
+invariants the figure shows.
+"""
+
+from repro.chip.filterchip import STRETCHED, assemble_logic
+from repro.core.commands import COMMANDS
+from repro.geometry.point import Point
+from repro.graphics.display import Display
+
+from conftest import fresh_editor
+
+
+def build_display():
+    editor = fresh_editor()
+    assemble_logic(editor, STRETCHED)
+    display = Display(512, 390, commands=COMMANDS)
+    display.viewport.fit(editor.cell.bounding_box())
+    return editor, display
+
+
+def test_full_redraw(benchmark, summary):
+    editor, display = build_display()
+
+    def redraw():
+        display.render(
+            editor.cell,
+            cell_menu=editor.library.names,
+            selected_cell="srcell",
+            pending=["n0.A - sr.TAP[0,0]"],
+            show_names=True,
+        )
+        return display.framebuffer.count_color(0)
+
+    background = benchmark(redraw)
+    assert background < 512 * 390  # something was drawn
+    summary.record(
+        "fig 2 (display layout)",
+        "editing area + cell menu + command menu",
+        "full redraw of assembled logic block renders all three areas",
+    )
+
+
+def test_layout_invariants(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, display = build_display()
+    areas = [display.editing_area, display.cell_menu_area, display.command_menu_area]
+    for i, a in enumerate(areas):
+        for b in areas[i + 1 :]:
+            assert not a.overlaps(b)
+    assert display.editing_area.area > 2 * display.cell_menu_area.area
+    assert display.cell_menu_area.llx == display.command_menu_area.llx
+    summary.record(
+        "fig 2 (hit testing)",
+        "menus along the right edge, large editing area",
+        "areas disjoint; editing area dominates; menus right-aligned",
+    )
+
+
+def test_menu_hit_roundtrip(benchmark):
+    editor, display = build_display()
+    display.render(editor.cell, cell_menu=editor.library.names)
+
+    def roundtrip():
+        hits = 0
+        for name in editor.library.names[:8]:
+            hit = display.hit_test(display.menu_point("cell-menu", name))
+            hits += hit.name == name
+        for name in COMMANDS:
+            hit = display.hit_test(display.menu_point("command-menu", name))
+            hits += hit.name == name
+        return hits
+
+    assert benchmark(roundtrip) == 8 + len(COMMANDS)
+
+
+def test_zoom_pan_redraw(benchmark):
+    editor, display = build_display()
+
+    def navigate():
+        display.viewport.zoom(2)
+        display.render(editor.cell, cell_menu=editor.library.names)
+        display.viewport.pan(2000, 1000)
+        display.render(editor.cell, cell_menu=editor.library.names)
+        display.viewport.zoom(1, 2)
+        display.viewport.pan(-2000, -1000)
+
+    benchmark(navigate)

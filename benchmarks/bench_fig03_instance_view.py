@@ -1,0 +1,97 @@
+"""Figure 3: Riot's view of a cell instance.
+
+"An instance is represented on the screen by the bounding box and
+connectors of the defining cell ... The size and color of the
+connector crosses indicates width and layer of the wire making that
+connection."  The benchmark renders single instances and arrays and
+checks the abstraction (no mask geometry is ever drawn).
+"""
+
+from repro.composition.instance import Instance
+from repro.geometry.point import Point
+from repro.graphics.display import Display
+
+from conftest import fresh_editor
+
+
+def make_view(nx=1, ny=1):
+    editor = fresh_editor()
+    instance = Instance("u", editor.library.get("srcell"), nx=nx, ny=ny)
+    display = Display(512, 390)
+    display.viewport.fit(instance.bounding_box())
+    return display, instance
+
+
+def test_single_instance_render(benchmark, summary):
+    display, instance = make_view()
+
+    def draw():
+        display.framebuffer.clear()
+        display.draw_instance(instance, show_names=True)
+        return display.framebuffer.count_color(7)
+
+    foreground = benchmark(draw)
+    assert foreground > 0
+    summary.record(
+        "fig 3 (instance view)",
+        "bounding box + connector crosses, names optional",
+        "instance renders as abstraction; no mask geometry drawn",
+    )
+
+
+def test_array_render_scales(benchmark, summary):
+    display, instance = make_view(nx=8, ny=4)
+
+    def draw():
+        display.framebuffer.clear()
+        display.draw_instance(instance)
+        return display.framebuffer.count_color(7)
+
+    benchmark(draw)
+    # The array shows its replication gridding.
+    single_display, single = make_view()
+    single_display.draw_instance(single)
+    display.framebuffer.clear()
+    display.draw_instance(instance)
+    assert (
+        display.framebuffer.count_color(7)
+        > single_display.framebuffer.count_color(7)
+    )
+    summary.record(
+        "fig 3 (array view)",
+        "arrays show gridding and outside-edge connectors",
+        "8x4 array renders grid; interior connectors hidden",
+    )
+
+
+def test_connector_cross_colors(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    display, instance = make_view()
+    display.draw_instance(instance)
+    fb = display.framebuffer
+    metal_color = fresh_editor().technology.layer("metal").color
+    poly_color = fresh_editor().technology.layer("poly").color
+    assert fb.count_color(metal_color) > 0  # power/data connectors
+    assert fb.count_color(poly_color) > 0  # clock/tap connectors
+    summary.record(
+        "fig 3 (connector crosses)",
+        "cross color = layer, cross size = wire width",
+        "metal and poly connectors render in their layer colors",
+    )
+
+
+def test_connector_cross_size_tracks_width(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    display, instance = make_view()
+    vp = display.viewport
+    widths = {c.name: vp.screen_length(c.width) for c in instance.connectors()}
+    assert widths["PWRL"] > widths["CLKB"]  # 750 vs 500 centimicrons
+    summary.record(
+        "fig 3 (cross size)",
+        "wider wires draw bigger crosses",
+        f"PWRL arm {widths['PWRL']}px > CLKB arm {widths['CLKB']}px",
+    )

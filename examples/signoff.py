@@ -1,0 +1,67 @@
+"""Sign-off: the checking the paper says Riot's users had to do.
+
+"Riot guarantees that connections will be made correctly, but does
+not guarantee that those connections will be maintained. ... the mere
+possibility of missed connections requires checking by users."
+
+This example assembles the logical filter and runs the full checking
+pass over it — positional netcheck, design rules on the generated
+mask, and mask-level extraction — then deliberately nudges one
+instance (the accidental edit the paper worries about) and shows the
+checkers catching what Riot itself would never mention.
+
+Run:  python examples/signoff.py
+"""
+
+from repro.chip.filterchip import STRETCHED, assemble_logic
+from repro.core.editor import RiotEditor
+from repro.core.report import report_cell
+from repro.core.verify import verify_cell
+from repro.library.stock import filter_library
+
+
+def main() -> None:
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    assemble_logic(editor, STRETCHED, bring_out_constants=False)
+    cell = editor.cell
+
+    print("1. the design report:")
+    for line in report_cell(cell).to_text().splitlines():
+        print(f"   {line}")
+
+    print("\n2. the checking pass on the healthy block:")
+    report = verify_cell(cell, editor.technology)
+    print(f"   {report.summary()}")
+    sr = cell.instance("sr")
+    n0 = cell.instance("n0")
+    continuous = report.netlist.connected(
+        sr.connector("TAP[0,0]").position, "poly",
+        n0.connector("A").position, "poly",
+    )
+    print(f"   tap[0] electrically reaches its gate: {continuous}")
+    print(f"   design rules clean: {report.drc_ok}")
+
+    print("\n3. an 'accidental' edit: n0 moves 600 centimicrons right")
+    editor.move_by("n0", 600, 0)
+    after = verify_cell(cell, editor.technology)
+    print(f"   {after.summary()}")
+    broken = after.netlist.connected(
+        sr.connector("TAP[0,0]").position, "poly",
+        cell.instance("n0").connector("A").position, "poly",
+    )
+    print(f"   tap[0] still reaches its gate: {broken}")
+    print(
+        f"   near misses now reported: "
+        f"{[str(n.a) + ' vs ' + str(n.b) for n in after.connections.near_misses[:2]]}"
+    )
+
+    print(
+        "\nRiot printed no warning for step 3 — 'the existence of a"
+        "\nconnection is not remembered' — but the checking pass catches"
+        "\nboth the positional near miss and the broken mask continuity."
+    )
+
+
+if __name__ == "__main__":
+    main()

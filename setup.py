@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs (which must build a wheel) fail.  This file
+lets ``pip install -e .`` take the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of RIOT, the DAC 1982 graphical chip assembly tool "
+        "(Trimberger & Rowson)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,18 @@
+"""riot-repro: a reproduction of RIOT (Trimberger & Rowson, DAC 1982).
+
+The public API most users need:
+
+* :class:`repro.core.editor.RiotEditor` — the tool itself;
+* :func:`repro.library.stock.filter_library` — the worked example's
+  leaf cells;
+* :mod:`repro.chip` — the paper's figures 7-10 assembled end to end;
+* :func:`repro.core.verify.verify_cell` — netcheck + DRC + extraction.
+"""
+
+from repro.core.editor import RiotEditor
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+
+__version__ = "1.0.0"
+
+__all__ = ["RiotEditor", "nmos_technology", "Point", "__version__"]

@@ -1,0 +1,62 @@
+"""``python -m repro`` — the textual command interface as a REPL.
+
+The closest thing to sitting at the Caltech text terminal: type the
+textual commands (``help`` lists them) against a live editor with the
+worked example's cell library preloaded.  Files read and written by
+commands live under the current directory.
+
+Also usable non-interactively:
+
+```sh
+echo "cells" | python -m repro
+python -m repro script.txt        # one command per line
+```
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.editor import RiotEditor
+from repro.core.textual import DiskStore, TextualInterface
+from repro.library.stock import filter_library
+
+
+def build_interface(root: str = ".") -> TextualInterface:
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    return TextualInterface(editor, DiskStore(root))
+
+
+def run(lines, interface: TextualInterface | None = None, echo=print) -> int:
+    """Execute command lines; returns the count of failed commands."""
+    interface = interface or build_interface()
+    failures = 0
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line in ("quit", "exit"):
+            break
+        response = interface.execute(line)
+        if response:
+            echo(response)
+        if response.startswith("error"):
+            failures += 1
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    interface = build_interface()
+    if argv:
+        with open(argv[0]) as f:
+            return 1 if run(f, interface) else 0
+    if sys.stdin.isatty():
+        print("riot-repro textual interface; 'help' lists commands, 'quit' leaves.")
+    run(sys.stdin, interface)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,28 @@
+"""The worked example: the four-bit sequential logical filter chip.
+
+This package is the reproduction of the paper's RIOT EXAMPLE section
+(figures 7 through 10): the rough floorplan, the logic block assembled
+with routed connections (figure 9a) and with stretched connections
+(figure 9b), and the completed chip with pads (figure 10).
+
+The functions here drive the editor through exactly the command
+sequences the paper describes, and return the measurements the
+benchmarks report.
+"""
+
+from repro.chip.floorplan import Floorplan, filter_floorplan
+from repro.chip.filterchip import (
+    AssemblyStats,
+    ChipStats,
+    assemble_chip,
+    assemble_logic,
+)
+
+__all__ = [
+    "Floorplan",
+    "filter_floorplan",
+    "AssemblyStats",
+    "ChipStats",
+    "assemble_logic",
+    "assemble_chip",
+]

@@ -1,0 +1,341 @@
+"""Assembly of the four-bit sequential logical filter.
+
+The paper's example chip computes ``f_n = OR_{i=1..4} c_i x_{n-i}``
+(Boolean sums and products, constants from off chip).  The assembly
+follows the paper step by step:
+
+1. "The first step is to generate the shift register array.  The
+   array elements abut, making the shift register chain connections as
+   well as power and ground connections."
+2. "Next, two stages of NAND gates provide the ANDing of the constant
+   terms and the first level of ORs, then routing is done to the OR
+   gate.  Connections to these gates are routed in figure 9a.
+   Alternatively, the designer may save area by stretching the gates,
+   eliminating the routing area (figure 9b)."
+3. "The definition of the logic portion is finished by routing
+   connections to the edge of the cell so they show as connectors on
+   the larger cell."
+4. "Pre-defined pipe fittings aid complex routes for power, ground
+   and clock lines.  Pad routing is done in pieces with Riot's routing
+   command" (figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.composition.cell import CompositionCell
+from repro.core.editor import RiotEditor
+from repro.core.errors import RiotError
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+
+ROUTED = "routed"
+STRETCHED = "stretched"
+MODES = (ROUTED, STRETCHED)
+
+SR_ORIGIN = Point(0, 30000)
+STAGE1_STAGING = Point(0, 20000)
+STAGE2_STAGING = Point(0, 10000)
+OR_STAGING = Point(0, 0)
+
+
+@dataclass
+class AssemblyStats:
+    """Measurements of one logic-block assembly (figure 9a/9b)."""
+
+    mode: str
+    cell_name: str
+    bounding_box: Box
+    route_cell_count: int = 0
+    route_area: int = 0
+    channels_total: int = 0
+    stretch_count: int = 0
+    connections_made: int = 0
+    near_misses: int = 0
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return self.bounding_box.width
+
+    @property
+    def height(self) -> int:
+        return self.bounding_box.height
+
+    @property
+    def area(self) -> int:
+        return self.bounding_box.area
+
+
+def assemble_logic(
+    editor: RiotEditor,
+    mode: str,
+    name: str | None = None,
+    bring_out_constants: bool = True,
+) -> AssemblyStats:
+    """Build the logic block with routed or stretched connections.
+
+    The library must already hold the figure-8 stock (``srcell``,
+    ``nand``, ``or2`` — see :func:`repro.library.filter_library`).
+    Returns the stats the figure 9 comparison reports.
+
+    ``bring_out_constants`` runs the paper's "routing connections to
+    the edge of the cell" step for the four off-chip constant inputs.
+    Those straight-line routes pass over the lower gate rows — Riot's
+    router "ignores objects in the path of the route" — which shorts
+    the constant wires to the gates they cross at mask level.  The
+    verification pass detects exactly that (see the integration
+    tests); pass ``False`` to build the electrically clean block
+    without the constant bring-outs.
+    """
+    if mode not in MODES:
+        raise RiotError(f"mode must be one of {MODES}, got {mode!r}")
+    cell_name = name or f"logic_{mode}"
+    editor.new_cell(cell_name)
+    route_results = []
+    stretch_count = 0
+
+    # 1. The shift register array: elements connect by abutment.
+    editor.create(at=SR_ORIGIN, cell_name="srcell", nx=4, name="sr")
+
+    # 2a. First NAND stage, one gate under each tap.
+    for i in range(4):
+        editor.create(
+            at=Point(4000 * i, STAGE1_STAGING.y), cell_name="nand", name=f"n{i}"
+        )
+        editor.connect(f"n{i}", "A", "sr", f"TAP[{i},0]")
+        if mode == ROUTED:
+            route_results.append(editor.do_route())
+        else:
+            editor.do_abut()
+
+    # 2b. Second NAND stage, pairing the first stage's outputs.
+    for m, (a, b) in (("m0", ("n0", "n1")), ("m1", ("n2", "n3"))):
+        x = 0 if m == "m0" else 20000
+        editor.create(at=Point(x, STAGE2_STAGING.y), cell_name="nand", name=m)
+        editor.connect(m, "A", a, "OUT")
+        editor.connect(m, "B", b, "OUT")
+        if mode == ROUTED:
+            route_results.append(editor.do_route())
+        else:
+            editor.do_stretch()
+            stretch_count += 1
+
+    # 2c. The OR gate combining the two halves.
+    editor.create(at=OR_STAGING, cell_name="or2", name="o")
+    editor.connect("o", "A", "m0", "OUT")
+    editor.connect("o", "B", "m1", "OUT")
+    if mode == ROUTED:
+        route_results.append(editor.do_route())
+    else:
+        editor.do_stretch()
+        stretch_count += 1
+
+    # 3. Finish the cell: bring the constant inputs out to the bottom
+    # edge (straight-line route cells; the router ignores what is in
+    # the way, as the paper says) and promote the edge connectors.
+    if bring_out_constants:
+        for i in range(4):
+            editor.bring_out(f"n{i}", ["B"], side="bottom")
+    out_conn = editor.cell.instance("o").connector("OUT")
+    if out_conn.position.y > editor.cell.bounding_box().lly:
+        editor.bring_out("o", ["OUT"], side="bottom")
+    editor.finish()
+
+    return _logic_stats(editor, mode, cell_name, route_results, stretch_count)
+
+
+def _logic_stats(
+    editor: RiotEditor,
+    mode: str,
+    cell_name: str,
+    route_results,
+    stretch_count: int,
+) -> AssemblyStats:
+    cell = editor.library.get(cell_name)
+    report = editor.check() if editor.cell is cell else None
+    route_instances = [
+        inst for inst in cell.instances if inst.cell.name.startswith("route")
+    ]
+    stats = AssemblyStats(
+        mode=mode,
+        cell_name=cell_name,
+        bounding_box=cell.bounding_box(),
+        route_cell_count=len(route_instances),
+        route_area=sum(inst.bounding_box().area for inst in route_instances),
+        channels_total=sum(r.solved.channels for r in route_results),
+        stretch_count=stretch_count,
+        warnings=list(editor.messages),
+    )
+    if report is not None:
+        stats.connections_made = report.made_count
+        stats.near_misses = len(report.near_misses)
+    return stats
+
+
+@dataclass
+class ChipStats:
+    """Measurements of the completed chip (figure 10)."""
+
+    mode: str
+    logic: AssemblyStats
+    bounding_box: Box
+    pad_count: int = 0
+    pads_connected: int = 0
+    route_cell_count: int = 0
+    connections_made: int = 0
+    overlaps: int = 0
+
+    @property
+    def area(self) -> int:
+        return self.bounding_box.area
+
+
+def assemble_chip(editor: RiotEditor, mode: str = STRETCHED) -> ChipStats:
+    """Build the complete logical filter chip (figure 10).
+
+    Pads surround the logic block: the serial input on the left, the
+    clock on top, four constants and the filter output on the bottom,
+    power and ground brought in over pipe-fitting straps on the left
+    and right.  "Pad routing is done in pieces with Riot's routing
+    command" — each pad gets its own route, made without moving the
+    already-positioned instances.
+    """
+    logic_stats = assemble_logic(editor, mode, name="logic")
+    logic_cell = editor.library.get("logic")
+
+    editor.new_cell("chip")
+    editor.create(at=Point(0, 0), cell_name="logic", name="L")
+    logic_instance = editor.cell.instance("L")
+    offset = Point(0, 0) - logic_stats.bounding_box.lower_left
+    pad_names: list[str] = []
+
+    # Serial data input on the left, at the shift register data height.
+    in_name = _edge_connector_name(logic_cell, "IN[")
+    in_y = logic_cell.connector(in_name).position.y + offset.y
+    editor.create(at=Point(-28000, in_y - 5000), cell_name="inpad", name="xpad")
+    pad_names.append("xpad")
+    editor.connect("L", in_name, "xpad", "PAD")
+    editor.do_route(move_from=False)
+
+    # Power and ground pads arrive over pipe-fitting straps.
+    _power_over_strap(
+        editor, "vddpad", "inpad", Point(-28000, 42000), "strapv",
+        _edge_connector_name(logic_cell, "PWRL"), "W", "E",
+    )
+    _power_over_strap(
+        editor, "gndpad", "outpad", Point(36000, 42000), "strapg",
+        _edge_connector_name(logic_cell, "GNDR"), "E", "W",
+    )
+    pad_names += ["vddpad", "gndpad"]
+
+    # Clock from the top, through a poly-to-metal converter.
+    clk_name = _edge_connector_name(logic_cell, "CLKT[1")
+    editor.create(
+        at=Point(0, 50000), cell_name="p2m", orientation="R180", name="cv_clk"
+    )
+    editor.connect("cv_clk", "P", "L", clk_name)
+    editor.do_abut()
+    editor.create(
+        at=Point(0, 60000), cell_name="inpad", orientation="R270", name="clkpad"
+    )
+    pad_names.append("clkpad")
+    editor.connect("cv_clk", "M", "clkpad", "PAD")
+    editor.do_route(move_from=False)
+
+    # Constants and the output leave at the bottom, each over its own
+    # converter and its own route — "in pieces".
+    bottom = [
+        name
+        for name in _connector_names(logic_cell)
+        if name.endswith(".B") or name == "B" or name.endswith(".OUT") or name == "OUT"
+    ]
+    bottom.sort(key=lambda n: logic_cell.connector(n).position.x)
+    for index, conn_name in enumerate(bottom):
+        converter = f"cv{index}"
+        editor.create(at=Point(0, -8000), cell_name="p2m", name=converter)
+        editor.connect(converter, "P", "L", conn_name)
+        editor.do_abut(overlap=True)
+        pad = f"bpad{index}"
+        kind = "outpad" if "OUT" in conn_name else "inpad"
+        orientation = "R270" if kind == "outpad" else "R90"
+        editor.create(
+            at=Point(index * 12000 - 24000, -26000),
+            cell_name=kind,
+            orientation=orientation,
+            name=pad,
+        )
+        pad_names.append(pad)
+        editor.connect(converter, "M", pad, "PAD")
+        editor.do_route(move_from=False)
+
+    editor.finish()
+    return _chip_stats(editor, mode, logic_stats, pad_names)
+
+
+def _power_over_strap(
+    editor: RiotEditor,
+    pad_name: str,
+    pad_cell: str,
+    pad_at: Point,
+    strap_name: str,
+    logic_connector: str,
+    strap_pad_pin: str,
+    strap_route_pin: str,
+) -> None:
+    """Place a pad, abut a pipe-fitting strap to it, route to the rail."""
+    editor.create(at=pad_at, cell_name=pad_cell, name=pad_name)
+    editor.create(at=Point(pad_at.x, pad_at.y - 15000), cell_name="fit_strap",
+                  name=strap_name)
+    editor.connect(strap_name, strap_pad_pin, pad_name, "PAD")
+    editor.do_abut()
+    editor.connect(strap_name, strap_route_pin, "L", logic_connector)
+    editor.do_route(move_from=False)
+
+
+def _connector_names(cell: CompositionCell) -> list[str]:
+    return [conn.name for conn in cell.connectors]
+
+
+def _edge_connector_name(cell: CompositionCell, prefix: str) -> str:
+    """The unique promoted connector whose name contains ``prefix``."""
+    matches = [name for name in _connector_names(cell) if prefix in name]
+    if not matches:
+        raise RiotError(
+            f"logic cell has no connector matching {prefix!r}; "
+            f"have {_connector_names(cell)}"
+        )
+    return sorted(matches)[0]
+
+
+def _chip_stats(
+    editor: RiotEditor,
+    mode: str,
+    logic_stats: AssemblyStats,
+    pad_names: list[str],
+) -> ChipStats:
+    chip = editor.cell
+    assert chip is not None
+    report = editor.check()
+    pads_connected = 0
+    for pad_name in pad_names:
+        instance = chip.instance(pad_name)
+        if any(
+            conn.a.instance is instance or conn.b.instance is instance
+            for conn in report.made
+        ):
+            pads_connected += 1
+    route_instances = [
+        inst for inst in chip.instances if inst.cell.name.startswith("route")
+    ]
+    return ChipStats(
+        mode=mode,
+        logic=logic_stats,
+        bounding_box=chip.bounding_box(),
+        pad_count=len(pad_names),
+        pads_connected=pads_connected,
+        route_cell_count=len(route_instances),
+        connections_made=report.made_count,
+        overlaps=len(report.overlapping_instances),
+    )

@@ -1,0 +1,107 @@
+"""The rough floorplan of figure 7.
+
+"A rough initial floorplan ... showing how the designer wishes to lay
+out the design.  This floorplan determines which cells are needed, how
+they must connect to one another, and gives an initial guess at
+critical paths in the design."
+
+A floorplan here is a set of named regions with the two things the
+paper uses it for: checking that placements land where intended, and
+enumerating the cells each region needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.box import Box
+
+
+@dataclass
+class Region:
+    name: str
+    box: Box
+    cells_needed: tuple[str, ...] = ()
+
+
+@dataclass
+class Floorplan:
+    """Named, possibly annotated regions of the chip-to-be."""
+
+    name: str
+    regions: dict[str, Region] = field(default_factory=dict)
+
+    def add_region(
+        self, name: str, box: Box, cells_needed: tuple[str, ...] = ()
+    ) -> Region:
+        if name in self.regions:
+            raise ValueError(f"floorplan already has a region {name!r}")
+        region = Region(name, box, cells_needed)
+        self.regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise KeyError(
+                f"floorplan {self.name!r} has no region {name!r}"
+            ) from None
+
+    def contains(self, region_name: str, box: Box) -> bool:
+        """Does ``box`` land inside the named region?"""
+        return self.region(region_name).box.contains_box(box)
+
+    def cells_needed(self) -> set[str]:
+        """Every cell any region calls for — the shopping list the
+        floorplan hands to leaf-cell design."""
+        needed: set[str] = set()
+        for region in self.regions.values():
+            needed.update(region.cells_needed)
+        return needed
+
+    def bounding_box(self) -> Box:
+        from repro.geometry.box import union_all
+
+        return union_all(r.box for r in self.regions.values())
+
+    def overlapping_regions(self) -> list[tuple[str, str]]:
+        """Region pairs that overlap (a floorplan sanity check)."""
+        names = list(self.regions)
+        bad = []
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                if self.regions[a].box.overlaps(self.regions[b].box):
+                    bad.append((a, b))
+        return bad
+
+
+def filter_floorplan() -> Floorplan:
+    """Figure 7: the logical filter's rough floorplan.
+
+    Data flows top to bottom: shift register row, two NAND stages, the
+    OR, with pads around the periphery.  Region sizes are generous —
+    it is a *rough* floorplan; assembly decides exact positions.
+    """
+    plan = Floorplan("logical-filter")
+    plan.add_region("pads_top", Box(-30000, 40000, 60000, 60000), ("inpad",))
+    plan.add_region(
+        "sr_row", Box(-2000, 30000, 40000, 38000), ("srcell",)
+    )
+    plan.add_region(
+        "nand_row", Box(-2000, 24000, 40000, 30000), ("nand",)
+    )
+    plan.add_region(
+        "nand2_row", Box(-2000, 18000, 40000, 24000), ("nand",)
+    )
+    plan.add_region("or_row", Box(-2000, 8000, 40000, 18000), ("or2",))
+    plan.add_region(
+        "pads_bottom", Box(-30000, -26000, 60000, -5000), ("inpad", "outpad", "p2m")
+    )
+    plan.add_region(
+        "pads_left", Box(-30000, -5000, -3000, 40000), ("inpad", "fit_strap")
+    )
+    plan.add_region(
+        "pads_right", Box(41000, -5000, 60000, 40000), ("outpad", "fit_strap")
+    )
+    return plan

@@ -1,0 +1,18 @@
+"""CIF error type carrying source position."""
+
+from __future__ import annotations
+
+
+class CifError(Exception):
+    """A syntax or semantic error in a CIF stream.
+
+    ``line`` and ``column`` are 1-based positions into the source text
+    when known; semantic errors raised after parsing may omit them.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)

@@ -1,0 +1,136 @@
+"""Syntactic AST for CIF files.
+
+These nodes mirror the CIF 2.0 command set one-to-one; they carry no
+layer binding or symbol resolution (that is ``repro.cif.semantics``'
+job).  Coordinates are raw file coordinates, before DS scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class BoxCommand:
+    """``B length width cx cy [direction]`` — a centre-specified box.
+
+    ``direction`` rotates the box so its "length" runs along that
+    vector; CIF allows any vector but the Riot flow only produces the
+    four axis directions.
+    """
+
+    length: int
+    width: int
+    center: Point
+    direction: Point = Point(1, 0)
+
+
+@dataclass(frozen=True)
+class PolygonCommand:
+    """``P p1 p2 ... pn`` — a filled polygon."""
+
+    points: tuple[Point, ...]
+
+
+@dataclass(frozen=True)
+class WireCommand:
+    """``W width p1 ... pn`` — a fixed-width wire with rounded/square caps."""
+
+    width: int
+    points: tuple[Point, ...]
+
+
+@dataclass(frozen=True)
+class RoundFlashCommand:
+    """``R diameter cx cy`` — a circular flash."""
+
+    diameter: int
+    center: Point
+
+
+@dataclass(frozen=True)
+class LayerCommand:
+    """``L shortname`` — set the current layer for subsequent geometry."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class TransformElement:
+    """One element of a call transformation, applied left to right.
+
+    ``kind`` is ``T`` (translate by ``point``), ``MX``, ``MY``, or
+    ``R`` (rotate +x axis to ``point``).
+    """
+
+    kind: str
+    point: Point | None = None
+
+
+@dataclass(frozen=True)
+class CallCommand:
+    """``C symbol t1 t2 ...`` — instantiate symbol with a transformation."""
+
+    symbol: int
+    elements: tuple[TransformElement, ...] = ()
+
+
+@dataclass(frozen=True)
+class UserCommand:
+    """``<digit> text`` — user-extension command, uninterpreted here."""
+
+    digit: int
+    text: str
+
+
+@dataclass(frozen=True)
+class DeleteCommand:
+    """``DD n`` — delete symbol definitions numbered >= n."""
+
+    threshold: int
+
+
+Command = (
+    BoxCommand
+    | PolygonCommand
+    | WireCommand
+    | RoundFlashCommand
+    | LayerCommand
+    | CallCommand
+    | UserCommand
+    | DeleteCommand
+)
+
+
+@dataclass
+class SymbolDefinition:
+    """``DS number a b ... DF`` — one symbol, with its scale factor a/b."""
+
+    number: int
+    scale_num: int = 1
+    scale_den: int = 1
+    commands: list[Command] = field(default_factory=list)
+
+
+@dataclass
+class CifFile:
+    """A parsed CIF file: definitions plus top-level commands.
+
+    ``commands`` holds commands outside any DS/DF pair (geometry and
+    calls at the outermost level), in file order.
+    """
+
+    symbols: list[SymbolDefinition] = field(default_factory=list)
+    commands: list[Command] = field(default_factory=list)
+
+    def symbol(self, number: int) -> SymbolDefinition:
+        """Return the *last* definition of ``number`` (CIF redefinition rule)."""
+        found = None
+        for sym in self.symbols:
+            if sym.number == number:
+                found = sym
+        if found is None:
+            raise KeyError(f"CIF symbol {number} is not defined")
+        return found

@@ -1,0 +1,300 @@
+"""Recursive-descent parser for CIF 2.0.
+
+CIF's lexical structure is unusual: *anything* that is not an upper
+case letter, digit, ``-``, ``(``, ``)`` or ``;`` is blank (lower case
+letters included), and comments are nestable parenthesised text that
+may appear wherever blanks may.  Each command is identified by its
+first significant character and terminated by ``;``.
+"""
+
+from __future__ import annotations
+
+from repro.cif.errors import CifError
+from repro.cif.nodes import (
+    BoxCommand,
+    CallCommand,
+    CifFile,
+    Command,
+    DeleteCommand,
+    LayerCommand,
+    PolygonCommand,
+    RoundFlashCommand,
+    SymbolDefinition,
+    TransformElement,
+    UserCommand,
+    WireCommand,
+)
+from repro.geometry.point import Point
+
+_UPPER = set("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+_DIGITS = set("0123456789")
+_SIGNIFICANT = _UPPER | _DIGITS | set("-();")
+
+
+class _Scanner:
+    """Character scanner with CIF's blank/comment rules."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def error(self, message: str) -> CifError:
+        return CifError(message, self.line, self.column)
+
+    def _advance(self) -> str:
+        ch = self.text[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def skip_blanks(self) -> None:
+        """Skip blanks and (nested) comments."""
+        while not self.at_end():
+            ch = self.peek()
+            if ch == "(":
+                self._skip_comment()
+            elif ch not in _SIGNIFICANT:
+                self._advance()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        depth = 0
+        while not self.at_end():
+            ch = self._advance()
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return
+        raise self.error("unterminated comment")
+
+    def expect_semi(self) -> None:
+        self.skip_blanks()
+        if self.at_end() or self.peek() != ";":
+            raise self.error(f"expected ';', found {self.peek()!r}")
+        self._advance()
+
+    def at_semi(self) -> bool:
+        self.skip_blanks()
+        return self.peek() == ";"
+
+    def read_integer(self) -> int:
+        self.skip_blanks()
+        negative = False
+        if self.peek() == "-":
+            self._advance()
+            negative = True
+            self.skip_blanks()
+        if self.peek() not in _DIGITS:
+            raise self.error(f"expected integer, found {self.peek()!r}")
+        value = 0
+        while self.peek() in _DIGITS:
+            value = value * 10 + int(self._advance())
+        return -value if negative else value
+
+    def read_point(self) -> Point:
+        x = self.read_integer()
+        y = self.read_integer()
+        return Point(x, y)
+
+    def try_read_point(self) -> Point | None:
+        """Read a point if one follows before the next ';'."""
+        self.skip_blanks()
+        if self.peek() == ";" or self.at_end():
+            return None
+        return self.read_point()
+
+    def read_shortname(self) -> str:
+        """A layer shortname: 1-4 chars, uppercase letters or digits."""
+        self.skip_blanks()
+        if self.peek() not in _UPPER:
+            raise self.error(f"layer name must start with a letter, found {self.peek()!r}")
+        name = self._advance()
+        while self.peek() in _UPPER | _DIGITS and len(name) < 4:
+            name += self._advance()
+        return name
+
+    def read_upper(self) -> str:
+        self.skip_blanks()
+        if self.peek() not in _UPPER:
+            raise self.error(f"expected letter, found {self.peek()!r}")
+        return self._advance()
+
+    def read_user_text(self) -> str:
+        """Everything (verbatim) up to the terminating ';'."""
+        chars: list[str] = []
+        while not self.at_end() and self.peek() != ";":
+            chars.append(self._advance())
+        return "".join(chars).strip()
+
+
+def parse_cif(text: str) -> CifFile:
+    """Parse CIF source text into a :class:`CifFile`.
+
+    Raises :class:`CifError` with position on malformed input.  The
+    final ``E`` command is required, as by the CIF specification.
+    """
+    scanner = _Scanner(text)
+    result = CifFile()
+    current: SymbolDefinition | None = None
+    saw_end = False
+
+    while True:
+        scanner.skip_blanks()
+        if scanner.at_end():
+            break
+        ch = scanner.peek()
+
+        if ch == ";":
+            scanner._advance()  # null command
+            continue
+
+        if ch in _DIGITS:
+            digit = int(scanner._advance())
+            text_body = scanner.read_user_text()
+            scanner.expect_semi()
+            _emit(result, current, UserCommand(digit, text_body), scanner)
+            continue
+
+        letter = scanner.read_upper()
+
+        if letter == "E":
+            saw_end = True
+            # The spec ends the file at E; trailing blanks allowed.
+            scanner.skip_blanks()
+            break
+
+        if letter == "D":
+            sub = scanner.read_upper()
+            if sub == "S":
+                number = scanner.read_integer()
+                scanner.skip_blanks()
+                if scanner.peek() != ";":
+                    a = scanner.read_integer()
+                    b = scanner.read_integer()
+                else:
+                    a, b = 1, 1
+                scanner.expect_semi()
+                if current is not None:
+                    raise scanner.error("nested DS is not allowed")
+                if b == 0:
+                    raise scanner.error("DS scale denominator must be nonzero")
+                current = SymbolDefinition(number, a, b)
+            elif sub == "F":
+                scanner.expect_semi()
+                if current is None:
+                    raise scanner.error("DF without matching DS")
+                result.symbols.append(current)
+                current = None
+            elif sub == "D":
+                threshold = scanner.read_integer()
+                scanner.expect_semi()
+                _emit(result, current, DeleteCommand(threshold), scanner)
+            else:
+                raise scanner.error(f"unknown command D{sub}")
+            continue
+
+        command = _parse_letter_command(scanner, letter)
+        scanner.expect_semi()
+        _emit(result, current, command, scanner)
+
+    if current is not None:
+        raise scanner.error(f"unterminated symbol definition DS {current.number}")
+    if not saw_end:
+        raise scanner.error("missing final E command")
+    return result
+
+
+def _emit(
+    result: CifFile,
+    current: SymbolDefinition | None,
+    command: Command,
+    scanner: _Scanner,
+) -> None:
+    if isinstance(command, DeleteCommand) and current is not None:
+        raise scanner.error("DD may not appear inside a symbol definition")
+    if current is not None:
+        current.commands.append(command)
+    else:
+        result.commands.append(command)
+
+
+def _parse_letter_command(scanner: _Scanner, letter: str) -> Command:
+    if letter == "B":
+        length = scanner.read_integer()
+        width = scanner.read_integer()
+        center = scanner.read_point()
+        direction = scanner.try_read_point() or Point(1, 0)
+        if direction == Point(0, 0):
+            raise scanner.error("box direction may not be the zero vector")
+        return BoxCommand(length, width, center, direction)
+
+    if letter == "P":
+        points = _read_point_list(scanner)
+        if len(points) < 3:
+            raise scanner.error("polygon needs at least 3 points")
+        return PolygonCommand(tuple(points))
+
+    if letter == "W":
+        width = scanner.read_integer()
+        points = _read_point_list(scanner)
+        if not points:
+            raise scanner.error("wire needs at least 1 point")
+        return WireCommand(width, tuple(points))
+
+    if letter == "R":
+        diameter = scanner.read_integer()
+        center = scanner.read_point()
+        return RoundFlashCommand(diameter, center)
+
+    if letter == "L":
+        return LayerCommand(scanner.read_shortname())
+
+    if letter == "C":
+        symbol = scanner.read_integer()
+        elements: list[TransformElement] = []
+        while not scanner.at_semi():
+            kind = scanner.read_upper()
+            if kind == "T":
+                elements.append(TransformElement("T", scanner.read_point()))
+            elif kind == "M":
+                axis = scanner.read_upper()
+                if axis == "X":
+                    elements.append(TransformElement("MX"))
+                elif axis == "Y":
+                    elements.append(TransformElement("MY"))
+                else:
+                    raise scanner.error(f"mirror must be MX or MY, got M{axis}")
+            elif kind == "R":
+                direction = scanner.read_point()
+                if direction == Point(0, 0):
+                    raise scanner.error("rotation may not be the zero vector")
+                elements.append(TransformElement("R", direction))
+            else:
+                raise scanner.error(f"unknown transform element {kind!r}")
+        return CallCommand(symbol, tuple(elements))
+
+    raise scanner.error(f"unknown command letter {letter!r}")
+
+
+def _read_point_list(scanner: _Scanner) -> list[Point]:
+    points: list[Point] = []
+    while True:
+        p = scanner.try_read_point()
+        if p is None:
+            return points
+        points.append(p)

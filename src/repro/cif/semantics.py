@@ -1,0 +1,416 @@
+"""Semantic elaboration of parsed CIF.
+
+Turns the syntactic :class:`~repro.cif.nodes.CifFile` into
+:class:`CifCell` objects: layers bound against a technology, DS scale
+factors applied, user extensions interpreted (cell names and
+connectors), calls resolved to (cell, transform) pairs, and geometry
+flattenable for mask output or display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cif.errors import CifError
+from repro.cif.nodes import (
+    BoxCommand,
+    CallCommand,
+    CifFile,
+    Command,
+    DeleteCommand,
+    LayerCommand,
+    PolygonCommand,
+    RoundFlashCommand,
+    TransformElement,
+    UserCommand,
+    WireCommand,
+)
+from repro.geometry.box import Box, union_all
+from repro.geometry.layers import Layer, Technology
+from repro.geometry.orientation import MX, MY, R0, R90, R180, R270
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.transform import Transform
+
+
+@dataclass(frozen=True)
+class CifConnector:
+    """A connector declared by the ``94`` user extension.
+
+    Matches Riot's connector definition: "a location on or inside the
+    bounding box of the cell, and the layer and width of the wire that
+    makes that connection."
+    """
+
+    name: str
+    position: Point
+    layer: Layer
+    width: int
+
+
+@dataclass
+class FlatGeometry:
+    """Flattened mask geometry in a single coordinate system."""
+
+    boxes: list[tuple[Layer, Box]] = field(default_factory=list)
+    polygons: list[Polygon] = field(default_factory=list)
+    paths: list[Path] = field(default_factory=list)
+
+    def bounding_box(self) -> Box:
+        pieces = [b for _, b in self.boxes]
+        pieces += [p.bounding_box() for p in self.polygons]
+        pieces += [p.bounding_box() for p in self.paths]
+        if not pieces:
+            raise ValueError("empty geometry has no bounding box")
+        return union_all(pieces)
+
+    @property
+    def shape_count(self) -> int:
+        return len(self.boxes) + len(self.polygons) + len(self.paths)
+
+    def transformed(self, transform: Transform) -> "FlatGeometry":
+        return FlatGeometry(
+            boxes=[(layer, transform.apply_box(b)) for layer, b in self.boxes],
+            polygons=[p.transformed(transform) for p in self.polygons],
+            paths=[p.transformed(transform) for p in self.paths],
+        )
+
+    def extend(self, other: "FlatGeometry") -> None:
+        self.boxes.extend(other.boxes)
+        self.polygons.extend(other.polygons)
+        self.paths.extend(other.paths)
+
+
+class CifCell:
+    """An elaborated CIF symbol.
+
+    Holds local geometry, connectors and child calls.  ``flatten``
+    instantiates the full subtree; ``bounding_box`` covers local
+    geometry plus child boxes (connectors do not grow the box, matching
+    Riot which allows connectors only on or inside the bounding box).
+    """
+
+    def __init__(self, number: int, name: str | None = None) -> None:
+        self.number = number
+        self.name = name or f"cif{number}"
+        self.geometry = FlatGeometry()
+        self.connectors: list[CifConnector] = []
+        self.calls: list[tuple["CifCell", Transform]] = []
+
+    def connector(self, name: str) -> CifConnector:
+        for conn in self.connectors:
+            if conn.name == name:
+                return conn
+        raise KeyError(f"cell {self.name} has no connector {name!r}")
+
+    def bounding_box(self) -> Box:
+        return self._bounding_box(frozenset())
+
+    def _bounding_box(self, visiting: frozenset[int]) -> Box:
+        if self.number in visiting:
+            raise CifError(f"recursive symbol call involving symbol {self.number}")
+        pieces: list[Box] = []
+        if self.geometry.shape_count:
+            pieces.append(self.geometry.bounding_box())
+        for child, transform in self.calls:
+            child_box = child._bounding_box(visiting | {self.number})
+            pieces.append(transform.apply_box(child_box))
+        if not pieces:
+            raise CifError(f"symbol {self.number} ({self.name}) is empty")
+        return union_all(pieces)
+
+    def flatten(self) -> FlatGeometry:
+        """All mask geometry of the subtree, in this cell's coordinates."""
+        return self._flatten(frozenset())
+
+    def _flatten(self, visiting: frozenset[int]) -> FlatGeometry:
+        if self.number in visiting:
+            raise CifError(f"recursive symbol call involving symbol {self.number}")
+        flat = FlatGeometry()
+        flat.extend(self.geometry)
+        for child, transform in self.calls:
+            flat.extend(child._flatten(visiting | {self.number}).transformed(transform))
+        return flat
+
+    def __repr__(self) -> str:
+        return f"CifCell({self.number}, {self.name!r})"
+
+
+@dataclass
+class CifDesign:
+    """The result of elaborating one CIF file."""
+
+    cells_by_number: dict[int, CifCell]
+    top_calls: list[tuple[CifCell, Transform]]
+    top_geometry: FlatGeometry
+
+    def cell(self, name_or_number: str | int) -> CifCell:
+        if isinstance(name_or_number, int):
+            try:
+                return self.cells_by_number[name_or_number]
+            except KeyError:
+                raise KeyError(f"no CIF symbol {name_or_number}") from None
+        for cell in self.cells_by_number.values():
+            if cell.name == name_or_number:
+                return cell
+        raise KeyError(f"no CIF cell named {name_or_number!r}")
+
+    @property
+    def cells(self) -> list[CifCell]:
+        return list(self.cells_by_number.values())
+
+
+def transform_from_elements(elements: tuple[TransformElement, ...]) -> Transform:
+    """Fold a CIF transformation-element sequence into one rigid transform.
+
+    Elements apply left to right; only Manhattan rotations are
+    accepted (anything else is outside the Riot flow).
+    """
+    rotations = {
+        Point(1, 0): R0,
+        Point(0, 1): R90,
+        Point(-1, 0): R180,
+        Point(0, -1): R270,
+    }
+    current = Transform.identity()
+    for element in elements:
+        if element.kind == "T":
+            assert element.point is not None
+            step = Transform.translate(element.point.x, element.point.y)
+        elif element.kind == "MX":
+            step = Transform(MX, Point(0, 0))
+        elif element.kind == "MY":
+            step = Transform(MY, Point(0, 0))
+        elif element.kind == "R":
+            assert element.point is not None
+            direction = _normalise_direction(element.point)
+            if direction not in rotations:
+                raise CifError(f"non-Manhattan rotation R {element.point}")
+            step = Transform(rotations[direction], Point(0, 0))
+        else:  # pragma: no cover - parser only produces the above
+            raise CifError(f"unknown transform element kind {element.kind!r}")
+        current = step.compose(current)
+    return current
+
+
+def _normalise_direction(p: Point) -> Point:
+    """Reduce a direction vector to unit axis form when axis-aligned."""
+    if p.x == 0 and p.y != 0:
+        return Point(0, 1 if p.y > 0 else -1)
+    if p.y == 0 and p.x != 0:
+        return Point(1 if p.x > 0 else -1, 0)
+    return p
+
+
+class _Scale:
+    """Exact rational scaling by a/b with integrality checking."""
+
+    def __init__(self, num: int, den: int, symbol: int) -> None:
+        self.num = num
+        self.den = den
+        self.symbol = symbol
+
+    def __call__(self, value: int) -> int:
+        scaled = value * self.num
+        if scaled % self.den:
+            raise CifError(
+                f"symbol {self.symbol}: coordinate {value} * {self.num}/{self.den} "
+                "is not an integer"
+            )
+        return scaled // self.den
+
+    def point(self, p: Point) -> Point:
+        return Point(self(p.x), self(p.y))
+
+
+def elaborate(cif: CifFile, technology: Technology) -> CifDesign:
+    """Elaborate a parsed CIF file against ``technology``.
+
+    Returns the design with every symbol turned into a
+    :class:`CifCell`.  ``DD`` commands (delete definitions) are honoured
+    in file order for top-level streams.
+    """
+    cells: dict[int, CifCell] = {}
+    pending_calls: dict[int, list[tuple[int, Transform]]] = {}
+
+    for symbol in cif.symbols:
+        cell = CifCell(symbol.number)
+        scale = _Scale(symbol.scale_num, symbol.scale_den, symbol.number)
+        pending = _elaborate_commands(
+            cell, symbol.commands, scale, technology, in_symbol=True
+        )
+        pending_calls[symbol.number] = pending
+        cells[symbol.number] = cell  # later definition wins, per CIF
+
+    top = CifCell(-1, "<top>")
+    unit_scale = _Scale(1, 1, -1)
+    top_pending: list[tuple[int, Transform]] = []
+    for command in cif.commands:
+        if isinstance(command, DeleteCommand):
+            for number in [n for n in cells if n >= command.threshold]:
+                del cells[number]
+                pending_calls.pop(number, None)
+            continue
+        top_pending.extend(
+            _elaborate_commands(
+                top, [command], unit_scale, technology, in_symbol=False
+            )
+        )
+
+    # Resolve calls now that every symbol is defined (CIF allows
+    # forward references).
+    for number, pending in pending_calls.items():
+        if number not in cells:
+            continue  # deleted by DD
+        for target, transform in pending:
+            if target not in cells:
+                raise CifError(
+                    f"symbol {number} calls undefined symbol {target}"
+                )
+            cells[number].calls.append((cells[target], transform))
+    top_calls: list[tuple[CifCell, Transform]] = []
+    for target, transform in top_pending:
+        if target not in cells:
+            raise CifError(f"top level calls undefined symbol {target}")
+        top_calls.append((cells[target], transform))
+
+    return CifDesign(cells, top_calls, top.geometry)
+
+
+def _elaborate_commands(
+    cell: CifCell,
+    commands: list[Command],
+    scale: _Scale,
+    technology: Technology,
+    in_symbol: bool,
+) -> list[tuple[int, Transform]]:
+    """Process commands into ``cell``; return unresolved calls."""
+    current_layer: Layer | None = None
+    pending: list[tuple[int, Transform]] = []
+
+    def need_layer() -> Layer:
+        if current_layer is None:
+            raise CifError(
+                f"geometry before any L command in symbol {cell.number}"
+            )
+        return current_layer
+
+    for command in commands:
+        if isinstance(command, LayerCommand):
+            current_layer = technology.layer_by_cif(command.name)
+        elif isinstance(command, BoxCommand):
+            cell.geometry.boxes.append(
+                (need_layer(), _box_from_command(command, scale))
+            )
+        elif isinstance(command, PolygonCommand):
+            cell.geometry.polygons.append(
+                Polygon(need_layer(), tuple(scale.point(p) for p in command.points))
+            )
+        elif isinstance(command, WireCommand):
+            if command.width <= 0:
+                raise CifError(f"wire width must be positive in symbol {cell.number}")
+            cell.geometry.paths.append(
+                Path(
+                    need_layer(),
+                    scale(command.width),
+                    tuple(scale.point(p) for p in command.points),
+                )
+            )
+        elif isinstance(command, RoundFlashCommand):
+            # Substitution: the Riot flow never needs true circles, so a
+            # round flash becomes its bounding square on the layer.
+            side = scale(command.diameter)
+            if side <= 0:
+                raise CifError(f"round flash diameter must be positive")
+            if side % 2:
+                side += 1
+            cell.geometry.boxes.append(
+                (need_layer(), Box.from_center(scale.point(command.center), side, side))
+            )
+        elif isinstance(command, CallCommand):
+            transform = transform_from_elements(command.elements)
+            transform = Transform(
+                transform.orientation, scale.point(transform.translation)
+            )
+            pending.append((command.symbol, transform))
+        elif isinstance(command, UserCommand):
+            _elaborate_user(cell, command, scale, technology, in_symbol)
+        elif isinstance(command, DeleteCommand):
+            raise CifError("DD inside a symbol definition")
+        else:  # pragma: no cover
+            raise CifError(f"unhandled command {command!r}")
+    return pending
+
+
+def _box_from_command(command: BoxCommand, scale: _Scale) -> Box:
+    """Realise a CIF ``B`` command: length runs along ``direction``."""
+    direction = _normalise_direction(command.direction)
+    length = scale(command.length)
+    width = scale(command.width)
+    center = scale.point(command.center)
+    if length <= 0 or width <= 0:
+        raise CifError(f"box dimensions must be positive, got {length}x{width}")
+    if direction in (Point(1, 0), Point(-1, 0)):
+        dx, dy = length, width
+    elif direction in (Point(0, 1), Point(0, -1)):
+        dx, dy = width, length
+    else:
+        raise CifError(f"non-Manhattan box direction {command.direction}")
+    try:
+        return Box.from_center(center, dx, dy)
+    except ValueError as exc:
+        raise CifError(str(exc)) from None
+
+
+def _elaborate_user(
+    cell: CifCell,
+    command: UserCommand,
+    scale: _Scale,
+    technology: Technology,
+    in_symbol: bool,
+) -> None:
+    """Interpret the user extensions the Riot flow defines.
+
+    * ``9 name`` — symbol name.
+    * ``94 name x y layer [width]`` — connector declaration (the paper's
+      "user extension ... to indicate connector locations").
+
+    Unknown user commands are ignored, as the CIF spec requires.
+    """
+    if command.digit != 9:
+        return
+    body = command.text
+    if body.startswith("4"):
+        fields = body[1:].split()
+        if len(fields) not in (4, 5):
+            raise CifError(
+                f"malformed connector extension '9{body}' in symbol {cell.number}; "
+                "expected '94 name x y layer [width]'"
+            )
+        name, xs, ys, layer_name = fields[:4]
+        try:
+            x, y = int(xs), int(ys)
+        except ValueError:
+            raise CifError(
+                f"connector {name!r}: coordinates must be integers"
+            ) from None
+        layer = technology.layer_by_cif(layer_name)
+        if len(fields) == 5:
+            try:
+                width = scale(int(fields[4]))
+            except ValueError:
+                raise CifError(f"connector {name!r}: width must be an integer") from None
+        else:
+            width = technology.min_width(layer)
+        if width <= 0:
+            raise CifError(f"connector {name!r}: width must be positive")
+        cell.connectors.append(
+            CifConnector(name, scale.point(Point(x, y)), layer, width)
+        )
+    else:
+        if not in_symbol:
+            return
+        name = body.split()[0] if body.split() else ""
+        if name:
+            cell.name = name

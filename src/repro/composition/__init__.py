@@ -1,0 +1,46 @@
+"""Riot's cell model and composition format (substrates S5, S8).
+
+The paper's *separated hierarchy*: leaf cells (CIF geometry or Sticks
+symbolic layout) at the leaves, composition cells — "which consist
+only of instances of other cells" — in the interior.  A composition
+cell is "described internally by a bounding box, a list of connectors,
+and a list of instances"; an instance is "a pointer to the defining
+cell with a transformation, replication counts, and replication
+spacings".
+"""
+
+from repro.composition.connector import (
+    BOTTOM,
+    INSIDE,
+    LEFT,
+    RIGHT,
+    TOP,
+    Connector,
+    classify_side,
+    opposed,
+)
+from repro.composition.cell import CompositionCell, LeafCell
+from repro.composition.instance import Instance, InstanceConnector
+from repro.composition.library import CellLibrary
+from repro.composition.netcheck import ConnectionReport, check_connections
+from repro.composition.format import load_composition, save_composition
+
+__all__ = [
+    "Connector",
+    "classify_side",
+    "opposed",
+    "LEFT",
+    "RIGHT",
+    "TOP",
+    "BOTTOM",
+    "INSIDE",
+    "LeafCell",
+    "CompositionCell",
+    "Instance",
+    "InstanceConnector",
+    "CellLibrary",
+    "check_connections",
+    "ConnectionReport",
+    "load_composition",
+    "save_composition",
+]

@@ -1,0 +1,77 @@
+"""Connectors and edge-side classification.
+
+Riot: "A connector consists of a location on or inside the bounding
+box of the cell, and the layer and width of the wire that makes that
+connection."  Riot's connection checks require joined connectors to be
+"opposed ... they connect top to bottom or left to right"; the side of
+a connector is derived from its position on the cell's bounding box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.box import Box
+from repro.geometry.layers import Layer
+from repro.geometry.point import Point
+
+LEFT = "left"
+RIGHT = "right"
+TOP = "top"
+BOTTOM = "bottom"
+INSIDE = "inside"
+
+_OPPOSED = {
+    (LEFT, RIGHT),
+    (RIGHT, LEFT),
+    (TOP, BOTTOM),
+    (BOTTOM, TOP),
+}
+
+
+def classify_side(position: Point, box: Box) -> str:
+    """Which edge of ``box`` the point sits on (``inside`` otherwise).
+
+    Corner points classify as the vertical edge (left/right) for
+    determinism.  Points outside the box are a modelling error.
+    """
+    if not box.contains_point(position):
+        raise ValueError(f"connector at {position} lies outside {box}")
+    if position.x == box.llx:
+        return LEFT
+    if position.x == box.urx:
+        return RIGHT
+    if position.y == box.lly:
+        return BOTTOM
+    if position.y == box.ury:
+        return TOP
+    return INSIDE
+
+
+def opposed(side_a: str, side_b: str) -> bool:
+    """True when two sides can legally connect (top-bottom / left-right)."""
+    return (side_a, side_b) in _OPPOSED
+
+
+@dataclass(frozen=True)
+class Connector:
+    """A named connection point of a cell, in cell-local coordinates."""
+
+    name: str
+    position: Point
+    layer: Layer
+    width: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("connector name must be non-empty")
+        if self.width <= 0:
+            raise ValueError(
+                f"connector {self.name!r}: width must be positive, got {self.width}"
+            )
+
+    def side(self, box: Box) -> str:
+        return classify_side(self.position, box)
+
+    def __str__(self) -> str:
+        return f"{self.name}@{self.position}/{self.layer.name}/{self.width}"

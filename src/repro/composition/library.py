@@ -1,0 +1,124 @@
+"""The cell library — Riot's cell menu.
+
+"Internally, Riot has a list of cells that the user may edit ... The
+upper menu area contains the names of the cells which are currently
+defined and which may be instantiated."  The library preserves
+insertion order because that order *is* the menu; route cells made by
+the river router are appended here like any other cell.
+"""
+
+from __future__ import annotations
+
+from repro.cif.parser import parse_cif
+from repro.cif.semantics import elaborate
+from repro.composition.cell import Cell, CompositionError, LeafCell
+from repro.geometry.layers import Technology
+from repro.sticks.parser import parse_sticks
+
+
+class CellLibrary:
+    """An ordered, name-keyed registry of cells."""
+
+    def __init__(self, technology: Technology) -> None:
+        self.technology = technology
+        self._cells: dict[str, Cell] = {}
+
+    # -- basic registry ----------------------------------------------------
+
+    def add(self, cell: Cell) -> Cell:
+        if cell.name in self._cells:
+            raise CompositionError(f"library already has a cell {cell.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    def get(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(
+                f"no cell {name!r} in library (have: {', '.join(self._cells) or 'none'})"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def names(self) -> list[str]:
+        """Cell names in menu order (insertion order)."""
+        return list(self._cells)
+
+    @property
+    def cells(self) -> list[Cell]:
+        return list(self._cells.values())
+
+    def remove(self, name: str) -> None:
+        """Delete a cell; refuses while any other cell instantiates it."""
+        cell = self.get(name)
+        for other in self._cells.values():
+            if other is cell:
+                continue
+            if not other.is_leaf and other.uses_cell(cell):
+                raise CompositionError(
+                    f"cannot delete {name!r}: still instantiated by {other.name!r}"
+                )
+        del self._cells[name]
+
+    def rename(self, old: str, new: str) -> Cell:
+        cell = self.get(old)
+        if new in self._cells:
+            raise CompositionError(f"library already has a cell {new!r}")
+        del self._cells[old]
+        cell.name = new
+        self._cells[new] = cell
+        return cell
+
+    def replace(self, name: str, replacement: Cell) -> Cell:
+        """Swap a cell definition, rebinding every instance of it.
+
+        This is what re-reading a modified leaf cell does; it is the
+        scenario the paper's REPLAY exists for, since positional
+        connections to the old shape silently break.
+        """
+        old = self.get(name)
+        for other in self._cells.values():
+            if other.is_leaf:
+                continue
+            for inst in other.instances:
+                if inst.cell is old:
+                    inst.cell = replacement
+        del self._cells[name]
+        replacement.name = name
+        self._cells[name] = replacement
+        return replacement
+
+    def unique_name(self, base: str) -> str:
+        if base not in self._cells:
+            return base
+        i = 2
+        while f"{base}{i}" in self._cells:
+            i += 1
+        return f"{base}{i}"
+
+    # -- bulk loading --------------------------------------------------------
+
+    def load_cif(self, text: str, source_file: str | None = None) -> list[LeafCell]:
+        """Elaborate CIF text and register every symbol as a leaf cell."""
+        design = elaborate(parse_cif(text), self.technology)
+        added = []
+        for cif_cell in design.cells:
+            leaf = LeafCell.from_cif(cif_cell, source_file=source_file)
+            added.append(self.add(leaf))
+        return added
+
+    def load_sticks(self, text: str, source_file: str | None = None) -> list[LeafCell]:
+        """Parse Sticks text and register every cell as a leaf cell."""
+        added = []
+        for sticks_cell in parse_sticks(text):
+            leaf = LeafCell.from_sticks(
+                sticks_cell, self.technology, source_file=source_file
+            )
+            added.append(self.add(leaf))
+        return added

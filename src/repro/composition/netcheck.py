@@ -1,0 +1,117 @@
+"""Positional connection checking.
+
+Riot "handles connection in the positional sense, not in the logical
+sense: a connection is the result of appropriate positioning" — and
+once made, nothing remembers it.  This module is the checker users of
+Riot had to run by hand: it reports which connector pairs currently
+touch, which connectors sit suspiciously close without touching, and
+which instances overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.composition.instance import Instance, InstanceConnector
+from repro.geometry.layers import Technology
+
+
+@dataclass(frozen=True)
+class MadeConnection:
+    """Two instance connectors that coincide on the same layer."""
+
+    a: InstanceConnector
+    b: InstanceConnector
+
+    def __str__(self) -> str:
+        return f"{self.a} <-> {self.b}"
+
+
+@dataclass(frozen=True)
+class NearMiss:
+    """Same-layer connectors closer than a pitch but not touching."""
+
+    a: InstanceConnector
+    b: InstanceConnector
+    distance: int
+
+
+@dataclass
+class ConnectionReport:
+    """The result of :func:`check_connections`."""
+
+    made: list[MadeConnection] = field(default_factory=list)
+    near_misses: list[NearMiss] = field(default_factory=list)
+    overlapping_instances: list[tuple[Instance, Instance]] = field(
+        default_factory=list
+    )
+    unconnected: list[InstanceConnector] = field(default_factory=list)
+
+    def is_connected(self, inst_a: Instance, name_a: str, inst_b: Instance, name_b: str) -> bool:
+        """Is the named connector pair among the made connections?"""
+        for conn in self.made:
+            pair = {
+                (conn.a.instance, conn.a.name),
+                (conn.b.instance, conn.b.name),
+            }
+            if pair == {(inst_a, name_a), (inst_b, name_b)}:
+                return True
+        return False
+
+    @property
+    def made_count(self) -> int:
+        return len(self.made)
+
+
+def check_connections(
+    instances: list[Instance], technology: Technology
+) -> ConnectionReport:
+    """Inspect the positional connectivity of a set of instances.
+
+    * *made*: connectors of different instances at the same point on
+      the same layer;
+    * *near miss*: same-layer connectors of different instances within
+      one routing pitch of each other but not coincident — the typical
+      signature of an accidentally destroyed connection;
+    * *overlapping instances*: bounding boxes with intersecting
+      interiors (legal in Riot — rail sharing — but worth reporting);
+    * *unconnected*: connectors that touch nothing.
+    """
+    report = ConnectionReport()
+    all_connectors: list[InstanceConnector] = []
+    for inst in instances:
+        all_connectors.extend(inst.connectors())
+
+    by_position: dict[tuple[int, int, str], list[InstanceConnector]] = {}
+    for conn in all_connectors:
+        key = (conn.position.x, conn.position.y, conn.layer.name)
+        by_position.setdefault(key, []).append(conn)
+
+    connected_ids: set[int] = set()
+    for group in by_position.values():
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                if a.instance is b.instance:
+                    continue
+                report.made.append(MadeConnection(a, b))
+                connected_ids.add(id(a))
+                connected_ids.add(id(b))
+
+    for i, a in enumerate(all_connectors):
+        for b in all_connectors[i + 1 :]:
+            if a.instance is b.instance or a.layer.name != b.layer.name:
+                continue
+            distance = a.position.manhattan_distance(b.position)
+            if 0 < distance < technology.pitch(a.layer):
+                report.near_misses.append(NearMiss(a, b, distance))
+
+    for i, inst_a in enumerate(instances):
+        box_a = inst_a.bounding_box()
+        for inst_b in instances[i + 1 :]:
+            if box_a.overlaps(inst_b.bounding_box()):
+                report.overlapping_instances.append((inst_a, inst_b))
+
+    report.unconnected = [
+        conn for conn in all_connectors if id(conn) not in connected_ids
+    ]
+    return report

@@ -1,0 +1,264 @@
+"""The graphical command interface.
+
+"The user edits a cell with the graphical command interface by
+pointing at items on the graphic display."  This module is the glue
+between the display's hit testing and the editor: a small state
+machine tracking the command selected in the command menu and the
+editing-area picks it still needs.
+
+Scripted device sessions (``repro.workstation``) drive this exactly
+like a user at the Charles or GIGI workstation did.
+"""
+
+from __future__ import annotations
+
+from repro.composition.instance import Instance, InstanceConnector
+from repro.core.editor import RiotEditor
+from repro.core.errors import RiotError
+from repro.geometry.point import Point
+from repro.graphics.display import Display
+from repro.workstation.events import ButtonPress, Event, KeyLine, PointerMove
+
+#: The command menu, in display order.
+COMMANDS = (
+    "CREATE",
+    "MOVE",
+    "ROTATE",
+    "MIRROR",
+    "DELETE",
+    "CONNECT",
+    "BUS",
+    "ABUT",
+    "OVERLAP",
+    "ROUTE",
+    "STRETCH",
+    "FINISH",
+    "ZOOMIN",
+    "ZOOMOUT",
+    "PAN",
+    "FIT",
+    "NAMES",
+)
+
+#: Commands that execute the moment they are picked from the menu.
+IMMEDIATE = {"ABUT", "OVERLAP", "ROUTE", "STRETCH", "FINISH", "ZOOMIN", "ZOOMOUT", "FIT", "NAMES"}
+
+#: How close (in screen pixels) a pick must be to a connector cross.
+PICK_RADIUS_PIXELS = 8
+
+
+class GraphicalInterface:
+    """Routes device events to editor commands and keeps the screen fresh."""
+
+    def __init__(self, editor: RiotEditor, display: Display | None = None) -> None:
+        self.editor = editor
+        self.display = display or Display(commands=COMMANDS)
+        self.display.commands = list(COMMANDS)
+        self.current_command: str | None = None
+        self.picked_instance: Instance | None = None
+        self.picked_connector: InstanceConnector | None = None
+        self.show_names = False
+        self.messages: list[str] = []
+        self.redraw()
+
+    # -- event pump ----------------------------------------------------------
+
+    def handle_events(self, events: list[Event]) -> list[str]:
+        """Process a batch of device events; returns messages produced."""
+        produced: list[str] = []
+        for event in events:
+            message = self.handle(event)
+            if message:
+                produced.append(message)
+        return produced
+
+    def handle(self, event: Event) -> str | None:
+        if isinstance(event, PointerMove):
+            return None  # motion only matters at the press
+        if isinstance(event, KeyLine):
+            return f"(textual) {event.text}"
+        if isinstance(event, ButtonPress):
+            return self._press(event.position)
+        return None
+
+    def _press(self, screen_point: Point) -> str | None:
+        hit = self.display.hit_test(screen_point)
+        try:
+            if hit.kind == "cell-menu":
+                return self._pick_cell(hit.name)
+            if hit.kind == "command-menu":
+                return self._pick_command(hit.name)
+            return self._pick_editing(hit.world)
+        except (RiotError, KeyError) as exc:
+            message = f"error: {str(exc).strip(chr(39))}"
+            self.messages.append(message)
+            self.redraw()
+            return message
+
+    # -- menu picks --------------------------------------------------------------
+
+    def _pick_cell(self, name: str | None) -> str | None:
+        if name is None:
+            return None
+        self.editor.select(name)
+        self.redraw()
+        return f"selected {name}"
+
+    def _pick_command(self, name: str | None) -> str | None:
+        if name is None:
+            return None
+        if name in IMMEDIATE:
+            return self._execute_immediate(name)
+        self.current_command = name
+        self.picked_instance = None
+        self.picked_connector = None
+        return f"command {name}: point in the editing area"
+
+    def _execute_immediate(self, name: str) -> str:
+        editor = self.editor
+        if name == "ABUT":
+            result = editor.do_abut()
+            message = f"abutted; moved by {result.moved_by}"
+            if result.warnings:
+                message += f"; {len(result.warnings)} warning(s)"
+        elif name == "OVERLAP":
+            result = editor.do_abut(overlap=True)
+            message = f"abutted with overlap; moved by {result.moved_by}"
+        elif name == "ROUTE":
+            result = editor.do_route()
+            message = (
+                f"routed {result.solved.wire_count} wire(s) in "
+                f"{result.solved.channels} channel(s) as {result.route_cell}"
+            )
+        elif name == "STRETCH":
+            result = editor.do_stretch()
+            message = f"stretched {result.old_cell} into {result.new_cell}"
+        elif name == "FINISH":
+            promoted = editor.finish()
+            message = f"finished with {len(promoted)} connector(s)"
+        elif name == "ZOOMIN":
+            self.display.viewport.zoom(2)
+            message = "zoomed in"
+        elif name == "ZOOMOUT":
+            self.display.viewport.zoom(1, 2)
+            message = "zoomed out"
+        elif name == "FIT":
+            cell = editor.cell
+            if cell is None or not cell.instances:
+                raise RiotError("nothing to fit")
+            self.display.viewport.fit(cell.bounding_box())
+            message = "fitted"
+        elif name == "NAMES":
+            self.show_names = not self.show_names
+            message = f"names {'on' if self.show_names else 'off'}"
+        else:  # pragma: no cover
+            raise RiotError(f"unhandled immediate command {name}")
+        self.redraw()
+        return message
+
+    # -- editing-area picks -----------------------------------------------------------
+
+    def _pick_editing(self, world: Point) -> str | None:
+        command = self.current_command
+        if command is None:
+            instance = self.instance_at(world)
+            return f"at {world}: {instance.name if instance else 'nothing'}"
+
+        if command == "PAN":
+            self.display.viewport.world_center = world
+            message = f"panned to {world}"
+        elif command == "CREATE":
+            instance = self.editor.create(at=world)
+            message = f"created {instance.name}"
+        elif command == "MOVE":
+            if self.picked_instance is None:
+                self.picked_instance = self._require_instance(world)
+                return f"moving {self.picked_instance.name}: point at destination"
+            self.editor.move(self.picked_instance.name, world)
+            message = f"moved {self.picked_instance.name}"
+            self.picked_instance = None
+        elif command == "ROTATE":
+            instance = self._require_instance(world)
+            self.editor.rotate(instance.name)
+            message = f"rotated {instance.name}"
+        elif command == "MIRROR":
+            instance = self._require_instance(world)
+            self.editor.mirror(instance.name)
+            message = f"mirrored {instance.name}"
+        elif command == "DELETE":
+            instance = self._require_instance(world)
+            self.editor.delete_instance(instance.name)
+            message = f"deleted {instance.name}"
+        elif command == "CONNECT":
+            connector = self.connector_near(world)
+            if connector is None:
+                raise RiotError(f"no connector near {world}")
+            if self.picked_connector is None:
+                self.picked_connector = connector
+                return f"from {connector}: point at the to connector"
+            self.editor.connect(
+                self.picked_connector.instance.name,
+                self.picked_connector.name,
+                connector.instance.name,
+                connector.name,
+            )
+            message = f"pending {self.picked_connector} - {connector}"
+            self.picked_connector = None
+        elif command == "BUS":
+            if self.picked_instance is None:
+                self.picked_instance = self._require_instance(world)
+                return f"bus from {self.picked_instance.name}: point at the to instance"
+            to_instance = self._require_instance(world)
+            count = self.editor.bus(self.picked_instance.name, to_instance.name)
+            message = f"bus: {count} pending connection(s)"
+            self.picked_instance = None
+        else:  # pragma: no cover
+            raise RiotError(f"unhandled command {command}")
+        self.redraw()
+        return message
+
+    # -- picking helpers ------------------------------------------------------------------
+
+    def instance_at(self, world: Point) -> Instance | None:
+        """The topmost (most recently added) instance under the point."""
+        cell = self.editor.cell
+        if cell is None:
+            return None
+        for instance in reversed(cell.instances):
+            if instance.bounding_box().contains_point(world):
+                return instance
+        return None
+
+    def _require_instance(self, world: Point) -> Instance:
+        instance = self.instance_at(world)
+        if instance is None:
+            raise RiotError(f"no instance at {world}")
+        return instance
+
+    def connector_near(self, world: Point) -> InstanceConnector | None:
+        """The nearest visible connector within the pick radius."""
+        cell = self.editor.cell
+        if cell is None:
+            return None
+        radius = PICK_RADIUS_PIXELS * self.display.viewport.scale_den
+        radius //= self.display.viewport.scale_num
+        best: InstanceConnector | None = None
+        best_distance = radius + 1
+        for instance in cell.instances:
+            for connector in instance.connectors():
+                distance = connector.position.manhattan_distance(world)
+                if distance < best_distance:
+                    best = connector
+                    best_distance = distance
+        return best
+
+    # -- screen -----------------------------------------------------------------------------
+
+    def redraw(self) -> None:
+        self.display.render(
+            self.editor.cell,
+            cell_menu=self.editor.library.names,
+            selected_cell=self.editor.selected_cell,
+            pending=self.editor.pending.display_strings(),
+            show_names=self.show_names,
+        )

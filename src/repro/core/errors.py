@@ -1,0 +1,13 @@
+"""Editor error types."""
+
+from __future__ import annotations
+
+
+class RiotError(Exception):
+    """A command cannot be carried out as given."""
+
+
+class ConnectionError_(RiotError):
+    """A connection specification is invalid (layer mismatch, not
+    opposed, same instance, ...).  Named with a trailing underscore to
+    avoid shadowing the builtin ``ConnectionError``."""

@@ -1,0 +1,210 @@
+"""The pending-connection list.
+
+"The connection operations require that Riot keep a list of pending
+connections.  The list is shown on the screen constantly, and the
+user may add to and delete from this list."
+
+A pending connection links a connector on the *from* instance to a
+connector on a *to* instance.  Riot checks at specification time
+"that the connectors to be joined are on the same layer and that they
+are opposed ... they connect top to bottom or left to right".  The
+one-to-many restriction (one from instance, possibly many to
+instances) is enforced here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.composition.connector import opposed
+from repro.composition.instance import Instance, InstanceConnector
+from repro.core.errors import ConnectionError_
+
+
+@dataclass(frozen=True)
+class PendingConnection:
+    """One specified (not yet made) connection."""
+
+    from_instance: Instance
+    from_connector: str
+    to_instance: Instance
+    to_connector: str
+
+    def resolve(self) -> tuple[InstanceConnector, InstanceConnector]:
+        """Current connector geometry (positions re-read every time,
+        because instances move between specification and execution)."""
+        return (
+            self.from_instance.connector(self.from_connector),
+            self.to_instance.connector(self.to_connector),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.from_instance.name}.{self.from_connector}"
+            f" - {self.to_instance.name}.{self.to_connector}"
+        )
+
+
+class PendingList:
+    """The editor's pending connections, with Riot's validity rules."""
+
+    def __init__(self) -> None:
+        self._connections: list[PendingConnection] = []
+
+    # -- building ------------------------------------------------------------
+
+    def add(
+        self,
+        from_instance: Instance,
+        from_connector: str,
+        to_instance: Instance,
+        to_connector: str,
+    ) -> PendingConnection:
+        """Validate and append one connection."""
+        if from_instance is to_instance:
+            raise ConnectionError_(
+                f"cannot connect instance {from_instance.name!r} to itself"
+            )
+        a = from_instance.connector(from_connector)  # KeyError if absent
+        b = to_instance.connector(to_connector)
+        if a.layer.name != b.layer.name:
+            raise ConnectionError_(
+                f"{a} and {b} are on different layers "
+                f"({a.layer.name} vs {b.layer.name})"
+            )
+        if not opposed(a.side, b.side):
+            raise ConnectionError_(
+                f"{a} ({a.side}) and {b} ({b.side}) are not opposed; "
+                "connections join top to bottom or left to right"
+            )
+        if self._connections:
+            anchor = self._connections[0].from_instance
+            if from_instance is not anchor:
+                raise ConnectionError_(
+                    "all pending connections must come from one instance "
+                    f"({anchor.name!r}); to connect many to many, wrap one "
+                    "set in a composition cell"
+                )
+        connection = PendingConnection(
+            from_instance, from_connector, to_instance, to_connector
+        )
+        if connection in self._connections:
+            raise ConnectionError_(f"connection {connection} already pending")
+        self._connections.append(connection)
+        return connection
+
+    def add_bus(self, from_instance: Instance, to_instance: Instance) -> int:
+        """The bus-type specification: "all connections are made from
+        one instance to another".
+
+        Connectors pair up by name where names match on both
+        instances; otherwise by order along the facing edges.  Returns
+        the number of connections added.
+        """
+        from_conns = from_instance.connectors()
+        to_conns = to_instance.connectors()
+        pairs: list[tuple[InstanceConnector, InstanceConnector]] = []
+
+        by_name = {c.name: c for c in to_conns}
+        named = [
+            (a, by_name[a.name])
+            for a in from_conns
+            if a.name in by_name
+            and a.layer.name == by_name[a.name].layer.name
+            and opposed(a.side, by_name[a.name].side)
+        ]
+        if named:
+            pairs = named
+        else:
+            pairs = _pair_facing(from_conns, to_conns)
+        if not pairs:
+            raise ConnectionError_(
+                f"no compatible connector pairs between "
+                f"{from_instance.name!r} and {to_instance.name!r}"
+            )
+        for a, b in pairs:
+            self.add(from_instance, a.name, to_instance, b.name)
+        return len(pairs)
+
+    # -- editing ------------------------------------------------------------------
+
+    def remove(self, index: int) -> PendingConnection:
+        try:
+            return self._connections.pop(index)
+        except IndexError:
+            raise ConnectionError_(
+                f"no pending connection #{index} (have {len(self)})"
+            ) from None
+
+    def clear(self) -> None:
+        self._connections.clear()
+
+    def drop_instance(self, instance: Instance) -> int:
+        """Remove every pending connection touching ``instance``
+        (called when the instance is deleted).  Returns count removed."""
+        before = len(self._connections)
+        self._connections = [
+            c
+            for c in self._connections
+            if c.from_instance is not instance and c.to_instance is not instance
+        ]
+        return before - len(self._connections)
+
+    # -- reading ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._connections)
+
+    def __iter__(self):
+        return iter(self._connections)
+
+    def __getitem__(self, index: int) -> PendingConnection:
+        return self._connections[index]
+
+    @property
+    def connections(self) -> list[PendingConnection]:
+        return list(self._connections)
+
+    @property
+    def from_instance(self) -> Instance | None:
+        """The single from instance (None when the list is empty)."""
+        return self._connections[0].from_instance if self._connections else None
+
+    def to_instances(self) -> list[Instance]:
+        seen: list[Instance] = []
+        for c in self._connections:
+            if c.to_instance not in seen:
+                seen.append(c.to_instance)
+        return seen
+
+    def display_strings(self) -> list[str]:
+        """What the display shows constantly."""
+        return [str(c) for c in self._connections]
+
+
+def _pair_facing(
+    from_conns: list[InstanceConnector], to_conns: list[InstanceConnector]
+) -> list[tuple[InstanceConnector, InstanceConnector]]:
+    """Pair connectors on facing edges by order along the edge."""
+    best: list[tuple[InstanceConnector, InstanceConnector]] = []
+    for from_side, to_side in (
+        ("right", "left"),
+        ("left", "right"),
+        ("top", "bottom"),
+        ("bottom", "top"),
+    ):
+        a_edge = [c for c in from_conns if c.side == from_side]
+        b_edge = [c for c in to_conns if c.side == to_side]
+        along = (lambda c: c.position.y) if from_side in ("left", "right") else (
+            lambda c: c.position.x
+        )
+        a_edge.sort(key=along)
+        b_edge.sort(key=along)
+        pairs = [
+            (a, b)
+            for a, b in zip(a_edge, b_edge)
+            if a.layer.name == b.layer.name
+        ]
+        if len(pairs) > len(best):
+            best = pairs
+    return best

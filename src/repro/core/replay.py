@@ -1,0 +1,148 @@
+"""The REPLAY journal.
+
+"Riot saves the commands given by the user and can re-run an editing
+session if some of the input files have changed.  The replay file uses
+instance names and connector names to identify connections, and the
+positions are re-calculated, thereby avoiding the problems with
+differently-shaped cells.  The replay also enables users to recover an
+abnormally-terminated editing session or an accidentally-deleted
+file."
+
+The journal records every editor command as a name plus JSON
+arguments, one per line.  Replaying executes the same methods against
+a (possibly different) library: connection commands re-resolve
+connector positions, which is exactly why replay survives leaf-cell
+edits that positional connections do not.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.core.errors import RiotError
+
+#: Editor methods a journal line may invoke.  An allowlist, so a
+#: hand-edited replay file cannot call arbitrary attributes.
+REPLAYABLE = frozenset(
+    {
+        "new_cell",
+        "edit",
+        "finish",
+        "select",
+        "create",
+        "delete_instance",
+        "move",
+        "move_by",
+        "rotate",
+        "mirror",
+        "replicate",
+        "connect",
+        "bus",
+        "unconnect",
+        "clear_pending",
+        "do_abut",
+        "do_abut_edges",
+        "do_route",
+        "do_stretch",
+        "bring_out",
+        "delete_cell",
+        "rename_cell",
+    }
+)
+
+
+@dataclass
+class JournalEntry:
+    command: str
+    kwargs: dict
+
+    def to_line(self) -> str:
+        return json.dumps({"command": self.command, **self.kwargs})
+
+    @classmethod
+    def from_line(cls, line: str, lineno: int) -> "JournalEntry":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise RiotError(f"replay line {lineno}: {exc}") from None
+        if not isinstance(data, dict) or "command" not in data:
+            raise RiotError(f"replay line {lineno}: missing command")
+        command = data.pop("command")
+        if command not in REPLAYABLE:
+            raise RiotError(
+                f"replay line {lineno}: {command!r} is not a replayable command"
+            )
+        return cls(command, data)
+
+
+@dataclass
+class Journal:
+    """An append-only record of editor commands."""
+
+    entries: list[JournalEntry] = field(default_factory=list)
+    recording: bool = True
+
+    def record(self, command: str, **kwargs) -> None:
+        if not self.recording:
+            return
+        self.entries.append(JournalEntry(command, kwargs))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    # -- persistence ----------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = ["# riot replay 1"]
+        lines.extend(entry.to_line() for entry in self.entries)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "Journal":
+        entries = []
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            entries.append(JournalEntry.from_line(line, lineno))
+        return cls(entries)
+
+    # -- replay -------------------------------------------------------------
+
+    def replay(self, editor) -> int:
+        """Execute every entry against ``editor``.
+
+        The editor's own journaling is suspended during replay so the
+        replayed commands are not recorded twice.  Raises
+        :class:`RiotError` naming the failing entry when a command can
+        no longer be executed (e.g. a connector that vanished from a
+        re-read leaf cell).
+        """
+        from repro.geometry.point import Point
+
+        previous = editor.journal.recording
+        editor.journal.recording = False
+        executed = 0
+        try:
+            for index, entry in enumerate(self.entries):
+                method = getattr(editor, entry.command)
+                kwargs = dict(entry.kwargs)
+                # Points travel as [x, y] pairs.
+                for key in ("at", "to"):
+                    if key in kwargs and isinstance(kwargs[key], list):
+                        kwargs[key] = Point(*kwargs[key])
+                try:
+                    method(**kwargs)
+                except Exception as exc:
+                    raise RiotError(
+                        f"replay failed at entry {index} "
+                        f"({entry.command}): {exc}"
+                    ) from exc
+                executed += 1
+        finally:
+            editor.journal.recording = previous
+        return executed

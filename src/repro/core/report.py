@@ -1,0 +1,100 @@
+"""Design reports: what a composition is made of.
+
+Riot's textual interface let the designer inspect the editing
+environment; this module produces the summary a designer wants before
+tape-out: the hierarchy tree, instance counts per cell, area
+utilisation (cell area vs. bounding-box area), and the generated-cell
+inventory (route cells, bring-outs, stretched variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.composition.cell import CompositionCell, LeafCell
+
+
+@dataclass
+class CellUsage:
+    """How one definition is used across a hierarchy."""
+
+    name: str
+    kind: str            # "cif", "sticks" or "composition"
+    instance_count: int = 0
+    placed_area: int = 0
+
+
+@dataclass
+class DesignReport:
+    """The full report for one root cell."""
+
+    root: str
+    usage: dict[str, CellUsage] = field(default_factory=dict)
+    depth: int = 0
+    total_instances: int = 0
+    bounding_area: int = 0
+
+    @property
+    def placed_area(self) -> int:
+        return sum(u.placed_area for u in self.usage.values() if u.kind != "composition")
+
+    @property
+    def utilization_percent(self) -> int:
+        """Leaf area over root bounding-box area (0-100+)."""
+        if not self.bounding_area:
+            return 0
+        return 100 * self.placed_area // self.bounding_area
+
+    def generated_cells(self) -> list[str]:
+        """Session-generated helpers: routes, bring-outs, stretch variants."""
+        return sorted(
+            name
+            for name in self.usage
+            if name.startswith(("route", "bringout")) or "_s" in name
+        )
+
+    def to_text(self) -> str:
+        lines = [
+            f"report for {self.root}:",
+            f"  hierarchy depth {self.depth}, "
+            f"{self.total_instances} placed leaf/composition instances",
+            f"  bounding area {self.bounding_area}, leaf area "
+            f"{self.placed_area} ({self.utilization_percent}% utilisation)",
+            "  cell usage:",
+        ]
+        for usage in sorted(
+            self.usage.values(), key=lambda u: (-u.instance_count, u.name)
+        ):
+            lines.append(
+                f"    {usage.name:16s} {usage.kind:12s} x{usage.instance_count:<4d} "
+                f"area {usage.placed_area}"
+            )
+        generated = self.generated_cells()
+        if generated:
+            lines.append(f"  generated this session: {', '.join(generated)}")
+        return "\n".join(lines)
+
+
+def report_cell(root: CompositionCell) -> DesignReport:
+    """Walk the hierarchy under ``root`` and tally usage."""
+    report = DesignReport(root=root.name)
+    report.bounding_area = root.bounding_box().area
+
+    def visit(cell: CompositionCell, depth: int) -> None:
+        report.depth = max(report.depth, depth)
+        for instance in cell.instances:
+            child = instance.cell
+            count = instance.nx * instance.ny
+            if isinstance(child, LeafCell):
+                kind = "sticks" if child.is_stretchable else "cif"
+            else:
+                kind = "composition"
+            usage = report.usage.setdefault(child.name, CellUsage(child.name, kind))
+            usage.instance_count += count
+            usage.placed_area += child.bounding_box().area * count
+            report.total_instances += count
+            if isinstance(child, CompositionCell):
+                visit(child, depth + 1)
+
+    visit(root, 1)
+    return report

@@ -1,0 +1,337 @@
+"""The multi-layer river router (paper figure 5).
+
+"A multi-layer river-route is a routed connection between parallel
+sets of points where no routes change layers and no two routes on the
+same layer cross.  The Riot river router cannot turn corners, and it
+ignores objects in the path of the route. ... The routing algorithm
+attempts to route all wires to the desired locations in a single
+routing channel.  If some wires are blocked, another channel is added
+and the route is continued in the new channel.  This repeats until
+the connection is completed."
+
+The router works in a canonical *channel frame*: ``u`` runs along the
+channel entry edge, ``v`` across it; wires enter at ``v = entry_i``
+(the to-instance connectors) and leave at ``v = height`` (where the
+from-instance connectors will land).  Each wire is a vertical run, at
+most one horizontal jog on a track, and a vertical run — no corners
+beyond the jog, no layer changes, which is exactly the paper's router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median_low
+
+from repro.composition.connector import BOTTOM, LEFT, RIGHT, TOP
+from repro.core.errors import RiotError
+from repro.core.pending import PendingList
+from repro.geometry.layers import Technology
+from repro.geometry.point import Point
+
+#: Which from-side faces each to-side across the channel.
+FACING = {TOP: BOTTOM, BOTTOM: TOP, LEFT: RIGHT, RIGHT: LEFT}
+
+
+@dataclass
+class RiverWire:
+    """One wire through the channel, in channel coordinates."""
+
+    name: str
+    layer_name: str
+    width: int
+    u_in: int
+    u_out: int
+    entry_v: int = 0
+    track_v: int | None = None
+    track_index: int | None = None
+
+    @property
+    def needs_jog(self) -> bool:
+        return self.u_in != self.u_out
+
+    def points(self, height: int) -> list[tuple[int, int]]:
+        """The centreline in (u, v) coordinates."""
+        if not self.needs_jog:
+            return [(self.u_in, self.entry_v), (self.u_in, height)]
+        assert self.track_v is not None
+        return [
+            (self.u_in, self.entry_v),
+            (self.u_in, self.track_v),
+            (self.u_out, self.track_v),
+            (self.u_out, height),
+        ]
+
+
+@dataclass
+class RiverRoute:
+    """A solved channel."""
+
+    wires: list[RiverWire]
+    height: int
+    channels: int
+    tracks_by_layer: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def wire_count(self) -> int:
+        return len(self.wires)
+
+    @property
+    def jog_count(self) -> int:
+        return sum(1 for w in self.wires if w.needs_jog)
+
+    def total_wire_length(self) -> int:
+        total = 0
+        for wire in self.wires:
+            pts = wire.points(self.height)
+            for (u0, v0), (u1, v1) in zip(pts, pts[1:]):
+                total += abs(u1 - u0) + abs(v1 - v0)
+        return total
+
+
+def route_channel(
+    wires: list[RiverWire],
+    technology: Technology,
+    tracks_per_channel: int = 8,
+    fixed_height: int | None = None,
+) -> RiverRoute:
+    """Assign jog tracks and size the channel.
+
+    Raises :class:`RiotError` when same-layer wires would have to
+    cross (a river route cannot do that on any number of channels) or
+    when a ``fixed_height`` (the route-without-moving form) is too
+    small for the required tracks.
+    """
+    if not wires:
+        raise RiotError("river route with no wires")
+    if tracks_per_channel < 1:
+        raise RiotError("tracks_per_channel must be >= 1")
+
+    by_layer: dict[str, list[RiverWire]] = {}
+    for wire in wires:
+        by_layer.setdefault(wire.layer_name, []).append(wire)
+
+    tracks_by_layer: dict[str, int] = {}
+    layer_pitch: dict[str, int] = {}
+    for layer_name, group in by_layer.items():
+        _check_planarity(layer_name, group)
+        max_width = max(w.width for w in group)
+        pitch = max_width + technology.min_separation(layer_name)
+        layer_pitch[layer_name] = pitch
+        tracks_by_layer[layer_name] = _assign_tracks(group, pitch, technology)
+
+    max_entry = max(w.entry_v for w in wires)
+    needed = max_entry
+    for layer_name, tracks in tracks_by_layer.items():
+        pitch = layer_pitch[layer_name]
+        needed = max(needed, max_entry + pitch * (tracks + 1))
+    if needed == max_entry:  # every wire straight: a minimal strap
+        needed = max_entry + max(layer_pitch.values())
+
+    if fixed_height is not None:
+        if fixed_height < needed:
+            raise RiotError(
+                f"route without moving needs a channel of {needed} "
+                f"but only {fixed_height} is available"
+            )
+        height = fixed_height
+    else:
+        height = needed
+
+    # Place jog tracks: track k of a layer sits at v = max_entry + pitch*(k+1).
+    for layer_name, group in by_layer.items():
+        pitch = layer_pitch[layer_name]
+        for wire in group:
+            if wire.track_index is not None:
+                wire.track_v = max_entry + pitch * (wire.track_index + 1)
+
+    max_tracks = max(tracks_by_layer.values(), default=0)
+    channels = max(1, -(-max_tracks // tracks_per_channel))
+    return RiverRoute(wires, height, channels, tracks_by_layer)
+
+
+def _check_planarity(layer_name: str, group: list[RiverWire]) -> None:
+    """Same-layer wires must keep their order across the channel."""
+    ordered = sorted(group, key=lambda w: (w.u_in, w.u_out))
+    for a, b in zip(ordered, ordered[1:]):
+        if a.u_in == b.u_in:
+            raise RiotError(
+                f"river route: wires {a.name!r} and {b.name!r} enter at the "
+                f"same position on layer {layer_name}"
+            )
+        if b.u_out < a.u_out:
+            raise RiotError(
+                f"river route: wires {a.name!r} and {b.name!r} on layer "
+                f"{layer_name} would cross; a river route cannot cross wires "
+                "on one layer"
+            )
+        if b.u_out == a.u_out:
+            raise RiotError(
+                f"river route: wires {a.name!r} and {b.name!r} leave at the "
+                f"same position on layer {layer_name}"
+            )
+
+
+def _assign_tracks(
+    group: list[RiverWire], pitch: int, technology: Technology
+) -> int:
+    """Greedy left-edge track assignment for the jogging wires.
+
+    Returns the number of tracks used.  Horizontal jogs on one layer
+    may share a track when their u-extents (inflated by width and
+    separation) do not collide.
+    """
+    jogging = [w for w in group if w.needs_jog]
+    for wire in group:
+        wire.track_index = None
+    if not jogging:
+        return 0
+    jogging.sort(key=lambda w: min(w.u_in, w.u_out))
+    track_last_end: list[int] = []
+    sep = technology.min_separation(group[0].layer_name)
+    straights = sorted(w.u_in for w in group if not w.needs_jog)
+
+    for wire in jogging:
+        start = min(wire.u_in, wire.u_out) - wire.width // 2
+        end = max(wire.u_in, wire.u_out) + wire.width // 2
+        placed = False
+        for index, last_end in enumerate(track_last_end):
+            if start > last_end + sep and not _hits_straight(
+                straights, start, end, wire, sep
+            ):
+                track_last_end[index] = end
+                wire.track_index = index
+                placed = True
+                break
+        if not placed:
+            track_last_end.append(end)
+            wire.track_index = len(track_last_end) - 1
+    # A jog crossing a straight wire of the same layer is impossible
+    # in a river route; planarity has already excluded it, so any
+    # remaining overlap with a straight is benign (the jog starts or
+    # ends at its own run).
+    return len(track_last_end)
+
+
+def _hits_straight(
+    straights: list[int], start: int, end: int, wire: RiverWire, sep: int
+) -> bool:
+    """Does the jog span cover a *different* straight wire's run?"""
+    for u in straights:
+        if u in (wire.u_in, wire.u_out):
+            continue
+        if start - sep < u < end + sep:
+            return True
+    return False
+
+
+@dataclass(frozen=True)
+class ChannelFrame:
+    """The parent <-> channel coordinate mapping for one route.
+
+    ``to_side`` is the side of the to-instance edge the route attaches
+    to; ``base`` its cross-axis coordinate; ``outward`` +1 when channel
+    v grows toward +axis in parent space.
+    """
+
+    to_side: str
+    base: int
+    outward: int
+
+    @classmethod
+    def for_side(cls, to_side: str, base: int) -> "ChannelFrame":
+        if to_side in (TOP, RIGHT):
+            return cls(to_side, base, +1)
+        if to_side in (BOTTOM, LEFT):
+            return cls(to_side, base, -1)
+        raise RiotError(f"cannot route from side {to_side!r}")
+
+    @property
+    def along_x(self) -> bool:
+        """True when u runs along the x axis (vertical channel)."""
+        return self.to_side in (TOP, BOTTOM)
+
+    def to_channel(self, p: Point) -> tuple[int, int]:
+        if self.along_x:
+            return p.x, (p.y - self.base) * self.outward
+        return p.y, (p.x - self.base) * self.outward
+
+    def to_parent(self, u: int, v: int) -> Point:
+        if self.along_x:
+            return Point(u, self.base + v * self.outward)
+        return Point(self.base + v * self.outward, u)
+
+
+def plan_route(
+    pending: PendingList,
+    technology: Technology,
+    tracks_per_channel: int = 8,
+    move_from: bool = True,
+) -> tuple[ChannelFrame, list[RiverWire], RiverRoute, int]:
+    """Resolve pending connections into a solved channel.
+
+    Returns (frame, wires, route, shift) where ``shift`` is the u-axis
+    displacement applied to the from-instance connector pattern
+    (always 0 when ``move_from`` is false).
+    """
+    if len(pending) == 0:
+        raise RiotError("ROUTE: no pending connections")
+    resolved = [c.resolve() for c in pending]
+
+    to_sides = {b.side for _, b in resolved}
+    if len(to_sides) != 1:
+        raise RiotError(
+            f"ROUTE: to-connectors must share one side, got {sorted(to_sides)}"
+        )
+    to_side = next(iter(to_sides))
+    from_sides = {a.side for a, _ in resolved}
+    if from_sides != {FACING[to_side]}:
+        raise RiotError(
+            f"ROUTE: from-connectors must be on side {FACING[to_side]!r} "
+            f"to face {to_side!r}, got {sorted(from_sides)}"
+        )
+
+    bases = [b.position.y if to_side in (TOP, BOTTOM) else b.position.x
+             for _, b in resolved]
+    # The channel starts at the innermost to-edge so every entry has
+    # v >= 0 (ragged entries when to instances differ in extent).
+    base = min(bases) if to_side in (TOP, RIGHT) else max(bases)
+    frame = ChannelFrame.for_side(to_side, base)
+
+    offsets = []
+    for a, b in resolved:
+        u_from, _ = frame.to_channel(a.position)
+        u_to, _ = frame.to_channel(b.position)
+        offsets.append(u_to - u_from)
+    shift = 0 if not move_from else median_low(offsets)
+
+    fixed_height = None
+    if not move_from:
+        gaps = []
+        for a, _ in resolved:
+            _, v = frame.to_channel(a.position)
+            gaps.append(v)
+        fixed_height = min(gaps)
+        if fixed_height <= 0:
+            raise RiotError(
+                "ROUTE without moving: the from instance is not clear of "
+                "the to edge (gap <= 0)"
+            )
+
+    wires = []
+    for connection, (a, b) in zip(pending, resolved):
+        u_from, _ = frame.to_channel(a.position)
+        u_to, v_to = frame.to_channel(b.position)
+        wires.append(
+            RiverWire(
+                name=connection.to_connector,
+                layer_name=a.layer.name,
+                width=max(a.width, b.width),
+                u_in=u_to,
+                u_out=u_from + shift,
+                entry_v=v_to,
+            )
+        )
+    route = route_channel(
+        wires, technology, tracks_per_channel, fixed_height=fixed_height
+    )
+    return frame, wires, route, shift

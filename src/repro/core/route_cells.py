@@ -1,0 +1,140 @@
+"""Building route cells from solved channels.
+
+"Riot then makes a new Sticks cell containing the river route wires
+and places an instance of that route cell next to the to instance.
+The from instance is moved to abut the other side of the river route
+instance, thereby using the least amount of space possible for the
+route. ... The routing cells made in Riot are treated just like other
+cells.  They are entered in the list of cells in the cell menu, and
+may be instantiated, moved, and deleted by the user."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.composition.cell import LeafCell
+from repro.composition.library import CellLibrary
+from repro.core.pending import PendingList
+from repro.core.river import ChannelFrame, RiverRoute, RiverWire
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.sticks.model import Pin, SticksCell, SymbolicWire
+
+
+@dataclass
+class BuiltRoute:
+    """A route cell in parent coordinates, plus where the from
+    instance's connectors must land."""
+
+    cell: SticksCell
+    from_targets: dict[str, Point]  # from-connector name -> parent position
+    route: RiverRoute
+
+
+def build_route_cell(
+    name: str,
+    frame: ChannelFrame,
+    wires: list[RiverWire],
+    route: RiverRoute,
+    pending: PendingList,
+) -> BuiltRoute:
+    """Realise a solved channel as a Sticks cell in parent coordinates.
+
+    Pins at the channel entry carry the to-connector names (prefixed
+    to stay unique); pins at the exit carry the from-connector names.
+    The exit pin positions are exactly where the from instance's
+    connectors must be moved to.
+    """
+    cell = SticksCell(name)
+    from_targets: dict[str, Point] = {}
+
+    for index, (wire, connection) in enumerate(zip(wires, pending)):
+        points = [frame.to_parent(u, v) for u, v in wire.points(route.height)]
+        cell.wires.append(
+            SymbolicWire(wire.layer_name, tuple(points), wire.width)
+        )
+        entry, exit_ = points[0], points[-1]
+        # Index prefixes keep pin names unique even when several to
+        # instances expose identically named connectors.
+        cell.pins.append(
+            Pin(
+                f"IN{index}_{connection.to_connector}",
+                wire.layer_name,
+                entry,
+                wire.width,
+            )
+        )
+        cell.pins.append(
+            Pin(
+                f"OUT{index}_{connection.from_connector}",
+                wire.layer_name,
+                exit_,
+                wire.width,
+            )
+        )
+        from_targets[connection.from_connector] = exit_
+
+    us = [u for w in wires for u in (w.u_in, w.u_out)]
+    margin = max(w.width for w in wires)
+    lo = frame.to_parent(min(us) - margin, 0)
+    hi = frame.to_parent(max(us) + margin, route.height)
+    cell.boundary = Box.from_points([lo, hi])
+    cell.validate()
+    return BuiltRoute(cell, from_targets, route)
+
+
+def register_route_cell(
+    built: BuiltRoute, library: CellLibrary, base_name: str = "route"
+) -> LeafCell:
+    """Enter a route cell in the cell menu like any other cell."""
+    built.cell.name = library.unique_name(base_name)
+    leaf = LeafCell.from_sticks(built.cell, library.technology)
+    return library.add(leaf)
+
+
+def build_bringout_cell(
+    name: str,
+    connectors,
+    edge_coordinate: int,
+    direction: str,
+) -> SticksCell:
+    """A simple straight-line route cell to the cell boundary.
+
+    "When an attempt is made to route the connectors on an instance
+    past the bounding box of the cell, a simple straight-line route
+    cell is made for those connectors to the edge of the cell."
+
+    ``direction`` is the side of the composition cell being reached
+    (``left``/``right``/``top``/``bottom``); ``edge_coordinate`` that
+    edge's x (or y) position.
+    """
+    cell = SticksCell(name)
+    ends: list[Point] = []
+    half = 0
+    for conn in connectors:
+        start = conn.position
+        if direction in ("left", "right"):
+            end = Point(edge_coordinate, start.y)
+        else:
+            end = Point(start.x, edge_coordinate)
+        if start == end:
+            continue
+        cell.wires.append(
+            SymbolicWire(conn.layer.name, (start, end), conn.width)
+        )
+        cell.pins.append(Pin(f"IN_{conn.name}", conn.layer.name, start, conn.width))
+        cell.pins.append(Pin(conn.name, conn.layer.name, end, conn.width))
+        ends.extend((start, end))
+        half = max(half, conn.width // 2)
+    cell.validate()
+    # An explicit boundary stopping exactly at the edge plane, so the
+    # brought-out pins sit on the composition cell's bounding box and
+    # get promoted when the cell is finished (wire end caps would
+    # otherwise bloat the box past the edge).
+    box = Box.from_points(ends)
+    if direction in ("left", "right"):
+        cell.boundary = Box(box.llx, box.lly - half, box.urx, box.ury + half)
+    else:
+        cell.boundary = Box(box.llx - half, box.lly, box.urx + half, box.ury)
+    return cell

@@ -1,0 +1,122 @@
+"""Connection by stretching (paper figure 6).
+
+"In a stretched connection, the locations of the connectors on the to
+instance are used to determine the needed separations of the
+connectors on the from instance to make the connection by abutment.
+If the from instance is defined in Sticks form, the new constraints on
+the connector positions are put into the Stick file, making a new
+cell.  The new cell is passed through the Stick optimizer in REST,
+which moves the connectors to the constrained locations.  Riot then
+removes the old instance and inserts an instance of the new cell into
+the cell under edit.  The new locations of the connectors allow the
+instances to be abutted without routing."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.composition.cell import LeafCell
+from repro.composition.connector import LEFT, RIGHT
+from repro.composition.library import CellLibrary
+from repro.core.abut import AbutResult, abut
+from repro.core.errors import RiotError
+from repro.core.pending import PendingList
+from repro.geometry.point import Point
+from repro.rest.errors import InfeasibleConstraints
+from repro.rest.stretch import stretch_pins
+
+
+@dataclass
+class StretchResult:
+    """What the STRETCH command did."""
+
+    old_cell: str
+    new_cell: str
+    axis: str
+    targets: dict[str, int]
+    abutment: AbutResult | None = None
+    warnings: list[str] = field(default_factory=list)
+
+
+def stretch(
+    pending: PendingList,
+    library: CellLibrary,
+    overlap: bool = False,
+) -> StretchResult:
+    """Make the pending connections by stretching the from instance.
+
+    The from instance must be a non-array instance of a Sticks-backed
+    leaf ("the pads cannot be stretched by Riot").  A new leaf cell is
+    created through the REST solver, registered in the library, bound
+    to the instance, and the connection completed by abutment.
+    """
+    if len(pending) == 0:
+        raise RiotError("STRETCH: no pending connections")
+    from_instance = pending.from_instance
+    assert from_instance is not None
+    if from_instance.is_array:
+        raise RiotError("STRETCH: cannot stretch an array instance")
+    cell = from_instance.cell
+    if not isinstance(cell, LeafCell) or not cell.is_stretchable:
+        raise RiotError(
+            f"STRETCH: cell {cell.name!r} is not symbolic (Sticks) layout; "
+            "connect it by routing instead"
+        )
+
+    resolved = [c.resolve() for c in pending]
+    sides = {a.side for a, _ in resolved}
+    if len(sides) != 1:
+        raise RiotError(
+            f"STRETCH: from-connectors must share one side, got {sorted(sides)}"
+        )
+    side = next(iter(sides))
+    parent_axis = "y" if side in (LEFT, RIGHT) else "x"
+
+    # Pull the to-connector positions back into the from cell's local
+    # frame, anchored so the first connector keeps its local position.
+    orientation = from_instance.transform.orientation
+    inverse = orientation.inverse()
+    first_local = cell.connector(resolved[0][0].base_name).position
+    anchor = resolved[0][1].position - orientation.apply(first_local)
+
+    axis_vector = Point(1, 0) if parent_axis == "x" else Point(0, 1)
+    local_axis_vector = inverse.apply(axis_vector)
+    local_axis = "x" if local_axis_vector.x != 0 else "y"
+
+    targets: dict[str, int] = {}
+    for a, b in resolved:
+        local_target = inverse.apply(b.position - anchor)
+        value = local_target.x if local_axis == "x" else local_target.y
+        pin_name = a.base_name
+        if pin_name in targets and targets[pin_name] != value:
+            raise RiotError(
+                f"STRETCH: connector {pin_name!r} has conflicting targets"
+            )
+        targets[pin_name] = value
+
+    new_name = library.unique_name(f"{cell.name}_s")
+    try:
+        stretched_sticks = stretch_pins(
+            cell.sticks_cell,
+            local_axis,
+            targets,
+            library.technology,
+            name=new_name,
+        )
+    except InfeasibleConstraints as exc:
+        raise RiotError(f"STRETCH: {exc}") from exc
+
+    new_leaf = LeafCell.from_sticks(stretched_sticks, library.technology)
+    library.add(new_leaf)
+    from_instance.cell = new_leaf
+
+    result = StretchResult(
+        old_cell=cell.name,
+        new_cell=new_name,
+        axis=local_axis,
+        targets=targets,
+    )
+    result.abutment = abut(pending, overlap=overlap)
+    result.warnings = result.abutment.warnings
+    return result

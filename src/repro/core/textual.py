@@ -1,0 +1,271 @@
+"""The textual command interface.
+
+"The textual command interface, accessed with the keyboard, is used
+primarily to modify the editing environment.  Textual commands store
+and retrieve cells on disk, set plotting parameters, generate hardcopy
+plots of cells, set defaults for routing operations, and invoke the
+graphical command editor to modify a composition cell."
+
+Files are accessed through a pluggable store (a dict-like object by
+default) so sessions run hermetically under test; pass
+:class:`DiskStore` to touch the real filesystem.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path as FsPath
+
+from repro.cif.errors import CifError
+from repro.composition.cell import CompositionCell, CompositionError
+from repro.composition.format import CompositionFormatError
+from repro.core.convert import composition_to_cif, composition_to_sticks
+from repro.core.editor import RiotEditor
+from repro.core.errors import RiotError
+from repro.graphics.svg import render_mask, render_symbolic
+from repro.rest.errors import InfeasibleConstraints
+from repro.sticks.errors import SticksError
+from repro.sticks.writer import write_sticks
+
+#: Everything an interactive command may fail with; anything else is a
+#: bug and propagates.
+COMMAND_ERRORS = (
+    RiotError,
+    CompositionError,
+    CompositionFormatError,
+    CifError,
+    SticksError,
+    InfeasibleConstraints,
+    KeyError,
+    ValueError,
+)
+
+
+class MemoryStore(dict):
+    """The default in-memory file store."""
+
+    def read(self, name: str) -> str:
+        try:
+            return self[name]
+        except KeyError:
+            raise RiotError(f"no such file {name!r}") from None
+
+    def write(self, name: str, content: str) -> None:
+        self[name] = content
+
+
+class DiskStore:
+    """A file store over the real filesystem, rooted at a directory."""
+
+    def __init__(self, root: str = ".") -> None:
+        self.root = FsPath(root)
+
+    def read(self, name: str) -> str:
+        target = self.root / name
+        if not target.exists():
+            raise RiotError(f"no such file {name!r}")
+        return target.read_text()
+
+    def write(self, name: str, content: str) -> None:
+        target = self.root / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(content)
+
+
+class TextualInterface:
+    """Executes command lines against an editor.
+
+    ``execute`` returns the response text; command errors come back as
+    ``error: ...`` strings rather than exceptions, the way an
+    interactive tool reports them (``last_error`` keeps the exception).
+    """
+
+    def __init__(self, editor: RiotEditor, store=None) -> None:
+        self.editor = editor
+        self.store = store if store is not None else MemoryStore()
+        self.last_error: Exception | None = None
+
+    def execute(self, line: str) -> str:
+        self.last_error = None
+        fields = line.split()
+        if not fields:
+            return ""
+        command = fields[0].lower()
+        args = fields[1:]
+        handler = getattr(self, f"_cmd_{command}", None)
+        if handler is None:
+            return f"error: unknown command {command!r} (try help)"
+        try:
+            return handler(args)
+        except COMMAND_ERRORS as exc:
+            self.last_error = exc
+            message = str(exc).strip("'\"")
+            return f"error: {message}"
+
+    def run_script(self, lines: list[str]) -> list[str]:
+        return [self.execute(line) for line in lines]
+
+    # -- environment commands ----------------------------------------------
+
+    def _cmd_read(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise RiotError("usage: read <file>")
+        name = args[0]
+        text = self.store.read(name)
+        if name.endswith(".cif"):
+            added = self.editor.read_cif(text, source_file=name)
+        elif name.endswith(".sticks"):
+            added = self.editor.read_sticks(text, source_file=name)
+        elif name.endswith(".comp"):
+            added = self.editor.read_composition(text)
+        else:
+            raise RiotError(
+                f"cannot tell the format of {name!r} "
+                "(expect .cif, .sticks or .comp)"
+            )
+        return f"read {len(added)} cell(s): {', '.join(added)}"
+
+    def _cmd_write(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise RiotError("usage: write <file.comp>")
+        self.store.write(args[0], self.editor.write_composition())
+        return f"wrote session to {args[0]}"
+
+    def _cmd_writecif(self, args: list[str]) -> str:
+        if len(args) != 2:
+            raise RiotError("usage: writecif <cell> <file>")
+        cell = self._composition(args[0])
+        self.store.write(args[1], composition_to_cif(cell, self.editor.technology))
+        return f"wrote CIF for {args[0]} to {args[1]}"
+
+    def _cmd_writesticks(self, args: list[str]) -> str:
+        if len(args) != 2:
+            raise RiotError("usage: writesticks <cell> <file>")
+        cell = self._composition(args[0])
+        flat, warnings = composition_to_sticks(cell, self.editor.technology)
+        self.store.write(args[1], write_sticks([flat]))
+        message = f"wrote Sticks for {args[0]} to {args[1]}"
+        if warnings:
+            message += f" ({len(warnings)} warning(s))"
+        return message
+
+    def _cmd_plot(self, args: list[str]) -> str:
+        """Hardcopy: symbolic view by default, mask view with 'mask'."""
+        if len(args) not in (2, 3):
+            raise RiotError("usage: plot <cell> <file.svg> [mask]")
+        cell = self._composition(args[0])
+        if len(args) == 3 and args[2] == "mask":
+            from repro.cif.parser import parse_cif
+            from repro.cif.semantics import elaborate
+
+            text = composition_to_cif(cell, self.editor.technology)
+            design = elaborate(parse_cif(text), self.editor.technology)
+            svg = render_mask(design.cell(cell.name).flatten())
+        else:
+            svg = render_symbolic(cell)
+        self.store.write(args[1], svg)
+        return f"plotted {args[0]} to {args[1]}"
+
+    # -- editing lifecycle ------------------------------------------------------
+
+    def _cmd_new(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise RiotError("usage: new <cell>")
+        self.editor.new_cell(args[0])
+        return f"editing new cell {args[0]}"
+
+    def _cmd_edit(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise RiotError("usage: edit <cell>")
+        self.editor.edit(args[0])
+        return f"editing {args[0]}"
+
+    def _cmd_finish(self, args: list[str]) -> str:
+        promoted = self.editor.finish()
+        return f"finished; {len(promoted)} connector(s): {', '.join(promoted)}"
+
+    def _cmd_delete(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise RiotError("usage: delete <cell>")
+        self.editor.delete_cell(args[0])
+        return f"deleted {args[0]}"
+
+    def _cmd_rename(self, args: list[str]) -> str:
+        if len(args) != 2:
+            raise RiotError("usage: rename <old> <new>")
+        self.editor.rename_cell(args[0], args[1])
+        return f"renamed {args[0]} to {args[1]}"
+
+    # -- environment settings -----------------------------------------------------
+
+    def _cmd_set(self, args: list[str]) -> str:
+        if len(args) == 2 and args[0] == "tracks":
+            value = int(args[1])
+            if value < 1:
+                raise RiotError("tracks must be >= 1")
+            self.editor.tracks_per_channel = value
+            return f"routing tracks per channel = {value}"
+        raise RiotError("usage: set tracks <n>")
+
+    # -- inspection -----------------------------------------------------------------
+
+    def _cmd_cells(self, args: list[str]) -> str:
+        names = self.editor.library.names
+        return "cells: " + (", ".join(names) if names else "(none)")
+
+    def _cmd_pending(self, args: list[str]) -> str:
+        entries = self.editor.pending.display_strings()
+        return "pending: " + ("; ".join(entries) if entries else "(none)")
+
+    def _cmd_check(self, args: list[str]) -> str:
+        report = self.editor.check()
+        return (
+            f"connections made: {report.made_count}, "
+            f"near misses: {len(report.near_misses)}, "
+            f"overlapping instances: {len(report.overlapping_instances)}, "
+            f"unconnected: {len(report.unconnected)}"
+        )
+
+    def _cmd_report(self, args: list[str]) -> str:
+        """Hierarchy and area report for a composition cell."""
+        from repro.core.report import report_cell
+
+        if len(args) != 1:
+            raise RiotError("usage: report <cell>")
+        return report_cell(self._composition(args[0])).to_text()
+
+    def _cmd_verify(self, args: list[str]) -> str:
+        """Full verification: netcheck + DRC + mask extraction."""
+        from repro.core.verify import verify_cell
+
+        if len(args) != 1:
+            raise RiotError("usage: verify <cell>")
+        cell = self._composition(args[0])
+        return verify_cell(cell, self.editor.technology).summary()
+
+    # -- replay -----------------------------------------------------------------------
+
+    def _cmd_savereplay(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise RiotError("usage: savereplay <file>")
+        self.store.write(args[0], self.editor.journal.to_text())
+        return f"saved replay ({len(self.editor.journal)} commands) to {args[0]}"
+
+    def _cmd_replay(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise RiotError("usage: replay <file>")
+        executed = self.editor.replay_from(self.store.read(args[0]))
+        return f"replayed {executed} command(s)"
+
+    def _cmd_help(self, args: list[str]) -> str:
+        commands = sorted(
+            name[5:] for name in dir(self) if name.startswith("_cmd_")
+        )
+        return "commands: " + ", ".join(commands)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    def _composition(self, name: str) -> CompositionCell:
+        cell = self.editor.library.get(name)
+        if cell.is_leaf:
+            raise RiotError(f"{name!r} is a leaf cell")
+        return cell

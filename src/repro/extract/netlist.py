@@ -1,0 +1,195 @@
+"""Continuity extraction from flattened geometry.
+
+Shapes on one routing layer that touch or overlap are one node;
+contact cuts fuse the routing layers they overlap; buried contacts
+fuse poly and diffusion.  Diffusion is **split at transistor
+channels**: wherever poly crosses diffusion (and no buried contact
+covers the crossing) the diffusion is fragmented, so source and drain
+extract as separate nodes — power rails do not short to logic nodes
+through the pullups.
+
+The implementation is union-find over rectangles with an x-sorted
+sweep per layer, the same structure as the DRC engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cif.semantics import FlatGeometry
+from repro.drc.engine import geometry_rectangles
+from repro.geometry.box import Box
+from repro.geometry.layers import Technology
+from repro.geometry.point import Point
+
+#: Layers that carry signals between cells.
+ROUTING_LAYERS = ("metal", "poly", "diffusion")
+#: Cut layers and which routing layers each one fuses.
+CUT_FUSES = {
+    "contact": ("metal", "poly", "diffusion"),
+    "buried": ("poly", "diffusion"),
+}
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: dict[int, int] = {}
+
+    def make(self, key: int) -> None:
+        self._parent.setdefault(key, key)
+
+    def find(self, key: int) -> int:
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+def _boxes_touch(a: Box, b: Box) -> bool:
+    return (
+        a.llx <= b.urx
+        and b.llx <= a.urx
+        and a.lly <= b.ury
+        and b.lly <= a.ury
+    )
+
+
+@dataclass
+class MaskNetlist:
+    """The extracted nodes: each shape is (layer, box, node id)."""
+
+    shapes: list[tuple[str, Box, int]] = field(default_factory=list)
+
+    @property
+    def node_count(self) -> int:
+        return len({node for _, _, node in self.shapes})
+
+    def node_at(self, point: Point, layer: str) -> int | None:
+        """The node id under a point on a layer (None if open space).
+
+        When several shapes of the layer cover the point they are by
+        construction the same node."""
+        for shape_layer, box, node in self.shapes:
+            if shape_layer == layer and box.contains_point(point):
+                return node
+        return None
+
+    def connected(self, a: Point, layer_a: str, b: Point, layer_b: str) -> bool:
+        """Are two (point, layer) probes on the same electrical node?"""
+        node_a = self.node_at(a, layer_a)
+        node_b = self.node_at(b, layer_b)
+        return node_a is not None and node_a == node_b
+
+    def node_size(self, point: Point, layer: str) -> int:
+        """How many shapes make up the node under the probe."""
+        node = self.node_at(point, layer)
+        if node is None:
+            return 0
+        return sum(1 for _, _, n in self.shapes if n == node)
+
+
+def _subtract(box: Box, hole: Box) -> list[Box]:
+    """``box`` minus ``hole``: up to four remainder rectangles."""
+    inter = box.intersection(hole)
+    if inter is None or inter.area == 0:
+        return [box]
+    pieces = []
+    if box.lly < inter.lly:
+        pieces.append(Box(box.llx, box.lly, box.urx, inter.lly))
+    if inter.ury < box.ury:
+        pieces.append(Box(box.llx, inter.ury, box.urx, box.ury))
+    if box.llx < inter.llx:
+        pieces.append(Box(box.llx, inter.lly, inter.llx, inter.ury))
+    if inter.urx < box.urx:
+        pieces.append(Box(inter.urx, inter.lly, box.urx, inter.ury))
+    return pieces
+
+
+def _split_diffusion_at_gates(
+    rectangles: dict[str, list[Box]]
+) -> dict[str, list[Box]]:
+    """Fragment diffusion where poly crosses it (transistor channels).
+
+    Crossings covered by a buried contact are connections, not
+    channels, and are left intact.
+    """
+    poly = rectangles.get("poly", ())
+    buried = rectangles.get("buried", ())
+    diffusion = rectangles.get("diffusion")
+    if not poly or not diffusion:
+        return rectangles
+
+    fragments = list(diffusion)
+    for gate in poly:
+        next_fragments = []
+        for frag in fragments:
+            channel = frag.intersection(gate)
+            if channel is None or channel.area == 0:
+                next_fragments.append(frag)
+                continue
+            if any(
+                channel.intersection(b) is not None
+                and channel.intersection(b).area > 0
+                for b in buried
+            ):
+                next_fragments.append(frag)  # buried contact: connected
+                continue
+            next_fragments.extend(_subtract(frag, gate))
+        fragments = next_fragments
+
+    result = dict(rectangles)
+    result["diffusion"] = fragments
+    return result
+
+
+def extract_netlist(
+    geometry: FlatGeometry, technology: Technology
+) -> MaskNetlist:
+    """Extract continuity nodes from flattened geometry."""
+    rectangles = _split_diffusion_at_gates(geometry_rectangles(geometry))
+    uf = _UnionFind()
+    indexed: list[tuple[str, Box]] = []
+    by_layer: dict[str, list[int]] = {}
+
+    for layer_name, boxes in rectangles.items():
+        for box in boxes:
+            index = len(indexed)
+            indexed.append((layer_name, box))
+            uf.make(index)
+            by_layer.setdefault(layer_name, []).append(index)
+
+    # Same-layer touching shapes merge (x-sorted sweep).
+    for layer_name in ROUTING_LAYERS:
+        members = sorted(
+            by_layer.get(layer_name, ()), key=lambda i: indexed[i][1].llx
+        )
+        for position, i in enumerate(members):
+            box_i = indexed[i][1]
+            for j in members[position + 1 :]:
+                box_j = indexed[j][1]
+                if box_j.llx > box_i.urx:
+                    break
+                if _boxes_touch(box_i, box_j):
+                    uf.union(i, j)
+
+    # Cuts fuse the routing layers they overlap.
+    for cut_layer, fused in CUT_FUSES.items():
+        for cut_index in by_layer.get(cut_layer, ()):
+            cut_box = indexed[cut_index][1]
+            uf.make(cut_index)
+            for layer_name in fused:
+                for i in by_layer.get(layer_name, ()):
+                    if _boxes_touch(cut_box, indexed[i][1]):
+                        uf.union(cut_index, i)
+
+    netlist = MaskNetlist()
+    for i, (layer_name, box) in enumerate(indexed):
+        netlist.shapes.append((layer_name, box, uf.find(i)))
+    return netlist

@@ -1,0 +1,29 @@
+"""Geometry kernel (substrate S1).
+
+The paper's Riot was built on a shared SIMULA "low-level objects
+package" of roughly 500 lines supplying points, boxes and transforms.
+This package is our equivalent: integer Manhattan geometry in
+centimicrons, the eight-element orientation group used by CIF and by
+Riot's instance transforms, wire paths, polygons and the layer /
+technology registry.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.box import Box
+from repro.geometry.orientation import Orientation
+from repro.geometry.transform import Transform
+from repro.geometry.path import Path
+from repro.geometry.polygon import Polygon
+from repro.geometry.layers import Layer, Technology, nmos_technology
+
+__all__ = [
+    "Point",
+    "Box",
+    "Orientation",
+    "Transform",
+    "Path",
+    "Polygon",
+    "Layer",
+    "Technology",
+    "nmos_technology",
+]

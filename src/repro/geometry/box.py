@@ -1,0 +1,201 @@
+"""Axis-aligned integer bounding boxes.
+
+Riot represents every instance on screen as the bounding box of its
+defining cell (paper, figure 3), so boxes are the workhorse of the
+whole system: abutment aligns box edges, the river router sizes its
+channel as a box, and the display clips against the viewport box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """A closed axis-aligned rectangle ``[llx, urx] x [lly, ury]``.
+
+    Degenerate (zero width or height) boxes are allowed: a connector
+    sitting exactly on a cell edge is a degenerate box, and CIF wires of
+    zero length degenerate similarly.  Construction normalises corner
+    order, so ``Box(10, 10, 0, 0)`` equals ``Box(0, 0, 10, 10)``.
+    """
+
+    llx: int
+    lly: int
+    urx: int
+    ury: int
+
+    def __post_init__(self) -> None:
+        for v in (self.llx, self.lly, self.urx, self.ury):
+            if not isinstance(v, int):
+                raise TypeError(f"Box coordinates must be int, got {v!r}")
+        lo_x, hi_x = sorted((self.llx, self.urx))
+        lo_y, hi_y = sorted((self.lly, self.ury))
+        object.__setattr__(self, "llx", lo_x)
+        object.__setattr__(self, "urx", hi_x)
+        object.__setattr__(self, "lly", lo_y)
+        object.__setattr__(self, "ury", hi_y)
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Box":
+        """The tightest box covering ``points`` (at least one required)."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("Box.from_points requires at least one point")
+        return cls(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+        )
+
+    @classmethod
+    def from_center(cls, center: Point, width: int, height: int) -> "Box":
+        """A ``width`` x ``height`` box centred on ``center``.
+
+        Matches CIF's ``B`` (box) command, which is centre-specified.
+        Width and height must be even multiples of the coordinate unit
+        for the corners to land on integers; CIF guarantees this by
+        working in centimicrons.
+        """
+        if width < 0 or height < 0:
+            raise ValueError(f"Box dimensions must be >= 0, got {width}x{height}")
+        if width % 2 or height % 2:
+            raise ValueError(
+                f"Centre-specified box needs even dimensions, got {width}x{height}"
+            )
+        return cls(
+            center.x - width // 2,
+            center.y - height // 2,
+            center.x + width // 2,
+            center.y + height // 2,
+        )
+
+    # -- basic measures -----------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.urx - self.llx
+
+    @property
+    def height(self) -> int:
+        return self.ury - self.lly
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.llx + self.urx) // 2, (self.lly + self.ury) // 2)
+
+    @property
+    def lower_left(self) -> Point:
+        return Point(self.llx, self.lly)
+
+    @property
+    def upper_right(self) -> Point:
+        return Point(self.urx, self.ury)
+
+    @property
+    def lower_right(self) -> Point:
+        return Point(self.urx, self.lly)
+
+    @property
+    def upper_left(self) -> Point:
+        return Point(self.llx, self.ury)
+
+    def corners(self) -> Iterator[Point]:
+        yield self.lower_left
+        yield self.lower_right
+        yield self.upper_right
+        yield self.upper_left
+
+    # -- predicates ----------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment: points on the boundary are inside."""
+        return self.llx <= p.x <= self.urx and self.lly <= p.y <= self.ury
+
+    def contains_box(self, other: "Box") -> bool:
+        return (
+            self.llx <= other.llx
+            and self.lly <= other.lly
+            and self.urx >= other.urx
+            and self.ury >= other.ury
+        )
+
+    def overlaps(self, other: "Box") -> bool:
+        """True when the *open* interiors intersect (shared edges don't count).
+
+        A degenerate box has an empty interior and therefore never
+        overlaps anything.
+        """
+        return (
+            max(self.llx, other.llx) < min(self.urx, other.urx)
+            and max(self.lly, other.lly) < min(self.ury, other.ury)
+        )
+
+    def touches(self, other: "Box") -> bool:
+        """True when boxes share boundary but not interior."""
+        closed = (
+            self.llx <= other.urx
+            and other.llx <= self.urx
+            and self.lly <= other.ury
+            and other.lly <= self.ury
+        )
+        return closed and not self.overlaps(other)
+
+    # -- combination ----------------------------------------------------
+
+    def union(self, other: "Box") -> "Box":
+        return Box(
+            min(self.llx, other.llx),
+            min(self.lly, other.lly),
+            max(self.urx, other.urx),
+            max(self.ury, other.ury),
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The shared closed region, or None when disjoint."""
+        llx = max(self.llx, other.llx)
+        lly = max(self.lly, other.lly)
+        urx = min(self.urx, other.urx)
+        ury = min(self.ury, other.ury)
+        if llx > urx or lly > ury:
+            return None
+        return Box(llx, lly, urx, ury)
+
+    # -- movement -------------------------------------------------------
+
+    def translated(self, dx: int, dy: int) -> "Box":
+        return Box(self.llx + dx, self.lly + dy, self.urx + dx, self.ury + dy)
+
+    def inflated(self, margin: int) -> "Box":
+        """Grow (or shrink, for negative margin) by ``margin`` on all sides."""
+        if self.width + 2 * margin < 0 or self.height + 2 * margin < 0:
+            raise ValueError(f"inflation by {margin} would invert {self}")
+        return Box(
+            self.llx - margin, self.lly - margin, self.urx + margin, self.ury + margin
+        )
+
+    def __str__(self) -> str:
+        return f"[{self.llx},{self.lly} .. {self.urx},{self.ury}]"
+
+
+def union_all(boxes: Iterable[Box]) -> Box:
+    """The bounding box of a non-empty collection of boxes."""
+    it = iter(boxes)
+    try:
+        acc = next(it)
+    except StopIteration:
+        raise ValueError("union_all requires at least one box") from None
+    for box in it:
+        acc = acc.union(box)
+    return acc

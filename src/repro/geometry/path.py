@@ -1,0 +1,86 @@
+"""Wire paths: a layer, a width and a Manhattan point sequence.
+
+CIF's ``W`` (wire) command and Sticks wires both reduce to this shape.
+``to_boxes`` fattens the centreline into rectangles, which is how the
+sticks-to-mask expansion and the plotter render wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.box import Box, union_all
+from repro.geometry.layers import Layer
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+
+@dataclass(frozen=True)
+class Path:
+    """A fixed-width wire along a sequence of points.
+
+    Points must form Manhattan segments (each consecutive pair shares
+    an x or a y); CIF allows arbitrary angles but nothing in the Riot
+    flow produces them and Manhattan-only keeps every downstream
+    consumer (router, compactor, renderer) exact.
+    """
+
+    layer: Layer
+    width: int
+    points: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"wire width must be positive, got {self.width}")
+        if len(self.points) < 1:
+            raise ValueError("a path needs at least one point")
+        for a, b in zip(self.points, self.points[1:]):
+            if not a.is_orthogonal_to(b):
+                raise ValueError(f"non-Manhattan path segment {a} -> {b}")
+
+    @classmethod
+    def from_list(cls, layer: Layer, width: int, points: list[Point]) -> "Path":
+        return cls(layer, width, tuple(points))
+
+    @property
+    def length(self) -> int:
+        """Total centreline length."""
+        return sum(
+            a.manhattan_distance(b) for a, b in zip(self.points, self.points[1:])
+        )
+
+    def bounding_box(self) -> Box:
+        """The box covering the fattened wire (centreline +- width/2).
+
+        CIF wires have square ends extending half a width past the end
+        points; we reproduce that so areas agree with mask output.
+        """
+        half = self.width // 2
+        return Box.from_points(list(self.points)).inflated(half)
+
+    def to_boxes(self) -> list[Box]:
+        """Fatten each segment into a rectangle (with square end caps)."""
+        half = self.width // 2
+        if len(self.points) == 1:
+            p = self.points[0]
+            return [Box(p.x - half, p.y - half, p.x + half, p.y + half)]
+        boxes = []
+        for a, b in zip(self.points, self.points[1:]):
+            seg = Box.from_points([a, b]).inflated(half)
+            boxes.append(seg)
+        return boxes
+
+    def transformed(self, transform: Transform) -> "Path":
+        return Path(
+            self.layer,
+            self.width,
+            tuple(transform.apply(p) for p in self.points),
+        )
+
+    def translated(self, dx: int, dy: int) -> "Path":
+        return self.transformed(Transform.translate(dx, dy))
+
+
+def paths_bounding_box(paths: list[Path]) -> Box:
+    """The union bounding box of a non-empty list of paths."""
+    return union_all(p.bounding_box() for p in paths)

@@ -1,0 +1,57 @@
+"""Integer 2-D points.
+
+All Riot coordinates are integers in centimicrons (1/100 micron), the
+native unit of CIF.  Points are immutable and hashable so they can be
+used as dictionary keys in the routers and the constraint generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable integer point in the plane."""
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.x, int) or not isinstance(self.y, int):
+            raise TypeError(
+                f"Point coordinates must be int, got ({self.x!r}, {self.y!r})"
+            )
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __mul__(self, scale: int) -> "Point":
+        if not isinstance(scale, int):
+            raise TypeError(f"Point scale must be int, got {scale!r}")
+        return Point(self.x * scale, self.y * scale)
+
+    __rmul__ = __mul__
+
+    def manhattan_distance(self, other: "Point") -> int:
+        """L1 distance to ``other``; the natural metric for wire length."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def is_orthogonal_to(self, other: "Point") -> bool:
+        """True when the segment self->other is horizontal or vertical."""
+        return self.x == other.x or self.y == other.y
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+    def __str__(self) -> str:
+        return f"({self.x},{self.y})"
+
+
+ORIGIN = Point(0, 0)

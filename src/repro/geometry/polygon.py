@@ -1,0 +1,103 @@
+"""Simple polygons for CIF ``P`` commands.
+
+Riot itself only draws boxes and wires, but CIF leaf cells imported
+from other tools (pads especially) contain polygons, so the CIF
+substrate needs a faithful polygon type with area, bounding box and
+point containment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.box import Box
+from repro.geometry.layers import Layer
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A simple (non-self-intersecting) polygon on one layer."""
+
+    layer: Layer
+    points: tuple[Point, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 3:
+            raise ValueError(
+                f"a polygon needs at least 3 vertices, got {len(self.points)}"
+            )
+
+    @classmethod
+    def from_list(cls, layer: Layer, points: list[Point]) -> "Polygon":
+        return cls(layer, tuple(points))
+
+    @classmethod
+    def from_box(cls, layer: Layer, box: Box) -> "Polygon":
+        return cls(layer, tuple(box.corners()))
+
+    def signed_area2(self) -> int:
+        """Twice the signed area (shoelace); positive when CCW."""
+        total = 0
+        pts = self.points
+        for i, a in enumerate(pts):
+            b = pts[(i + 1) % len(pts)]
+            total += a.x * b.y - b.x * a.y
+        return total
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area2()) / 2
+
+    @property
+    def is_manhattan(self) -> bool:
+        pts = self.points
+        return all(
+            a.is_orthogonal_to(pts[(i + 1) % len(pts)]) for i, a in enumerate(pts)
+        )
+
+    def bounding_box(self) -> Box:
+        return Box.from_points(list(self.points))
+
+    def contains_point(self, p: Point) -> bool:
+        """Even-odd rule; boundary points count as inside."""
+        pts = self.points
+        n = len(pts)
+        # Boundary check first: on-edge is inside.
+        for i, a in enumerate(pts):
+            b = pts[(i + 1) % n]
+            if _on_segment(a, b, p):
+                return True
+        inside = False
+        for i, a in enumerate(pts):
+            b = pts[(i + 1) % n]
+            if (a.y > p.y) != (b.y > p.y):
+                # x coordinate of the edge at height p.y, as a fraction
+                # comparison kept in integers to stay exact.
+                t_num = (p.y - a.y) * (b.x - a.x)
+                x_cross_num = a.x * (b.y - a.y) + t_num
+                denom = b.y - a.y
+                if denom < 0:
+                    x_cross_num, denom = -x_cross_num, -denom
+                if p.x * denom < x_cross_num:
+                    inside = not inside
+        return inside
+
+    def transformed(self, transform: Transform) -> "Polygon":
+        return Polygon(
+            self.layer, tuple(transform.apply(p) for p in self.points)
+        )
+
+    def translated(self, dx: int, dy: int) -> "Polygon":
+        return self.transformed(Transform.translate(dx, dy))
+
+
+def _on_segment(a: Point, b: Point, p: Point) -> bool:
+    cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x)
+    if cross != 0:
+        return False
+    return (
+        min(a.x, b.x) <= p.x <= max(a.x, b.x)
+        and min(a.y, b.y) <= p.y <= max(a.y, b.y)
+    )

@@ -1,0 +1,78 @@
+"""Rigid Manhattan transforms: an orientation followed by a translation.
+
+Riot keeps "an instance as a pointer to the defining cell with a
+transformation, replication counts, and replication spacings"; this is
+the transformation part.  The group law matches CIF call transforms:
+a transform maps cell-local coordinates into parent coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.box import Box
+from repro.geometry.orientation import R0, Orientation
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Transform:
+    """``p -> orientation(p) + translation``."""
+
+    orientation: Orientation = R0
+    translation: Point = field(default_factory=lambda: Point(0, 0))
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def identity(cls) -> "Transform":
+        return cls()
+
+    @classmethod
+    def translate(cls, dx: int, dy: int) -> "Transform":
+        return cls(R0, Point(dx, dy))
+
+    @classmethod
+    def at(cls, where: Point, orientation: Orientation = R0) -> "Transform":
+        return cls(orientation, where)
+
+    # -- application ------------------------------------------------------
+
+    def apply(self, p: Point) -> Point:
+        return self.orientation.apply(p) + self.translation
+
+    def apply_box(self, box: Box) -> Box:
+        """The transformed box (axis-aligned, so corners suffice)."""
+        return Box.from_points([self.apply(c) for c in box.corners()])
+
+    def apply_vector(self, v: Point) -> Point:
+        """Transform a direction vector: orientation only, no translation."""
+        return self.orientation.apply(v)
+
+    # -- group operations ---------------------------------------------------
+
+    def compose(self, inner: "Transform") -> "Transform":
+        """The transform applying ``inner`` first, then self.
+
+        ``(self.compose(inner)).apply(p) == self.apply(inner.apply(p))``
+        — exactly the composition needed when walking down a hierarchy
+        of instance transforms.
+        """
+        return Transform(
+            self.orientation.compose(inner.orientation),
+            self.orientation.apply(inner.translation) + self.translation,
+        )
+
+    def inverse(self) -> "Transform":
+        inv = self.orientation.inverse()
+        return Transform(inv, -inv.apply(self.translation))
+
+    def translated(self, dx: int, dy: int) -> "Transform":
+        """This transform followed by a further parent-space translation."""
+        return Transform(self.orientation, self.translation.translated(dx, dy))
+
+    def __str__(self) -> str:
+        return f"{self.orientation.name}+{self.translation}"
+
+
+IDENTITY = Transform.identity()

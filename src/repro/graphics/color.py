@@ -1,0 +1,49 @@
+"""The indexed color palette.
+
+Riot's displays were indexed-color hardware ("a high resolution color
+raster display device"); we keep the same model: small integer color
+indices, with a palette mapping them to names and RGB for the SVG
+backend.  Layer colors follow the Mead-Conway plotting conventions
+(green diffusion, red poly, blue metal, yellow implant, black
+contact).
+"""
+
+from __future__ import annotations
+
+from repro.geometry.layers import Layer
+
+# index -> (name, #rrggbb)
+PALETTE: dict[int, tuple[str, str]] = {
+    0: ("black", "#000000"),
+    1: ("red", "#cc2222"),
+    2: ("green", "#22aa22"),
+    3: ("yellow", "#ccaa00"),
+    4: ("blue", "#2244cc"),
+    5: ("brown", "#885511"),
+    6: ("gray", "#888888"),
+    7: ("white", "#ffffff"),
+    8: ("cyan", "#22aaaa"),
+    9: ("magenta", "#aa22aa"),
+}
+
+BACKGROUND = 0
+FOREGROUND = 7
+HIGHLIGHT = 8
+MENU_TEXT = 7
+MENU_SELECTED = 3
+
+
+def color_name(index: int) -> str:
+    """The palette name for an index (unknown indices report as such)."""
+    entry = PALETTE.get(index)
+    return entry[0] if entry else f"color{index}"
+
+
+def color_rgb(index: int) -> str:
+    entry = PALETTE.get(index)
+    return entry[1] if entry else "#ff00ff"
+
+
+def layer_color(layer: Layer) -> int:
+    """The display color of a layer (carried on the Layer itself)."""
+    return layer.color

@@ -1,0 +1,195 @@
+"""The Riot screen: editing area plus two menus (paper figure 2).
+
+"The Riot display screen is divided into three pieces: a large editing
+area next to two small menu areas along the right edge of the screen.
+The editing area shows the contents of the cell under edit.  The upper
+menu area contains the names of the cells which are currently defined
+and which may be instantiated.  The lower menu contains graphical
+editing commands."
+
+The display renders instances exactly as the paper's figure 3
+describes: "An instance is represented on the screen by the bounding
+box and connectors of the defining cell positioned, oriented, and
+replicated by the instance information.  The size and color of the
+connector crosses indicates width and layer of the wire making that
+connection."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.composition.cell import CompositionCell
+from repro.composition.instance import Instance
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.graphics import font
+from repro.graphics.color import (
+    BACKGROUND,
+    FOREGROUND,
+    HIGHLIGHT,
+    MENU_SELECTED,
+    MENU_TEXT,
+)
+from repro.graphics.framebuffer import FrameBuffer
+from repro.graphics.viewport import Viewport
+
+MENU_ROW_HEIGHT = 10
+
+
+@dataclass(frozen=True)
+class HitResult:
+    """What a screen point refers to.
+
+    ``kind`` is ``"cell-menu"``, ``"command-menu"`` or ``"editing"``;
+    ``name`` holds the menu entry, ``world`` the editing-area world
+    point.
+    """
+
+    kind: str
+    name: str | None = None
+    world: Point | None = None
+
+
+class Display:
+    """The three-area Riot screen over a framebuffer."""
+
+    def __init__(
+        self,
+        width: int = 512,
+        height: int = 390,
+        commands: tuple[str, ...] = (),
+    ) -> None:
+        self.framebuffer = FrameBuffer(width, height)
+        menu_width = max(width // 5, 60)
+        split = height // 2
+        self.editing_area = Box(0, 0, width - menu_width - 1, height - 1)
+        self.cell_menu_area = Box(width - menu_width, split, width - 1, height - 1)
+        self.command_menu_area = Box(width - menu_width, 0, width - 1, split - 1)
+        self.commands = list(commands)
+        self.viewport = Viewport(
+            screen=self.editing_area.inflated(-4),
+            world_center=Point(0, 0),
+        )
+        self._cell_menu_names: list[str] = []
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(
+        self,
+        cell: CompositionCell | None,
+        cell_menu: list[str],
+        selected_cell: str | None = None,
+        pending: list[str] | None = None,
+        show_names: bool = False,
+    ) -> None:
+        """Redraw the whole screen from the editor state."""
+        fb = self.framebuffer
+        fb.clear(BACKGROUND)
+        self._cell_menu_names = list(cell_menu)
+        self._render_frame()
+        if cell is not None:
+            for inst in cell.instances:
+                self.draw_instance(inst, show_names=show_names)
+        self._render_menus(selected_cell)
+        self._render_pending(pending or [])
+
+    def _render_frame(self) -> None:
+        fb = self.framebuffer
+        for area in (self.editing_area, self.cell_menu_area, self.command_menu_area):
+            fb.rect(area.llx, area.lly, area.urx, area.ury, FOREGROUND)
+
+    def draw_instance(self, inst: Instance, show_names: bool = False) -> None:
+        """Bounding box, replication gridding, connector crosses, names."""
+        fb = self.framebuffer
+        vp = self.viewport
+        outer = vp.to_screen_box(inst.bounding_box())
+        fb.rect(outer.llx, outer.lly, outer.urx, outer.ury, FOREGROUND)
+
+        if inst.is_array:
+            # "shows the gridding due to the replication of the cell".
+            cell_box = inst.cell.bounding_box()
+            for i, j, transform in inst.element_transforms():
+                if i == 0 and j == 0:
+                    continue
+                element = vp.to_screen_box(transform.apply_box(cell_box))
+                fb.rect(element.llx, element.lly, element.urx, element.ury, FOREGROUND)
+
+        for conn in inst.connectors():
+            p = vp.to_screen(conn.position)
+            arm = max(vp.screen_length(conn.width) // 2, 2)
+            fb.cross(p.x, p.y, arm, conn.layer.color)
+            if show_names:
+                fb.text(p.x + arm + 1, p.y, conn.base_name, conn.layer.color)
+
+        if show_names:
+            center = outer.center
+            label = inst.cell.name
+            fb.text(center.x - font.text_width(label) // 2, center.y, label, HIGHLIGHT)
+
+    def _render_menus(self, selected_cell: str | None) -> None:
+        fb = self.framebuffer
+        for area, entries, selected in (
+            (self.cell_menu_area, self._cell_menu_names, selected_cell),
+            (self.command_menu_area, self.commands, None),
+        ):
+            y = area.ury - MENU_ROW_HEIGHT
+            for entry in entries:
+                if y < area.lly:
+                    break  # menu overflow: entries beyond the area are hidden
+                color = MENU_SELECTED if entry == selected else MENU_TEXT
+                fb.text(area.llx + 3, y, entry, color)
+                y -= MENU_ROW_HEIGHT
+
+    def _render_pending(self, pending: list[str]) -> None:
+        """The pending-connection list, "shown on the screen constantly"."""
+        fb = self.framebuffer
+        y = self.editing_area.lly + 2
+        for entry in reversed(pending):
+            fb.text(self.editing_area.llx + 3, y, entry, HIGHLIGHT)
+            y += MENU_ROW_HEIGHT
+
+    # -- input mapping -------------------------------------------------------
+
+    def hit_test(self, screen_point: Point) -> HitResult:
+        """Map a pointing-device position to what it refers to."""
+        if self.cell_menu_area.contains_point(screen_point):
+            name = self._menu_entry(
+                self.cell_menu_area, self._cell_menu_names, screen_point
+            )
+            return HitResult("cell-menu", name=name)
+        if self.command_menu_area.contains_point(screen_point):
+            name = self._menu_entry(
+                self.command_menu_area, self.commands, screen_point
+            )
+            return HitResult("command-menu", name=name)
+        return HitResult("editing", world=self.viewport.to_world(screen_point))
+
+    def _menu_entry(
+        self, area: Box, entries: list[str], p: Point
+    ) -> str | None:
+        index = (area.ury - p.y) // MENU_ROW_HEIGHT
+        if 0 <= index < len(entries):
+            return entries[index]
+        return None
+
+    def menu_point(self, kind: str, name: str) -> Point:
+        """The screen point that hits a given menu entry (for scripted
+        sessions driving the display like a user would)."""
+        if kind == "cell-menu":
+            area, entries = self.cell_menu_area, self._cell_menu_names
+        elif kind == "command-menu":
+            area, entries = self.command_menu_area, self.commands
+        else:
+            raise ValueError(f"unknown menu kind {kind!r}")
+        try:
+            index = entries.index(name)
+        except ValueError:
+            raise KeyError(f"{name!r} is not in the {kind}") from None
+        y = area.ury - index * MENU_ROW_HEIGHT - MENU_ROW_HEIGHT // 2
+        if y < area.lly:
+            raise KeyError(
+                f"{name!r} is below the visible {kind} (screen too small "
+                f"for {len(entries)} entries)"
+            )
+        return Point(area.llx + 5, y)

@@ -1,0 +1,134 @@
+"""An indexed-color raster framebuffer with the classic primitives.
+
+Screen coordinates are (x, y) with the origin at the lower left and y
+growing upward, matching world coordinates so the viewport transform
+stays sign-free.  Out-of-bounds drawing is clipped, never an error —
+pan and zoom push geometry off screen all the time.
+"""
+
+from __future__ import annotations
+
+from repro.graphics import font
+from repro.graphics.color import BACKGROUND
+
+
+class FrameBuffer:
+    """A width x height grid of palette indices."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError(f"framebuffer needs positive size, got {width}x{height}")
+        self.width = width
+        self.height = height
+        self._pixels = bytearray(width * height)
+
+    # -- pixels ---------------------------------------------------------
+
+    def clear(self, color: int = BACKGROUND) -> None:
+        for i in range(len(self._pixels)):
+            self._pixels[i] = color
+
+    def set_pixel(self, x: int, y: int, color: int) -> None:
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self._pixels[y * self.width + x] = color
+
+    def get_pixel(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise IndexError(f"pixel ({x},{y}) outside {self.width}x{self.height}")
+        return self._pixels[y * self.width + x]
+
+    def count_color(self, color: int) -> int:
+        return self._pixels.count(color)
+
+    # -- primitives ----------------------------------------------------------
+
+    def hline(self, x0: int, x1: int, y: int, color: int) -> None:
+        if y < 0 or y >= self.height:
+            return
+        lo, hi = sorted((x0, x1))
+        lo = max(lo, 0)
+        hi = min(hi, self.width - 1)
+        row = y * self.width
+        for x in range(lo, hi + 1):
+            self._pixels[row + x] = color
+
+    def vline(self, x: int, y0: int, y1: int, color: int) -> None:
+        if x < 0 or x >= self.width:
+            return
+        lo, hi = sorted((y0, y1))
+        lo = max(lo, 0)
+        hi = min(hi, self.height - 1)
+        for y in range(lo, hi + 1):
+            self._pixels[y * self.width + x] = color
+
+    def line(self, x0: int, y0: int, x1: int, y1: int, color: int) -> None:
+        """Bresenham line (general slope; axis-aligned fast paths)."""
+        if y0 == y1:
+            self.hline(x0, x1, y0, color)
+            return
+        if x0 == x1:
+            self.vline(x0, y0, y1, color)
+            return
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        sx = 1 if x0 < x1 else -1
+        sy = 1 if y0 < y1 else -1
+        err = dx + dy
+        x, y = x0, y0
+        while True:
+            self.set_pixel(x, y, color)
+            if x == x1 and y == y1:
+                return
+            e2 = 2 * err
+            if e2 >= dy:
+                err += dy
+                x += sx
+            if e2 <= dx:
+                err += dx
+                y += sy
+
+    def rect(self, x0: int, y0: int, x1: int, y1: int, color: int) -> None:
+        """Rectangle outline."""
+        self.hline(x0, x1, y0, color)
+        self.hline(x0, x1, y1, color)
+        self.vline(x0, y0, y1, color)
+        self.vline(x1, y0, y1, color)
+
+    def fill_rect(self, x0: int, y0: int, x1: int, y1: int, color: int) -> None:
+        lo_y, hi_y = sorted((y0, y1))
+        for y in range(max(lo_y, 0), min(hi_y, self.height - 1) + 1):
+            self.hline(x0, x1, y, color)
+
+    def cross(self, x: int, y: int, arm: int, color: int) -> None:
+        """A + marker — Riot's connector symbol ("connector crosses",
+        whose size indicates wire width)."""
+        self.hline(x - arm, x + arm, y, color)
+        self.vline(x, y - arm, y + arm, color)
+
+    def text(self, x: int, y: int, message: str, color: int) -> int:
+        """Render text with its baseline-bottom at (x, y); returns the
+        x coordinate just past the last glyph."""
+        cursor = x
+        for ch in message:
+            rows = font.glyph(ch)
+            for row_index, row in enumerate(rows):
+                py = y + (font.GLYPH_HEIGHT - 1 - row_index)
+                for col in range(font.GLYPH_WIDTH):
+                    if row & (1 << (font.GLYPH_WIDTH - 1 - col)):
+                        self.set_pixel(cursor + col, py, color)
+            cursor += font.GLYPH_WIDTH + font.GLYPH_SPACING
+        return cursor
+
+    # -- export -----------------------------------------------------------------
+
+    def to_ascii(self, charmap: str = " .+*#%@&$!") -> str:
+        """Rows of characters (top row first) — the poor man's hardcopy."""
+        lines = []
+        for y in range(self.height - 1, -1, -1):
+            row = self._pixels[y * self.width : (y + 1) * self.width]
+            lines.append("".join(charmap[p % len(charmap)] for p in row))
+        return "\n".join(lines)
+
+    def snapshot(self) -> bytes:
+        """An immutable copy of the pixel data, for regression comparison."""
+        return bytes(self._pixels)

@@ -1,0 +1,116 @@
+"""HP 7221A-style pen plotter emulation.
+
+The workstation's hardcopy device was a "Hewlett-Packard 7221A
+four-color pen plotter".  This emulation accepts the same drawing
+vocabulary (pen select, pen up/down moves) and produces both the
+HP-GL-like command stream and the statistics that made plotting slow
+in 1982: pen-down travel, pen-up travel and pen changes.
+"""
+
+from __future__ import annotations
+
+from repro.cif.semantics import FlatGeometry
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+
+PEN_COUNT = 4
+
+
+class PenPlotter:
+    """A four-pen vector plotter writing an HP-GL-like stream."""
+
+    def __init__(self) -> None:
+        self._commands: list[str] = []
+        self._pen = 0          # 0 = no pen selected
+        self._position = Point(0, 0)
+        self._down = False
+        self.pen_down_distance = 0
+        self.pen_up_distance = 0
+        self.pen_changes = 0
+
+    # -- primitive vocabulary --------------------------------------------
+
+    def select_pen(self, pen: int) -> None:
+        if not 1 <= pen <= PEN_COUNT:
+            raise ValueError(f"pen must be 1..{PEN_COUNT}, got {pen}")
+        if pen != self._pen:
+            self._commands.append(f"SP{pen}")
+            self._pen = pen
+            self.pen_changes += 1
+            self._down = False
+
+    def pen_up(self) -> None:
+        self._down = False
+
+    def move_to(self, p: Point) -> None:
+        """Travel with the pen up."""
+        self.pen_up_distance += self._position.manhattan_distance(p)
+        self._commands.append(f"PU{p.x},{p.y}")
+        self._position = p
+        self._down = False
+
+    def draw_to(self, p: Point) -> None:
+        """Travel with the pen down (requires a selected pen)."""
+        if self._pen == 0:
+            raise ValueError("no pen selected")
+        self.pen_down_distance += self._position.manhattan_distance(p)
+        self._commands.append(f"PD{p.x},{p.y}")
+        self._position = p
+        self._down = True
+
+    # -- composite shapes -----------------------------------------------------
+
+    def polyline(self, points: list[Point]) -> None:
+        if not points:
+            return
+        self.move_to(points[0])
+        for p in points[1:]:
+            self.draw_to(p)
+
+    def rect(self, box: Box) -> None:
+        corners = list(box.corners())
+        self.polyline(corners + [corners[0]])
+
+    def cross(self, center: Point, arm: int) -> None:
+        self.polyline([center.translated(-arm, 0), center.translated(arm, 0)])
+        self.polyline([center.translated(0, -arm), center.translated(0, arm)])
+
+    # -- output -------------------------------------------------------------------
+
+    def output(self) -> str:
+        return ";".join(self._commands) + (";" if self._commands else "")
+
+    @property
+    def command_count(self) -> int:
+        return len(self._commands)
+
+
+def plot_mask(geometry: FlatGeometry) -> PenPlotter:
+    """Plot flattened geometry, one pen per layer color (mod 4).
+
+    Shapes are grouped by pen to minimise pen changes, the way the
+    real plotter driver batched its work.
+    """
+    plotter = PenPlotter()
+    by_pen: dict[int, list] = {}
+    for layer, box in geometry.boxes:
+        by_pen.setdefault(layer.color % PEN_COUNT + 1, []).append(("rect", box))
+    for polygon in geometry.polygons:
+        by_pen.setdefault(polygon.layer.color % PEN_COUNT + 1, []).append(
+            ("poly", polygon)
+        )
+    for path in geometry.paths:
+        by_pen.setdefault(path.layer.color % PEN_COUNT + 1, []).append(
+            ("path", path)
+        )
+    for pen in sorted(by_pen):
+        plotter.select_pen(pen)
+        for kind, shape in by_pen[pen]:
+            if kind == "rect":
+                plotter.rect(shape)
+            elif kind == "poly":
+                points = list(shape.points)
+                plotter.polyline(points + [points[0]])
+            else:
+                plotter.polyline(list(shape.points))
+    return plotter

@@ -1,0 +1,140 @@
+"""SVG hardcopy backend.
+
+Riot produced hardcopy on an HP 7221A pen plotter; SVG is today's
+equivalent "plot file".  Two renderers are provided: mask geometry
+(flattened CIF, layers as translucent fills — the paper's figure 10
+view) and the symbolic instance view (bounding boxes plus connector
+crosses — the figures 3/4/5/6 view).
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.cif.semantics import FlatGeometry
+from repro.composition.cell import CompositionCell
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.graphics.color import color_rgb
+
+
+class SvgCanvas:
+    """Collects SVG shapes in world coordinates; flips y on output."""
+
+    def __init__(self, world: Box, pixel_width: int = 800) -> None:
+        if world.width <= 0 and world.height <= 0:
+            world = world.inflated(100)
+        self.world = world.inflated(max(world.width, world.height) // 20 + 1)
+        self.pixel_width = pixel_width
+        self._elements: list[str] = []
+
+    # -- shape collection ----------------------------------------------
+
+    def rect(
+        self, box: Box, color: int, fill: bool = True, opacity: float = 0.55
+    ) -> None:
+        rgb = color_rgb(color)
+        y = self._flip_y(box.ury)
+        if fill:
+            style = f'fill="{rgb}" fill-opacity="{opacity}" stroke="none"'
+        else:
+            style = f'fill="none" stroke="{rgb}" stroke-width="{self._stroke()}"'
+        self._elements.append(
+            f'<rect x="{box.llx}" y="{y}" width="{box.width}" '
+            f'height="{box.height}" {style}/>'
+        )
+
+    def line(self, a: Point, b: Point, color: int, width: int = 1) -> None:
+        rgb = color_rgb(color)
+        self._elements.append(
+            f'<line x1="{a.x}" y1="{self._flip_y(a.y)}" '
+            f'x2="{b.x}" y2="{self._flip_y(b.y)}" '
+            f'stroke="{rgb}" stroke-width="{width}"/>'
+        )
+
+    def polyline(self, points: list[Point], color: int, width: int) -> None:
+        rgb = color_rgb(color)
+        pts = " ".join(f"{p.x},{self._flip_y(p.y)}" for p in points)
+        self._elements.append(
+            f'<polyline points="{pts}" fill="none" stroke="{rgb}" '
+            f'stroke-width="{width}" stroke-linecap="square"/>'
+        )
+
+    def polygon(self, points: list[Point], color: int, opacity: float = 0.55) -> None:
+        rgb = color_rgb(color)
+        pts = " ".join(f"{p.x},{self._flip_y(p.y)}" for p in points)
+        self._elements.append(
+            f'<polygon points="{pts}" fill="{rgb}" fill-opacity="{opacity}"/>'
+        )
+
+    def cross(self, center: Point, arm: int, color: int) -> None:
+        self.line(center.translated(-arm, 0), center.translated(arm, 0), color,
+                  width=self._stroke())
+        self.line(center.translated(0, -arm), center.translated(0, arm), color,
+                  width=self._stroke())
+
+    def text(self, at: Point, message: str, color: int, size: int | None = None) -> None:
+        rgb = color_rgb(color)
+        size = size or max(self.world.width // 60, 10)
+        self._elements.append(
+            f'<text x="{at.x}" y="{self._flip_y(at.y)}" fill="{rgb}" '
+            f'font-size="{size}" font-family="monospace">{escape(message)}</text>'
+        )
+
+    # -- output -----------------------------------------------------------
+
+    def to_svg(self) -> str:
+        w = self.world
+        height = max(
+            1, self.pixel_width * w.height // w.width if w.width else self.pixel_width
+        )
+        header = (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.pixel_width}" height="{height}" '
+            f'viewBox="{w.llx} {self._flip_y(w.ury)} {w.width} {w.height}">\n'
+            f'<rect x="{w.llx}" y="{self._flip_y(w.ury)}" width="{w.width}" '
+            f'height="{w.height}" fill="#101010"/>\n'
+        )
+        return header + "\n".join(self._elements) + "\n</svg>\n"
+
+    @property
+    def element_count(self) -> int:
+        return len(self._elements)
+
+    def _flip_y(self, y: int) -> int:
+        # Mirror about the world box's horizontal midline so the SVG
+        # (y-down) renders world (y-up) correctly.
+        return self.world.ury + self.world.lly - y
+
+    def _stroke(self) -> int:
+        return max(self.world.width // 400, 1)
+
+
+def render_mask(geometry: FlatGeometry, pixel_width: int = 800) -> str:
+    """The mask view: flattened geometry, translucent layer fills."""
+    canvas = SvgCanvas(geometry.bounding_box(), pixel_width)
+    for layer, box in geometry.boxes:
+        canvas.rect(box, layer.color)
+    for polygon in geometry.polygons:
+        canvas.polygon(list(polygon.points), polygon.layer.color)
+    for path in geometry.paths:
+        for box in path.to_boxes():
+            canvas.rect(box, path.layer.color)
+    return canvas.to_svg()
+
+
+def render_symbolic(cell: CompositionCell, pixel_width: int = 800) -> str:
+    """Riot's editing view: instance bounding boxes + connector crosses."""
+    canvas = SvgCanvas(cell.bounding_box(), pixel_width)
+    for inst in cell.instances:
+        canvas.rect(inst.bounding_box(), 7, fill=False)
+        if inst.is_array:
+            cell_box = inst.cell.bounding_box()
+            for _, _, transform in inst.element_transforms():
+                canvas.rect(transform.apply_box(cell_box), 6, fill=False)
+        for conn in inst.connectors():
+            canvas.cross(conn.position, max(conn.width, 100), conn.layer.color)
+        box = inst.bounding_box()
+        canvas.text(box.center, inst.cell.name, 8)
+    return canvas.to_svg()

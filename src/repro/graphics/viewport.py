@@ -1,0 +1,104 @@
+"""World <-> screen mapping with zoom and pan.
+
+"Since Riot is an interactive graphical tool, commands exist for
+zooming and panning the display."  The viewport maps a world window
+(centimicrons) onto a screen rectangle (pixels) with uniform scale,
+preserving aspect ratio by letterboxing the shorter axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+
+
+@dataclass
+class Viewport:
+    """Maps world coordinates into a pixel rectangle."""
+
+    screen: Box                  # pixel-space target rectangle
+    world_center: Point          # world point at the screen centre
+    scale_num: int = 1           # pixels per world unit = num/den
+    scale_den: int = 100
+
+    def __post_init__(self) -> None:
+        if self.scale_num <= 0 or self.scale_den <= 0:
+            raise ValueError("viewport scale must be positive")
+
+    # -- mapping -------------------------------------------------------------
+
+    def to_screen(self, p: Point) -> Point:
+        cx, cy = self.screen.center.x, self.screen.center.y
+        return Point(
+            cx + (p.x - self.world_center.x) * self.scale_num // self.scale_den,
+            cy + (p.y - self.world_center.y) * self.scale_num // self.scale_den,
+        )
+
+    def to_world(self, p: Point) -> Point:
+        cx, cy = self.screen.center.x, self.screen.center.y
+        return Point(
+            self.world_center.x + (p.x - cx) * self.scale_den // self.scale_num,
+            self.world_center.y + (p.y - cy) * self.scale_den // self.scale_num,
+        )
+
+    def to_screen_box(self, box: Box) -> Box:
+        return Box.from_points(
+            [self.to_screen(box.lower_left), self.to_screen(box.upper_right)]
+        )
+
+    def screen_length(self, world_length: int) -> int:
+        return world_length * self.scale_num // self.scale_den
+
+    # -- navigation -------------------------------------------------------------
+
+    def pan(self, dx_world: int, dy_world: int) -> None:
+        self.world_center = self.world_center.translated(dx_world, dy_world)
+
+    def zoom(self, factor_num: int, factor_den: int = 1) -> None:
+        """Multiply the scale by ``factor_num / factor_den``."""
+        if factor_num <= 0 or factor_den <= 0:
+            raise ValueError("zoom factor must be positive")
+        self.scale_num *= factor_num
+        self.scale_den *= factor_den
+        self._reduce()
+
+    def fit(self, world_box: Box, margin_percent: int = 5) -> None:
+        """Zoom and pan so ``world_box`` fills the screen rectangle."""
+        if world_box.width == 0 and world_box.height == 0:
+            self.world_center = world_box.center
+            return
+        avail_w = self.screen.width * (100 - 2 * margin_percent) // 100
+        avail_h = self.screen.height * (100 - 2 * margin_percent) // 100
+        # scale = min(avail_w / box_w, avail_h / box_h), kept rational.
+        # The +1 absorbs the half-unit error of the integer box centre,
+        # which otherwise clips tiny boxes at extreme zoom.
+        candidates = [
+            (avail_w, world_box.width + 1),
+            (avail_h, world_box.height + 1),
+        ]
+        num, den = min(candidates, key=lambda nd: nd[0] / nd[1])
+        if num == 0:
+            num = 1  # keep at least a degenerate positive scale
+        self.scale_num, self.scale_den = num, den
+        self._reduce()
+        self.world_center = world_box.center
+
+    def visible_world(self) -> Box:
+        """The world box currently covered by the screen rectangle."""
+        half_w = self.screen.width * self.scale_den // (2 * self.scale_num)
+        half_h = self.screen.height * self.scale_den // (2 * self.scale_num)
+        return Box(
+            self.world_center.x - half_w,
+            self.world_center.y - half_h,
+            self.world_center.x + half_w,
+            self.world_center.y + half_h,
+        )
+
+    def _reduce(self) -> None:
+        from math import gcd
+
+        g = gcd(self.scale_num, self.scale_den)
+        self.scale_num //= g
+        self.scale_den //= g

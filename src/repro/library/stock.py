@@ -1,0 +1,22 @@
+"""Assemble the worked example's cell library."""
+
+from __future__ import annotations
+
+from repro.composition.library import CellLibrary
+from repro.geometry.layers import Technology, nmos_technology
+from repro.library.fittings import fittings_sticks_text
+from repro.library.gates import logic_sticks_text
+from repro.library.pads import pads_cif_text
+
+
+def filter_library(technology: Technology | None = None) -> CellLibrary:
+    """The figure-8 stock: pads (CIF), logic (Sticks), fittings.
+
+    Loading goes through the real readers, exactly as a Riot session
+    would ``read pads.cif`` and ``read logic.sticks``.
+    """
+    library = CellLibrary(technology or nmos_technology())
+    library.load_cif(pads_cif_text(), source_file="pads.cif")
+    library.load_sticks(logic_sticks_text(), source_file="logic.sticks")
+    library.load_sticks(fittings_sticks_text(), source_file="fittings.sticks")
+    return library

@@ -1,0 +1,228 @@
+"""One-dimensional compaction of Sticks cells.
+
+Every distinct coordinate along the working axis is a *column*; a
+constraint graph chains adjacent columns at their design-rule
+separation, optional pins nail columns to absolute positions, and the
+longest-path solution gives each column its new coordinate.  A
+monotone piecewise-linear map then rewrites the whole cell (boundary
+included) into the solved coordinates.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.layers import Technology
+from repro.rest.connectivity import Connectivity, build_connectivity
+from repro.rest.errors import InfeasibleConstraints
+from repro.rest.graph import ConstraintGraph
+from repro.rest.spacing import Occupant, column_separation
+from repro.sticks.model import SticksCell, VERTICAL
+
+AXES = ("x", "y")
+
+
+def _coord(point, axis: str) -> int:
+    return point.x if axis == "x" else point.y
+
+
+def _other(point, axis: str) -> int:
+    return point.y if axis == "x" else point.x
+
+
+def column_occupants(
+    cell: SticksCell,
+    tech: Technology,
+    axis: str,
+    connectivity: Connectivity | None = None,
+) -> dict[int, list[Occupant]]:
+    """Group the cell's components into columns along ``axis``.
+
+    Every occupant carries its extent along the other axis (interval
+    shadowing) and its net (same-net shapes and intended gate
+    crossings are exempt from separation); the separation rules then
+    only fire between occupants that can actually collide.
+    """
+    if axis not in AXES:
+        raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+    conn = connectivity or build_connectivity(cell)
+    columns: dict[int, list[Occupant]] = {}
+
+    def add(coordinate: int, occupant: Occupant) -> None:
+        columns.setdefault(coordinate, []).append(occupant)
+
+    for i, pin in enumerate(cell.pins):
+        width = pin.width if pin.width is not None else tech.min_width(pin.layer)
+        o = _other(pin.point, axis)
+        half = width // 2
+        add(
+            _coord(pin.point, axis),
+            Occupant(pin.layer, width, o - half, o + half, conn.net(("p", i))),
+        )
+
+    for i, wire in enumerate(cell.wires):
+        width = wire.width if wire.width is not None else tech.min_width(wire.layer)
+        half = width // 2
+        others = [_other(p, axis) for p in wire.points]
+        lo, hi = min(others) - half, max(others) + half
+        net = conn.net(("w", i))
+        for point in wire.points:
+            add(_coord(point, axis), Occupant(wire.layer, width, lo, hi, net))
+
+    for i, device in enumerate(cell.devices):
+        length = device.length if device.length is not None else tech.lam(2)
+        width = device.width if device.width is not None else tech.lam(2)
+        overhang = 2 * tech.lam(2)
+        if device.orientation == VERTICAL:
+            diff_across, diff_along = width, length + overhang
+            poly_across, poly_along = width + overhang, length
+        else:
+            diff_across, diff_along = length + overhang, width
+            poly_across, poly_along = length, width + overhang
+        if axis == "y":
+            diff_across, diff_along = diff_along, diff_across
+            poly_across, poly_along = poly_along, poly_across
+        c = _coord(device.center, axis)
+        o = _other(device.center, axis)
+        add(
+            c,
+            Occupant(
+                "diffusion",
+                diff_across,
+                o - diff_along // 2,
+                o + diff_along // 2,
+                conn.net(("dc", i)),
+            ),
+        )
+        add(
+            c,
+            Occupant(
+                "poly",
+                poly_across,
+                o - poly_along // 2,
+                o + poly_along // 2,
+                conn.net(("dg", i)),
+            ),
+        )
+
+    for i, contact in enumerate(cell.contacts):
+        c = _coord(contact.point, axis)
+        o = _other(contact.point, axis)
+        net = conn.net(("c", i))
+        pad = tech.lam(4)
+        add(c, Occupant(contact.layer_a, pad, o - pad // 2, o + pad // 2, net))
+        add(c, Occupant(contact.layer_b, pad, o - pad // 2, o + pad // 2, net))
+        cut = tech.lam(2)
+        add(c, Occupant("contact", cut, o - cut // 2, o + cut // 2, net))
+
+    return columns
+
+
+def solve_axis(
+    cell: SticksCell,
+    tech: Technology,
+    axis: str,
+    pinned: dict[str, int] | None = None,
+) -> dict[int, int]:
+    """Solve new column positions along ``axis``.
+
+    ``pinned`` maps pin names to absolute target coordinates; the
+    returned dict maps each old column coordinate to its new value.
+    Raises :class:`InfeasibleConstraints` when targets contradict the
+    design rules or each other (e.g. targets that would reorder
+    connectors).
+    """
+    pinned = pinned or {}
+    connectivity = build_connectivity(cell)
+    columns = column_occupants(cell, tech, axis, connectivity)
+    ordered = sorted(columns)
+    if not ordered:
+        return {}
+
+    graph = ConstraintGraph()
+    for col in ordered:
+        graph.add_variable(("col", col))
+    # Order preservation between neighbours, plus a separation
+    # constraint for *every* interacting pair — adjacent-only
+    # constraints would let two same-layer columns merge whenever an
+    # unrelated column sits between them.
+    for a, b in zip(ordered, ordered[1:]):
+        graph.add_min_separation(("col", a), ("col", b), 0)
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1 :]:
+            separation = column_separation(
+                columns[a], columns[b], tech, connectivity.gate_pairs
+            )
+            if separation > 0:
+                graph.add_min_separation(("col", a), ("col", b), separation)
+
+    targets: list[int] = []
+    for pin_name, target in pinned.items():
+        pin = cell.pin(pin_name)  # KeyError on unknown pin, intentionally
+        graph.pin(("col", _coord(pin.point, axis)), target)
+        targets.append(target)
+
+    bound = min(ordered + targets) if targets else 0
+    try:
+        solved = graph.solve(default_lower_bound=min(0, bound))
+    except InfeasibleConstraints as exc:
+        raise InfeasibleConstraints(
+            f"cell {cell.name!r}, axis {axis}: {exc}"
+        ) from exc
+    return {col: solved[("col", col)] for col in ordered}
+
+
+def make_coordinate_map(mapping: dict[int, int]):
+    """A monotone piecewise-linear extension of a column mapping.
+
+    Coordinates at columns map exactly; coordinates between columns
+    interpolate linearly (integer arithmetic); coordinates outside the
+    column range translate rigidly with the nearest end.
+    """
+    if not mapping:
+        return lambda c: c
+    ordered = sorted(mapping)
+
+    def mapper(c: int) -> int:
+        if c in mapping:
+            return mapping[c]
+        first, last = ordered[0], ordered[-1]
+        if c <= first:
+            return c + (mapping[first] - first)
+        if c >= last:
+            return c + (mapping[last] - last)
+        # binary search for the surrounding pair
+        lo, hi = 0, len(ordered) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if ordered[mid] <= c:
+                lo = mid
+            else:
+                hi = mid
+        a, b = ordered[lo], ordered[hi]
+        na, nb = mapping[a], mapping[b]
+        return na + (c - a) * (nb - na) // (b - a)
+
+    return mapper
+
+
+def compact_axis(
+    cell: SticksCell,
+    tech: Technology,
+    axis: str,
+    pinned: dict[str, int] | None = None,
+    name: str | None = None,
+) -> SticksCell:
+    """Compact (or stretch, when pinned) ``cell`` along one axis."""
+    mapping = solve_axis(cell, tech, axis, pinned)
+    mapper = make_coordinate_map(mapping)
+    identity = lambda c: c  # noqa: E731 - tiny lambda clearer inline
+    map_x = mapper if axis == "x" else identity
+    map_y = mapper if axis == "y" else identity
+    return cell.remapped(name or cell.name, map_x, map_y)
+
+
+def compact(
+    cell: SticksCell, tech: Technology, name: str | None = None
+) -> SticksCell:
+    """Full two-axis compaction: pack toward the origin, design rules kept."""
+    out = compact_axis(cell, tech, "x", name=name or cell.name)
+    return compact_axis(out, tech, "y", name=name or cell.name)

@@ -1,0 +1,127 @@
+"""Net extraction for symbolic cells.
+
+Compaction must know which shapes belong to one electrical node:
+same-layer shapes of one net may touch (no separation rule), and a
+poly wire crossing diffusion *at its own transistor* is a gate, not a
+spacing violation.  This module builds that connectivity by union-find
+over coincident coordinates:
+
+* wires on one layer join where a vertex of one lies on a segment of
+  the other;
+* pins join the same-layer wire they sit on;
+* contacts fuse the nets of their two layers at their point;
+* a device's gate net is the poly passing through its centre, its
+  channel net the diffusion doing so.
+
+Keys are ``("w", i)``, ``("p", i)``, ``("c", i)``, ``("dg", i)``,
+``("dc", i)`` over the cell's component lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.geometry.point import Point
+from repro.sticks.model import SticksCell, SymbolicWire
+
+Key = tuple[str, int]
+
+
+@dataclass
+class Connectivity:
+    """The nets of one cell."""
+
+    _parent: dict[Key, Key] = field(default_factory=dict)
+    #: (gate net, channel net) pairs, one per device, roots resolved.
+    gate_pairs: set[tuple[Hashable, Hashable]] = field(default_factory=set)
+
+    def _ensure(self, key: Key) -> None:
+        self._parent.setdefault(key, key)
+
+    def find(self, key: Key) -> Key:
+        self._ensure(key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: Key, b: Key) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def net(self, key: Key) -> Key:
+        return self.find(key)
+
+    def same_net(self, a: Key, b: Key) -> bool:
+        return self.find(a) == self.find(b)
+
+
+def _on_wire(wire: SymbolicWire, p: Point) -> bool:
+    """Is ``p`` on the wire's centreline (vertices included)?"""
+    for a, b in zip(wire.points, wire.points[1:]):
+        if (
+            min(a.x, b.x) <= p.x <= max(a.x, b.x)
+            and min(a.y, b.y) <= p.y <= max(a.y, b.y)
+            and (a.x == b.x == p.x or a.y == b.y == p.y)
+        ):
+            return True
+    return len(wire.points) == 1 and wire.points[0] == p
+
+
+def build_connectivity(cell: SticksCell) -> Connectivity:
+    """Extract the nets of ``cell``."""
+    conn = Connectivity()
+
+    # Wire-wire joins on one layer.
+    for i, wi in enumerate(cell.wires):
+        conn._ensure(("w", i))
+        for j in range(i):
+            wj = cell.wires[j]
+            if wi.layer != wj.layer:
+                continue
+            if any(_on_wire(wj, p) for p in wi.points) or any(
+                _on_wire(wi, p) for p in wj.points
+            ):
+                conn.union(("w", i), ("w", j))
+
+    # Pins join wires (and other pins) of their layer at their point.
+    for i, pin in enumerate(cell.pins):
+        conn._ensure(("p", i))
+        for j, wire in enumerate(cell.wires):
+            if wire.layer == pin.layer and _on_wire(wire, pin.point):
+                conn.union(("p", i), ("w", j))
+        for j in range(i):
+            other = cell.pins[j]
+            if other.layer == pin.layer and other.point == pin.point:
+                conn.union(("p", i), ("p", j))
+
+    # Contacts fuse their two layers at their point.
+    for i, contact in enumerate(cell.contacts):
+        conn._ensure(("c", i))
+        for layer in (contact.layer_a, contact.layer_b):
+            for j, wire in enumerate(cell.wires):
+                if wire.layer == layer and _on_wire(wire, contact.point):
+                    conn.union(("c", i), ("w", j))
+            for j, pin in enumerate(cell.pins):
+                if pin.layer == layer and pin.point == contact.point:
+                    conn.union(("c", i), ("p", j))
+
+    # Devices: gate on poly, channel on diffusion.
+    for i, device in enumerate(cell.devices):
+        conn._ensure(("dg", i))
+        conn._ensure(("dc", i))
+        for j, wire in enumerate(cell.wires):
+            if not _on_wire(wire, device.center):
+                continue
+            if wire.layer == "poly":
+                conn.union(("dg", i), ("w", j))
+            elif wire.layer == "diffusion":
+                conn.union(("dc", i), ("w", j))
+
+    for i in range(len(cell.devices)):
+        conn.gate_pairs.add((conn.find(("dg", i)), conn.find(("dc", i))))
+    return conn

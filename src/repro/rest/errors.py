@@ -1,0 +1,19 @@
+"""REST error types."""
+
+from __future__ import annotations
+
+
+class InfeasibleConstraints(Exception):
+    """The constraint system admits no solution.
+
+    Raised when pinned connector positions contradict each other or
+    the design rules (a positive cycle in the constraint graph).
+    ``cycle`` lists the variables on one offending cycle when known.
+    """
+
+    def __init__(self, message: str, cycle: list | None = None):
+        self.cycle = cycle or []
+        if self.cycle:
+            chain = " -> ".join(str(v) for v in self.cycle)
+            message = f"{message} (cycle: {chain})"
+        super().__init__(message)

@@ -1,0 +1,143 @@
+"""Difference-constraint graphs with a longest-path solver.
+
+A constraint ``position(v) - position(u) >= d`` is an edge ``u -> v``
+of weight ``d``.  The minimal feasible assignment (the compacted
+layout) is the longest-path distance from a virtual source; a positive
+cycle means the constraints contradict each other.
+
+This is the classical formulation of one-dimensional layout
+compaction, which is what REST supplied to Riot.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.rest.errors import InfeasibleConstraints
+
+SOURCE = "__source__"
+
+
+class ConstraintGraph:
+    """A system of difference constraints over hashable variables."""
+
+    def __init__(self) -> None:
+        self._edges: list[tuple[Hashable, Hashable, int]] = []
+        self._variables: dict[Hashable, None] = {}  # insertion-ordered set
+
+    # -- building ----------------------------------------------------------
+
+    def add_variable(self, v: Hashable) -> None:
+        if v == SOURCE:
+            raise ValueError(f"{SOURCE!r} is reserved for the virtual source")
+        self._variables.setdefault(v, None)
+
+    def add_min_separation(self, u: Hashable, v: Hashable, d: int) -> None:
+        """Require ``position(v) - position(u) >= d``."""
+        self.add_variable(u)
+        self.add_variable(v)
+        self._edges.append((u, v, d))
+
+    def add_max_separation(self, u: Hashable, v: Hashable, d: int) -> None:
+        """Require ``position(v) - position(u) <= d``."""
+        self.add_min_separation(v, u, -d)
+
+    def add_equality(self, u: Hashable, v: Hashable, d: int = 0) -> None:
+        """Require ``position(v) - position(u) == d``."""
+        self.add_min_separation(u, v, d)
+        self.add_max_separation(u, v, d)
+
+    def pin(self, v: Hashable, value: int) -> None:
+        """Require ``position(v) == value`` (absolute)."""
+        self.add_variable(v)
+        self._edges.append((SOURCE, v, value))
+        self._edges.append((v, SOURCE, -value))
+
+    def set_lower_bound(self, v: Hashable, value: int) -> None:
+        """Require ``position(v) >= value`` (absolute)."""
+        self.add_variable(v)
+        self._edges.append((SOURCE, v, value))
+
+    @property
+    def variables(self) -> list[Hashable]:
+        return list(self._variables)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self, default_lower_bound: int | None = 0) -> dict[Hashable, int]:
+        """Minimal feasible positions via Bellman-Ford longest path.
+
+        ``default_lower_bound`` (when not None) gives every variable an
+        implicit ``position >= bound``; without it, variables with no
+        absolute constraint at all would be unbounded below and are
+        reported as infeasible.
+
+        Raises :class:`InfeasibleConstraints` on a positive cycle,
+        naming the variables on the cycle.
+        """
+        edges = list(self._edges)
+        if default_lower_bound is not None:
+            for v in self._variables:
+                edges.append((SOURCE, v, default_lower_bound))
+
+        dist: dict[Hashable, float] = {v: float("-inf") for v in self._variables}
+        dist[SOURCE] = 0
+        pred: dict[Hashable, Hashable] = {}
+
+        n = len(self._variables) + 1
+        for _ in range(n - 1):
+            changed = False
+            for u, v, d in edges:
+                if dist[u] != float("-inf") and dist[u] + d > dist[v]:
+                    dist[v] = dist[u] + d
+                    pred[v] = u
+                    changed = True
+            if not changed:
+                break
+        else:
+            pass
+
+        # One more pass: any further relaxation proves a positive cycle.
+        for u, v, d in edges:
+            if dist[u] != float("-inf") and dist[u] + d > dist[v]:
+                raise InfeasibleConstraints(
+                    "constraints admit no solution",
+                    cycle=self._extract_cycle(pred, v),
+                )
+
+        unreachable = [v for v in self._variables if dist[v] == float("-inf")]
+        if unreachable:
+            raise InfeasibleConstraints(
+                f"variables with no lower bound: {unreachable[:5]}"
+            )
+        return {v: int(dist[v]) for v in self._variables}
+
+    def _extract_cycle(
+        self, pred: dict[Hashable, Hashable], start: Hashable
+    ) -> list[Hashable]:
+        """Walk predecessors from a relaxed vertex to recover a cycle."""
+        # After n-1 rounds plus a relaxable edge, walking n predecessor
+        # steps from `start` must land inside the cycle.
+        v = start
+        for _ in range(len(self._variables) + 1):
+            v = pred.get(v, SOURCE)
+        cycle = [v]
+        u = pred.get(v, SOURCE)
+        while u != v and u != SOURCE:
+            cycle.append(u)
+            u = pred.get(u, SOURCE)
+        cycle.reverse()
+        return [c for c in cycle if c != SOURCE]
+
+
+def chain_constraints(
+    graph: ConstraintGraph, ordered: Iterable[Hashable], separation: int
+) -> None:
+    """Convenience: require each consecutive pair be >= ``separation`` apart."""
+    items = list(ordered)
+    for u, v in zip(items, items[1:]):
+        graph.add_min_separation(u, v, separation)

@@ -1,0 +1,39 @@
+"""The stretch entry point Riot uses.
+
+Riot's stretched connection: "the locations of the connectors on the
+to instance are used to determine the needed separations of the
+connectors on the from instance ... the new constraints on the
+connector positions are put into the Stick file, making a new cell.
+The new cell is passed through the Stick optimizer in REST, which
+moves the connectors to the constrained locations."
+
+:func:`stretch_pins` is that operation on a bare Sticks cell: pin
+positions along one axis become equality constraints and the solver
+re-spaces the rest of the cell around them.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.layers import Technology
+from repro.rest.compactor import compact_axis
+from repro.sticks.model import SticksCell
+
+
+def stretch_pins(
+    cell: SticksCell,
+    axis: str,
+    pin_targets: dict[str, int],
+    tech: Technology,
+    name: str | None = None,
+) -> SticksCell:
+    """A new cell with the named pins moved to ``pin_targets`` on ``axis``.
+
+    All design-rule separations are preserved; other coordinates move
+    as little as the constraint solution allows.  Raises
+    :class:`~repro.rest.errors.InfeasibleConstraints` when the targets
+    cannot be met (wrong order, or closer than the design rules
+    permit), and ``KeyError`` for unknown pin names.
+    """
+    if not pin_targets:
+        return cell.remapped(name or cell.name, lambda c: c, lambda c: c)
+    return compact_axis(cell, tech, axis, pinned=pin_targets, name=name)

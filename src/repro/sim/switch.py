@@ -1,0 +1,311 @@
+"""NMOS switch-level simulation over Sticks cells.
+
+The model is the classic three-value (0 / 1 / X), two-strength
+(strong / weak) switch simulation of early MOS timing-free
+verifiers:
+
+* an **enhancement** transistor is a switch between its source and
+  drain nets, closed when its gate is 1, open when 0, and
+  "maybe-closed" when X;
+* a **depletion** transistor is always-on but *weak* — the standard
+  NMOS pullup;
+* VDD drives strong 1, GND strong 0; a path's strength is the
+  weakest element on it; a stronger drive wins, equal conflicting
+  drives yield X; undriven nets read X (no charge storage — this is a
+  static evaluator).
+
+Circuit extraction starts from the symbolic cell itself: diffusion
+wires split at each transistor channel (source and drain are separate
+nets), and :mod:`repro.rest.connectivity` supplies the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.rest.connectivity import build_connectivity
+from repro.sticks.model import (
+    DEPLETION,
+    Device,
+    SticksCell,
+    SymbolicWire,
+)
+
+X = "X"
+Level = int | str  # 0, 1 or "X"
+
+STRONG = 2
+WEAK = 1
+NONE = 0
+
+#: Pin-name conventions for the supply rails.
+VDD_NAMES = ("VDD", "PWR", "PWRL", "PWRR")
+GND_NAMES = ("GND", "GNDL", "GNDR")
+
+
+class SimulationError(Exception):
+    """The cell cannot be simulated as asked."""
+
+
+@dataclass(frozen=True)
+class Transistor:
+    kind: str
+    gate: int
+    source: int
+    drain: int
+
+
+@dataclass
+class SwitchCircuit:
+    """An extracted transistor network with named terminals."""
+
+    net_count: int
+    transistors: list[Transistor]
+    pin_nets: dict[str, int]
+    vdd_nets: set[int] = field(default_factory=set)
+    gnd_nets: set[int] = field(default_factory=set)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_sticks(cls, cell: SticksCell) -> "SwitchCircuit":
+        """Extract the network from a symbolic cell.
+
+        Supply nets are recognised by pin name (``VDD``/``PWR*`` and
+        ``GND*``); every other pin is a usable terminal.
+        """
+        split = _split_diffusion_at_devices(cell)
+        conn = build_connectivity(split)
+
+        roots: dict = {}
+
+        def net_of(key) -> int:
+            root = conn.find(key)
+            return roots.setdefault(root, len(roots))
+
+        transistors = []
+        for i, device in enumerate(split.devices):
+            gate = net_of(("dg", i))
+            source, drain = _channel_nets(split, device, i, conn, net_of)
+            transistors.append(Transistor(device.kind, gate, source, drain))
+
+        pin_nets = {}
+        vdd_nets: set[int] = set()
+        gnd_nets: set[int] = set()
+        for i, pin in enumerate(split.pins):
+            net = net_of(("p", i))
+            pin_nets[pin.name] = net
+            base = pin.name.split("[")[0]
+            if base in VDD_NAMES:
+                vdd_nets.add(net)
+            elif base in GND_NAMES:
+                gnd_nets.add(net)
+
+        return cls(len(roots), transistors, pin_nets, vdd_nets, gnd_nets)
+
+    # -- simulation ----------------------------------------------------------
+
+    def evaluate(
+        self, inputs: dict[str, Level], max_iterations: int = 50
+    ) -> dict[str, Level]:
+        """Static levels for every pin given the input pin levels.
+
+        Unknown pin names raise; convergence failure (a fighting
+        feedback loop) reports X on the oscillating nets.
+        """
+        forced: dict[int, Level] = {}
+        for net in self.vdd_nets:
+            forced[net] = 1
+        for net in self.gnd_nets:
+            forced[net] = 0
+        for name, level in inputs.items():
+            if name not in self.pin_nets:
+                raise SimulationError(f"no pin {name!r} (have {sorted(self.pin_nets)})")
+            if level not in (0, 1, X):
+                raise SimulationError(f"level must be 0, 1 or X, got {level!r}")
+            forced[self.pin_nets[name]] = level
+
+        values: dict[int, Level] = {
+            net: forced.get(net, X) for net in range(self.net_count)
+        }
+        for _ in range(max_iterations):
+            new_values = self._step(values, forced)
+            if new_values == values:
+                break
+            values = new_values
+        else:
+            # Oscillation: anything still changing is unknown.
+            final = self._step(values, forced)
+            values = {
+                net: v if final[net] == v else X for net, v in values.items()
+            }
+
+        return {name: values[net] for name, net in self.pin_nets.items()}
+
+    def _step(
+        self, values: dict[int, Level], forced: dict[int, Level]
+    ) -> dict[int, Level]:
+        """One relaxation step: propagate drive strengths from the rails."""
+        blocked = frozenset(forced)
+        drive0 = self._reach(values, self.gnd_nets, blocked)
+        drive1 = self._reach(values, self.vdd_nets, blocked)
+        out: dict[int, Level] = {}
+        for net in range(self.net_count):
+            if net in forced:
+                out[net] = forced[net]
+                continue
+            s0, s1 = drive0.get(net, NONE), drive1.get(net, NONE)
+            if s0 > s1:
+                out[net] = 0
+            elif s1 > s0:
+                out[net] = 1
+            elif s0 == s1 == NONE:
+                out[net] = X  # undriven
+            else:
+                out[net] = X  # a fight
+        return out
+
+    def _reach(
+        self,
+        values: dict[int, Level],
+        sources: set[int],
+        blocked: frozenset[int] = frozenset(),
+    ) -> dict[int, int]:
+        """Strongest conduction strength from ``sources`` to each net.
+
+        Drive never propagates *through* a forced net (``blocked``):
+        a rail or held input absorbs whatever reaches it rather than
+        re-transmitting the opposite polarity onward.
+        """
+        best: dict[int, int] = {net: STRONG for net in sources}
+        frontier = list(sources)
+        while frontier:
+            net = frontier.pop()
+            if net in blocked and net not in sources:
+                continue  # absorbed: no propagation through held nets
+            strength = best[net]
+            for t in self.transistors:
+                for a, b in ((t.source, t.drain), (t.drain, t.source)):
+                    if a != net:
+                        continue
+                    conduct = self._conduction(t, values)
+                    if conduct == NONE:
+                        continue
+                    new = min(strength, conduct)
+                    if new > best.get(b, NONE):
+                        best[b] = new
+                        frontier.append(b)
+        return best
+
+    def _conduction(self, t: Transistor, values: dict[int, Level]) -> int:
+        if t.kind == DEPLETION:
+            return WEAK  # the always-on pullup load
+        gate = values.get(t.gate, X)
+        if gate == 1:
+            return STRONG
+        if gate == 0:
+            return NONE
+        return WEAK  # X gate: conduct pessimistically at reduced strength
+
+    # -- convenience -------------------------------------------------------------
+
+    @property
+    def signal_pins(self) -> list[str]:
+        """Pins that are neither supply rail."""
+        return [
+            name
+            for name, net in self.pin_nets.items()
+            if net not in self.vdd_nets and net not in self.gnd_nets
+        ]
+
+
+def _channel_nets(
+    cell: SticksCell, device: Device, index: int, conn, net_of
+) -> tuple[int, int]:
+    """The source and drain nets of a device in the split cell.
+
+    After splitting, the two diffusion half-wires end one unit from
+    the device centre; their nets are the channel terminals.  A device
+    with no adjacent diffusion (a modelling mistake) gets a floating
+    channel net on both sides.
+    """
+    adjacent: list[int] = []
+    for j, wire in enumerate(cell.wires):
+        if wire.layer != "diffusion":
+            continue
+        for p in (wire.points[0], wire.points[-1]):
+            if p.manhattan_distance(device.center) <= 1:
+                net = net_of(("w", j))
+                if net not in adjacent:
+                    adjacent.append(net)
+                break
+    if len(adjacent) >= 2:
+        return adjacent[0], adjacent[1]
+    if len(adjacent) == 1:
+        return adjacent[0], adjacent[0]
+    floating = net_of(("dc", index))
+    return floating, floating
+
+
+def simulate_truth_table(
+    cell: SticksCell, input_names: list[str], output_name: str
+) -> dict[tuple[int, ...], Level]:
+    """The full truth table of one output over binary inputs."""
+    circuit = SwitchCircuit.from_sticks(cell)
+    table: dict[tuple[int, ...], Level] = {}
+    for combo in product((0, 1), repeat=len(input_names)):
+        inputs = dict(zip(input_names, combo))
+        table[combo] = circuit.evaluate(inputs)[output_name]
+    return table
+
+
+def _split_diffusion_at_devices(cell: SticksCell) -> SticksCell:
+    """A copy with diffusion wires cut at every transistor channel.
+
+    Each diffusion wire passing through a device centre is split into
+    two wires whose facing endpoints stop one unit short of the
+    centre, so connectivity sees source and drain as separate nets.
+    """
+    out = SticksCell(cell.name)
+    out.pins = list(cell.pins)
+    out.devices = list(cell.devices)
+    out.contacts = list(cell.contacts)
+    out.boundary = cell.boundary
+
+    wires = list(cell.wires)
+    for device in cell.devices:
+        next_wires = []
+        for wire in wires:
+            if wire.layer != "diffusion":
+                next_wires.append(wire)
+                continue
+            next_wires.extend(_split_wire(wire, device))
+        wires = next_wires
+    out.wires = wires
+    return out
+
+
+def _split_wire(wire: SymbolicWire, device: Device) -> list[SymbolicWire]:
+    center = device.center
+    for index, (a, b) in enumerate(zip(wire.points, wire.points[1:])):
+        on_segment = (
+            min(a.x, b.x) <= center.x <= max(a.x, b.x)
+            and min(a.y, b.y) <= center.y <= max(a.y, b.y)
+            and (a.x == b.x == center.x or a.y == b.y == center.y)
+        )
+        if not on_segment or center in (a, b):
+            continue
+        direction_x = (b.x > a.x) - (b.x < a.x)
+        direction_y = (b.y > a.y) - (b.y < a.y)
+        before = center.translated(-direction_x, -direction_y)
+        after = center.translated(direction_x, direction_y)
+        first = wire.points[: index + 1] + (before,)
+        second = (after,) + wire.points[index + 1 :]
+        result = []
+        if len(first) >= 2:
+            result.append(SymbolicWire(wire.layer, first, wire.width))
+        if len(second) >= 2:
+            result.append(SymbolicWire(wire.layer, second, wire.width))
+        return result
+    return [wire]

@@ -1,0 +1,13 @@
+"""Sticks error type."""
+
+from __future__ import annotations
+
+
+class SticksError(Exception):
+    """A syntax or semantic error in a Sticks description."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)

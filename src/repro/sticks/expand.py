@@ -1,0 +1,132 @@
+"""Expansion of symbolic Sticks cells into mask geometry.
+
+Riot converts its composition output "to CIF for mask generation";
+sticks leaf cells therefore need real geometry.  The expansion follows
+the Mead-Conway NMOS recipes:
+
+* wires fatten to their width (technology minimum when unspecified);
+* contacts become a 2-lambda contact cut with 4-lambda pads on both
+  connected layers;
+* transistors become poly crossing diffusion with 2-lambda overhangs
+  on both layers; depletion devices add an implant box over the
+  channel.
+"""
+
+from __future__ import annotations
+
+from repro.cif.semantics import CifCell, CifConnector
+from repro.geometry.box import Box
+from repro.geometry.layers import Technology
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+from repro.sticks.errors import SticksError
+from repro.sticks.model import DEPLETION, Contact, Device, SticksCell, VERTICAL
+
+
+def expand_to_cif(
+    cell: SticksCell, technology: Technology, number: int = 0
+) -> CifCell:
+    """Expand ``cell`` into an elaborated :class:`CifCell`.
+
+    Pins become ``94`` connectors; the result can be written straight
+    to CIF with :func:`repro.cif.write_cif`.
+    """
+    cell.validate()
+    result = CifCell(number, cell.name)
+
+    for wire in cell.wires:
+        layer = technology.layer(wire.layer)
+        width = wire.width if wire.width is not None else technology.min_width(layer)
+        result.geometry.paths.append(Path(layer, width, wire.points))
+
+    for contact in cell.contacts:
+        _expand_contact(result, contact, technology)
+
+    for device in cell.devices:
+        _expand_device(result, device, technology)
+
+    for pin in cell.pins:
+        layer = technology.layer(pin.layer)
+        width = pin.width if pin.width is not None else technology.min_width(layer)
+        result.connectors.append(CifConnector(pin.name, pin.point, layer, width))
+
+    if cell.boundary is None and result.geometry.shape_count == 0:
+        raise SticksError(f"cell {cell.name!r} expands to no geometry")
+    return result
+
+
+def expanded_bounding_box(cell: SticksCell, technology: Technology) -> Box:
+    """The mask-level bounding box: explicit boundary when declared,
+    otherwise the box of the expanded geometry."""
+    if cell.boundary is not None:
+        return cell.boundary
+    return expand_to_cif(cell, technology).geometry.bounding_box()
+
+
+def _box_at(center: Point, width: int, height: int, what: str) -> Box:
+    try:
+        return Box.from_center(center, width, height)
+    except ValueError as exc:
+        raise SticksError(f"{what}: {exc}") from None
+
+
+def _expand_contact(result: CifCell, contact: Contact, tech: Technology) -> None:
+    cut = tech.lam(2)
+    pad = tech.lam(4)
+    # Poly-diffusion joins are buried contacts in NMOS; everything
+    # else goes through a metal contact cut.
+    cut_layer = (
+        "buried"
+        if {contact.layer_a, contact.layer_b} == {"poly", "diffusion"}
+        else "contact"
+    )
+    result.geometry.boxes.append(
+        (tech.layer(cut_layer), _box_at(contact.point, cut, cut, "contact cut"))
+    )
+    for layer_name in (contact.layer_a, contact.layer_b):
+        result.geometry.boxes.append(
+            (
+                tech.layer(layer_name),
+                _box_at(contact.point, pad, pad, f"contact pad on {layer_name}"),
+            )
+        )
+
+
+def _expand_device(result: CifCell, device: Device, tech: Technology) -> None:
+    length = device.length if device.length is not None else tech.lam(2)
+    width = device.width if device.width is not None else tech.lam(2)
+    overhang = tech.lam(2)
+
+    if device.orientation == VERTICAL:
+        # Diffusion runs vertically (current flow vertical); the poly
+        # gate crosses it horizontally.
+        diff_w, diff_h = width, length + 2 * overhang
+        poly_w, poly_h = width + 2 * overhang, length
+    else:
+        diff_w, diff_h = length + 2 * overhang, width
+        poly_w, poly_h = length, width + 2 * overhang
+
+    result.geometry.boxes.append(
+        (
+            tech.layer("diffusion"),
+            _box_at(device.center, diff_w, diff_h, "device diffusion"),
+        )
+    )
+    result.geometry.boxes.append(
+        (tech.layer("poly"), _box_at(device.center, poly_w, poly_h, "device gate"))
+    )
+    if device.kind == DEPLETION:
+        grow = tech.lam(2)
+        channel_w = width if device.orientation == VERTICAL else length
+        channel_h = length if device.orientation == VERTICAL else width
+        result.geometry.boxes.append(
+            (
+                tech.layer("implant"),
+                _box_at(
+                    device.center,
+                    channel_w + 2 * grow,
+                    channel_h + 2 * grow,
+                    "device implant",
+                ),
+            )
+        )

@@ -1,0 +1,232 @@
+"""The symbolic layout model.
+
+A Sticks cell is a set of symbolic components whose coordinates are
+*topological*: they fix relative order, not final spacing.  The REST
+optimizer (``repro.rest``) may move every coordinate, preserving order
+and connectivity, which is exactly what makes Riot's stretch
+connection possible.
+
+Components:
+
+* :class:`Pin` — an external connector (name, layer, width).
+* :class:`SymbolicWire` — a Manhattan wire on one layer.
+* :class:`Device` — an NMOS transistor (enhancement or depletion),
+  drawn as poly crossing diffusion.
+* :class:`Contact` — an inter-layer contact at a point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.sticks.errors import SticksError
+
+ENHANCEMENT = "enh"
+DEPLETION = "dep"
+DEVICE_KINDS = (ENHANCEMENT, DEPLETION)
+
+HORIZONTAL = "h"
+VERTICAL = "v"
+DEVICE_ORIENTATIONS = (HORIZONTAL, VERTICAL)
+
+
+@dataclass(frozen=True)
+class Pin:
+    """An external connection point of the cell.
+
+    ``width`` is the wire width of the connection (``None`` means the
+    technology minimum for the layer); pins become ``94`` connector
+    extensions when the cell is expanded to CIF.
+    """
+
+    name: str
+    layer: str
+    point: Point
+    width: int | None = None
+
+
+@dataclass(frozen=True)
+class SymbolicWire:
+    """A Manhattan wire on one layer with at least two points."""
+
+    layer: str
+    points: tuple[Point, ...]
+    width: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise SticksError("a symbolic wire needs at least 2 points")
+        for a, b in zip(self.points, self.points[1:]):
+            if not a.is_orthogonal_to(b):
+                raise SticksError(f"non-Manhattan wire segment {a} -> {b}")
+
+    def segments(self) -> Iterator[tuple[Point, Point]]:
+        yield from zip(self.points, self.points[1:])
+
+
+@dataclass(frozen=True)
+class Device:
+    """An NMOS transistor: poly crossing diffusion at ``center``.
+
+    ``orientation`` is the direction of current flow through the
+    channel: ``"v"`` means the diffusion runs vertically (gate poly is
+    horizontal), ``"h"`` the opposite.  ``length`` and ``width`` are
+    the channel dimensions in centimicrons (``None`` = technology
+    minimum, 2 lambda each).
+    """
+
+    kind: str
+    center: Point
+    orientation: str = VERTICAL
+    length: int | None = None
+    width: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DEVICE_KINDS:
+            raise SticksError(
+                f"device kind must be one of {DEVICE_KINDS}, got {self.kind!r}"
+            )
+        if self.orientation not in DEVICE_ORIENTATIONS:
+            raise SticksError(
+                f"device orientation must be one of {DEVICE_ORIENTATIONS}, "
+                f"got {self.orientation!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Contact:
+    """An inter-layer contact at a point."""
+
+    layer_a: str
+    layer_b: str
+    point: Point
+
+    def __post_init__(self) -> None:
+        if self.layer_a == self.layer_b:
+            raise SticksError(f"contact layers must differ, got {self.layer_a!r} twice")
+
+
+@dataclass
+class SticksCell:
+    """A symbolic cell: components plus an optional explicit boundary.
+
+    When ``boundary`` is None, the cell's bounding box is derived from
+    its expanded geometry; leaf-cell designers usually declare an
+    explicit boundary so abutting cells share power-rail pitch.
+    """
+
+    name: str
+    pins: list[Pin] = field(default_factory=list)
+    wires: list[SymbolicWire] = field(default_factory=list)
+    devices: list[Device] = field(default_factory=list)
+    contacts: list[Contact] = field(default_factory=list)
+    boundary: Box | None = None
+
+    # -- lookup -----------------------------------------------------------
+
+    def pin(self, name: str) -> Pin:
+        for pin in self.pins:
+            if pin.name == name:
+                return pin
+        raise KeyError(f"sticks cell {self.name!r} has no pin {name!r}")
+
+    def has_pin(self, name: str) -> bool:
+        return any(pin.name == name for pin in self.pins)
+
+    @property
+    def component_count(self) -> int:
+        return (
+            len(self.pins) + len(self.wires) + len(self.devices) + len(self.contacts)
+        )
+
+    # -- coordinates --------------------------------------------------------
+
+    def all_points(self) -> Iterator[Point]:
+        """Every symbolic coordinate in the cell (boundary excluded)."""
+        for pin in self.pins:
+            yield pin.point
+        for wire in self.wires:
+            yield from wire.points
+        for device in self.devices:
+            yield device.center
+        for contact in self.contacts:
+            yield contact.point
+
+    def symbolic_bounding_box(self) -> Box:
+        """The box of symbolic coordinates (no design-rule fattening)."""
+        if self.boundary is not None:
+            return self.boundary
+        points = list(self.all_points())
+        if not points:
+            raise SticksError(f"sticks cell {self.name!r} is empty")
+        return Box.from_points(points)
+
+    # -- structural validation ------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`SticksError` if broken.
+
+        * pin names are unique;
+        * every pin lies on or inside the boundary (when declared);
+        * the cell is non-empty.
+        """
+        if self.component_count == 0:
+            raise SticksError(f"sticks cell {self.name!r} is empty")
+        seen: set[str] = set()
+        for pin in self.pins:
+            if pin.name in seen:
+                raise SticksError(
+                    f"duplicate pin {pin.name!r} in cell {self.name!r}"
+                )
+            seen.add(pin.name)
+        if self.boundary is not None:
+            for pin in self.pins:
+                if not self.boundary.contains_point(pin.point):
+                    raise SticksError(
+                        f"pin {pin.name!r} at {pin.point} lies outside the "
+                        f"boundary {self.boundary} of cell {self.name!r}"
+                    )
+
+    # -- transformation ---------------------------------------------------------
+
+    def remapped(
+        self,
+        name: str,
+        map_x: Callable[[int], int],
+        map_y: Callable[[int], int],
+    ) -> "SticksCell":
+        """A copy with every coordinate pushed through the axis maps.
+
+        Both maps must be monotonically non-decreasing for the result
+        to remain a valid symbolic layout; the REST solver guarantees
+        this for the maps it produces.
+        """
+
+        def mp(p: Point) -> Point:
+            return Point(map_x(p.x), map_y(p.y))
+
+        new_boundary = None
+        if self.boundary is not None:
+            new_boundary = Box(
+                map_x(self.boundary.llx),
+                map_y(self.boundary.lly),
+                map_x(self.boundary.urx),
+                map_y(self.boundary.ury),
+            )
+        return SticksCell(
+            name=name,
+            pins=[replace(pin, point=mp(pin.point)) for pin in self.pins],
+            wires=[
+                replace(wire, points=tuple(mp(p) for p in wire.points))
+                for wire in self.wires
+            ],
+            devices=[replace(dev, center=mp(dev.center)) for dev in self.devices],
+            contacts=[replace(c, point=mp(c.point)) for c in self.contacts],
+            boundary=new_boundary,
+        )
+
+    def translated(self, dx: int, dy: int) -> "SticksCell":
+        return self.remapped(self.name, lambda x: x + dx, lambda y: y + dy)

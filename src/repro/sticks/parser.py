@@ -1,0 +1,174 @@
+"""Parser for the Sticks text format.
+
+The format is line-oriented:
+
+```
+STICKS cellname
+BBOX llx lly urx ury            # optional explicit boundary
+PIN name layer x y [width]
+WIRE layer width x1 y1 x2 y2 ...    # width may be '-' for default
+DEVICE kind x y orient [length width]
+CONTACT layerA layerB x y
+END
+```
+
+``#`` starts a comment; blank lines are ignored.  Layer names are the
+logical names of the technology ("metal", "poly", "diffusion").
+Multiple cells may appear in one file.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.sticks.errors import SticksError
+from repro.sticks.model import (
+    DEVICE_KINDS,
+    DEVICE_ORIENTATIONS,
+    Contact,
+    Device,
+    Pin,
+    SticksCell,
+    SymbolicWire,
+)
+
+
+def parse_sticks(text: str) -> list[SticksCell]:
+    """Parse a Sticks file into its (validated) cells."""
+    cells: list[SticksCell] = []
+    current: SticksCell | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword = fields[0].upper()
+        args = fields[1:]
+
+        if keyword == "STICKS":
+            if current is not None:
+                raise SticksError("STICKS before END of previous cell", lineno)
+            if len(args) != 1:
+                raise SticksError("STICKS needs exactly one name", lineno)
+            current = SticksCell(args[0])
+            continue
+
+        if current is None:
+            raise SticksError(f"{keyword} outside a STICKS/END block", lineno)
+
+        if keyword == "END":
+            if args:
+                raise SticksError("END takes no arguments", lineno)
+            current.validate()
+            cells.append(current)
+            current = None
+        elif keyword == "BBOX":
+            current.boundary = Box(*_ints(args, 4, "BBOX", lineno))
+        elif keyword == "PIN":
+            current.pins.append(_parse_pin(args, lineno))
+        elif keyword == "WIRE":
+            current.wires.append(_parse_wire(args, lineno))
+        elif keyword == "DEVICE":
+            current.devices.append(_parse_device(args, lineno))
+        elif keyword == "CONTACT":
+            current.contacts.append(_parse_contact(args, lineno))
+        else:
+            raise SticksError(f"unknown keyword {keyword!r}", lineno)
+
+    if current is not None:
+        raise SticksError(f"cell {current.name!r} missing END")
+    return cells
+
+
+def _int(token: str, what: str, lineno: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise SticksError(f"{what}: {token!r} is not an integer", lineno) from None
+
+
+def _ints(tokens: list[str], count: int, what: str, lineno: int) -> list[int]:
+    if len(tokens) != count:
+        raise SticksError(
+            f"{what} needs {count} integers, got {len(tokens)}", lineno
+        )
+    return [_int(t, what, lineno) for t in tokens]
+
+
+def _width(token: str, lineno: int) -> int | None:
+    if token == "-":
+        return None
+    value = _int(token, "width", lineno)
+    if value <= 0:
+        raise SticksError(f"width must be positive, got {value}", lineno)
+    return value
+
+
+def _parse_pin(args: list[str], lineno: int) -> Pin:
+    if len(args) not in (4, 5):
+        raise SticksError("PIN needs: name layer x y [width]", lineno)
+    name, layer = args[0], args[1]
+    x = _int(args[2], "PIN x", lineno)
+    y = _int(args[3], "PIN y", lineno)
+    width = _width(args[4], lineno) if len(args) == 5 else None
+    return Pin(name, layer, Point(x, y), width)
+
+
+def _parse_wire(args: list[str], lineno: int) -> SymbolicWire:
+    if len(args) < 6:
+        raise SticksError("WIRE needs: layer width x1 y1 x2 y2 ...", lineno)
+    layer = args[0]
+    width = _width(args[1], lineno)
+    coords = args[2:]
+    if len(coords) % 2:
+        raise SticksError("WIRE has an odd number of coordinates", lineno)
+    points = tuple(
+        Point(_int(coords[i], "WIRE x", lineno), _int(coords[i + 1], "WIRE y", lineno))
+        for i in range(0, len(coords), 2)
+    )
+    try:
+        return SymbolicWire(layer, points, width)
+    except SticksError as exc:
+        raise SticksError(str(exc), lineno) from None
+
+
+def _parse_device(args: list[str], lineno: int) -> Device:
+    if len(args) not in (4, 6):
+        raise SticksError("DEVICE needs: kind x y orient [length width]", lineno)
+    kind = args[0].lower()
+    if kind not in DEVICE_KINDS:
+        raise SticksError(f"unknown device kind {args[0]!r}", lineno)
+    x = _int(args[1], "DEVICE x", lineno)
+    y = _int(args[2], "DEVICE y", lineno)
+    orient = args[3].lower()
+    if orient not in DEVICE_ORIENTATIONS:
+        raise SticksError(f"unknown device orientation {args[3]!r}", lineno)
+    length = width = None
+    if len(args) == 6:
+        length = _dimension(args[4], "DEVICE length", lineno)
+        width = _dimension(args[5], "DEVICE width", lineno)
+    return Device(kind, Point(x, y), orient, length, width)
+
+
+def _dimension(token: str, what: str, lineno: int) -> int | None:
+    """A device dimension: an integer or '-' for the technology default."""
+    if token == "-":
+        return None
+    value = _int(token, what, lineno)
+    if value <= 0:
+        raise SticksError(f"{what} must be positive, got {value}", lineno)
+    return value
+
+
+def _parse_contact(args: list[str], lineno: int) -> Contact:
+    if len(args) != 4:
+        raise SticksError("CONTACT needs: layerA layerB x y", lineno)
+    try:
+        return Contact(
+            args[0],
+            args[1],
+            Point(_int(args[2], "CONTACT x", lineno), _int(args[3], "CONTACT y", lineno)),
+        )
+    except SticksError as exc:
+        raise SticksError(str(exc), lineno) from None

@@ -1,0 +1,41 @@
+"""Writer for the Sticks text format — exact inverse of the parser."""
+
+from __future__ import annotations
+
+from repro.sticks.model import SticksCell
+
+
+def write_sticks(cells: list[SticksCell]) -> str:
+    """Serialise ``cells`` to Sticks text."""
+    lines: list[str] = ["# Sticks written by repro.riot"]
+    for cell in cells:
+        lines.append(f"STICKS {cell.name}")
+        if cell.boundary is not None:
+            b = cell.boundary
+            lines.append(f"BBOX {b.llx} {b.lly} {b.urx} {b.ury}")
+        for pin in cell.pins:
+            suffix = f" {pin.width}" if pin.width is not None else ""
+            lines.append(
+                f"PIN {pin.name} {pin.layer} {pin.point.x} {pin.point.y}{suffix}"
+            )
+        for wire in cell.wires:
+            width = "-" if wire.width is None else str(wire.width)
+            coords = " ".join(f"{p.x} {p.y}" for p in wire.points)
+            lines.append(f"WIRE {wire.layer} {width} {coords}")
+        for device in cell.devices:
+            dims = ""
+            if device.length is not None or device.width is not None:
+                length = "-" if device.length is None else str(device.length)
+                dwidth = "-" if device.width is None else str(device.width)
+                dims = f" {length} {dwidth}"
+            lines.append(
+                f"DEVICE {device.kind} {device.center.x} {device.center.y} "
+                f"{device.orientation}{dims}"
+            )
+        for contact in cell.contacts:
+            lines.append(
+                f"CONTACT {contact.layer_a} {contact.layer_b} "
+                f"{contact.point.x} {contact.point.y}"
+            )
+        lines.append("END")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,141 @@
+"""Device emulations and the workstation assembly.
+
+A :class:`Mouse` integrates relative motion; a :class:`BitPad` maps
+absolute tablet coordinates onto the screen.  Both feed the same
+event queue, which is the whole point: the editor cannot tell the
+configurations apart, just as Riot ran unchanged on the Charles
+workstation and the GIGI workstation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.geometry.point import Point
+from repro.graphics.display import Display
+from repro.graphics.plotter import PenPlotter
+from repro.workstation.events import ButtonPress, Event, KeyLine, PointerMove
+
+
+class _PointingDevice:
+    """Shared pointer state: clamped screen position, button events."""
+
+    def __init__(self, screen_width: int, screen_height: int) -> None:
+        self.screen_width = screen_width
+        self.screen_height = screen_height
+        self.position = Point(screen_width // 2, screen_height // 2)
+        self._queue: deque[Event] = deque()
+
+    def _clamp(self, p: Point) -> Point:
+        return Point(
+            min(max(p.x, 0), self.screen_width - 1),
+            min(max(p.y, 0), self.screen_height - 1),
+        )
+
+    def press(self, button: int = 1) -> None:
+        self._queue.append(ButtonPress(self.position, button))
+
+    def drain(self) -> list[Event]:
+        events = list(self._queue)
+        self._queue.clear()
+        return events
+
+
+class Mouse(_PointingDevice):
+    """A relative-motion device (the Xerox mouse)."""
+
+    def move(self, dx: int, dy: int) -> None:
+        self.position = self._clamp(self.position.translated(dx, dy))
+        self._queue.append(PointerMove(self.position))
+
+    def move_to(self, target: Point) -> None:
+        """Convenience for scripts: one relative jump to ``target``."""
+        self.move(target.x - self.position.x, target.y - self.position.y)
+
+
+class BitPad(_PointingDevice):
+    """An absolute tablet (the Summagraphics BitPad).
+
+    Tablet coordinates span ``tablet_size`` on both axes and map
+    linearly onto the screen.
+    """
+
+    def __init__(
+        self, screen_width: int, screen_height: int, tablet_size: int = 2200
+    ) -> None:
+        super().__init__(screen_width, screen_height)
+        if tablet_size <= 0:
+            raise ValueError("tablet size must be positive")
+        self.tablet_size = tablet_size
+
+    def touch(self, tx: int, ty: int) -> None:
+        """Stylus at absolute tablet coordinates."""
+        if not (0 <= tx <= self.tablet_size and 0 <= ty <= self.tablet_size):
+            raise ValueError(
+                f"tablet point ({tx},{ty}) outside 0..{self.tablet_size}"
+            )
+        self.position = self._clamp(
+            Point(
+                tx * (self.screen_width - 1) // self.tablet_size,
+                ty * (self.screen_height - 1) // self.tablet_size,
+            )
+        )
+        self._queue.append(PointerMove(self.position))
+
+    def move_to(self, target: Point) -> None:
+        """Convenience for scripts: touch the tablet point mapping to
+        ``target`` (inverse of the touch mapping, clamped)."""
+        clamped = self._clamp(target)
+        tx = clamped.x * self.tablet_size // (self.screen_width - 1)
+        ty = clamped.y * self.tablet_size // (self.screen_height - 1)
+        self.touch(tx, ty)
+        # Integer rounding may land a pixel short; snap exactly.
+        self.position = clamped
+        self._queue[-1] = PointerMove(clamped)
+
+
+class Workstation:
+    """A display, a pointing device, a keyboard and (optionally) a plotter."""
+
+    def __init__(
+        self,
+        name: str,
+        display: Display,
+        pointer: _PointingDevice,
+        plotter: PenPlotter | None = None,
+    ) -> None:
+        self.name = name
+        self.display = display
+        self.pointer = pointer
+        self.plotter = plotter
+        self._keyboard: deque[KeyLine] = deque()
+
+    def type_line(self, text: str) -> None:
+        self._keyboard.append(KeyLine(text))
+
+    def events(self) -> list[Event]:
+        """Drain all pending events, pointer first then keyboard."""
+        events: list[Event] = self.pointer.drain()
+        events.extend(self._keyboard)
+        self._keyboard.clear()
+        return events
+
+    # -- script-level convenience ------------------------------------------
+
+    def point_and_press(self, target: Point, button: int = 1) -> None:
+        self.pointer.move_to(target)
+        self.pointer.press(button)
+
+
+def charles_workstation(width: int = 512, height: int = 390) -> Workstation:
+    """Figure 1a: Charles color terminal, mouse, HP 7221A plotter."""
+    display = Display(width, height)
+    return Workstation(
+        "charles", display, Mouse(width, height), plotter=PenPlotter()
+    )
+
+
+def gigi_workstation(width: int = 384, height: int = 240) -> Workstation:
+    """Figure 1b: GIGI terminal and BitPad (no plotter)."""
+    display = Display(width, height)
+    return Workstation("gigi", display, BitPad(width, height))

@@ -1,0 +1,41 @@
+"""Input events.
+
+Three event kinds cover everything Riot's two command interfaces
+need: pointer motion, button presses (pointing at things), and typed
+command lines (the textual interface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class PointerMove:
+    """The pointing device is now at this screen position."""
+
+    position: Point
+
+
+@dataclass(frozen=True)
+class ButtonPress:
+    """A button press at the current pointer position."""
+
+    position: Point
+    button: int = 1
+
+    def __post_init__(self) -> None:
+        if self.button < 1:
+            raise ValueError(f"button numbers start at 1, got {self.button}")
+
+
+@dataclass(frozen=True)
+class KeyLine:
+    """A full line typed at the text terminal (the textual interface)."""
+
+    text: str
+
+
+Event = PointerMove | ButtonPress | KeyLine

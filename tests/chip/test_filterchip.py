@@ -1,0 +1,234 @@
+"""Tests for the worked example (paper figures 7, 9a/9b, 10)."""
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.core.errors import RiotError
+from repro.chip.filterchip import ROUTED, STRETCHED, assemble_chip, assemble_logic
+from repro.chip.floorplan import filter_floorplan
+from repro.library.stock import filter_library
+
+
+def fresh_editor():
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    return editor
+
+
+@pytest.fixture(scope="module")
+def routed():
+    editor = fresh_editor()
+    return editor, assemble_logic(editor, ROUTED)
+
+
+@pytest.fixture(scope="module")
+def stretched():
+    editor = fresh_editor()
+    return editor, assemble_logic(editor, STRETCHED)
+
+
+class TestFloorplan:
+    def test_regions_present(self):
+        plan = filter_floorplan()
+        for name in ("sr_row", "nand_row", "nand2_row", "or_row", "pads_bottom"):
+            assert name in plan.regions
+
+    def test_cells_needed(self):
+        needed = filter_floorplan().cells_needed()
+        assert {"srcell", "nand", "or2", "inpad", "outpad"} <= needed
+
+    def test_rows_disjoint(self):
+        plan = filter_floorplan()
+        rows = ("sr_row", "nand_row", "nand2_row", "or_row")
+        overlapping = {
+            pair
+            for pair in plan.overlapping_regions()
+            if pair[0] in rows and pair[1] in rows
+        }
+        assert overlapping == set()
+
+    def test_library_covers_floorplan(self):
+        lib = filter_library()
+        for cell_name in filter_floorplan().cells_needed():
+            assert cell_name in lib
+
+    def test_duplicate_region_rejected(self):
+        plan = filter_floorplan()
+        from repro.geometry.box import Box
+
+        with pytest.raises(ValueError, match="already has"):
+            plan.add_region("sr_row", Box(0, 0, 1, 1))
+
+    def test_unknown_region(self):
+        with pytest.raises(KeyError):
+            filter_floorplan().region("moat")
+
+
+class TestRoutedLogic:
+    def test_route_cells_created(self, routed):
+        _, stats = routed
+        assert stats.route_cell_count == 7  # 4 taps + 2 pairings + 1 OR
+
+    def test_positive_routing_area(self, routed):
+        _, stats = routed
+        assert stats.route_area > 0
+
+    def test_all_stage_connections_made(self, routed):
+        editor, stats = routed
+        # Each of the 7 routes makes >= 1 wire with both ends touching.
+        assert stats.connections_made >= 14
+
+    def test_sr_chain_by_abutment(self, routed):
+        editor, _ = routed
+        sr = editor.library.get("logic_routed").instance("sr")
+        assert sr.is_array
+        assert sr.nx == 4
+
+    def test_no_stretching_in_routed_mode(self, routed):
+        editor, stats = routed
+        assert stats.stretch_count == 0
+        assert not any(n.startswith("nand_s") for n in editor.library.names)
+
+
+class TestStretchedLogic:
+    def test_no_route_cells(self, stretched):
+        _, stats = stretched
+        assert stats.route_cell_count == 0
+        assert stats.route_area == 0
+
+    def test_stretched_cells_created(self, stretched):
+        editor, stats = stretched
+        assert stats.stretch_count == 3  # m0, m1, o
+        stretched_names = [
+            n for n in editor.library.names if n.endswith("_s") or n.endswith("_s2")
+        ]
+        assert stretched_names == ["nand_s", "nand_s2", "or2_s"]
+
+    def test_gates_abut_directly(self, stretched):
+        editor, _ = stretched
+        cell = editor.library.get("logic_stretched")
+        m0 = cell.instance("m0")
+        n0 = cell.instance("n0")
+        assert m0.connector("A").position == n0.connector("OUT").position
+
+    def test_connections_made(self, stretched):
+        _, stats = stretched
+        assert stats.connections_made >= 10
+
+
+class TestFigure9Comparison:
+    """The headline claim: stretching eliminates the routing channels,
+    saving area in the vertical direction."""
+
+    def test_stretched_is_shorter(self, routed, stretched):
+        _, r = routed
+        _, s = stretched
+        assert s.height < r.height
+
+    def test_vertical_saving_matches_channels(self, routed, stretched):
+        _, r = routed
+        _, s = stretched
+        # The rows are identical; the extra height of the routed block
+        # is exactly its channels' heights.
+        assert r.height - s.height > 0
+        assert r.route_cell_count > 0
+
+    def test_routed_has_routing_area_stretched_none(self, routed, stretched):
+        _, r = routed
+        _, s = stretched
+        assert r.route_area > 0
+        assert s.route_area == 0
+
+    def test_widths_comparable(self, routed, stretched):
+        # Stretching trades internal cell area, not block width.
+        _, r = routed
+        _, s = stretched
+        assert abs(r.width - s.width) <= 2000
+
+
+class TestLogicInterface:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(RiotError, match="mode"):
+            assemble_logic(fresh_editor(), "magic")
+
+    def test_connectors_promoted(self, stretched):
+        editor, _ = stretched
+        cell = editor.library.get("logic_stretched")
+        names = {c.name for c in cell.connectors}
+        assert "IN[0,0]" in names  # serial input, left edge
+        assert "OUT" in names  # filter output, bottom edge
+        assert any("CLKT" in n for n in names)  # clock, top edge
+        assert sum(1 for n in names if n.endswith(".B") or n == "B") == 4
+
+    def test_constant_inputs_on_bottom_edge(self, stretched):
+        editor, _ = stretched
+        cell = editor.library.get("logic_stretched")
+        box = cell.bounding_box()
+        for conn in cell.connectors:
+            if conn.name.endswith(".B"):
+                assert conn.position.y == box.lly
+
+
+class TestChip:
+    @pytest.fixture(scope="class")
+    def chip(self):
+        editor = fresh_editor()
+        return editor, assemble_chip(editor, STRETCHED)
+
+    def test_all_pads_connected(self, chip):
+        _, stats = chip
+        assert stats.pad_count == 9
+        assert stats.pads_connected == 9
+
+    def test_pad_routing_in_pieces(self, chip):
+        # One route per pad connection: x-input, vdd, gnd, clock, four
+        # constants, output.
+        _, stats = chip
+        assert stats.route_cell_count == 9
+
+    def test_chip_bigger_than_logic(self, chip):
+        _, stats = chip
+        assert stats.area > stats.logic.area
+
+    def test_fittings_used(self, chip):
+        editor, _ = chip
+        chip_cell = editor.library.get("chip")
+        fitting_instances = [
+            inst
+            for inst in chip_cell.instances
+            if inst.cell.name.startswith("fit_")
+        ]
+        assert len(fitting_instances) == 2  # vdd and gnd straps
+
+    def test_converters_used(self, chip):
+        editor, _ = chip
+        chip_cell = editor.library.get("chip")
+        converters = [
+            inst for inst in chip_cell.instances if inst.cell.name == "p2m"
+        ]
+        assert len(converters) == 6  # clock + 4 constants + output
+
+    def test_chip_writes_cif(self, chip):
+        editor, _ = chip
+        from repro.core.convert import composition_to_cif
+        from repro.cif.parser import parse_cif
+        from repro.cif.semantics import elaborate
+
+        text = composition_to_cif(editor.library.get("chip"), editor.technology)
+        design = elaborate(parse_cif(text), editor.technology)
+        flat = design.cell("chip").flatten()
+        assert flat.shape_count > 100
+
+    def test_chip_session_replayable(self):
+        editor = fresh_editor()
+        assemble_chip(editor, STRETCHED)
+        journal = editor.journal.to_text()
+        again = fresh_editor()
+        again.replay_from(journal)
+        again.edit("chip")
+        assert again.cell.bounding_box() == editor.library.get("chip").bounding_box()
+
+    def test_routed_chip_also_assembles(self):
+        editor = fresh_editor()
+        stats = assemble_chip(editor, ROUTED)
+        assert stats.pads_connected == 9

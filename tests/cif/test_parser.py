@@ -1,0 +1,207 @@
+"""Syntax-level tests for the CIF parser."""
+
+import pytest
+
+from repro.cif.errors import CifError
+from repro.cif.nodes import (
+    BoxCommand,
+    CallCommand,
+    DeleteCommand,
+    LayerCommand,
+    PolygonCommand,
+    RoundFlashCommand,
+    UserCommand,
+    WireCommand,
+)
+from repro.cif.parser import parse_cif
+from repro.geometry.point import Point
+
+
+class TestBasicCommands:
+    def test_empty_file(self):
+        f = parse_cif("E")
+        assert f.symbols == []
+        assert f.commands == []
+
+    def test_missing_end(self):
+        with pytest.raises(CifError, match="missing final E"):
+            parse_cif("L NM;")
+
+    def test_box(self):
+        f = parse_cif("L NM; B 10 20 5 5; E")
+        assert f.commands == [
+            LayerCommand("NM"),
+            BoxCommand(10, 20, Point(5, 5)),
+        ]
+
+    def test_box_with_direction(self):
+        f = parse_cif("L NM; B 10 20 5 5 0 1; E")
+        assert f.commands[1] == BoxCommand(10, 20, Point(5, 5), Point(0, 1))
+
+    def test_box_zero_direction_rejected(self):
+        with pytest.raises(CifError, match="zero vector"):
+            parse_cif("L NM; B 10 20 5 5 0 0; E")
+
+    def test_negative_coordinates(self):
+        f = parse_cif("L NM; B 10 20 -5 -15; E")
+        assert f.commands[1] == BoxCommand(10, 20, Point(-5, -15))
+
+    def test_polygon(self):
+        f = parse_cif("L ND; P 0 0 10 0 10 10; E")
+        assert f.commands[1] == PolygonCommand((Point(0, 0), Point(10, 0), Point(10, 10)))
+
+    def test_polygon_too_few_points(self):
+        with pytest.raises(CifError, match="at least 3"):
+            parse_cif("L ND; P 0 0 10 0; E")
+
+    def test_wire(self):
+        f = parse_cif("L NM; W 40 0 0 100 0 100 100; E")
+        assert f.commands[1] == WireCommand(
+            40, (Point(0, 0), Point(100, 0), Point(100, 100))
+        )
+
+    def test_roundflash(self):
+        f = parse_cif("L NM; R 30 5 5; E")
+        assert f.commands[1] == RoundFlashCommand(30, Point(5, 5))
+
+    def test_layer_shortname_with_digit(self):
+        f = parse_cif("L NM2; E")
+        assert f.commands[0] == LayerCommand("NM2")
+
+    def test_layer_must_start_with_letter(self):
+        with pytest.raises(CifError, match="start with a letter"):
+            parse_cif("L 2M; E")
+
+    def test_null_commands_ignored(self):
+        f = parse_cif(";;; L NM;; E")
+        assert f.commands == [LayerCommand("NM")]
+
+
+class TestLexicalOddities:
+    def test_lowercase_is_blank(self):
+        # Per the CIF spec, lowercase letters are separator characters.
+        f = parse_cif("Box 10 20 5 5 was here; E")
+        # 'B' then 'ox' (blank) then integers; trailing words are blanks.
+        assert f.commands == [BoxCommand(10, 20, Point(5, 5))]
+
+    def test_commas_are_blanks(self):
+        f = parse_cif("B 10,20 5,5; E")
+        assert f.commands == [BoxCommand(10, 20, Point(5, 5))]
+
+    def test_comments_skipped(self):
+        f = parse_cif("(a comment) B 2 2 0 0; (another) E")
+        assert f.commands == [BoxCommand(2, 2, Point(0, 0))]
+
+    def test_nested_comments(self):
+        f = parse_cif("(outer (inner) outer) B 2 2 0 0; E")
+        assert len(f.commands) == 1
+
+    def test_unterminated_comment(self):
+        with pytest.raises(CifError, match="unterminated comment"):
+            parse_cif("(oops B 2 2 0 0; E")
+
+    def test_comment_between_numbers(self):
+        f = parse_cif("B 2 (gap) 2 0 0; E")
+        assert f.commands == [BoxCommand(2, 2, Point(0, 0))]
+
+    def test_error_position_reported(self):
+        with pytest.raises(CifError, match="line 2"):
+            parse_cif("L NM;\nB xx;\nE")
+
+
+class TestSymbols:
+    def test_definition(self):
+        f = parse_cif("DS 1; L NM; B 2 2 0 0; DF; E")
+        assert len(f.symbols) == 1
+        assert f.symbols[0].number == 1
+        assert len(f.symbols[0].commands) == 2
+
+    def test_definition_with_scale(self):
+        f = parse_cif("DS 3 100 2; DF; E")
+        assert f.symbols[0].scale_num == 100
+        assert f.symbols[0].scale_den == 2
+
+    def test_zero_denominator(self):
+        with pytest.raises(CifError, match="denominator"):
+            parse_cif("DS 3 100 0; DF; E")
+
+    def test_nested_ds_rejected(self):
+        with pytest.raises(CifError, match="nested DS"):
+            parse_cif("DS 1; DS 2; DF; DF; E")
+
+    def test_df_without_ds(self):
+        with pytest.raises(CifError, match="DF without"):
+            parse_cif("DF; E")
+
+    def test_unterminated_ds(self):
+        with pytest.raises(CifError, match="unterminated symbol"):
+            parse_cif("DS 1; L NM; E")
+
+    def test_last_definition_wins(self):
+        f = parse_cif("DS 1; L NM; B 2 2 0 0; DF; DS 1; L ND; B 4 4 0 0; DF; E")
+        sym = f.symbol(1)
+        assert sym.commands[0] == LayerCommand("ND")
+
+    def test_symbol_lookup_missing(self):
+        f = parse_cif("E")
+        with pytest.raises(KeyError):
+            f.symbol(7)
+
+    def test_delete_command(self):
+        f = parse_cif("DS 1; DF; DD 1; E")
+        assert DeleteCommand(1) in f.commands
+
+    def test_delete_inside_symbol_rejected(self):
+        with pytest.raises(CifError, match="DD"):
+            parse_cif("DS 1; DD 1; DF; E")
+
+
+class TestCalls:
+    def test_plain_call(self):
+        f = parse_cif("C 5; E")
+        assert f.commands == [CallCommand(5)]
+
+    def test_call_with_translation(self):
+        f = parse_cif("C 5 T 100 200; E")
+        cmd = f.commands[0]
+        assert cmd.elements[0].kind == "T"
+        assert cmd.elements[0].point == Point(100, 200)
+
+    def test_call_with_mirror_and_rotation(self):
+        f = parse_cif("C 5 MX R 0 1 T 10 0; E")
+        kinds = [e.kind for e in f.commands[0].elements]
+        assert kinds == ["MX", "R", "T"]
+
+    def test_call_bad_mirror(self):
+        with pytest.raises(CifError, match="MX or MY"):
+            parse_cif("C 5 M Z; E")
+
+    def test_call_zero_rotation(self):
+        with pytest.raises(CifError, match="zero vector"):
+            parse_cif("C 5 R 0 0; E")
+
+    def test_call_unknown_element(self):
+        with pytest.raises(CifError, match="unknown transform element"):
+            parse_cif("C 5 Q; E")
+
+
+class TestUserCommands:
+    def test_user_command_kept_verbatim(self):
+        f = parse_cif("92 anything goes 123 -x; E")
+        assert f.commands == [UserCommand(9, "2 anything goes 123 -x")]
+
+    def test_cell_name_command(self):
+        f = parse_cif("DS 1; 9 mycell; L NM; B 2 2 0 0; DF; E")
+        assert f.symbols[0].commands[0] == UserCommand(9, "mycell")
+
+    def test_connector_command(self):
+        f = parse_cif("94 IN 0 300 NM 400; E")
+        assert f.commands == [UserCommand(9, "4 IN 0 300 NM 400")]
+
+    def test_unknown_command_letter(self):
+        with pytest.raises(CifError, match="unknown command letter"):
+            parse_cif("Z 1 2; E")
+
+    def test_unknown_d_command(self):
+        with pytest.raises(CifError, match="unknown command DQ"):
+            parse_cif("DQ 1; E")

@@ -1,0 +1,135 @@
+"""Property-based round-trip tests for the whole CIF pipeline.
+
+Hypothesis generates random (but well-formed) cell hierarchies; the
+writer serialises them; the parser and elaborator read them back; the
+flattened mask geometry must be identical.  This exercises every
+corner the hand-written tests might miss: negative coordinates, deep
+nesting, shared subcells, every orientation, mixed shape kinds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cif.parser import parse_cif
+from repro.cif.semantics import CifCell, CifConnector, elaborate
+from repro.cif.writer import write_cif
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.orientation import ALL_ORIENTATIONS
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+TECH = nmos_technology()
+LAYERS = [TECH.layer(n) for n in ("metal", "poly", "diffusion")]
+
+# Even coordinates keep CIF's centre-specified boxes exact.
+even = st.integers(min_value=-5000, max_value=5000).map(lambda v: v * 2)
+positive_even = st.integers(min_value=1, max_value=2000).map(lambda v: v * 2)
+
+
+@st.composite
+def boxes(draw):
+    x = draw(even)
+    y = draw(even)
+    w = draw(positive_even)
+    h = draw(positive_even)
+    return Box(x, y, x + w, y + h)
+
+
+@st.composite
+def wires(draw):
+    layer = draw(st.sampled_from(LAYERS))
+    width = draw(positive_even)
+    start = Point(draw(even), draw(even))
+    points = [start]
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        if draw(st.booleans()):
+            points.append(Point(draw(even), points[-1].y))
+        else:
+            points.append(Point(points[-1].x, draw(even)))
+    return Path(layer, width, tuple(points))
+
+
+@st.composite
+def leaf_cells(draw, number):
+    cell = CifCell(number, f"leaf{number}")
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        layer = draw(st.sampled_from(LAYERS))
+        cell.geometry.boxes.append((layer, draw(boxes())))
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        cell.geometry.paths.append(draw(wires()))
+    box = cell.bounding_box()
+    if draw(st.booleans()):
+        cell.connectors.append(
+            CifConnector(
+                "C0", Point(box.llx, box.center.y), draw(st.sampled_from(LAYERS)), 400
+            )
+        )
+    return cell
+
+
+@st.composite
+def hierarchies(draw):
+    leaf_count = draw(st.integers(min_value=1, max_value=3))
+    leaves = [draw(leaf_cells(i + 1)) for i in range(leaf_count)]
+    parent = CifCell(100, "parent")
+    for i in range(draw(st.integers(min_value=1, max_value=5))):
+        child = draw(st.sampled_from(leaves))
+        orientation = draw(st.sampled_from(ALL_ORIENTATIONS))
+        translation = Point(draw(even), draw(even))
+        parent.calls.append((child, Transform(orientation, translation)))
+    top = CifCell(200, "top")
+    top.calls.append((parent, Transform.translate(draw(even), draw(even))))
+    if draw(st.booleans()):
+        top.calls.append((leaves[0], Transform.identity()))
+    return top
+
+
+def box_multiset(flat):
+    return sorted((layer.name, b.llx, b.lly, b.urx, b.ury) for layer, b in flat.boxes)
+
+
+def path_multiset(flat):
+    return sorted(
+        (p.layer.name, p.width, tuple((q.x, q.y) for q in p.points))
+        for p in flat.paths
+    )
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(hierarchies())
+    def test_flattened_geometry_survives(self, top):
+        text = write_cif([top])
+        design = elaborate(parse_cif(text), TECH)
+        again = design.cell("top")
+        assert box_multiset(top.flatten()) == box_multiset(again.flatten())
+        assert path_multiset(top.flatten()) == path_multiset(again.flatten())
+
+    @settings(max_examples=60, deadline=None)
+    @given(hierarchies())
+    def test_bounding_box_survives(self, top):
+        text = write_cif([top])
+        design = elaborate(parse_cif(text), TECH)
+        assert design.cell("top").bounding_box() == top.bounding_box()
+
+    @settings(max_examples=40, deadline=None)
+    @given(hierarchies())
+    def test_double_roundtrip_is_fixed_point(self, top):
+        once = write_cif([top])
+        design = elaborate(parse_cif(once), TECH)
+        twice = write_cif([design.cell("top")])
+        assert once == twice
+
+    @settings(max_examples=40, deadline=None)
+    @given(leaf_cells(7))
+    def test_connectors_survive(self, leaf):
+        text = write_cif([leaf])
+        design = elaborate(parse_cif(text), TECH)
+        again = design.cell(leaf.name)
+        assert [
+            (c.name, c.position, c.layer.name, c.width) for c in again.connectors
+        ] == [
+            (c.name, c.position, c.layer.name, c.width) for c in leaf.connectors
+        ]

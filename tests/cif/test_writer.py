@@ -1,0 +1,130 @@
+"""Round-trip tests for the CIF writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cif.errors import CifError
+from repro.cif.parser import parse_cif
+from repro.cif.semantics import CifCell, CifConnector, elaborate
+from repro.cif.writer import write_cif
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.orientation import ALL_ORIENTATIONS
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+TECH = nmos_technology()
+METAL = TECH.layer("metal")
+
+
+def make_leaf(name="leaf", number=1):
+    cell = CifCell(number, name)
+    cell.geometry.boxes.append((METAL, Box(0, 0, 100, 40)))
+    cell.connectors.append(CifConnector("IN", Point(0, 20), METAL, 40))
+    return cell
+
+
+def roundtrip(cells):
+    text = write_cif(cells)
+    return elaborate(parse_cif(text), TECH)
+
+
+class TestRoundTrip:
+    def test_leaf_geometry_survives(self):
+        d = roundtrip([make_leaf()])
+        cell = d.cell("leaf")
+        assert cell.geometry.boxes[0][1] == Box(0, 0, 100, 40)
+
+    def test_connector_survives(self):
+        d = roundtrip([make_leaf()])
+        conn = d.cell("leaf").connector("IN")
+        assert conn.position == Point(0, 20)
+        assert conn.width == 40
+        assert conn.layer.name == "metal"
+
+    def test_hierarchy_survives(self):
+        leaf = make_leaf()
+        parent = CifCell(2, "parent")
+        parent.calls.append((leaf, Transform.translate(200, 0)))
+        parent.calls.append((leaf, Transform.translate(400, 0)))
+        d = roundtrip([parent])
+        got = d.cell("parent")
+        assert len(got.calls) == 2
+        assert got.calls[0][1].translation == Point(200, 0)
+
+    def test_shared_subcell_written_once(self):
+        leaf = make_leaf()
+        a = CifCell(2, "a")
+        b = CifCell(3, "b")
+        a.calls.append((leaf, Transform.identity()))
+        b.calls.append((leaf, Transform.identity()))
+        text = write_cif([a, b])
+        assert text.count("9 leaf;") == 1
+
+    def test_top_instantiated(self):
+        text = write_cif([make_leaf()])
+        lines = [line for line in text.splitlines() if line.startswith("C ")]
+        assert len(lines) == 1
+
+    def test_no_top_instantiation(self):
+        text = write_cif([make_leaf()], instantiate_top=False)
+        assert not any(line.startswith("C ") for line in text.splitlines())
+
+    def test_flattened_geometry_identical(self):
+        leaf = make_leaf()
+        parent = CifCell(2, "parent")
+        parent.calls.append((leaf, Transform.translate(200, 100)))
+        before = parent.flatten()
+        d = roundtrip([parent])
+        after = d.cell("parent").flatten()
+        assert [b for _, b in before.boxes] == [b for _, b in after.boxes]
+
+    @given(st.sampled_from(ALL_ORIENTATIONS))
+    def test_all_orientations_roundtrip(self, orientation):
+        leaf = make_leaf()
+        parent = CifCell(2, "parent")
+        parent.calls.append((leaf, Transform(orientation, Point(500, 700))))
+        d = roundtrip([parent])
+        got = d.cell("parent").calls[0][1]
+        assert got.orientation == orientation
+        assert got.translation == Point(500, 700)
+
+    def test_wires_and_polygons_roundtrip(self):
+        from repro.geometry.path import Path
+        from repro.geometry.polygon import Polygon
+
+        cell = CifCell(1, "mix")
+        cell.geometry.paths.append(
+            Path(METAL, 40, (Point(0, 0), Point(100, 0), Point(100, 100)))
+        )
+        cell.geometry.polygons.append(
+            Polygon(
+                TECH.layer("diffusion"),
+                (Point(0, 0), Point(50, 0), Point(50, 50)),
+            )
+        )
+        d = roundtrip([cell])
+        got = d.cell("mix")
+        assert got.geometry.paths[0].points == (
+            Point(0, 0),
+            Point(100, 0),
+            Point(100, 100),
+        )
+        assert got.geometry.polygons[0].area == 1250
+
+
+class TestErrors:
+    def test_recursive_hierarchy_rejected(self):
+        a = CifCell(1, "a")
+        b = CifCell(2, "b")
+        a.calls.append((b, Transform.identity()))
+        b.calls.append((a, Transform.identity()))
+        with pytest.raises(CifError, match="recursive"):
+            write_cif([a])
+
+    def test_odd_box_rejected(self):
+        cell = CifCell(1, "odd")
+        cell.geometry.boxes.append((METAL, Box(0, 0, 5, 4)))
+        with pytest.raises(CifError, match="odd dimensions"):
+            write_cif([cell])

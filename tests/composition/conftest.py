@@ -1,0 +1,62 @@
+"""Shared fixtures: small leaf cells for composition tests."""
+
+import pytest
+
+from repro.cif.semantics import CifCell, CifConnector
+from repro.composition.cell import LeafCell
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.sticks.model import Pin, SticksCell, SymbolicWire
+
+
+@pytest.fixture()
+def tech():
+    return nmos_technology()
+
+
+def make_cif_leaf(
+    name="leaf",
+    width=2000,
+    height=1000,
+    connectors=(("IN", 0, 500, "metal", 400), ("OUT", 2000, 500, "metal", 400)),
+    tech=None,
+):
+    """A CIF-backed leaf: a metal box with edge connectors."""
+    tech = tech or nmos_technology()
+    cif = CifCell(1, name)
+    cif.geometry.boxes.append((tech.layer("metal"), Box(0, 0, width, height)))
+    for cname, x, y, layer, w in connectors:
+        cif.connectors.append(
+            CifConnector(cname, Point(x, y), tech.layer(layer), w)
+        )
+    return LeafCell.from_cif(cif)
+
+
+def make_sticks_leaf(
+    name="gate",
+    width=2000,
+    height=1000,
+    pins=(("IN", "poly", 0, 500, 500), ("OUT", "metal", 2000, 500, 750)),
+    tech=None,
+):
+    """A sticks-backed (stretchable) leaf with an explicit boundary."""
+    tech = tech or nmos_technology()
+    cell = SticksCell(name)
+    cell.boundary = Box(0, 0, width, height)
+    for pname, layer, x, y, w in pins:
+        cell.pins.append(Pin(pname, layer, Point(x, y), w))
+    cell.wires.append(
+        SymbolicWire("metal", (Point(0, height // 2), Point(width, height // 2)), 750)
+    )
+    return LeafCell.from_sticks(cell, tech)
+
+
+@pytest.fixture()
+def cif_leaf(tech):
+    return make_cif_leaf(tech=tech)
+
+
+@pytest.fixture()
+def sticks_leaf(tech):
+    return make_sticks_leaf(tech=tech)

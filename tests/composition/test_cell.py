@@ -1,0 +1,169 @@
+"""Tests for leaf and composition cells."""
+
+import pytest
+
+from repro.cif.semantics import CifCell
+from repro.composition.cell import CompositionCell, CompositionError, LeafCell
+from repro.composition.connector import Connector
+from repro.composition.instance import Instance
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+from tests.composition.conftest import make_cif_leaf, make_sticks_leaf
+
+
+class TestLeafCell:
+    def test_cif_leaf(self, cif_leaf):
+        assert cif_leaf.is_leaf
+        assert not cif_leaf.is_stretchable
+        assert cif_leaf.bounding_box() == Box(0, 0, 2000, 1000)
+        assert cif_leaf.connector("IN").position == Point(0, 500)
+
+    def test_sticks_leaf(self, sticks_leaf):
+        assert sticks_leaf.is_leaf
+        assert sticks_leaf.is_stretchable
+        assert sticks_leaf.bounding_box() == Box(0, 0, 2000, 1000)
+
+    def test_sticks_pin_width_default(self, tech):
+        leaf = make_sticks_leaf(pins=(("A", "poly", 0, 500, None),), tech=tech)
+        assert leaf.connector("A").width == tech.min_width("poly")
+
+    def test_connector_missing(self, cif_leaf):
+        with pytest.raises(KeyError, match="no connector"):
+            cif_leaf.connector("CLK")
+
+    def test_needs_exactly_one_backing(self, tech):
+        with pytest.raises(CompositionError, match="exactly one backing"):
+            LeafCell("bad", Box(0, 0, 10, 10), [])
+
+    def test_connector_outside_bbox_rejected(self, tech):
+        cif = CifCell(1, "bad")
+        cif.geometry.boxes.append((tech.layer("metal"), Box(0, 0, 100, 100)))
+        from repro.cif.semantics import CifConnector
+
+        cif.connectors.append(
+            CifConnector("X", Point(500, 500), tech.layer("metal"), 400)
+        )
+        with pytest.raises(CompositionError, match="outside"):
+            LeafCell.from_cif(cif)
+
+    def test_duplicate_connector_rejected(self, tech):
+        leaf_conns = (("A", 0, 500, "metal", 400), ("A", 2000, 500, "metal", 400))
+        with pytest.raises(CompositionError, match="duplicate connector"):
+            make_cif_leaf(connectors=leaf_conns, tech=tech)
+
+
+class TestCompositionCell:
+    def test_add_and_lookup(self, cif_leaf):
+        comp = CompositionCell("top")
+        inst = comp.add_instance(Instance("u1", cif_leaf))
+        assert comp.instance("u1") is inst
+        assert not comp.is_leaf
+        assert not comp.is_stretchable
+
+    def test_duplicate_instance_name(self, cif_leaf):
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", cif_leaf))
+        with pytest.raises(CompositionError, match="already has an instance"):
+            comp.add_instance(Instance("u1", cif_leaf))
+
+    def test_self_instantiation_rejected(self, cif_leaf):
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", cif_leaf))
+        with pytest.raises(CompositionError, match="instantiate itself"):
+            comp.add_instance(Instance("me", comp))
+
+    def test_remove_instance(self, cif_leaf):
+        comp = CompositionCell("top")
+        inst = comp.add_instance(Instance("u1", cif_leaf))
+        comp.remove_instance(inst)
+        assert comp.instances == []
+
+    def test_remove_missing_instance(self, cif_leaf):
+        comp = CompositionCell("top")
+        with pytest.raises(CompositionError, match="not in cell"):
+            comp.remove_instance(Instance("ghost", cif_leaf))
+
+    def test_missing_instance_lookup(self):
+        with pytest.raises(KeyError, match="no instance"):
+            CompositionCell("top").instance("u9")
+
+    def test_bounding_box_union(self, cif_leaf):
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", cif_leaf))
+        comp.add_instance(
+            Instance("u2", cif_leaf, Transform.translate(3000, 0))
+        )
+        assert comp.bounding_box() == Box(0, 0, 5000, 1000)
+
+    def test_empty_bbox_raises(self):
+        with pytest.raises(CompositionError, match="is empty"):
+            CompositionCell("top").bounding_box()
+
+    def test_unique_instance_name(self, cif_leaf):
+        comp = CompositionCell("top")
+        assert comp.unique_instance_name("leaf") == "leaf"
+        comp.add_instance(Instance("leaf", cif_leaf))
+        assert comp.unique_instance_name("leaf") == "leaf2"
+
+    def test_uses_cell_recursive(self, cif_leaf):
+        inner = CompositionCell("inner")
+        inner.add_instance(Instance("u1", cif_leaf))
+        outer = CompositionCell("outer")
+        outer.add_instance(Instance("i1", inner))
+        assert outer.uses_cell(cif_leaf)
+        assert outer.uses_cell(inner)
+        assert not inner.uses_cell(outer)
+
+
+class TestRefreshConnectors:
+    def test_edge_connectors_promoted(self, cif_leaf):
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", cif_leaf))
+        comp.add_instance(Instance("u2", cif_leaf, Transform.translate(2000, 0)))
+        promoted = comp.refresh_connectors()
+        names = {c.name for c in promoted}
+        # u1.IN is on the left edge, u2.OUT on the right edge; the two
+        # touching connectors at x=2000 are interior.
+        assert "IN" in names
+        assert "OUT" in names
+        positions = {c.position for c in promoted}
+        assert Point(0, 500) in positions
+        assert Point(4000, 500) in positions
+
+    def test_interior_connectors_not_promoted(self, cif_leaf):
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", cif_leaf))
+        comp.add_instance(Instance("u2", cif_leaf, Transform.translate(2000, 0)))
+        comp.refresh_connectors()
+        positions = {c.position for c in comp.connectors}
+        assert Point(2000, 500) not in positions
+
+    def test_collision_prefixed(self, cif_leaf):
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", cif_leaf))
+        comp.add_instance(Instance("u2", cif_leaf, Transform.translate(0, 3000)))
+        promoted = comp.refresh_connectors()
+        names = {c.name for c in promoted}
+        assert "u1.IN" in names
+        assert "u2.IN" in names
+
+    def test_connector_interface(self, cif_leaf):
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", cif_leaf))
+        comp.refresh_connectors()
+        assert comp.connector("IN").layer.name == "metal"
+        with pytest.raises(KeyError):
+            comp.connector("NOPE")
+
+    def test_set_connectors_validates(self, cif_leaf, tech):
+        comp = CompositionCell("top")
+        metal = tech.layer("metal")
+        with pytest.raises(CompositionError, match="duplicate"):
+            comp.set_connectors(
+                [
+                    Connector("A", Point(0, 0), metal, 100),
+                    Connector("A", Point(5, 5), metal, 100),
+                ]
+            )

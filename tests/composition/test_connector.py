@@ -1,0 +1,83 @@
+"""Tests for connectors and side classification."""
+
+import pytest
+
+from repro.composition.connector import (
+    BOTTOM,
+    INSIDE,
+    LEFT,
+    RIGHT,
+    TOP,
+    Connector,
+    classify_side,
+    opposed,
+)
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+
+TECH = nmos_technology()
+METAL = TECH.layer("metal")
+BOX = Box(0, 0, 100, 100)
+
+
+class TestClassifySide:
+    def test_left(self):
+        assert classify_side(Point(0, 50), BOX) == LEFT
+
+    def test_right(self):
+        assert classify_side(Point(100, 50), BOX) == RIGHT
+
+    def test_bottom(self):
+        assert classify_side(Point(50, 0), BOX) == BOTTOM
+
+    def test_top(self):
+        assert classify_side(Point(50, 100), BOX) == TOP
+
+    def test_inside(self):
+        assert classify_side(Point(50, 50), BOX) == INSIDE
+
+    def test_corner_prefers_vertical_edge(self):
+        assert classify_side(Point(0, 0), BOX) == LEFT
+        assert classify_side(Point(100, 100), BOX) == RIGHT
+
+    def test_outside_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            classify_side(Point(101, 50), BOX)
+
+
+class TestOpposed:
+    def test_left_right(self):
+        assert opposed(LEFT, RIGHT)
+        assert opposed(RIGHT, LEFT)
+
+    def test_top_bottom(self):
+        assert opposed(TOP, BOTTOM)
+        assert opposed(BOTTOM, TOP)
+
+    def test_same_side_not_opposed(self):
+        assert not opposed(LEFT, LEFT)
+        assert not opposed(TOP, TOP)
+
+    def test_perpendicular_not_opposed(self):
+        assert not opposed(LEFT, TOP)
+        assert not opposed(BOTTOM, RIGHT)
+
+    def test_inside_never_opposed(self):
+        assert not opposed(INSIDE, LEFT)
+        assert not opposed(INSIDE, INSIDE)
+
+
+class TestConnector:
+    def test_fields(self):
+        c = Connector("IN", Point(0, 50), METAL, 400)
+        assert c.side(BOX) == LEFT
+        assert "IN" in str(c)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Connector("", Point(0, 0), METAL, 400)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            Connector("IN", Point(0, 0), METAL, 0)

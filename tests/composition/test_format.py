@@ -1,0 +1,168 @@
+"""Round-trip tests for the composition format."""
+
+import pytest
+
+from repro.composition.cell import CompositionCell
+from repro.composition.connector import Connector
+from repro.composition.format import (
+    CompositionFormatError,
+    load_composition,
+    save_composition,
+)
+from repro.composition.instance import Instance
+from repro.composition.library import CellLibrary
+from repro.geometry.layers import nmos_technology
+from repro.geometry.orientation import R90
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+from tests.composition.conftest import make_cif_leaf, make_sticks_leaf
+
+
+@pytest.fixture()
+def lib():
+    library = CellLibrary(nmos_technology())
+    library.add(make_cif_leaf(name="pad"))
+    library.add(make_sticks_leaf(name="gate"))
+    return library
+
+
+def build_session(lib):
+    row = CompositionCell("row")
+    row.add_instance(Instance("g1", lib.get("gate")))
+    row.add_instance(
+        Instance("g2", lib.get("gate"), Transform.translate(2000, 0))
+    )
+    row.refresh_connectors()
+    top = CompositionCell("chip")
+    top.add_instance(Instance("r1", row))
+    top.add_instance(
+        Instance("pads", lib.get("pad"), Transform(R90, Point(8000, 0)), nx=2, dx=3000)
+    )
+    return [row, top]
+
+
+class TestSave:
+    def test_header_and_sections(self, lib):
+        text = save_composition(build_session(lib))
+        assert text.startswith("RIOTCOMP 1")
+        assert "LEAF gate sticks" in text
+        assert "LEAF pad cif" in text
+        assert "COMPOSITION row" in text
+        assert "COMPOSITION chip" in text
+
+    def test_dependency_order(self, lib):
+        text = save_composition(build_session(lib))
+        assert text.index("COMPOSITION row") < text.index("COMPOSITION chip")
+
+    def test_array_recorded(self, lib):
+        text = save_composition(build_session(lib))
+        assert "ARRAY 2 1 3000" in text
+
+    def test_orientation_recorded(self, lib):
+        text = save_composition(build_session(lib))
+        assert "R90 8000 0" in text
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, lib):
+        cells = build_session(lib)
+        text = save_composition(cells)
+
+        lib2 = CellLibrary(nmos_technology())
+        lib2.add(make_cif_leaf(name="pad"))
+        lib2.add(make_sticks_leaf(name="gate"))
+        loaded = load_composition(text, lib2)
+
+        assert [c.name for c in loaded] == ["row", "chip"]
+        row = lib2.get("row")
+        assert row.instance("g2").transform.translation == Point(2000, 0)
+        chip = lib2.get("chip")
+        pads = chip.instance("pads")
+        assert pads.nx == 2
+        assert pads.dx == 3000
+        assert pads.transform.orientation == R90
+
+    def test_connectors_roundtrip(self, lib):
+        cells = build_session(lib)
+        original = {c.name: c.position for c in cells[0].connectors}
+        text = save_composition(cells)
+        lib2 = CellLibrary(nmos_technology())
+        lib2.add(make_cif_leaf(name="pad"))
+        lib2.add(make_sticks_leaf(name="gate"))
+        load_composition(text, lib2)
+        loaded = {c.name: c.position for c in lib2.get("row").connectors}
+        assert loaded == original
+
+    def test_geometry_identical_after_roundtrip(self, lib):
+        cells = build_session(lib)
+        before = cells[1].bounding_box()
+        text = save_composition(cells)
+        lib2 = CellLibrary(nmos_technology())
+        lib2.add(make_cif_leaf(name="pad"))
+        lib2.add(make_sticks_leaf(name="gate"))
+        load_composition(text, lib2)
+        assert lib2.get("chip").bounding_box() == before
+
+
+class TestErrors:
+    def test_missing_header(self, lib):
+        with pytest.raises(CompositionFormatError, match="RIOTCOMP"):
+            load_composition("COMPOSITION x\nEND\n", lib)
+
+    def test_bad_version(self, lib):
+        with pytest.raises(CompositionFormatError, match="version"):
+            load_composition("RIOTCOMP 99\n", lib)
+
+    def test_missing_leaf(self, lib):
+        text = "RIOTCOMP 1\nLEAF mystery cif mystery.cif\n"
+        with pytest.raises(CompositionFormatError, match="mystery.cif"):
+            load_composition(text, lib)
+
+    def test_unknown_cell_in_instance(self, lib):
+        text = "RIOTCOMP 1\nCOMPOSITION t\nINSTANCE u1 ghost R0 0 0\nEND\n"
+        with pytest.raises(CompositionFormatError, match="no cell 'ghost'"):
+            load_composition(text, lib)
+
+    def test_instance_outside_composition(self, lib):
+        text = "RIOTCOMP 1\nINSTANCE u1 pad R0 0 0\n"
+        with pytest.raises(CompositionFormatError, match="outside"):
+            load_composition(text, lib)
+
+    def test_missing_end(self, lib):
+        text = "RIOTCOMP 1\nCOMPOSITION t\nINSTANCE u1 pad R0 0 0\n"
+        with pytest.raises(CompositionFormatError, match="missing END"):
+            load_composition(text, lib)
+
+    def test_bad_orientation(self, lib):
+        text = "RIOTCOMP 1\nCOMPOSITION t\nINSTANCE u1 pad R45 0 0\nEND\n"
+        with pytest.raises(CompositionFormatError, match="R45"):
+            load_composition(text, lib)
+
+    def test_bad_array(self, lib):
+        text = "RIOTCOMP 1\nCOMPOSITION t\nINSTANCE u1 pad R0 0 0 ARRAY 0 1 10 10\nEND\n"
+        with pytest.raises(CompositionFormatError, match=">= 1"):
+            load_composition(text, lib)
+
+    def test_unknown_keyword(self, lib):
+        text = "RIOTCOMP 1\nBLOB\n"
+        with pytest.raises(CompositionFormatError, match="unknown keyword"):
+            load_composition(text, lib)
+
+    def test_line_numbers_in_errors(self, lib):
+        text = "RIOTCOMP 1\nCOMPOSITION t\nINSTANCE u1 pad R0 x y\nEND\n"
+        with pytest.raises(CompositionFormatError, match="line 3"):
+            load_composition(text, lib)
+
+    def test_recursion_rejected_on_save(self, lib):
+        a = CompositionCell("a")
+        b = CompositionCell("b")
+        # Seed both with a leaf so bounding boxes exist, then tie the knot.
+        a.add_instance(Instance("p1", lib.get("pad")))
+        b.add_instance(Instance("p2", lib.get("pad")))
+        a.add_instance(Instance("ib", b))
+        b.add_instance(Instance("ia", a))
+        from repro.composition.cell import CompositionError
+
+        with pytest.raises(CompositionError, match="recursive"):
+            save_composition([a])

@@ -1,0 +1,109 @@
+"""Property-based round trips for the composition format."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.composition.cell import CompositionCell
+from repro.composition.format import load_composition, save_composition
+from repro.composition.instance import Instance
+from repro.composition.library import CellLibrary
+from repro.geometry.layers import nmos_technology
+from repro.geometry.orientation import ALL_ORIENTATIONS
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+from tests.composition.conftest import make_cif_leaf, make_sticks_leaf
+
+TECH = nmos_technology()
+
+coord = st.integers(min_value=-40, max_value=40).map(lambda v: v * 250)
+
+
+def fresh_library():
+    library = CellLibrary(TECH)
+    library.add(make_cif_leaf(name="pad"))
+    library.add(make_sticks_leaf(name="gate"))
+    return library
+
+
+@st.composite
+def compositions(draw):
+    library = fresh_library()
+    cell = CompositionCell("randomcell")
+    for i in range(draw(st.integers(min_value=1, max_value=6))):
+        leaf = library.get(draw(st.sampled_from(["pad", "gate"])))
+        orientation = draw(st.sampled_from(ALL_ORIENTATIONS))
+        transform = Transform(orientation, Point(draw(coord), draw(coord)))
+        if draw(st.booleans()):
+            nx = draw(st.integers(min_value=1, max_value=4))
+            ny = draw(st.integers(min_value=1, max_value=3))
+            instance = Instance(f"u{i}", leaf, transform, nx, ny)
+        else:
+            instance = Instance(f"u{i}", leaf, transform)
+        cell.add_instance(instance)
+    if draw(st.booleans()):
+        cell.refresh_connectors()
+    return library, cell
+
+
+class TestFormatProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(compositions())
+    def test_geometry_roundtrips(self, built):
+        _, cell = built
+        text = save_composition([cell])
+        library2 = fresh_library()
+        load_composition(text, library2)
+        again = library2.get("randomcell")
+        assert again.bounding_box() == cell.bounding_box()
+
+    @settings(max_examples=60, deadline=None)
+    @given(compositions())
+    def test_instances_roundtrip(self, built):
+        _, cell = built
+        text = save_composition([cell])
+        library2 = fresh_library()
+        load_composition(text, library2)
+        again = library2.get("randomcell")
+        for inst in cell.instances:
+            loaded = again.instance(inst.name)
+            assert loaded.transform == inst.transform
+            assert (loaded.nx, loaded.ny) == (inst.nx, inst.ny)
+            assert (loaded.dx, loaded.dy) == (inst.dx, inst.dy)
+            assert loaded.cell.name == inst.cell.name
+
+    @settings(max_examples=60, deadline=None)
+    @given(compositions())
+    def test_connectors_roundtrip(self, built):
+        _, cell = built
+        text = save_composition([cell])
+        library2 = fresh_library()
+        load_composition(text, library2)
+        again = library2.get("randomcell")
+        assert [
+            (c.name, c.position, c.layer.name, c.width) for c in again.connectors
+        ] == [
+            (c.name, c.position, c.layer.name, c.width) for c in cell.connectors
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(compositions())
+    def test_double_save_stable(self, built):
+        _, cell = built
+        once = save_composition([cell])
+        library2 = fresh_library()
+        loaded = load_composition(once, library2)
+        assert save_composition(loaded) == once
+
+    @settings(max_examples=40, deadline=None)
+    @given(compositions())
+    def test_connector_visibility_preserved(self, built):
+        _, cell = built
+        text = save_composition([cell])
+        library2 = fresh_library()
+        load_composition(text, library2)
+        again = library2.get("randomcell")
+        for inst in cell.instances:
+            original = {c.name for c in inst.connectors()}
+            loaded = {c.name for c in again.instance(inst.name).connectors()}
+            assert original == loaded

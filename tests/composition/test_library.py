@@ -1,0 +1,155 @@
+"""Tests for the cell library (the cell menu)."""
+
+import pytest
+
+from repro.composition.cell import CompositionCell, CompositionError
+from repro.composition.instance import Instance
+from repro.composition.library import CellLibrary
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+
+from tests.composition.conftest import make_cif_leaf
+
+CIF_TEXT = """
+DS 1; 9 pad;
+L NM; B 4000 4000 2000 2000;
+94 PAD 0 2000 NM 750;
+DF;
+DS 2; 9 gate;
+L NP; B 500 500 250 250;
+94 G 0 250 NP 500;
+DF;
+E
+"""
+
+STICKS_TEXT = """
+STICKS srcell
+BBOX 0 0 2000 1500
+PIN IN poly 0 750 500
+PIN OUT poly 2000 750 500
+WIRE poly - 0 750 2000 750
+END
+"""
+
+
+@pytest.fixture()
+def lib():
+    return CellLibrary(nmos_technology())
+
+
+class TestRegistry:
+    def test_add_get(self, lib):
+        leaf = make_cif_leaf()
+        lib.add(leaf)
+        assert lib.get("leaf") is leaf
+        assert "leaf" in lib
+        assert len(lib) == 1
+
+    def test_duplicate_rejected(self, lib):
+        lib.add(make_cif_leaf())
+        with pytest.raises(CompositionError, match="already has a cell"):
+            lib.add(make_cif_leaf())
+
+    def test_missing_lookup_lists_contents(self, lib):
+        lib.add(make_cif_leaf())
+        with pytest.raises(KeyError, match="have: leaf"):
+            lib.get("nope")
+
+    def test_menu_order_is_insertion_order(self, lib):
+        lib.add(make_cif_leaf(name="b"))
+        lib.add(make_cif_leaf(name="a"))
+        lib.add(make_cif_leaf(name="c"))
+        assert lib.names == ["b", "a", "c"]
+
+    def test_rename(self, lib):
+        lib.add(make_cif_leaf())
+        cell = lib.rename("leaf", "pad")
+        assert cell.name == "pad"
+        assert "leaf" not in lib
+        assert lib.get("pad") is cell
+
+    def test_rename_collision(self, lib):
+        lib.add(make_cif_leaf(name="a"))
+        lib.add(make_cif_leaf(name="b"))
+        with pytest.raises(CompositionError, match="already has"):
+            lib.rename("a", "b")
+
+    def test_unique_name(self, lib):
+        lib.add(make_cif_leaf(name="route"))
+        assert lib.unique_name("route") == "route2"
+        assert lib.unique_name("other") == "other"
+
+
+class TestRemove:
+    def test_remove_unused(self, lib):
+        lib.add(make_cif_leaf())
+        lib.remove("leaf")
+        assert "leaf" not in lib
+
+    def test_remove_in_use_rejected(self, lib):
+        leaf = lib.add(make_cif_leaf())
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", leaf))
+        lib.add(comp)
+        with pytest.raises(CompositionError, match="still instantiated"):
+            lib.remove("leaf")
+
+    def test_remove_after_user_removed(self, lib):
+        leaf = lib.add(make_cif_leaf())
+        comp = CompositionCell("top")
+        inst = comp.add_instance(Instance("u1", leaf))
+        lib.add(comp)
+        comp.remove_instance(inst)
+        lib.remove("leaf")
+
+
+class TestReplace:
+    def test_replace_rebinds_instances(self, lib):
+        leaf = lib.add(make_cif_leaf())
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", leaf))
+        lib.add(comp)
+        bigger = make_cif_leaf(width=4000)
+        lib.replace("leaf", bigger)
+        assert comp.instance("u1").cell is bigger
+        assert lib.get("leaf") is bigger
+
+    def test_replace_changes_positions_silently(self, lib):
+        # The paper's failure mode: replacing a leaf moves connectors
+        # and nobody is warned. The netcheck must show the difference.
+        leaf = lib.add(make_cif_leaf())
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", leaf))
+        lib.add(comp)
+        before = comp.instance("u1").connector("OUT").position
+        wider = make_cif_leaf(
+            width=3000,
+            connectors=(
+                ("IN", 0, 500, "metal", 400),
+                ("OUT", 3000, 500, "metal", 400),
+            ),
+        )
+        lib.replace("leaf", wider)
+        after = comp.instance("u1").connector("OUT").position
+        assert before != after
+
+
+class TestLoading:
+    def test_load_cif(self, lib):
+        added = lib.load_cif(CIF_TEXT, source_file="pads.cif")
+        assert {c.name for c in added} == {"pad", "gate"}
+        pad = lib.get("pad")
+        assert not pad.is_stretchable
+        assert pad.source_file == "pads.cif"
+        assert pad.connector("PAD").position == Point(0, 2000)
+
+    def test_load_sticks(self, lib):
+        added = lib.load_sticks(STICKS_TEXT, source_file="sr.sticks")
+        assert added[0].name == "srcell"
+        assert added[0].is_stretchable
+        assert lib.get("srcell").connector("IN").layer.name == "poly"
+
+    def test_load_collision(self, lib):
+        lib.load_cif(CIF_TEXT)
+        with pytest.raises(CompositionError, match="already has"):
+            lib.load_cif(CIF_TEXT)

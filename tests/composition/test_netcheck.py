@@ -1,0 +1,104 @@
+"""Tests for positional connection checking."""
+
+import pytest
+
+from repro.composition.instance import Instance
+from repro.composition.netcheck import check_connections
+from repro.geometry.layers import nmos_technology
+from repro.geometry.transform import Transform
+
+from tests.composition.conftest import make_cif_leaf
+
+TECH = nmos_technology()
+
+
+@pytest.fixture()
+def leaf():
+    return make_cif_leaf(tech=TECH)  # 2000x1000, IN@(0,500), OUT@(2000,500)
+
+
+class TestMadeConnections:
+    def test_abutted_connectors_detected(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(2000, 0))
+        report = check_connections([a, b], TECH)
+        assert report.made_count == 1
+        assert report.is_connected(a, "OUT", b, "IN")
+
+    def test_order_insensitive(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(2000, 0))
+        report = check_connections([a, b], TECH)
+        assert report.is_connected(b, "IN", a, "OUT")
+
+    def test_disjoint_instances_not_connected(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(10000, 0))
+        report = check_connections([a, b], TECH)
+        assert report.made_count == 0
+        assert len(report.unconnected) == 4
+
+    def test_different_layers_never_connect(self, tech):
+        left = make_cif_leaf(
+            name="l", connectors=(("OUT", 2000, 500, "metal", 400),), tech=tech
+        )
+        right = make_cif_leaf(
+            name="r", connectors=(("IN", 0, 500, "poly", 400),), tech=tech
+        )
+        a = Instance("a", left)
+        b = Instance("b", right, Transform.translate(2000, 0))
+        report = check_connections([a, b], TECH)
+        assert report.made_count == 0
+
+    def test_same_instance_ignored(self, leaf):
+        # An instance cannot connect to itself positionally.
+        report = check_connections([Instance("a", leaf)], TECH)
+        assert report.made_count == 0
+
+    def test_three_way_connection(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(2000, 0))
+        c = Instance("c", leaf, Transform.translate(2000, 0))
+        # b and c coincide entirely: a-b, a-c and b-c pairs at x=2000,
+        # plus the coincident b.OUT-c.OUT pair at x=4000.
+        report = check_connections([a, b, c], TECH)
+        assert report.made_count == 4
+
+
+class TestNearMisses:
+    def test_near_miss_reported(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(2100, 0))  # 100 off
+        report = check_connections([a, b], TECH)
+        assert report.made_count == 0
+        assert len(report.near_misses) == 1
+        assert report.near_misses[0].distance == 100
+
+    def test_beyond_pitch_not_a_near_miss(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(2000 + TECH.pitch("metal"), 0))
+        report = check_connections([a, b], TECH)
+        assert report.near_misses == []
+
+
+class TestOverlap:
+    def test_overlap_reported(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(1000, 0))
+        report = check_connections([a, b], TECH)
+        assert (a, b) in report.overlapping_instances
+
+    def test_abutment_is_not_overlap(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(2000, 0))
+        report = check_connections([a, b], TECH)
+        assert report.overlapping_instances == []
+
+
+class TestUnconnected:
+    def test_unconnected_listed(self, leaf):
+        a = Instance("a", leaf)
+        b = Instance("b", leaf, Transform.translate(2000, 0))
+        report = check_connections([a, b], TECH)
+        names = {(c.instance.name, c.name) for c in report.unconnected}
+        assert names == {("a", "IN"), ("b", "OUT")}

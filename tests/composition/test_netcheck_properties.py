@@ -1,0 +1,79 @@
+"""Property-based tests for the positional netcheck."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.composition.instance import Instance
+from repro.composition.netcheck import check_connections
+from repro.geometry.layers import nmos_technology
+from repro.geometry.orientation import ALL_ORIENTATIONS
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+from tests.composition.conftest import make_cif_leaf
+
+TECH = nmos_technology()
+
+coord = st.integers(min_value=-20, max_value=20).map(lambda v: v * 500)
+
+
+@st.composite
+def instance_sets(draw):
+    leaf = make_cif_leaf(tech=TECH)
+    instances = []
+    for i in range(draw(st.integers(min_value=1, max_value=6))):
+        transform = Transform(
+            draw(st.sampled_from(ALL_ORIENTATIONS)),
+            Point(draw(coord), draw(coord)),
+        )
+        instances.append(Instance(f"u{i}", leaf, transform))
+    return instances
+
+
+class TestNetcheckProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(instance_sets())
+    def test_made_connections_really_coincide(self, instances):
+        report = check_connections(instances, TECH)
+        for made in report.made:
+            assert made.a.position == made.b.position
+            assert made.a.layer.name == made.b.layer.name
+            assert made.a.instance is not made.b.instance
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance_sets())
+    def test_near_misses_really_near(self, instances):
+        report = check_connections(instances, TECH)
+        for miss in report.near_misses:
+            d = miss.a.position.manhattan_distance(miss.b.position)
+            assert 0 < d < TECH.pitch(miss.a.layer)
+            assert d == miss.distance
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance_sets())
+    def test_every_connector_classified(self, instances):
+        report = check_connections(instances, TECH)
+        total = sum(len(inst.connectors()) for inst in instances)
+        connected = {id(c) for m in report.made for c in (m.a, m.b)}
+        assert len(connected) + len(report.unconnected) == total
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance_sets(), st.integers(min_value=-10, max_value=10))
+    def test_rigid_translation_invariant(self, instances, k):
+        d = k * 777
+        before = check_connections(instances, TECH)
+        for inst in instances:
+            inst.translate(d, -d)
+        after = check_connections(instances, TECH)
+        assert before.made_count == after.made_count
+        assert len(before.near_misses) == len(after.near_misses)
+        assert len(before.overlapping_instances) == len(
+            after.overlapping_instances
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(instance_sets())
+    def test_overlap_pairs_really_overlap(self, instances):
+        report = check_connections(instances, TECH)
+        for a, b in report.overlapping_instances:
+            assert a.bounding_box().overlaps(b.bounding_box())

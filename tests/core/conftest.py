@@ -1,0 +1,78 @@
+"""Shared fixtures for editor-level tests.
+
+The cells here mirror the paper's example stock: rigid CIF "pads"
+(unstretchable) and symbolic Sticks "gates" (stretchable), with
+opposed metal connectors sized for abutment, routing and stretching
+scenarios.
+"""
+
+import pytest
+
+from repro.cif.semantics import CifCell, CifConnector
+from repro.composition.cell import LeafCell
+from repro.core.editor import RiotEditor
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.sticks.model import Pin, SticksCell, SymbolicWire
+
+TECH = nmos_technology()
+
+
+def cif_block(name, width, height, connectors):
+    """A CIF leaf: a metal slab with the given connectors.
+
+    ``connectors`` is a list of (name, x, y) tuples; all metal, width
+    400 centimicrons.
+    """
+    cif = CifCell(1, name)
+    cif.geometry.boxes.append((TECH.layer("metal"), Box(0, 0, width, height)))
+    for cname, x, y in connectors:
+        cif.connectors.append(
+            CifConnector(cname, Point(x, y), TECH.layer("metal"), 400)
+        )
+    return LeafCell.from_cif(cif)
+
+
+def sticks_gate(name, width=3000, height=2000, left_pins=(("A", 400), ("B", 1600)),
+                right_pins=(("OUT", 1000),)):
+    """A Sticks leaf: metal pins on the left and right edges, a poly
+    body wire and a transistor so the compactor has structure to keep."""
+    cell = SticksCell(name)
+    cell.boundary = Box(0, 0, width, height)
+    for pname, y in left_pins:
+        cell.pins.append(Pin(pname, "metal", Point(0, y), 400))
+        cell.wires.append(
+            SymbolicWire("metal", (Point(0, y), Point(width // 2, y)), 400)
+        )
+    for pname, y in right_pins:
+        cell.pins.append(Pin(pname, "metal", Point(width, y), 400))
+        cell.wires.append(
+            SymbolicWire("metal", (Point(width // 2, y), Point(width, y)), 400)
+        )
+    return LeafCell.from_sticks(cell, TECH)
+
+
+@pytest.fixture()
+def editor():
+    """An editor stocked with the standard test cells, editing 'top'."""
+    ed = RiotEditor(TECH)
+    lib = ed.library
+    # driver: two outputs on its right edge.
+    lib.add(cif_block("driver", 2000, 1000, [("A", 2000, 300), ("B", 2000, 700)]))
+    # receiver: matching inputs on its left edge.
+    lib.add(cif_block("receiver", 2000, 1000, [("A", 0, 300), ("B", 0, 700)]))
+    # spread: same inputs but much further apart (forces jogs/stretch).
+    # The 2400 separation clears the gate's stretch minimum: its A and
+    # B pins have a third metal wire between them, so they can come no
+    # closer than two metal pitches (2300).
+    lib.add(cif_block("spread", 2000, 3200, [("A", 0, 300), ("B", 0, 2700)]))
+    # gate: stretchable sticks cell with left pins A/B.
+    lib.add(sticks_gate("gate"))
+    ed.new_cell("top")
+    return ed
+
+
+@pytest.fixture()
+def tech():
+    return TECH

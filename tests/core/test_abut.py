@@ -1,0 +1,131 @@
+"""Tests for connection by abutment (paper figure 4)."""
+
+import pytest
+
+from repro.core.abut import abut, abut_edges
+from repro.core.errors import RiotError
+from repro.core.pending import PendingList
+from repro.geometry.point import Point
+
+
+class TestConnectorAbut:
+    def test_connectors_meet_exactly(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r = editor.create(at=Point(5000, 200), cell_name="receiver", name="r")
+        pending = PendingList()
+        pending.add(d, "A", r, "A")
+        result = abut(pending)
+        assert result.made == 1
+        assert result.warnings == []
+        assert d.connector("A").position == r.connector("A").position
+
+    def test_only_from_moves(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r = editor.create(at=Point(5000, 0), cell_name="receiver", name="r")
+        r_before = r.bounding_box()
+        pending = PendingList()
+        pending.add(d, "A", r, "A")
+        abut(pending)
+        assert r.bounding_box() == r_before
+
+    def test_matching_pattern_makes_all(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r = editor.create(at=Point(5000, 0), cell_name="receiver", name="r")
+        pending = PendingList()
+        pending.add_bus(d, r)
+        result = abut(pending)
+        assert result.made == 2
+        assert result.warnings == []
+
+    def test_mismatched_pattern_warns(self, editor):
+        # spread's connectors are further apart than driver's; the
+        # second connection cannot be made by a rigid move.
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        s = editor.create(at=Point(5000, 0), cell_name="spread", name="s")
+        pending = PendingList()
+        pending.add(d, "A", s, "A")
+        pending.add(d, "B", s, "B")
+        result = abut(pending)
+        assert result.made == 1
+        assert len(result.warnings) == 1
+        assert "not made by abutment" in result.warnings[0]
+
+    def test_empty_pending_rejected(self):
+        with pytest.raises(RiotError, match="no pending"):
+            abut(PendingList())
+
+
+class TestOverlap:
+    """Edge connectors touching never overlap; the overlap case is
+    one-to-many: meeting the first target lands the from instance on
+    top of a second to instance (the paper's rail-sharing scenario)."""
+
+    def _setup(self, editor):
+        d = editor.create(at=Point(0, 3000), cell_name="driver", name="d")
+        r1 = editor.create(at=Point(5000, 0), cell_name="receiver", name="r1")
+        r2 = editor.create(at=Point(4000, 0), cell_name="receiver", name="r2")
+        pending = PendingList()
+        pending.add(d, "A", r1, "A")
+        pending.add(d, "B", r2, "B")
+        return d, r1, r2, pending
+
+    def test_overlap_rejected_by_default(self, editor):
+        _, _, _, pending = self._setup(editor)
+        with pytest.raises(RiotError, match="overlap"):
+            abut(pending)
+
+    def test_rejected_abut_restores_position(self, editor):
+        d, _, _, pending = self._setup(editor)
+        before = d.bounding_box()
+        with pytest.raises(RiotError):
+            abut(pending)
+        assert d.bounding_box() == before
+
+    def test_overlap_allowed_with_option(self, editor):
+        d, r1, r2, pending = self._setup(editor)
+        result = abut(pending, overlap=True)
+        assert result.made == 1  # d.A meets r1.A exactly
+        assert d.bounding_box().overlaps(r2.bounding_box())
+        assert d.connector("A").position == r1.connector("A").position
+
+
+class TestEdgeAbut:
+    def test_from_right_of_to(self, editor):
+        d = editor.create(at=Point(10000, 3000), cell_name="driver", name="d")
+        r = editor.create(at=Point(0, 0), cell_name="receiver", name="r")
+        abut_edges(d, r)
+        box_d, box_r = d.bounding_box(), r.bounding_box()
+        assert box_d.llx == box_r.urx  # edges touch
+        assert box_d.lly == box_r.lly  # bottoms aligned
+
+    def test_from_left_of_to(self, editor):
+        d = editor.create(at=Point(-9000, 3000), cell_name="driver", name="d")
+        r = editor.create(at=Point(0, 0), cell_name="receiver", name="r")
+        abut_edges(d, r)
+        assert d.bounding_box().urx == r.bounding_box().llx
+        assert d.bounding_box().lly == r.bounding_box().lly
+
+    def test_from_above_to(self, editor):
+        d = editor.create(at=Point(500, 9000), cell_name="driver", name="d")
+        r = editor.create(at=Point(0, 0), cell_name="receiver", name="r")
+        abut_edges(d, r)
+        assert d.bounding_box().lly == r.bounding_box().ury
+        assert d.bounding_box().llx == r.bounding_box().llx  # lefts aligned
+
+    def test_from_below_to(self, editor):
+        d = editor.create(at=Point(500, -9000), cell_name="driver", name="d")
+        r = editor.create(at=Point(0, 0), cell_name="receiver", name="r")
+        abut_edges(d, r)
+        assert d.bounding_box().ury == r.bounding_box().lly
+        assert d.bounding_box().llx == r.bounding_box().llx
+
+    def test_self_abut_rejected(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        with pytest.raises(RiotError, match="itself"):
+            abut_edges(d, d)
+
+    def test_array_elements_abut(self, editor):
+        # The shift-register pattern: array elements connect by
+        # abutment because spacing defaults to the cell width.
+        a = editor.create(at=Point(0, 0), cell_name="driver", nx=4, name="a")
+        assert a.bounding_box().width == 4 * 2000

@@ -1,0 +1,234 @@
+"""Tests for the graphical command interface, driven through devices.
+
+These tests replay the paper's interaction model end to end: a
+pointing device produces events, the display hit-tests them, and the
+command state machine calls the editor — exactly how a user at the
+Charles or GIGI workstation drove Riot.
+"""
+
+import pytest
+
+from repro.core.commands import COMMANDS, GraphicalInterface
+from repro.geometry.point import Point
+from repro.workstation.devices import charles_workstation, gigi_workstation
+
+
+@pytest.fixture()
+def gui(editor):
+    ws = charles_workstation()
+    gui = GraphicalInterface(editor, ws.display)
+    gui.workstation = ws
+    return gui
+
+
+def press_menu(gui, kind, name):
+    point = gui.display.menu_point(kind, name)
+    gui.workstation.point_and_press(point)
+    return gui.handle_events(gui.workstation.events())
+
+
+def press_world(gui, world_point):
+    screen = gui.display.viewport.to_screen(world_point)
+    gui.workstation.point_and_press(screen)
+    return gui.handle_events(gui.workstation.events())
+
+
+class TestMenuDriving:
+    def test_select_cell_from_menu(self, gui):
+        messages = press_menu(gui, "cell-menu", "driver")
+        assert messages == ["selected driver"]
+        assert gui.editor.selected_cell == "driver"
+
+    def test_pick_command(self, gui):
+        messages = press_menu(gui, "command-menu", "CREATE")
+        assert "point in the editing area" in messages[0]
+        assert gui.current_command == "CREATE"
+
+    def test_every_menu_command_reachable(self, gui):
+        for name in COMMANDS:
+            hit = gui.display.hit_test(gui.display.menu_point("command-menu", name))
+            assert hit.name == name
+
+
+class TestCreateFlow:
+    def test_create_via_clicks(self, gui):
+        gui.display.viewport.fit(
+            __import__("repro.geometry.box", fromlist=["Box"]).Box(0, 0, 20000, 20000)
+        )
+        press_menu(gui, "cell-menu", "driver")
+        press_menu(gui, "command-menu", "CREATE")
+        messages = press_world(gui, Point(1000, 1000))
+        assert messages == ["created driver"]
+        inst = gui.editor.cell.instance("driver")
+        corner = inst.bounding_box().lower_left
+        # Screen pixels quantize world coordinates at this zoom level.
+        scale = gui.display.viewport.scale_den // gui.display.viewport.scale_num
+        assert abs(corner.x - 1000) <= scale
+        assert abs(corner.y - 1000) <= scale
+
+    def test_create_without_selection_reports_error(self, gui):
+        press_menu(gui, "command-menu", "CREATE")
+        messages = press_world(gui, Point(1000, 1000))
+        assert messages[0].startswith("error")
+
+
+class TestEditingFlows:
+    def _place_two(self, gui):
+        from repro.geometry.box import Box
+
+        gui.display.viewport.fit(Box(-20000, -20000, 40000, 40000))
+        gui.editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        gui.editor.create(at=Point(10000, 0), cell_name="receiver", name="r")
+        gui.redraw()
+
+    def test_move_two_click_flow(self, gui):
+        self._place_two(gui)
+        press_menu(gui, "command-menu", "MOVE")
+        first = press_world(gui, Point(500, 500))
+        assert "moving d" in first[0]
+        press_world(gui, Point(4000, 4000))
+        box = gui.editor.cell.instance("d").bounding_box()
+        # Viewport rounding: the destination is quantized by the pixel
+        # grid, so allow the scale error.
+        scale = gui.display.viewport.scale_den // gui.display.viewport.scale_num
+        assert abs(box.llx - 4000) <= scale
+        assert abs(box.lly - 4000) <= scale
+
+    def test_rotate_click(self, gui):
+        self._place_two(gui)
+        press_menu(gui, "command-menu", "ROTATE")
+        messages = press_world(gui, Point(500, 500))
+        assert messages == ["rotated d"]
+
+    def test_delete_click(self, gui):
+        self._place_two(gui)
+        press_menu(gui, "command-menu", "DELETE")
+        press_world(gui, Point(500, 500))
+        assert all(i.name != "d" for i in gui.editor.cell.instances)
+
+    def test_click_on_empty_space_errors(self, gui):
+        self._place_two(gui)
+        press_menu(gui, "command-menu", "DELETE")
+        messages = press_world(gui, Point(-15000, -15000))
+        assert messages[0].startswith("error: no instance")
+
+    def test_idle_click_identifies_instance(self, gui):
+        self._place_two(gui)
+        messages = press_world(gui, Point(500, 500))
+        assert "d" in messages[0]
+
+
+class TestConnectFlow:
+    def test_connect_and_abut(self, gui):
+        from repro.geometry.box import Box
+
+        gui.display.viewport.fit(Box(-5000, -5000, 20000, 10000))
+        gui.editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        gui.editor.create(at=Point(10000, 0), cell_name="receiver", name="r")
+        gui.redraw()
+        press_menu(gui, "command-menu", "CONNECT")
+        first = press_world(gui, Point(2000, 300))  # d.A
+        assert "from" in first[0]
+        second = press_world(gui, Point(10000, 300))  # r.A
+        assert "pending" in second[0]
+        assert len(gui.editor.pending) == 1
+
+        messages = press_menu(gui, "command-menu", "ABUT")
+        assert "abutted" in messages[0]
+        d = gui.editor.cell.instance("d")
+        r = gui.editor.cell.instance("r")
+        assert d.connector("A").position == r.connector("A").position
+
+    def test_connector_pick_radius(self, gui):
+        from repro.geometry.box import Box
+
+        gui.display.viewport.fit(Box(-5000, -5000, 20000, 10000))
+        gui.editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        gui.redraw()
+        press_menu(gui, "command-menu", "CONNECT")
+        # Far away from any connector: an error.
+        messages = press_world(gui, Point(-4000, -4000))
+        assert messages[0].startswith("error: no connector")
+
+    def test_bus_flow(self, gui):
+        from repro.geometry.box import Box
+
+        gui.display.viewport.fit(Box(-5000, -5000, 20000, 10000))
+        gui.editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        gui.editor.create(at=Point(10000, 0), cell_name="receiver", name="r")
+        gui.redraw()
+        press_menu(gui, "command-menu", "BUS")
+        press_world(gui, Point(500, 500))
+        messages = press_world(gui, Point(10500, 500))
+        assert "2 pending" in messages[0]
+
+
+class TestImmediateCommands:
+    def test_zoom_commands(self, gui):
+        before = gui.display.viewport.scale_num / gui.display.viewport.scale_den
+        press_menu(gui, "command-menu", "ZOOMIN")
+        mid = gui.display.viewport.scale_num / gui.display.viewport.scale_den
+        assert mid == before * 2
+        press_menu(gui, "command-menu", "ZOOMOUT")
+        after = gui.display.viewport.scale_num / gui.display.viewport.scale_den
+        assert after == before
+
+    def test_fit_requires_content(self, gui):
+        messages = press_menu(gui, "command-menu", "FIT")
+        assert messages[0].startswith("error: nothing to fit")
+
+    def test_pan_recenters(self, gui):
+        gui.editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        gui.redraw()
+        press_menu(gui, "command-menu", "PAN")
+        messages = press_world(gui, Point(4000, 4000))
+        assert "panned" in messages[0]
+        center = gui.display.viewport.world_center
+        scale = gui.display.viewport.scale_den // gui.display.viewport.scale_num
+        assert abs(center.x - 4000) <= scale
+        assert abs(center.y - 4000) <= scale
+
+    def test_names_toggle(self, gui):
+        assert press_menu(gui, "command-menu", "NAMES") == ["names on"]
+        assert press_menu(gui, "command-menu", "NAMES") == ["names off"]
+
+    def test_finish_via_menu(self, gui):
+        gui.editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        gui.redraw()
+        messages = press_menu(gui, "command-menu", "FINISH")
+        assert "2 connector(s)" in messages[0]
+
+    def test_route_via_menu(self, gui):
+        gui.editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        gui.editor.create(at=Point(9000, 0), cell_name="receiver", name="r")
+        gui.editor.connect("d", "A", "r", "A")
+        gui.editor.connect("d", "B", "r", "B")
+        gui.redraw()
+        messages = press_menu(gui, "command-menu", "ROUTE")
+        assert "routed 2 wire(s)" in messages[0]
+
+    def test_stretch_via_menu(self, gui):
+        gui.editor.create(at=Point(6000, 0), cell_name="gate", name="g")
+        gui.editor.create(at=Point(0, 0), cell_name="spread", name="s")
+        gui.editor.mirror("s")
+        gui.editor.connect("g", "A", "s", "A")
+        gui.editor.connect("g", "B", "s", "B")
+        gui.redraw()
+        messages = press_menu(gui, "command-menu", "STRETCH")
+        assert "stretched gate" in messages[0]
+
+
+class TestBothWorkstations:
+    def test_gigi_drives_the_same_editor(self, editor):
+        ws = gigi_workstation()
+        gui = GraphicalInterface(editor, ws.display)
+        point = ws.display.menu_point("cell-menu", "driver")
+        ws.point_and_press(point)
+        messages = gui.handle_events(ws.events())
+        assert messages == ["selected driver"]
+
+    def test_keyline_events_pass_through(self, gui):
+        from repro.workstation.events import KeyLine
+
+        message = gui.handle(KeyLine("cells"))
+        assert message == "(textual) cells"

@@ -1,0 +1,160 @@
+"""Tests for composition-to-CIF and composition-to-Sticks conversion."""
+
+import pytest
+
+from repro.cif.parser import parse_cif
+from repro.cif.semantics import elaborate
+from repro.core.convert import composition_to_cif, composition_to_sticks
+from repro.geometry.point import Point
+
+from tests.core.conftest import TECH
+
+
+class TestToCif:
+    def test_output_parses(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        text = composition_to_cif(editor.cell, TECH)
+        design = elaborate(parse_cif(text), TECH)
+        assert design.cell("top") is not None
+
+    def test_hierarchy_preserved(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(5000, 0), cell_name="receiver", name="r")
+        text = composition_to_cif(editor.cell, TECH)
+        design = elaborate(parse_cif(text), TECH)
+        top = design.cell("top")
+        assert len(top.calls) == 2
+        callees = {c.name for c, _ in top.calls}
+        assert callees == {"driver", "receiver"}
+
+    def test_shared_leaf_emitted_once(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d1")
+        editor.create(at=Point(0, 5000), cell_name="driver", name="d2")
+        text = composition_to_cif(editor.cell, TECH)
+        assert text.count("9 driver;") == 1
+
+    def test_arrays_unrolled(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", nx=4, ny=2, name="a")
+        text = composition_to_cif(editor.cell, TECH)
+        design = elaborate(parse_cif(text), TECH)
+        assert len(design.cell("top").calls) == 8
+
+    def test_sticks_leaf_expanded(self, editor):
+        editor.create(at=Point(0, 0), cell_name="gate", name="g")
+        text = composition_to_cif(editor.cell, TECH)
+        design = elaborate(parse_cif(text), TECH)
+        gate = design.cell("gate")
+        assert gate.geometry.paths  # expanded wires present
+
+    def test_connectors_carried(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.finish()
+        text = composition_to_cif(editor.cell, TECH)
+        design = elaborate(parse_cif(text), TECH)
+        assert {c.name for c in design.cell("top").connectors} == {"A", "B"}
+
+    def test_flattened_geometry_positions(self, editor):
+        editor.create(at=Point(1000, 2000), cell_name="driver", name="d")
+        text = composition_to_cif(editor.cell, TECH)
+        design = elaborate(parse_cif(text), TECH)
+        flat = design.cell("top").flatten()
+        assert flat.bounding_box().lower_left == Point(1000, 2000)
+
+    def test_nested_composition(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.new_cell("outer")
+        editor.create(at=Point(0, 0), cell_name="top", name="t1")
+        editor.create(at=Point(0, 5000), cell_name="top", name="t2")
+        text = composition_to_cif(editor.cell, TECH)
+        design = elaborate(parse_cif(text), TECH)
+        outer = design.cell("outer")
+        assert len(outer.calls) == 2
+        assert outer.flatten().shape_count == 2
+
+
+class TestToSticks:
+    def test_flatten_symbolic_leaves(self, editor):
+        editor.create(at=Point(0, 0), cell_name="gate", name="g")
+        editor.finish()
+        flat, warnings = composition_to_sticks(editor.cell, TECH)
+        assert warnings == []
+        assert len(flat.wires) == 3  # the gate's wires
+
+    def test_pins_from_composition_connectors(self, editor):
+        editor.create(at=Point(0, 0), cell_name="gate", name="g")
+        editor.finish()
+        flat, _ = composition_to_sticks(editor.cell, TECH)
+        names = {p.name for p in flat.pins}
+        assert names == {"A", "B", "OUT"}
+
+    def test_cif_leaf_warns(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.finish()
+        flat, warnings = composition_to_sticks(editor.cell, TECH)
+        assert len(warnings) == 1
+        assert "driver" in warnings[0]
+
+    def test_cif_leaf_warned_once(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d1")
+        editor.create(at=Point(0, 5000), cell_name="driver", name="d2")
+        editor.finish()
+        _, warnings = composition_to_sticks(editor.cell, TECH)
+        assert len(warnings) == 1
+
+    def test_transform_applied(self, editor):
+        editor.create(at=Point(10000, 0), cell_name="gate", name="g")
+        editor.finish()
+        flat, _ = composition_to_sticks(editor.cell, TECH)
+        xs = [p.x for w in flat.wires for p in w.points]
+        assert min(xs) >= 10000
+
+    def test_device_orientation_swaps_under_rotation(self, editor):
+        from repro.composition.cell import LeafCell
+        from repro.sticks.model import Device, SticksCell, SymbolicWire
+        from repro.geometry.box import Box
+
+        cell = SticksCell("dev")
+        cell.boundary = Box(0, 0, 2000, 2000)
+        cell.devices.append(Device("enh", Point(1000, 1000), "v"))
+        editor.library.add(LeafCell.from_sticks(cell, TECH))
+        editor.create(at=Point(0, 0), cell_name="dev", name="d", orientation="R90")
+        editor.finish()
+        flat, _ = composition_to_sticks(editor.cell, TECH)
+        assert flat.devices[0].orientation == "h"
+
+    def test_mirror_keeps_device_orientation(self, editor):
+        from repro.composition.cell import LeafCell
+        from repro.sticks.model import Device, SticksCell
+        from repro.geometry.box import Box
+
+        cell = SticksCell("dev2")
+        cell.boundary = Box(0, 0, 2000, 2000)
+        cell.devices.append(Device("dep", Point(1000, 1000), "h"))
+        editor.library.add(LeafCell.from_sticks(cell, TECH))
+        editor.create(at=Point(0, 0), cell_name="dev2", name="d", orientation="MX")
+        editor.finish()
+        flat, _ = composition_to_sticks(editor.cell, TECH)
+        assert flat.devices[0].orientation == "h"
+        assert flat.devices[0].kind == "dep"
+
+    def test_array_elements_flattened(self, editor):
+        editor.create(at=Point(0, 0), cell_name="gate", nx=3, name="g")
+        editor.finish()
+        flat, _ = composition_to_sticks(editor.cell, TECH)
+        assert len(flat.wires) == 9
+
+    def test_boundary_is_cell_bbox(self, editor):
+        editor.create(at=Point(0, 0), cell_name="gate", name="g")
+        editor.finish()
+        flat, _ = composition_to_sticks(editor.cell, TECH)
+        assert flat.boundary == editor.cell.bounding_box()
+
+    def test_roundtrip_through_text(self, editor):
+        from repro.sticks.parser import parse_sticks
+        from repro.sticks.writer import write_sticks
+
+        editor.create(at=Point(0, 0), cell_name="gate", name="g")
+        editor.finish()
+        flat, _ = composition_to_sticks(editor.cell, TECH)
+        again = parse_sticks(write_sticks([flat]))[0]
+        assert again == flat

@@ -1,0 +1,229 @@
+"""Tests for the editor's instance and lifecycle commands."""
+
+import pytest
+
+from repro.core.errors import RiotError
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+
+
+class TestLifecycle:
+    def test_new_cell_registers_and_edits(self, editor):
+        assert editor.cell.name == "top"
+        assert "top" in editor.library
+
+    def test_edit_switches(self, editor):
+        editor.new_cell("other")
+        editor.edit("top")
+        assert editor.cell.name == "top"
+
+    def test_edit_clears_pending(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        editor.connect("d", "A", "r", "A")
+        editor.new_cell("other")
+        assert len(editor.pending) == 0
+
+    def test_edit_leaf_rejected(self, editor):
+        with pytest.raises(RiotError, match="leaf cell"):
+            editor.edit("driver")
+
+    def test_no_cell_under_edit(self, tech):
+        from repro.core.editor import RiotEditor
+
+        fresh = RiotEditor(tech)
+        with pytest.raises(RiotError, match="no cell under edit"):
+            fresh.create(at=Point(0, 0), cell_name="x")
+
+    def test_finish_promotes(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        names = editor.finish()
+        assert set(names) == {"A", "B"}
+        assert editor.cell.connector("A").layer.name == "metal"
+
+    def test_delete_cell_clears_edit_state(self, editor):
+        editor.select("driver")
+        editor.create(at=Point(0, 0), name="d")
+        editor.delete_instance("d")
+        editor.delete_cell("top")
+        assert editor.cell is None
+
+    def test_rename_cell_updates_selection(self, editor):
+        editor.select("driver")
+        editor.rename_cell("driver", "pads")
+        assert editor.selected_cell == "pads"
+
+
+class TestCreate:
+    def test_create_at_position(self, editor):
+        inst = editor.create(at=Point(1000, 2000), cell_name="driver")
+        assert inst.bounding_box().lower_left == Point(1000, 2000)
+
+    def test_create_uses_selection(self, editor):
+        editor.select("receiver")
+        inst = editor.create(at=Point(0, 0))
+        assert inst.cell.name == "receiver"
+
+    def test_create_no_selection(self, editor):
+        with pytest.raises(RiotError, match="no cell selected"):
+            editor.create(at=Point(0, 0))
+
+    def test_create_with_orientation(self, editor):
+        inst = editor.create(at=Point(0, 0), cell_name="driver", orientation="R90")
+        box = inst.bounding_box()
+        assert (box.width, box.height) == (1000, 2000)
+        assert box.lower_left == Point(0, 0)
+
+    def test_create_array(self, editor):
+        inst = editor.create(at=Point(0, 0), cell_name="driver", nx=4, ny=2)
+        assert inst.bounding_box() == Box(0, 0, 8000, 2000)
+
+    def test_create_unique_names(self, editor):
+        a = editor.create(at=Point(0, 0), cell_name="driver")
+        b = editor.create(at=Point(0, 5000), cell_name="driver")
+        assert a.name == "driver"
+        assert b.name == "driver2"
+
+    def test_create_self_rejected(self, editor):
+        with pytest.raises(RiotError, match="itself"):
+            editor.create(at=Point(0, 0), cell_name="top")
+
+    def test_select_unknown(self, editor):
+        with pytest.raises(KeyError):
+            editor.select("ghost")
+
+
+class TestManipulation:
+    def test_move(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.move("d", Point(500, 600))
+        assert editor.cell.instance("d").bounding_box().lower_left == Point(500, 600)
+
+    def test_move_by(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.move_by("d", 10, -20)
+        assert editor.cell.instance("d").bounding_box().lower_left == Point(10, -20)
+
+    def test_rotate_in_place(self, editor):
+        editor.create(at=Point(1000, 1000), cell_name="driver", name="d")
+        editor.rotate("d")
+        box = editor.cell.instance("d").bounding_box()
+        assert box.lower_left == Point(1000, 1000)
+        assert (box.width, box.height) == (1000, 2000)
+
+    def test_mirror_in_place(self, editor):
+        editor.create(at=Point(1000, 1000), cell_name="driver", name="d")
+        editor.mirror("d", axis="x")
+        box = editor.cell.instance("d").bounding_box()
+        assert box.lower_left == Point(1000, 1000)
+        # Mirroring flips which edge carries the connectors.
+        assert editor.cell.instance("d").connector("A").side == "left"
+
+    def test_mirror_bad_axis(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        with pytest.raises(RiotError, match="axis"):
+            editor.mirror("d", axis="z")
+
+    def test_replicate(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.replicate("d", nx=3)
+        assert editor.cell.instance("d").bounding_box().width == 6000
+
+    def test_replicate_custom_spacing(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.replicate("d", nx=2, dx=2500)
+        assert editor.cell.instance("d").bounding_box().width == 4500
+
+    def test_replicate_invalid(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        with pytest.raises(RiotError, match=">= 1"):
+            editor.replicate("d", nx=0)
+
+    def test_delete_instance_drops_pending(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        editor.connect("d", "A", "r", "A")
+        editor.delete_instance("r")
+        assert len(editor.pending) == 0
+        assert any("dropped" in m for m in editor.messages)
+
+    def test_unknown_instance(self, editor):
+        with pytest.raises(KeyError):
+            editor.move("ghost", Point(0, 0))
+
+
+class TestBringOut:
+    def test_bring_out_reaches_edge(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        # driver's outputs point right toward the cell interior edge? The
+        # cell bbox spans to receiver's right edge at x=10000.
+        out = editor.bring_out("d", ["A", "B"])
+        box = out.bounding_box()
+        assert box.urx == editor.cell.bounding_box().urx
+
+    def test_bring_out_promotes_after_finish(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 7000), cell_name="receiver", name="r")
+        editor.bring_out("d", ["A"])
+        names = editor.finish()
+        assert any(n.endswith("A") for n in names)
+
+    def test_bring_out_mixed_sides_rejected(self, editor):
+        from tests.core.conftest import cif_block
+
+        editor.library.add(
+            cif_block("corner", 2000, 1000, [("E", 2000, 500), ("N", 1000, 1000)])
+        )
+        editor.create(at=Point(0, 0), cell_name="corner", name="c")
+        editor.create(at=Point(8000, 8000), cell_name="receiver", name="r")
+        with pytest.raises(RiotError, match="share one side"):
+            editor.bring_out("c", ["E", "N"])
+
+    def test_bring_out_empty(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        with pytest.raises(RiotError, match="no connectors"):
+            editor.bring_out("d", [])
+
+    def test_bringout_cells_named_uniquely(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d1")
+        editor.create(at=Point(0, 5000), cell_name="driver", name="d2")
+        editor.create(at=Point(12000, 0), cell_name="receiver", name="r")
+        editor.bring_out("d1", ["A"])
+        editor.bring_out("d2", ["A"])
+        names = [n for n in editor.library.names if n.startswith("bringout")]
+        assert len(set(names)) == 2
+
+
+class TestSessionIO:
+    def test_composition_roundtrip_through_editor(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(2000, 0), cell_name="receiver", name="r")
+        editor.finish()
+        text = editor.write_composition()
+
+        from repro.core.editor import RiotEditor
+        from tests.core.conftest import TECH, cif_block, sticks_gate
+
+        other = RiotEditor(TECH)
+        other.library.add(
+            cif_block("driver", 2000, 1000, [("A", 2000, 300), ("B", 2000, 700)])
+        )
+        other.library.add(
+            cif_block("receiver", 2000, 1000, [("A", 0, 300), ("B", 0, 700)])
+        )
+        other.library.add(
+            cif_block("spread", 2000, 3200, [("A", 0, 300), ("B", 0, 2700)])
+        )
+        other.library.add(sticks_gate("gate"))
+        loaded = other.read_composition(text)
+        assert "top" in loaded
+        other.edit("top")
+        assert other.check().made_count == 2
+
+    def test_write_composition_empty(self, tech):
+        from repro.core.editor import RiotEditor
+
+        fresh = RiotEditor(tech)
+        with pytest.raises(RiotError, match="no composition cells"):
+            fresh.write_composition()

@@ -1,0 +1,183 @@
+"""Failure injection: errors must leave the editor consistent.
+
+An interactive tool lives or dies by how it behaves after a failed
+command: Riot's user keeps editing.  Every failure here must leave
+the editor able to carry on, with no half-applied state.
+"""
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.core.errors import ConnectionError_, RiotError
+from repro.core.replay import Journal
+from repro.core.textual import MemoryStore, TextualInterface
+from repro.geometry.point import Point
+
+from tests.core.conftest import TECH, cif_block, sticks_gate
+
+
+@pytest.fixture()
+def editor():
+    ed = RiotEditor(TECH)
+    ed.library.add(cif_block("driver", 2000, 1000, [("A", 2000, 300), ("B", 2000, 700)]))
+    ed.library.add(cif_block("receiver", 2000, 1000, [("A", 0, 300), ("B", 0, 700)]))
+    ed.library.add(sticks_gate("gate"))
+    ed.new_cell("top")
+    return ed
+
+
+class TestEditorStateAfterErrors:
+    def test_failed_route_leaves_instances_unmoved(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r = editor.create(at=Point(2000, 0), cell_name="receiver", name="r")
+        d_box, r_box = d.bounding_box(), r.bounding_box()
+        editor.connect("d", "A", "r", "A")
+        with pytest.raises(RiotError):
+            editor.do_route(move_from=False)  # zero gap
+        assert d.bounding_box() == d_box
+        assert r.bounding_box() == r_box
+
+    def test_failed_route_leaves_library_unpolluted(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(2000, 0), cell_name="receiver", name="r")
+        before = set(editor.library.names)
+        editor.connect("d", "A", "r", "A")
+        with pytest.raises(RiotError):
+            editor.do_route(move_from=False)
+        assert set(editor.library.names) == before
+
+    def test_failed_stretch_keeps_instance_cell(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        editor.connect("d", "A", "r", "A")
+        with pytest.raises(RiotError, match="not symbolic"):
+            editor.do_stretch()
+        assert editor.cell.instance("d").cell.name == "driver"
+
+    def test_editor_usable_after_failure(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(2000, 0), cell_name="receiver", name="r")
+        editor.connect("d", "A", "r", "A")
+        with pytest.raises(RiotError):
+            editor.do_route(move_from=False)
+        # Carry on: a normal abutment still works.
+        editor.connect("d", "A", "r", "A")
+        result = editor.do_abut(overlap=True)
+        assert result.made == 1
+
+    def test_bad_connect_does_not_grow_pending(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d1")
+        editor.create(at=Point(0, 3000), cell_name="driver", name="d2")
+        with pytest.raises(ConnectionError_):
+            editor.connect("d1", "A", "d2", "A")  # not opposed
+        assert len(editor.pending) == 0
+
+    def test_unknown_connector_does_not_grow_pending(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        with pytest.raises(KeyError):
+            editor.connect("d", "NOPE", "r", "A")
+        assert len(editor.pending) == 0
+
+    def test_delete_cell_under_edit_blocks_commands(self, editor):
+        editor.delete_cell("top")
+        with pytest.raises(RiotError, match="no cell under edit"):
+            editor.create(at=Point(0, 0), cell_name="driver")
+
+
+class TestReplayFailureModes:
+    def test_truncated_journal_line(self):
+        with pytest.raises(RiotError, match="line"):
+            Journal.from_text('{"command": "create", "at"')
+
+    def test_replay_stops_at_first_failure(self, editor):
+        journal = Journal.from_text(
+            "\n".join(
+                [
+                    '{"command": "select", "cell_name": "driver"}',
+                    '{"command": "select", "cell_name": "ghost"}',
+                    '{"command": "select", "cell_name": "receiver"}',
+                ]
+            )
+        )
+        with pytest.raises(RiotError, match="entry 1"):
+            journal.replay(editor)
+        # The failing entry did not corrupt the selection state.
+        assert editor.selected_cell == "driver"
+
+    def test_replay_failure_restores_recording(self, editor):
+        journal = Journal.from_text('{"command": "select", "cell_name": "ghost"}')
+        with pytest.raises(RiotError):
+            journal.replay(editor)
+        assert editor.journal.recording
+
+    def test_non_dict_json_rejected(self):
+        with pytest.raises(RiotError, match="missing command"):
+            Journal.from_text("[1, 2, 3]")
+
+    def test_replay_with_wrong_argument_names(self, editor):
+        journal = Journal.from_text('{"command": "select", "wrong": 1}')
+        with pytest.raises(RiotError, match="replay failed"):
+            journal.replay(editor)
+
+
+class TestTextualFailureModes:
+    @pytest.fixture()
+    def tui(self, editor):
+        return TextualInterface(editor, MemoryStore())
+
+    def test_every_command_survives_no_arguments(self, tui):
+        for name in ("read", "write", "writecif", "writesticks", "plot",
+                     "new", "edit", "delete", "rename", "set", "savereplay",
+                     "replay", "verify"):
+            out = tui.execute(name)
+            assert out.startswith("error"), f"{name}: {out}"
+
+    def test_malformed_cif_reported_not_raised(self, tui):
+        tui.store["bad.cif"] = "DS 1; B oops; DF; E"
+        out = tui.execute("read bad.cif")
+        assert out.startswith("error")
+
+    def test_malformed_sticks_reported(self, tui):
+        tui.store["bad.sticks"] = "STICKS x\nWIRE metal - 0 0 5 5\nEND\n"
+        out = tui.execute("read bad.sticks")
+        assert out.startswith("error")
+        assert "non-Manhattan" in out
+
+    def test_malformed_composition_reported(self, tui):
+        tui.store["bad.comp"] = "RIOTCOMP 1\nINSTANCE a ghost R0 0 0\n"
+        out = tui.execute("read bad.comp")
+        assert out.startswith("error")
+
+    def test_corrupt_replay_file_reported(self, tui):
+        tui.store["bad.rpl"] = "not a journal at all"
+        out = tui.execute("replay bad.rpl")
+        assert out.startswith("error")
+
+    def test_editor_alive_after_error_storm(self, tui):
+        for line in ("read x", "edit nope", "delete ghost", "set tracks -1"):
+            assert tui.execute(line).startswith("error")
+        assert tui.execute("cells").startswith("cells:")
+
+
+class TestLibraryFailureModes:
+    def test_partial_cif_load_rolls_back_nothing(self, editor):
+        # The second symbol is broken; the loader raises and the first
+        # symbol must not be half-registered... (loads are per-cell, so
+        # the already-added cell stays — like Riot, reads are not
+        # transactional; verify the failure is at least clean).
+        text = "DS 1; 9 good; L NM; B 100 100 50 50; DF; DS 2; 9 bad; L QQ; B 2 2 0 0; DF; E"
+        with pytest.raises(KeyError):
+            editor.read_cif(text)
+        # The library is still consistent and usable.
+        assert editor.library.get is not None
+
+    def test_route_cell_naming_survives_user_collisions(self, editor):
+        from tests.core.conftest import cif_block as make
+
+        editor.library.add(make("route", 2000, 1000, [("A", 0, 500)]))
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        editor.connect("d", "A", "r", "A")
+        result = editor.do_route()
+        assert result.route_cell == "route2"  # skipped the user's cell

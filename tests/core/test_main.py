@@ -1,0 +1,74 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+from repro.__main__ import build_interface, run
+
+
+class TestRunFunction:
+    def test_commands_execute(self):
+        outputs = []
+        failures = run(["cells", "help"], echo=outputs.append)
+        assert failures == 0
+        assert outputs[0].startswith("cells:")
+
+    def test_blank_and_comments_skipped(self):
+        outputs = []
+        run(["", "# a comment", "cells"], echo=outputs.append)
+        assert len(outputs) == 1
+
+    def test_quit_stops(self):
+        outputs = []
+        run(["quit", "cells"], echo=outputs.append)
+        assert outputs == []
+
+    def test_failures_counted(self):
+        outputs = []
+        failures = run(["edit ghost", "read nope.cif"], echo=outputs.append)
+        assert failures == 2
+
+    def test_stock_library_preloaded(self):
+        interface = build_interface()
+        assert "srcell" in interface.editor.library
+
+    def test_session_flow(self, tmp_path):
+        interface = build_interface(str(tmp_path))
+        outputs = []
+        failures = run(
+            [
+                "new demo",
+                "cells",
+                "write demo.comp",
+            ],
+            interface,
+            echo=outputs.append,
+        )
+        assert failures == 0
+        assert (tmp_path / "demo.comp").exists()
+
+
+class TestSubprocess:
+    def test_pipe_mode(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            input="cells\nquit\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "cells:" in result.stdout
+
+    def test_script_mode(self, tmp_path):
+        script = tmp_path / "session.txt"
+        script.write_text("cells\nhelp\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", str(script)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=str(tmp_path),
+        )
+        assert result.returncode == 0
+        assert "commands:" in result.stdout

@@ -1,0 +1,165 @@
+"""Tests for the pending-connection list and its validity rules."""
+
+import pytest
+
+from repro.core.errors import ConnectionError_
+from repro.core.pending import PendingList
+from repro.geometry.point import Point
+
+
+@pytest.fixture()
+def placed(editor):
+    """driver at origin, receiver to its right (not touching)."""
+    d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+    r = editor.create(at=Point(5000, 0), cell_name="receiver", name="r")
+    return d, r
+
+
+class TestAdd:
+    def test_valid_connection(self, placed):
+        d, r = placed
+        pending = PendingList()
+        conn = pending.add(d, "A", r, "A")
+        assert len(pending) == 1
+        assert str(conn) == "d.A - r.A"
+
+    def test_self_connection_rejected(self, placed):
+        d, _ = placed
+        pending = PendingList()
+        with pytest.raises(ConnectionError_, match="itself"):
+            pending.add(d, "A", d, "B")
+
+    def test_unknown_connector(self, placed):
+        d, r = placed
+        pending = PendingList()
+        with pytest.raises(KeyError):
+            pending.add(d, "NOPE", r, "A")
+
+    def test_layer_mismatch(self, editor):
+        from tests.core.conftest import cif_block
+        from repro.cif.semantics import CifCell, CifConnector
+        from repro.composition.cell import LeafCell
+        from repro.geometry.box import Box
+        from tests.core.conftest import TECH
+
+        cif = CifCell(1, "polyblock")
+        cif.geometry.boxes.append((TECH.layer("poly"), Box(0, 0, 2000, 1000)))
+        cif.connectors.append(
+            CifConnector("A", Point(0, 300), TECH.layer("poly"), 400)
+        )
+        editor.library.add(LeafCell.from_cif(cif))
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        p = editor.create(at=Point(5000, 0), cell_name="polyblock", name="p")
+        pending = PendingList()
+        with pytest.raises(ConnectionError_, match="different layers"):
+            pending.add(d, "A", p, "A")
+
+    def test_not_opposed_rejected(self, editor):
+        d1 = editor.create(at=Point(0, 0), cell_name="driver", name="d1")
+        d2 = editor.create(at=Point(5000, 0), cell_name="driver", name="d2")
+        pending = PendingList()
+        with pytest.raises(ConnectionError_, match="not opposed"):
+            pending.add(d1, "A", d2, "A")  # both on right edges
+
+    def test_one_to_many_enforced(self, editor):
+        d1 = editor.create(at=Point(0, 0), cell_name="driver", name="d1")
+        d2 = editor.create(at=Point(0, 3000), cell_name="driver", name="d2")
+        r = editor.create(at=Point(5000, 0), cell_name="receiver", name="r")
+        pending = PendingList()
+        pending.add(d1, "A", r, "A")
+        with pytest.raises(ConnectionError_, match="one instance"):
+            pending.add(d2, "B", r, "B")
+
+    def test_one_from_to_many_tos_allowed(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r1 = editor.create(at=Point(5000, 0), cell_name="receiver", name="r1")
+        r2 = editor.create(at=Point(5000, 3000), cell_name="receiver", name="r2")
+        pending = PendingList()
+        pending.add(d, "A", r1, "A")
+        pending.add(d, "B", r2, "B")
+        assert len(pending) == 2
+        assert pending.to_instances() == [r1, r2]
+
+    def test_duplicate_rejected(self, placed):
+        d, r = placed
+        pending = PendingList()
+        pending.add(d, "A", r, "A")
+        with pytest.raises(ConnectionError_, match="already pending"):
+            pending.add(d, "A", r, "A")
+
+
+class TestBus:
+    def test_bus_by_name(self, placed):
+        d, r = placed
+        pending = PendingList()
+        count = pending.add_bus(d, r)
+        assert count == 2
+        assert {str(c) for c in pending} == {"d.A - r.A", "d.B - r.B"}
+
+    def test_bus_by_position_when_names_differ(self, editor):
+        from tests.core.conftest import cif_block
+
+        editor.library.add(
+            cif_block("sink", 2000, 1000, [("X", 0, 300), ("Y", 0, 700)])
+        )
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        s = editor.create(at=Point(5000, 0), cell_name="sink", name="s")
+        pending = PendingList()
+        count = pending.add_bus(d, s)
+        assert count == 2
+        assert {str(c) for c in pending} == {"d.A - s.X", "d.B - s.Y"}
+
+    def test_bus_no_pairs(self, editor):
+        d1 = editor.create(at=Point(0, 0), cell_name="driver", name="d1")
+        d2 = editor.create(at=Point(0, 3000), cell_name="driver", name="d2")
+        pending = PendingList()
+        with pytest.raises(ConnectionError_, match="no compatible"):
+            pending.add_bus(d1, d2)
+
+
+class TestEditing:
+    def test_remove(self, placed):
+        d, r = placed
+        pending = PendingList()
+        pending.add(d, "A", r, "A")
+        removed = pending.remove(0)
+        assert str(removed) == "d.A - r.A"
+        assert len(pending) == 0
+
+    def test_remove_bad_index(self, placed):
+        pending = PendingList()
+        with pytest.raises(ConnectionError_, match="no pending connection"):
+            pending.remove(0)
+
+    def test_clear(self, placed):
+        d, r = placed
+        pending = PendingList()
+        pending.add_bus(d, r)
+        pending.clear()
+        assert len(pending) == 0
+        assert pending.from_instance is None
+
+    def test_drop_instance(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r1 = editor.create(at=Point(5000, 0), cell_name="receiver", name="r1")
+        r2 = editor.create(at=Point(5000, 3000), cell_name="receiver", name="r2")
+        pending = PendingList()
+        pending.add(d, "A", r1, "A")
+        pending.add(d, "B", r2, "B")
+        assert pending.drop_instance(r1) == 1
+        assert len(pending) == 1
+
+    def test_display_strings(self, placed):
+        d, r = placed
+        pending = PendingList()
+        pending.add(d, "A", r, "A")
+        assert pending.display_strings() == ["d.A - r.A"]
+
+    def test_resolve_tracks_movement(self, placed):
+        d, r = placed
+        pending = PendingList()
+        connection = pending.add(d, "A", r, "A")
+        before = connection.resolve()[0].position
+        d.translate(100, 0)
+        after = connection.resolve()[0].position
+        assert after == before.translated(100, 0)

@@ -1,0 +1,183 @@
+"""Tests for the REPLAY journal — the paper's answer to leaf-cell edits."""
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.core.errors import RiotError
+from repro.core.replay import Journal, JournalEntry
+from repro.geometry.point import Point
+
+from tests.core.conftest import TECH, cif_block, sticks_gate
+
+
+def fresh_editor(driver_connectors=None):
+    """An editor with the standard stock; driver connectors overridable
+    to model a re-designed leaf cell."""
+    ed = RiotEditor(TECH)
+    conns = driver_connectors or [("A", 2000, 300), ("B", 2000, 700)]
+    ed.library.add(cif_block("driver", 2000, 1000, conns))
+    ed.library.add(cif_block("receiver", 2000, 1000, [("A", 0, 300), ("B", 0, 700)]))
+    ed.library.add(cif_block("spread", 2000, 3200, [("A", 0, 300), ("B", 0, 2700)]))
+    ed.library.add(sticks_gate("gate"))
+    return ed
+
+
+def record_session(editor):
+    editor.new_cell("top")
+    editor.create(at=Point(0, 0), cell_name="driver", name="d")
+    editor.create(at=Point(8000, 100), cell_name="receiver", name="r")
+    editor.connect("d", "A", "r", "A")
+    editor.connect("d", "B", "r", "B")
+    editor.do_abut()
+    editor.finish()
+
+
+class TestJournalRecording:
+    def test_commands_recorded(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        commands = [e.command for e in editor.journal.entries]
+        assert commands == ["new_cell", "create"]
+
+    def test_arguments_recorded(self, editor):
+        editor.create(at=Point(10, 20), cell_name="driver", name="d")
+        entry = editor.journal.entries[-1]
+        assert entry.kwargs["at"] == [10, 20]
+        assert entry.kwargs["name"] == "d"
+
+    def test_text_roundtrip(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.move("d", Point(5, 5))
+        text = editor.journal.to_text()
+        again = Journal.from_text(text)
+        assert [e.command for e in again.entries] == ["new_cell", "create", "move"]
+        assert again.entries[2].kwargs == {"name": "d", "to": [5, 5]}
+
+    def test_header_and_comments_skipped(self):
+        journal = Journal.from_text("# comment\n\n" + JournalEntry("finish", {}).to_line())
+        assert len(journal) == 1
+
+    def test_malformed_line(self):
+        with pytest.raises(RiotError, match="line 1"):
+            Journal.from_text("not json")
+
+    def test_missing_command(self):
+        with pytest.raises(RiotError, match="missing command"):
+            Journal.from_text('{"x": 1}')
+
+    def test_allowlist_enforced(self):
+        with pytest.raises(RiotError, match="not a replayable"):
+            Journal.from_text('{"command": "__init__"}')
+
+
+class TestReplay:
+    def test_identical_replay(self):
+        original = fresh_editor()
+        record_session(original)
+        text = original.journal.to_text()
+
+        fresh = fresh_editor()
+        executed = fresh.replay_from(text)
+        assert executed == len(original.journal)
+        fresh.edit("top")
+        assert fresh.check().made_count == 2
+        assert (
+            fresh.cell.instance("d").transform
+            == original.library.get("top").instance("d").transform
+        )
+
+    def test_replay_reconnects_after_leaf_edit(self):
+        """The paper's headline replay property: the leaf changed shape,
+        a plain composition reload would leave broken connections, but
+        replay re-resolves connector names and re-makes them."""
+        original = fresh_editor()
+        record_session(original)
+        text = original.journal.to_text()
+
+        # The driver grew taller and its connectors moved.
+        edited = fresh_editor(
+            driver_connectors=[("A", 2000, 500), ("B", 2000, 1000)]
+        )
+        # (heights differ too)
+        edited.library.replace(
+            "driver",
+            cif_block("driver", 2000, 1500, [("A", 2000, 500), ("B", 2000, 900)]),
+        )
+        edited.replay_from(text)
+        edited.edit("top")
+        report = edited.check()
+        assert report.is_connected(
+            edited.cell.instance("d"), "A", edited.cell.instance("r"), "A"
+        )
+
+    def test_replay_does_not_rerecord(self):
+        original = fresh_editor()
+        record_session(original)
+        text = original.journal.to_text()
+        fresh = fresh_editor()
+        fresh.replay_from(text)
+        assert len(fresh.journal) == 0
+
+    def test_recording_resumes_after_replay(self):
+        original = fresh_editor()
+        record_session(original)
+        fresh = fresh_editor()
+        fresh.replay_from(original.journal.to_text())
+        fresh.edit("top")
+        assert len(fresh.journal) == 1  # the edit itself
+
+    def test_replay_failure_names_entry(self):
+        original = fresh_editor()
+        record_session(original)
+        text = original.journal.to_text()
+        # An editor whose driver lost its B connector entirely.
+        broken = fresh_editor(driver_connectors=[("A", 2000, 300)])
+        with pytest.raises(RiotError, match="replay failed at entry 4"):
+            broken.replay_from(text)
+
+    def test_replay_crash_recovery(self):
+        """Recover an 'abnormally-terminated' session: replay the
+        journal into a brand new editor."""
+        original = fresh_editor()
+        original.new_cell("top")
+        original.create(at=Point(0, 0), cell_name="driver", name="d")
+        text = original.journal.to_text()
+        del original  # the crash
+
+        recovered = fresh_editor()
+        recovered.replay_from(text)
+        recovered.edit("top")
+        assert recovered.cell.instance("d").cell.name == "driver"
+
+    def test_replay_of_route_session(self):
+        original = fresh_editor()
+        original.new_cell("top")
+        original.create(at=Point(0, 0), cell_name="driver", name="d")
+        original.create(at=Point(8000, 0), cell_name="spread", name="s")
+        original.connect("d", "A", "s", "A")
+        original.connect("d", "B", "s", "B")
+        original.do_route()
+        text = original.journal.to_text()
+
+        fresh = fresh_editor()
+        fresh.replay_from(text)
+        fresh.edit("top")
+        assert fresh.check().made_count >= 4
+        assert any(n.startswith("route") for n in fresh.library.names)
+
+    def test_replay_of_stretch_session(self):
+        original = fresh_editor()
+        original.new_cell("top")
+        original.create(at=Point(6000, 0), cell_name="gate", name="g")
+        original.create(at=Point(0, 0), cell_name="spread", name="s")
+        original.mirror("s")
+        original.connect("g", "A", "s", "A")
+        original.connect("g", "B", "s", "B")
+        original.do_stretch()
+        text = original.journal.to_text()
+
+        fresh = fresh_editor()
+        fresh.replay_from(text)
+        fresh.edit("top")
+        g = fresh.cell.instance("g")
+        s = fresh.cell.instance("s")
+        assert g.connector("A").position == s.connector("A").position

@@ -1,0 +1,67 @@
+"""Tests for the design report."""
+
+import pytest
+
+from repro.core.report import report_cell
+from repro.core.textual import TextualInterface
+from repro.geometry.point import Point
+
+
+@pytest.fixture()
+def built(editor):
+    editor.create(at=Point(0, 0), cell_name="driver", name="d1")
+    editor.create(at=Point(0, 2000), cell_name="driver", nx=3, name="row")
+    editor.create(at=Point(0, 6000), cell_name="gate", name="g")
+    return editor
+
+
+class TestReport:
+    def test_usage_counts(self, built):
+        report = report_cell(built.cell)
+        assert report.usage["driver"].instance_count == 4  # 1 + 3-array
+        assert report.usage["gate"].instance_count == 1
+        assert report.total_instances == 5
+
+    def test_kinds(self, built):
+        report = report_cell(built.cell)
+        assert report.usage["driver"].kind == "cif"
+        assert report.usage["gate"].kind == "sticks"
+
+    def test_depth_counts_nesting(self, built):
+        built.new_cell("outer")
+        built.create(at=Point(0, 0), cell_name="top", name="t")
+        report = report_cell(built.cell)
+        assert report.depth == 2
+        assert report.usage["top"].kind == "composition"
+        assert report.usage["driver"].instance_count == 4
+
+    def test_areas(self, built):
+        report = report_cell(built.cell)
+        driver_area = 2000 * 1000
+        assert report.usage["driver"].placed_area == 4 * driver_area
+        assert report.bounding_area == built.cell.bounding_box().area
+        assert 0 < report.utilization_percent <= 100
+
+    def test_generated_cells_listed(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        editor.connect("d", "A", "r", "A")
+        editor.do_route()
+        report = report_cell(editor.cell)
+        assert report.generated_cells() == ["route"]
+
+    def test_text_rendering(self, built):
+        text = report_cell(built.cell).to_text()
+        assert "report for top:" in text
+        assert "driver" in text
+        assert "utilisation" in text
+
+    def test_textual_command(self, built):
+        tui = TextualInterface(built)
+        out = tui.execute("report top")
+        assert out.startswith("report for top")
+
+    def test_textual_usage_errors(self, built):
+        tui = TextualInterface(built)
+        assert "usage" in tui.execute("report")
+        assert "error" in tui.execute("report driver")

@@ -1,0 +1,211 @@
+"""Tests for the multi-layer river router (paper figure 5)."""
+
+import pytest
+
+from repro.core.errors import RiotError
+from repro.core.pending import PendingList
+from repro.core.river import (
+    ChannelFrame,
+    RiverWire,
+    plan_route,
+    route_channel,
+)
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+
+TECH = nmos_technology()
+
+
+def wire(name, u_in, u_out, layer="metal", width=400, entry=0):
+    return RiverWire(name, layer, width, u_in, u_out, entry_v=entry)
+
+
+class TestRouteChannel:
+    def test_straight_wires_minimal_strap(self):
+        route = route_channel([wire("a", 0, 0), wire("b", 2000, 2000)], TECH)
+        assert route.jog_count == 0
+        assert route.channels == 1
+        # minimal strap height = max width + metal separation
+        assert route.height == 400 + 750
+
+    def test_single_jog(self):
+        route = route_channel([wire("a", 0, 3000)], TECH)
+        assert route.jog_count == 1
+        assert route.tracks_by_layer["metal"] == 1
+        # one track: pitch*(tracks+1)
+        assert route.height == (400 + 750) * 2
+
+    def test_parallel_shifts_share_direction(self):
+        # Two wires both shifting right by the same amount: their jog
+        # spans overlap, needing two tracks.
+        route = route_channel([wire("a", 0, 3000), wire("b", 2000, 5000)], TECH)
+        assert route.tracks_by_layer["metal"] == 2
+
+    def test_disjoint_jogs_share_track(self):
+        route = route_channel([wire("a", 0, 1000), wire("b", 50000, 51000)], TECH)
+        assert route.tracks_by_layer["metal"] == 1
+
+    def test_layers_independent(self):
+        route = route_channel(
+            [wire("a", 0, 3000, "metal"), wire("b", 0, 3000, "poly", width=500)],
+            TECH,
+        )
+        assert route.tracks_by_layer == {"metal": 1, "poly": 1}
+        assert route.wire_count == 2
+
+    def test_crossing_rejected(self):
+        with pytest.raises(RiotError, match="cross"):
+            route_channel([wire("a", 0, 3000), wire("b", 3000, 0)], TECH)
+
+    def test_same_entry_rejected(self):
+        with pytest.raises(RiotError, match="same position"):
+            route_channel([wire("a", 0, 1000), wire("b", 0, 2000)], TECH)
+
+    def test_same_exit_rejected(self):
+        with pytest.raises(RiotError, match="leave at the same"):
+            route_channel([wire("a", 0, 1000), wire("b", 500, 1000)], TECH)
+
+    def test_crossing_on_different_layers_allowed(self):
+        route = route_channel(
+            [wire("a", 0, 3000, "metal"), wire("b", 3000, 0, "poly", width=500)],
+            TECH,
+        )
+        assert route.wire_count == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(RiotError, match="no wires"):
+            route_channel([], TECH)
+
+    def test_fixed_height_sufficient(self):
+        route = route_channel([wire("a", 0, 0)], TECH, fixed_height=10000)
+        assert route.height == 10000
+
+    def test_fixed_height_too_small(self):
+        with pytest.raises(RiotError, match="only 100 is available"):
+            route_channel([wire("a", 0, 3000)], TECH, fixed_height=100)
+
+    def test_multi_channel_overflow(self):
+        # 12 mutually overlapping jogs at 1 track each; with 4 tracks
+        # per channel that is 3 channels ("another channel is added").
+        wires = [
+            wire(f"w{i}", i * 2000, i * 2000 + 30000)
+            for i in range(12)
+        ]
+        route = route_channel(wires, TECH, tracks_per_channel=4)
+        assert route.tracks_by_layer["metal"] > 4
+        assert route.channels == -(-route.tracks_by_layer["metal"] // 4)
+
+    def test_ragged_entries_raise_tracks(self):
+        route = route_channel([wire("a", 0, 3000, entry=5000)], TECH)
+        assert route.height > 5000
+        a = route.wires[0]
+        assert a.track_v is not None
+        assert a.track_v > 5000
+
+    def test_wire_points_geometry(self):
+        route = route_channel([wire("a", 0, 3000)], TECH)
+        pts = route.wires[0].points(route.height)
+        assert pts[0] == (0, 0)
+        assert pts[-1] == (3000, route.height)
+        assert len(pts) == 4
+
+    def test_total_wire_length(self):
+        route = route_channel([wire("a", 0, 0)], TECH)
+        assert route.total_wire_length() == route.height
+
+    def test_bad_tracks_per_channel(self):
+        with pytest.raises(RiotError, match="tracks_per_channel"):
+            route_channel([wire("a", 0, 0)], TECH, tracks_per_channel=0)
+
+
+class TestChannelFrame:
+    def test_top(self):
+        frame = ChannelFrame.for_side("top", 1000)
+        assert frame.to_channel(Point(500, 1000)) == (500, 0)
+        assert frame.to_parent(500, 200) == Point(500, 1200)
+
+    def test_bottom(self):
+        frame = ChannelFrame.for_side("bottom", 1000)
+        assert frame.to_channel(Point(500, 1000)) == (500, 0)
+        assert frame.to_parent(500, 200) == Point(500, 800)
+
+    def test_right(self):
+        frame = ChannelFrame.for_side("right", 2000)
+        assert frame.to_channel(Point(2000, 700)) == (700, 0)
+        assert frame.to_parent(700, 300) == Point(2300, 700)
+
+    def test_left(self):
+        frame = ChannelFrame.for_side("left", 2000)
+        assert frame.to_channel(Point(2000, 700)) == (700, 0)
+        assert frame.to_parent(700, 300) == Point(1700, 700)
+
+    def test_roundtrip(self):
+        for side, base in (("top", 10), ("bottom", -5), ("left", 7), ("right", 0)):
+            frame = ChannelFrame.for_side(side, base)
+            u, v = 123, 456
+            assert frame.to_channel(frame.to_parent(u, v)) == (u, v)
+
+    def test_inside_rejected(self):
+        with pytest.raises(RiotError, match="cannot route"):
+            ChannelFrame.for_side("inside", 0)
+
+
+class TestPlanRoute:
+    def test_matching_pattern_routes_straight(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r = editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        pending = PendingList()
+        pending.add(d, "A", r, "A")
+        pending.add(d, "B", r, "B")
+        frame, wires, route, shift = plan_route(pending, TECH)
+        assert route.jog_count == 0
+        assert frame.to_side == "left"
+
+    def test_mismatched_pattern_jogs(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        s = editor.create(at=Point(8000, 0), cell_name="spread", name="s")
+        pending = PendingList()
+        pending.add(d, "A", s, "A")
+        pending.add(d, "B", s, "B")
+        frame, wires, route, shift = plan_route(pending, TECH)
+        # median offset zeroes one wire's jog; the other one jogs.
+        assert route.jog_count == 1
+
+    def test_empty_pending(self):
+        with pytest.raises(RiotError, match="no pending"):
+            plan_route(PendingList(), TECH)
+
+    def test_mixed_to_sides_rejected(self, editor):
+        from tests.core.conftest import cif_block
+
+        # A from cell with connectors on two different edges, each
+        # pending toward a different to side: not river-routable.
+        editor.library.add(
+            cif_block("corner", 2000, 1000, [("E", 2000, 500), ("N", 1000, 1000)])
+        )
+        c = editor.create(at=Point(0, 0), cell_name="corner", name="c")
+        r1 = editor.create(at=Point(8000, 0), cell_name="receiver", name="r1")
+        editor.library.add(cif_block("below", 2000, 1000, [("S", 1000, 0)]))
+        b = editor.create(at=Point(0, 8000), cell_name="below", name="b")
+        pending = PendingList()
+        pending.add(c, "E", r1, "A")
+        pending.add(c, "N", b, "S")
+        with pytest.raises(RiotError, match="share one side"):
+            plan_route(pending, TECH)
+
+    def test_no_move_uses_gap(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r = editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        pending = PendingList()
+        pending.add(d, "A", r, "A")
+        frame, wires, route, shift = plan_route(pending, TECH, move_from=False)
+        assert shift == 0
+        assert route.height == 6000  # the existing gap 8000 - 2000
+
+    def test_no_move_zero_gap_rejected(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r = editor.create(at=Point(2000, 0), cell_name="receiver", name="r")
+        pending = PendingList()
+        pending.add(d, "A", r, "A")
+        with pytest.raises(RiotError, match="gap <= 0"):
+            plan_route(pending, TECH, move_from=False)

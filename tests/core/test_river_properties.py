@@ -1,0 +1,135 @@
+"""Property-based invariants of the river router.
+
+Hypothesis generates random non-crossing wire sets; the router's
+output must always satisfy the river-route definition: endpoints
+exact, no layer changes, same-layer jogs never overlap on a track,
+every wire inside the channel.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import RiotError
+from repro.core.river import RiverWire, route_channel
+from repro.geometry.layers import nmos_technology
+
+TECH = nmos_technology()
+LAYERS = ("metal", "poly")
+WIDTHS = {"metal": 400, "poly": 500}
+
+
+@st.composite
+def wire_sets(draw):
+    """Non-crossing per layer by construction: u_in strictly increasing
+    per layer, offsets monotone (same order on both sides)."""
+    wires = []
+    for layer in LAYERS:
+        count = draw(st.integers(min_value=0, max_value=6))
+        if not count:
+            continue
+        # Strictly increasing entries with generous gaps.
+        entries = []
+        u = draw(st.integers(min_value=-20, max_value=20)) * 100
+        for _ in range(count):
+            u += draw(st.integers(min_value=15, max_value=60)) * 100
+            entries.append(u)
+        # Monotone exits: cumulative non-negative growth plus a shared shift.
+        shift = draw(st.integers(min_value=-30, max_value=30)) * 100
+        exits = []
+        grow = 0
+        for u in entries:
+            grow += draw(st.integers(min_value=0, max_value=20)) * 100
+            exits.append(u + shift + grow)
+        for i, (u_in, u_out) in enumerate(zip(entries, exits)):
+            wires.append(
+                RiverWire(
+                    f"{layer}{i}",
+                    layer,
+                    WIDTHS[layer],
+                    u_in,
+                    u_out,
+                    entry_v=draw(st.integers(min_value=0, max_value=5)) * 200,
+                )
+            )
+    if not wires:
+        wires.append(RiverWire("w", "metal", 400, 0, 0))
+    return wires
+
+
+class TestRouterProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(wire_sets())
+    def test_endpoints_exact(self, wires):
+        route = route_channel(list(wires), TECH)
+        for wire in route.wires:
+            pts = wire.points(route.height)
+            assert pts[0] == (wire.u_in, wire.entry_v)
+            assert pts[-1] == (wire.u_out, route.height)
+
+    @settings(max_examples=80, deadline=None)
+    @given(wire_sets())
+    def test_wires_stay_in_channel(self, wires):
+        route = route_channel(list(wires), TECH)
+        for wire in route.wires:
+            for u, v in wire.points(route.height):
+                assert 0 <= v <= route.height
+
+    @settings(max_examples=80, deadline=None)
+    @given(wire_sets())
+    def test_same_layer_jogs_never_collide(self, wires):
+        route = route_channel(list(wires), TECH)
+        by_layer = {}
+        for wire in route.wires:
+            by_layer.setdefault(wire.layer_name, []).append(wire)
+        for layer, group in by_layer.items():
+            sep = TECH.min_separation(layer)
+            joggers = [w for w in group if w.needs_jog]
+            for i, a in enumerate(joggers):
+                for b in joggers[i + 1 :]:
+                    if a.track_v != b.track_v:
+                        continue
+                    a_lo = min(a.u_in, a.u_out) - a.width // 2
+                    a_hi = max(a.u_in, a.u_out) + a.width // 2
+                    b_lo = min(b.u_in, b.u_out) - b.width // 2
+                    b_hi = max(b.u_in, b.u_out) + b.width // 2
+                    gap = max(b_lo - a_hi, a_lo - b_hi)
+                    assert gap > sep, (
+                        f"{a.name} and {b.name} share track {a.track_v} "
+                        f"with gap {gap}"
+                    )
+
+    @settings(max_examples=80, deadline=None)
+    @given(wire_sets())
+    def test_order_preserved_per_layer(self, wires):
+        route = route_channel(list(wires), TECH)
+        by_layer = {}
+        for wire in route.wires:
+            by_layer.setdefault(wire.layer_name, []).append(wire)
+        for group in by_layer.values():
+            ordered = sorted(group, key=lambda w: w.u_in)
+            outs = [w.u_out for w in ordered]
+            assert outs == sorted(outs)
+
+    @settings(max_examples=80, deadline=None)
+    @given(wire_sets(), st.integers(min_value=1, max_value=6))
+    def test_channel_count_formula(self, wires, capacity):
+        route = route_channel(list(wires), TECH, tracks_per_channel=capacity)
+        max_tracks = max(route.tracks_by_layer.values(), default=0)
+        expected = max(1, -(-max_tracks // capacity))
+        assert route.channels == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(wire_sets())
+    def test_height_at_least_entries(self, wires):
+        route = route_channel(list(wires), TECH)
+        assert route.height > max(w.entry_v for w in wires)
+
+    @settings(max_examples=50, deadline=None)
+    @given(wire_sets())
+    def test_total_length_at_least_manhattan(self, wires):
+        route = route_channel(list(wires), TECH)
+        minimum = sum(
+            abs(w.u_out - w.u_in) + (route.height - w.entry_v)
+            for w in route.wires
+        )
+        assert route.total_wire_length() == minimum  # one jog is optimal

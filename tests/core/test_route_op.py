@@ -1,0 +1,139 @@
+"""End-to-end tests of the ROUTE command through the editor."""
+
+import pytest
+
+from repro.core.errors import RiotError
+from repro.geometry.point import Point
+
+
+def connect_pair(editor, d, r):
+    editor.connect(d, "A", r, "A")
+    editor.connect(d, "B", r, "B")
+
+
+class TestRouteCommand:
+    def test_route_cell_enters_menu(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        connect_pair(editor, "d", "r")
+        result = editor.do_route()
+        assert result.route_cell in editor.library.names
+        assert editor.library.get(result.route_cell).is_leaf
+
+    def test_route_instance_placed(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        connect_pair(editor, "d", "r")
+        result = editor.do_route()
+        assert result.instance in editor.cell.instances
+
+    def test_connections_made_positionally(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        connect_pair(editor, "d", "r")
+        editor.do_route()
+        report = editor.check()
+        # driver.A/B touch the route's OUT pins; route's IN pins touch
+        # receiver.A/B: at least 4 made connections.
+        assert report.made_count >= 4
+
+    def test_from_instance_abuts_route(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        connect_pair(editor, "d", "r")
+        result = editor.do_route()
+        route_box = result.instance.bounding_box()
+        # The from instance moved: its connectors sit on the route exit.
+        assert d.connector("A").position.x == route_box.urx or (
+            d.connector("A").position.x == route_box.llx
+        )
+        assert result.moved_by != Point(0, 0)
+
+    def test_least_space_route(self, editor):
+        # "thereby using the least amount of space possible": matching
+        # patterns give a straight strap of one pitch + width.
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(20000, 0), cell_name="receiver", name="r")
+        connect_pair(editor, "d", "r")
+        result = editor.do_route()
+        assert result.solved.height == 1150  # 400 width + 750 separation
+
+    def test_route_without_moving(self, editor):
+        d = editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        r = editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        d_before = d.bounding_box()
+        connect_pair(editor, "d", "r")
+        result = editor.do_route(move_from=False)
+        assert d.bounding_box() == d_before
+        assert result.moved_by == Point(0, 0)
+        # The route fills the whole gap and still makes the connections.
+        assert editor.check().made_count >= 4
+
+    def test_route_with_jogs(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="spread", name="s")
+        editor.connect("d", "A", "s", "A")
+        editor.connect("d", "B", "s", "B")
+        result = editor.do_route()
+        assert result.solved.jog_count >= 1
+        assert editor.check().made_count >= 4
+
+    def test_pending_cleared_after_route(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        connect_pair(editor, "d", "r")
+        editor.do_route()
+        assert len(editor.pending) == 0
+
+    def test_pending_cleared_even_on_failure(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(2000, 0), cell_name="receiver", name="r")
+        connect_pair(editor, "d", "r")
+        with pytest.raises(RiotError):
+            editor.do_route(move_from=False)  # zero gap
+        assert len(editor.pending) == 0
+
+    def test_route_cells_get_unique_names(self, editor):
+        for i, x in enumerate((8000, 20000)):
+            editor.create(at=Point(0, i * 5000), cell_name="driver", name=f"d{i}")
+            editor.create(at=Point(x, i * 5000), cell_name="receiver", name=f"r{i}")
+            editor.connect(f"d{i}", "A", f"r{i}", "A")
+            result = editor.do_route()
+        names = [n for n in editor.library.names if n.startswith("route")]
+        assert len(names) == 2
+        assert len(set(names)) == 2
+
+    def test_route_cell_is_reusable(self, editor):
+        # "The routing cells made in Riot are treated just like other
+        # cells": instantiate the route cell a second time.
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(8000, 0), cell_name="receiver", name="r")
+        connect_pair(editor, "d", "r")
+        result = editor.do_route()
+        extra = editor.create(
+            at=Point(0, 20000), cell_name=result.route_cell, name="route_again"
+        )
+        assert extra in editor.cell.instances
+
+    def test_vertical_route(self, editor):
+        from tests.core.conftest import cif_block
+
+        editor.library.add(
+            cif_block("up", 2000, 1000, [("T", 1000, 1000)])
+        )
+        editor.library.add(
+            cif_block("down", 2000, 1000, [("D", 1000, 0)])
+        )
+        editor.create(at=Point(0, 8000), cell_name="down", name="dn")
+        editor.create(at=Point(0, 0), cell_name="up", name="up")
+        editor.connect("dn", "D", "up", "T")
+        result = editor.do_route()
+        assert editor.check().made_count >= 2
+
+    def test_bus_then_route(self, editor):
+        editor.create(at=Point(0, 0), cell_name="driver", name="d")
+        editor.create(at=Point(9000, 0), cell_name="receiver", name="r")
+        count = editor.bus("d", "r")
+        assert count == 2
+        editor.do_route()
+        assert editor.check().made_count >= 4

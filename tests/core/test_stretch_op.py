@@ -1,0 +1,126 @@
+"""End-to-end tests of the STRETCH command (paper figure 6)."""
+
+import pytest
+
+from repro.core.errors import RiotError
+from repro.geometry.point import Point
+
+
+class TestStretchCommand:
+    def _gate_to_spread(self, editor):
+        editor.create(at=Point(6000, 0), cell_name="gate", name="g")
+        editor.create(at=Point(0, 0), cell_name="spread", name="s")
+        # gate pins A@y400, B@y1600 on its left edge; spread connectors
+        # A@300, B@2300 on its right edge?  spread's connectors are on
+        # the LEFT edge, so mirror it to face the gate.
+        editor.mirror("s")
+        editor.connect("g", "A", "s", "A")
+        editor.connect("g", "B", "s", "B")
+
+    def test_new_cell_created(self, editor):
+        self._gate_to_spread(editor)
+        result = editor.do_stretch()
+        assert result.old_cell == "gate"
+        assert result.new_cell in editor.library.names
+        assert editor.library.get(result.new_cell).is_stretchable
+
+    def test_connectors_meet_without_routing(self, editor):
+        self._gate_to_spread(editor)
+        editor.do_stretch()
+        g = editor.cell.instance("g")
+        s = editor.cell.instance("s")
+        assert g.connector("A").position == s.connector("A").position
+        assert g.connector("B").position == s.connector("B").position
+
+    def test_pin_separation_matches_target(self, editor):
+        self._gate_to_spread(editor)
+        result = editor.do_stretch()
+        new_leaf = editor.library.get(result.new_cell)
+        a = new_leaf.connector("A").position.y
+        b = new_leaf.connector("B").position.y
+        assert abs(b - a) == 2400  # spread's connector separation
+
+    def test_no_routing_area_used(self, editor):
+        # The stretched connection abuts: no route cell appears.
+        self._gate_to_spread(editor)
+        editor.do_stretch()
+        assert not any(n.startswith("route") for n in editor.library.names)
+
+    def test_original_cell_untouched(self, editor):
+        self._gate_to_spread(editor)
+        original_pins = {
+            c.name: c.position for c in editor.library.get("gate").connectors
+        }
+        editor.do_stretch()
+        after = {c.name: c.position for c in editor.library.get("gate").connectors}
+        assert after == original_pins
+
+    def test_cif_cell_not_stretchable(self, editor):
+        editor.create(at=Point(6000, 0), cell_name="driver", name="d")
+        editor.create(at=Point(20000, 0), cell_name="spread", name="s")
+        editor.connect("d", "A", "s", "A")
+        with pytest.raises(RiotError, match="not symbolic"):
+            editor.do_stretch()
+
+    def test_array_not_stretchable(self, editor):
+        editor.create(at=Point(6000, 0), cell_name="gate", nx=2, name="g")
+        editor.create(at=Point(20000, 0), cell_name="spread", name="s")
+        editor.mirror("s")
+        editor.connect("g", "A[0,0]", "s", "A")
+        with pytest.raises(RiotError, match="array"):
+            editor.do_stretch()
+
+    def test_pending_cleared(self, editor):
+        self._gate_to_spread(editor)
+        editor.do_stretch()
+        assert len(editor.pending) == 0
+
+    def test_pending_cleared_on_failure(self, editor):
+        editor.create(at=Point(6000, 0), cell_name="driver", name="d")
+        editor.create(at=Point(20000, 0), cell_name="spread", name="s")
+        editor.connect("d", "A", "s", "A")
+        with pytest.raises(RiotError):
+            editor.do_stretch()
+        assert len(editor.pending) == 0
+
+    def test_reordering_targets_infeasible(self, editor):
+        from tests.core.conftest import cif_block
+
+        # Targets that would swap the gate's pin order: A above B.
+        editor.library.add(
+            cif_block("swapped", 2000, 2600, [("A", 0, 2300), ("B", 0, 300)])
+        )
+        editor.create(at=Point(6000, 0), cell_name="gate", name="g")
+        editor.create(at=Point(0, 0), cell_name="swapped", name="s")
+        editor.mirror("s")
+        editor.connect("g", "A", "s", "A")
+        editor.connect("g", "B", "s", "B")
+        with pytest.raises(RiotError, match="STRETCH"):
+            editor.do_stretch()
+
+    def test_stretch_then_check(self, editor):
+        self._gate_to_spread(editor)
+        editor.do_stretch()
+        report = editor.check()
+        assert report.made_count >= 2
+        assert report.near_misses == []
+
+    def test_stretched_cell_reusable(self, editor):
+        self._gate_to_spread(editor)
+        result = editor.do_stretch()
+        extra = editor.create(
+            at=Point(0, 30000), cell_name=result.new_cell, name="g2"
+        )
+        assert extra.cell.name == result.new_cell
+
+    def test_stretch_names_unique(self, editor):
+        self._gate_to_spread(editor)
+        editor.do_stretch()
+        editor.create(at=Point(30000, 0), cell_name="gate", name="g2")
+        editor.create(at=Point(22000, 0), cell_name="spread", name="s2")
+        editor.mirror("s2")
+        editor.connect("g2", "A", "s2", "A")
+        editor.connect("g2", "B", "s2", "B")
+        result = editor.do_stretch()
+        stretched = [n for n in editor.library.names if n.startswith("gate_s")]
+        assert len(stretched) == 2

@@ -1,0 +1,201 @@
+"""Tests for the textual command interface."""
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.core.textual import DiskStore, MemoryStore, TextualInterface
+from repro.geometry.point import Point
+
+from tests.core.conftest import TECH, cif_block
+
+PADS_CIF = """
+DS 1; 9 inpad;
+L NM; B 4000 4000 2000 2000;
+94 PAD 4000 2000 NM 750;
+DF;
+E
+"""
+
+GATE_STICKS = """
+STICKS nand
+BBOX 0 0 3000 2000
+PIN A metal 0 400 400
+PIN B metal 0 1600 400
+PIN OUT metal 3000 1000 400
+WIRE metal 400 0 400 1500 400
+WIRE metal 400 0 1600 1500 1600
+WIRE metal 400 1500 400 1500 1600
+WIRE metal 400 1500 1000 3000 1000
+END
+"""
+
+
+@pytest.fixture()
+def tui():
+    editor = RiotEditor(TECH)
+    store = MemoryStore()
+    store["pads.cif"] = PADS_CIF
+    store["gates.sticks"] = GATE_STICKS
+    return TextualInterface(editor, store)
+
+
+class TestReadWrite:
+    def test_read_cif(self, tui):
+        assert tui.execute("read pads.cif") == "read 1 cell(s): inpad"
+        assert "inpad" in tui.editor.library
+
+    def test_read_sticks(self, tui):
+        assert "nand" in tui.execute("read gates.sticks")
+        assert tui.editor.library.get("nand").is_stretchable
+
+    def test_read_unknown_extension(self, tui):
+        assert "error" in tui.execute("read pads.gds")
+
+    def test_read_missing_file(self, tui):
+        out = tui.execute("read nothere.cif")
+        assert out.startswith("error: no such file")
+
+    def test_write_and_reload_session(self, tui):
+        tui.execute("read pads.cif")
+        tui.execute("new top")
+        tui.editor.create(at=Point(0, 0), cell_name="inpad", name="p1")
+        assert tui.execute("write session.comp").startswith("wrote session")
+
+        editor2 = RiotEditor(TECH)
+        tui2 = TextualInterface(editor2, tui.store)
+        tui2.execute("read pads.cif")
+        assert tui2.execute("read session.comp") == "read 1 cell(s): top"
+
+    def test_writecif(self, tui):
+        tui.execute("read pads.cif")
+        tui.execute("new top")
+        tui.editor.create(at=Point(0, 0), cell_name="inpad", name="p1")
+        out = tui.execute("writecif top chip.cif")
+        assert out == "wrote CIF for top to chip.cif"
+        assert "DS" in tui.store["chip.cif"]
+
+    def test_writecif_leaf_rejected(self, tui):
+        tui.execute("read pads.cif")
+        assert "error" in tui.execute("writecif inpad x.cif")
+
+    def test_writesticks(self, tui):
+        tui.execute("read gates.sticks")
+        tui.execute("new top")
+        tui.editor.create(at=Point(0, 0), cell_name="nand", name="g")
+        tui.editor.finish()
+        out = tui.execute("writesticks top sim.sticks")
+        assert "wrote Sticks" in out
+        assert "STICKS top" in tui.store["sim.sticks"]
+
+    def test_writesticks_warns_on_cif(self, tui):
+        tui.execute("read pads.cif")
+        tui.execute("new top")
+        tui.editor.create(at=Point(0, 0), cell_name="inpad", name="p")
+        out = tui.execute("writesticks top sim.sticks")
+        assert "warning" in out
+
+    def test_plot_symbolic(self, tui):
+        tui.execute("read pads.cif")
+        tui.execute("new top")
+        tui.editor.create(at=Point(0, 0), cell_name="inpad", name="p")
+        out = tui.execute("plot top view.svg")
+        assert out == "plotted top to view.svg"
+        assert tui.store["view.svg"].startswith("<?xml")
+
+    def test_plot_mask(self, tui):
+        tui.execute("read pads.cif")
+        tui.execute("new top")
+        tui.editor.create(at=Point(0, 0), cell_name="inpad", name="p")
+        tui.execute("plot top mask.svg mask")
+        assert "<rect" in tui.store["mask.svg"]
+
+
+class TestEditingCommands:
+    def test_new_edit_finish(self, tui):
+        tui.execute("read pads.cif")
+        assert tui.execute("new top") == "editing new cell top"
+        tui.editor.create(at=Point(0, 0), cell_name="inpad", name="p")
+        assert tui.execute("finish").startswith("finished; 1 connector")
+        assert tui.execute("edit top") == "editing top"
+
+    def test_delete_rename(self, tui):
+        tui.execute("read pads.cif")
+        assert tui.execute("rename inpad pad") == "renamed inpad to pad"
+        assert tui.execute("delete pad") == "deleted pad"
+        assert "pad" not in tui.editor.library
+
+    def test_set_tracks(self, tui):
+        assert tui.execute("set tracks 4") == "routing tracks per channel = 4"
+        assert tui.editor.tracks_per_channel == 4
+
+    def test_set_tracks_invalid(self, tui):
+        assert "error" in tui.execute("set tracks 0")
+        assert "error" in tui.execute("set gizmos 4")
+
+
+class TestInspection:
+    def test_cells_listing(self, tui):
+        assert tui.execute("cells") == "cells: (none)"
+        tui.execute("read pads.cif")
+        assert tui.execute("cells") == "cells: inpad"
+
+    def test_pending_listing(self, tui):
+        assert tui.execute("pending") == "pending: (none)"
+
+    def test_check(self, tui):
+        tui.execute("read pads.cif")
+        tui.execute("new top")
+        tui.editor.create(at=Point(0, 0), cell_name="inpad", name="p")
+        out = tui.execute("check")
+        assert "connections made: 0" in out
+
+    def test_help_lists_commands(self, tui):
+        out = tui.execute("help")
+        for cmd in ("read", "write", "plot", "replay", "set"):
+            assert cmd in out
+
+    def test_unknown_command(self, tui):
+        assert "unknown command" in tui.execute("frobnicate")
+
+    def test_empty_line(self, tui):
+        assert tui.execute("") == ""
+
+    def test_last_error_kept(self, tui):
+        tui.execute("read nothere.cif")
+        assert tui.last_error is not None
+        tui.execute("cells")
+        assert tui.last_error is None
+
+
+class TestReplayCommands:
+    def test_save_and_replay(self, tui):
+        tui.execute("read pads.cif")
+        tui.execute("new top")
+        tui.editor.create(at=Point(0, 0), cell_name="inpad", name="p")
+        out = tui.execute("savereplay session.rpl")
+        assert "saved replay" in out
+
+        editor2 = RiotEditor(TECH)
+        tui2 = TextualInterface(editor2, tui.store)
+        tui2.execute("read pads.cif")
+        assert tui2.execute("replay session.rpl") == "replayed 2 command(s)"
+        assert "top" in editor2.library
+
+    def test_run_script(self, tui):
+        responses = tui.run_script(["read pads.cif", "cells"])
+        assert len(responses) == 2
+        assert responses[1] == "cells: inpad"
+
+
+class TestDiskStore:
+    def test_roundtrip(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        store.write("sub/file.txt", "hello")
+        assert store.read("sub/file.txt") == "hello"
+
+    def test_missing(self, tmp_path):
+        store = DiskStore(str(tmp_path))
+        from repro.core.errors import RiotError
+
+        with pytest.raises(RiotError, match="no such file"):
+            store.read("ghost.txt")

@@ -1,0 +1,181 @@
+"""Tests for the design-rule engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cif.semantics import FlatGeometry
+from repro.drc.engine import box_separation, check_geometry, geometry_rectangles
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+TECH = nmos_technology()
+METAL = TECH.layer("metal")
+POLY = TECH.layer("poly")
+
+
+def geom(*metal_boxes, paths=(), polygons=()):
+    g = FlatGeometry()
+    for box in metal_boxes:
+        g.boxes.append((METAL, box))
+    g.paths.extend(paths)
+    g.polygons.extend(polygons)
+    return g
+
+
+class TestBoxSeparation:
+    def test_overlapping(self):
+        assert box_separation(Box(0, 0, 10, 10), Box(5, 5, 15, 15)) == 0
+
+    def test_touching(self):
+        assert box_separation(Box(0, 0, 10, 10), Box(10, 0, 20, 10)) == 0
+
+    def test_horizontal_gap(self):
+        assert box_separation(Box(0, 0, 10, 10), Box(15, 0, 25, 10)) == 5
+
+    def test_vertical_gap(self):
+        assert box_separation(Box(0, 0, 10, 10), Box(0, 17, 10, 27)) == 7
+
+    def test_diagonal_takes_max(self):
+        assert box_separation(Box(0, 0, 10, 10), Box(13, 18, 23, 28)) == 8
+
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_symmetric(self, dx, dy):
+        a = Box(0, 0, 100, 100)
+        b = a.translated(dx, dy)
+        assert box_separation(a, b) == box_separation(b, a)
+
+
+class TestWidthRule:
+    def test_wide_enough(self):
+        report = check_geometry(geom(Box(0, 0, 750, 750)), TECH)
+        assert report.is_clean
+
+    def test_too_narrow(self):
+        report = check_geometry(geom(Box(0, 0, 400, 5000)), TECH)
+        assert report.count("width", "metal") == 1
+        v = report.violations[0]
+        assert v.measured == 400
+        assert v.required == 750
+
+    def test_short_side_checked(self):
+        report = check_geometry(geom(Box(0, 0, 5000, 400)), TECH)
+        assert report.count("width") == 1
+
+    def test_path_segments_checked(self):
+        thin = Path(METAL, 400, (Point(0, 0), Point(5000, 0)))
+        report = check_geometry(geom(paths=[thin]), TECH)
+        assert report.count("width", "metal") == 1
+
+    def test_layer_specific_rules(self):
+        g = FlatGeometry()
+        g.boxes.append((POLY, Box(0, 0, 500, 5000)))  # poly min is 500: ok
+        g.boxes.append((METAL, Box(2000, 0, 2500, 5000)))  # metal min 750: bad
+        report = check_geometry(g, TECH)
+        assert report.count("width", "poly") == 0
+        assert report.count("width", "metal") == 1
+
+
+class TestSpacingRule:
+    def test_far_apart_clean(self):
+        report = check_geometry(
+            geom(Box(0, 0, 1000, 1000), Box(2000, 0, 3000, 1000)), TECH
+        )
+        assert report.is_clean
+
+    def test_exactly_at_rule_clean(self):
+        report = check_geometry(
+            geom(Box(0, 0, 1000, 1000), Box(1750, 0, 2750, 1000)), TECH
+        )
+        assert report.is_clean
+
+    def test_too_close(self):
+        report = check_geometry(
+            geom(Box(0, 0, 1000, 1000), Box(1400, 0, 2400, 1000)), TECH
+        )
+        assert report.count("spacing", "metal") == 1
+        assert report.violations[0].measured == 400
+
+    def test_touching_exempt(self):
+        report = check_geometry(
+            geom(Box(0, 0, 1000, 1000), Box(1000, 0, 2000, 1000)), TECH
+        )
+        assert report.is_clean
+
+    def test_overlapping_exempt(self):
+        report = check_geometry(
+            geom(Box(0, 0, 1000, 1000), Box(500, 0, 1500, 1000)), TECH
+        )
+        assert report.is_clean
+
+    def test_different_layers_not_compared(self):
+        g = FlatGeometry()
+        g.boxes.append((METAL, Box(0, 0, 1000, 1000)))
+        g.boxes.append((POLY, Box(1100, 0, 2100, 1000)))
+        report = check_geometry(g, TECH)
+        assert report.count("spacing") == 0
+
+    def test_diagonal_neighbors(self):
+        report = check_geometry(
+            geom(Box(0, 0, 1000, 1000), Box(1200, 1300, 2200, 2300)), TECH
+        )
+        # max(200, 300) = 300 < 750.
+        assert report.count("spacing") == 1
+        assert report.violations[0].measured == 300
+
+    def test_many_shapes_count(self):
+        # A picket fence 400 apart: each adjacent pair violates.
+        boxes = [Box(i * 1400, 0, i * 1400 + 1000, 5000) for i in range(10)]
+        report = check_geometry(geom(*boxes), TECH)
+        assert report.count("spacing", "metal") == 9
+
+
+class TestReport:
+    def test_by_layer(self):
+        g = FlatGeometry()
+        g.boxes.append((METAL, Box(0, 0, 400, 5000)))
+        g.boxes.append((POLY, Box(2000, 0, 2300, 5000)))
+        report = check_geometry(g, TECH)
+        assert report.by_layer() == {"metal": 1, "poly": 1}
+
+    def test_shapes_checked(self):
+        report = check_geometry(geom(Box(0, 0, 1000, 1000)), TECH)
+        assert report.shapes_checked == 1
+
+    def test_violation_str(self):
+        report = check_geometry(geom(Box(0, 0, 400, 5000)), TECH)
+        assert "metal width 400 < 750" in str(report.violations[0])
+
+    def test_polygon_bbox_used(self):
+        poly = Polygon(METAL, (Point(0, 0), Point(5000, 0), Point(0, 5000)))
+        report = check_geometry(geom(polygons=[poly]), TECH)
+        assert report.shapes_checked == 1
+        assert report.is_clean
+
+
+class TestRealCells:
+    def test_expanded_gate_is_clean(self):
+        from repro.library.stock import filter_library
+        from repro.sticks.expand import expand_to_cif
+
+        library = filter_library(TECH)
+        for name in ("nand", "or2", "srcell"):
+            flat = expand_to_cif(library.get(name).sticks_cell, TECH).flatten()
+            report = check_geometry(flat, TECH)
+            assert report.is_clean, (
+                f"{name}: " + "; ".join(str(v) for v in report.violations)
+            )
+
+    def test_pads_are_clean(self):
+        from repro.library.stock import filter_library
+
+        library = filter_library(TECH)
+        for name in ("inpad", "outpad"):
+            report = check_geometry(library.get(name).cif_cell.flatten(), TECH)
+            assert report.is_clean

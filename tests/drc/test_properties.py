@@ -1,0 +1,148 @@
+"""Property-based tests for the DRC engine and the extractor.
+
+Random rectangle soups, checked against brute-force oracles: blob
+merging must match transitive closure, spacing violations must be
+real gaps, and extraction connectivity must equal reachability over
+the touching-graph.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cif.semantics import FlatGeometry
+from repro.drc.engine import box_separation, check_geometry
+from repro.extract.netlist import extract_netlist
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+
+TECH = nmos_technology()
+METAL = TECH.layer("metal")
+
+coord = st.integers(min_value=0, max_value=20).map(lambda v: v * 500)
+size = st.integers(min_value=2, max_value=8).map(lambda v: v * 500)
+
+
+@st.composite
+def metal_boxes(draw):
+    count = draw(st.integers(min_value=1, max_value=10))
+    boxes = []
+    for _ in range(count):
+        x, y = draw(coord), draw(coord)
+        boxes.append(Box(x, y, x + draw(size), y + draw(size)))
+    return boxes
+
+
+def geom(boxes):
+    g = FlatGeometry()
+    for box in boxes:
+        g.boxes.append((METAL, box))
+    return g
+
+
+def brute_force_blobs(boxes):
+    """Transitive closure of touching/overlapping, the slow way."""
+    parent = list(range(len(boxes)))
+
+    def find(i):
+        while parent[i] != i:
+            i = parent[i]
+        return i
+
+    changed = True
+    while changed:
+        changed = False
+        for i, a in enumerate(boxes):
+            for j, b in enumerate(boxes):
+                if i < j and box_separation(a, b) == 0 and (
+                    a.lly <= b.ury and b.lly <= a.ury
+                ) and (a.llx <= b.urx and b.llx <= a.urx):
+                    ri, rj = find(i), find(j)
+                    if ri != rj:
+                        parent[rj] = ri
+                        changed = True
+    return [find(i) for i in range(len(boxes))]
+
+
+class TestDrcProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(metal_boxes())
+    def test_no_violations_between_same_blob(self, boxes):
+        report = check_geometry(geom(boxes), TECH)
+        blobs = brute_force_blobs(boxes)
+        # Every reported spacing violation separates distinct blobs.
+        for violation in report.violations:
+            if violation.rule != "spacing":
+                continue
+            # The gap box touches both offenders; find candidates.
+            near = [
+                i
+                for i, b in enumerate(boxes)
+                if box_separation(b, violation.location) == 0
+            ]
+            assert len({blobs[i] for i in near}) >= 2 or len(near) < 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(metal_boxes())
+    def test_violation_distances_are_real(self, boxes):
+        report = check_geometry(geom(boxes), TECH)
+        sep = TECH.min_separation("metal")
+        for violation in report.violations:
+            if violation.rule == "spacing":
+                assert 0 < violation.measured < sep
+
+    @settings(max_examples=60, deadline=None)
+    @given(metal_boxes())
+    def test_spread_out_layout_is_clean(self, boxes):
+        # Spacing every box onto a generous grid removes all violations.
+        spread = [
+            b.translated(i * 50000, i * 50000) for i, b in enumerate(boxes)
+        ]
+        report = check_geometry(geom(spread), TECH)
+        assert report.count("spacing") == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(metal_boxes())
+    def test_deterministic(self, boxes):
+        a = check_geometry(geom(boxes), TECH)
+        b = check_geometry(geom(boxes), TECH)
+        assert [str(v) for v in a.violations] == [str(v) for v in b.violations]
+
+
+class TestExtractionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(metal_boxes())
+    def test_connectivity_matches_brute_force(self, boxes):
+        netlist = extract_netlist(geom(boxes), TECH)
+        blobs = brute_force_blobs(boxes)
+        for i, a in enumerate(boxes):
+            for j, b in enumerate(boxes):
+                if i >= j:
+                    continue
+                same = netlist.connected(a.center, "metal", b.center, "metal")
+                # Centre probes can be ambiguous when boxes overlap a
+                # third shape; restrict the oracle to blob equality.
+                if blobs[i] == blobs[j]:
+                    assert same
+                elif not any(
+                    k != i and k != j
+                    and boxes[k].contains_point(a.center)
+                    or boxes[k].contains_point(b.center)
+                    for k in range(len(boxes))
+                ):
+                    assert not same
+
+    @settings(max_examples=60, deadline=None)
+    @given(metal_boxes())
+    def test_node_count_matches_blob_count(self, boxes):
+        netlist = extract_netlist(geom(boxes), TECH)
+        assert netlist.node_count == len(set(brute_force_blobs(boxes)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(metal_boxes(), st.integers(min_value=-3, max_value=3))
+    def test_translation_invariant(self, boxes, k):
+        d = k * 12345
+        moved = [b.translated(d, -d) for b in boxes]
+        a = extract_netlist(geom(boxes), TECH)
+        b = extract_netlist(geom(moved), TECH)
+        assert a.node_count == b.node_count

@@ -1,0 +1,68 @@
+"""Every example must run clean — they are the front door.
+
+Each script executes in a subprocess with a temporary working
+directory (several write SVG/CIF artifacts); a non-zero exit or a
+traceback fails the build.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(tmp_path),
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "Traceback" not in result.stderr
+    assert result.stdout.strip(), "examples must narrate what they do"
+
+
+def test_example_inventory():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "logical_filter.py",
+        "replay_recovery.py",
+        "scripted_session.py",
+        "array_datapath.py",
+        "signoff.py",
+    } <= names
+
+
+def test_quickstart_writes_svg(tmp_path):
+    subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "quickstart.py")],
+        capture_output=True,
+        timeout=300,
+        cwd=str(tmp_path),
+    )
+    assert (tmp_path / "quickstart.svg").exists()
+
+
+def test_logical_filter_writes_artifacts(tmp_path):
+    subprocess.run(
+        [sys.executable, str(EXAMPLES[0].parent / "logical_filter.py")],
+        capture_output=True,
+        timeout=300,
+        cwd=str(tmp_path),
+    )
+    for artifact in (
+        "filter_logic_routed.svg",
+        "filter_logic_stretched.svg",
+        "filter_chip.cif",
+        "filter_chip_mask.svg",
+    ):
+        assert (tmp_path / artifact).exists()

@@ -1,0 +1,195 @@
+"""Tests for mask-level connectivity extraction."""
+
+import pytest
+
+from repro.cif.semantics import FlatGeometry
+from repro.extract.netlist import extract_netlist
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+
+TECH = nmos_technology()
+METAL = TECH.layer("metal")
+POLY = TECH.layer("poly")
+DIFF = TECH.layer("diffusion")
+CONTACT = TECH.layer("contact")
+BURIED = TECH.layer("buried")
+
+
+def geom(shapes):
+    g = FlatGeometry()
+    for layer, box in shapes:
+        g.boxes.append((layer, box))
+    return g
+
+
+class TestSameLayerMerging:
+    def test_touching_boxes_merge(self):
+        nl = extract_netlist(
+            geom([(METAL, Box(0, 0, 10, 10)), (METAL, Box(10, 0, 20, 10))]), TECH
+        )
+        assert nl.connected(Point(1, 1), "metal", Point(19, 1), "metal")
+
+    def test_overlapping_boxes_merge(self):
+        nl = extract_netlist(
+            geom([(METAL, Box(0, 0, 10, 10)), (METAL, Box(5, 5, 20, 20))]), TECH
+        )
+        assert nl.node_count == 1
+
+    def test_disjoint_boxes_stay_apart(self):
+        nl = extract_netlist(
+            geom([(METAL, Box(0, 0, 10, 10)), (METAL, Box(50, 0, 60, 10))]), TECH
+        )
+        assert not nl.connected(Point(1, 1), "metal", Point(55, 1), "metal")
+        assert nl.node_count == 2
+
+    def test_chain_merges_transitively(self):
+        boxes = [(METAL, Box(i * 10, 0, i * 10 + 10, 10)) for i in range(5)]
+        nl = extract_netlist(geom(boxes), TECH)
+        assert nl.connected(Point(1, 1), "metal", Point(49, 1), "metal")
+
+    def test_different_layers_stay_apart(self):
+        nl = extract_netlist(
+            geom([(METAL, Box(0, 0, 10, 10)), (POLY, Box(0, 0, 10, 10))]), TECH
+        )
+        assert not nl.connected(Point(5, 5), "metal", Point(5, 5), "poly")
+
+    def test_paths_participate(self):
+        g = geom([(METAL, Box(0, 0, 10, 10))])
+        g.paths.append(Path(METAL, 4, (Point(10, 5), Point(100, 5))))
+        nl = extract_netlist(g, TECH)
+        assert nl.connected(Point(5, 5), "metal", Point(90, 5), "metal")
+
+
+class TestCuts:
+    def test_contact_fuses_metal_poly(self):
+        nl = extract_netlist(
+            geom(
+                [
+                    (METAL, Box(0, 0, 10, 10)),
+                    (POLY, Box(0, 0, 10, 10)),
+                    (CONTACT, Box(4, 4, 6, 6)),
+                ]
+            ),
+            TECH,
+        )
+        assert nl.connected(Point(5, 5), "metal", Point(5, 5), "poly")
+
+    def test_buried_fuses_poly_diffusion_only(self):
+        nl = extract_netlist(
+            geom(
+                [
+                    (METAL, Box(0, 0, 10, 10)),
+                    (POLY, Box(0, 0, 10, 10)),
+                    (DIFF, Box(0, 0, 10, 10)),
+                    (BURIED, Box(4, 4, 6, 6)),
+                ]
+            ),
+            TECH,
+        )
+        assert nl.connected(Point(5, 5), "poly", Point(5, 5), "diffusion")
+        assert not nl.connected(Point(5, 5), "metal", Point(5, 5), "poly")
+
+    def test_cut_must_touch(self):
+        nl = extract_netlist(
+            geom(
+                [
+                    (METAL, Box(0, 0, 10, 10)),
+                    (POLY, Box(0, 0, 10, 10)),
+                    (CONTACT, Box(50, 50, 52, 52)),
+                ]
+            ),
+            TECH,
+        )
+        assert not nl.connected(Point(5, 5), "metal", Point(5, 5), "poly")
+
+
+class TestProbes:
+    def test_node_at_open_space(self):
+        nl = extract_netlist(geom([(METAL, Box(0, 0, 10, 10))]), TECH)
+        assert nl.node_at(Point(100, 100), "metal") is None
+
+    def test_connected_requires_both_probes(self):
+        nl = extract_netlist(geom([(METAL, Box(0, 0, 10, 10))]), TECH)
+        assert not nl.connected(Point(5, 5), "metal", Point(100, 100), "metal")
+
+    def test_node_size(self):
+        nl = extract_netlist(
+            geom([(METAL, Box(0, 0, 10, 10)), (METAL, Box(10, 0, 20, 10))]), TECH
+        )
+        assert nl.node_size(Point(5, 5), "metal") == 2
+        assert nl.node_size(Point(100, 100), "metal") == 0
+
+
+class TestRealCells:
+    def test_gate_input_reaches_its_transistor(self):
+        from repro.library.stock import filter_library
+        from repro.sticks.expand import expand_to_cif
+
+        library = filter_library(TECH)
+        nand = library.get("nand")
+        flat = expand_to_cif(nand.sticks_cell, TECH).flatten()
+        nl = extract_netlist(flat, TECH)
+        a = nand.connector("A").position
+        # Pin A is continuous with the poly over the first pulldown.
+        assert nl.connected(a, "poly", Point(900, 1800), "poly")
+
+    def test_gate_output_reaches_pullup_via_buried(self):
+        from repro.library.stock import filter_library
+        from repro.sticks.expand import expand_to_cif
+
+        library = filter_library(TECH)
+        nand = library.get("nand")
+        flat = expand_to_cif(nand.sticks_cell, TECH).flatten()
+        nl = extract_netlist(flat, TECH)
+        out = nand.connector("OUT").position
+        # OUT (poly) reaches the diffusion output bar through the
+        # buried contact.
+        assert nl.connected(out, "poly", Point(2400, 3400), "diffusion")
+
+    def test_gate_inputs_isolated_from_each_other(self):
+        from repro.library.stock import filter_library
+        from repro.sticks.expand import expand_to_cif
+
+        library = filter_library(TECH)
+        nand = library.get("nand")
+        flat = expand_to_cif(nand.sticks_cell, TECH).flatten()
+        nl = extract_netlist(flat, TECH)
+        a = nand.connector("A").position
+        b = nand.connector("B").position
+        out = nand.connector("OUT").position
+        assert not nl.connected(a, "poly", b, "poly")
+        assert not nl.connected(a, "poly", out, "poly")
+
+    def test_abutted_row_is_continuous(self):
+        """Two abutted srcells: the rails and the data chain are one
+        node each at mask level — Riot's 'connection by abutment' is
+        electrically real."""
+        from repro.core.convert import composition_to_cif
+        from repro.cif.parser import parse_cif
+        from repro.cif.semantics import elaborate
+        from repro.core.editor import RiotEditor
+        from repro.library.stock import filter_library
+
+        editor = RiotEditor(TECH)
+        editor.library = filter_library(TECH)
+        editor.new_cell("row")
+        editor.create(at=Point(0, 0), cell_name="srcell", nx=2, name="sr")
+        text = composition_to_cif(editor.cell, TECH)
+        flat = elaborate(parse_cif(text), TECH).cell("row").flatten()
+        nl = extract_netlist(flat, TECH)
+        sr = editor.cell.instance("sr")
+        in_pos = sr.connector("IN[0,0]").position
+        out_pos = sr.connector("OUT[1,0]").position
+        assert nl.connected(in_pos, "metal", out_pos, "metal")
+        assert nl.connected(
+            sr.connector("PWRL[0,0]").position,
+            "metal",
+            sr.connector("PWRR[1,0]").position,
+            "metal",
+        )
+        # Data and power are distinct nodes.
+        assert not nl.connected(
+            in_pos, "metal", sr.connector("PWRL[0,0]").position, "metal"
+        )

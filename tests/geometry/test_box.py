@@ -1,0 +1,182 @@
+"""Unit and property tests for repro.geometry.box."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box, union_all
+from repro.geometry.point import Point
+
+coords = st.integers(min_value=-10**6, max_value=10**6)
+boxes = st.builds(Box, coords, coords, coords, coords)
+points = st.builds(Point, coords, coords)
+
+
+class TestConstruction:
+    def test_normalises_corners(self):
+        assert Box(10, 20, 0, 5) == Box(0, 5, 10, 20)
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            Box(0, 0, 1.5, 1)
+
+    def test_degenerate_allowed(self):
+        b = Box(5, 5, 5, 5)
+        assert b.width == 0
+        assert b.height == 0
+        assert b.area == 0
+
+    def test_from_points(self):
+        b = Box.from_points([Point(3, 7), Point(-1, 2), Point(5, 0)])
+        assert b == Box(-1, 0, 5, 7)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Box.from_points([])
+
+    def test_from_center(self):
+        b = Box.from_center(Point(10, 10), 4, 6)
+        assert b == Box(8, 7, 12, 13)
+
+    def test_from_center_odd_raises(self):
+        with pytest.raises(ValueError):
+            Box.from_center(Point(0, 0), 3, 2)
+
+    def test_from_center_negative_raises(self):
+        with pytest.raises(ValueError):
+            Box.from_center(Point(0, 0), -2, 2)
+
+
+class TestMeasures:
+    def test_dimensions(self):
+        b = Box(0, 0, 10, 20)
+        assert b.width == 10
+        assert b.height == 20
+        assert b.area == 200
+
+    def test_center(self):
+        assert Box(0, 0, 10, 20).center == Point(5, 10)
+
+    def test_corners(self):
+        cs = list(Box(0, 0, 2, 3).corners())
+        assert cs == [Point(0, 0), Point(2, 0), Point(2, 3), Point(0, 3)]
+
+    def test_corner_accessors(self):
+        b = Box(1, 2, 3, 4)
+        assert b.lower_left == Point(1, 2)
+        assert b.upper_right == Point(3, 4)
+        assert b.lower_right == Point(3, 2)
+        assert b.upper_left == Point(1, 4)
+
+
+class TestPredicates:
+    def test_contains_point_interior(self):
+        assert Box(0, 0, 10, 10).contains_point(Point(5, 5))
+
+    def test_contains_point_boundary(self):
+        assert Box(0, 0, 10, 10).contains_point(Point(0, 10))
+
+    def test_contains_point_outside(self):
+        assert not Box(0, 0, 10, 10).contains_point(Point(11, 5))
+
+    def test_contains_box(self):
+        assert Box(0, 0, 10, 10).contains_box(Box(2, 2, 8, 8))
+        assert not Box(0, 0, 10, 10).contains_box(Box(2, 2, 12, 8))
+
+    def test_overlaps_open(self):
+        assert Box(0, 0, 10, 10).overlaps(Box(5, 5, 15, 15))
+
+    def test_shared_edge_does_not_overlap(self):
+        assert not Box(0, 0, 10, 10).overlaps(Box(10, 0, 20, 10))
+
+    def test_shared_edge_touches(self):
+        assert Box(0, 0, 10, 10).touches(Box(10, 0, 20, 10))
+
+    def test_disjoint_neither(self):
+        a, b = Box(0, 0, 1, 1), Box(5, 5, 6, 6)
+        assert not a.overlaps(b)
+        assert not a.touches(b)
+
+    def test_corner_touch(self):
+        assert Box(0, 0, 10, 10).touches(Box(10, 10, 20, 20))
+
+
+class TestCombination:
+    def test_union(self):
+        assert Box(0, 0, 5, 5).union(Box(3, 3, 10, 8)) == Box(0, 0, 10, 8)
+
+    def test_intersection(self):
+        assert Box(0, 0, 10, 10).intersection(Box(5, 5, 15, 15)) == Box(5, 5, 10, 10)
+
+    def test_intersection_disjoint(self):
+        assert Box(0, 0, 1, 1).intersection(Box(5, 5, 6, 6)) is None
+
+    def test_intersection_edge_degenerate(self):
+        got = Box(0, 0, 10, 10).intersection(Box(10, 0, 20, 10))
+        assert got == Box(10, 0, 10, 10)
+
+    def test_union_all(self):
+        got = union_all([Box(0, 0, 1, 1), Box(5, 5, 6, 6), Box(-2, 0, 0, 1)])
+        assert got == Box(-2, 0, 6, 6)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+class TestMovement:
+    def test_translated(self):
+        assert Box(0, 0, 2, 2).translated(5, -1) == Box(5, -1, 7, 1)
+
+    def test_inflated(self):
+        assert Box(0, 0, 10, 10).inflated(2) == Box(-2, -2, 12, 12)
+
+    def test_deflated(self):
+        assert Box(0, 0, 10, 10).inflated(-2) == Box(2, 2, 8, 8)
+
+    def test_inflated_inversion_raises(self):
+        with pytest.raises(ValueError):
+            Box(0, 0, 2, 2).inflated(-2)
+
+
+class TestProperties:
+    @given(boxes, boxes)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_box(a)
+        assert u.contains_box(b)
+
+    @given(boxes, boxes)
+    def test_union_commutes(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(boxes, boxes)
+    def test_intersection_symmetric(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(boxes, boxes)
+    def test_intersection_inside_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_box(inter)
+            assert b.contains_box(inter)
+
+    @given(boxes)
+    def test_area_nonnegative(self, b):
+        assert b.area >= 0
+
+    @given(boxes, coords, coords)
+    def test_translation_preserves_area(self, b, dx, dy):
+        assert b.translated(dx, dy).area == b.area
+
+    @given(boxes, points)
+    def test_contains_consistent_with_from_points(self, b, p):
+        if b.contains_point(p):
+            assert b.union(Box.from_points([p])) == b
+
+    @given(boxes, boxes)
+    def test_overlap_implies_positive_intersection_area(self, a, b):
+        if a.overlaps(b):
+            inter = a.intersection(b)
+            assert inter is not None
+            assert inter.area > 0

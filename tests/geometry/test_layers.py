@@ -1,0 +1,83 @@
+"""Tests for the layer registry and the NMOS technology rules."""
+
+import pytest
+
+from repro.geometry.layers import Layer, Technology, nmos_technology
+
+
+@pytest.fixture()
+def tech():
+    return nmos_technology()
+
+
+class TestNmosTechnology:
+    def test_default_lambda(self, tech):
+        assert tech.lambda_cm == 250
+
+    def test_has_mead_conway_layers(self, tech):
+        for name in ("diffusion", "poly", "metal", "contact", "implant"):
+            assert tech.has_layer(name)
+
+    def test_cif_names(self, tech):
+        assert tech.layer("metal").cif_name == "NM"
+        assert tech.layer_by_cif("NP").name == "poly"
+
+    def test_unknown_layer_message(self, tech):
+        with pytest.raises(KeyError, match="unknown layer 'metal9'"):
+            tech.layer("metal9")
+
+    def test_unknown_cif_layer(self, tech):
+        with pytest.raises(KeyError, match="unknown CIF layer"):
+            tech.layer_by_cif("CM")
+
+    def test_metal_rules(self, tech):
+        # Classic Mead-Conway: metal 3 lambda wide, 3 lambda apart.
+        assert tech.min_width("metal") == 750
+        assert tech.min_separation("metal") == 750
+        assert tech.pitch("metal") == 1500
+
+    def test_poly_rules(self, tech):
+        assert tech.min_width("poly") == 500
+        assert tech.min_separation("poly") == 500
+
+    def test_diffusion_rules(self, tech):
+        assert tech.min_width("diffusion") == 500
+        assert tech.min_separation("diffusion") == 750
+
+    def test_rules_accept_layer_objects(self, tech):
+        metal = tech.layer("metal")
+        assert tech.min_width(metal) == tech.min_width("metal")
+
+    def test_lam_helper(self, tech):
+        assert tech.lam(3) == 750
+
+    def test_routing_layers_exclude_cuts(self, tech):
+        names = {layer.name for layer in tech.routing_layers}
+        assert "metal" in names
+        assert "poly" in names
+        assert "contact" not in names
+        assert "implant" not in names
+
+    def test_scaled_technology(self):
+        fine = nmos_technology(lambda_cm=100)
+        assert fine.min_width("metal") == 300
+
+    def test_layers_listing(self, tech):
+        assert len(tech.layers) == 7
+
+
+class TestValidation:
+    def test_duplicate_layer_name_rejected(self):
+        layers = [Layer("a", "LA", 0), Layer("a", "LB", 1)]
+        with pytest.raises(ValueError, match="duplicate layer name"):
+            Technology("t", 100, layers, {"a": 1}, {"a": 1})
+
+    def test_duplicate_cif_name_rejected(self):
+        layers = [Layer("a", "LX", 0), Layer("b", "LX", 1)]
+        with pytest.raises(ValueError, match="duplicate CIF layer name"):
+            Technology("t", 100, layers, {"a": 1, "b": 1}, {"a": 1, "b": 1})
+
+    def test_missing_rule_rejected(self):
+        layers = [Layer("a", "LA", 0), Layer("b", "LB", 1)]
+        with pytest.raises(ValueError, match="missing width rules"):
+            Technology("t", 100, layers, {"a": 1}, {"a": 1, "b": 1})

@@ -1,0 +1,140 @@
+"""Unit and property tests for the orientation group."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.orientation import (
+    ALL_ORIENTATIONS,
+    MX,
+    MXR90,
+    MY,
+    MYR90,
+    R0,
+    R90,
+    R180,
+    R270,
+    Orientation,
+)
+from repro.geometry.point import Point
+
+orientations = st.sampled_from(ALL_ORIENTATIONS)
+coords = st.integers(min_value=-10**6, max_value=10**6)
+points = st.builds(Point, coords, coords)
+
+
+class TestBasics:
+    def test_exactly_eight(self):
+        assert len(set(ALL_ORIENTATIONS)) == 8
+
+    def test_invalid_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            Orientation(2, 0, 0, 1)
+
+    def test_shear_rejected(self):
+        with pytest.raises(ValueError):
+            Orientation(1, 1, 0, 1)
+
+    def test_r90_action(self):
+        assert R90.apply(Point(1, 0)) == Point(0, 1)
+        assert R90.apply(Point(0, 1)) == Point(-1, 0)
+
+    def test_r180_action(self):
+        assert R180.apply(Point(3, 4)) == Point(-3, -4)
+
+    def test_mx_flips_x(self):
+        assert MX.apply(Point(3, 4)) == Point(-3, 4)
+
+    def test_my_flips_y(self):
+        assert MY.apply(Point(3, 4)) == Point(3, -4)
+
+    def test_names_roundtrip(self):
+        for o in ALL_ORIENTATIONS:
+            assert Orientation.from_name(o.name) == o
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            Orientation.from_name("R45")
+
+
+class TestGroup:
+    def test_rotations_cycle(self):
+        assert R90.compose(R90) == R180
+        assert R90.compose(R180) == R270
+        assert R90.compose(R270) == R0
+
+    def test_mirror_involutions(self):
+        assert MX.compose(MX) == R0
+        assert MY.compose(MY) == R0
+
+    def test_mx_my_is_r180(self):
+        assert MX.compose(MY) == R180
+
+    def test_mirror_flags(self):
+        assert MX.is_mirror
+        assert MY.is_mirror
+        assert MXR90.is_mirror
+        assert MYR90.is_mirror
+        assert not R0.is_mirror
+        assert not R90.is_mirror
+
+    def test_rotated90_helper(self):
+        assert R0.rotated90() == R90
+        assert R270.rotated90() == R0
+
+    def test_mirror_helpers(self):
+        assert R0.mirrored_x() == MX
+        assert R0.mirrored_y() == MY
+
+    @given(orientations, orientations, points)
+    def test_compose_is_apply_order(self, a, b, p):
+        assert a.compose(b).apply(p) == a.apply(b.apply(p))
+
+    @given(orientations, points)
+    def test_inverse(self, o, p):
+        assert o.inverse().apply(o.apply(p)) == p
+        assert o.apply(o.inverse().apply(p)) == p
+
+    @given(orientations, orientations)
+    def test_closure(self, a, b):
+        assert a.compose(b) in ALL_ORIENTATIONS
+
+    @given(orientations, points)
+    def test_preserves_manhattan_distance(self, o, p):
+        origin = Point(0, 0)
+        assert o.apply(p).manhattan_distance(o.apply(origin)) == p.manhattan_distance(
+            origin
+        )
+
+
+class TestCifElements:
+    def _apply_cif(self, elements, p):
+        """Interpret a CIF transform-element list (left to right)."""
+        for el in elements:
+            parts = el.split()
+            if parts[0] == "MX":
+                p = Point(-p.x, p.y)
+            elif parts[0] == "MY":
+                p = Point(p.x, -p.y)
+            elif parts[0] == "R":
+                a, b = int(parts[1]), int(parts[2])
+                if (a, b) == (1, 0):
+                    pass
+                elif (a, b) == (0, 1):
+                    p = Point(-p.y, p.x)
+                elif (a, b) == (-1, 0):
+                    p = Point(-p.x, -p.y)
+                elif (a, b) == (0, -1):
+                    p = Point(p.y, -p.x)
+                else:
+                    raise AssertionError(f"non-Manhattan rotation {el}")
+            else:
+                raise AssertionError(f"unknown element {el}")
+        return p
+
+    @given(orientations, points)
+    def test_cif_elements_realise_orientation(self, o, p):
+        assert self._apply_cif(o.cif_elements(), p) == o.apply(p)
+
+    def test_identity_is_empty(self):
+        assert R0.cif_elements() == []

@@ -1,0 +1,93 @@
+"""Tests for wire paths."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.path import Path, paths_bounding_box
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+
+TECH = nmos_technology()
+METAL = TECH.layer("metal")
+POLY = TECH.layer("poly")
+
+
+def mk(points, width=100, layer=METAL):
+    return Path.from_list(layer, width, points)
+
+
+class TestValidation:
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            mk([Point(0, 0), Point(10, 0)], width=0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mk([Point(0, 0), Point(10, 0)], width=-5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one point"):
+            mk([])
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(ValueError, match="non-Manhattan"):
+            mk([Point(0, 0), Point(5, 5)])
+
+    def test_single_point_allowed(self):
+        p = mk([Point(0, 0)])
+        assert p.length == 0
+
+
+class TestMeasures:
+    def test_length_l_shape(self):
+        p = mk([Point(0, 0), Point(10, 0), Point(10, 5)])
+        assert p.length == 15
+
+    def test_bounding_box_includes_caps(self):
+        p = mk([Point(0, 0), Point(100, 0)], width=20)
+        assert p.bounding_box() == Box(-10, -10, 110, 10)
+
+    def test_single_point_bbox(self):
+        p = mk([Point(5, 5)], width=10)
+        assert p.bounding_box() == Box(0, 0, 10, 10)
+
+    def test_to_boxes_segment_count(self):
+        p = mk([Point(0, 0), Point(10, 0), Point(10, 10), Point(20, 10)])
+        assert len(p.to_boxes()) == 3
+
+    def test_to_boxes_covers_centerline(self):
+        p = mk([Point(0, 0), Point(100, 0), Point(100, 100)], width=20)
+        boxes = p.to_boxes()
+        for pt in (Point(0, 0), Point(50, 0), Point(100, 50), Point(100, 100)):
+            assert any(b.contains_point(pt) for b in boxes)
+
+    def test_paths_bounding_box(self):
+        a = mk([Point(0, 0), Point(10, 0)], width=2)
+        b = mk([Point(50, 50), Point(50, 60)], width=2)
+        assert paths_bounding_box([a, b]) == Box(-1, -1, 51, 61)
+
+
+class TestTransforms:
+    def test_translated(self):
+        p = mk([Point(0, 0), Point(10, 0)]).translated(5, 5)
+        assert p.points == (Point(5, 5), Point(15, 5))
+
+    def test_transform_keeps_layer_and_width(self):
+        from repro.geometry.orientation import R90
+
+        p = mk([Point(0, 0), Point(10, 0)], width=40, layer=POLY)
+        q = p.transformed(Transform.at(Point(0, 0), R90))
+        assert q.layer is POLY
+        assert q.width == 40
+        assert q.points == (Point(0, 0), Point(0, 10))
+
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+    )
+    def test_translation_preserves_length(self, dx, dy):
+        p = mk([Point(0, 0), Point(30, 0), Point(30, 40)])
+        assert p.translated(dx, dy).length == p.length

@@ -1,0 +1,105 @@
+"""Unit tests for repro.geometry.point."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import ORIGIN, Point
+
+coords = st.integers(min_value=-10**6, max_value=10**6)
+points = st.builds(Point, coords, coords)
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = Point(3, -4)
+        assert p.x == 3
+        assert p.y == -4
+
+    def test_rejects_float_x(self):
+        with pytest.raises(TypeError):
+            Point(1.5, 2)
+
+    def test_rejects_float_y(self):
+        with pytest.raises(TypeError):
+            Point(1, 2.5)
+
+    def test_origin_constant(self):
+        assert ORIGIN == Point(0, 0)
+
+    def test_immutable(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.x = 5
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(5, 5) - Point(2, 3) == Point(3, 2)
+
+    def test_neg(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_mul(self):
+        assert Point(2, 3) * 4 == Point(8, 12)
+
+    def test_rmul(self):
+        assert 4 * Point(2, 3) == Point(8, 12)
+
+    def test_mul_rejects_float(self):
+        with pytest.raises(TypeError):
+            Point(1, 1) * 1.5
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+
+class TestMetrics:
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance(Point(3, 4)) == 7
+
+    def test_manhattan_distance_symmetric(self):
+        a, b = Point(-2, 5), Point(7, 1)
+        assert a.manhattan_distance(b) == b.manhattan_distance(a)
+
+    def test_orthogonal_horizontal(self):
+        assert Point(0, 5).is_orthogonal_to(Point(9, 5))
+
+    def test_orthogonal_vertical(self):
+        assert Point(3, 0).is_orthogonal_to(Point(3, 9))
+
+    def test_not_orthogonal(self):
+        assert not Point(0, 0).is_orthogonal_to(Point(1, 1))
+
+    def test_same_point_orthogonal(self):
+        assert Point(2, 2).is_orthogonal_to(Point(2, 2))
+
+
+class TestProperties:
+    @given(points, points)
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(points, points)
+    def test_sub_inverts_add(self, a, b):
+        assert (a + b) - b == a
+
+    @given(points)
+    def test_neg_involution(self, p):
+        assert -(-p) == p
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.manhattan_distance(c) <= (
+            a.manhattan_distance(b) + b.manhattan_distance(c)
+        )
+
+    @given(points)
+    def test_str_roundtrip_shape(self, p):
+        assert str(p) == f"({p.x},{p.y})"

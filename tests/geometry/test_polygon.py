@@ -1,0 +1,117 @@
+"""Tests for polygons."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.transform import Transform
+
+TECH = nmos_technology()
+METAL = TECH.layer("metal")
+
+
+def square(side=10):
+    return Polygon.from_list(
+        METAL, [Point(0, 0), Point(side, 0), Point(side, side), Point(0, side)]
+    )
+
+
+class TestConstruction:
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            Polygon.from_list(METAL, [Point(0, 0), Point(1, 1)])
+
+    def test_from_box(self):
+        p = Polygon.from_box(METAL, Box(0, 0, 4, 6))
+        assert p.area == 24
+        assert p.is_manhattan
+
+
+class TestArea:
+    def test_square_area(self):
+        assert square(10).area == 100
+
+    def test_ccw_positive_signed(self):
+        assert square().signed_area2() > 0
+
+    def test_cw_negative_signed(self):
+        p = Polygon.from_list(
+            METAL, [Point(0, 0), Point(0, 10), Point(10, 10), Point(10, 0)]
+        )
+        assert p.signed_area2() < 0
+        assert p.area == 100
+
+    def test_triangle(self):
+        p = Polygon.from_list(METAL, [Point(0, 0), Point(10, 0), Point(0, 10)])
+        assert p.area == 50
+        assert not p.is_manhattan
+
+    def test_l_shape(self):
+        p = Polygon.from_list(
+            METAL,
+            [
+                Point(0, 0),
+                Point(20, 0),
+                Point(20, 10),
+                Point(10, 10),
+                Point(10, 20),
+                Point(0, 20),
+            ],
+        )
+        assert p.area == 300
+        assert p.is_manhattan
+
+
+class TestContainment:
+    def test_interior(self):
+        assert square().contains_point(Point(5, 5))
+
+    def test_boundary(self):
+        assert square().contains_point(Point(0, 5))
+        assert square().contains_point(Point(10, 10))
+
+    def test_outside(self):
+        assert not square().contains_point(Point(11, 5))
+        assert not square().contains_point(Point(-1, -1))
+
+    def test_l_shape_notch(self):
+        p = Polygon.from_list(
+            METAL,
+            [
+                Point(0, 0),
+                Point(20, 0),
+                Point(20, 10),
+                Point(10, 10),
+                Point(10, 20),
+                Point(0, 20),
+            ],
+        )
+        assert p.contains_point(Point(5, 15))
+        assert not p.contains_point(Point(15, 15))
+
+    @given(
+        st.integers(min_value=-20, max_value=40),
+        st.integers(min_value=-20, max_value=40),
+    )
+    def test_square_matches_box(self, x, y):
+        box = Box(0, 0, 10, 10)
+        assert square().contains_point(Point(x, y)) == box.contains_point(Point(x, y))
+
+
+class TestTransforms:
+    def test_bounding_box(self):
+        assert square(8).bounding_box() == Box(0, 0, 8, 8)
+
+    def test_translated(self):
+        p = square().translated(100, 0)
+        assert p.bounding_box() == Box(100, 0, 110, 10)
+
+    def test_rotation_preserves_area(self):
+        from repro.geometry.orientation import R90
+
+        p = square().transformed(Transform.at(Point(0, 0), R90))
+        assert p.area == 100

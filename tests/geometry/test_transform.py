@@ -1,0 +1,71 @@
+"""Unit and property tests for rigid transforms."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.orientation import ALL_ORIENTATIONS, MX, R90, R180
+from repro.geometry.point import Point
+from repro.geometry.transform import IDENTITY, Transform
+
+coords = st.integers(min_value=-10**5, max_value=10**5)
+points = st.builds(Point, coords, coords)
+transforms = st.builds(Transform, st.sampled_from(ALL_ORIENTATIONS), points)
+boxes = st.builds(Box, coords, coords, coords, coords)
+
+
+class TestBasics:
+    def test_identity(self):
+        assert IDENTITY.apply(Point(3, 4)) == Point(3, 4)
+
+    def test_translate(self):
+        t = Transform.translate(10, -5)
+        assert t.apply(Point(1, 1)) == Point(11, -4)
+
+    def test_rotation_then_translation(self):
+        t = Transform.at(Point(100, 0), R90)
+        assert t.apply(Point(1, 0)) == Point(100, 1)
+
+    def test_at_default_orientation(self):
+        t = Transform.at(Point(5, 6))
+        assert t.apply(Point(0, 0)) == Point(5, 6)
+
+    def test_apply_box(self):
+        t = Transform.at(Point(0, 0), R90)
+        assert t.apply_box(Box(0, 0, 2, 1)) == Box(-1, 0, 0, 2)
+
+    def test_apply_vector_ignores_translation(self):
+        t = Transform.at(Point(100, 100), R180)
+        assert t.apply_vector(Point(1, 0)) == Point(-1, 0)
+
+    def test_translated(self):
+        t = Transform.at(Point(1, 1), MX).translated(2, 3)
+        assert t.translation == Point(3, 4)
+        assert t.orientation == MX
+
+
+class TestGroup:
+    @given(transforms, transforms, points)
+    def test_compose_semantics(self, outer, inner, p):
+        assert outer.compose(inner).apply(p) == outer.apply(inner.apply(p))
+
+    @given(transforms, points)
+    def test_inverse(self, t, p):
+        assert t.inverse().apply(t.apply(p)) == p
+
+    @given(transforms)
+    def test_inverse_composition_is_identity(self, t):
+        assert t.compose(t.inverse()) == IDENTITY
+        assert t.inverse().compose(t) == IDENTITY
+
+    @given(transforms, points, points)
+    def test_rigidity(self, t, a, b):
+        assert t.apply(a).manhattan_distance(t.apply(b)) == a.manhattan_distance(b)
+
+    @given(transforms, boxes)
+    def test_box_transform_preserves_area(self, t, box):
+        assert t.apply_box(box).area == box.area
+
+    @given(transforms, boxes, points)
+    def test_box_transform_preserves_membership(self, t, box, p):
+        assert box.contains_point(p) == t.apply_box(box).contains_point(t.apply(p))

@@ -1,0 +1,71 @@
+"""Unit tests for the palette and the bitmap font."""
+
+from repro.graphics import font
+from repro.graphics.color import PALETTE, color_name, color_rgb, layer_color
+from repro.geometry.layers import nmos_technology
+
+TECH = nmos_technology()
+
+
+class TestPalette:
+    def test_known_names(self):
+        assert color_name(0) == "black"
+        assert color_name(4) == "blue"
+        assert color_name(7) == "white"
+
+    def test_unknown_name(self):
+        assert color_name(42) == "color42"
+
+    def test_rgb_format(self):
+        for index in PALETTE:
+            rgb = color_rgb(index)
+            assert rgb.startswith("#")
+            assert len(rgb) == 7
+            int(rgb[1:], 16)  # parses as hex
+
+    def test_unknown_rgb_is_magenta_flag(self):
+        assert color_rgb(99) == "#ff00ff"
+
+    def test_mead_conway_layer_colors(self):
+        # The plotting conventions: green diffusion, red poly, blue metal.
+        assert color_name(layer_color(TECH.layer("diffusion"))) == "green"
+        assert color_name(layer_color(TECH.layer("poly"))) == "red"
+        assert color_name(layer_color(TECH.layer("metal"))) == "blue"
+
+    def test_layers_have_distinct_colors(self):
+        colors = [layer_color(l) for l in TECH.layers]
+        assert len(set(colors)) == len(colors)
+
+
+class TestFont:
+    def test_glyph_shape(self):
+        for ch in "ABZ09-[]":
+            rows = font.glyph(ch)
+            assert len(rows) == font.GLYPH_HEIGHT
+            assert all(0 <= row < 2**font.GLYPH_WIDTH for row in rows)
+
+    def test_lowercase_maps_to_uppercase(self):
+        assert font.glyph("a") == font.glyph("A")
+
+    def test_unknown_is_filled_box(self):
+        rows = font.glyph("~")
+        assert rows[0] == 0b11111
+        assert rows[-1] == 0b11111
+
+    def test_space_is_empty(self):
+        assert all(row == 0 for row in font.glyph(" "))
+
+    def test_distinct_glyphs(self):
+        # Sanity: the alphabet renders distinctly.
+        glyphs = {font.glyph(c) for c in "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"}
+        assert len(glyphs) == 36
+
+    def test_text_width(self):
+        assert font.text_width("") == 0
+        assert font.text_width("A") == font.GLYPH_WIDTH
+        assert font.text_width("AB") == 2 * font.GLYPH_WIDTH + font.GLYPH_SPACING
+
+    def test_every_connector_name_char_covered(self):
+        # The names the display renders must not fall back to boxes.
+        for ch in "PWRLGNDIOUTACLKB0123456789[],.":
+            assert font.glyph(ch) != font.glyph("~") or ch == "~"

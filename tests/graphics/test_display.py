@@ -1,0 +1,158 @@
+"""Tests for the three-area Riot display (paper figure 2)."""
+
+import pytest
+
+from repro.composition.cell import CompositionCell
+from repro.composition.instance import Instance
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+from repro.graphics.display import MENU_ROW_HEIGHT, Display
+
+from tests.composition.conftest import make_cif_leaf
+
+COMMANDS = ("CREATE", "MOVE", "ABUT", "ROUTE", "STRETCH")
+
+
+@pytest.fixture()
+def display():
+    return Display(512, 390, commands=COMMANDS)
+
+
+@pytest.fixture()
+def cell():
+    leaf = make_cif_leaf()
+    comp = CompositionCell("top")
+    comp.add_instance(Instance("u1", leaf))
+    comp.add_instance(Instance("u2", leaf, Transform.translate(3000, 0)))
+    return comp
+
+
+class TestLayout:
+    def test_three_disjoint_areas(self, display):
+        areas = [
+            display.editing_area,
+            display.cell_menu_area,
+            display.command_menu_area,
+        ]
+        for i, a in enumerate(areas):
+            for b in areas[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_editing_area_is_largest(self, display):
+        assert display.editing_area.area > display.cell_menu_area.area
+        assert display.editing_area.area > display.command_menu_area.area
+
+    def test_menus_on_right_edge(self, display):
+        assert display.cell_menu_area.urx == 511
+        assert display.command_menu_area.urx == 511
+
+    def test_cell_menu_above_command_menu(self, display):
+        assert display.cell_menu_area.lly >= display.command_menu_area.ury
+
+
+class TestRender:
+    def test_render_draws_something(self, display, cell):
+        display.viewport.fit(cell.bounding_box())
+        display.render(cell, cell_menu=["leaf", "top"])
+        fb = display.framebuffer
+        assert fb.count_color(0) < fb.width * fb.height
+
+    def test_render_empty_cell(self, display):
+        display.render(None, cell_menu=[])
+        # Just the frame should be drawn.
+        assert display.framebuffer.count_color(7) > 0
+
+    def test_connector_crosses_use_layer_color(self, display, cell):
+        display.viewport.fit(cell.bounding_box())
+        display.render(cell, cell_menu=[])
+        metal_color = cell.instances[0].connectors()[0].layer.color
+        assert display.framebuffer.count_color(metal_color) > 0
+
+    def test_show_names_adds_pixels(self, display, cell):
+        display.viewport.fit(cell.bounding_box())
+        display.render(cell, cell_menu=[])
+        plain = display.framebuffer.count_color(8)
+        display.render(cell, cell_menu=[], show_names=True)
+        named = display.framebuffer.count_color(8)
+        assert named > plain
+
+    def test_array_shows_gridding(self, display):
+        # A 4-element array vs a single cell of the same overall size,
+        # rendered through the same viewport: the array draws the
+        # element grid lines on top of the outer box.
+        leaf = make_cif_leaf()
+        wide = make_cif_leaf(
+            name="wide",
+            width=8000,
+            connectors=(
+                ("IN", 0, 500, "metal", 400),
+                ("OUT", 8000, 500, "metal", 400),
+            ),
+        )
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("a", leaf, nx=4))
+        display.viewport.fit(comp.bounding_box())
+        display.render(comp, cell_menu=[])
+        with_grid = display.framebuffer.count_color(7)
+        comp2 = CompositionCell("top2")
+        comp2.add_instance(Instance("a", wide))
+        display.render(comp2, cell_menu=[])
+        without = display.framebuffer.count_color(7)
+        assert with_grid > without
+
+    def test_pending_list_rendered(self, display, cell):
+        display.render(cell, cell_menu=[], pending=["U1.OUT - U2.IN"])
+        assert display.framebuffer.count_color(8) > 0
+
+    def test_render_deterministic(self, display, cell):
+        display.viewport.fit(cell.bounding_box())
+        display.render(cell, cell_menu=["leaf"], selected_cell="leaf")
+        first = display.framebuffer.snapshot()
+        display.render(cell, cell_menu=["leaf"], selected_cell="leaf")
+        assert display.framebuffer.snapshot() == first
+
+
+class TestHitTest:
+    def test_editing_area_returns_world(self, display, cell):
+        display.render(cell, cell_menu=["leaf"])
+        center = display.editing_area.center
+        hit = display.hit_test(center)
+        assert hit.kind == "editing"
+        assert hit.world == display.viewport.to_world(center)
+
+    def test_cell_menu_hit(self, display, cell):
+        display.render(cell, cell_menu=["leaf", "top"])
+        p = display.menu_point("cell-menu", "top")
+        hit = display.hit_test(p)
+        assert hit.kind == "cell-menu"
+        assert hit.name == "top"
+
+    def test_command_menu_hit(self, display, cell):
+        display.render(cell, cell_menu=["leaf"])
+        p = display.menu_point("command-menu", "ROUTE")
+        hit = display.hit_test(p)
+        assert hit.kind == "command-menu"
+        assert hit.name == "ROUTE"
+
+    def test_empty_menu_row_returns_none(self, display, cell):
+        display.render(cell, cell_menu=["leaf"])
+        area = display.cell_menu_area
+        p = Point(area.llx + 5, area.ury - 15 * MENU_ROW_HEIGHT)
+        hit = display.hit_test(p)
+        assert hit.kind == "cell-menu"
+        assert hit.name is None
+
+    def test_menu_point_unknown_entry(self, display, cell):
+        display.render(cell, cell_menu=["leaf"])
+        with pytest.raises(KeyError):
+            display.menu_point("cell-menu", "ghost")
+
+    def test_menu_point_bad_kind(self, display):
+        with pytest.raises(ValueError):
+            display.menu_point("nowhere", "x")
+
+    def test_every_command_hittable(self, display, cell):
+        display.render(cell, cell_menu=["leaf"])
+        for command in COMMANDS:
+            hit = display.hit_test(display.menu_point("command-menu", command))
+            assert hit.name == command

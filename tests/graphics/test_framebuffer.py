@@ -1,0 +1,148 @@
+"""Tests for the framebuffer primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphics.framebuffer import FrameBuffer
+
+
+@pytest.fixture()
+def fb():
+    return FrameBuffer(64, 48)
+
+
+class TestBasics:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            FrameBuffer(0, 10)
+
+    def test_starts_clear(self, fb):
+        assert fb.count_color(0) == 64 * 48
+
+    def test_set_get(self, fb):
+        fb.set_pixel(3, 4, 5)
+        assert fb.get_pixel(3, 4) == 5
+
+    def test_out_of_bounds_set_ignored(self, fb):
+        fb.set_pixel(-1, 0, 5)
+        fb.set_pixel(64, 0, 5)
+        fb.set_pixel(0, 48, 5)
+        assert fb.count_color(5) == 0
+
+    def test_out_of_bounds_get_raises(self, fb):
+        with pytest.raises(IndexError):
+            fb.get_pixel(64, 0)
+
+    def test_clear_to_color(self, fb):
+        fb.clear(3)
+        assert fb.count_color(3) == 64 * 48
+
+    def test_snapshot_immutable(self, fb):
+        snap = fb.snapshot()
+        fb.set_pixel(0, 0, 9)
+        assert snap[0] == 0
+
+
+class TestLines:
+    def test_hline(self, fb):
+        fb.hline(10, 20, 5, 7)
+        assert fb.count_color(7) == 11
+        assert fb.get_pixel(10, 5) == 7
+        assert fb.get_pixel(20, 5) == 7
+
+    def test_hline_swapped_endpoints(self, fb):
+        fb.hline(20, 10, 5, 7)
+        assert fb.count_color(7) == 11
+
+    def test_hline_clipped(self, fb):
+        fb.hline(-5, 5, 0, 7)
+        assert fb.count_color(7) == 6
+
+    def test_hline_offscreen(self, fb):
+        fb.hline(0, 10, 99, 7)
+        assert fb.count_color(7) == 0
+
+    def test_vline(self, fb):
+        fb.vline(5, 10, 20, 7)
+        assert fb.count_color(7) == 11
+
+    def test_diagonal_line(self, fb):
+        fb.line(0, 0, 10, 10, 7)
+        for i in range(11):
+            assert fb.get_pixel(i, i) == 7
+
+    def test_line_endpoints_always_drawn(self, fb):
+        fb.line(3, 7, 40, 30, 6)
+        assert fb.get_pixel(3, 7) == 6
+        assert fb.get_pixel(40, 30) == 6
+
+    def test_axis_aligned_line_dispatch(self, fb):
+        fb.line(0, 5, 10, 5, 7)
+        fb.line(5, 0, 5, 10, 7)
+        assert fb.get_pixel(10, 5) == 7
+        assert fb.get_pixel(5, 10) == 7
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=47),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=47),
+    )
+    def test_line_connectivity(self, x0, y0, x1, y1):
+        """Bresenham lines are 8-connected: successive pixels adjacent."""
+        fb = FrameBuffer(64, 48)
+        fb.line(x0, y0, x1, y1, 1)
+        lit = {
+            (x, y)
+            for x in range(64)
+            for y in range(48)
+            if fb.get_pixel(x, y) == 1
+        }
+        assert (x0, y0) in lit
+        assert (x1, y1) in lit
+        expected = max(abs(x1 - x0), abs(y1 - y0)) + 1
+        assert len(lit) == expected
+
+
+class TestShapes:
+    def test_rect_outline(self, fb):
+        fb.rect(10, 10, 20, 15, 7)
+        assert fb.get_pixel(10, 10) == 7
+        assert fb.get_pixel(20, 15) == 7
+        assert fb.get_pixel(15, 12) == 0  # interior untouched
+
+    def test_fill_rect(self, fb):
+        fb.fill_rect(10, 10, 19, 14, 7)
+        assert fb.count_color(7) == 10 * 5
+
+    def test_cross(self, fb):
+        fb.cross(32, 24, 3, 7)
+        assert fb.count_color(7) == 13  # 7 + 7 - shared centre
+        assert fb.get_pixel(32, 24) == 7
+        assert fb.get_pixel(29, 24) == 7
+        assert fb.get_pixel(32, 27) == 7
+
+
+class TestText:
+    def test_text_draws_pixels(self, fb):
+        end = fb.text(2, 2, "RIOT", 7)
+        assert fb.count_color(7) > 20
+        assert end == 2 + 4 * 6
+
+    def test_lowercase_same_as_upper(self, fb):
+        fb.text(2, 2, "abc", 7)
+        lower = fb.snapshot()
+        fb.clear()
+        fb.text(2, 2, "ABC", 7)
+        assert lower == fb.snapshot()
+
+    def test_unknown_glyph_is_box(self, fb):
+        fb.text(2, 2, "~", 7)
+        assert fb.count_color(7) == 20  # box outline of 5x7 glyph
+
+    def test_ascii_export(self):
+        fb = FrameBuffer(4, 2)
+        fb.set_pixel(0, 1, 1)
+        art = fb.to_ascii(" #")
+        assert art == "#   \n    "

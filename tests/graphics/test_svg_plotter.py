@@ -1,0 +1,140 @@
+"""Tests for the SVG and pen-plotter hardcopy backends."""
+
+import pytest
+
+from repro.cif.semantics import FlatGeometry
+from repro.composition.cell import CompositionCell
+from repro.composition.instance import Instance
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.path import Path
+from repro.geometry.point import Point
+from repro.graphics.plotter import PenPlotter, plot_mask
+from repro.graphics.svg import SvgCanvas, render_mask, render_symbolic
+
+from tests.composition.conftest import make_cif_leaf
+
+TECH = nmos_technology()
+METAL = TECH.layer("metal")
+POLY = TECH.layer("poly")
+
+
+def sample_geometry():
+    g = FlatGeometry()
+    g.boxes.append((METAL, Box(0, 0, 1000, 500)))
+    g.boxes.append((POLY, Box(200, 0, 400, 900)))
+    g.paths.append(Path(METAL, 100, (Point(0, 700), Point(1000, 700))))
+    return g
+
+
+class TestSvgCanvas:
+    def test_valid_document(self):
+        canvas = SvgCanvas(Box(0, 0, 1000, 1000))
+        canvas.rect(Box(0, 0, 100, 100), 4)
+        text = canvas.to_svg()
+        assert text.startswith('<?xml version="1.0"')
+        assert "<svg" in text and "</svg>" in text
+
+    def test_element_count(self):
+        canvas = SvgCanvas(Box(0, 0, 100, 100))
+        canvas.rect(Box(0, 0, 10, 10), 1)
+        canvas.line(Point(0, 0), Point(10, 10), 2)
+        canvas.cross(Point(5, 5), 2, 3)
+        assert canvas.element_count == 4  # rect + line + 2 cross lines
+
+    def test_text_escaped(self):
+        canvas = SvgCanvas(Box(0, 0, 100, 100))
+        canvas.text(Point(0, 0), "<A&B>", 7)
+        assert "&lt;A&amp;B&gt;" in canvas.to_svg()
+
+    def test_y_flip(self):
+        canvas = SvgCanvas(Box(0, 0, 100, 100))
+        canvas.rect(Box(0, 90, 10, 100), 1)
+        # World-top rectangle must be near the SVG top (small y).
+        text = canvas.to_svg()
+        assert 'y="0"' in text
+
+    def test_degenerate_world_box(self):
+        canvas = SvgCanvas(Box(5, 5, 5, 5))
+        assert canvas.world.width > 0
+
+
+class TestRenderers:
+    def test_render_mask(self):
+        svg = render_mask(sample_geometry())
+        assert svg.count("<rect") >= 4  # background + 2 boxes + path box
+
+    def test_render_symbolic(self):
+        comp = CompositionCell("top")
+        comp.add_instance(Instance("u1", make_cif_leaf()))
+        svg = render_symbolic(comp)
+        assert "<line" in svg  # connector crosses
+        assert "<text" in svg  # instance label
+
+    def test_mask_uses_layer_colors(self):
+        svg = render_mask(sample_geometry())
+        from repro.graphics.color import color_rgb
+
+        assert color_rgb(METAL.color) in svg
+        assert color_rgb(POLY.color) in svg
+
+
+class TestPenPlotter:
+    def test_pen_selection(self):
+        p = PenPlotter()
+        p.select_pen(2)
+        assert p.output() == "SP2;"
+        assert p.pen_changes == 1
+
+    def test_pen_validation(self):
+        p = PenPlotter()
+        with pytest.raises(ValueError, match="pen must be"):
+            p.select_pen(5)
+
+    def test_draw_requires_pen(self):
+        p = PenPlotter()
+        with pytest.raises(ValueError, match="no pen selected"):
+            p.draw_to(Point(10, 10))
+
+    def test_reselecting_same_pen_free(self):
+        p = PenPlotter()
+        p.select_pen(1)
+        p.select_pen(1)
+        assert p.pen_changes == 1
+
+    def test_distances_tracked(self):
+        p = PenPlotter()
+        p.select_pen(1)
+        p.move_to(Point(10, 0))
+        p.draw_to(Point(10, 20))
+        assert p.pen_up_distance == 10
+        assert p.pen_down_distance == 20
+
+    def test_rect_is_closed(self):
+        p = PenPlotter()
+        p.select_pen(1)
+        p.rect(Box(0, 0, 10, 10))
+        assert p.pen_down_distance == 40
+
+    def test_polyline_empty(self):
+        p = PenPlotter()
+        p.polyline([])
+        assert p.command_count == 0
+
+    def test_cross(self):
+        p = PenPlotter()
+        p.select_pen(1)
+        p.cross(Point(0, 0), 5)
+        assert p.pen_down_distance == 20
+
+    def test_plot_mask_groups_pens(self):
+        plotter = plot_mask(sample_geometry())
+        # Two layers -> exactly two pen changes despite three shapes.
+        assert plotter.pen_changes == 2
+        assert plotter.pen_down_distance > 0
+
+    def test_output_format(self):
+        p = PenPlotter()
+        p.select_pen(1)
+        p.polyline([Point(0, 0), Point(5, 0)])
+        assert p.output() == "SP1;PU0,0;PD5,0;"

@@ -1,0 +1,93 @@
+"""Tests for zoom/pan viewport mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.graphics.viewport import Viewport
+
+
+@pytest.fixture()
+def vp():
+    return Viewport(
+        screen=Box(0, 0, 400, 300),
+        world_center=Point(0, 0),
+        scale_num=1,
+        scale_den=100,
+    )
+
+
+class TestMapping:
+    def test_center_maps_to_center(self, vp):
+        assert vp.to_screen(Point(0, 0)) == Point(200, 150)
+
+    def test_scale(self, vp):
+        assert vp.to_screen(Point(1000, 0)) == Point(210, 150)
+
+    def test_roundtrip_at_scale_points(self, vp):
+        p = Point(5000, -3000)
+        assert vp.to_world(vp.to_screen(p)) == p
+
+    def test_screen_box(self, vp):
+        box = vp.to_screen_box(Box(-1000, -1000, 1000, 1000))
+        assert box == Box(190, 140, 210, 160)
+
+    def test_screen_length(self, vp):
+        assert vp.screen_length(2500) == 25
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            Viewport(Box(0, 0, 10, 10), Point(0, 0), scale_num=0)
+
+
+class TestNavigation:
+    def test_pan(self, vp):
+        vp.pan(1000, 0)
+        assert vp.to_screen(Point(1000, 0)) == Point(200, 150)
+
+    def test_zoom_in(self, vp):
+        vp.zoom(2)
+        assert vp.to_screen(Point(1000, 0)) == Point(220, 150)
+
+    def test_zoom_out(self, vp):
+        vp.zoom(1, 2)
+        assert vp.to_screen(Point(1000, 0)) == Point(205, 150)
+
+    def test_zoom_validation(self, vp):
+        with pytest.raises(ValueError):
+            vp.zoom(0)
+
+    def test_zoom_reduces_fraction(self, vp):
+        vp.zoom(2)
+        vp.zoom(1, 2)
+        assert (vp.scale_num, vp.scale_den) == (1, 100)
+
+    def test_fit_centers(self, vp):
+        vp.fit(Box(0, 0, 10000, 10000))
+        assert vp.world_center == Point(5000, 5000)
+
+    def test_fit_contains_box(self, vp):
+        target = Box(0, 0, 50000, 10000)
+        vp.fit(target)
+        visible = vp.visible_world()
+        assert visible.contains_box(target)
+
+    def test_fit_degenerate_box(self, vp):
+        vp.fit(Box(100, 100, 100, 100))
+        assert vp.world_center == Point(100, 100)
+
+    def test_visible_world_tracks_zoom(self, vp):
+        before = vp.visible_world()
+        vp.zoom(2)
+        after = vp.visible_world()
+        assert after.width == before.width // 2
+
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=-10**6, max_value=10**6))
+    def test_fit_never_clips(self, w, h):
+        vp = Viewport(Box(0, 0, 400, 300), Point(0, 0))
+        box = Box(0, 0, abs(w) + 1, abs(h) + 1)
+        vp.fit(box)
+        assert vp.visible_world().contains_box(box)

@@ -1,0 +1,68 @@
+"""Unit tests for the verification facade itself."""
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.core.verify import verify_cell
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.library.stock import filter_library
+
+TECH = nmos_technology()
+
+
+@pytest.fixture(scope="module")
+def verified():
+    editor = RiotEditor(TECH)
+    editor.library = filter_library(TECH)
+    editor.new_cell("pair")
+    editor.create(at=Point(0, 0), cell_name="srcell", name="a")
+    editor.create(at=Point(9000, 0), cell_name="srcell", name="b")
+    editor.connect("b", "IN", "a", "OUT")
+    editor.do_abut()
+    editor.finish()
+    return editor.cell, verify_cell(editor.cell, TECH)
+
+
+class TestReportFields:
+    def test_cell_name(self, verified):
+        _, r = verified
+        assert r.cell_name == "pair"
+
+    def test_flags(self, verified):
+        _, r = verified
+        assert r.positional_ok
+        assert r.drc_ok
+
+    def test_shape_count_positive(self, verified):
+        _, r = verified
+        assert r.shape_count > 20
+
+    def test_connections_counted(self, verified):
+        _, r = verified
+        assert r.connections.made_count == 3  # data + both rails
+
+
+class TestProbes:
+    def test_probe_true_recorded(self, verified):
+        cell, r = verified
+        assert r.probe("IN", "OUT", cell) is True
+        assert ("IN", "OUT", True) in r.probes
+
+    def test_probe_false_recorded(self, verified):
+        cell, r = verified
+        pwr = next(c.name for c in cell.connectors if "PWR" in c.name)
+        assert r.probe("IN", pwr, cell) is False
+        assert any(ok is False for _, _, ok in r.probes)
+
+    def test_probe_unknown_connector(self, verified):
+        cell, r = verified
+        with pytest.raises(KeyError):
+            r.probe("IN", "GHOST", cell)
+
+    def test_summary_format(self, verified):
+        _, r = verified
+        text = r.summary()
+        assert text.startswith("pair:")
+        for token in ("positional", "near misses", "DRC", "mask nodes"):
+            assert token in text

@@ -1,0 +1,160 @@
+"""Tests for the worked example's leaf-cell stock (paper figure 8)."""
+
+import pytest
+
+from repro.geometry.layers import nmos_technology
+from repro.library.fittings import FIT_SIZE, fittings_sticks_text
+from repro.library.gates import GND_Y, ROW_HEIGHT, VDD_Y, logic_sticks_text
+from repro.library.pads import PAD_SIZE, pads_cif_text
+from repro.library.stock import filter_library
+
+TECH = nmos_technology()
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return filter_library(TECH)
+
+
+class TestPads:
+    def test_both_pads_load(self, lib):
+        assert "inpad" in lib
+        assert "outpad" in lib
+
+    def test_pads_are_rigid(self, lib):
+        # "the pads cannot be stretched by Riot".
+        assert not lib.get("inpad").is_stretchable
+        assert not lib.get("outpad").is_stretchable
+
+    def test_pad_connector_positions(self, lib):
+        inpad = lib.get("inpad")
+        assert inpad.connector("PAD").position.x == PAD_SIZE
+        outpad = lib.get("outpad")
+        assert outpad.connector("PAD").position.x == 0
+
+    def test_pad_connector_opposition(self, lib):
+        # inpad drives rightward, outpad receives from the left.
+        inbox = lib.get("inpad").bounding_box()
+        assert lib.get("inpad").connector("PAD").side(inbox) == "right"
+        outbox = lib.get("outpad").bounding_box()
+        assert lib.get("outpad").connector("PAD").side(outbox) == "left"
+
+    def test_pad_has_glass_opening(self, lib):
+        layers = {layer.name for layer, _ in lib.get("inpad").cif_cell.geometry.boxes}
+        assert "glass" in layers
+
+
+class TestLogicCells:
+    def test_all_cells_load(self, lib):
+        for name in ("srcell", "nand", "or2"):
+            assert name in lib
+
+    def test_logic_is_stretchable(self, lib):
+        # "connections to the other cells can be made by stretching".
+        for name in ("srcell", "nand", "or2"):
+            assert lib.get(name).is_stretchable
+
+    def test_shared_row_discipline(self, lib):
+        # Power/ground rails at the same heights on every logic cell,
+        # so rows abut with rails connected.
+        for name in ("srcell", "nand", "or2"):
+            cell = lib.get(name)
+            assert cell.connector("PWRL").position.y == VDD_Y
+            assert cell.connector("PWRR").position.y == VDD_Y
+            assert cell.connector("GNDL").position.y == GND_Y
+            assert cell.bounding_box().height == ROW_HEIGHT
+
+    def test_srcell_abuts_into_chain(self, lib):
+        # "The array elements abut, making the shift register chain
+        # connections as well as power and ground connections."
+        srcell = lib.get("srcell")
+        width = srcell.bounding_box().width
+        left = {c.name: c.position for c in srcell.connectors}
+        assert left["OUT"].x - left["IN"].x == width
+        assert left["OUT"].y == left["IN"].y
+        assert left["PWRR"].x - left["PWRL"].x == width
+
+    def test_gate_inputs_on_top(self, lib):
+        # Data flows downward: gate rows stack below the SR row, so
+        # inputs face up toward the previous stage.
+        for name in ("nand", "or2"):
+            cell = lib.get(name)
+            box = cell.bounding_box()
+            for pin in ("A", "B"):
+                assert cell.connector(pin).side(box) == "top"
+                assert cell.connector(pin).layer.name == "poly"
+
+    def test_gate_output_on_bottom(self, lib):
+        for name in ("nand", "or2"):
+            cell = lib.get(name)
+            out = cell.connector("OUT")
+            assert out.side(cell.bounding_box()) == "bottom"
+            assert out.layer.name == "poly"
+
+    def test_srcell_tap_on_bottom(self, lib):
+        srcell = lib.get("srcell")
+        tap = srcell.connector("TAP")
+        assert tap.side(srcell.bounding_box()) == "bottom"
+        assert tap.layer.name == "poly"
+
+    def test_cells_expand_to_mask(self, lib):
+        from repro.sticks.expand import expand_to_cif
+
+        for name in ("srcell", "nand", "or2"):
+            cif = expand_to_cif(lib.get(name).sticks_cell, TECH)
+            layers = {layer.name for layer, _ in cif.geometry.boxes}
+            assert "contact" in layers
+            assert "implant" in layers  # the depletion pullup
+
+    def test_cells_compact_without_error(self, lib):
+        from repro.rest.compactor import compact
+
+        for name in ("srcell", "nand", "or2"):
+            packed = compact(lib.get(name).sticks_cell, TECH)
+            assert packed.component_count == lib.get(name).sticks_cell.component_count
+
+    def test_nand_is_stretch_compatible_with_or(self, lib):
+        # The figure 9b flow stretches gates so their pins line up; the
+        # pins must be individually movable.
+        from repro.rest.stretch import stretch_pins
+
+        nand = lib.get("nand").sticks_cell
+        stretched = stretch_pins(nand, "x", {"A": 1000, "B": 5000}, TECH)
+        assert stretched.pin("A").point.x == 1000
+        assert stretched.pin("B").point.x == 5000
+
+
+class TestFittings:
+    def test_all_fittings_load(self, lib):
+        for name in ("fit_corner", "fit_tee", "fit_cross", "fit_strap"):
+            assert name in lib
+
+    def test_fitting_pins_on_edges(self, lib):
+        cross = lib.get("fit_cross")
+        box = cross.bounding_box()
+        sides = {c.name: c.side(box) for c in cross.connectors}
+        assert sides == {"W": "left", "E": "right", "N": "top", "S": "bottom"}
+
+    def test_fittings_are_stretchable(self, lib):
+        assert lib.get("fit_strap").is_stretchable
+
+    def test_fitting_size(self, lib):
+        assert lib.get("fit_corner").bounding_box().width == FIT_SIZE
+
+
+class TestTextGenerators:
+    def test_pads_cif_parses_standalone(self):
+        from repro.cif.parser import parse_cif
+
+        parsed = parse_cif(pads_cif_text())
+        assert len(parsed.symbols) == 2
+
+    def test_logic_sticks_parses_standalone(self):
+        from repro.sticks.parser import parse_sticks
+
+        assert len(parse_sticks(logic_sticks_text())) == 4  # + the p2m converter
+
+    def test_fittings_parse_standalone(self):
+        from repro.sticks.parser import parse_sticks
+
+        assert len(parse_sticks(fittings_sticks_text())) == 4

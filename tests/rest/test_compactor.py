@@ -1,0 +1,188 @@
+"""Tests for sticks compaction and stretching."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.rest.compactor import (
+    column_occupants,
+    compact,
+    compact_axis,
+    make_coordinate_map,
+    solve_axis,
+)
+from repro.rest.errors import InfeasibleConstraints
+from repro.rest.stretch import stretch_pins
+from repro.sticks.model import Contact, Device, Pin, SticksCell, SymbolicWire
+
+TECH = nmos_technology()
+
+
+def three_wire_cell(spacing=5000):
+    """Three parallel vertical metal wires, generously spaced."""
+    cell = SticksCell("wires")
+    for i in range(3):
+        x = i * spacing
+        cell.pins.append(Pin(f"P{i}", "metal", Point(x, 0), 750))
+        cell.wires.append(
+            SymbolicWire("metal", (Point(x, 0), Point(x, 3000)), 750)
+        )
+    return cell
+
+
+class TestColumnOccupants:
+    def test_wire_points_registered(self):
+        cols = column_occupants(three_wire_cell(), TECH, "x")
+        assert sorted(cols) == [0, 5000, 10000]
+        assert all(len(v) >= 2 for v in cols.values())  # pin + wire points
+
+    def test_device_occupies_both_layers(self):
+        cell = SticksCell("d")
+        cell.devices.append(Device("enh", Point(100, 200)))
+        cols = column_occupants(cell, TECH, "x")
+        layers = {o.layer for o in cols[100]}
+        assert layers == {"diffusion", "poly"}
+
+    def test_contact_occupies_three(self):
+        cell = SticksCell("c")
+        cell.contacts.append(Contact("metal", "poly", Point(7, 9)))
+        cols = column_occupants(cell, TECH, "y")
+        assert {o.layer for o in cols[9]} == {"metal", "poly", "contact"}
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            column_occupants(three_wire_cell(), TECH, "z")
+
+
+class TestCompaction:
+    def test_packs_to_metal_pitch(self):
+        cell = three_wire_cell(spacing=5000)
+        out = compact_axis(cell, TECH, "x")
+        xs = sorted(p.point.x for p in out.pins)
+        assert xs == [0, 1500, 3000]  # metal pitch at width 750
+
+    def test_compaction_idempotent(self):
+        cell = three_wire_cell()
+        once = compact_axis(cell, TECH, "x")
+        twice = compact_axis(once, TECH, "x")
+        assert [p.point for p in once.pins] == [p.point for p in twice.pins]
+
+    def test_two_axis_compaction(self):
+        cell = three_wire_cell()
+        out = compact(cell, TECH, name="packed")
+        assert out.name == "packed"
+        ys = {p.y for w in out.wires for p in w.points}
+        assert min(ys) == 0
+
+    def test_order_preserved(self):
+        cell = three_wire_cell()
+        out = compact_axis(cell, TECH, "x")
+        xs = [p.point.x for p in out.pins]
+        assert xs == sorted(xs)
+
+    def test_unrelated_layers_can_merge(self):
+        cell = SticksCell("m")
+        cell.wires.append(SymbolicWire("metal", (Point(0, 0), Point(0, 100)), 750))
+        cell.wires.append(SymbolicWire("poly", (Point(400, 0), Point(400, 100)), 500))
+        out = compact_axis(cell, TECH, "x")
+        assert out.wires[1].points[0].x == 0  # allowed to coincide
+
+    def test_empty_cell(self):
+        out = compact_axis(SticksCell("void"), TECH, "x")
+        assert out.component_count == 0
+
+
+class TestCoordinateMap:
+    def test_exact_columns(self):
+        m = make_coordinate_map({0: 0, 10: 100})
+        assert m(0) == 0
+        assert m(10) == 100
+
+    def test_interpolation(self):
+        m = make_coordinate_map({0: 0, 10: 100})
+        assert m(5) == 50
+
+    def test_extrapolation_rigid(self):
+        m = make_coordinate_map({0: 10, 10: 110})
+        assert m(-5) == 5
+        assert m(20) == 120
+
+    def test_empty_is_identity(self):
+        m = make_coordinate_map({})
+        assert m(7) == 7
+
+    @given(st.integers(min_value=-100, max_value=200))
+    def test_monotone(self, c):
+        m = make_coordinate_map({0: 0, 10: 30, 50: 40, 100: 200})
+        assert m(c) <= m(c + 1)
+
+
+class TestStretch:
+    def test_pins_land_on_targets(self):
+        cell = three_wire_cell()
+        out = stretch_pins(
+            cell, "x", {"P0": 0, "P1": 8000, "P2": 20000}, TECH, name="stretched"
+        )
+        assert out.name == "stretched"
+        assert [p.point.x for p in out.pins] == [0, 8000, 20000]
+
+    def test_wires_follow_pins(self):
+        cell = three_wire_cell()
+        out = stretch_pins(cell, "x", {"P1": 9000}, TECH)
+        assert out.wires[1].points == (Point(9000, 0), Point(9000, 3000))
+
+    def test_other_axis_untouched(self):
+        cell = three_wire_cell()
+        out = stretch_pins(cell, "x", {"P1": 9000}, TECH)
+        assert all(w.points[0].y == 0 and w.points[1].y == 3000 for w in out.wires)
+
+    def test_empty_targets_is_copy(self):
+        cell = three_wire_cell()
+        out = stretch_pins(cell, "x", {}, TECH, name="same")
+        assert [p.point for p in out.pins] == [p.point for p in cell.pins]
+
+    def test_unknown_pin(self):
+        with pytest.raises(KeyError, match="no pin"):
+            stretch_pins(three_wire_cell(), "x", {"NOPE": 0}, TECH)
+
+    def test_reordering_targets_rejected(self):
+        cell = three_wire_cell()
+        with pytest.raises(InfeasibleConstraints):
+            stretch_pins(cell, "x", {"P0": 10000, "P2": 0}, TECH)
+
+    def test_too_close_targets_rejected(self):
+        cell = three_wire_cell()
+        with pytest.raises(InfeasibleConstraints):
+            stretch_pins(cell, "x", {"P0": 0, "P1": 100}, TECH)
+
+    def test_negative_targets_allowed(self):
+        cell = three_wire_cell()
+        out = stretch_pins(cell, "x", {"P0": -5000}, TECH)
+        assert out.pins[0].point.x == -5000
+
+    def test_stretch_preserves_design_rules(self):
+        cell = three_wire_cell()
+        out = stretch_pins(cell, "x", {"P2": 30000}, TECH)
+        xs = sorted(p.point.x for p in out.pins)
+        for a, b in zip(xs, xs[1:]):
+            assert b - a >= TECH.pitch("metal")
+
+    def test_boundary_stretches(self):
+        cell = three_wire_cell()
+        cell.boundary = Box(0, 0, 10000, 3000)
+        out = stretch_pins(cell, "x", {"P2": 20000}, TECH)
+        assert out.boundary.urx == 20000
+
+    def test_error_names_cell_and_axis(self):
+        cell = three_wire_cell()
+        with pytest.raises(InfeasibleConstraints, match="axis x"):
+            stretch_pins(cell, "x", {"P0": 0, "P1": 1}, TECH)
+
+    @given(st.integers(min_value=1500, max_value=50000))
+    def test_any_feasible_gap(self, gap):
+        cell = three_wire_cell()
+        out = stretch_pins(cell, "x", {"P0": 0, "P1": gap}, TECH)
+        assert out.pins[1].point.x == gap

@@ -1,0 +1,115 @@
+"""Property-based invariants of compaction and stretching.
+
+Random symbolic cells of parallel wires go through the solver; the
+output must preserve ordering, meet every adjacent-column constraint,
+and honour pinned positions exactly.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.rest.compactor import (
+    column_occupants,
+    compact_axis,
+    solve_axis,
+)
+from repro.rest.connectivity import build_connectivity
+from repro.rest.errors import InfeasibleConstraints
+from repro.rest.spacing import column_separation
+from repro.sticks.model import Pin, SticksCell, SymbolicWire
+
+TECH = nmos_technology()
+LAYERS = ("metal", "poly", "diffusion")
+
+
+@st.composite
+def wire_cells(draw):
+    """Vertical wires at random distinct x positions on random layers."""
+    count = draw(st.integers(min_value=1, max_value=7))
+    xs = draw(
+        st.lists(
+            st.integers(min_value=-40, max_value=40).map(lambda v: v * 100),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    cell = SticksCell("prop")
+    for i, x in enumerate(sorted(xs)):
+        layer = draw(st.sampled_from(LAYERS))
+        width = draw(st.sampled_from((None, 500, 750, 1000)))
+        cell.wires.append(
+            SymbolicWire(layer, (Point(x, 0), Point(x, 3000)), width)
+        )
+        cell.pins.append(Pin(f"P{i}", layer, Point(x, 0), width))
+    return cell
+
+
+def satisfied(cell, axis):
+    """Do current coordinates meet every pairwise column constraint?"""
+    conn = build_connectivity(cell)
+    columns = column_occupants(cell, TECH, axis, conn)
+    ordered = sorted(columns)
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1 :]:
+            need = column_separation(
+                columns[a], columns[b], TECH, conn.gate_pairs
+            )
+            if b - a < need:
+                return False
+    return True
+
+
+class TestCompactionProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(wire_cells())
+    def test_result_satisfies_constraints(self, cell):
+        out = compact_axis(cell, TECH, "x")
+        assert satisfied(out, "x")
+
+    @settings(max_examples=80, deadline=None)
+    @given(wire_cells())
+    def test_order_preserved(self, cell):
+        out = compact_axis(cell, TECH, "x")
+        before = [p.point.x for p in cell.pins]
+        after = [p.point.x for p in out.pins]
+        # Pins were created in ascending x; compaction keeps the order.
+        assert after == sorted(after)
+        assert len(after) == len(before)
+
+    @settings(max_examples=60, deadline=None)
+    @given(wire_cells())
+    def test_idempotent(self, cell):
+        once = compact_axis(cell, TECH, "x")
+        twice = compact_axis(once, TECH, "x")
+        assert [p.point for p in once.pins] == [p.point for p in twice.pins]
+
+    @settings(max_examples=60, deadline=None)
+    @given(wire_cells())
+    def test_compaction_never_grows(self, cell):
+        out = compact_axis(cell, TECH, "x")
+        def extent(c):
+            xs = [p.x for w in c.wires for p in w.points]
+            return max(xs) - min(xs)
+        assert extent(out) <= extent(cell) or satisfied(cell, "x") is False
+
+    @settings(max_examples=60, deadline=None)
+    @given(wire_cells(), st.integers(min_value=-50, max_value=50))
+    def test_single_pin_lands_exactly(self, cell, target_hundreds):
+        target = target_hundreds * 100
+        name = cell.pins[0].name
+        try:
+            solved = solve_axis(cell, TECH, "x", pinned={name: target})
+        except InfeasibleConstraints:
+            assume(False)
+        assert solved[cell.pins[0].point.x] == target
+
+    @settings(max_examples=60, deadline=None)
+    @given(wire_cells())
+    def test_other_axis_untouched(self, cell):
+        out = compact_axis(cell, TECH, "x")
+        for wire in out.wires:
+            assert wire.points[0].y == 0
+            assert wire.points[1].y == 3000

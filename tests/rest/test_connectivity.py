@@ -1,0 +1,208 @@
+"""Tests for net extraction and net-aware spacing."""
+
+import pytest
+
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.rest.connectivity import build_connectivity
+from repro.rest.spacing import Occupant, occupant_separation
+from repro.sticks.model import Contact, Device, Pin, SticksCell, SymbolicWire
+
+TECH = nmos_technology()
+
+
+def cell_with(wires=(), pins=(), contacts=(), devices=()):
+    cell = SticksCell("c")
+    cell.wires.extend(wires)
+    cell.pins.extend(pins)
+    cell.contacts.extend(contacts)
+    cell.devices.extend(devices)
+    return cell
+
+
+class TestWireJoins:
+    def test_touching_wires_join(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[
+                    SymbolicWire("metal", (Point(0, 0), Point(100, 0))),
+                    SymbolicWire("metal", (Point(100, 0), Point(100, 100))),
+                ]
+            )
+        )
+        assert conn.same_net(("w", 0), ("w", 1))
+
+    def test_vertex_on_segment_joins(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[
+                    SymbolicWire("metal", (Point(0, 0), Point(100, 0))),
+                    SymbolicWire("metal", (Point(50, 0), Point(50, 100))),
+                ]
+            )
+        )
+        assert conn.same_net(("w", 0), ("w", 1))
+
+    def test_crossing_different_layers_stay_apart(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[
+                    SymbolicWire("metal", (Point(0, 0), Point(100, 0))),
+                    SymbolicWire("poly", (Point(50, -50), Point(50, 50))),
+                ]
+            )
+        )
+        assert not conn.same_net(("w", 0), ("w", 1))
+
+    def test_disjoint_same_layer_stay_apart(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[
+                    SymbolicWire("metal", (Point(0, 0), Point(100, 0))),
+                    SymbolicWire("metal", (Point(0, 500), Point(100, 500))),
+                ]
+            )
+        )
+        assert not conn.same_net(("w", 0), ("w", 1))
+
+    def test_transitive_join(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[
+                    SymbolicWire("metal", (Point(0, 0), Point(100, 0))),
+                    SymbolicWire("metal", (Point(100, 0), Point(200, 0))),
+                    SymbolicWire("metal", (Point(200, 0), Point(300, 0))),
+                ]
+            )
+        )
+        assert conn.same_net(("w", 0), ("w", 2))
+
+
+class TestPinsContactsDevices:
+    def test_pin_joins_wire(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[SymbolicWire("metal", (Point(0, 0), Point(100, 0)))],
+                pins=[Pin("A", "metal", Point(0, 0))],
+            )
+        )
+        assert conn.same_net(("p", 0), ("w", 0))
+
+    def test_pin_different_layer_stays_apart(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[SymbolicWire("metal", (Point(0, 0), Point(100, 0)))],
+                pins=[Pin("A", "poly", Point(0, 0))],
+            )
+        )
+        assert not conn.same_net(("p", 0), ("w", 0))
+
+    def test_contact_fuses_layers(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[
+                    SymbolicWire("metal", (Point(0, 0), Point(100, 0))),
+                    SymbolicWire("poly", (Point(50, 0), Point(50, 100))),
+                ],
+                contacts=[Contact("metal", "poly", Point(50, 0))],
+            )
+        )
+        assert conn.same_net(("w", 0), ("w", 1))
+
+    def test_device_nets(self):
+        conn = build_connectivity(
+            cell_with(
+                wires=[
+                    SymbolicWire("poly", (Point(0, 50), Point(100, 50))),
+                    SymbolicWire("diffusion", (Point(50, 0), Point(50, 100))),
+                ],
+                devices=[Device("enh", Point(50, 50))],
+            )
+        )
+        assert conn.same_net(("dg", 0), ("w", 0))
+        assert conn.same_net(("dc", 0), ("w", 1))
+        assert not conn.same_net(("w", 0), ("w", 1))  # gate, not a short
+
+    def test_gate_pairs_recorded(self):
+        cell = cell_with(
+            wires=[
+                SymbolicWire("poly", (Point(0, 50), Point(100, 50))),
+                SymbolicWire("diffusion", (Point(50, 0), Point(50, 100))),
+            ],
+            devices=[Device("enh", Point(50, 50))],
+        )
+        conn = build_connectivity(cell)
+        assert (conn.find(("dg", 0)), conn.find(("dc", 0))) in conn.gate_pairs
+
+
+class TestNetAwareSpacing:
+    def test_same_net_no_separation(self):
+        a = Occupant("metal", 750, net="n1")
+        b = Occupant("metal", 750, net="n1")
+        assert occupant_separation(a, b, TECH) == 0
+
+    def test_different_nets_separated(self):
+        a = Occupant("metal", 750, net="n1")
+        b = Occupant("metal", 750, net="n2")
+        assert occupant_separation(a, b, TECH) == 1500
+
+    def test_unknown_net_conservative(self):
+        a = Occupant("metal", 750)
+        b = Occupant("metal", 750)
+        assert occupant_separation(a, b, TECH) == 1500
+
+    def test_disjoint_intervals_no_separation(self):
+        a = Occupant("metal", 750, lo=0, hi=100, net="n1")
+        b = Occupant("metal", 750, lo=5000, hi=6000, net="n2")
+        assert occupant_separation(a, b, TECH) == 0
+
+    def test_touching_intervals_interact(self):
+        a = Occupant("metal", 750, lo=0, hi=100, net="n1")
+        b = Occupant("metal", 750, lo=100, hi=200, net="n2")
+        assert occupant_separation(a, b, TECH) == 1500
+
+    def test_gate_pair_exemption(self):
+        poly = Occupant("poly", 500, net="g")
+        diff = Occupant("diffusion", 500, net="d")
+        assert occupant_separation(poly, diff, TECH) == 750
+        assert occupant_separation(poly, diff, TECH, {("g", "d")}) == 0
+        # Order of arguments must not matter.
+        assert occupant_separation(diff, poly, TECH, {("g", "d")}) == 0
+
+    def test_wrong_gate_pair_still_separated(self):
+        poly = Occupant("poly", 500, net="g2")
+        diff = Occupant("diffusion", 500, net="d")
+        assert occupant_separation(poly, diff, TECH, {("g", "d")}) == 750
+
+
+class TestCompactionWithNets:
+    def test_connected_wires_can_stay_together(self):
+        """An L of two metal wires: compaction must not tear the
+        corner apart (same net => no separation)."""
+        from repro.rest.compactor import compact_axis
+
+        cell = cell_with(
+            wires=[
+                SymbolicWire("metal", (Point(0, 0), Point(1000, 0)), 750),
+                SymbolicWire("metal", (Point(1000, 0), Point(1000, 1000)), 750),
+            ]
+        )
+        out = compact_axis(cell, TECH, "x")
+        assert out.wires[0].points[1] == out.wires[1].points[0]
+
+    def test_gate_wire_not_pushed_off_device(self):
+        """A poly gate wire crossing its own transistor's diffusion
+        must not be forced a poly-diffusion spacing away."""
+        from repro.rest.compactor import compact_axis
+
+        cell = cell_with(
+            wires=[
+                SymbolicWire("poly", (Point(0, 500), Point(1000, 500)), 500),
+                SymbolicWire("diffusion", (Point(500, 0), Point(500, 1000)), 500),
+            ],
+            devices=[Device("enh", Point(500, 500))],
+        )
+        out = compact_axis(cell, TECH, "x")
+        # The device column stays strictly between the gate wire ends.
+        xs = [p.x for p in out.wires[0].points]
+        assert xs[0] <= out.devices[0].center.x <= xs[1]

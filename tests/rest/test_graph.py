@@ -1,0 +1,171 @@
+"""Tests for the difference-constraint graph solver."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rest.errors import InfeasibleConstraints
+from repro.rest.graph import SOURCE, ConstraintGraph, chain_constraints
+
+
+class TestBasics:
+    def test_single_variable_at_bound(self):
+        g = ConstraintGraph()
+        g.add_variable("a")
+        assert g.solve() == {"a": 0}
+
+    def test_min_separation(self):
+        g = ConstraintGraph()
+        g.add_min_separation("a", "b", 10)
+        assert g.solve() == {"a": 0, "b": 10}
+
+    def test_chain(self):
+        g = ConstraintGraph()
+        chain_constraints(g, ["a", "b", "c"], 5)
+        assert g.solve() == {"a": 0, "b": 5, "c": 10}
+
+    def test_longest_path_wins(self):
+        g = ConstraintGraph()
+        g.add_min_separation("a", "c", 3)
+        g.add_min_separation("a", "b", 10)
+        g.add_min_separation("b", "c", 10)
+        assert g.solve()["c"] == 20
+
+    def test_pin(self):
+        g = ConstraintGraph()
+        g.pin("a", 42)
+        assert g.solve() == {"a": 42}
+
+    def test_pin_pushes_chain(self):
+        g = ConstraintGraph()
+        chain_constraints(g, ["a", "b"], 10)
+        g.pin("b", 100)
+        got = g.solve()
+        assert got["b"] == 100
+        assert got["a"] == 0  # packed to the lower bound
+
+    def test_pin_pulls_successor(self):
+        g = ConstraintGraph()
+        chain_constraints(g, ["a", "b"], 10)
+        g.pin("a", 50)
+        got = g.solve()
+        assert got == {"a": 50, "b": 60}
+
+    def test_max_separation(self):
+        g = ConstraintGraph()
+        g.add_min_separation("a", "b", 5)
+        g.add_max_separation("a", "b", 8)
+        g.pin("a", 0)
+        got = g.solve()
+        assert 5 <= got["b"] <= 8
+
+    def test_equality(self):
+        g = ConstraintGraph()
+        g.add_equality("a", "b", 7)
+        g.pin("a", 3)
+        assert g.solve()["b"] == 10
+
+    def test_lower_bound(self):
+        g = ConstraintGraph()
+        g.set_lower_bound("a", 25)
+        assert g.solve()["a"] == 25
+
+    def test_negative_default_bound(self):
+        g = ConstraintGraph()
+        g.add_variable("a")
+        assert g.solve(default_lower_bound=-100) == {"a": -100}
+
+    def test_no_bound_unreachable(self):
+        g = ConstraintGraph()
+        g.add_variable("a")
+        with pytest.raises(InfeasibleConstraints, match="no lower bound"):
+            g.solve(default_lower_bound=None)
+
+    def test_source_name_reserved(self):
+        g = ConstraintGraph()
+        with pytest.raises(ValueError, match="reserved"):
+            g.add_variable(SOURCE)
+
+
+class TestInfeasible:
+    def test_contradictory_pins(self):
+        g = ConstraintGraph()
+        chain_constraints(g, ["a", "b"], 10)
+        g.pin("a", 0)
+        g.pin("b", 5)
+        with pytest.raises(InfeasibleConstraints):
+            g.solve()
+
+    def test_positive_cycle(self):
+        g = ConstraintGraph()
+        g.add_min_separation("a", "b", 5)
+        g.add_min_separation("b", "a", -8)  # b - a >= 5 and b - a <= 8: fine
+        g.solve()  # sanity: feasible
+        g.add_min_separation("b", "a", 6)  # now also a - b >= 6: cycle 5+6 > 0
+        with pytest.raises(InfeasibleConstraints):
+            g.solve()
+
+    def test_cycle_reported(self):
+        g = ConstraintGraph()
+        g.add_min_separation("a", "b", 5)
+        g.add_min_separation("b", "a", 5)
+        with pytest.raises(InfeasibleConstraints) as err:
+            g.solve()
+        assert set(err.value.cycle) <= {"a", "b"}
+        assert len(err.value.cycle) >= 1
+
+    def test_equality_conflict(self):
+        g = ConstraintGraph()
+        g.add_equality("a", "b", 5)
+        g.add_equality("a", "b", 6)
+        with pytest.raises(InfeasibleConstraints):
+            g.solve()
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=-20, max_value=20),
+            ),
+            max_size=30,
+        )
+    )
+    def test_solution_satisfies_all_constraints(self, triples):
+        g = ConstraintGraph()
+        for u, v, d in triples:
+            if u != v:
+                g.add_min_separation(f"v{u}", f"v{v}", d)
+        try:
+            got = g.solve()
+        except InfeasibleConstraints:
+            return
+        for u, v, d in triples:
+            if u != v:
+                assert got[f"v{v}"] - got[f"v{u}"] >= d
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20)
+    )
+    def test_chain_is_prefix_sums(self, gaps):
+        g = ConstraintGraph()
+        names = [f"n{i}" for i in range(len(gaps) + 1)]
+        for (u, v), d in zip(zip(names, names[1:]), gaps):
+            g.add_min_separation(u, v, d)
+        got = g.solve()
+        total = 0
+        assert got[names[0]] == 0
+        for name, d in zip(names[1:], gaps):
+            total += d
+            assert got[name] == total
+
+    @given(st.integers(min_value=-1000, max_value=1000))
+    def test_pin_always_exact(self, value):
+        g = ConstraintGraph()
+        g.pin("a", value)
+        g.add_min_separation("a", "b", 1)
+        got = g.solve(default_lower_bound=min(0, value))
+        assert got["a"] == value
+        assert got["b"] >= value + 1

@@ -1,0 +1,55 @@
+"""Tests for column separation rules."""
+
+from repro.geometry.layers import nmos_technology
+from repro.rest.spacing import Occupant, column_separation, occupant_separation
+
+TECH = nmos_technology()
+
+
+class TestOccupantSeparation:
+    def test_same_layer(self):
+        a = Occupant("metal", 750)
+        b = Occupant("metal", 750)
+        # half widths (750) + metal separation (750)
+        assert occupant_separation(a, b, TECH) == 1500
+
+    def test_asymmetric_widths(self):
+        a = Occupant("metal", 1000)
+        b = Occupant("metal", 500)
+        assert occupant_separation(a, b, TECH) == 750 + 750
+
+    def test_odd_sum_rounds_up(self):
+        a = Occupant("metal", 751)
+        b = Occupant("metal", 750)
+        assert occupant_separation(a, b, TECH) == 751 + 750
+
+    def test_poly_vs_diffusion(self):
+        a = Occupant("poly", 500)
+        b = Occupant("diffusion", 500)
+        assert occupant_separation(a, b, TECH) == 500 + TECH.lam(1)
+
+    def test_unrelated_layers(self):
+        a = Occupant("metal", 750)
+        b = Occupant("poly", 500)
+        assert occupant_separation(a, b, TECH) == 0
+
+    def test_symmetric(self):
+        a = Occupant("poly", 600)
+        b = Occupant("diffusion", 400)
+        assert occupant_separation(a, b, TECH) == occupant_separation(b, a, TECH)
+
+
+class TestColumnSeparation:
+    def test_empty_columns(self):
+        assert column_separation([], [], TECH) == 0
+
+    def test_max_over_pairs(self):
+        left = [Occupant("metal", 750), Occupant("poly", 500)]
+        right = [Occupant("metal", 750), Occupant("diffusion", 500)]
+        # metal-metal pair dominates: 750 + 750
+        assert column_separation(left, right, TECH) == 1500
+
+    def test_unrelated_columns_may_coincide(self):
+        left = [Occupant("metal", 750)]
+        right = [Occupant("poly", 500)]
+        assert column_separation(left, right, TECH) == 0

@@ -1,0 +1,200 @@
+"""Tests for the NMOS switch-level simulator."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.sim.switch import (
+    SimulationError,
+    SwitchCircuit,
+    simulate_truth_table,
+)
+from repro.sticks.model import Contact, Device, Pin, SticksCell, SymbolicWire
+from repro.sticks.parser import parse_sticks
+
+INVERTER = """
+STICKS inv
+PIN VDD metal 0 5000 750
+PIN GND metal 0 0 750
+PIN A poly 0 1500 500
+PIN OUT diffusion 3000 2500 500
+WIRE metal 750 0 5000 2000 5000
+WIRE metal 750 0 0 2000 0
+WIRE diffusion - 1000 0 1000 5000
+WIRE diffusion - 1000 2500 3000 2500
+WIRE poly 500 0 1500 2000 1500
+CONTACT metal diffusion 1000 0
+CONTACT metal diffusion 1000 5000
+DEVICE enh 1000 1500 v
+DEVICE dep 1000 3500 v
+END
+"""
+
+NOR2 = """
+STICKS nor2
+PIN VDD metal 0 5000 750
+PIN GND metal 0 0 750
+PIN A poly 0 1000 500
+PIN B poly 3500 1000 500
+PIN OUT diffusion 5500 2500 500
+WIRE metal 750 0 5000 5500 5000
+WIRE metal 750 0 0 5500 0
+WIRE diffusion - 1000 0 1000 2500
+WIRE diffusion - 5000 0 5000 2500
+WIRE diffusion - 1000 2500 5500 2500
+WIRE diffusion - 3000 2500 3000 5000
+WIRE poly 500 0 1000 1500 1000
+WIRE poly 500 3500 1000 5500 1000
+CONTACT metal diffusion 1000 0
+CONTACT metal diffusion 5000 0
+CONTACT metal diffusion 3000 5000
+DEVICE enh 1000 1000 v
+DEVICE enh 5000 1000 v
+DEVICE dep 3000 3500 v
+END
+"""
+
+NAND2 = """
+STICKS nand2real
+PIN VDD metal 0 5000 750
+PIN GND metal 0 0 750
+PIN A poly 0 1000 500
+PIN B poly 0 2000 500
+PIN OUT diffusion 3000 2500 500
+WIRE metal 750 0 5000 2000 5000
+WIRE metal 750 0 0 2000 0
+WIRE diffusion - 1000 0 1000 5000
+WIRE diffusion - 1000 2500 3000 2500
+WIRE poly 500 0 1000 1500 1000
+WIRE poly 500 0 2000 1500 2000
+CONTACT metal diffusion 1000 0
+CONTACT metal diffusion 1000 5000
+DEVICE enh 1000 1000 v
+DEVICE enh 1000 2000 v
+DEVICE dep 1000 3500 v
+END
+"""
+
+
+def load(text):
+    return parse_sticks(text)[0]
+
+
+class TestExtraction:
+    def test_inverter_structure(self):
+        circuit = SwitchCircuit.from_sticks(load(INVERTER))
+        assert len(circuit.transistors) == 2
+        kinds = sorted(t.kind for t in circuit.transistors)
+        assert kinds == ["dep", "enh"]
+        assert circuit.vdd_nets and circuit.gnd_nets
+
+    def test_rail_recognition(self):
+        circuit = SwitchCircuit.from_sticks(load(INVERTER))
+        assert circuit.pin_nets["VDD"] in circuit.vdd_nets
+        assert circuit.pin_nets["GND"] in circuit.gnd_nets
+        assert set(circuit.signal_pins) == {"A", "OUT"}
+
+    def test_channel_separates_source_drain(self):
+        circuit = SwitchCircuit.from_sticks(load(INVERTER))
+        enh = next(t for t in circuit.transistors if t.kind == "enh")
+        assert enh.source != enh.drain
+
+    def test_library_cells_extract(self):
+        from repro.library.stock import filter_library
+
+        lib = filter_library()
+        for name in ("srcell", "nand", "or2"):
+            circuit = SwitchCircuit.from_sticks(lib.get(name).sticks_cell)
+            assert len(circuit.transistors) >= 2
+
+
+class TestInverter:
+    def test_truth_table(self):
+        table = simulate_truth_table(load(INVERTER), ["A"], "OUT")
+        assert table == {(0,): 1, (1,): 0}
+
+    def test_unknown_input_gives_unknown(self):
+        circuit = SwitchCircuit.from_sticks(load(INVERTER))
+        assert circuit.evaluate({"A": "X"})["OUT"] == "X"
+
+    def test_rails_always_solid(self):
+        circuit = SwitchCircuit.from_sticks(load(INVERTER))
+        out = circuit.evaluate({"A": 1})
+        assert out["VDD"] == 1
+        assert out["GND"] == 0
+
+    def test_bad_pin_rejected(self):
+        circuit = SwitchCircuit.from_sticks(load(INVERTER))
+        with pytest.raises(SimulationError, match="no pin"):
+            circuit.evaluate({"Q": 1})
+
+    def test_bad_level_rejected(self):
+        circuit = SwitchCircuit.from_sticks(load(INVERTER))
+        with pytest.raises(SimulationError, match="level"):
+            circuit.evaluate({"A": 7})
+
+
+class TestGates:
+    def test_nor_truth_table(self):
+        table = simulate_truth_table(load(NOR2), ["A", "B"], "OUT")
+        assert table == {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}
+
+    def test_nand_truth_table(self):
+        table = simulate_truth_table(load(NAND2), ["A", "B"], "OUT")
+        assert table == {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}
+
+    def test_inverter_chain(self):
+        """Two inverters composed net-level: out follows in."""
+        # Build a single cell with two stages.
+        text = """
+STICKS chain
+PIN VDD metal 0 5000 750
+PIN GND metal 0 0 750
+PIN A poly 0 1500 500
+PIN OUT diffusion 9000 2500 500
+WIRE metal 750 0 5000 8000 5000
+WIRE metal 750 0 0 8000 0
+WIRE diffusion - 1000 0 1000 5000
+WIRE diffusion - 1000 2500 3000 2500
+WIRE poly 500 0 1500 2000 1500
+CONTACT metal diffusion 1000 0
+CONTACT metal diffusion 1000 5000
+DEVICE enh 1000 1500 v
+DEVICE dep 1000 3500 v
+CONTACT poly diffusion 3000 2500
+WIRE poly 500 3000 2500 3000 1500
+WIRE poly 500 3000 1500 7000 1500
+WIRE diffusion - 6000 0 6000 5000
+WIRE diffusion - 6000 2500 9000 2500
+CONTACT metal diffusion 6000 0
+CONTACT metal diffusion 6000 5000
+DEVICE enh 6000 1500 v
+DEVICE dep 6000 3500 v
+END
+"""
+        table = simulate_truth_table(load(text), ["A"], "OUT")
+        assert table == {(0,): 0, (1,): 1}
+
+
+class TestLibraryCellsHonestly:
+    def test_shared_gate_plan_is_electrically_nor(self):
+        """The stock 'nand'/'or2' share a parallel-pulldown plan; the
+        simulator shows what that plan really computes: NOR.  (The
+        substitution is documented in DESIGN.md — Riot's composition
+        flow never observes gate function.)"""
+        from repro.library.stock import filter_library
+
+        nand = filter_library().get("nand").sticks_cell
+        table = simulate_truth_table(nand, ["A", "B"], "OUT")
+        assert table == {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}
+
+    def test_srcell_inverts_under_clock(self):
+        """The srcell's pass structure: with the clock high the data
+        node follows the inverted clock-gated pulldown."""
+        from repro.library.stock import filter_library
+
+        srcell = filter_library().get("srcell").sticks_cell
+        circuit = SwitchCircuit.from_sticks(srcell)
+        high = circuit.evaluate({"CLKB": 1})
+        low = circuit.evaluate({"CLKB": 0})
+        assert high["IN"] == 0  # pulldown conducts
+        assert low["IN"] == 1  # depletion pullup wins

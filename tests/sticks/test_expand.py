@@ -1,0 +1,138 @@
+"""Tests for sticks-to-mask expansion."""
+
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.sticks.errors import SticksError
+from repro.sticks.expand import expand_to_cif, expanded_bounding_box
+from repro.sticks.model import Contact, Device, Pin, SticksCell, SymbolicWire
+
+TECH = nmos_technology()  # lambda = 250
+
+
+def boxes_on(cif_cell, layer_name):
+    return [b for layer, b in cif_cell.geometry.boxes if layer.name == layer_name]
+
+
+class TestWires:
+    def test_explicit_width(self):
+        cell = SticksCell("w")
+        cell.wires.append(SymbolicWire("metal", (Point(0, 0), Point(1000, 0)), 400))
+        out = expand_to_cif(cell, TECH)
+        assert out.geometry.paths[0].width == 400
+
+    def test_default_width_is_min(self):
+        cell = SticksCell("w")
+        cell.wires.append(SymbolicWire("poly", (Point(0, 0), Point(1000, 0))))
+        out = expand_to_cif(cell, TECH)
+        assert out.geometry.paths[0].width == TECH.min_width("poly")
+
+    def test_unknown_layer(self):
+        cell = SticksCell("w")
+        cell.wires.append(SymbolicWire("copper", (Point(0, 0), Point(1000, 0))))
+        with pytest.raises(KeyError, match="unknown layer"):
+            expand_to_cif(cell, TECH)
+
+
+class TestContacts:
+    def test_cut_and_pads(self):
+        cell = SticksCell("c")
+        cell.contacts.append(Contact("metal", "poly", Point(1000, 1000)))
+        out = expand_to_cif(cell, TECH)
+        cuts = boxes_on(out, "contact")
+        assert cuts == [Box(750, 750, 1250, 1250)]  # 2 lambda square
+        assert boxes_on(out, "metal") == [Box(500, 500, 1500, 1500)]  # 4 lambda
+        assert boxes_on(out, "poly") == [Box(500, 500, 1500, 1500)]
+
+
+class TestDevices:
+    def test_vertical_enhancement(self):
+        cell = SticksCell("d")
+        cell.devices.append(Device("enh", Point(0, 0), "v"))
+        out = expand_to_cif(cell, TECH)
+        # Channel 2x2 lambda; diffusion overhangs 2 lambda vertically,
+        # poly overhangs 2 lambda horizontally.
+        assert boxes_on(out, "diffusion") == [Box(-250, -750, 250, 750)]
+        assert boxes_on(out, "poly") == [Box(-750, -250, 750, 250)]
+        assert boxes_on(out, "implant") == []
+
+    def test_horizontal_device_swaps_axes(self):
+        cell = SticksCell("d")
+        cell.devices.append(Device("enh", Point(0, 0), "h"))
+        out = expand_to_cif(cell, TECH)
+        assert boxes_on(out, "diffusion") == [Box(-750, -250, 750, 250)]
+        assert boxes_on(out, "poly") == [Box(-250, -750, 250, 750)]
+
+    def test_depletion_gets_implant(self):
+        cell = SticksCell("d")
+        cell.devices.append(Device("dep", Point(0, 0), "v"))
+        out = expand_to_cif(cell, TECH)
+        assert boxes_on(out, "implant") == [Box(-750, -750, 750, 750)]
+
+    def test_custom_channel_dims(self):
+        cell = SticksCell("d")
+        cell.devices.append(Device("enh", Point(0, 0), "v", 500, 1000))
+        out = expand_to_cif(cell, TECH)
+        # width (x extent of diffusion) = 1000, length (y extent of poly) = 500
+        assert boxes_on(out, "diffusion") == [Box(-500, -750, 500, 750)]
+        assert boxes_on(out, "poly") == [Box(-1000, -250, 1000, 250)]
+
+    def test_odd_dims_rejected(self):
+        cell = SticksCell("d")
+        cell.devices.append(Device("enh", Point(0, 0), "v", 501, 1000))
+        with pytest.raises(SticksError, match="device"):
+            expand_to_cif(cell, TECH)
+
+
+class TestPinsAndBbox:
+    def test_pins_become_connectors(self):
+        cell = SticksCell("p")
+        cell.pins.append(Pin("IN", "poly", Point(0, 500)))
+        cell.wires.append(SymbolicWire("poly", (Point(0, 500), Point(1000, 500))))
+        out = expand_to_cif(cell, TECH)
+        conn = out.connector("IN")
+        assert conn.position == Point(0, 500)
+        assert conn.layer.name == "poly"
+        assert conn.width == TECH.min_width("poly")
+
+    def test_pin_width_explicit(self):
+        cell = SticksCell("p")
+        cell.pins.append(Pin("IN", "metal", Point(0, 0), 400))
+        cell.wires.append(SymbolicWire("metal", (Point(0, 0), Point(100, 0))))
+        assert expand_to_cif(cell, TECH).connector("IN").width == 400
+
+    def test_bbox_from_geometry(self):
+        cell = SticksCell("b")
+        cell.wires.append(SymbolicWire("metal", (Point(0, 0), Point(1000, 0)), 500))
+        assert expanded_bounding_box(cell, TECH) == Box(-250, -250, 1250, 250)
+
+    def test_bbox_explicit_boundary(self):
+        cell = SticksCell("b")
+        cell.boundary = Box(0, 0, 5000, 5000)
+        cell.wires.append(SymbolicWire("metal", (Point(100, 100), Point(1000, 100))))
+        assert expanded_bounding_box(cell, TECH) == Box(0, 0, 5000, 5000)
+
+    def test_validation_runs(self):
+        cell = SticksCell("p")
+        cell.pins.append(Pin("A", "metal", Point(0, 0)))
+        cell.pins.append(Pin("A", "metal", Point(1, 0)))
+        with pytest.raises(SticksError, match="duplicate pin"):
+            expand_to_cif(cell, TECH)
+
+    def test_roundtrip_to_cif_text(self):
+        from repro.cif.parser import parse_cif
+        from repro.cif.semantics import elaborate
+        from repro.cif.writer import write_cif
+
+        cell = SticksCell("gate")
+        cell.pins.append(Pin("IN", "poly", Point(0, 500), 500))
+        cell.wires.append(SymbolicWire("poly", (Point(0, 500), Point(1000, 500)), 500))
+        cell.devices.append(Device("enh", Point(1000, 500), "v"))
+        out = expand_to_cif(cell, TECH, number=3)
+        text = write_cif([out])
+        design = elaborate(parse_cif(text), TECH)
+        again = design.cell("gate")
+        assert again.connector("IN").width == 500
+        assert len(again.geometry.boxes) == 2

@@ -1,0 +1,134 @@
+"""Tests for the symbolic model."""
+
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.sticks.errors import SticksError
+from repro.sticks.model import (
+    Contact,
+    Device,
+    Pin,
+    SticksCell,
+    SymbolicWire,
+)
+
+
+def simple_cell():
+    cell = SticksCell("inv")
+    cell.pins.append(Pin("IN", "poly", Point(0, 500)))
+    cell.pins.append(Pin("OUT", "metal", Point(2000, 500)))
+    cell.wires.append(
+        SymbolicWire("metal", (Point(0, 500), Point(2000, 500)), 750)
+    )
+    cell.devices.append(Device("enh", Point(1000, 500)))
+    cell.contacts.append(Contact("metal", "diffusion", Point(1500, 500)))
+    return cell
+
+
+class TestComponents:
+    def test_wire_needs_two_points(self):
+        with pytest.raises(SticksError, match="at least 2"):
+            SymbolicWire("metal", (Point(0, 0),))
+
+    def test_wire_manhattan_only(self):
+        with pytest.raises(SticksError, match="non-Manhattan"):
+            SymbolicWire("metal", (Point(0, 0), Point(5, 5)))
+
+    def test_wire_segments(self):
+        w = SymbolicWire("metal", (Point(0, 0), Point(5, 0), Point(5, 5)))
+        assert list(w.segments()) == [
+            (Point(0, 0), Point(5, 0)),
+            (Point(5, 0), Point(5, 5)),
+        ]
+
+    def test_device_kind_checked(self):
+        with pytest.raises(SticksError, match="device kind"):
+            Device("pmos", Point(0, 0))
+
+    def test_device_orientation_checked(self):
+        with pytest.raises(SticksError, match="orientation"):
+            Device("enh", Point(0, 0), "diagonal")
+
+    def test_contact_layers_differ(self):
+        with pytest.raises(SticksError, match="must differ"):
+            Contact("metal", "metal", Point(0, 0))
+
+
+class TestCell:
+    def test_pin_lookup(self):
+        cell = simple_cell()
+        assert cell.pin("IN").layer == "poly"
+        assert cell.has_pin("OUT")
+        assert not cell.has_pin("CLK")
+
+    def test_pin_missing(self):
+        with pytest.raises(KeyError, match="no pin 'X'"):
+            simple_cell().pin("X")
+
+    def test_component_count(self):
+        assert simple_cell().component_count == 5
+
+    def test_all_points(self):
+        points = list(simple_cell().all_points())
+        assert Point(1000, 500) in points
+        assert Point(1500, 500) in points
+        assert len(points) == 6
+
+    def test_symbolic_bbox_derived(self):
+        assert simple_cell().symbolic_bounding_box() == Box(0, 500, 2000, 500)
+
+    def test_symbolic_bbox_explicit(self):
+        cell = simple_cell()
+        cell.boundary = Box(0, 0, 3000, 1000)
+        assert cell.symbolic_bounding_box() == Box(0, 0, 3000, 1000)
+
+    def test_empty_cell_bbox(self):
+        with pytest.raises(SticksError, match="empty"):
+            SticksCell("void").symbolic_bounding_box()
+
+
+class TestValidate:
+    def test_valid(self):
+        simple_cell().validate()
+
+    def test_empty_rejected(self):
+        with pytest.raises(SticksError, match="empty"):
+            SticksCell("void").validate()
+
+    def test_duplicate_pins(self):
+        cell = simple_cell()
+        cell.pins.append(Pin("IN", "metal", Point(5, 5)))
+        with pytest.raises(SticksError, match="duplicate pin"):
+            cell.validate()
+
+    def test_pin_outside_boundary(self):
+        cell = simple_cell()
+        cell.boundary = Box(0, 0, 100, 100)
+        with pytest.raises(SticksError, match="outside the boundary"):
+            cell.validate()
+
+
+class TestRemap:
+    def test_translate(self):
+        cell = simple_cell().translated(100, -100)
+        assert cell.pin("IN").point == Point(100, 400)
+        assert cell.devices[0].center == Point(1100, 400)
+
+    def test_remap_stretches(self):
+        cell = simple_cell().remapped(
+            "inv2", lambda x: x * 2, lambda y: y
+        )
+        assert cell.name == "inv2"
+        assert cell.pin("OUT").point == Point(4000, 500)
+        assert cell.wires[0].points == (Point(0, 500), Point(4000, 500))
+
+    def test_remap_boundary(self):
+        cell = simple_cell()
+        cell.boundary = Box(0, 0, 2000, 1000)
+        out = cell.remapped("x", lambda x: x + 10, lambda y: y + 20)
+        assert out.boundary == Box(10, 20, 2010, 1020)
+
+    def test_remap_preserves_widths(self):
+        out = simple_cell().remapped("x", lambda x: x, lambda y: y)
+        assert out.wires[0].width == 750

@@ -1,0 +1,152 @@
+"""Parser/writer round-trip tests for the Sticks format."""
+
+import pytest
+
+from repro.geometry.box import Box
+from repro.geometry.point import Point
+from repro.sticks.errors import SticksError
+from repro.sticks.model import Contact, Device, Pin, SticksCell, SymbolicWire
+from repro.sticks.parser import parse_sticks
+from repro.sticks.writer import write_sticks
+
+SAMPLE = """
+# an inverter
+STICKS inv
+BBOX 0 0 2000 1500
+PIN VDD metal 0 1250 750
+PIN GND metal 0 250 750
+PIN IN poly 0 750
+PIN OUT metal 2000 750 750
+WIRE metal 750 0 1250 2000 1250
+WIRE metal - 0 250 2000 250
+WIRE poly - 0 750 1000 750
+DEVICE enh 1000 750 v
+DEVICE dep 1000 1000 v 500 500
+CONTACT metal diffusion 1000 1250
+END
+"""
+
+
+class TestParse:
+    def test_cell_parsed(self):
+        cells = parse_sticks(SAMPLE)
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.name == "inv"
+        assert cell.boundary == Box(0, 0, 2000, 1500)
+        assert len(cell.pins) == 4
+        assert len(cell.wires) == 3
+        assert len(cell.devices) == 2
+        assert len(cell.contacts) == 1
+
+    def test_pin_fields(self):
+        cell = parse_sticks(SAMPLE)[0]
+        vdd = cell.pin("VDD")
+        assert vdd.layer == "metal"
+        assert vdd.point == Point(0, 1250)
+        assert vdd.width == 750
+        assert cell.pin("IN").width is None
+
+    def test_default_wire_width(self):
+        cell = parse_sticks(SAMPLE)[0]
+        assert cell.wires[0].width == 750
+        assert cell.wires[1].width is None
+
+    def test_device_dims(self):
+        cell = parse_sticks(SAMPLE)[0]
+        assert cell.devices[0].length is None
+        assert cell.devices[1].length == 500
+        assert cell.devices[1].kind == "dep"
+
+    def test_multiple_cells(self):
+        text = (
+            "STICKS a\nPIN P metal 0 0\nWIRE metal - 0 0 10 0\nEND\n"
+            "STICKS b\nPIN Q metal 0 0\nWIRE metal - 0 0 10 0\nEND\n"
+        )
+        cells = parse_sticks(text)
+        assert [c.name for c in cells] == ["a", "b"]
+
+    def test_comments_and_blanks(self):
+        text = "\n# hi\nSTICKS a # inline\nWIRE metal - 0 0 10 0\n\nEND\n"
+        assert parse_sticks(text)[0].name == "a"
+
+
+class TestParseErrors:
+    def test_missing_end(self):
+        with pytest.raises(SticksError, match="missing END"):
+            parse_sticks("STICKS a\nWIRE metal - 0 0 10 0\n")
+
+    def test_nested_sticks(self):
+        with pytest.raises(SticksError, match="before END"):
+            parse_sticks("STICKS a\nSTICKS b\nEND\nEND\n")
+
+    def test_component_outside_cell(self):
+        with pytest.raises(SticksError, match="outside a STICKS"):
+            parse_sticks("PIN A metal 0 0\n")
+
+    def test_unknown_keyword(self):
+        with pytest.raises(SticksError, match="unknown keyword 'BLOB'"):
+            parse_sticks("STICKS a\nBLOB 1\nEND\n")
+
+    def test_line_number_reported(self):
+        with pytest.raises(SticksError, match="line 3"):
+            parse_sticks("STICKS a\nWIRE metal - 0 0 10 0\nPIN oops\nEND\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(SticksError, match="not an integer"):
+            parse_sticks("STICKS a\nPIN A metal x 0\nEND\n")
+
+    def test_odd_wire_coords(self):
+        with pytest.raises(SticksError, match="odd number"):
+            parse_sticks("STICKS a\nWIRE metal - 0 0 10 0 20\nEND\n")
+
+    def test_negative_width(self):
+        with pytest.raises(SticksError, match="width must be positive"):
+            parse_sticks("STICKS a\nPIN A metal 0 0 -5\nEND\n")
+
+    def test_bad_device_kind(self):
+        with pytest.raises(SticksError, match="unknown device kind"):
+            parse_sticks("STICKS a\nDEVICE cmos 0 0 v\nEND\n")
+
+    def test_bad_orientation(self):
+        with pytest.raises(SticksError, match="unknown device orientation"):
+            parse_sticks("STICKS a\nDEVICE enh 0 0 x\nEND\n")
+
+    def test_diagonal_wire_with_line(self):
+        with pytest.raises(SticksError, match="line 2.*non-Manhattan"):
+            parse_sticks("STICKS a\nWIRE metal - 0 0 5 5\nEND\n")
+
+    def test_end_with_args(self):
+        with pytest.raises(SticksError, match="END takes no arguments"):
+            parse_sticks("STICKS a\nWIRE metal - 0 0 1 0\nEND now\n")
+
+    def test_invalid_cell_rejected_at_end(self):
+        text = "STICKS a\nPIN P metal 0 0\nPIN P metal 5 5\nEND\n"
+        with pytest.raises(SticksError, match="duplicate pin"):
+            parse_sticks(text)
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self):
+        original = parse_sticks(SAMPLE)
+        again = parse_sticks(write_sticks(original))
+        assert again == original
+
+    def test_roundtrip_preserves_optional_fields(self):
+        cell = SticksCell("t")
+        cell.pins.append(Pin("A", "poly", Point(0, 0)))
+        cell.wires.append(SymbolicWire("poly", (Point(0, 0), Point(100, 0))))
+        cell.devices.append(Device("dep", Point(50, 0), "h"))
+        cell.contacts.append(Contact("poly", "metal", Point(100, 0)))
+        again = parse_sticks(write_sticks([cell]))[0]
+        assert again == cell
+
+    def test_roundtrip_many_cells(self):
+        cells = []
+        for i in range(5):
+            cell = SticksCell(f"c{i}")
+            cell.wires.append(
+                SymbolicWire("metal", (Point(0, 0), Point(100 * (i + 1), 0)), 750)
+            )
+            cells.append(cell)
+        assert parse_sticks(write_sticks(cells)) == cells

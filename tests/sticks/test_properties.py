@@ -1,0 +1,119 @@
+"""Property-based tests for the Sticks pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.box import Box
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.sticks.expand import expand_to_cif
+from repro.sticks.model import Contact, Device, Pin, SticksCell, SymbolicWire
+from repro.sticks.parser import parse_sticks
+from repro.sticks.writer import write_sticks
+
+TECH = nmos_technology()
+LAYERS = ("metal", "poly", "diffusion")
+
+coord = st.integers(min_value=-50, max_value=50).map(lambda v: v * 100)
+width = st.sampled_from((None, 500, 750, 1000))
+
+
+@st.composite
+def manhattan_points(draw, min_points=2, max_points=5):
+    points = [Point(draw(coord), draw(coord))]
+    for _ in range(draw(st.integers(min_value=min_points - 1, max_value=max_points - 1))):
+        if draw(st.booleans()):
+            points.append(Point(draw(coord), points[-1].y))
+        else:
+            points.append(Point(points[-1].x, draw(coord)))
+    return tuple(points)
+
+
+@st.composite
+def cells(draw):
+    cell = SticksCell("prop")
+    for i in range(draw(st.integers(min_value=1, max_value=5))):
+        cell.wires.append(
+            SymbolicWire(draw(st.sampled_from(LAYERS)), draw(manhattan_points()), draw(width))
+        )
+    for i in range(draw(st.integers(min_value=0, max_value=3))):
+        cell.pins.append(
+            Pin(f"P{i}", draw(st.sampled_from(LAYERS)), Point(draw(coord), draw(coord)), draw(width))
+        )
+    for i in range(draw(st.integers(min_value=0, max_value=2))):
+        cell.devices.append(
+            Device(
+                draw(st.sampled_from(("enh", "dep"))),
+                Point(draw(coord), draw(coord)),
+                draw(st.sampled_from(("h", "v"))),
+                draw(st.sampled_from((None, 500, 1000))),
+                draw(st.sampled_from((None, 500, 1000))),
+            )
+        )
+    for i in range(draw(st.integers(min_value=0, max_value=2))):
+        a, b = draw(
+            st.sampled_from(
+                [("metal", "poly"), ("metal", "diffusion"), ("poly", "diffusion")]
+            )
+        )
+        cell.contacts.append(Contact(a, b, Point(draw(coord), draw(coord))))
+    if draw(st.booleans()):
+        pts = [p for p in cell.all_points()]
+        box = Box.from_points(pts)
+        cell.boundary = box.inflated(draw(st.integers(min_value=0, max_value=10)) * 100)
+    return cell
+
+
+class TestRoundTrip:
+    @settings(max_examples=80, deadline=None)
+    @given(cells())
+    def test_text_roundtrip_exact(self, cell):
+        again = parse_sticks(write_sticks([cell]))
+        assert again == [cell]
+
+    @settings(max_examples=50, deadline=None)
+    @given(cells())
+    def test_double_write_stable(self, cell):
+        once = write_sticks([cell])
+        assert write_sticks(parse_sticks(once)) == once
+
+
+class TestExpansion:
+    @settings(max_examples=60, deadline=None)
+    @given(cells())
+    def test_expansion_deterministic(self, cell):
+        a = expand_to_cif(cell, TECH)
+        b = expand_to_cif(cell, TECH)
+        assert [(l.name, box) for l, box in a.geometry.boxes] == [
+            (l.name, box) for l, box in b.geometry.boxes
+        ]
+
+    @settings(max_examples=60, deadline=None)
+    @given(cells())
+    def test_pins_become_connectors(self, cell):
+        out = expand_to_cif(cell, TECH)
+        assert len(out.connectors) == len(cell.pins)
+        for pin, conn in zip(cell.pins, out.connectors):
+            assert conn.position == pin.point
+            expected = pin.width or TECH.min_width(pin.layer)
+            assert conn.width == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(cells(), st.integers(min_value=-5000, max_value=5000))
+    def test_translation_commutes_with_expansion(self, cell, d):
+        moved_then_expanded = expand_to_cif(cell.translated(d, -d), TECH)
+        expanded = expand_to_cif(cell, TECH)
+        for (la, a), (lb, b) in zip(
+            expanded.geometry.boxes, moved_then_expanded.geometry.boxes
+        ):
+            assert la.name == lb.name
+            assert a.translated(d, -d) == b
+
+    @settings(max_examples=60, deadline=None)
+    @given(cells())
+    def test_device_count_in_geometry(self, cell):
+        out = expand_to_cif(cell, TECH)
+        implants = sum(
+            1 for layer, _ in out.geometry.boxes if layer.name == "implant"
+        )
+        assert implants == sum(1 for d in cell.devices if d.kind == "dep")

@@ -1,0 +1,121 @@
+"""Tests for pointing devices and workstation assemblies."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.workstation.devices import (
+    BitPad,
+    Mouse,
+    charles_workstation,
+    gigi_workstation,
+)
+from repro.workstation.events import ButtonPress, KeyLine, PointerMove
+
+
+class TestMouse:
+    def test_starts_centered(self):
+        m = Mouse(100, 100)
+        assert m.position == Point(50, 50)
+
+    def test_relative_motion(self):
+        m = Mouse(100, 100)
+        m.move(10, -5)
+        assert m.position == Point(60, 45)
+
+    def test_clamped_to_screen(self):
+        m = Mouse(100, 100)
+        m.move(1000, 1000)
+        assert m.position == Point(99, 99)
+        m.move(-1000, -1000)
+        assert m.position == Point(0, 0)
+
+    def test_move_to(self):
+        m = Mouse(100, 100)
+        m.move_to(Point(7, 93))
+        assert m.position == Point(7, 93)
+
+    def test_events_queued_in_order(self):
+        m = Mouse(100, 100)
+        m.move(1, 0)
+        m.press()
+        events = m.drain()
+        assert isinstance(events[0], PointerMove)
+        assert isinstance(events[1], ButtonPress)
+        assert events[1].position == Point(51, 50)
+
+    def test_drain_clears(self):
+        m = Mouse(100, 100)
+        m.press()
+        m.drain()
+        assert m.drain() == []
+
+
+class TestBitPad:
+    def test_absolute_mapping(self):
+        b = BitPad(200, 100, tablet_size=2000)
+        b.touch(1000, 1000)
+        assert b.position == Point(99, 49)
+
+    def test_corners(self):
+        b = BitPad(200, 100, tablet_size=2000)
+        b.touch(0, 0)
+        assert b.position == Point(0, 0)
+        b.touch(2000, 2000)
+        assert b.position == Point(199, 99)
+
+    def test_outside_tablet_rejected(self):
+        b = BitPad(200, 100)
+        with pytest.raises(ValueError, match="outside"):
+            b.touch(-1, 0)
+
+    def test_bad_tablet_size(self):
+        with pytest.raises(ValueError):
+            BitPad(100, 100, tablet_size=0)
+
+    def test_move_to_lands_exactly(self):
+        b = BitPad(512, 390)
+        b.move_to(Point(123, 77))
+        assert b.position == Point(123, 77)
+        events = b.drain()
+        assert events[-1] == PointerMove(Point(123, 77))
+
+
+class TestWorkstation:
+    def test_charles_has_plotter(self):
+        ws = charles_workstation()
+        assert ws.name == "charles"
+        assert ws.plotter is not None
+        assert isinstance(ws.pointer, Mouse)
+
+    def test_gigi_has_bitpad_no_plotter(self):
+        ws = gigi_workstation()
+        assert ws.name == "gigi"
+        assert ws.plotter is None
+        assert isinstance(ws.pointer, BitPad)
+
+    def test_event_stream_merges_pointer_and_keyboard(self):
+        ws = charles_workstation()
+        ws.pointer.move(5, 5)
+        ws.type_line("read pads.cif")
+        events = ws.events()
+        assert isinstance(events[0], PointerMove)
+        assert events[-1] == KeyLine("read pads.cif")
+
+    def test_point_and_press(self):
+        ws = gigi_workstation()
+        ws.point_and_press(Point(100, 100))
+        events = ws.events()
+        assert isinstance(events[-1], ButtonPress)
+        assert events[-1].position == Point(100, 100)
+
+    def test_both_configurations_same_event_interface(self):
+        # The editor cannot tell the workstations apart — the paper's
+        # portability claim.
+        for ws in (charles_workstation(), gigi_workstation()):
+            ws.point_and_press(Point(10, 10))
+            events = ws.events()
+            assert isinstance(events[-1], ButtonPress)
+
+    def test_button_validation(self):
+        with pytest.raises(ValueError):
+            ButtonPress(Point(0, 0), button=0)
