@@ -15,10 +15,17 @@ alternates two cell types, then redesigns only one of them:
 2. "redesign" the stage cell (its connectors move up);
 3. reload the *composition file* — connections between stages and the
    unchanged buffers silently break (near misses in the netcheck);
-4. replay the *journal* instead — connections are re-made.
+4. replay the *journal* instead — connections are re-made;
+5. crash recovery: a session recording to a write-ahead journal is
+   killed mid-command (``kill -9`` leaves a torn final line); the WAL
+   salvage stops at the corruption and restores every committed
+   command.
 
 Run:  python examples/replay_recovery.py
 """
+
+import tempfile
+from pathlib import Path
 
 from repro.core.editor import RiotEditor
 from repro.core.textual import MemoryStore, TextualInterface
@@ -114,6 +121,40 @@ def main() -> None:
         "\ngenerated'); the replay re-resolved the connector names and"
         "\nre-made every connection at the new positions."
     )
+
+    print("\n5. crash recovery from the write-ahead journal")
+    crash_recovery_demo(store)
+
+
+def crash_recovery_demo(store: MemoryStore) -> None:
+    """Simulate kill -9 mid-session: every command was fsynced to the
+    WAL before it ran, the in-flight one left a torn line; recovery
+    salvages the committed prefix and replays it."""
+    with tempfile.TemporaryDirectory() as tmp:
+        wal_path = Path(tmp) / "session.rpl"
+
+        from repro.core.wal import JournalWriter, load_path, recover
+
+        doomed = TextualInterface(RiotEditor(), store)
+        doomed.execute("read cells.sticks")
+        doomed.editor.journal.attach(JournalWriter(wal_path))
+        doomed.editor.new_cell("pipeline")
+        doomed.editor.create(at=Point(0, 0), cell_name="stage", name="s0")
+        doomed.editor.create(at=Point(7000, 1000), cell_name="buf", name="b1")
+        committed = len(doomed.editor.journal)
+        # The crash: the process dies mid-append, tearing the last line.
+        with open(wal_path, "ab") as f:
+            f.write(b'{"crc": "00000000", "command": "conn')
+        del doomed
+
+        print(f"  crashed with {committed} committed command(s) + a torn line")
+        recovered = TextualInterface(RiotEditor(), store)
+        recovered.execute("read cells.sticks")
+        report = recover(recovered.editor, load_path(wal_path))
+        for line in report.to_text().splitlines():
+            print(f"  {line}")
+        names = [i.name for i in recovered.editor.cell.instances]
+        print(f"  recovered cell 'pipeline' holds instances: {', '.join(names)}")
 
 
 if __name__ == "__main__":

@@ -11,10 +11,30 @@ Also usable non-interactively:
 echo "cells" | python -m repro
 python -m repro script.txt        # one command per line
 ```
+
+Crash-safe sessions:
+
+``--journal FILE``
+    record the session to a write-ahead journal: every editor command
+    is appended (flushed + fsynced) to FILE *before* it executes, so an
+    abnormally-terminated session — power loss, ``kill -9`` — loses at
+    most the command in flight.
+
+``--recover FILE``
+    before reading input, salvage FILE (stopping at any corrupt tail a
+    crash left behind), replay it into the fresh session, and print the
+    resulting recovery report.  ``--recover-mode strict`` aborts on the
+    first entry that no longer executes; the default ``skip`` carries
+    on past it, which is what survives leaf-cell redesigns.
+
+The two compose: ``python -m repro --recover s.rpl --journal s.rpl``
+resumes a crashed session and keeps journaling to the same file
+(compacting away the corrupt tail).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.core.editor import RiotEditor
@@ -22,10 +42,15 @@ from repro.core.textual import DiskStore, TextualInterface
 from repro.library.stock import filter_library
 
 
-def build_interface(root: str = ".") -> TextualInterface:
+def build_interface(root: str = ".", journal: str | None = None) -> TextualInterface:
     editor = RiotEditor()
     editor.library = filter_library(editor.technology)
-    return TextualInterface(editor, DiskStore(root))
+    interface = TextualInterface(editor, DiskStore(root))
+    if journal is not None:
+        from repro.core.wal import JournalWriter
+
+        editor.journal.attach(JournalWriter(journal))
+    return interface
 
 
 def run(lines, interface: TextualInterface | None = None, echo=print) -> int:
@@ -47,10 +72,50 @@ def run(lines, interface: TextualInterface | None = None, echo=print) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Riot textual command interface",
+    )
+    parser.add_argument(
+        "script", nargs="?", help="command script (one textual command per line)"
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE",
+        help="record the session to a crash-safe write-ahead journal",
+    )
+    parser.add_argument(
+        "--recover",
+        metavar="FILE",
+        help="replay a (possibly crash-damaged) journal before reading input",
+    )
+    parser.add_argument(
+        "--recover-mode",
+        choices=("strict", "skip"),
+        default="skip",
+        help="strict: abort on the first failing entry; skip (default): continue past it",
+    )
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
     interface = build_interface()
-    if argv:
-        with open(argv[0]) as f:
+    if args.recover:
+        from repro.core import wal
+        from repro.core.errors import RiotError
+
+        try:
+            report = wal.recover(
+                interface.editor, wal.load_path(args.recover), mode=args.recover_mode
+            )
+        except (RiotError, OSError) as exc:
+            print(f"error: recovery failed: {exc}")
+            return 1
+        print(report.to_text())
+    if args.journal:
+        from repro.core.wal import JournalWriter
+
+        interface.editor.journal.attach(JournalWriter(args.journal))
+    if args.script:
+        with open(args.script) as f:
             return 1 if run(f, interface) else 0
     if sys.stdin.isatty():
         print("riot-repro textual interface; 'help' lists commands, 'quit' leaves.")

@@ -178,6 +178,36 @@ class CompositionCell:
             i += 1
         return f"{base}{i}"
 
+    # -- transactional editing --------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Copy-on-write state for transactional commands: the instance
+        list, each instance's placement, and the promoted connectors.
+        Instance objects themselves are shared (pending connections
+        hold references to them), only their mutable placement fields
+        are captured."""
+        return (
+            list(self.instances),
+            [
+                (inst, inst.transform, inst.nx, inst.ny, inst.dx, inst.dy, inst.cell)
+                for inst in self.instances
+            ],
+            list(self._connectors),
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Roll back to a :meth:`snapshot` after a failed command."""
+        instances, placements, connectors = state
+        self.instances[:] = instances
+        for inst, transform, nx, ny, dx, dy, cell in placements:
+            inst.transform = transform
+            inst.nx = nx
+            inst.ny = ny
+            inst.dx = dx
+            inst.dy = dy
+            inst.cell = cell
+        self._connectors = list(connectors)
+
     def uses_cell(self, cell) -> bool:
         """True when ``cell`` appears anywhere in this subtree."""
         for inst in self.instances:

@@ -54,6 +54,15 @@ class CellLibrary:
     def cells(self) -> list[Cell]:
         return list(self._cells.values())
 
+    def snapshot(self) -> dict:
+        """The menu membership, for transactional rollback.  Shallow:
+        cells added by a failed command vanish on restore; in-place
+        cell mutation is the :meth:`CompositionCell.restore` side."""
+        return dict(self._cells)
+
+    def restore(self, state: dict) -> None:
+        self._cells = dict(state)
+
     def remove(self, name: str) -> None:
         """Delete a cell; refuses while any other cell instantiates it."""
         cell = self.get(name)

@@ -4,10 +4,21 @@ Every public method is one Riot command; each call is recorded in the
 REPLAY journal so a session can be re-run after leaf cells change
 ("the replay file uses instance names and connector names to identify
 connections, and the positions are re-calculated").
+
+Commands are transactional: each mutating method runs against a
+copy-on-write snapshot of the open cell (plus the cell menu, the
+selection, and — for non-consuming commands — the pending list), and a
+command that raises mid-way is rolled back, so a failure never leaves
+half-applied edits.  The rollback extends to the journal: the failed
+command's entry is dropped from memory and, when a write-ahead journal
+is attached (``wal=``), truncated off the on-disk tail — the WAL is
+never more than one entry ahead of committed editor state.
 """
 
 from __future__ import annotations
 
+import functools
+import os
 from dataclasses import dataclass, field
 
 from repro.composition.cell import CompositionCell, LeafCell
@@ -33,6 +44,49 @@ from repro.geometry.transform import Transform
 
 
 @dataclass
+class _EditorSnapshot:
+    """Pre-command state captured by :func:`transactional`."""
+
+    cell: CompositionCell | None
+    cell_state: tuple | None
+    selected: str | None
+    library: dict
+    pending: list | None
+    tracks: int
+
+
+def transactional(method=None, *, restore_pending: bool = True):
+    """Make an editor command atomic: on any exception, roll the editor
+    back to its pre-command snapshot and drop the command's journal
+    entry (memory and WAL tail), then re-raise.
+
+    ``restore_pending=False`` is for the connection-executing commands
+    (ABUT/ROUTE/STRETCH) whose contract is that "the logical connection
+    information is thrown out" whether or not they succeed — their own
+    ``finally`` clears the pending list and rollback must not resurrect
+    it.
+    """
+
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(self, *args, **kwargs):
+            snapshot = self._snapshot(include_pending=restore_pending)
+            mark = self.journal.mark()
+            try:
+                result = func(self, *args, **kwargs)
+            except Exception:
+                self._restore(snapshot)
+                self.journal.rollback(mark)
+                raise
+            self.journal.maybe_checkpoint()
+            return result
+
+        return wrapper
+
+    return decorate(method) if method is not None else decorate
+
+
+@dataclass
 class RouteOpResult:
     """What the ROUTE command did."""
 
@@ -54,6 +108,7 @@ class RiotEditor:
         self,
         technology: Technology | None = None,
         tracks_per_channel: int = 8,
+        wal=None,
     ) -> None:
         self.technology = technology or nmos_technology()
         self.library = CellLibrary(self.technology)
@@ -63,6 +118,12 @@ class RiotEditor:
         self.tracks_per_channel = tracks_per_channel
         self.journal = Journal()
         self.messages: list[str] = []
+        if wal is not None:
+            if isinstance(wal, (str, os.PathLike)):
+                from repro.core.wal import JournalWriter
+
+                wal = JournalWriter(wal)
+            self.journal.attach(wal)
 
     # -- internal helpers -------------------------------------------------
 
@@ -70,6 +131,26 @@ class RiotEditor:
         if self.cell is None:
             raise RiotError("no cell under edit (use new_cell or edit)")
         return self.cell
+
+    def _snapshot(self, include_pending: bool = True) -> _EditorSnapshot:
+        return _EditorSnapshot(
+            cell=self.cell,
+            cell_state=self.cell.snapshot() if self.cell is not None else None,
+            selected=self.selected_cell,
+            library=self.library.snapshot(),
+            pending=self.pending.snapshot() if include_pending else None,
+            tracks=self.tracks_per_channel,
+        )
+
+    def _restore(self, snapshot: _EditorSnapshot) -> None:
+        self.cell = snapshot.cell
+        if snapshot.cell is not None and snapshot.cell_state is not None:
+            snapshot.cell.restore(snapshot.cell_state)
+        self.selected_cell = snapshot.selected
+        self.library.restore(snapshot.library)
+        if snapshot.pending is not None:
+            self.pending.restore(snapshot.pending)
+        self.tracks_per_channel = snapshot.tracks
 
     def _warn(self, warnings: list[str]) -> None:
         for message in warnings:
@@ -115,6 +196,7 @@ class RiotEditor:
         ]
         return write_sticks(generated)
 
+    @transactional
     def delete_cell(self, name: str) -> None:
         self.journal.record("delete_cell", name=name)
         self.library.remove(name)
@@ -123,6 +205,7 @@ class RiotEditor:
         if self.selected_cell == name:
             self.selected_cell = None
 
+    @transactional
     def rename_cell(self, old: str, new: str) -> None:
         self.journal.record("rename_cell", old=old, new=new)
         self.library.rename(old, new)
@@ -131,6 +214,7 @@ class RiotEditor:
 
     # -- cell editing lifecycle ---------------------------------------------------
 
+    @transactional
     def new_cell(self, name: str) -> CompositionCell:
         """Start a fresh composition cell and edit it."""
         self.journal.record("new_cell", name=name)
@@ -140,6 +224,7 @@ class RiotEditor:
         self.pending.clear()
         return cell
 
+    @transactional
     def edit(self, name: str) -> CompositionCell:
         """Invoke the graphical editor on a composition cell."""
         self.journal.record("edit", name=name)
@@ -152,6 +237,7 @@ class RiotEditor:
         self.pending.clear()
         return cell
 
+    @transactional
     def finish(self) -> list[str]:
         """Finish the cell under edit: promote edge connectors."""
         self.journal.record("finish")
@@ -161,12 +247,14 @@ class RiotEditor:
 
     # -- instance creation and manipulation ------------------------------------------
 
+    @transactional
     def select(self, cell_name: str) -> None:
         """Point at a name in the cell menu."""
         self.library.get(cell_name)  # raises on unknown
         self.journal.record("select", cell_name=cell_name)
         self.selected_cell = cell_name
 
+    @transactional
     def create(
         self,
         at: Point,
@@ -216,6 +304,7 @@ class RiotEditor:
         target.add_instance(instance)
         return instance
 
+    @transactional
     def delete_instance(self, name: str) -> None:
         cell = self._require_cell()
         instance = cell.instance(name)
@@ -227,6 +316,7 @@ class RiotEditor:
             )
         cell.remove_instance(instance)
 
+    @transactional
     def move(self, name: str, to: Point) -> Instance:
         """Move an instance so its bounding box lower-left is at ``to``."""
         cell = self._require_cell()
@@ -235,6 +325,7 @@ class RiotEditor:
         instance.move_to(to)
         return instance
 
+    @transactional
     def move_by(self, name: str, dx: int, dy: int) -> Instance:
         cell = self._require_cell()
         instance = cell.instance(name)
@@ -242,6 +333,7 @@ class RiotEditor:
         instance.translate(dx, dy)
         return instance
 
+    @transactional
     def rotate(self, name: str) -> Instance:
         """Rotate 90 degrees CCW in place (bounding box corner kept)."""
         cell = self._require_cell()
@@ -252,6 +344,7 @@ class RiotEditor:
         instance.move_to(corner)
         return instance
 
+    @transactional
     def mirror(self, name: str, axis: str = "x") -> Instance:
         """Mirror in place; ``axis`` is 'x' (flip x) or 'y' (flip y)."""
         cell = self._require_cell()
@@ -267,6 +360,7 @@ class RiotEditor:
         instance.move_to(corner)
         return instance
 
+    @transactional
     def replicate(
         self,
         name: str,
@@ -290,6 +384,7 @@ class RiotEditor:
 
     # -- connection specification --------------------------------------------------------
 
+    @transactional
     def connect(
         self,
         from_instance: str,
@@ -314,6 +409,7 @@ class RiotEditor:
         )
         return str(connection)
 
+    @transactional
     def bus(self, from_instance: str, to_instance: str) -> int:
         """Bus-type specification: pair up all facing connectors."""
         cell = self._require_cell()
@@ -324,16 +420,19 @@ class RiotEditor:
             cell.instance(from_instance), cell.instance(to_instance)
         )
 
+    @transactional
     def unconnect(self, index: int) -> str:
         self.journal.record("unconnect", index=index)
         return str(self.pending.remove(index))
 
+    @transactional
     def clear_pending(self) -> None:
         self.journal.record("clear_pending")
         self.pending.clear()
 
     # -- the three connection commands --------------------------------------------------------
 
+    @transactional(restore_pending=False)
     def do_abut(self, overlap: bool = False) -> AbutResult:
         """ABUT with pending connections.
 
@@ -349,6 +448,7 @@ class RiotEditor:
         self._warn(result.warnings)
         return result
 
+    @transactional
     def do_abut_edges(self, from_instance: str, to_instance: str) -> AbutResult:
         """ABUT without connectors: edge matching by relative position."""
         cell = self._require_cell()
@@ -357,6 +457,7 @@ class RiotEditor:
         )
         return abut_edges(cell.instance(from_instance), cell.instance(to_instance))
 
+    @transactional(restore_pending=False)
     def do_route(self, move_from: bool = True) -> RouteOpResult:
         """ROUTE: river-route the pending connections.
 
@@ -391,6 +492,7 @@ class RiotEditor:
             self.pending.clear()
         return RouteOpResult(leaf.name, instance, solved, moved_by)
 
+    @transactional(restore_pending=False)
     def do_stretch(self, overlap: bool = False) -> StretchResult:
         """STRETCH: re-space the from instance's connectors via REST."""
         self.journal.record("do_stretch", overlap=overlap)
@@ -403,6 +505,7 @@ class RiotEditor:
 
     # -- finishing a cell -----------------------------------------------------------------------
 
+    @transactional
     def bring_out(
         self,
         instance_name: str,
@@ -463,7 +566,18 @@ class RiotEditor:
 
     def replay_from(self, journal_text: str) -> int:
         """Re-run a recorded session against this editor's current
-        library (typically after leaf cells were re-read).  Returns the
-        number of commands executed."""
+        library (typically after leaf cells were re-read).  Strict: the
+        first failing entry raises.  Returns the number of commands
+        executed."""
         journal = Journal.from_text(journal_text)
-        return journal.replay(self)
+        return journal.replay(self).executed
+
+    def recover_from(self, journal_text: str, mode: str = "skip"):
+        """Crash recovery: salvage ``journal_text`` (stopping at a
+        corrupt tail instead of raising), replay it — ``skip`` mode
+        carries on past entries that no longer execute — and adopt the
+        committed history as this editor's journal.  Returns the
+        :class:`repro.core.replay.RecoveryReport`."""
+        from repro.core import wal
+
+        return wal.recover(self, wal.load_text(journal_text), mode=mode)

@@ -1,4 +1,10 @@
-"""Editor error types."""
+"""Editor error types.
+
+A small hierarchy rooted at :class:`RiotError` so callers can catch
+"anything a Riot command may report" with one clause while the journal
+and replay machinery raises structured subclasses carrying enough
+context to act on (which entry, which command, what went wrong).
+"""
 
 from __future__ import annotations
 
@@ -11,3 +17,32 @@ class ConnectionError_(RiotError):
     """A connection specification is invalid (layer mismatch, not
     opposed, same instance, ...).  Named with a trailing underscore to
     avoid shadowing the builtin ``ConnectionError``."""
+
+
+class JournalError(RiotError):
+    """A replay journal cannot be parsed: malformed JSON, a missing
+    command field, a CRC mismatch, or a non-allowlisted command."""
+
+
+class ReplayError(RiotError):
+    """Replaying a journal entry failed.
+
+    Carries the failing entry as structured attributes so recovery
+    tooling can report (and skip) precisely, instead of parsing an
+    f-string back apart:
+
+    ``entry_index``
+        zero-based position of the failing entry in the journal;
+    ``command``
+        the editor command the entry names;
+    ``original``
+        the exception the command raised.
+    """
+
+    def __init__(self, entry_index: int, command: str, original: BaseException):
+        super().__init__(
+            f"replay failed at entry {entry_index} ({command}): {original}"
+        )
+        self.entry_index = entry_index
+        self.command = command
+        self.original = original

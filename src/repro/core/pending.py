@@ -139,6 +139,14 @@ class PendingList:
     def clear(self) -> None:
         self._connections.clear()
 
+    def snapshot(self) -> list[PendingConnection]:
+        """The current list, for transactional rollback (connections
+        are frozen dataclasses, so a shallow copy suffices)."""
+        return list(self._connections)
+
+    def restore(self, state: list[PendingConnection]) -> None:
+        self._connections = list(state)
+
     def drop_instance(self, instance: Instance) -> int:
         """Remove every pending connection touching ``instance``
         (called when the instance is deleted).  Returns count removed."""

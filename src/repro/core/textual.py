@@ -13,6 +13,8 @@ default) so sessions run hermetically under test; pass
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path as FsPath
 
 from repro.cif.errors import CifError
@@ -54,7 +56,13 @@ class MemoryStore(dict):
 
 
 class DiskStore:
-    """A file store over the real filesystem, rooted at a directory."""
+    """A file store over the real filesystem, rooted at a directory.
+
+    Writes are atomic: content lands in a sibling temp file, is
+    fsynced, and then renamed over the target with ``os.replace`` — a
+    crash mid-save can never leave a torn composition or CIF file,
+    only the old version or the new one.
+    """
 
     def __init__(self, root: str = ".") -> None:
         self.root = FsPath(root)
@@ -68,7 +76,21 @@ class DiskStore:
     def write(self, name: str, content: str) -> None:
         target = self.root / name
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(content)
+        fd, tmp = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(content)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 class TextualInterface:
@@ -255,6 +277,27 @@ class TextualInterface:
             raise RiotError("usage: replay <file>")
         executed = self.editor.replay_from(self.store.read(args[0]))
         return f"replayed {executed} command(s)"
+
+    def _cmd_journal(self, args: list[str]) -> str:
+        """Attach a write-ahead journal: every future command is
+        durably appended to the file before it executes."""
+        if len(args) != 1:
+            raise RiotError("usage: journal <file>")
+        root = getattr(self.store, "root", None)
+        if root is None:
+            raise RiotError("journal requires a disk-backed store")
+        from repro.core.wal import JournalWriter
+
+        self.editor.journal.attach(JournalWriter(FsPath(root) / args[0]))
+        count = len(self.editor.journal)
+        return f"journaling to {args[0]} ({count} command(s) checkpointed)"
+
+    def _cmd_recover(self, args: list[str]) -> str:
+        """Crash recovery: salvage and replay a journal in skip mode."""
+        if len(args) != 1:
+            raise RiotError("usage: recover <file>")
+        report = self.editor.recover_from(self.store.read(args[0]))
+        return report.to_text()
 
     def _cmd_help(self, args: list[str]) -> str:
         commands = sorted(

@@ -1,9 +1,19 @@
 """Tests for the ``python -m repro`` entry point."""
 
+import os
 import subprocess
 import sys
+from pathlib import Path
 
 from repro.__main__ import build_interface, run
+
+#: Subprocesses must resolve ``repro`` regardless of install state or
+#: working directory, so the repo's src/ rides along on PYTHONPATH.
+SRC = Path(__file__).resolve().parents[2] / "src"
+SUBPROCESS_ENV = {
+    **os.environ,
+    "PYTHONPATH": str(SRC) + os.pathsep + os.environ.get("PYTHONPATH", ""),
+}
 
 
 class TestRunFunction:
@@ -56,6 +66,7 @@ class TestSubprocess:
             capture_output=True,
             text=True,
             timeout=120,
+            env=SUBPROCESS_ENV,
         )
         assert result.returncode == 0
         assert "cells:" in result.stdout
@@ -69,6 +80,7 @@ class TestSubprocess:
             text=True,
             timeout=120,
             cwd=str(tmp_path),
+            env=SUBPROCESS_ENV,
         )
         assert result.returncode == 0
         assert "commands:" in result.stdout

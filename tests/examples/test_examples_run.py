@@ -5,6 +5,7 @@ directory (several write SVG/CIF artifacts); a non-zero exit or a
 traceback fails the build.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -15,6 +16,14 @@ EXAMPLES = sorted(
     (Path(__file__).parent.parent.parent / "examples").glob("*.py")
 )
 
+#: Examples must resolve ``repro`` regardless of install state, so the
+#: repo's src/ rides along on PYTHONPATH.
+SRC = Path(__file__).resolve().parents[2] / "src"
+SUBPROCESS_ENV = {
+    **os.environ,
+    "PYTHONPATH": str(SRC) + os.pathsep + os.environ.get("PYTHONPATH", ""),
+}
+
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs_clean(script, tmp_path):
@@ -24,6 +33,7 @@ def test_example_runs_clean(script, tmp_path):
         text=True,
         timeout=300,
         cwd=str(tmp_path),
+        env=SUBPROCESS_ENV,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert "Traceback" not in result.stderr
@@ -48,6 +58,7 @@ def test_quickstart_writes_svg(tmp_path):
         capture_output=True,
         timeout=300,
         cwd=str(tmp_path),
+        env=SUBPROCESS_ENV,
     )
     assert (tmp_path / "quickstart.svg").exists()
 
@@ -58,6 +69,7 @@ def test_logical_filter_writes_artifacts(tmp_path):
         capture_output=True,
         timeout=300,
         cwd=str(tmp_path),
+        env=SUBPROCESS_ENV,
     )
     for artifact in (
         "filter_logic_routed.svg",
