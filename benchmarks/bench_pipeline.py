@@ -1,0 +1,137 @@
+"""The parallel verification pipeline on the full filter chip.
+
+Three configurations over the same verification targets (the chip and
+its ``logic`` core):
+
+* **serial** — ``jobs=1``, no cache: the baseline every other number
+  is relative to;
+* **parallel** — ``jobs=4``, no cache: wall-clock win scales with
+  available cores (the drc/extract split and the per-cell chains are
+  independent); on a single-core host the pool only adds overhead, so
+  the speedup assertion is gated on core count;
+* **warm cache** — ``jobs=1`` against a cache populated by a previous
+  run: every expand/cif/elaborate/drc/extract task is a hit, only the
+  identity-bound netcheck/report stages execute.
+
+Run under pytest for the timed comparison, or standalone —
+``python benchmarks/bench_pipeline.py`` — to emit
+``BENCH_pipeline.json`` for dashboards.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.chip.filterchip import STRETCHED, assemble_chip
+from repro.pipeline import run_verification
+from repro.pipeline.tasks import CACHEABLE_KINDS
+
+from conftest import fresh_editor
+
+JSON_PATH = Path(__file__).parent / "BENCH_pipeline.json"
+
+
+def chip_targets():
+    editor = fresh_editor()
+    assemble_chip(editor, STRETCHED)
+    cells = [editor.library.get("logic"), editor.library.get("chip")]
+    return editor, cells
+
+
+def cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_serial_baseline(benchmark, summary):
+    editor, cells = chip_targets()
+    result = benchmark(lambda: run_verification(cells, editor.technology, jobs=1))
+    assert set(result.reports) == {"logic", "chip"}
+    summary.record(
+        "pipeline (serial)",
+        "full-chip verification as one task DAG",
+        f"{result.timing.executed()} tasks, "
+        f"{result.timing.wall * 1000:.0f}ms wall",
+    )
+
+
+def test_parallel_jobs4(benchmark, summary):
+    editor, cells = chip_targets()
+    serial = run_verification(cells, editor.technology, jobs=1)
+    result = benchmark(lambda: run_verification(cells, editor.technology, jobs=4))
+    assert not result.timing.degradations
+    for name in ("logic", "chip"):
+        assert result.reports[name].summary() == serial.reports[name].summary()
+    speedup = serial.timing.wall / result.timing.wall
+    if cores() > 1:
+        assert speedup > 1.0, (
+            f"jobs=4 must beat serial on a {cores()}-core host "
+            f"(got {speedup:.2f}x)"
+        )
+    summary.record(
+        "pipeline (jobs=4)",
+        "independent stages fan out across workers",
+        f"{speedup:.2f}x vs serial on {cores()} core(s)",
+    )
+
+
+def test_warm_cache(benchmark, summary, tmp_path):
+    editor, cells = chip_targets()
+    serial = run_verification(cells, editor.technology, jobs=1)
+    run_verification(cells, editor.technology, cache=tmp_path)  # populate
+    result = benchmark(
+        lambda: run_verification(cells, editor.technology, cache=tmp_path)
+    )
+    assert result.timing.cache_misses == 0
+    for kind in CACHEABLE_KINDS:
+        assert result.timing.executed(kind) == 0, kind
+    for name in ("logic", "chip"):
+        assert result.reports[name].summary() == serial.reports[name].summary()
+    speedup = serial.timing.wall / result.timing.wall
+    summary.record(
+        "pipeline (warm cache)",
+        "repeat run re-executes nothing cacheable",
+        f"{speedup:.2f}x vs serial, 100% hits",
+    )
+
+
+def main() -> None:
+    editor, cells = chip_targets()
+
+    def timed(**kwargs):
+        t0 = time.perf_counter()
+        result = run_verification(cells, editor.technology, **kwargs)
+        return result, time.perf_counter() - t0
+
+    cache_dir = JSON_PATH.parent / ".bench_pipeline_cache"
+    serial, serial_wall = timed(jobs=1)
+    parallel, parallel_wall = timed(jobs=4)
+    _, cold_wall = timed(jobs=1, cache=cache_dir)
+    warm, warm_wall = timed(jobs=1, cache=cache_dir)
+
+    payload = {
+        "benchmark": "pipeline",
+        "targets": sorted(serial.reports),
+        "cores": cores(),
+        "tasks": serial.timing.executed(),
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_jobs4_wall_s": round(parallel_wall, 4),
+        "cold_cache_wall_s": round(cold_wall, 4),
+        "warm_cache_wall_s": round(warm_wall, 4),
+        "parallel_speedup": round(serial_wall / parallel_wall, 3),
+        "warm_cache_speedup": round(serial_wall / warm_wall, 3),
+        "warm_cache_misses": warm.timing.cache_misses,
+        "warm_executed_cacheable": sum(
+            warm.timing.executed(kind) for kind in CACHEABLE_KINDS
+        ),
+        "counters": warm.timing.counter_line(),
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

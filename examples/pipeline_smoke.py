@@ -1,0 +1,102 @@
+"""CI smoke test for the parallel verification pipeline.
+
+Builds the paper's full filter chip, saves the session to disk, then
+drives ``python -m repro`` as a *subprocess* — the same way a user
+would — twice over the same content-addressed cache:
+
+    verify chip logic   (--jobs 2 --cache DIR --timing)
+
+Run 1 populates the cache.  Run 2 must be a 100% hit: the ``--timing``
+counter line is parsed and the script fails unless ``misses=0`` and
+zero expand/cif/elaborate/drc/extract tasks executed.  Because the
+two runs are separate interpreters, this also proves the content
+hashes are deterministic across processes.
+
+Run:  python examples/pipeline_smoke.py
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+CACHEABLE = ("expand", "cif", "elaborate", "drc", "extract")
+
+SCRIPT = """\
+read generated.sticks
+read chip.comp
+verify chip logic --timing
+"""
+
+
+def build_session(workdir: Path) -> None:
+    sys.path.insert(0, str(SRC))
+    from repro.chip.filterchip import STRETCHED, assemble_chip
+    from repro.core.editor import RiotEditor
+    from repro.library.stock import filter_library
+
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    assemble_chip(editor, STRETCHED)
+    (workdir / "generated.sticks").write_text(editor.write_generated_sticks())
+    (workdir / "chip.comp").write_text(editor.write_composition())
+    (workdir / "verify.txt").write_text(SCRIPT)
+
+
+def run_verify(workdir: Path) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "verify.txt", "--jobs", "2",
+         "--cache", "cache"],
+        cwd=workdir,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 0:
+        raise SystemExit(f"verify run failed with exit {result.returncode}")
+    return result.stdout
+
+
+def counters(output: str) -> dict:
+    line = next(
+        (l for l in output.splitlines() if l.startswith("counters:")), None
+    )
+    if line is None:
+        raise SystemExit("no 'counters:' line in verify --timing output")
+    values = dict(re.findall(r"(\S+)=(\d+)", line))
+    return {key: int(value) for key, value in values.items()}
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="riot-smoke-") as tmp:
+        workdir = Path(tmp)
+        build_session(workdir)
+
+        print("=== run 1 (cold cache) ===")
+        cold = counters(run_verify(workdir))
+        if cold["hits"] != 0:
+            raise SystemExit(f"cold run should have no hits, got {cold['hits']}")
+
+        print("=== run 2 (warm cache) ===")
+        warm = counters(run_verify(workdir))
+        if warm["misses"] != 0:
+            raise SystemExit(f"warm run had {warm['misses']} cache misses")
+        for kind in CACHEABLE:
+            executed = warm.get(f"executed[{kind}]", 0)
+            if executed != 0:
+                raise SystemExit(f"warm run executed {executed} {kind} task(s)")
+
+        print(
+            f"PASS: warm run was 100% cache hits ({warm['hits']} artifacts), "
+            "zero expand/cif/elaborate/drc/extract tasks executed"
+        )
+
+
+if __name__ == "__main__":
+    main()

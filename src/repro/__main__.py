@@ -30,6 +30,16 @@ Crash-safe sessions:
 The two compose: ``python -m repro --recover s.rpl --journal s.rpl``
 resumes a crashed session and keeps journaling to the same file
 (compacting away the corrupt tail).
+
+Verification pipeline defaults:
+
+``--jobs N`` / ``--cache DIR`` / ``--timing``
+    session-wide defaults for the ``verify`` textual command: fan the
+    verification task DAG out over N worker processes, cache every
+    intermediate artifact (leaf expansion, CIF, flat geometry, DRC,
+    netlist) by content under DIR, and print the per-stage timing and
+    cache-counter report.  Each ``verify`` invocation can override
+    them with the same flags.
 """
 
 from __future__ import annotations
@@ -95,9 +105,34 @@ def main(argv: list[str] | None = None) -> int:
         default="skip",
         help="strict: abort on the first failing entry; skip (default): continue past it",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="default worker count for the verify command's pipeline",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="default content-addressed artifact cache for verify",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="have verify print its per-stage timing and cache-counter report",
+    )
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
 
     interface = build_interface()
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print("error: --jobs must be >= 1")
+            return 1
+        interface.verify_defaults["jobs"] = args.jobs
+    if args.cache:
+        interface.verify_defaults["cache"] = args.cache
+    if args.timing:
+        interface.verify_defaults["timing"] = True
     if args.recover:
         from repro.core import wal
         from repro.core.errors import RiotError

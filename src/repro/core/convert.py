@@ -36,16 +36,28 @@ from repro.sticks.model import (
 )
 
 
-def composition_to_cif(cell: CompositionCell, technology: Technology) -> str:
-    """The cell's full hierarchy as a CIF text stream."""
+def composition_to_cif(
+    cell: CompositionCell, technology: Technology, expander=None
+) -> str:
+    """The cell's full hierarchy as a CIF text stream.
+
+    ``expander`` substitutes for :func:`expand_to_cif` when given —
+    the verification pipeline passes one that serves Sticks leaf
+    expansions from its content-addressed cache instead of
+    recomputing them.
+    """
     memo: dict[int, CifCell] = {}
     counter = [0]
-    top = _to_cif_cell(cell, technology, memo, counter)
+    top = _to_cif_cell(cell, technology, memo, counter, expander or expand_to_cif)
     return write_cif([top])
 
 
 def _to_cif_cell(
-    cell, technology: Technology, memo: dict[int, CifCell], counter: list[int]
+    cell,
+    technology: Technology,
+    memo: dict[int, CifCell],
+    counter: list[int],
+    expander,
 ) -> CifCell:
     if id(cell) in memo:
         return memo[id(cell)]
@@ -56,7 +68,7 @@ def _to_cif_cell(
         if cell.cif_cell is not None:
             result = cell.cif_cell
         else:
-            result = expand_to_cif(cell.sticks_cell, technology, number)
+            result = expander(cell.sticks_cell, technology, number)
     elif isinstance(cell, CompositionCell):
         result = CifCell(number, cell.name)
         for conn in cell.connectors:
@@ -64,7 +76,7 @@ def _to_cif_cell(
                 CifConnector(conn.name, conn.position, conn.layer, conn.width)
             )
         for instance in cell.instances:
-            child = _to_cif_cell(instance.cell, technology, memo, counter)
+            child = _to_cif_cell(instance.cell, technology, memo, counter, expander)
             for _, _, transform in instance.element_transforms():
                 result.calls.append((child, transform))
     else:  # pragma: no cover - the hierarchy has exactly two cell kinds

@@ -105,6 +105,9 @@ class TextualInterface:
         self.editor = editor
         self.store = store if store is not None else MemoryStore()
         self.last_error: Exception | None = None
+        #: Session-wide defaults for the ``verify`` command, set by the
+        #: CLI's ``--jobs`` / ``--cache`` / ``--timing`` flags.
+        self.verify_defaults: dict = {"jobs": 1, "cache": None, "timing": False}
 
     def execute(self, line: str) -> str:
         self.last_error = None
@@ -256,13 +259,48 @@ class TextualInterface:
         return report_cell(self._composition(args[0])).to_text()
 
     def _cmd_verify(self, args: list[str]) -> str:
-        """Full verification: netcheck + DRC + mask extraction."""
-        from repro.core.verify import verify_cell
+        """Full verification through the parallel pipeline:
+        netcheck + DRC + mask extraction, fanned out with ``--jobs``,
+        artifact-cached with ``--cache``, timed with ``--timing``."""
+        from repro.pipeline import run_verification
 
-        if len(args) != 1:
-            raise RiotError("usage: verify <cell>")
-        cell = self._composition(args[0])
-        return verify_cell(cell, self.editor.technology).summary()
+        usage = "usage: verify <cell>... [--jobs N] [--cache DIR] [--timing]"
+        names: list[str] = []
+        options = dict(self.verify_defaults)
+        i = 0
+        while i < len(args):
+            arg = args[i]
+            if arg == "--jobs":
+                if i + 1 >= len(args):
+                    raise RiotError(usage)
+                options["jobs"] = int(args[i + 1])
+                i += 2
+            elif arg == "--cache":
+                if i + 1 >= len(args):
+                    raise RiotError(usage)
+                options["cache"] = args[i + 1]
+                i += 2
+            elif arg == "--timing":
+                options["timing"] = True
+                i += 1
+            elif arg.startswith("--"):
+                raise RiotError(usage)
+            else:
+                names.append(arg)
+                i += 1
+        if not names:
+            raise RiotError(usage)
+        cells = [self._composition(name) for name in names]
+        result = run_verification(
+            cells,
+            self.editor.technology,
+            jobs=options["jobs"],
+            cache=options["cache"],
+        )
+        lines = [result.reports[cell.name].summary() for cell in cells]
+        if options["timing"]:
+            lines.append(result.timing.to_text())
+        return "\n".join(lines)
 
     # -- replay -----------------------------------------------------------------------
 

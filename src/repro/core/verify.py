@@ -5,19 +5,22 @@ checking by users..." — this module is that checking, bundled: the
 positional netcheck over the composition, design rules over the
 generated mask, and mask-level continuity probes for the connections
 the designer cares about.
+
+Since the pipeline PR this module is a thin client of
+``repro.pipeline``: the same checks, decomposed into a task DAG that
+can fan out over worker processes (``jobs``) and cache every
+intermediate artifact by content (``cache``).  The report type and
+:func:`verify_cell` signature are unchanged for existing callers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cif.parser import parse_cif
-from repro.cif.semantics import FlatGeometry, elaborate
 from repro.composition.cell import CompositionCell
-from repro.composition.netcheck import ConnectionReport, check_connections
-from repro.core.convert import composition_to_cif
-from repro.drc.engine import DrcReport, check_geometry
-from repro.extract.netlist import MaskNetlist, extract_netlist
+from repro.composition.netcheck import ConnectionReport
+from repro.drc.engine import DrcReport
+from repro.extract.netlist import MaskNetlist
 from repro.geometry.layers import Technology
 
 
@@ -61,16 +64,20 @@ class VerificationReport:
 
 
 def verify_cell(
-    cell: CompositionCell, technology: Technology
+    cell: CompositionCell,
+    technology: Technology,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> VerificationReport:
-    """Run the full checking pass over one composition cell."""
-    text = composition_to_cif(cell, technology)
-    design = elaborate(parse_cif(text), technology)
-    flat: FlatGeometry = design.cell(cell.name).flatten()
-    return VerificationReport(
-        cell_name=cell.name,
-        connections=check_connections(cell.instances, technology),
-        drc=check_geometry(flat, technology),
-        netlist=extract_netlist(flat, technology),
-        shape_count=flat.shape_count,
-    )
+    """Run the full checking pass over one composition cell.
+
+    ``jobs`` and ``cache`` (a directory path or
+    :class:`~repro.pipeline.ContentCache`) are forwarded to the
+    pipeline; the defaults reproduce the historical serial,
+    uncached behaviour exactly.
+    """
+    from repro.pipeline import run_verification
+
+    result = run_verification([cell], technology, jobs=jobs, cache=cache)
+    return result.reports[cell.name]

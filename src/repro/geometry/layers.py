@@ -77,6 +77,42 @@ class Technology:
         if missing:
             raise ValueError(f"layers missing width rules: {sorted(missing)}")
 
+    # -- identity --------------------------------------------------------
+
+    def _rule_key(self) -> tuple:
+        """The value tuple that defines this technology.
+
+        Everything rule-relevant in canonical (sorted) order, so two
+        technologies built from the same rules compare and hash equal
+        regardless of the order layers were listed in.
+        """
+        return (
+            self.name,
+            self.lambda_cm,
+            tuple(
+                sorted(
+                    (layer.name, layer.cif_name, layer.color, layer.is_routing)
+                    for layer in self._layers.values()
+                )
+            ),
+            tuple(sorted(self._min_width.items())),
+            tuple(sorted(self._min_sep.items())),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Technology):
+            return NotImplemented
+        return self._rule_key() == other._rule_key()
+
+    def __hash__(self) -> int:
+        return hash(self._rule_key())
+
+    def __repr__(self) -> str:
+        return (
+            f"Technology({self.name!r}, lambda={self.lambda_cm}, "
+            f"{len(self._layers)} layers)"
+        )
+
     # -- lookup ----------------------------------------------------------
 
     def layer(self, name: str) -> Layer:

@@ -1,0 +1,82 @@
+"""The parallel verification pipeline.
+
+The checking pass Riot forces on its users — netcheck, DRC, mask
+extraction — decomposed into a content-addressed task DAG
+(:mod:`~repro.pipeline.tasks`), scheduled across worker processes
+(:mod:`~repro.pipeline.scheduler`), with every intermediate artifact
+cached on disk under its content hash
+(:mod:`~repro.pipeline.cache`, :mod:`~repro.pipeline.hashing`).
+
+:func:`run_verification` is the front door; ``repro.core.verify`` is
+a thin client of it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.geometry.layers import Technology
+from repro.pipeline.cache import ContentCache
+from repro.pipeline.hashing import (
+    hash_cell,
+    hash_technology,
+    task_key,
+)
+from repro.pipeline.scheduler import Scheduler, Span, TimingReport
+from repro.pipeline.tasks import (
+    CACHEABLE_KINDS,
+    PipelineError,
+    Task,
+    build_verification_dag,
+    register_kind,
+)
+
+__all__ = [
+    "CACHEABLE_KINDS",
+    "ContentCache",
+    "PipelineError",
+    "PipelineResult",
+    "Scheduler",
+    "Span",
+    "Task",
+    "TimingReport",
+    "build_verification_dag",
+    "hash_cell",
+    "hash_technology",
+    "register_kind",
+    "run_verification",
+    "task_key",
+]
+
+
+@dataclass
+class PipelineResult:
+    """Reports keyed by cell name, plus the run's timing report."""
+
+    reports: dict
+    timing: TimingReport
+
+
+def run_verification(
+    cells,
+    technology: Technology,
+    *,
+    jobs: int = 1,
+    cache: ContentCache | str | os.PathLike | None = None,
+) -> PipelineResult:
+    """Verify every composition cell in ``cells``.
+
+    ``jobs`` > 1 fans the DAG out over a process pool; ``cache`` (a
+    directory path or a :class:`ContentCache`) makes repeat runs over
+    unchanged cells pure cache hits.
+    """
+    cells = list(cells)
+    if isinstance(cache, (str, os.PathLike, Path)):
+        cache = ContentCache(cache)
+    tasks = build_verification_dag(cells, technology)
+    scheduler = Scheduler(jobs=jobs, cache=cache)
+    results, timing = scheduler.run(tasks)
+    reports = {cell.name: results[f"report:{cell.name}"] for cell in cells}
+    return PipelineResult(reports=reports, timing=timing)

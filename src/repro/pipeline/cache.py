@@ -1,0 +1,86 @@
+"""The on-disk content-addressed artifact store.
+
+Verification artifacts (leaf expansions, CIF text, flattened
+geometry, DRC reports, extracted netlists) are stored under their
+content key: ``<root>/<key[:2]>/<key[2:]>.pkl``.  A second run of
+``verify`` over an unchanged chip is pure reads; editing one leaf
+cell orphans exactly the entries whose keys covered it.
+
+Writes reuse the atomic temp-file + ``os.replace`` scheme of
+``DiskStore`` (PR 1): a crash mid-store can leave a stray ``.tmp``
+file but never a torn entry.  Reads treat any undecodable entry as a
+miss and delete it — a cache can always be rebuilt, so corruption is
+never an error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+class ContentCache:
+    """A pickle-valued store keyed by content hashes."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / (key[2:] + ".pkl")
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        The two-tuple (rather than a ``None`` sentinel) lets cached
+        falsy values — empty reports — count as hits.
+        """
+        path = self._path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return False, None
+        try:
+            return True, pickle.loads(data)
+        except Exception:
+            # A torn or stale-schema entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value``; returns False when it cannot be pickled
+        (the pipeline then simply recomputes next run)."""
+        try:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

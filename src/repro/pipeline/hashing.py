@@ -1,0 +1,202 @@
+"""Canonical, order-independent content hashes for cells.
+
+The pipeline caches verification artifacts by what a cell *is*, not by
+when it was edited: two sessions that assemble the same geometry get
+the same keys, and re-reading an unchanged library file invalidates
+nothing.  To that end every hash here is computed from a canonical
+encoding in which component order does not matter — a Sticks cell
+whose wires were entered in a different order, or a composition whose
+instances were created in a different sequence, hashes identically.
+
+Names *do* participate: the CIF stream a cell converts to carries cell
+and connector names, so a rename is a content change as far as the
+cached artifacts are concerned.
+
+All digests are hex SHA-256.  ``SCHEMA`` is folded into every digest
+so a change to the encoding invalidates old caches wholesale instead
+of aliasing into them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.cif.semantics import CifCell
+from repro.composition.cell import CompositionCell, LeafCell
+from repro.geometry.box import Box
+from repro.geometry.layers import Technology
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+from repro.sticks.model import SticksCell
+
+#: Bump when the canonical encoding changes; old cache entries then
+#: simply never match again.
+SCHEMA = "riot-pipeline-v1"
+
+_SEP = b"\x1f"
+
+
+def _digest(tag: str, parts: Iterable[str]) -> str:
+    h = hashlib.sha256()
+    h.update(SCHEMA.encode())
+    h.update(_SEP + tag.encode())
+    for part in parts:
+        h.update(_SEP + part.encode())
+    return h.hexdigest()
+
+
+# -- canonical encodings of the geometric atoms --------------------------
+
+
+def _point(p: Point) -> str:
+    return f"{p.x},{p.y}"
+
+
+def _box(b: Box) -> str:
+    return f"{b.llx},{b.lly},{b.urx},{b.ury}"
+
+
+def _transform(t: Transform) -> str:
+    return f"{t.orientation.name}@{_point(t.translation)}"
+
+
+# -- technology -----------------------------------------------------------
+
+
+def technology_key(technology: Technology) -> tuple:
+    """The value tuple that defines a technology's rules.
+
+    Shared with :meth:`Technology.__eq__`: two technologies hash (and
+    cache) identically exactly when they compare equal.
+    """
+    return technology._rule_key()
+
+
+def hash_technology(technology: Technology) -> str:
+    return _digest("technology", [repr(technology_key(technology))])
+
+
+# -- cells ----------------------------------------------------------------
+
+
+def hash_sticks_cell(cell: SticksCell) -> str:
+    parts = [cell.name]
+    parts.append(_box(cell.boundary) if cell.boundary is not None else "-")
+    parts.extend(
+        sorted(
+            f"p|{pin.name}|{pin.layer}|{_point(pin.point)}|{pin.width}"
+            for pin in cell.pins
+        )
+    )
+    parts.extend(
+        sorted(
+            f"w|{wire.layer}|{wire.width}|" + ";".join(map(_point, wire.points))
+            for wire in cell.wires
+        )
+    )
+    parts.extend(
+        sorted(
+            f"d|{dev.kind}|{_point(dev.center)}|{dev.orientation}"
+            f"|{dev.length}|{dev.width}"
+            for dev in cell.devices
+        )
+    )
+    parts.extend(
+        sorted(
+            f"c|{contact.layer_a}|{contact.layer_b}|{_point(contact.point)}"
+            for contact in cell.contacts
+        )
+    )
+    return _digest("sticks", parts)
+
+
+def hash_cif_cell(cell: CifCell, _memo: dict[int, str] | None = None) -> str:
+    """Hash an elaborated CIF cell, child calls included.
+
+    Symbol *numbers* are excluded: the converter renumbers symbols on
+    every write, and numbering carries no mask content.
+    """
+    memo = _memo if _memo is not None else {}
+    cached = memo.get(id(cell))
+    if cached is not None:
+        return cached
+    memo[id(cell)] = "<cycle>"  # elaboration forbids recursion; guard anyway
+    geom = cell.geometry
+    parts = [cell.name]
+    parts.extend(
+        sorted(f"b|{layer.name}|{_box(box)}" for layer, box in geom.boxes)
+    )
+    parts.extend(
+        sorted(
+            f"g|{poly.layer.name}|" + ";".join(map(_point, poly.points))
+            for poly in geom.polygons
+        )
+    )
+    parts.extend(
+        sorted(
+            f"w|{path.layer.name}|{path.width}|"
+            + ";".join(map(_point, path.points))
+            for path in geom.paths
+        )
+    )
+    parts.extend(
+        sorted(
+            f"x|{c.name}|{c.layer.name}|{_point(c.position)}|{c.width}"
+            for c in cell.connectors
+        )
+    )
+    parts.extend(
+        sorted(
+            f"c|{hash_cif_cell(child, memo)}|{_transform(transform)}"
+            for child, transform in cell.calls
+        )
+    )
+    result = _digest("cif", parts)
+    memo[id(cell)] = result
+    return result
+
+
+def hash_cell(cell, _memo: dict[int, str] | None = None) -> str:
+    """Content hash of a leaf or composition cell (recursive).
+
+    ``_memo`` (keyed by ``id``) makes hashing a library-sized DAG
+    linear; pass one dict across calls when hashing many cells.
+    """
+    memo = _memo if _memo is not None else {}
+    cached = memo.get(id(cell))
+    if cached is not None:
+        return cached
+    if isinstance(cell, LeafCell):
+        if cell.sticks_cell is not None:
+            backing = hash_sticks_cell(cell.sticks_cell)
+            result = _digest("leaf", [cell.name, "sticks", backing])
+        else:
+            backing = hash_cif_cell(cell.cif_cell, memo)
+            result = _digest("leaf", [cell.name, "cif", backing])
+    elif isinstance(cell, CompositionCell):
+        parts = [cell.name]
+        parts.extend(
+            sorted(
+                f"i|{inst.name}|{hash_cell(inst.cell, memo)}"
+                f"|{_transform(inst.transform)}"
+                f"|{inst.nx}x{inst.ny}|{inst.dx},{inst.dy}"
+                for inst in cell.instances
+            )
+        )
+        parts.extend(
+            sorted(
+                f"x|{c.name}|{c.layer.name}|{_point(c.position)}|{c.width}"
+                for c in cell.connectors
+            )
+        )
+        result = _digest("composition", parts)
+    else:
+        raise TypeError(f"cannot hash {cell!r}")
+    memo[id(cell)] = result
+    return result
+
+
+def task_key(stage: str, cell_hash: str, tech_hash: str) -> str:
+    """The cache key of one pipeline stage's artifact for one cell."""
+    return _digest("task", [stage, cell_hash, tech_hash])

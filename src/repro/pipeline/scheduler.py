@@ -1,0 +1,280 @@
+"""The parallel task scheduler.
+
+Runs a task DAG with a ``ProcessPoolExecutor`` fanned out over
+``--jobs N`` workers, and degrades gracefully — never wedging, never
+losing a result — when the parallel machinery misbehaves:
+
+* a task whose payload or result will not pickle runs in-process;
+* a worker that raises gets the task retried in-process once;
+* a worker that dies (OOM-kill, ``SIGKILL``) breaks the pool; every
+  task it took down with it is retried in-process and the remainder
+  of the run continues serially.
+
+Every degradation is recorded in the :class:`TimingReport`, the
+pipeline's observability surface: a span per task (wall and CPU
+seconds, measured inside whichever process ran it), cache hit/miss
+counters, and per-kind executed counts — the numbers the CI smoke
+job asserts are zero on a warm cache.
+
+Cache probing happens *before* dependency resolution: a task whose
+artifact is already stored never runs, and neither do its
+dependencies unless some other uncached task still needs them.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.pipeline.cache import ContentCache
+from repro.pipeline.tasks import PipelineError, Task, pool_entry, run_task
+
+#: How a task's result was obtained.
+CACHED = "cached"
+POOL = "pool"
+INLINE = "inline"
+RETRIED = "retried-inline"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One task's execution record."""
+
+    task_id: str
+    kind: str
+    cell_name: str
+    wall: float
+    cpu: float
+    source: str
+
+    def describe(self) -> str:
+        if self.source == CACHED:
+            return f"{self.task_id:<24} cached"
+        tag = "" if self.source == POOL else f" [{self.source}]"
+        return (
+            f"{self.task_id:<24} {self.wall * 1000:8.1f}ms wall /"
+            f" {self.cpu * 1000:8.1f}ms cpu{tag}"
+        )
+
+
+@dataclass
+class TimingReport:
+    """Spans, counters and degradations of one pipeline run."""
+
+    jobs: int
+    spans: list[Span] = field(default_factory=list)
+    degradations: list[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall: float = 0.0
+
+    def executed(self, kind: str | None = None) -> int:
+        """Tasks actually computed (anywhere) — cache hits excluded."""
+        return sum(
+            1
+            for s in self.spans
+            if s.source != CACHED and (kind is None or s.kind == kind)
+        )
+
+    def counters(self) -> dict[str, int]:
+        kinds = sorted({s.kind for s in self.spans})
+        return {kind: self.executed(kind) for kind in kinds}
+
+    def counter_line(self) -> str:
+        executed = " ".join(
+            f"executed[{kind}]={count}" for kind, count in self.counters().items()
+        )
+        return (
+            f"counters: {executed} hits={self.cache_hits} "
+            f"misses={self.cache_misses}"
+        )
+
+    def to_text(self) -> str:
+        lines = [
+            f"pipeline: jobs={self.jobs}, {len(self.spans)} task(s), "
+            f"{self.wall * 1000:.1f}ms wall",
+            self.counter_line(),
+        ]
+        by_cell: dict[str, list[Span]] = {}
+        for span in self.spans:
+            by_cell.setdefault(span.cell_name, []).append(span)
+        for cell_name, spans in by_cell.items():
+            lines.append(f"{cell_name}:")
+            lines.extend(f"  {span.describe()}" for span in spans)
+        if self.degradations:
+            lines.append("degraded:")
+            lines.extend(f"  {note}" for note in self.degradations)
+        return "\n".join(lines)
+
+
+def _fork_context():
+    """Prefer ``fork`` workers: no re-import, and kinds registered at
+    runtime (fault-injection tests) exist in the children."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return None
+
+
+class Scheduler:
+    """Executes a task list respecting dependencies."""
+
+    def __init__(self, jobs: int = 1, cache: ContentCache | None = None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+
+    def run(self, tasks: list[Task]) -> tuple[dict, TimingReport]:
+        """Results keyed by task id, plus the timing report."""
+        started = time.perf_counter()
+        timing = TimingReport(jobs=self.jobs)
+        by_id = {t.id: t for t in tasks}
+        if len(by_id) != len(tasks):
+            raise PipelineError("duplicate task ids in DAG")
+        for t in tasks:
+            for dep in t.deps:
+                if dep not in by_id:
+                    raise PipelineError(f"task {t.id!r} depends on unknown {dep!r}")
+
+        results: dict[str, object] = {}
+
+        # Cache probe first: hits satisfy dependents without running
+        # anything upstream of them.
+        if self.cache is not None:
+            for t in tasks:
+                if t.cache_key is None:
+                    continue
+                probe0 = time.perf_counter()
+                hit, value = self.cache.get(t.cache_key)
+                if hit:
+                    results[t.id] = value
+                    timing.cache_hits += 1
+                    timing.spans.append(
+                        Span(
+                            t.id,
+                            t.kind,
+                            t.cell_name,
+                            time.perf_counter() - probe0,
+                            0.0,
+                            CACHED,
+                        )
+                    )
+                else:
+                    timing.cache_misses += 1
+
+        pending = [t for t in tasks if t.id not in results]
+        deps_left = {
+            t.id: sum(1 for d in t.deps if d not in results) for t in pending
+        }
+        dependents: dict[str, list[Task]] = {}
+        for t in pending:
+            for dep in t.deps:
+                dependents.setdefault(dep, []).append(t)
+
+        ready = [t for t in pending if deps_left[t.id] == 0]
+        finished_count = 0
+
+        pool = None
+        if self.jobs > 1 and any(not t.local for t in pending):
+            context = _fork_context()
+            pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            )
+
+        def finish(t: Task, result: object) -> None:
+            nonlocal finished_count
+            results[t.id] = result
+            finished_count += 1
+            if t.cache_key is not None and self.cache is not None:
+                if not self.cache.put(t.cache_key, result):
+                    timing.degradations.append(
+                        f"{t.id}: result not picklable; not cached"
+                    )
+            for dependent in dependents.get(t.id, ()):
+                deps_left[dependent.id] -= 1
+                if deps_left[dependent.id] == 0:
+                    ready.append(dependent)
+
+        def run_inline(t: Task, source: str) -> None:
+            inputs = {d: results[d] for d in t.deps}
+            wall0 = time.perf_counter()
+            cpu0 = time.process_time()
+            try:
+                result = run_task(t.kind, t.payload, inputs)
+            except Exception as exc:
+                raise PipelineError(f"task {t.id} failed: {exc}") from exc
+            timing.spans.append(
+                Span(
+                    t.id,
+                    t.kind,
+                    t.cell_name,
+                    time.perf_counter() - wall0,
+                    time.process_time() - cpu0,
+                    source,
+                )
+            )
+            finish(t, result)
+
+        futures: dict = {}
+        try:
+            while ready or futures:
+                while ready:
+                    t = ready.pop(0)
+                    if t.local or pool is None:
+                        run_inline(t, INLINE)
+                        continue
+                    inputs = {d: results[d] for d in t.deps}
+                    try:
+                        future = pool.submit(pool_entry, t.kind, t.payload, inputs)
+                    except Exception as exc:
+                        # Unpicklable payload or an already-broken pool.
+                        timing.degradations.append(
+                            f"{t.id}: pool submit failed ({exc.__class__.__name__}); "
+                            "running in-process"
+                        )
+                        if _pool_is_broken(exc):
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            pool = None
+                        run_inline(t, RETRIED)
+                        continue
+                    futures[future] = t
+                if not futures:
+                    continue
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    t = futures.pop(future)
+                    try:
+                        result, wall, cpu = future.result()
+                    except Exception as exc:
+                        timing.degradations.append(
+                            f"{t.id}: worker failed "
+                            f"({exc.__class__.__name__}: {exc}); retrying in-process"
+                        )
+                        if pool is not None and _pool_is_broken(exc):
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            pool = None
+                        run_inline(t, RETRIED)
+                        continue
+                    timing.spans.append(
+                        Span(t.id, t.kind, t.cell_name, wall, cpu, POOL)
+                    )
+                    finish(t, result)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        if finished_count + (len(tasks) - len(pending)) != len(tasks):
+            unrun = sorted(t.id for t in pending if t.id not in results)
+            raise PipelineError(f"dependency cycle among tasks: {unrun}")
+        timing.wall = time.perf_counter() - started
+        return results, timing
+
+
+def _pool_is_broken(exc: Exception) -> bool:
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(exc, BrokenProcessPool)

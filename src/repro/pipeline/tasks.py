@@ -1,0 +1,285 @@
+"""The verification task DAG.
+
+One verification target (a composition cell) becomes a small graph of
+tasks with explicit inputs and outputs::
+
+    expand(leaf)* --> cif --> elaborate --> drc -----\\
+                                       \\--> extract --> report
+    netcheck ----------------------------------------/
+
+* ``expand`` — one task per distinct Sticks leaf in the subtree,
+  shared between targets that use the same leaf; produces the leaf's
+  elaborated CIF cell.
+* ``cif`` — the full hierarchy as CIF text, pulling leaf expansions
+  from the ``expand`` results instead of recomputing them.
+* ``elaborate`` — parse + elaborate + flatten to mask geometry.
+* ``drc`` / ``extract`` — design rules and continuity extraction over
+  the flat geometry; independent, so they run concurrently.
+* ``netcheck`` — the positional connection check.  Runs **in-process
+  and uncached**: its report holds references to the caller's live
+  ``Instance`` objects, and shipping it across a process or cache
+  boundary would silently replace them with copies.
+* ``report`` — assembles the :class:`~repro.core.verify.VerificationReport`;
+  trivial, in-process.
+
+Task *kinds* live in a registry so the scheduler (and its worker
+processes) resolve them by name; tests register fault-injection kinds
+the same way.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.composition.cell import CompositionCell, LeafCell
+from repro.composition.netcheck import check_connections
+from repro.core.convert import composition_to_cif
+from repro.core.errors import RiotError
+from repro.drc.engine import check_geometry
+from repro.extract.netlist import extract_netlist
+from repro.geometry.layers import Technology
+from repro.pipeline.hashing import hash_cell, hash_technology, task_key
+from repro.sticks.expand import expand_to_cif
+
+
+class PipelineError(RiotError):
+    """A task failed in a way no retry can fix."""
+
+
+@dataclass
+class Task:
+    """One node of the DAG.
+
+    ``payload`` holds the static inputs; results of ``deps`` arrive at
+    execution time keyed by task id.  ``cache_key`` is ``None`` for
+    uncacheable tasks; ``local`` pins a task to the coordinating
+    process (identity-sensitive or too trivial to ship).
+    """
+
+    id: str
+    kind: str
+    cell_name: str
+    payload: dict = field(default_factory=dict)
+    deps: tuple[str, ...] = ()
+    cache_key: str | None = None
+    local: bool = False
+
+
+#: kind name -> fn(payload, inputs) -> result
+TASK_KINDS: dict[str, Callable[[dict, dict], Any]] = {}
+
+
+def register_kind(name: str, fn: Callable[[dict, dict], Any]) -> None:
+    TASK_KINDS[name] = fn
+
+
+def run_task(kind: str, payload: dict, inputs: dict) -> Any:
+    try:
+        fn = TASK_KINDS[kind]
+    except KeyError:
+        raise PipelineError(f"unknown task kind {kind!r}") from None
+    return fn(payload, inputs)
+
+
+def pool_entry(kind: str, payload: dict, inputs: dict) -> tuple[Any, float, float]:
+    """Worker-side entry point: result plus wall/CPU seconds measured
+    inside the worker, so pool dispatch overhead is visible to the
+    timing report as the difference."""
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    result = run_task(kind, payload, inputs)
+    return result, time.perf_counter() - wall0, time.process_time() - cpu0
+
+
+# -- the stage implementations -------------------------------------------
+
+
+def _run_expand(payload: dict, inputs: dict) -> Any:
+    return expand_to_cif(payload["sticks"], payload["technology"], 0)
+
+
+def _run_cif(payload: dict, inputs: dict) -> str:
+    expansions = {
+        leaf_name: inputs[task_id]
+        for leaf_name, task_id in payload["expansions"].items()
+    }
+
+    def expander(sticks_cell, technology, number):
+        cached = expansions.get(sticks_cell.name)
+        if cached is None:  # leaf not covered by an expand task
+            return expand_to_cif(sticks_cell, technology, number)
+        cached.number = number
+        return cached
+
+    return composition_to_cif(
+        payload["cell"], payload["technology"], expander=expander
+    )
+
+
+def _run_elaborate(payload: dict, inputs: dict) -> Any:
+    from repro.cif.parser import parse_cif
+    from repro.cif.semantics import elaborate
+
+    design = elaborate(parse_cif(inputs[payload["cif"]]), payload["technology"])
+    return design.cell(payload["cell_name"]).flatten()
+
+
+def _run_drc(payload: dict, inputs: dict) -> Any:
+    return check_geometry(inputs[payload["flat"]], payload["technology"])
+
+
+def _run_extract(payload: dict, inputs: dict) -> Any:
+    return extract_netlist(inputs[payload["flat"]], payload["technology"])
+
+
+def _run_netcheck(payload: dict, inputs: dict) -> Any:
+    return check_connections(payload["instances"], payload["technology"])
+
+
+def _run_report(payload: dict, inputs: dict) -> Any:
+    from repro.core.verify import VerificationReport
+
+    return VerificationReport(
+        cell_name=payload["cell_name"],
+        connections=inputs[payload["netcheck"]],
+        drc=inputs[payload["drc"]],
+        netlist=inputs[payload["extract"]],
+        shape_count=inputs[payload["flat"]].shape_count,
+    )
+
+
+register_kind("expand", _run_expand)
+register_kind("cif", _run_cif)
+register_kind("elaborate", _run_elaborate)
+register_kind("drc", _run_drc)
+register_kind("extract", _run_extract)
+register_kind("netcheck", _run_netcheck)
+register_kind("report", _run_report)
+
+#: Kinds whose absence from a warm run the CI smoke job asserts.
+CACHEABLE_KINDS = ("expand", "cif", "elaborate", "drc", "extract")
+
+
+# -- DAG construction ----------------------------------------------------
+
+
+def _sticks_leaves(cell: CompositionCell, out: dict[int, LeafCell]) -> None:
+    for inst in cell.instances:
+        child = inst.cell
+        if isinstance(child, CompositionCell):
+            _sticks_leaves(child, out)
+        elif isinstance(child, LeafCell) and child.sticks_cell is not None:
+            out.setdefault(id(child), child)
+
+
+def build_verification_dag(
+    cells: list[CompositionCell], technology: Technology
+) -> list[Task]:
+    """Tasks verifying every cell in ``cells``, expansions shared."""
+    tech_hash = hash_technology(technology)
+    memo: dict[int, str] = {}
+    tasks: list[Task] = []
+    seen_names: set[str] = set()
+    expand_task_by_leaf: dict[int, Task] = {}
+
+    for cell in cells:
+        if cell.is_leaf:
+            raise PipelineError(
+                f"{cell.name!r} is a leaf cell; only composition cells "
+                "are verified"
+            )
+        if cell.name in seen_names:
+            raise PipelineError(f"duplicate verification target {cell.name!r}")
+        seen_names.add(cell.name)
+        cell_hash = hash_cell(cell, memo)
+
+        leaves: dict[int, LeafCell] = {}
+        _sticks_leaves(cell, leaves)
+        expansions: dict[str, str] = {}
+        for leaf in leaves.values():
+            task = expand_task_by_leaf.get(id(leaf))
+            if task is None:
+                leaf_hash = hash_cell(leaf, memo)
+                task = Task(
+                    id=f"expand:{leaf.name}",
+                    kind="expand",
+                    cell_name=leaf.name,
+                    payload={"sticks": leaf.sticks_cell, "technology": technology},
+                    cache_key=task_key("expand", leaf_hash, tech_hash),
+                )
+                expand_task_by_leaf[id(leaf)] = task
+                tasks.append(task)
+            expansions[leaf.name] = task.id
+
+        cif_task = Task(
+            id=f"cif:{cell.name}",
+            kind="cif",
+            cell_name=cell.name,
+            payload={
+                "cell": cell,
+                "technology": technology,
+                "expansions": expansions,
+            },
+            deps=tuple(expansions.values()),
+            cache_key=task_key("cif", cell_hash, tech_hash),
+        )
+        elaborate_task = Task(
+            id=f"elaborate:{cell.name}",
+            kind="elaborate",
+            cell_name=cell.name,
+            payload={
+                "cif": cif_task.id,
+                "cell_name": cell.name,
+                "technology": technology,
+            },
+            deps=(cif_task.id,),
+            cache_key=task_key("elaborate", cell_hash, tech_hash),
+        )
+        drc_task = Task(
+            id=f"drc:{cell.name}",
+            kind="drc",
+            cell_name=cell.name,
+            payload={"flat": elaborate_task.id, "technology": technology},
+            deps=(elaborate_task.id,),
+            cache_key=task_key("drc", cell_hash, tech_hash),
+        )
+        extract_task = Task(
+            id=f"extract:{cell.name}",
+            kind="extract",
+            cell_name=cell.name,
+            payload={"flat": elaborate_task.id, "technology": technology},
+            deps=(elaborate_task.id,),
+            cache_key=task_key("extract", cell_hash, tech_hash),
+        )
+        netcheck_task = Task(
+            id=f"netcheck:{cell.name}",
+            kind="netcheck",
+            cell_name=cell.name,
+            payload={"instances": cell.instances, "technology": technology},
+            local=True,
+        )
+        report_task = Task(
+            id=f"report:{cell.name}",
+            kind="report",
+            cell_name=cell.name,
+            payload={
+                "cell_name": cell.name,
+                "netcheck": netcheck_task.id,
+                "drc": drc_task.id,
+                "extract": extract_task.id,
+                "flat": elaborate_task.id,
+            },
+            deps=(
+                netcheck_task.id,
+                drc_task.id,
+                extract_task.id,
+                elaborate_task.id,
+            ),
+            local=True,
+        )
+        tasks.extend(
+            [cif_task, elaborate_task, drc_task, extract_task, netcheck_task, report_task]
+        )
+    return tasks

@@ -81,3 +81,41 @@ class TestValidation:
         layers = [Layer("a", "LA", 0), Layer("b", "LB", 1)]
         with pytest.raises(ValueError, match="missing width rules"):
             Technology("t", 100, layers, {"a": 1}, {"a": 1, "b": 1})
+
+
+class TestEquality:
+    """Two Technology objects built from identical rules are equal and
+    hash equal — the property the verification cache keys rely on."""
+
+    def test_reconstructed_technologies_equal(self):
+        assert nmos_technology() == nmos_technology()
+        assert hash(nmos_technology()) == hash(nmos_technology())
+
+    def test_usable_as_dict_key(self):
+        table = {nmos_technology(): "a"}
+        assert table[nmos_technology()] == "a"
+
+    def test_lambda_breaks_equality(self):
+        assert nmos_technology(250) != nmos_technology(200)
+
+    def test_rule_change_breaks_equality(self):
+        layers = [Layer("a", "LA", 0)]
+        one = Technology("t", 100, layers, {"a": 2}, {"a": 2})
+        other = Technology("t", 100, layers, {"a": 3}, {"a": 2})
+        assert one != other
+
+    def test_layer_order_does_not_matter(self):
+        def build(reverse):
+            layers = [Layer("a", "LA", 0), Layer("b", "LB", 1)]
+            if reverse:
+                layers.reverse()
+            return Technology(
+                "t", 100, layers, {"a": 2, "b": 3}, {"a": 2, "b": 3}
+            )
+
+        assert build(False) == build(True)
+        assert hash(build(False)) == hash(build(True))
+
+    def test_not_equal_to_other_types(self):
+        assert nmos_technology() != "nmos"
+        assert (nmos_technology() == object()) is False

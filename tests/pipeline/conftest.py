@@ -1,0 +1,34 @@
+"""Shared fixtures for pipeline tests."""
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.geometry.layers import nmos_technology
+from repro.geometry.point import Point
+from repro.library.stock import filter_library
+
+TECH = nmos_technology()
+
+
+def stock_editor() -> RiotEditor:
+    editor = RiotEditor(TECH)
+    editor.library = filter_library(TECH)
+    return editor
+
+
+def make_row(editor: RiotEditor, name: str, cell_name: str = "srcell", nx: int = 2):
+    """A finished composition: an ``nx``-wide abutted array of one leaf."""
+    editor.new_cell(name)
+    editor.create(at=Point(0, 0), cell_name=cell_name, nx=nx, name="a")
+    editor.finish()
+    return editor.library.get(name)
+
+
+@pytest.fixture()
+def editor():
+    return stock_editor()
+
+
+@pytest.fixture()
+def tech():
+    return TECH

@@ -1,0 +1,128 @@
+"""Fault injection: workers that raise, die, or return garbage must
+not wedge the scheduler — tasks are retried in-process and the
+degradation is flagged in the timing report."""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.pipeline import PipelineError, Scheduler, Task
+from repro.pipeline.tasks import register_kind
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _flaky(payload, inputs):
+    """Raises only inside a pool worker; succeeds inline."""
+    if _in_worker():
+        raise RuntimeError("injected worker failure")
+    return payload["n"] * 2
+
+
+def _suicidal(payload, inputs):
+    """SIGKILLs the worker mid-task; succeeds inline."""
+    if _in_worker():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload["n"] * 3
+
+
+def _unpicklable_result(payload, inputs):
+    """Result cannot cross the process boundary; fine inline."""
+    if _in_worker():
+        return lambda: None
+    return payload["n"] * 5
+
+
+def _always_raises(payload, inputs):
+    raise ValueError("broken everywhere")
+
+
+def _ok(payload, inputs):
+    return payload["n"] + sum(inputs.values())
+
+
+register_kind("test-flaky", _flaky)
+register_kind("test-suicidal", _suicidal)
+register_kind("test-unpicklable", _unpicklable_result)
+register_kind("test-always-raises", _always_raises)
+register_kind("test-ok", _ok)
+
+
+def task(task_id, kind, n, deps=()):
+    return Task(
+        id=task_id, kind=kind, cell_name="t", payload={"n": n}, deps=tuple(deps)
+    )
+
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="fault injection needs fork workers"
+)
+
+
+class TestWorkerRaises:
+    def test_retried_inline_and_flagged(self):
+        tasks = [
+            task("bad", "test-flaky", 7),
+            task("after", "test-ok", 1, deps=("bad",)),
+        ]
+        results, timing = Scheduler(jobs=2).run(tasks)
+        assert results["bad"] == 14
+        assert results["after"] == 15
+        assert any("retrying in-process" in d for d in timing.degradations)
+        sources = {s.task_id: s.source for s in timing.spans}
+        assert sources["bad"] == "retried-inline"
+
+    def test_error_in_both_worker_and_retry_raises(self):
+        with pytest.raises(PipelineError, match="broken everywhere"):
+            Scheduler(jobs=2).run([task("bad", "test-always-raises", 0)])
+
+
+class TestWorkerKilled:
+    def test_sigkill_degrades_to_serial_without_losing_results(self):
+        tasks = [
+            task("dead", "test-suicidal", 2),
+            task("after", "test-ok", 10, deps=("dead",)),
+            task("other", "test-ok", 100),
+        ]
+        results, timing = Scheduler(jobs=2).run(tasks)
+        assert results["dead"] == 6
+        assert results["after"] == 16
+        assert results["other"] == 100
+        assert timing.degradations, "a killed worker must be flagged"
+
+    def test_scheduler_reusable_after_pool_breakage(self):
+        scheduler = Scheduler(jobs=2)
+        scheduler.run([task("dead", "test-suicidal", 1)])
+        results, timing = scheduler.run([task("fine", "test-ok", 4)])
+        assert results["fine"] == 4
+        assert not timing.degradations
+
+
+class TestUnpicklable:
+    def test_unpicklable_result_retried_inline(self):
+        results, timing = Scheduler(jobs=2).run(
+            [task("odd", "test-unpicklable", 3)]
+        )
+        assert results["odd"] == 15
+        assert timing.degradations
+
+    def test_unpicklable_payload_runs_inline(self):
+        bad_payload = Task(
+            id="odd",
+            kind="test-ok",
+            cell_name="t",
+            payload={"n": 0, "hostage": lambda: None},
+        )
+        results, timing = Scheduler(jobs=2).run([bad_payload])
+        assert results["odd"] == 0
+        assert any("in-process" in d for d in timing.degradations)
+
+
+class TestInlineErrors:
+    def test_serial_task_error_is_a_pipeline_error(self):
+        with pytest.raises(PipelineError, match="bad"):
+            Scheduler(jobs=1).run([task("bad", "test-always-raises", 0)])

@@ -1,0 +1,194 @@
+"""Content hashes: canonical, order-independent, edit-sensitive."""
+
+import pytest
+
+from repro.cif.semantics import CifCell, CifConnector
+from repro.composition.cell import CompositionCell, LeafCell
+from repro.composition.instance import Instance
+from repro.geometry.box import Box
+from repro.geometry.layers import Layer, Technology, nmos_technology
+from repro.geometry.point import Point
+from repro.pipeline.hashing import (
+    hash_cell,
+    hash_cif_cell,
+    hash_sticks_cell,
+    hash_technology,
+    task_key,
+)
+from repro.sticks.model import Contact, Pin, SticksCell, SymbolicWire
+
+TECH = nmos_technology()
+
+
+def sticks_components():
+    pins = [
+        Pin("IN", "metal", Point(0, 500), 400),
+        Pin("OUT", "metal", Point(2000, 500), 400),
+    ]
+    wires = [
+        SymbolicWire("metal", (Point(0, 500), Point(2000, 500)), 400),
+        SymbolicWire("poly", (Point(1000, 0), Point(1000, 1000))),
+    ]
+    contacts = [Contact("metal", "poly", Point(1000, 500))]
+    return pins, wires, contacts
+
+
+class TestSticksHash:
+    def test_stable(self):
+        pins, wires, contacts = sticks_components()
+        a = SticksCell("g", pins=pins, wires=wires, contacts=contacts)
+        b = SticksCell("g", pins=list(pins), wires=list(wires), contacts=list(contacts))
+        assert hash_sticks_cell(a) == hash_sticks_cell(b)
+
+    def test_component_order_irrelevant(self):
+        pins, wires, contacts = sticks_components()
+        a = SticksCell("g", pins=pins, wires=wires, contacts=contacts)
+        b = SticksCell(
+            "g",
+            pins=list(reversed(pins)),
+            wires=list(reversed(wires)),
+            contacts=contacts,
+        )
+        assert hash_sticks_cell(a) == hash_sticks_cell(b)
+
+    def test_geometry_change_changes_hash(self):
+        pins, wires, contacts = sticks_components()
+        a = SticksCell("g", pins=pins, wires=wires, contacts=contacts)
+        moved = [
+            SymbolicWire("metal", (Point(0, 600), Point(2000, 600)), 400),
+            wires[1],
+        ]
+        b = SticksCell("g", pins=pins, wires=moved, contacts=contacts)
+        assert hash_sticks_cell(a) != hash_sticks_cell(b)
+
+    def test_rename_changes_hash(self):
+        pins, wires, contacts = sticks_components()
+        a = SticksCell("g", pins=pins, wires=wires, contacts=contacts)
+        b = SticksCell("h", pins=pins, wires=wires, contacts=contacts)
+        assert hash_sticks_cell(a) != hash_sticks_cell(b)
+
+
+class TestCifHash:
+    def make(self, name="pad", box=Box(0, 0, 1000, 1000), reorder=False):
+        cell = CifCell(7, name)
+        metal = TECH.layer("metal")
+        poly = TECH.layer("poly")
+        shapes = [(metal, box), (poly, Box(0, 0, 200, 200))]
+        if reorder:
+            shapes.reverse()
+        cell.geometry.boxes.extend(shapes)
+        cell.connectors.append(CifConnector("PAD", Point(500, 500), metal, 400))
+        return cell
+
+    def test_shape_order_irrelevant(self):
+        assert hash_cif_cell(self.make()) == hash_cif_cell(self.make(reorder=True))
+
+    def test_symbol_number_irrelevant(self):
+        a = self.make()
+        b = self.make()
+        b.number = 99
+        assert hash_cif_cell(a) == hash_cif_cell(b)
+
+    def test_geometry_sensitive(self):
+        a = self.make()
+        b = self.make(box=Box(0, 0, 1000, 1200))
+        assert hash_cif_cell(a) != hash_cif_cell(b)
+
+    def test_child_calls_hash_recursively(self):
+        from repro.geometry.transform import Transform
+
+        child_a = self.make(name="child")
+        child_b = self.make(name="child", box=Box(0, 0, 900, 900))
+        a = CifCell(1, "top")
+        a.calls.append((child_a, Transform.translate(100, 0)))
+        b = CifCell(1, "top")
+        b.calls.append((child_b, Transform.translate(100, 0)))
+        assert hash_cif_cell(a) != hash_cif_cell(b)
+
+
+class TestCompositionHash:
+    def leaf(self):
+        pins, wires, contacts = sticks_components()
+        sticks = SticksCell(
+            "g", pins=pins, wires=wires, contacts=contacts,
+            boundary=Box(0, 0, 2000, 1000),
+        )
+        return LeafCell.from_sticks(sticks, TECH)
+
+    def composed(self, order=(0, 1)):
+        leaf = self.leaf()
+        cell = CompositionCell("top")
+        placed = [
+            Instance("a", leaf),
+            Instance("b", leaf, transform=None),
+        ]
+        placed[1].translate(2000, 0)
+        for index in order:
+            cell.add_instance(placed[index])
+        return cell
+
+    def test_instance_order_irrelevant(self):
+        assert hash_cell(self.composed()) == hash_cell(self.composed(order=(1, 0)))
+
+    def test_placement_sensitive(self):
+        a = self.composed()
+        b = self.composed()
+        b.instance("b").translate(100, 0)
+        assert hash_cell(a) != hash_cell(b)
+
+    def test_leaf_edit_propagates_to_parents(self):
+        a = self.composed()
+        b = self.composed()
+        edited = b.instances[0].cell
+        edited.sticks_cell.wires.append(
+            SymbolicWire("metal", (Point(0, 900), Point(2000, 900)), 400)
+        )
+        assert hash_cell(a) != hash_cell(b)
+
+    def test_replication_sensitive(self):
+        leaf = self.leaf()
+        a = CompositionCell("top")
+        a.add_instance(Instance("a", leaf, nx=2))
+        b = CompositionCell("top")
+        b.add_instance(Instance("a", leaf, nx=3))
+        assert hash_cell(a) != hash_cell(b)
+
+
+class TestTechnologyHash:
+    def test_reconstructed_technology_hashes_equal(self):
+        assert hash_technology(nmos_technology()) == hash_technology(
+            nmos_technology()
+        )
+
+    def test_lambda_changes_hash(self):
+        assert hash_technology(nmos_technology(250)) != hash_technology(
+            nmos_technology(200)
+        )
+
+    def test_layer_order_irrelevant(self):
+        def tech(reverse):
+            layers = [Layer("metal", "NM", color=4), Layer("poly", "NP", color=1)]
+            if reverse:
+                layers.reverse()
+            return Technology(
+                "t", 250, layers, {"metal": 3, "poly": 2}, {"metal": 3, "poly": 2}
+            )
+
+        assert hash_technology(tech(False)) == hash_technology(tech(True))
+
+
+class TestTaskKey:
+    def test_distinct_stages_distinct_keys(self):
+        assert task_key("drc", "c" * 64, "t" * 64) != task_key(
+            "extract", "c" * 64, "t" * 64
+        )
+
+    def test_key_is_hex(self):
+        key = task_key("drc", "c" * 64, "t" * 64)
+        assert len(key) == 64
+        int(key, 16)
+
+
+def test_hash_rejects_unknown_objects():
+    with pytest.raises(TypeError):
+        hash_cell(object())

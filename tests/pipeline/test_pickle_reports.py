@@ -1,0 +1,63 @@
+"""Every verification artifact must survive a pickle round trip —
+the contract that lets them cross process boundaries and live in the
+content-addressed cache."""
+
+import pickle
+
+import pytest
+
+from repro.core.verify import verify_cell
+
+from .conftest import TECH, make_row, stock_editor
+
+
+@pytest.fixture(scope="module")
+def report():
+    editor = stock_editor()
+    row = make_row(editor, "row", nx=2)
+    return verify_cell(row, TECH)
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestReportPickling:
+    def test_drc_report(self, report):
+        copy = roundtrip(report.drc)
+        assert copy.shapes_checked == report.drc.shapes_checked
+        assert copy.is_clean == report.drc.is_clean
+        assert [str(v) for v in copy.violations] == [
+            str(v) for v in report.drc.violations
+        ]
+
+    def test_mask_netlist(self, report):
+        copy = roundtrip(report.netlist)
+        assert copy.node_count == report.netlist.node_count
+        assert len(copy.shapes) == len(report.netlist.shapes)
+        assert sorted(
+            (layer, str(box), node) for layer, box, node in copy.shapes
+        ) == sorted(
+            (layer, str(box), node) for layer, box, node in report.netlist.shapes
+        )
+
+    def test_connection_report(self, report):
+        copy = roundtrip(report.connections)
+        assert copy.made_count == report.connections.made_count
+        assert len(copy.near_misses) == len(report.connections.near_misses)
+        assert len(copy.unconnected) == len(report.connections.unconnected)
+
+    def test_verification_report(self, report):
+        copy = roundtrip(report)
+        assert copy.cell_name == report.cell_name
+        assert copy.shape_count == report.shape_count
+        assert copy.summary() == report.summary()
+
+    def test_verification_report_probe_survives(self, report):
+        editor = stock_editor()
+        row = make_row(editor, "probed", nx=2)
+        fresh = verify_cell(row, TECH)
+        copy = roundtrip(fresh)
+        assert copy.probe("IN[0,0]", "OUT[1,0]", row) == fresh.probe(
+            "IN[0,0]", "OUT[1,0]", row
+        )

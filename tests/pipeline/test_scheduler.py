@@ -1,0 +1,185 @@
+"""Scheduler semantics: ordering, parallel/serial equivalence, timing."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.pipeline import (
+    ContentCache,
+    PipelineError,
+    Scheduler,
+    Task,
+    build_verification_dag,
+    register_kind,
+    run_verification,
+)
+
+from .conftest import TECH, make_row, stock_editor
+
+
+def _sum_inputs(payload, inputs):
+    return payload.get("n", 0) + sum(inputs.values())
+
+
+register_kind("test-sum", _sum_inputs)
+
+
+def sum_task(task_id, n, deps=(), cache_key=None, local=False):
+    return Task(
+        id=task_id,
+        kind="test-sum",
+        cell_name="t",
+        payload={"n": n},
+        deps=tuple(deps),
+        cache_key=cache_key,
+        local=local,
+    )
+
+
+class TestDagExecution:
+    def test_diamond_dependency_order(self):
+        tasks = [
+            sum_task("a", 1),
+            sum_task("b", 10, deps=("a",)),
+            sum_task("c", 100, deps=("a",)),
+            sum_task("d", 0, deps=("b", "c")),
+        ]
+        results, timing = Scheduler(jobs=1).run(tasks)
+        assert results["d"] == (10 + 1) + (100 + 1)
+        assert timing.executed() == 4
+
+    def test_parallel_matches_serial(self):
+        tasks = [sum_task(f"t{i}", i) for i in range(8)]
+        tasks.append(sum_task("total", 0, deps=tuple(f"t{i}" for i in range(8))))
+        serial, _ = Scheduler(jobs=1).run(tasks)
+        parallel, _ = Scheduler(jobs=4).run(tasks)
+        assert serial == parallel
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(PipelineError, match="unknown"):
+            Scheduler().run([sum_task("a", 1, deps=("ghost",))])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(PipelineError, match="duplicate"):
+            Scheduler().run([sum_task("a", 1), sum_task("a", 2)])
+
+    def test_cycle_detected(self):
+        tasks = [
+            sum_task("a", 1, deps=("b",)),
+            sum_task("b", 2, deps=("a",)),
+        ]
+        with pytest.raises(PipelineError, match="cycle"):
+            Scheduler().run(tasks)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Scheduler(jobs=0)
+
+    def test_unknown_kind_fails(self):
+        task = Task(id="x", kind="no-such-kind", cell_name="t")
+        with pytest.raises(PipelineError, match="no-such-kind"):
+            Scheduler().run([task])
+
+    def test_cache_short_circuits_upstream(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        tasks = [
+            sum_task("a", 1, cache_key="aa" * 32),
+            sum_task("b", 10, deps=("a",), cache_key="bb" * 32),
+        ]
+        Scheduler(cache=cache).run(tasks)
+        results, timing = Scheduler(cache=cache).run(tasks)
+        assert results["b"] == 11
+        assert timing.executed() == 0
+        assert timing.cache_hits == 2
+
+
+class TestVerificationDag:
+    def test_shared_leaf_has_one_expand_task(self):
+        editor = stock_editor()
+        rowa = make_row(editor, "rowa", nx=2)
+        rowb = make_row(editor, "rowb", nx=3)
+        tasks = build_verification_dag([rowa, rowb], TECH)
+        expands = [t for t in tasks if t.kind == "expand"]
+        assert len(expands) == 1
+        assert expands[0].id == "expand:srcell"
+
+    def test_leaf_target_rejected(self):
+        editor = stock_editor()
+        with pytest.raises(PipelineError, match="leaf"):
+            build_verification_dag([editor.library.get("srcell")], TECH)
+
+    def test_duplicate_target_rejected(self):
+        editor = stock_editor()
+        row = make_row(editor, "row")
+        with pytest.raises(PipelineError, match="duplicate"):
+            build_verification_dag([row, row], TECH)
+
+    def test_netcheck_and_report_stay_local_and_uncached(self):
+        editor = stock_editor()
+        row = make_row(editor, "row")
+        tasks = build_verification_dag([row], TECH)
+        by_kind = {t.kind: t for t in tasks}
+        assert by_kind["netcheck"].local and by_kind["netcheck"].cache_key is None
+        assert by_kind["report"].local and by_kind["report"].cache_key is None
+        for kind in ("expand", "cif", "elaborate", "drc", "extract"):
+            assert by_kind[kind].cache_key is not None
+
+
+class TestParallelVerification:
+    def test_multi_cell_parallel_reports_match_serial(self):
+        editor = stock_editor()
+        cells = [
+            make_row(editor, "r2", nx=2),
+            make_row(editor, "r3", nx=3),
+        ]
+        serial = run_verification(cells, TECH, jobs=1)
+        parallel = run_verification(cells, TECH, jobs=2)
+        for name in ("r2", "r3"):
+            assert (
+                parallel.reports[name].summary() == serial.reports[name].summary()
+            )
+        assert parallel.timing.jobs == 2
+        assert not parallel.timing.degradations
+
+    def test_identity_of_netcheck_instances_preserved(self):
+        """The connection report must reference the caller's live
+        Instance objects even when everything else crossed a process
+        boundary — the documented reason netcheck is pinned local."""
+        editor = stock_editor()
+        editor.new_cell("pair")
+        editor.create(at=Point(0, 0), cell_name="srcell", name="a")
+        editor.create(at=Point(9000, 0), cell_name="srcell", name="b")
+        editor.connect("b", "IN", "a", "OUT")
+        editor.do_abut()
+        editor.finish()
+        cell = editor.cell
+        report = run_verification([cell], TECH, jobs=2).reports["pair"]
+        a, b = cell.instance("a"), cell.instance("b")
+        assert report.connections.is_connected(a, "OUT", b, "IN")
+
+    def test_probe_works_on_parallel_report(self):
+        editor = stock_editor()
+        row = make_row(editor, "row", nx=4)
+        report = run_verification([row], TECH, jobs=2).reports["row"]
+        assert report.probe("IN[0,0]", "OUT[3,0]", row)
+        assert ("IN[0,0]", "OUT[3,0]", True) in report.probes
+
+
+class TestTimingReport:
+    def test_to_text_mentions_stages_and_counters(self):
+        editor = stock_editor()
+        row = make_row(editor, "row")
+        timing = run_verification([row], TECH).timing
+        text = timing.to_text()
+        assert "counters:" in text
+        assert "executed[drc]=1" in text
+        assert "row:" in text
+        assert "netcheck:row" in text
+        assert "ms wall" in text
+
+    def test_cached_spans_marked(self, tmp_path):
+        editor = stock_editor()
+        row = make_row(editor, "row")
+        run_verification([row], TECH, cache=tmp_path)
+        timing = run_verification([row], TECH, cache=tmp_path).timing
+        assert "cached" in timing.to_text()
+        assert timing.counters()["drc"] == 0
