@@ -82,6 +82,11 @@ def run(lines, interface: TextualInterface | None = None, echo=print) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "fuzz":
+        from repro.proptest.runner import main as fuzz_main
+
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Riot textual command interface",
@@ -121,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="have verify print its per-stage timing and cache-counter report",
     )
-    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    args = parser.parse_args(argv)
 
     interface = build_interface()
     if args.jobs is not None:

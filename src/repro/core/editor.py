@@ -64,19 +64,26 @@ def transactional(method=None, *, restore_pending: bool = True):
     (ABUT/ROUTE/STRETCH) whose contract is that "the logical connection
     information is thrown out" whether or not they succeed — their own
     ``finally`` clears the pending list and rollback must not resurrect
-    it.
+    it.  That surviving side effect must still reach the journal: the
+    failed command's own entry is rolled back, so without a substitute
+    ``clear_pending`` entry a replayed session would keep connections
+    the live session has discarded (and diverge, or refuse a later
+    ``connect`` the live session accepted).
     """
 
     def decorate(func):
         @functools.wraps(func)
         def wrapper(self, *args, **kwargs):
             snapshot = self._snapshot(include_pending=restore_pending)
+            had_pending = len(self.pending) > 0
             mark = self.journal.mark()
             try:
                 result = func(self, *args, **kwargs)
             except Exception:
                 self._restore(snapshot)
                 self.journal.rollback(mark)
+                if not restore_pending and had_pending and not len(self.pending):
+                    self.journal.record("clear_pending")
                 raise
             self.journal.maybe_checkpoint()
             return result

@@ -174,54 +174,88 @@ def _check_planarity(layer_name: str, group: list[RiverWire]) -> None:
 def _assign_tracks(
     group: list[RiverWire], pitch: int, technology: Technology
 ) -> int:
-    """Greedy left-edge track assignment for the jogging wires.
+    """Constraint-ordered track assignment for the jogging wires.
 
     Returns the number of tracks used.  Horizontal jogs on one layer
     may share a track when their u-extents (inflated by width and
-    separation) do not collide.
+    separation) do not collide — but sharing is not enough: a wire's
+    vertical runs pass through every track below its own jog, so when
+    wire Y's entry vertical lands inside wire X's jog span, Y must jog
+    on a *lower* track than X (and on a higher one when its exit
+    vertical does).  Jogs that merely touch end-to-end (Y enters where
+    X exits) leave both verticals collinear and force the same strict
+    ordering.  Planarity makes these constraints acyclic: overlapping
+    jogs always run the same direction, so "entered later sits lower"
+    (rightward) / "sits higher" (leftward) is always satisfiable.
+
+    Straight wires need no constraints at all — a jog spanning a
+    straight's run is a crossing that :func:`_check_planarity` has
+    already refused.
     """
     jogging = [w for w in group if w.needs_jog]
     for wire in group:
         wire.track_index = None
     if not jogging:
         return 0
-    jogging.sort(key=lambda w: min(w.u_in, w.u_out))
-    track_last_end: list[int] = []
     sep = technology.min_separation(group[0].layer_name)
-    straights = sorted(w.u_in for w in group if not w.needs_jog)
 
-    for wire in jogging:
-        start = min(wire.u_in, wire.u_out) - wire.width // 2
-        end = max(wire.u_in, wire.u_out) + wire.width // 2
-        placed = False
-        for index, last_end in enumerate(track_last_end):
-            if start > last_end + sep and not _hits_straight(
-                straights, start, end, wire, sep
+    spans = [(min(w.u_in, w.u_out), max(w.u_in, w.u_out)) for w in jogging]
+    count = len(jogging)
+    # below[i] holds every j that must jog strictly below wire i.
+    below: list[set[int]] = [set() for _ in range(count)]
+    for i in range(count):
+        lo, hi = spans[i]
+        x = jogging[i]
+        for j in range(count):
+            if i == j:
+                continue
+            y = jogging[j]
+            if lo < y.u_in < hi or y.u_in == x.u_out:
+                below[i].add(j)
+            if lo < y.u_out < hi or y.u_out == x.u_in:
+                below[j].add(i)
+
+    # Lowest-feasible-track assignment in dependency order: a wire is
+    # ready once everything that must sit below it is placed.
+    order: list[int] = []
+    done = [False] * count
+    while len(order) < count:
+        ready = [
+            i
+            for i in range(count)
+            if not done[i] and all(done[j] for j in below[i])
+        ]
+        if not ready:
+            raise RiotError(
+                "river route: cyclic jog ordering on layer "
+                f"{group[0].layer_name} (internal planarity error)"
+            )
+        ready.sort(key=lambda i: (spans[i][0], jogging[i].name))
+        nxt = ready[0]
+        done[nxt] = True
+        order.append(nxt)
+
+    tracks: list[list[int]] = []  # wire indices jogging on each track
+    for i in order:
+        wire = jogging[i]
+        start = spans[i][0] - wire.width // 2
+        end = spans[i][1] + wire.width // 2
+        index = max(
+            (jogging[j].track_index + 1 for j in below[i]), default=0
+        )
+        while index < len(tracks):
+            if all(
+                start > spans[j][1] + jogging[j].width // 2 + sep
+                or spans[j][0] - jogging[j].width // 2 > end + sep
+                for j in tracks[index]
             ):
-                track_last_end[index] = end
-                wire.track_index = index
-                placed = True
                 break
-        if not placed:
-            track_last_end.append(end)
-            wire.track_index = len(track_last_end) - 1
-    # A jog crossing a straight wire of the same layer is impossible
-    # in a river route; planarity has already excluded it, so any
-    # remaining overlap with a straight is benign (the jog starts or
-    # ends at its own run).
-    return len(track_last_end)
-
-
-def _hits_straight(
-    straights: list[int], start: int, end: int, wire: RiverWire, sep: int
-) -> bool:
-    """Does the jog span cover a *different* straight wire's run?"""
-    for u in straights:
-        if u in (wire.u_in, wire.u_out):
-            continue
-        if start - sep < u < end + sep:
-            return True
-    return False
+            index += 1
+        if index == len(tracks):
+            tracks.append([])
+        tracks[index].append(i)
+        wire.track_index = index
+    return len(tracks)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,608 @@
+"""Random-case generators.
+
+Every generator produces a *case*: a plain JSON-able dict (ints,
+strings, lists, dicts only).  Cases serialise to the corpus directory
+unchanged, shrink by structural edits, and materialise into live
+objects through the ``build_*`` functions.  Generators construct cases
+that are valid by construction (planar wire sets, pins on boundaries,
+feasible stretch targets); shrinking may produce cases the builders
+reject, which raise :class:`CaseInvalid` and count as vacuous passes.
+
+All coordinates are centimicrons in the default NMOS technology
+(lambda = 250) unless the case carries its own ``lambda``.
+"""
+
+from __future__ import annotations
+
+from repro.composition.cell import LeafCell
+from repro.composition.library import CellLibrary
+from repro.core.editor import RiotEditor
+from repro.core.river import RiverWire
+from repro.geometry.box import Box
+from repro.geometry.layers import Technology, nmos_technology
+from repro.geometry.point import Point
+from repro.proptest.prng import Rng
+from repro.sticks.model import Contact, Device, Pin, SticksCell, SymbolicWire
+
+
+class CaseInvalid(ValueError):
+    """A (typically shrunk) case the builders cannot materialise."""
+
+
+#: Routing layers the generators draw from, with plausible wire widths
+#: (centimicrons) per layer.
+ROUTE_LAYERS = ("metal", "poly", "diffusion")
+ROUTE_WIDTHS = {"metal": (750, 1000, 1250), "poly": (500, 750), "diffusion": (500, 750)}
+
+LAMBDAS = (100, 250, 400)
+
+
+def build_technology(case: dict) -> Technology:
+    lam = int(case.get("lambda", 250))
+    if lam < 25:
+        raise CaseInvalid(f"lambda {lam} below the 0.25-micron floor")
+    return nmos_technology(lam)
+
+
+def gen_technology_case(rng: Rng) -> dict:
+    return {"lambda": rng.choice(LAMBDAS)}
+
+
+# -- river connector vectors ---------------------------------------------
+
+
+def gen_river_case(rng: Rng) -> dict:
+    """A planar-by-construction multi-layer wire set.
+
+    Per layer: strictly increasing entry positions; exits are entries
+    plus a shared shift plus a non-decreasing cumulative growth, which
+    keeps exits strictly increasing too — exactly the order-preserving
+    sets a river route is defined on.
+    """
+    tech_case = gen_technology_case(rng)
+    lam = tech_case["lambda"]
+    wires = []
+    for layer in rng.sample(ROUTE_LAYERS, rng.randint(1, len(ROUTE_LAYERS))):
+        count = rng.randint(0, 6)
+        if not count:
+            continue
+        u = rng.randint(-20, 20) * lam
+        shift = rng.randint(-30, 30) * lam
+        grow = 0
+        for index in range(count):
+            u += rng.randint(8, 40) * lam
+            grow += rng.randint(0, 20) * lam
+            wires.append(
+                {
+                    "name": f"{layer}{index}",
+                    "layer": layer,
+                    "width": rng.choice(ROUTE_WIDTHS[layer]),
+                    "u_in": u,
+                    "u_out": u + shift + grow,
+                    "entry_v": rng.randint(0, 4) * lam,
+                }
+            )
+    if not wires:
+        wires.append(
+            {
+                "name": "w0",
+                "layer": "metal",
+                "width": 1000,
+                "u_in": 0,
+                "u_out": 0,
+                "entry_v": 0,
+            }
+        )
+    return {
+        "lambda": lam,
+        "tracks_per_channel": rng.randint(1, 8),
+        "wires": wires,
+    }
+
+
+def build_river_wires(case: dict) -> list[RiverWire]:
+    wires = []
+    for w in case.get("wires", []):
+        try:
+            wires.append(
+                RiverWire(
+                    str(w["name"]),
+                    str(w["layer"]),
+                    int(w["width"]),
+                    int(w["u_in"]),
+                    int(w["u_out"]),
+                    entry_v=int(w["entry_v"]),
+                )
+            )
+        except (KeyError, TypeError) as exc:
+            raise CaseInvalid(f"bad wire {w!r}: {exc}") from None
+    if not wires:
+        raise CaseInvalid("river case with no wires")
+    lam = int(case.get("lambda", 250))
+    for w in wires:
+        if w.width < lam or w.entry_v < 0:
+            raise CaseInvalid(f"bad wire geometry {w.name!r}")
+        if w.layer_name not in ROUTE_WIDTHS:
+            raise CaseInvalid(f"unknown layer {w.layer_name!r}")
+    return wires
+
+
+# -- symbolic leaf cells ----------------------------------------------------
+
+
+def gen_sticks_case(rng: Rng, name: str = "cell", pin_side: str = "bottom") -> dict:
+    """A small valid Sticks leaf cell on a 12-lambda column grid.
+
+    Pins sit on the ``pin_side`` edge of an explicit boundary, one per
+    column, so the cell abuts and stretches like the paper's leaf
+    cells.  Columns optionally carry a vertical wire, a contact, or a
+    transistor; one horizontal spine wire may tie columns together.
+    The 12-lambda pitch clears the worst pairwise separation any
+    column combination can demand (two facing transistor diffusions:
+    9 lambda), so generated cells satisfy the design rules as built —
+    the ``stretch`` oracle's feasibility argument depends on it.
+    """
+    lam = 250
+    grid = 12 * lam
+    columns = rng.randint(2, 5)
+    depth = rng.randint(3, 6) * grid  # cell extent away from the pin edge
+    case: dict = {
+        "name": name,
+        "lambda": lam,
+        "pin_side": pin_side,
+        "columns": columns,
+        "grid": grid,
+        "depth": depth,
+        "pins": [],
+        "risers": [],
+        "contacts": [],
+        "devices": [],
+        "spine": None,
+    }
+    for i in range(columns):
+        layer = rng.choice(("metal", "poly"))
+        case["pins"].append({"name": f"P{i}", "layer": layer, "column": i})
+        if rng.chance(0.7):
+            case["risers"].append({"column": i, "layer": layer})
+        if rng.chance(0.25):
+            other = "poly" if layer == "metal" else "metal"
+            case["contacts"].append({"column": i, "layer_a": layer, "layer_b": other})
+        elif rng.chance(0.2):
+            case["devices"].append(
+                {"column": i, "kind": rng.choice(("enh", "dep"))}
+            )
+    if columns >= 2 and rng.chance(0.5):
+        case["spine"] = {"layer": "metal"}
+    return case
+
+
+def _oriented(case: dict, along: int, across: int) -> tuple[int, int]:
+    """Map (position along the pin edge, distance into the cell) to (x, y)."""
+    side = case.get("pin_side", "bottom")
+    depth = int(case["depth"])
+    if side == "bottom":
+        return along, across
+    if side == "top":
+        return along, depth - across
+    if side == "left":
+        return across, along
+    if side == "right":
+        return depth - across, along
+    raise CaseInvalid(f"unknown pin side {side!r}")
+
+
+def build_sticks_cell(case: dict) -> SticksCell:
+    grid = int(case["grid"])
+    columns = int(case["columns"])
+    depth = int(case["depth"])
+    lam = int(case.get("lambda", 250))
+    if columns < 1 or grid <= 0 or depth <= 0:
+        raise CaseInvalid("degenerate sticks case")
+    margin = 4 * lam
+    width = (columns - 1) * grid
+
+    cell = SticksCell(str(case["name"]))
+    col_x = lambda i: int(i) * grid  # noqa: E731 - tiny helper
+
+    for pin in case.get("pins", []):
+        if not 0 <= int(pin["column"]) < columns:
+            raise CaseInvalid(f"pin column {pin['column']} out of range")
+        x, y = _oriented(case, col_x(pin["column"]), 0)
+        cell.pins.append(Pin(str(pin["name"]), str(pin["layer"]), Point(x, y)))
+    for riser in case.get("risers", []):
+        x0, y0 = _oriented(case, col_x(riser["column"]), 0)
+        x1, y1 = _oriented(case, col_x(riser["column"]), depth - margin)
+        cell.wires.append(
+            SymbolicWire(str(riser["layer"]), (Point(x0, y0), Point(x1, y1)))
+        )
+    for contact in case.get("contacts", []):
+        x, y = _oriented(case, col_x(contact["column"]), depth // 2)
+        cell.contacts.append(
+            Contact(str(contact["layer_a"]), str(contact["layer_b"]), Point(x, y))
+        )
+    for device in case.get("devices", []):
+        x, y = _oriented(case, col_x(device["column"]), depth - 2 * margin)
+        cell.devices.append(Device(str(device["kind"]), Point(x, y)))
+    if case.get("spine") and columns >= 2:
+        x0, y0 = _oriented(case, 0, depth - margin)
+        x1, y1 = _oriented(case, width, depth - margin)
+        cell.wires.append(
+            SymbolicWire(str(case["spine"]["layer"]), (Point(x0, y0), Point(x1, y1)))
+        )
+
+    lo_x, lo_y = _oriented(case, -margin, 0)
+    hi_x, hi_y = _oriented(case, width + margin, depth)
+    cell.boundary = Box(lo_x, lo_y, hi_x, hi_y)
+    try:
+        cell.validate()
+    except Exception as exc:
+        raise CaseInvalid(str(exc)) from None
+    if not cell.pins:
+        raise CaseInvalid("sticks case lost all its pins")
+    return cell
+
+
+# -- abutment setups --------------------------------------------------------
+
+
+_FACING = {"left": "right", "right": "left", "top": "bottom", "bottom": "top"}
+_AWAY = {"left": (-1, 0), "right": (1, 0), "top": (0, 1), "bottom": (0, -1)}
+
+
+def gen_abut_case(rng: Rng) -> dict:
+    """Two (or three) leaf instances with connectors on facing edges.
+
+    The from instance's pins face the to instance's pins on the
+    opposed edge; pin pitches may differ, so abutment coincides the
+    first pair exactly and warns about the rest — the paper's exact
+    contract.  An optional bystander instance near the seam exercises
+    the no-overlap rule.
+    """
+    to_side = rng.choice(("left", "right", "top", "bottom"))
+    from_side = _FACING[to_side]
+    to_cell = gen_sticks_case(rng.fork("to"), name="to_leaf", pin_side=to_side)
+    from_cell = gen_sticks_case(rng.fork("from"), name="from_leaf", pin_side=from_side)
+    # Matching layers per pair index so pending validation accepts them.
+    pair_count = rng.randint(1, min(len(from_cell["pins"]), len(to_cell["pins"])))
+    pairs = []
+    for i in range(pair_count):
+        layer = rng.choice(("metal", "poly"))
+        from_cell["pins"][i]["layer"] = layer
+        to_cell["pins"][i]["layer"] = layer
+        pairs.append([from_cell["pins"][i]["name"], to_cell["pins"][i]["name"]])
+    dx, dy = _AWAY[_FACING[to_side]]
+    lam = 250
+    case = {
+        "to_cell": to_cell,
+        "from_cell": from_cell,
+        "to_side": to_side,
+        "from_at": [dx * rng.randint(40, 120) * lam, dy * rng.randint(40, 120) * lam],
+        "jitter": [rng.randint(-10, 10) * lam, rng.randint(-10, 10) * lam],
+        "pairs": pairs,
+        "overlap": 1 if rng.chance(0.3) else 0,
+        "bystander": None,
+    }
+    if rng.chance(0.3):
+        case["bystander"] = {
+            "cell": gen_sticks_case(rng.fork("bystander"), name="bystander_leaf"),
+            "at": [rng.randint(-40, 40) * lam, rng.randint(-40, 40) * lam],
+        }
+    return case
+
+
+def build_abut_setup(case: dict):
+    """Materialise an abut case.
+
+    Returns ``(editor, from_name, to_name, pairs)`` with instances
+    placed and every pair added to the editor's pending list.
+    """
+    technology = nmos_technology()
+    editor = RiotEditor(technology)
+    for key in ("to_cell", "from_cell"):
+        sticks = build_sticks_cell(case[key])
+        editor.library.add(LeafCell.from_sticks(sticks, technology))
+    editor.new_cell("top")
+    editor.create(Point(0, 0), cell_name=case["to_cell"]["name"], name="TO")
+    jitter = case.get("jitter", [0, 0])
+    editor.create(
+        Point(
+            int(case["from_at"][0]) + int(jitter[0]),
+            int(case["from_at"][1]) + int(jitter[1]),
+        ),
+        cell_name=case["from_cell"]["name"],
+        name="FROM",
+    )
+    if case.get("bystander"):
+        sticks = build_sticks_cell(case["bystander"]["cell"])
+        editor.library.add(LeafCell.from_sticks(sticks, technology))
+        editor.create(
+            Point(*[int(v) for v in case["bystander"]["at"]]),
+            cell_name=case["bystander"]["cell"]["name"],
+            name="BYSTANDER",
+        )
+    pairs = [tuple(p) for p in case.get("pairs", [])]
+    if not pairs:
+        raise CaseInvalid("abut case with no pairs")
+    cell = editor.cell
+    try:
+        for from_conn, to_conn in pairs:
+            editor.pending.add(
+                cell.instance("FROM"), str(from_conn), cell.instance("TO"), str(to_conn)
+            )
+    except Exception as exc:
+        raise CaseInvalid(f"pending rejected: {exc}") from None
+    return editor, "FROM", "TO", pairs
+
+
+# -- stretch setups --------------------------------------------------------------
+
+
+def gen_stretch_case(rng: Rng) -> dict:
+    """A leaf cell plus feasible pin targets along one axis.
+
+    Targets keep the pins' original order and only ever *grow* the
+    gaps between pinned columns, so a correct solver can always
+    satisfy them — any :class:`InfeasibleConstraints` is an oracle
+    failure, not a generation artifact.
+    """
+    pin_side = rng.choice(("bottom", "left"))  # pins vary along x or y
+    axis = "x" if pin_side == "bottom" else "y"
+    cell = gen_sticks_case(rng.fork("cell"), name="stretchee", pin_side=pin_side)
+    grid = cell["grid"]
+    pin_names = [p["name"] for p in cell["pins"]]
+    chosen = sorted(
+        rng.sample(range(len(pin_names)), rng.randint(1, len(pin_names)))
+    )
+    targets = {}
+    extra = 0
+    for index in chosen:
+        extra += rng.randint(0, 6) * 250
+        targets[pin_names[index]] = index * grid + extra
+    return {"cell": cell, "axis": axis, "targets": targets}
+
+
+def build_stretch_setup(case: dict):
+    """Returns ``(cell, axis, targets, technology)``.
+
+    Raises :class:`CaseInvalid` unless the case is *feasible by
+    construction*: the cell satisfies every pairwise column separation
+    as built, and the targets keep the pinned columns' order while
+    only growing (or keeping) the gaps between them.  Under those two
+    conditions a stretched placement always exists — map each pinned
+    column to its target and interpolate, and every pairwise distance
+    weakly grows — so :class:`InfeasibleConstraints` from the solver
+    is a genuine bug, never a generation (or shrinking) artifact.
+    """
+    from repro.rest.compactor import column_occupants
+    from repro.rest.connectivity import build_connectivity
+    from repro.rest.spacing import column_separation
+
+    cell = build_sticks_cell(case["cell"])
+    axis = case.get("axis")
+    if axis not in ("x", "y"):
+        raise CaseInvalid(f"bad axis {axis!r}")
+    targets = {str(k): int(v) for k, v in case.get("targets", {}).items()}
+    if not targets:
+        raise CaseInvalid("stretch case with no targets")
+    for name in targets:
+        if not cell.has_pin(name):
+            raise CaseInvalid(f"target pin {name!r} missing")
+    technology = build_technology(case["cell"])
+
+    connectivity = build_connectivity(cell)
+    columns = column_occupants(cell, technology, axis, connectivity)
+    ordered = sorted(columns)
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1 :]:
+            needed = column_separation(
+                columns[a], columns[b], technology, connectivity.gate_pairs
+            )
+            if b - a < needed:
+                raise CaseInvalid(
+                    f"cell violates spacing as built: columns {a},{b}"
+                )
+
+    def along(point):
+        return point.x if axis == "x" else point.y
+
+    pinned = sorted(
+        (along(cell.pin(name).point), target, name)
+        for name, target in targets.items()
+    )
+    for (a_pos, a_target, a_name), (b_pos, b_target, b_name) in zip(
+        pinned, pinned[1:]
+    ):
+        if a_pos == b_pos and a_target != b_target:
+            raise CaseInvalid(
+                f"pins {a_name!r},{b_name!r} share a column but disagree"
+            )
+        if b_target - a_target < b_pos - a_pos:
+            raise CaseInvalid(
+                f"targets shrink the {a_name!r}->{b_name!r} gap"
+            )
+    return cell, axis, targets, technology
+
+
+# -- editor command sequences --------------------------------------------------------
+
+
+def gen_session_case(rng: Rng) -> dict:
+    """A random editor session: a few leaf cells and a command tape.
+
+    Commands may legitimately fail (the editor is transactional);
+    failures exercise rollback and WAL-tail truncation, which is
+    precisely what the ``wal`` oracle wants to stress.
+    """
+    leaves = [
+        gen_sticks_case(rng.fork(f"leaf{i}"), name=f"leaf{i}", pin_side="bottom")
+        for i in range(rng.randint(1, 3))
+    ]
+    ops: list[dict] = [{"op": "new_cell", "name": "top"}]
+    created = 0
+    lam = 250
+    for step in range(rng.randint(3, 14)):
+        r = rng.fork(step)
+        kind = r.choice(
+            (
+                "create",
+                "create",
+                "move",
+                "move_by",
+                "rotate",
+                "mirror",
+                "replicate",
+                "bus",
+                "do_abut",
+                "do_route",
+                "finish",
+            )
+        )
+        if kind == "create" or created == 0:
+            ops.append(
+                {
+                    "op": "create",
+                    "leaf": r.randint(0, len(leaves) - 1),
+                    "at": [r.randint(-60, 60) * lam, r.randint(-60, 60) * lam],
+                    "orientation": r.choice(
+                        ("R0", "R0", "R0", "R90", "R180", "R270", "MX", "MY")
+                    ),
+                    "nx": 2 if r.chance(0.15) else 1,
+                    "ny": 1,
+                }
+            )
+            created += 1
+        elif kind in ("move", "move_by", "rotate", "mirror", "replicate"):
+            op = {"op": kind, "inst": r.randint(0, created - 1)}
+            if kind == "move":
+                op["to"] = [r.randint(-60, 60) * lam, r.randint(-60, 60) * lam]
+            elif kind == "move_by":
+                op["dx"] = r.randint(-20, 20) * lam
+                op["dy"] = r.randint(-20, 20) * lam
+            elif kind == "mirror":
+                op["axis"] = r.choice(("x", "y"))
+            elif kind == "replicate":
+                op["nx"] = r.randint(1, 3)
+                op["ny"] = r.randint(1, 2)
+            ops.append(op)
+        elif kind == "bus" and created >= 2:
+            pair = r.sample(range(created), 2)
+            ops.append({"op": "bus", "from": pair[0], "to": pair[1]})
+        elif kind in ("do_abut", "do_route"):
+            ops.append({"op": kind})
+        elif kind == "finish":
+            ops.append({"op": "finish"})
+    return {"leaves": leaves, "ops": ops}
+
+
+def build_session_library(case: dict) -> CellLibrary:
+    technology = nmos_technology()
+    library = CellLibrary(technology)
+    for leaf_case in case.get("leaves", []):
+        sticks = build_sticks_cell(leaf_case)
+        library.add(LeafCell.from_sticks(sticks, technology))
+    if not len(library):
+        raise CaseInvalid("session case with no leaf cells")
+    return library
+
+
+def apply_session_ops(editor: RiotEditor, case: dict) -> list[str]:
+    """Run the command tape; returns the instance names created.
+
+    Command failures are tolerated (and recorded nowhere — the
+    transactional editor rolls them back, including the WAL tail);
+    structurally impossible ops (index before any create) are skipped.
+    """
+    leaf_names = [leaf["name"] for leaf in case.get("leaves", [])]
+    instances: list[str] = []
+
+    def inst(op, key="inst"):
+        if not instances:
+            return None
+        return instances[int(op[key]) % len(instances)]
+
+    for op in case.get("ops", []):
+        kind = op.get("op")
+        try:
+            if kind == "new_cell":
+                editor.new_cell(str(op["name"]))
+            elif kind == "create":
+                leaf = leaf_names[int(op["leaf"]) % len(leaf_names)]
+                name = f"I{len(instances)}"
+                editor.create(
+                    Point(int(op["at"][0]), int(op["at"][1])),
+                    cell_name=leaf,
+                    orientation=str(op.get("orientation", "R0")),
+                    nx=int(op.get("nx", 1)),
+                    ny=int(op.get("ny", 1)),
+                    name=name,
+                )
+                instances.append(name)
+            elif kind == "move" and inst(op):
+                editor.move(inst(op), Point(int(op["to"][0]), int(op["to"][1])))
+            elif kind == "move_by" and inst(op):
+                editor.move_by(inst(op), int(op["dx"]), int(op["dy"]))
+            elif kind == "rotate" and inst(op):
+                editor.rotate(inst(op))
+            elif kind == "mirror" and inst(op):
+                editor.mirror(inst(op), str(op.get("axis", "x")))
+            elif kind == "replicate" and inst(op):
+                editor.replicate(
+                    inst(op), int(op.get("nx", 1)), int(op.get("ny", 1))
+                )
+            elif kind == "bus" and len(instances) >= 2:
+                editor.bus(inst(op, "from"), inst(op, "to"))
+            elif kind == "do_abut":
+                editor.do_abut()
+            elif kind == "do_route":
+                editor.do_route()
+            elif kind == "finish":
+                editor.finish()
+        except Exception:
+            continue  # transactional: the editor rolled it back
+    return instances
+
+
+def describe_editor(editor: RiotEditor) -> dict:
+    """A JSON-able digest of editor state, for session equivalence."""
+    cells = {}
+    for cell in editor.library.cells:
+        if cell.is_leaf:
+            continue
+        cells[cell.name] = [
+            {
+                "name": inst.name,
+                "cell": inst.cell.name,
+                "orientation": inst.transform.orientation.name,
+                "translation": [
+                    inst.transform.translation.x,
+                    inst.transform.translation.y,
+                ],
+                "nx": inst.nx,
+                "ny": inst.ny,
+                "dx": inst.dx,
+                "dy": inst.dy,
+            }
+            for inst in cell.instances
+        ]
+    return {
+        "menu": editor.library.names,
+        "cells": cells,
+        "pending": editor.pending.display_strings(),
+    }
+
+
+# -- pipeline cases ---------------------------------------------------------------
+
+
+def gen_pipeline_case(rng: Rng) -> dict:
+    """A small composition plus one random edit, for cache equivalence."""
+    session = gen_session_case(rng.fork("session"))
+    lam = 250
+    return {
+        "session": session,
+        "edit": {
+            "inst": rng.randint(0, 7),
+            "dx": rng.randint(-15, 15) * lam,
+            "dy": rng.randint(-15, 15) * lam,
+        },
+    }

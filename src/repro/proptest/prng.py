@@ -1,0 +1,90 @@
+"""An explicit, portable pseudo-random number generator.
+
+The fuzzer's contract is that a seed fully determines a run — across
+interpreter versions, platforms, and future changes to the stdlib
+``random`` module.  So the generator is spelled out here: SplitMix64
+(Steele, Lea & Flood, OOPSLA 2014), a tiny 64-bit mixing function
+whose output stream is a pure function of its integer state.  It is
+not cryptographic, and does not need to be; it only needs to be fast,
+well-distributed, and identical everywhere.
+"""
+
+from __future__ import annotations
+
+_MASK = (1 << 64) - 1
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _mix(z: int) -> int:
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK
+    return z ^ (z >> 31)
+
+
+class Rng:
+    """A seeded SplitMix64 stream with the draw helpers the generators use."""
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & _MASK
+
+    def _next(self) -> int:
+        self._state = (self._state + _GAMMA) & _MASK
+        return _mix(self._state)
+
+    # -- derived streams -------------------------------------------------
+
+    def fork(self, label: str | int) -> "Rng":
+        """An independent substream keyed by ``label``.
+
+        Forking lets each case (or oracle) own its randomness: drawing
+        more values in one case never perturbs the next case's stream,
+        which keeps shrunk reproducers stable across fuzzer changes.
+        """
+        if isinstance(label, str):
+            salt = 0
+            for ch in label:
+                salt = (salt * 31 + ord(ch)) & _MASK
+        else:
+            salt = label & _MASK
+        return Rng(_mix(self._state ^ _mix(salt)))
+
+    # -- draws -----------------------------------------------------------
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the closed range [lo, hi]."""
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        span = hi - lo + 1
+        # Rejection sampling for exact uniformity (span << 2**64, so
+        # the rejection probability is negligible).
+        limit = (_MASK + 1) - ((_MASK + 1) % span)
+        while True:
+            draw = self._next()
+            if draw < limit:
+                return lo + draw % span
+
+    def chance(self, p: float) -> bool:
+        """True with probability ``p``."""
+        return self._next() < p * (_MASK + 1)
+
+    def choice(self, seq):
+        if not seq:
+            raise ValueError("choice from an empty sequence")
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def sample(self, seq, k: int) -> list:
+        """``k`` distinct elements, order randomised."""
+        if k > len(seq):
+            raise ValueError(f"sample of {k} from {len(seq)} elements")
+        pool = list(seq)
+        out = []
+        for _ in range(k):
+            out.append(pool.pop(self.randint(0, len(pool) - 1)))
+        return out
+
+    def shuffle(self, seq: list) -> list:
+        """Fisher-Yates shuffle, in place; returns ``seq``."""
+        for i in range(len(seq) - 1, 0, -1):
+            j = self.randint(0, i)
+            seq[i], seq[j] = seq[j], seq[i]
+        return seq

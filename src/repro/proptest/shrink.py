@@ -1,0 +1,177 @@
+"""Greedy minimisation of failing cases.
+
+A failing case is a plain-JSON dict.  The shrinker proposes
+structurally smaller variants — dropping list elements (whole halves
+first, then single elements), shrinking integers towards zero, and
+rounding coordinates to the lambda grid — and keeps any variant that
+still fails the same oracle.  It repeats until no proposal is
+accepted, which is a local minimum: every remaining element is needed
+to reproduce the failure.
+
+Invalid variants are free: the builders raise
+:class:`~repro.proptest.gen.CaseInvalid` (and the oracles return
+``"vacuous"``) for cases that no longer make sense, and the shrinker
+simply treats those as passing, i.e. rejects the proposal.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from typing import Callable
+
+from repro.proptest.gen import CaseInvalid
+
+#: Coordinates are rounded towards multiples of this during shrinking
+#: (2.5 microns = one lambda at the default technology).
+GRID = 250
+
+
+def case_size(case) -> tuple[int, int]:
+    """(element count, total integer magnitude) — the shrink objective."""
+    elements = 0
+    magnitude = 0
+    stack = [case]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, dict):
+            stack.extend(node.values())
+        elif isinstance(node, list):
+            elements += len(node)
+            stack.extend(node)
+        elif isinstance(node, bool):
+            elements += int(node)
+        elif isinstance(node, int):
+            magnitude += abs(node)
+    return elements, magnitude
+
+
+def _list_paths(case, prefix=()) -> list[tuple]:
+    """Paths (key sequences) to every list inside the case."""
+    paths = []
+    if isinstance(case, dict):
+        for key, value in case.items():
+            paths.extend(_list_paths(value, prefix + (key,)))
+    elif isinstance(case, list):
+        paths.append(prefix)
+        for i, value in enumerate(case):
+            paths.extend(_list_paths(value, prefix + (i,)))
+    return paths
+
+
+def _int_paths(case, prefix=()) -> list[tuple]:
+    paths = []
+    if isinstance(case, dict):
+        for key, value in case.items():
+            paths.extend(_int_paths(value, prefix + (key,)))
+    elif isinstance(case, list):
+        for i, value in enumerate(case):
+            paths.extend(_int_paths(value, prefix + (i,)))
+    elif isinstance(case, int) and not isinstance(case, bool):
+        paths.append(prefix)
+    return paths
+
+
+def _get(case, path):
+    node = case
+    for key in path:
+        node = node[key]
+    return node
+
+
+def _set(case, path, value):
+    node = case
+    for key in path[:-1]:
+        node = node[key]
+    node[path[-1]] = value
+
+
+def _candidates(case):
+    """Yield shrink proposals, most aggressive first."""
+    # 1. Drop runs of list elements: halves, then quarters, then singles.
+    for path in _list_paths(case):
+        length = len(_get(case, path))
+        chunk = length // 2
+        while chunk >= 1:
+            for start in range(0, length, chunk):
+                variant = copy.deepcopy(case)
+                lst = _get(variant, path)
+                del lst[start : start + chunk]
+                yield variant
+            chunk //= 2
+    # 2. Simplify integers: zero, halve, round to the lambda grid.
+    for path in _int_paths(case):
+        value = _get(case, path)
+        replacements = []
+        if value != 0:
+            replacements.append(0)
+        if abs(value) >= 2:
+            replacements.append(value // 2)
+        snapped = (value // GRID) * GRID
+        if snapped != value:
+            replacements.append(snapped)
+        for replacement in replacements:
+            variant = copy.deepcopy(case)
+            _set(variant, path, replacement)
+            yield variant
+
+
+def shrink_case(
+    case: dict,
+    fails: Callable[[dict], bool],
+    max_attempts: int = 2000,
+) -> dict:
+    """The smallest variant of ``case`` for which ``fails`` stays true.
+
+    ``fails`` must return True for the original case.  Greedy descent:
+    accept the first proposed variant that still fails and is strictly
+    smaller, restart proposals from it, stop at a fixpoint or after
+    ``max_attempts`` oracle executions.
+    """
+    current = copy.deepcopy(case)
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for variant in _candidates(current):
+            if attempts >= max_attempts:
+                break
+            if case_size(variant) >= case_size(current):
+                continue
+            attempts += 1
+            try:
+                still_fails = fails(variant)
+            except CaseInvalid:
+                continue
+            except Exception:
+                # A differently-broken variant is not the same bug.
+                continue
+            if still_fails:
+                current = variant
+                improved = True
+                break
+    return current
+
+
+def failure_predicate(check: Callable[[dict], object]) -> Callable[[dict], bool]:
+    """Adapt an oracle ``check`` into the boolean ``fails`` callback."""
+
+    def fails(candidate: dict) -> bool:
+        try:
+            check(candidate)
+        except AssertionError:
+            return True
+        except CaseInvalid:
+            return False
+        return False
+
+    return fails
+
+
+def reproducer_json(oracle_name: str, case: dict, error: str) -> str:
+    """The canonical corpus-file payload for a shrunk failure."""
+    return json.dumps(
+        {"oracle": oracle_name, "case": case, "error": error},
+        sort_keys=True,
+        indent=2,
+    ) + "\n"

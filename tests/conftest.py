@@ -1,0 +1,10 @@
+"""Repository-wide pytest hooks."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden files from current output instead of comparing",
+    )

@@ -1,0 +1,176 @@
+"""Property tests for the geometry layer, driven by the proptest PRNG.
+
+The algebraic core everything else leans on: the eight-symmetry
+orientation group, affine transform composition, and the interval
+algebra of boxes.  Randomised inputs from the same seeded generator
+the fuzzer uses — failures reproduce from the seed alone.
+"""
+
+from repro.geometry.box import Box, union_all
+from repro.geometry.orientation import ALL_ORIENTATIONS, Orientation, R0
+from repro.geometry.point import Point
+from repro.geometry.transform import Transform
+from repro.proptest.prng import Rng
+
+SEEDS = range(30)
+
+
+def rand_point(rng: Rng) -> Point:
+    return Point(rng.randint(-50_000, 50_000), rng.randint(-50_000, 50_000))
+
+
+def rand_box(rng: Rng) -> Box:
+    return Box.from_points([rand_point(rng), rand_point(rng)])
+
+
+def rand_transform(rng: Rng) -> Transform:
+    return Transform(rng.choice(ALL_ORIENTATIONS), rand_point(rng))
+
+
+# -- orientation group ------------------------------------------------------
+
+
+def test_orientation_group_closure():
+    # Composing any two of the eight symmetries yields one of the eight:
+    # D4 is closed, and every element's inverse is in the group.
+    for a in ALL_ORIENTATIONS:
+        assert a.inverse() in ALL_ORIENTATIONS
+        for b in ALL_ORIENTATIONS:
+            assert a.compose(b) in ALL_ORIENTATIONS
+
+
+def test_orientation_inverse_cancels():
+    for a in ALL_ORIENTATIONS:
+        assert a.compose(a.inverse()) == R0
+        assert a.inverse().compose(a) == R0
+
+
+def test_orientation_names_round_trip():
+    assert len({o.name for o in ALL_ORIENTATIONS}) == 8
+    for o in ALL_ORIENTATIONS:
+        assert Orientation.from_name(o.name) == o
+
+
+def test_orientation_apply_matches_compose():
+    rng = Rng(11).fork("orient")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        a, b = r.choice(ALL_ORIENTATIONS), r.choice(ALL_ORIENTATIONS)
+        p = rand_point(r)
+        assert a.compose(b).apply(p) == a.apply(b.apply(p))
+
+
+def test_orientation_preserves_distance():
+    rng = Rng(12).fork("dist")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        o = r.choice(ALL_ORIENTATIONS)
+        p, q = rand_point(r), rand_point(r)
+        ip, iq = o.apply(p), o.apply(q)
+        assert {abs(ip.x - iq.x), abs(ip.y - iq.y)} == {
+            abs(p.x - q.x), abs(p.y - q.y)
+        }
+
+
+# -- transforms -------------------------------------------------------------
+
+
+def test_transform_inverse_round_trips_points():
+    rng = Rng(13).fork("transform")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        t = rand_transform(r)
+        p = rand_point(r)
+        assert t.inverse().apply(t.apply(p)) == p
+        assert t.apply(t.inverse().apply(p)) == p
+
+
+def test_transform_compose_is_application_order():
+    rng = Rng(14).fork("compose")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        outer, inner = rand_transform(r), rand_transform(r)
+        p = rand_point(r)
+        assert outer.compose(inner).apply(p) == outer.apply(inner.apply(p))
+
+
+def test_transform_compose_associative():
+    rng = Rng(15).fork("assoc")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        a, b, c = (rand_transform(r) for _ in range(3))
+        p = rand_point(r)
+        assert a.compose(b).compose(c).apply(p) == a.compose(b.compose(c)).apply(p)
+
+
+def test_transform_box_matches_corner_transform():
+    rng = Rng(16).fork("box")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        t = rand_transform(r)
+        box = rand_box(r)
+        corners = [
+            Point(box.llx, box.lly), Point(box.llx, box.ury),
+            Point(box.urx, box.lly), Point(box.urx, box.ury),
+        ]
+        assert t.apply_box(box) == Box.from_points([t.apply(c) for c in corners])
+
+
+# -- box algebra ------------------------------------------------------------
+
+
+def test_box_union_contains_both_and_is_commutative():
+    rng = Rng(17).fork("union")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        a, b = rand_box(r), rand_box(r)
+        u = a.union(b)
+        assert u == b.union(a)
+        for box in (a, b):
+            assert u.llx <= box.llx and u.lly <= box.lly
+            assert u.urx >= box.urx and u.ury >= box.ury
+        assert u == union_all([a, b])
+
+
+def test_box_intersection_is_the_meet():
+    rng = Rng(18).fork("meet")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        a, b = rand_box(r), rand_box(r)
+        i = a.intersection(b)
+        assert i == b.intersection(a)
+        if i is None:
+            continue
+        # Every point of the intersection lies in both operands.
+        assert a.contains_point(Point(i.llx, i.lly))
+        assert b.contains_point(Point(i.urx, i.ury))
+        # Absorption: meet then join gives back the larger shape.
+        assert a.union(i) == a
+        assert b.union(i) == b
+
+
+def test_box_union_intersection_idempotent():
+    rng = Rng(19).fork("idem")
+    for seed in SEEDS:
+        box = rand_box(rng.fork(seed))
+        assert box.union(box) == box
+        assert box.intersection(box) == box
+
+
+def test_box_overlap_iff_positive_intersection_area():
+    rng = Rng(20).fork("overlap")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        a, b = rand_box(r), rand_box(r)
+        i = a.intersection(b)
+        positive = i is not None and i.llx < i.urx and i.lly < i.ury
+        assert a.overlaps(b) == positive
+
+
+def test_box_translate_round_trip():
+    rng = Rng(21).fork("translate")
+    for seed in SEEDS:
+        r = rng.fork(seed)
+        box = rand_box(r)
+        dx, dy = r.randint(-9999, 9999), r.randint(-9999, 9999)
+        assert box.translated(dx, dy).translated(-dx, -dy) == box

@@ -1,0 +1,50 @@
+"""Golden-file check: canonical CIF for the stock library.
+
+The CIF writer's output is part of the tool's contract — downstream
+mask tooling consumes it byte-for-byte, so any change to symbol
+numbering, layer ordering, geometry sorting or the 9/94 extension
+lines must be a deliberate one.  ``pytest --update-golden`` rewrites
+the reference after such a change; the diff then documents it.
+"""
+
+import pytest
+
+from pathlib import Path
+
+from repro.cif.writer import write_cif
+from repro.geometry.layers import nmos_technology
+from repro.library.stock import filter_library
+from repro.sticks.expand import expand_to_cif
+
+GOLDEN = Path(__file__).parent / "stock_library.cif"
+
+
+def render_stock_library() -> str:
+    technology = nmos_technology()
+    library = filter_library(technology)
+    tops = []
+    for name in sorted(library.names):
+        leaf = library.get(name)
+        if leaf.cif_cell is not None:
+            tops.append(leaf.cif_cell)
+        else:
+            tops.append(expand_to_cif(leaf.sticks_cell, technology))
+    return write_cif(tops, instantiate_top=False)
+
+
+def test_stock_library_cif_matches_golden(request):
+    rendered = render_stock_library()
+    if request.config.getoption("--update-golden"):
+        GOLDEN.write_text(rendered)
+        pytest.skip("golden file rewritten")
+    assert GOLDEN.exists(), (
+        f"{GOLDEN} missing; run pytest --update-golden to create it"
+    )
+    assert rendered == GOLDEN.read_text(), (
+        "CIF writer output changed; inspect the diff and run "
+        "pytest --update-golden if the change is intended"
+    )
+
+
+def test_render_is_deterministic():
+    assert render_stock_library() == render_stock_library()

@@ -1,0 +1,23 @@
+"""Regression: a wire entering exactly where another exits.
+
+Found by the river oracle while shrinking (seed 0).  A exits at
+u=1000 and B enters at u=1000: both wires own a vertical run on the
+same line, so they only stay apart if B jogs strictly below A — B's
+entry vertical then ends before A's exit vertical begins.  Track
+sharing or inverted order shorts them along u=1000.
+"""
+
+from repro.core.river import RiverWire, route_channel
+from repro.geometry.layers import nmos_technology
+from repro.proptest.oracles import same_layer_conflicts
+
+
+def test_shared_vertical_line_forces_strict_track_order():
+    wires = [
+        RiverWire("A", "metal", 750, u_in=0, u_out=1000),
+        RiverWire("B", "metal", 750, u_in=1000, u_out=4000),
+    ]
+    route = route_channel(wires, nmos_technology())
+    a, b = route.wires
+    assert same_layer_conflicts(route) == []
+    assert b.track_v < a.track_v

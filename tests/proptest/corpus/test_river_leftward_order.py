@@ -1,0 +1,34 @@
+"""Regression: leftward jog pairs order their tracks the other way.
+
+Mirror image of the rightward case: for wires jogging toward -u, the
+later-entering wire's *exit* vertical lands inside the earlier wire's
+jog span, so it must jog strictly *above* — the opposite of the
+rightward rule.  A single sort order cannot satisfy both directions;
+the assigner must derive the constraint from the geometry.
+"""
+
+from repro.core.river import RiverWire, route_channel
+from repro.geometry.layers import nmos_technology
+from repro.proptest.oracles import same_layer_conflicts
+
+
+def test_overlapping_leftward_jogs_order_their_tracks():
+    wires = [
+        RiverWire("A", "metal", 750, u_in=3000, u_out=0),
+        RiverWire("B", "metal", 750, u_in=4500, u_out=1500),
+    ]
+    route = route_channel(wires, nmos_technology())
+    a, b = route.wires
+    assert same_layer_conflicts(route) == []
+    assert b.track_v > a.track_v
+
+
+def test_mixed_direction_groups_stay_planar():
+    # Disjoint spans, opposite directions: no constraints, dense packing.
+    wires = [
+        RiverWire("L", "metal", 750, u_in=12000, u_out=9000),
+        RiverWire("R", "metal", 750, u_in=0, u_out=3000),
+    ]
+    route = route_channel(wires, nmos_technology())
+    assert same_layer_conflicts(route) == []
+    assert route.tracks_by_layer["metal"] == 1  # they share the track

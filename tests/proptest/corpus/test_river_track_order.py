@@ -1,0 +1,24 @@
+"""Regression: overlapping same-direction jogs must order their tracks.
+
+Found by the river oracle (seed 0).  Two rightward wires whose jog
+spans overlap: B enters at u=1500, inside A's jog span (0, 3000).  The
+original greedy packer put A on the lower track, so B's entry vertical
+crossed A's horizontal jog at (1500, track_A) — a same-layer short.
+The later-entering wire must jog on the lower track.
+"""
+
+from repro.core.river import RiverWire, route_channel
+from repro.geometry.layers import nmos_technology
+from repro.proptest.oracles import same_layer_conflicts
+
+
+def test_overlapping_rightward_jogs_order_their_tracks():
+    wires = [
+        RiverWire("A", "metal", 750, u_in=0, u_out=3000),
+        RiverWire("B", "metal", 750, u_in=1500, u_out=4500),
+    ]
+    route = route_channel(wires, nmos_technology())
+    a, b = route.wires
+    assert same_layer_conflicts(route) == []
+    assert b.track_v < a.track_v
+    assert route.tracks_by_layer["metal"] == 2

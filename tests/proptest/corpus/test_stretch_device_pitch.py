@@ -1,0 +1,57 @@
+"""Boundary: adjacent transistor columns need a 9-lambda pitch.
+
+Found by the stretch oracle (seed 0) back when leaf cells were
+generated on an 8-lambda grid: two neighbouring transistors place
+6-lambda diffusion occupants on different nets, demanding
+3 + 3 + 3 = 9 lambda of pitch — more than the grid itself, so the
+"gaps only grow" feasibility argument collapsed.  The solver was
+right and the generator wrong (cells now sit on a 12-lambda grid).
+This pins the exact boundary: 9 lambda between pinned transistor
+columns is satisfiable, one centimicron less is not.
+"""
+
+import pytest
+
+from repro.proptest import gen
+from repro.rest.errors import InfeasibleConstraints
+from repro.rest.stretch import stretch_pins
+
+CELL = {
+    "name": "twodev", "lambda": 250, "pin_side": "left",
+    "columns": 2, "grid": 3000, "depth": 9000,
+    "pins": [
+        {"name": "P0", "layer": "poly", "column": 0},
+        {"name": "P1", "layer": "poly", "column": 1},
+    ],
+    "risers": [
+        {"column": 0, "layer": "poly"},
+        {"column": 1, "layer": "poly"},
+    ],
+    "contacts": [],
+    "devices": [
+        {"column": 0, "kind": "enh"},
+        {"column": 1, "kind": "enh"},
+    ],
+    "spine": None,
+}
+
+NINE_LAMBDA = 9 * 250
+
+
+def test_nine_lambda_pitch_is_exactly_satisfiable():
+    cell = gen.build_sticks_cell(CELL)
+    tech = gen.build_technology(CELL)
+    stretched = stretch_pins(
+        cell, "y", {"P0": 0, "P1": NINE_LAMBDA}, tech, name="squeezed"
+    )
+    assert stretched.pin("P0").point.y == 0
+    assert stretched.pin("P1").point.y == NINE_LAMBDA
+
+
+def test_below_nine_lambda_is_infeasible():
+    cell = gen.build_sticks_cell(CELL)
+    tech = gen.build_technology(CELL)
+    with pytest.raises(InfeasibleConstraints):
+        stretch_pins(
+            cell, "y", {"P0": 0, "P1": NINE_LAMBDA - 1}, tech, name="toofar"
+        )

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Enforce the ratcheted coverage baseline.
+
+Reads the total line-rate from a Cobertura ``coverage.xml`` (as
+written by ``coverage xml``) and compares it against the floor
+recorded in ``pyproject.toml`` under ``[tool.repro.coverage]``.
+Exits non-zero when coverage has dropped below the baseline, printing
+both numbers so the CI log shows the ratchet.
+
+Usage: python tools/check_coverage.py [coverage.xml]
+"""
+
+from __future__ import annotations
+
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def read_baseline() -> float:
+    text = (ROOT / "pyproject.toml").read_bytes()
+    try:
+        import tomllib
+
+        data = tomllib.loads(text.decode())
+        return float(data["tool"]["repro"]["coverage"]["baseline"])
+    except ModuleNotFoundError:  # Python 3.10: no tomllib
+        for line in text.decode().splitlines():
+            if line.strip().startswith("baseline"):
+                return float(line.split("=", 1)[1].strip())
+        raise SystemExit("no coverage baseline found in pyproject.toml")
+
+
+def read_line_rate(path: Path) -> float:
+    root = ET.parse(path).getroot()
+    rate = root.get("line-rate")
+    if rate is None:
+        raise SystemExit(f"{path}: no line-rate attribute on <coverage>")
+    return float(rate) * 100.0
+
+
+def main(argv: list[str]) -> int:
+    report = Path(argv[1]) if len(argv) > 1 else Path("coverage.xml")
+    if not report.exists():
+        print(f"coverage report {report} not found", file=sys.stderr)
+        return 2
+    baseline = read_baseline()
+    actual = read_line_rate(report)
+    print(f"coverage: {actual:.2f}% (baseline {baseline:.2f}%)")
+    if actual < baseline:
+        print(
+            f"coverage dropped below the ratcheted baseline by "
+            f"{baseline - actual:.2f} points",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
