@@ -29,7 +29,7 @@ from repro.pipeline.tasks import CACHEABLE_KINDS
 
 from conftest import fresh_editor
 
-JSON_PATH = Path(__file__).parent / "BENCH_pipeline.json"
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
 
 def chip_targets():
@@ -106,7 +106,7 @@ def main() -> None:
         result = run_verification(cells, editor.technology, **kwargs)
         return result, time.perf_counter() - t0
 
-    cache_dir = JSON_PATH.parent / ".bench_pipeline_cache"
+    cache_dir = Path(__file__).parent / ".bench_pipeline_cache"
     serial, serial_wall = timed(jobs=1)
     parallel, parallel_wall = timed(jobs=4)
     _, cold_wall = timed(jobs=1, cache=cache_dir)

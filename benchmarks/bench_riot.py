@@ -1,0 +1,91 @@
+"""Per-operation latency of the Riot editing commands.
+
+Runs the paper's worked example (the figure-8/9 logic block, once
+routed and once stretched) plus a journaled session and a pipeline
+verification under the tracing substrate (:mod:`repro.obs`), then
+aggregates the finished spans by operation name: every CREATE,
+CONNECT, ABUT, ROUTE, STRETCH, WAL append and pipeline task becomes a
+sample.  Standalone —
+
+    python benchmarks/bench_riot.py
+
+— emits ``BENCH_riot.json`` at the repo root for dashboards: one entry
+per span name with count and wall/CPU statistics in milliseconds.
+Absolute numbers are host-bound; the *structure* (which operations
+exist, how many samples) is stable and is what the CI artifact tracks.
+"""
+
+import json
+import statistics
+import tempfile
+from pathlib import Path
+
+from repro.chip.filterchip import ROUTED, STRETCHED, assemble_logic
+from repro.obs import trace
+from repro.pipeline import run_verification
+
+from conftest import fresh_editor
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_riot.json"
+
+
+def traced_workload(journal_dir: str) -> trace.Tracer:
+    """The representative session, traced: both assembly modes, a
+    journaled editor, one pipeline verification."""
+    tracer = trace.enable(trace.Tracer())
+    try:
+        for mode in (ROUTED, STRETCHED):
+            editor = fresh_editor()
+            if mode == ROUTED:
+                from repro.core.wal import JournalWriter
+
+                editor.journal.attach(
+                    JournalWriter(Path(journal_dir) / "bench.rpl")
+                )
+            assemble_logic(editor, mode, bring_out_constants=False)
+            run_verification(
+                [editor.library.get(f"logic_{mode}")],
+                editor.technology,
+                jobs=1,
+            )
+    finally:
+        trace.disable()
+    return tracer
+
+
+def aggregate(records) -> dict:
+    """Span records -> {name: {count, wall/cpu stats in ms}}."""
+    by_name: dict[str, list] = {}
+    for rec in records:
+        by_name.setdefault(rec.name, []).append(rec)
+    out = {}
+    for name, recs in sorted(by_name.items()):
+        walls = [r.wall * 1000 for r in recs]
+        cpus = [r.cpu * 1000 for r in recs]
+        out[name] = {
+            "count": len(recs),
+            "wall_ms_total": round(sum(walls), 3),
+            "wall_ms_mean": round(statistics.mean(walls), 3),
+            "wall_ms_median": round(statistics.median(walls), 3),
+            "wall_ms_max": round(max(walls), 3),
+            "cpu_ms_total": round(sum(cpus), 3),
+        }
+    return out
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as journal_dir:
+        tracer = traced_workload(journal_dir)
+    records = tracer.finished()
+    payload = {
+        "benchmark": "riot-per-op",
+        "spans": len(records),
+        "unclosed": tracer.open_count(),
+        "operations": aggregate(records),
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,21 @@ Verification pipeline defaults:
     netlist) by content under DIR, and print the per-stage timing and
     cache-counter report.  Each ``verify`` invocation can override
     them with the same flags.
+
+Observability:
+
+``--trace FILE``
+    trace the whole session — a span per editor command (linked to its
+    WAL sequence number when journaling), nested engine spans (ABUT,
+    ROUTE, STRETCH, REST, WAL appends, pipeline tasks) — and write FILE
+    in Chrome trace-event format at exit (open it in Perfetto or
+    ``chrome://tracing``).  The ``trace on|off|save`` textual commands
+    control the same machinery from inside a session.
+
+``--metrics``
+    print the session's metrics counters (river tracks used, channels
+    spilled, abutment refusals, REST iterations, WAL appends/fsyncs,
+    pipeline cache hits/misses, ...) to stdout at exit.
 """
 
 from __future__ import annotations
@@ -126,6 +141,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="have verify print its per-stage timing and cache-counter report",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="trace the session and write FILE in Chrome trace-event format",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the session's metrics counters at exit",
+    )
     args = parser.parse_args(argv)
 
     interface = build_interface()
@@ -154,13 +179,49 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core.wal import JournalWriter
 
         interface.editor.journal.attach(JournalWriter(args.journal))
-    if args.script:
-        with open(args.script) as f:
-            return 1 if run(f, interface) else 0
-    if sys.stdin.isatty():
-        print("riot-repro textual interface; 'help' lists commands, 'quit' leaves.")
-    run(sys.stdin, interface)
-    return 0
+
+    tracer = None
+    if args.trace:
+        from repro.obs import trace
+
+        tracer = interface.tracer = trace.enable(trace.Tracer())
+    failures = 0
+    try:
+        if args.script:
+            with open(args.script) as f:
+                failures = run(f, interface)
+        else:
+            if sys.stdin.isatty():
+                print(
+                    "riot-repro textual interface; "
+                    "'help' lists commands, 'quit' leaves."
+                )
+            # Interactive/pipe mode keeps exit code 0: errors were
+            # already reported inline, the way a REPL does.
+            run(sys.stdin, interface)
+    finally:
+        if tracer is not None:
+            from repro.obs import trace
+
+            trace.disable()
+    if tracer is not None:
+        from repro.obs import metrics
+        from repro.obs.export import write_chrome
+
+        unclosed = tracer.open_count()
+        write_chrome(
+            args.trace,
+            tracer.finished(),
+            metrics.registry().snapshot(),
+            unclosed=unclosed,
+        )
+        if unclosed:
+            print(f"warning: {unclosed} trace span(s) never closed")
+    if args.metrics:
+        from repro.obs import metrics
+
+        print(metrics.registry().render_text())
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

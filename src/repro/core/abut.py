@@ -19,6 +19,7 @@ from repro.composition.instance import Instance
 from repro.core.errors import RiotError
 from repro.core.pending import PendingList
 from repro.geometry.point import Point
+from repro.obs import metrics, trace
 
 
 @dataclass
@@ -39,6 +40,11 @@ def abut(pending: PendingList, overlap: bool = False) -> AbutResult:
     """
     if len(pending) == 0:
         raise RiotError("ABUT: no pending connections")
+    with trace.span("abut.solve", connections=len(pending)) as span:
+        return _abut(pending, overlap, span)
+
+
+def _abut(pending: PendingList, overlap: bool, span) -> AbutResult:
     from_instance = pending.from_instance
     assert from_instance is not None
 
@@ -69,10 +75,17 @@ def abut(pending: PendingList, overlap: bool = False) -> AbutResult:
             # overlap option exists precisely to permit rail sharing.
             from_instance.translate(-delta.x, -delta.y)
             names = ", ".join(inst.name for inst in overlappers)
+            metrics.counter("abut.refusals").inc()
             raise RiotError(
                 f"ABUT would overlap {from_instance.name!r} with {names}; "
                 "use the overlap option to share connectors"
             )
+    if result.warnings:
+        # Connections the abutment could not make ("a warning message
+        # is produced").
+        metrics.counter("abut.unmade").inc(len(result.warnings))
+    metrics.counter("abut.solved").inc()
+    span.set("made", result.made).set("unmade", len(result.warnings))
     return result
 
 

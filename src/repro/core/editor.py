@@ -38,6 +38,7 @@ from repro.core.route_cells import (
 )
 from repro.core.stretch_op import StretchResult, stretch
 from repro.geometry.layers import Technology, nmos_technology
+from repro.obs import metrics, trace
 from repro.geometry.orientation import Orientation
 from repro.geometry.point import Point
 from repro.geometry.transform import Transform
@@ -72,21 +73,33 @@ def transactional(method=None, *, restore_pending: bool = True):
     """
 
     def decorate(func):
+        span_name = "command." + func.__name__
+
         @functools.wraps(func)
         def wrapper(self, *args, **kwargs):
-            snapshot = self._snapshot(include_pending=restore_pending)
-            had_pending = len(self.pending) > 0
-            mark = self.journal.mark()
-            try:
-                result = func(self, *args, **kwargs)
-            except Exception:
-                self._restore(snapshot)
-                self.journal.rollback(mark)
-                if not restore_pending and had_pending and not len(self.pending):
-                    self.journal.record("clear_pending")
-                raise
-            self.journal.maybe_checkpoint()
-            return result
+            with trace.span(span_name, category="command") as span:
+                snapshot = self._snapshot(include_pending=restore_pending)
+                had_pending = len(self.pending) > 0
+                mark = self.journal.mark()
+                try:
+                    result = func(self, *args, **kwargs)
+                except Exception:
+                    self._restore(snapshot)
+                    self.journal.rollback(mark)
+                    if not restore_pending and had_pending and not len(self.pending):
+                        self.journal.record("clear_pending")
+                    metrics.counter("editor.rollbacks").inc()
+                    span.set("rolled_back", True)
+                    raise
+                # The WAL sequence number of the entry this command
+                # produced: its index in the journal, which is also its
+                # line position in the on-disk replay file — the join
+                # key between a trace line and the journal entry.
+                if len(self.journal.entries) > mark[0]:
+                    span.set("wal_seq", mark[0])
+                metrics.counter("editor.commands").inc()
+                self.journal.maybe_checkpoint()
+                return result
 
         return wrapper
 

@@ -27,6 +27,7 @@ from repro.core.errors import RiotError
 from repro.core.pending import PendingList
 from repro.geometry.layers import Technology
 from repro.geometry.point import Point
+from repro.obs import metrics, trace
 
 #: Which from-side faces each to-side across the channel.
 FACING = {TOP: BOTTOM, BOTTOM: TOP, LEFT: RIGHT, RIGHT: LEFT}
@@ -101,6 +102,19 @@ def route_channel(
     when a ``fixed_height`` (the route-without-moving form) is too
     small for the required tracks.
     """
+    with trace.span("river.route_channel", wires=len(wires)) as span:
+        return _route_channel(
+            wires, technology, tracks_per_channel, fixed_height, span
+        )
+
+
+def _route_channel(
+    wires: list[RiverWire],
+    technology: Technology,
+    tracks_per_channel: int,
+    fixed_height: int | None,
+    span,
+) -> RiverRoute:
     if not wires:
         raise RiotError("river route with no wires")
     if tracks_per_channel < 1:
@@ -146,6 +160,16 @@ def route_channel(
 
     max_tracks = max(tracks_by_layer.values(), default=0)
     channels = max(1, -(-max_tracks // tracks_per_channel))
+    metrics.counter("river.routes").inc()
+    metrics.histogram("river.tracks_used").observe(max_tracks)
+    metrics.counter("river.channels").inc(channels)
+    if channels > 1:
+        # The paper's overflow path: the first channel filled and the
+        # route "is continued in the new channel".
+        metrics.counter("river.channels_spilled").inc(channels - 1)
+    span.set("tracks", max_tracks).set("channels", channels).set(
+        "height", height
+    )
     return RiverRoute(wires, height, channels, tracks_by_layer)
 
 
@@ -309,6 +333,16 @@ def plan_route(
     """
     if len(pending) == 0:
         raise RiotError("ROUTE: no pending connections")
+    with trace.span("river.plan", connections=len(pending)):
+        return _plan_route(pending, technology, tracks_per_channel, move_from)
+
+
+def _plan_route(
+    pending: PendingList,
+    technology: Technology,
+    tracks_per_channel: int,
+    move_from: bool,
+) -> tuple[ChannelFrame, list[RiverWire], RiverRoute, int]:
     resolved = [c.resolve() for c in pending]
 
     to_sides = {b.side for _, b in resolved}

@@ -23,7 +23,10 @@ from repro.composition.format import CompositionFormatError
 from repro.core.convert import composition_to_cif, composition_to_sticks
 from repro.core.editor import RiotEditor
 from repro.core.errors import RiotError
+from repro.geometry.point import Point
 from repro.graphics.svg import render_mask, render_symbolic
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.rest.errors import InfeasibleConstraints
 from repro.sticks.errors import SticksError
 from repro.sticks.writer import write_sticks
@@ -108,6 +111,9 @@ class TextualInterface:
         #: Session-wide defaults for the ``verify`` command, set by the
         #: CLI's ``--jobs`` / ``--cache`` / ``--timing`` flags.
         self.verify_defaults: dict = {"jobs": 1, "cache": None, "timing": False}
+        #: The tracer last enabled by ``trace on`` (kept after ``trace
+        #: off`` so ``trace save`` can still export its spans).
+        self.tracer = None
 
     def execute(self, line: str) -> str:
         self.last_error = None
@@ -231,6 +237,76 @@ class TextualInterface:
             return f"routing tracks per channel = {value}"
         raise RiotError("usage: set tracks <n>")
 
+    # -- editing verbs (the graphical commands, scriptable) -----------------
+
+    def _cmd_select(self, args: list[str]) -> str:
+        if len(args) != 1:
+            raise RiotError("usage: select <cell>")
+        self.editor.select(args[0])
+        return f"selected {args[0]}"
+
+    def _cmd_create(self, args: list[str]) -> str:
+        """CREATE from a script line: positional cell + position, then
+        ``key=value`` options mirroring the editor call."""
+        usage = (
+            "usage: create <cell> <x> <y> "
+            "[name=N] [orient=R90] [nx=N] [ny=N] [dx=D] [dy=D]"
+        )
+        if len(args) < 3:
+            raise RiotError(usage)
+        cell_name, x, y = args[0], int(args[1]), int(args[2])
+        options: dict = {}
+        allowed = {"name": str, "orient": str, "nx": int, "ny": int,
+                   "dx": int, "dy": int}
+        for extra in args[3:]:
+            key, sep, value = extra.partition("=")
+            if not sep or key not in allowed:
+                raise RiotError(usage)
+            options["orientation" if key == "orient" else key] = (
+                allowed[key](value)
+            )
+        instance = self.editor.create(
+            Point(x, y), cell_name=cell_name, **options
+        )
+        return f"created {instance.name} at ({x}, {y})"
+
+    def _cmd_connect(self, args: list[str]) -> str:
+        if len(args) != 4:
+            raise RiotError(
+                "usage: connect <from-inst> <from-conn> <to-inst> <to-conn>"
+            )
+        return "pending: " + self.editor.connect(*args)
+
+    def _cmd_abut(self, args: list[str]) -> str:
+        if args not in ([], ["overlap"]):
+            raise RiotError("usage: abut [overlap]")
+        result = self.editor.do_abut(overlap=bool(args))
+        message = f"abutted: {result.made} connection(s) made"
+        if result.warnings:
+            message += f", {len(result.warnings)} unmade"
+        return message
+
+    def _cmd_route(self, args: list[str]) -> str:
+        """ROUTE the pending connections; ``stay`` leaves the from
+        instance where it is (``move_from=False``)."""
+        if args not in ([], ["stay"]):
+            raise RiotError("usage: route [stay]")
+        result = self.editor.do_route(move_from=not args)
+        solved = result.solved
+        return (
+            f"routed: cell {result.route_cell}, {solved.wire_count} wire(s), "
+            f"{solved.channels} channel(s), height {solved.height}"
+        )
+
+    def _cmd_stretch(self, args: list[str]) -> str:
+        if args not in ([], ["overlap"]):
+            raise RiotError("usage: stretch [overlap]")
+        result = self.editor.do_stretch(overlap=bool(args))
+        return (
+            f"stretched {result.old_cell} -> {result.new_cell} "
+            f"along {result.axis}"
+        )
+
     # -- inspection -----------------------------------------------------------------
 
     def _cmd_cells(self, args: list[str]) -> str:
@@ -291,12 +367,18 @@ class TextualInterface:
         if not names:
             raise RiotError(usage)
         cells = [self._composition(name) for name in names]
-        result = run_verification(
-            cells,
-            self.editor.technology,
+        with obs_trace.span(
+            "command.verify",
+            category="command",
+            cells=names,
             jobs=options["jobs"],
-            cache=options["cache"],
-        )
+        ):
+            result = run_verification(
+                cells,
+                self.editor.technology,
+                jobs=options["jobs"],
+                cache=options["cache"],
+            )
         lines = [result.reports[cell.name].summary() for cell in cells]
         if options["timing"]:
             lines.append(result.timing.to_text())
@@ -336,6 +418,60 @@ class TextualInterface:
             raise RiotError("usage: recover <file>")
         report = self.editor.recover_from(self.store.read(args[0]))
         return report.to_text()
+
+    # -- observability --------------------------------------------------------
+
+    def _cmd_stats(self, args: list[str]) -> str:
+        """Dump the session's metrics registry as ``name value`` lines."""
+        if args:
+            raise RiotError("usage: stats")
+        return obs_metrics.registry().render_text()
+
+    def _cmd_trace(self, args: list[str]) -> str:
+        """Runtime tracing control: ``trace on`` starts collecting
+        spans, ``trace off`` stops (keeping what was collected),
+        ``trace save <file>`` writes the Chrome trace-event document,
+        ``trace status`` reports the switch and span counts."""
+        usage = "usage: trace on|off|status|save <file>"
+        if not args:
+            raise RiotError(usage)
+        verb = args[0]
+        if verb == "on" and len(args) == 1:
+            self.tracer = obs_trace.enable(self.tracer)
+            return "tracing on"
+        if verb == "off" and len(args) == 1:
+            previous = obs_trace.disable()
+            if previous is not None:
+                self.tracer = previous
+            return "tracing off"
+        if verb == "status" and len(args) == 1:
+            tracer = obs_trace.active() or self.tracer
+            if tracer is None:
+                return "tracing off (no spans collected)"
+            state = "on" if obs_trace.enabled() else "off"
+            return (
+                f"tracing {state}: {len(tracer.finished())} span(s) "
+                f"finished, {tracer.open_count()} open"
+            )
+        if verb == "save" and len(args) == 2:
+            from repro.obs.export import chrome_text
+
+            tracer = obs_trace.active() or self.tracer
+            if tracer is None:
+                raise RiotError("nothing traced yet (try: trace on)")
+            self.store.write(
+                args[1],
+                chrome_text(
+                    tracer.finished(),
+                    obs_metrics.registry().snapshot(),
+                    unclosed=tracer.open_count(),
+                ),
+            )
+            return (
+                f"saved {len(tracer.finished())} span(s) to {args[1]} "
+                "(Chrome trace-event format)"
+            )
+        raise RiotError(usage)
 
     def _cmd_help(self, args: list[str]) -> str:
         commands = sorted(

@@ -35,6 +35,7 @@ from repro.core.replay import (
     journal_text,
     line_crc,
 )
+from repro.obs import metrics, trace
 
 
 def _fsync_dir(path: Path) -> None:
@@ -81,13 +82,17 @@ class JournalWriter:
         self._file.write(data)
         self._file.flush()
         os.fsync(self._file.fileno())
+        metrics.counter("wal.fsyncs").inc()
         self._offset += len(data)
 
     def append(self, entry: JournalEntry) -> int:
         """Durably append one entry; returns its starting byte offset."""
         before = self._offset
-        self._write((entry.to_line() + "\n").encode("utf-8"))
+        with trace.span("wal.append", command=entry.command) as span:
+            self._write((entry.to_line() + "\n").encode("utf-8"))
+            span.set("bytes", self._offset - before)
         self._appends += 1
+        metrics.counter("wal.appends").inc()
         return before
 
     def tell(self) -> int:
@@ -100,6 +105,7 @@ class JournalWriter:
         self._file.flush()
         os.ftruncate(self._file.fileno(), offset)
         os.fsync(self._file.fileno())
+        metrics.counter("wal.truncates").inc()
         self._offset = offset
 
     def should_checkpoint(self) -> bool:
@@ -107,6 +113,7 @@ class JournalWriter:
 
     def checkpoint(self, entries: list[JournalEntry]) -> None:
         """Atomically rewrite the journal as exactly ``entries``."""
+        metrics.counter("wal.checkpoints").inc()
         fd, tmp = tempfile.mkstemp(
             dir=self.path.parent, prefix=self.path.name + ".", suffix=".tmp"
         )

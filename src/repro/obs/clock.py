@@ -1,0 +1,75 @@
+"""The injectable clock behind every trace timestamp.
+
+Real sessions use :class:`MonotonicClock` (``perf_counter`` +
+``process_time``).  Tests and the fuzz determinism guarantee swap in a
+:class:`FixedClock`, which advances by a fixed step per reading, so a
+run's trace is a pure function of the work it did — no wall-clock
+noise, byte-identical exports across runs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class MonotonicClock:
+    """The production clock: monotonic wall time plus process CPU time."""
+
+    def wall(self) -> float:
+        return time.perf_counter()
+
+    def cpu(self) -> float:
+        return time.process_time()
+
+
+class FixedClock:
+    """A deterministic clock: each reading advances by a fixed step.
+
+    ``wall`` and ``cpu`` tick independently (CPU usually advances more
+    slowly than wall), so traces taken under a fixed clock still have
+    distinct, ordered, reproducible timestamps.
+    """
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        step: float = 0.001,
+        cpu_step: float | None = None,
+    ) -> None:
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        self._wall = start
+        self._cpu = start
+        self._step = step
+        self._cpu_step = cpu_step if cpu_step is not None else step / 2
+        self._lock = threading.Lock()
+
+    def wall(self) -> float:
+        with self._lock:
+            value = self._wall
+            self._wall += self._step
+            return value
+
+    def cpu(self) -> float:
+        with self._lock:
+            value = self._cpu
+            self._cpu += self._cpu_step
+            return value
+
+
+_clock = MonotonicClock()
+
+
+def get_clock():
+    """The process-wide clock every span and metric reads from."""
+    return _clock
+
+
+def set_clock(clock) -> object:
+    """Install ``clock`` (or the default when None); returns the previous
+    clock so tests can restore it."""
+    global _clock
+    previous = _clock
+    _clock = clock if clock is not None else MonotonicClock()
+    return previous

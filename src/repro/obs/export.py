@@ -1,0 +1,218 @@
+"""Trace and metrics export: JSONL events and Chrome trace-event JSON.
+
+Two formats over the same span records:
+
+* **JSONL** — one JSON object per line (``meta`` header, then ``span``
+  and ``metric`` events), compact and key-sorted.  The round-trippable
+  interchange format; golden tests compare it byte-for-byte under a
+  fixed clock.
+* **Chrome trace-event** — a ``{"traceEvents": [...]}`` document of
+  complete ("ph": "X") events, microsecond timestamps, that opens
+  directly in Perfetto or ``chrome://tracing``.  Span attributes ride
+  in ``args``; the document also carries the metrics snapshot and the
+  count of spans left unclosed at export (the CI smoke job fails when
+  that is non-zero).
+
+Determinism: spans are ordered by (start time, span id), json dumps
+are key-sorted, and no real pid/tid/timestamp ever enters the output —
+the logical pid is always 1.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.trace import SpanRecord
+
+#: The logical process id used in exports (traces are per-session).
+PID = 1
+
+JSONL_FORMAT = "riot-trace"
+JSONL_VERSION = 1
+
+#: Keys every Chrome trace event must carry, and per-phase extras.
+_CHROME_REQUIRED = ("name", "ph", "ts", "pid", "tid")
+
+
+def _us(seconds: float) -> int:
+    return int(round(seconds * 1_000_000))
+
+
+def _json_attr(value):
+    """Attributes must survive JSON; anything exotic is stringified."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_attr(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_attr(v) for k, v in value.items()}
+    return str(value)
+
+
+def _span_sort_key(rec: SpanRecord):
+    return (rec.start_wall, rec.span_id)
+
+
+# -- JSONL ----------------------------------------------------------------
+
+
+def jsonl_lines(spans, metrics: dict | None = None) -> list[str]:
+    """The JSONL document as a list of lines (no trailing newlines)."""
+    lines = [
+        json.dumps(
+            {"type": "meta", "format": JSONL_FORMAT, "version": JSONL_VERSION},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    ]
+    for rec in sorted(spans, key=_span_sort_key):
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "id": rec.span_id,
+                    "parent": rec.parent_id,
+                    "name": rec.name,
+                    "cat": rec.category,
+                    "tid": rec.tid,
+                    "start_us": _us(rec.start_wall),
+                    "dur_us": _us(rec.wall),
+                    "cpu_us": _us(rec.cpu),
+                    "attrs": _json_attr(rec.attrs),
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    for name, value in sorted((metrics or {}).items()):
+        lines.append(
+            json.dumps(
+                {"type": "metric", "name": name, "value": _json_attr(value)},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    return lines
+
+
+def write_jsonl(path, spans, metrics: dict | None = None) -> None:
+    Path(path).write_text(
+        "\n".join(jsonl_lines(spans, metrics)) + "\n", encoding="utf-8"
+    )
+
+
+def read_jsonl(text: str) -> tuple[list[dict], dict]:
+    """Parse a JSONL export back into (span dicts, metrics dict)."""
+    spans: list[dict] = []
+    metrics: dict = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        kind = data.get("type")
+        if kind == "span":
+            spans.append(data)
+        elif kind == "metric":
+            metrics[data["name"]] = data["value"]
+        elif kind != "meta":
+            raise ValueError(f"line {lineno}: unknown event type {kind!r}")
+    return spans, metrics
+
+
+# -- Chrome trace-event format --------------------------------------------
+
+
+def chrome_events(spans) -> list[dict]:
+    """Complete ("X") events, one per span, Perfetto-ready."""
+    events = []
+    for rec in sorted(spans, key=_span_sort_key):
+        args = {"span_id": rec.span_id, "cpu_us": _us(rec.cpu)}
+        if rec.parent_id is not None:
+            args["parent_id"] = rec.parent_id
+        for key, value in rec.attrs.items():
+            args[key] = _json_attr(value)
+        events.append(
+            {
+                "name": rec.name,
+                "cat": rec.category,
+                "ph": "X",
+                "ts": _us(rec.start_wall),
+                "dur": _us(rec.wall),
+                "pid": PID,
+                "tid": rec.tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_document(
+    spans, metrics: dict | None = None, unclosed: int = 0
+) -> dict:
+    doc = {
+        "traceEvents": chrome_events(spans),
+        "displayTimeUnit": "ms",
+        "riot": {
+            "format": JSONL_FORMAT,
+            "version": JSONL_VERSION,
+            "unclosed_spans": unclosed,
+            "metrics": _json_attr(metrics or {}),
+        },
+    }
+    return doc
+
+
+def chrome_text(spans, metrics: dict | None = None, unclosed: int = 0) -> str:
+    return (
+        json.dumps(
+            chrome_document(spans, metrics, unclosed), sort_keys=True, indent=1
+        )
+        + "\n"
+    )
+
+
+def write_chrome(
+    path, spans, metrics: dict | None = None, unclosed: int = 0
+) -> None:
+    Path(path).write_text(chrome_text(spans, metrics, unclosed), encoding="utf-8")
+
+
+def read_chrome(text: str) -> dict:
+    return json.loads(text)
+
+
+def validate_chrome(doc) -> list[str]:
+    """Shape-check a Chrome trace-event document.
+
+    Returns a list of problems (empty means valid): the top level must
+    hold a ``traceEvents`` list, every event needs name/ph/ts/pid/tid,
+    complete events need a non-negative ``dur``, and the session must
+    have closed every span it opened.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        for key in _CHROME_REQUIRED:
+            if key not in event:
+                problems.append(f"event {index}: missing {key!r}")
+        ph = event.get("ph")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {index}: bad dur {dur!r}")
+        if not isinstance(event.get("ts"), (int, float)):
+            problems.append(f"event {index}: bad ts {event.get('ts')!r}")
+    riot = doc.get("riot", {})
+    unclosed = riot.get("unclosed_spans", 0)
+    if unclosed:
+        problems.append(f"{unclosed} span(s) unclosed at exit")
+    return problems

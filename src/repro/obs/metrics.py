@@ -1,0 +1,175 @@
+"""Process-wide counters, gauges and histograms.
+
+A flat registry of named instruments, cheap enough to leave on
+permanently (a counter bump is a dict lookup and an add under one
+lock).  The registry is the single source the ``stats`` textual
+command, the ``--metrics`` session flag and the exporters all read.
+
+Naming convention: dotted paths, subsystem first —
+``river.tracks_used``, ``wal.fsyncs``, ``pipeline.cache.hits``.
+Snapshots are key-sorted, so exports are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.value = 0
+        self._lock = lock
+
+    def set(self, value) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Summary statistics of observed values: count/total/min/max.
+
+    Deliberately bucket-free — the repo's consumers want distribution
+    summaries in reports and benchmarks, not quantile estimation, and
+    four scalars stay deterministic and dependency-free.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self._lock = lock
+
+    def observe(self, value) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def summary(self) -> dict:
+        with self._lock:
+            mean = self.total / self.count if self.count else 0
+            return {
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": mean,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, type-checked on reuse."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, kind):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = kind(self._lock)
+                return metric
+        if not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> dict:
+        """All current values, key-sorted; histograms as summary dicts."""
+        with self._lock:
+            items = list(self._metrics.items())
+        out: dict = {}
+        for name, metric in sorted(items):
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def render_text(self) -> str:
+        """The ``stats`` command's live dump: one ``name value`` line each."""
+        lines = []
+        for name, value in self.snapshot().items():
+            if isinstance(value, dict):
+                detail = " ".join(
+                    f"{k}={_fmt(value[k])}"
+                    for k in ("count", "total", "min", "max", "mean")
+                )
+                lines.append(f"{name} {detail}")
+            else:
+                lines.append(f"{name} {_fmt(value)}")
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+_registry = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _registry
+
+
+def set_registry(reg: MetricsRegistry | None) -> MetricsRegistry:
+    """Swap the default registry (tests); returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = reg if reg is not None else MetricsRegistry()
+    return previous
+
+
+def counter(name: str) -> Counter:
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _registry.histogram(name)

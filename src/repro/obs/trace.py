@@ -1,0 +1,299 @@
+"""Hierarchical tracing with a no-op fast path.
+
+A span measures one operation: wall and CPU time from the injectable
+clock, free-form attributes, and a parent — whatever span was open on
+the same thread when it started.  The API is a context manager::
+
+    with trace.span("river.plan", wires=4) as sp:
+        ...
+        sp.set("tracks", route.channels)
+
+or a decorator::
+
+    @trace.traced("rest.solve_axis")
+    def solve_axis(...): ...
+
+Tracing is off by default.  Disabled, :func:`span` returns a single
+shared :data:`NULL_SPAN` whose methods do nothing — instrumented hot
+paths pay one ``is None`` check and one call, which the overhead smoke
+test bounds at < 5% of command cost.
+
+Span ids are allocated per tracer under a lock and thread ids are
+mapped to small logical indexes in order of first use, so a
+single-threaded run under a :class:`~repro.obs.clock.FixedClock`
+produces byte-identical traces — real thread idents and pids never
+reach the export.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.clock import get_clock
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or synthesized) span."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    tid: int
+    start_wall: float
+    end_wall: float
+    start_cpu: float
+    end_cpu: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def wall(self) -> float:
+        return self.end_wall - self.start_wall
+
+    @property
+    def cpu(self) -> float:
+        return self.end_cpu - self.start_cpu
+
+
+class Span:
+    """An open span; closes (and is recorded) on ``__exit__``."""
+
+    __slots__ = ("_tracer", "record", "_closed")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self.record = record
+        self._closed = False
+
+    def set(self, key: str, value) -> "Span":
+        """Attach an attribute; chainable."""
+        self.record.attrs[key] = value
+        return self
+
+    def close(self) -> None:
+        """End the span explicitly (for non-``with`` call sites)."""
+        self._tracer._close(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.record.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self)
+        return False
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> "_NullSpan":
+        return self
+
+    def close(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans for one tracing session.
+
+    Thread-safe: each thread keeps its own open-span stack (parentage
+    never crosses threads), ids come from a shared locked counter, and
+    finished records append under the same lock.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+        self._tids: dict[int, int] = {}
+        self._finished: list[SpanRecord] = []
+        self._open = 0
+
+    def _clock_now(self):
+        return self._clock if self._clock is not None else get_clock()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _alloc(self) -> tuple[int, int]:
+        """(span id, logical thread index) under the lock."""
+        ident = threading.get_ident()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            tid = self._tids.setdefault(ident, len(self._tids))
+            self._open += 1
+        return span_id, tid
+
+    def span(self, name: str, category: str = "riot", **attrs) -> Span:
+        """Open a span; use as a context manager."""
+        span_id, tid = self._alloc()
+        stack = self._stack()
+        parent_id = stack[-1].record.span_id if stack else None
+        clock = self._clock_now()
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            tid=tid,
+            start_wall=clock.wall(),
+            end_wall=0.0,
+            start_cpu=clock.cpu(),
+            end_cpu=0.0,
+            attrs=dict(attrs),
+        )
+        span = Span(self, record)
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        if span._closed:
+            return
+        span._closed = True
+        clock = self._clock_now()
+        span.record.end_wall = clock.wall()
+        span.record.end_cpu = clock.cpu()
+        stack = self._stack()
+        if span in stack:
+            # Close any children left open (abandoned generators etc.)
+            # so nesting stays well-formed.
+            while stack and stack[-1] is not span:
+                stack.pop()._closed = True
+            stack.pop()
+        with self._lock:
+            self._finished.append(span.record)
+            self._open -= 1
+
+    def record(
+        self, name: str, wall: float, cpu: float, category: str = "riot", **attrs
+    ) -> SpanRecord:
+        """Synthesize an already-measured span (e.g. a task timed inside
+        a worker process) as a child of the current open span, ending
+        now."""
+        span_id, tid = self._alloc()
+        stack = self._stack()
+        parent_id = stack[-1].record.span_id if stack else None
+        clock = self._clock_now()
+        end_wall = clock.wall()
+        end_cpu = clock.cpu()
+        rec = SpanRecord(
+            span_id=span_id,
+            parent_id=parent_id,
+            name=name,
+            category=category,
+            tid=tid,
+            start_wall=end_wall - wall,
+            end_wall=end_wall,
+            start_cpu=end_cpu - cpu,
+            end_cpu=end_cpu,
+            attrs=dict(attrs),
+        )
+        with self._lock:
+            self._finished.append(rec)
+            self._open -= 1
+        return rec
+
+    def finished(self) -> list[SpanRecord]:
+        """Finished spans, in deterministic (start time, id) order."""
+        with self._lock:
+            records = list(self._finished)
+        records.sort(key=lambda r: (r.start_wall, r.span_id))
+        return records
+
+    def open_count(self) -> int:
+        with self._lock:
+            return self._open
+
+    def open_names(self) -> list[str]:
+        """Names of spans still open (unclosed at exit is a bug)."""
+        names = []
+        stack = getattr(self._local, "stack", None) or []
+        names.extend(s.record.name for s in stack)
+        return names
+
+
+# -- the module-level switch ----------------------------------------------
+
+_active: Tracer | None = None
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def active() -> Tracer | None:
+    return _active
+
+
+def enable(tracer: Tracer | None = None) -> Tracer:
+    """Turn tracing on (idempotent); returns the active tracer."""
+    global _active
+    if tracer is not None:
+        _active = tracer
+    elif _active is None:
+        _active = Tracer()
+    return _active
+
+
+def disable() -> Tracer | None:
+    """Turn tracing off; returns the tracer that was active (so its
+    spans can still be exported)."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+def span(name: str, category: str = "riot", **attrs):
+    """The instrumentation entry point: a real span when tracing is on,
+    the shared :data:`NULL_SPAN` when it is off."""
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, category, **attrs)
+
+
+def record(name: str, wall: float, cpu: float, category: str = "riot", **attrs):
+    tracer = _active
+    if tracer is None:
+        return None
+    return tracer.record(name, wall, cpu, category, **attrs)
+
+
+def traced(name: str | None = None, category: str = "riot"):
+    """Decorator form: wraps the function body in a span."""
+
+    def decorate(func):
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            tracer = _active
+            if tracer is None:
+                return func(*args, **kwargs)
+            with tracer.span(span_name, category):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -23,10 +23,11 @@ dependencies unless some other uncached task still needs them.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
+from repro.obs import metrics, trace
+from repro.obs.clock import get_clock
 from repro.pipeline.cache import ContentCache
 from repro.pipeline.tasks import PipelineError, Task, pool_entry, run_task
 
@@ -39,7 +40,16 @@ RETRIED = "retried-inline"
 
 @dataclass(frozen=True)
 class Span:
-    """One task's execution record."""
+    """One task's execution record.
+
+    A projection of the shared tracing substrate
+    (:mod:`repro.obs.trace`) into the pipeline's report format: the
+    scheduler times every task with the injectable obs clock and — when
+    tracing is enabled — also emits a ``pipeline.task`` span carrying
+    the same numbers, so a ``--trace`` session shows verify tasks
+    nested under the command that ran them.  The report format itself
+    is unchanged.
+    """
 
     task_id: str
     kind: str
@@ -130,8 +140,25 @@ class Scheduler:
 
     def run(self, tasks: list[Task]) -> tuple[dict, TimingReport]:
         """Results keyed by task id, plus the timing report."""
-        started = time.perf_counter()
+        clock = get_clock()
+        started = clock.wall()
         timing = TimingReport(jobs=self.jobs)
+
+        def note(span: Span) -> None:
+            """Record a task span in the report and, when tracing is
+            enabled, as a ``pipeline.task`` span on the shared tracer."""
+            timing.spans.append(span)
+            trace.record(
+                "pipeline.task",
+                span.wall,
+                span.cpu,
+                category="pipeline",
+                task=span.task_id,
+                kind=span.kind,
+                cell=span.cell_name,
+                source=span.source,
+            )
+
         by_id = {t.id: t for t in tasks}
         if len(by_id) != len(tasks):
             raise PipelineError("duplicate task ids in DAG")
@@ -148,23 +175,25 @@ class Scheduler:
             for t in tasks:
                 if t.cache_key is None:
                     continue
-                probe0 = time.perf_counter()
+                probe0 = clock.wall()
                 hit, value = self.cache.get(t.cache_key)
                 if hit:
                     results[t.id] = value
                     timing.cache_hits += 1
-                    timing.spans.append(
+                    metrics.counter("pipeline.cache.hits").inc()
+                    note(
                         Span(
                             t.id,
                             t.kind,
                             t.cell_name,
-                            time.perf_counter() - probe0,
+                            clock.wall() - probe0,
                             0.0,
                             CACHED,
                         )
                     )
                 else:
                     timing.cache_misses += 1
+                    metrics.counter("pipeline.cache.misses").inc()
 
         pending = [t for t in tasks if t.id not in results]
         deps_left = {
@@ -201,19 +230,19 @@ class Scheduler:
 
         def run_inline(t: Task, source: str) -> None:
             inputs = {d: results[d] for d in t.deps}
-            wall0 = time.perf_counter()
-            cpu0 = time.process_time()
+            wall0 = clock.wall()
+            cpu0 = clock.cpu()
             try:
                 result = run_task(t.kind, t.payload, inputs)
             except Exception as exc:
                 raise PipelineError(f"task {t.id} failed: {exc}") from exc
-            timing.spans.append(
+            note(
                 Span(
                     t.id,
                     t.kind,
                     t.cell_name,
-                    time.perf_counter() - wall0,
-                    time.process_time() - cpu0,
+                    clock.wall() - wall0,
+                    clock.cpu() - cpu0,
                     source,
                 )
             )
@@ -259,9 +288,7 @@ class Scheduler:
                             pool = None
                         run_inline(t, RETRIED)
                         continue
-                    timing.spans.append(
-                        Span(t.id, t.kind, t.cell_name, wall, cpu, POOL)
-                    )
+                    note(Span(t.id, t.kind, t.cell_name, wall, cpu, POOL))
                     finish(t, result)
         finally:
             if pool is not None:
@@ -270,7 +297,11 @@ class Scheduler:
         if finished_count + (len(tasks) - len(pending)) != len(tasks):
             unrun = sorted(t.id for t in pending if t.id not in results)
             raise PipelineError(f"dependency cycle among tasks: {unrun}")
-        timing.wall = time.perf_counter() - started
+        timing.wall = clock.wall() - started
+        metrics.counter("pipeline.runs").inc()
+        metrics.counter("pipeline.tasks_executed").inc(timing.executed())
+        if timing.degradations:
+            metrics.counter("pipeline.degradations").inc(len(timing.degradations))
         return results, timing
 
 

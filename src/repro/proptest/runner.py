@@ -19,6 +19,8 @@ import os
 import sys
 import traceback
 
+from repro.obs import metrics, trace
+from repro.obs.clock import get_clock
 from repro.proptest.gen import CaseInvalid
 from repro.proptest.oracles import ORACLES, OracleFailure
 from repro.proptest.prng import Rng
@@ -97,12 +99,19 @@ def run_fuzz(
     }
     summary["ok"] = not summary["corpus"]["failures"]
 
+    clock = get_clock()
     for name in names:
         oracle = ORACLES[name]
         budget = max(1, cases // oracle.cost)
         counts = {"budget": budget, "ok": 0, "vacuous": 0, "invalid": 0}
         failures = []
         stream = root.fork(name)
+        # Per-oracle wall time and case throughput are observability
+        # data, not summary data: they live in the metrics registry
+        # (and the trace, when enabled) so the JSON summary stays a
+        # pure function of (seed, budget, oracle selection).
+        oracle_span = trace.span("fuzz.oracle", oracle=name, budget=budget)
+        oracle_t0 = clock.wall()
         for index in range(budget):
             case = oracle.generate(stream.fork(index))
             status, detail = _run_one(oracle, case)
@@ -131,6 +140,14 @@ def run_fuzz(
                         )
                     )
             failures.append(failure)
+        elapsed = clock.wall() - oracle_t0
+        metrics.counter("fuzz.cases").inc(budget)
+        metrics.gauge(f"fuzz.oracle.{name}.wall_s").set(elapsed)
+        metrics.gauge(f"fuzz.oracle.{name}.cases_per_s").set(
+            budget / elapsed if elapsed > 0 else 0.0
+        )
+        oracle_span.set("ok", counts["ok"]).set("failures", len(failures))
+        oracle_span.close()
         summary["oracles"][name] = {
             "budget": budget,
             "ok": counts["ok"],
@@ -180,8 +197,18 @@ def main(argv: list[str] | None = None) -> int:
         "--out", metavar="FILE", default=None,
         help="write the JSON summary to FILE instead of stdout",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace-event file of the run (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", dest="metrics_out", default=None,
+        help="write the metrics snapshot (per-oracle wall time, case "
+             "throughput, engine counters) as JSON",
+    )
     args = parser.parse_args(argv)
 
+    tracer = trace.enable(trace.Tracer()) if args.trace else None
     try:
         summary = run_fuzz(
             seed=args.seed,
@@ -194,6 +221,23 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"repro fuzz: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if tracer is not None:
+            trace.disable()
+
+    if tracer is not None:
+        from repro.obs.export import write_chrome
+
+        write_chrome(
+            args.trace,
+            tracer.finished(),
+            metrics.registry().snapshot(),
+            unclosed=tracer.open_count(),
+        )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(metrics.registry().snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
 
     text = format_summary(summary)
     if args.out:

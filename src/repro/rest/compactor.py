@@ -11,6 +11,7 @@ included) into the solved coordinates.
 from __future__ import annotations
 
 from repro.geometry.layers import Technology
+from repro.obs import metrics, trace
 from repro.rest.connectivity import Connectivity, build_connectivity
 from repro.rest.errors import InfeasibleConstraints
 from repro.rest.graph import ConstraintGraph
@@ -131,6 +132,19 @@ def solve_axis(
     connectors).
     """
     pinned = pinned or {}
+    with trace.span(
+        "rest.solve_axis", cell=cell.name, axis=axis, pins=len(pinned)
+    ) as span:
+        return _solve_axis(cell, tech, axis, pinned, span)
+
+
+def _solve_axis(
+    cell: SticksCell,
+    tech: Technology,
+    axis: str,
+    pinned: dict[str, int],
+    span,
+) -> dict[int, int]:
     connectivity = build_connectivity(cell)
     columns = column_occupants(cell, tech, axis, connectivity)
     ordered = sorted(columns)
@@ -161,9 +175,13 @@ def solve_axis(
         targets.append(target)
 
     bound = min(ordered + targets) if targets else 0
+    metrics.counter("rest.solves").inc()
+    metrics.histogram("rest.columns").observe(len(ordered))
+    span.set("columns", len(ordered)).set("edges", graph.edge_count)
     try:
         solved = graph.solve(default_lower_bound=min(0, bound))
     except InfeasibleConstraints as exc:
+        metrics.counter("rest.infeasible").inc()
         raise InfeasibleConstraints(
             f"cell {cell.name!r}, axis {axis}: {exc}"
         ) from exc

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from repro.obs import metrics
 from repro.rest.errors import InfeasibleConstraints
 
 SOURCE = "__source__"
@@ -89,7 +90,9 @@ class ConstraintGraph:
         pred: dict[Hashable, Hashable] = {}
 
         n = len(self._variables) + 1
+        rounds = 0
         for _ in range(n - 1):
+            rounds += 1
             changed = False
             for u, v, d in edges:
                 if dist[u] != float("-inf") and dist[u] + d > dist[v]:
@@ -98,8 +101,7 @@ class ConstraintGraph:
                     changed = True
             if not changed:
                 break
-        else:
-            pass
+        metrics.counter("rest.iterations").inc(rounds)
 
         # One more pass: any further relaxation proves a positive cycle.
         for u, v, d in edges:

@@ -1,0 +1,24 @@
+"""Isolation for observability tests.
+
+Tracing, the metrics registry and the clock are process-wide; every
+test here gets a fresh registry and a disabled tracer, and whatever it
+installs is torn back down, so obs tests never leak state into (or
+from) the rest of the suite.
+"""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.clock import set_clock
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    previous_registry = obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+    obs_trace.disable()
+    previous_clock = set_clock(None)
+    yield
+    obs_trace.disable()
+    set_clock(previous_clock)
+    obs_metrics.set_registry(previous_registry)

@@ -1,0 +1,117 @@
+"""End-to-end: ``python -m repro --trace --metrics`` in a subprocess.
+
+Runs the committed example session (`examples/obs_session.txt`) the
+way the CI obs-smoke job does and checks the acceptance criteria: a
+valid Chrome trace-event document with nested spans for ABUT, ROUTE,
+STRETCH, WAL appends and pipeline verify tasks, command spans carrying
+their WAL sequence numbers, and a metrics dump on stdout.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.export import validate_chrome
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+SESSION_SCRIPT = REPO / "examples" / "obs_session.txt"
+SUBPROCESS_ENV = {
+    **os.environ,
+    "PYTHONPATH": str(SRC) + os.pathsep + os.environ.get("PYTHONPATH", ""),
+}
+
+
+@pytest.fixture(scope="module")
+def traced_session(tmp_path_factory):
+    workdir = tmp_path_factory.mktemp("obs-cli")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            str(SESSION_SCRIPT),
+            "--journal",
+            "demo.rpl",
+            "--trace",
+            "trace.json",
+            "--metrics",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(workdir),
+        env=SUBPROCESS_ENV,
+    )
+    return workdir, result
+
+
+class TestTracedSession:
+    def test_session_succeeds(self, traced_session):
+        _, result = traced_session
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_trace_file_validates(self, traced_session):
+        workdir, _ = traced_session
+        doc = json.loads((workdir / "trace.json").read_text())
+        assert validate_chrome(doc) == []
+        assert doc["riot"]["unclosed_spans"] == 0
+
+    def test_acceptance_spans_present_and_nested(self, traced_session):
+        workdir, _ = traced_session
+        doc = json.loads((workdir / "trace.json").read_text())
+        events = doc["traceEvents"]
+        by_id = {e["args"]["span_id"]: e for e in events}
+        names = {e["name"] for e in events}
+        for required in (
+            "command.do_abut",
+            "command.do_route",
+            "command.do_stretch",
+            "command.verify",
+            "abut.solve",
+            "river.route_channel",
+            "rest.solve_axis",
+            "wal.append",
+            "pipeline.task",
+        ):
+            assert required in names, required
+        # Engine spans nest under commands; a verify task nests under
+        # the verify command.
+        task = next(e for e in events if e["name"] == "pipeline.task")
+        assert by_id[task["args"]["parent_id"]]["name"] == "command.verify"
+        append = next(e for e in events if e["name"] == "wal.append")
+        parent = by_id[append["args"]["parent_id"]]
+        assert parent["name"].startswith("command.")
+
+    def test_command_spans_carry_wal_seq(self, traced_session):
+        workdir, _ = traced_session
+        doc = json.loads((workdir / "trace.json").read_text())
+        seqs = [
+            e["args"]["wal_seq"]
+            for e in doc["traceEvents"]
+            if e["name"].startswith("command.") and "wal_seq" in e["args"]
+        ]
+        assert seqs == sorted(seqs)
+        assert len(seqs) >= 10
+        # The WAL seq is the entry's line index in the journal file.
+        journal_lines = [
+            line
+            for line in (workdir / "demo.rpl").read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(journal_lines) == len(seqs)
+
+    def test_metrics_dump_on_stdout(self, traced_session):
+        _, result = traced_session
+        assert "wal.appends" in result.stdout
+        assert "river.routes" in result.stdout
+        assert "abut.solved" in result.stdout
+
+    def test_trace_command_in_session_writes_from_cwd(self, traced_session):
+        workdir, _ = traced_session
+        # The session's own `savereplay` wrote relative to the cwd.
+        assert (workdir / "demo.replay").exists()

@@ -1,0 +1,59 @@
+"""The injectable clock."""
+
+import pytest
+
+from repro.obs.clock import FixedClock, MonotonicClock, get_clock, set_clock
+
+
+class TestMonotonicClock:
+    def test_wall_is_monotone(self):
+        clock = MonotonicClock()
+        assert clock.wall() <= clock.wall()
+
+    def test_cpu_is_monotone(self):
+        clock = MonotonicClock()
+        assert clock.cpu() <= clock.cpu()
+
+
+class TestFixedClock:
+    def test_each_reading_advances_by_step(self):
+        clock = FixedClock(start=10.0, step=0.5)
+        assert clock.wall() == 10.0
+        assert clock.wall() == 10.5
+        assert clock.wall() == 11.0
+
+    def test_cpu_ticks_independently(self):
+        clock = FixedClock(step=1.0, cpu_step=0.25)
+        assert clock.wall() == 0.0
+        assert clock.cpu() == 0.0
+        assert clock.cpu() == 0.25
+        assert clock.wall() == 1.0
+
+    def test_cpu_step_defaults_to_half_wall_step(self):
+        clock = FixedClock(step=2.0)
+        clock.cpu()
+        assert clock.cpu() == 1.0
+
+    def test_two_identically_configured_clocks_agree(self):
+        a, b = FixedClock(step=0.01), FixedClock(step=0.01)
+        assert [a.wall() for _ in range(5)] == [b.wall() for _ in range(5)]
+
+    def test_step_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FixedClock(step=0)
+
+
+class TestProcessClock:
+    def test_set_clock_installs_and_returns_previous(self):
+        fixed = FixedClock()
+        previous = set_clock(fixed)
+        try:
+            assert get_clock() is fixed
+        finally:
+            set_clock(previous)
+        assert get_clock() is previous
+
+    def test_set_clock_none_restores_a_monotonic_default(self):
+        set_clock(FixedClock())
+        set_clock(None)
+        assert isinstance(get_clock(), MonotonicClock)

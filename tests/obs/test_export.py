@@ -1,0 +1,140 @@
+"""Exporters: JSONL and Chrome trace-event, determinism, validation."""
+
+import json
+
+from repro.obs import export
+from repro.obs.clock import FixedClock
+from repro.obs.trace import Tracer
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer(clock=FixedClock(step=0.001))
+    with tracer.span("command.do_route", category="command", wal_seq=3):
+        with tracer.span("river.plan", wires=2) as inner:
+            inner.set("tracks", 1)
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        tracer = sample_tracer()
+        text = "\n".join(
+            export.jsonl_lines(tracer.finished(), {"wal.appends": 4})
+        )
+        spans, metrics = export.read_jsonl(text)
+        assert [s["name"] for s in spans] == ["command.do_route", "river.plan"]
+        assert metrics == {"wal.appends": 4}
+
+    def test_meta_line_first(self):
+        lines = export.jsonl_lines([])
+        meta = json.loads(lines[0])
+        assert meta == {
+            "type": "meta",
+            "format": export.JSONL_FORMAT,
+            "version": export.JSONL_VERSION,
+        }
+
+    def test_parentage_survives_round_trip(self):
+        tracer = sample_tracer()
+        spans, _ = export.read_jsonl(
+            "\n".join(export.jsonl_lines(tracer.finished()))
+        )
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["river.plan"]["parent"] == by_name["command.do_route"]["id"]
+        assert by_name["command.do_route"]["parent"] is None
+
+    def test_write_and_read_file(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        export.write_jsonl(path, tracer.finished(), {"c": 1})
+        spans, metrics = export.read_jsonl(path.read_text())
+        assert len(spans) == 2
+        assert metrics == {"c": 1}
+
+    def test_unknown_event_type_rejected(self):
+        try:
+            export.read_jsonl('{"type":"mystery"}')
+        except ValueError as exc:
+            assert "mystery" in str(exc)
+        else:
+            raise AssertionError("expected ValueError")
+
+
+class TestChrome:
+    def test_events_are_complete_phase(self):
+        tracer = sample_tracer()
+        events = export.chrome_events(tracer.finished())
+        assert [e["ph"] for e in events] == ["X", "X"]
+        assert all(e["pid"] == export.PID for e in events)
+        # Microsecond integers from the fixed clock.
+        route = next(e for e in events if e["name"] == "command.do_route")
+        assert isinstance(route["ts"], int)
+        assert route["dur"] > 0
+
+    def test_attrs_and_parent_ride_in_args(self):
+        tracer = sample_tracer()
+        events = export.chrome_events(tracer.finished())
+        by_name = {e["name"]: e for e in events}
+        route, plan = by_name["command.do_route"], by_name["river.plan"]
+        assert route["args"]["wal_seq"] == 3
+        assert "parent_id" not in route["args"]
+        assert plan["args"]["parent_id"] == route["args"]["span_id"]
+        assert plan["args"]["tracks"] == 1
+
+    def test_document_round_trip(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.json"
+        export.write_chrome(
+            path, tracer.finished(), {"wal.appends": 4}, unclosed=0
+        )
+        doc = export.read_chrome(path.read_text())
+        assert export.validate_chrome(doc) == []
+        assert doc["riot"]["metrics"] == {"wal.appends": 4}
+        assert doc["riot"]["unclosed_spans"] == 0
+
+    def test_exotic_attrs_are_stringified(self):
+        tracer = Tracer(clock=FixedClock())
+        with tracer.span("op", where=object()):
+            pass
+        (event,) = export.chrome_events(tracer.finished())
+        assert isinstance(event["args"]["where"], str)
+
+
+class TestValidateChrome:
+    def test_rejects_non_object(self):
+        assert export.validate_chrome([]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert export.validate_chrome({}) == ["missing traceEvents list"]
+
+    def test_rejects_missing_keys_and_bad_dur(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "X", "ts": 0, "pid": 1, "tid": 0, "dur": -5},
+            ]
+        }
+        problems = export.validate_chrome(doc)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+
+    def test_rejects_unclosed_spans(self):
+        doc = export.chrome_document([], unclosed=2)
+        assert export.validate_chrome(doc) == ["2 span(s) unclosed at exit"]
+
+
+class TestDeterminism:
+    def run_once(self) -> tuple[str, str]:
+        """One traced 'session' under a fixed clock; returns both export
+        texts."""
+        tracer = Tracer(clock=FixedClock(step=0.001))
+        with tracer.span("command.create", category="command", wal_seq=0):
+            pass
+        with tracer.span("command.do_abut", category="command", wal_seq=1):
+            with tracer.span("abut.solve", connections=1):
+                pass
+        jsonl = "\n".join(export.jsonl_lines(tracer.finished(), {"n": 1}))
+        chrome = export.chrome_text(tracer.finished(), {"n": 1})
+        return jsonl, chrome
+
+    def test_two_runs_are_byte_identical(self):
+        assert self.run_once() == self.run_once()

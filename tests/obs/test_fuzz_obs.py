@@ -1,0 +1,78 @@
+"""Fuzzing under observability: metrics wiring and trace determinism.
+
+The fuzz runner's JSON summary stays a pure function of (seed, budget,
+oracles) — timings live in the metrics registry and the trace.  Under
+a fixed clock and a fixed seed the trace itself is deterministic too:
+two runs export byte-identical JSONL.
+"""
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.clock import FixedClock, set_clock
+from repro.obs.export import jsonl_lines
+from repro.proptest.runner import run_fuzz
+
+
+def traced_run(seed: int = 0, cases: int = 5) -> tuple[str, dict]:
+    """One fuzz run under fixed clock + fresh tracer/registry; returns
+    (JSONL export text, summary)."""
+    previous_registry = obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+    previous_clock = set_clock(FixedClock(step=0.001))
+    tracer = obs_trace.enable(obs_trace.Tracer())
+    try:
+        summary = run_fuzz(
+            seed=seed, cases=cases, corpus_dir=None, shrink=False
+        )
+    finally:
+        obs_trace.disable()
+        set_clock(previous_clock)
+        snapshot = obs_metrics.registry().snapshot()
+        obs_metrics.set_registry(previous_registry)
+    text = "\n".join(jsonl_lines(tracer.finished(), snapshot))
+    return text, summary
+
+
+class TestFuzzMetrics:
+    def test_per_oracle_wall_time_and_throughput_recorded(self):
+        text, _ = traced_run()
+        assert "fuzz.cases" in text
+        assert "fuzz.oracle.abut.wall_s" in text
+        assert "fuzz.oracle.abut.cases_per_s" in text
+
+    def test_oracle_spans_closed_with_outcome_attrs(self):
+        previous_clock = set_clock(FixedClock())
+        tracer = obs_trace.enable(obs_trace.Tracer())
+        try:
+            run_fuzz(seed=0, cases=3, oracles=["abut"], corpus_dir=None)
+        finally:
+            obs_trace.disable()
+            set_clock(previous_clock)
+        assert tracer.open_count() == 0
+        oracle_spans = [
+            r for r in tracer.finished() if r.name == "fuzz.oracle"
+        ]
+        assert len(oracle_spans) == 1
+        assert oracle_spans[0].attrs["oracle"] == "abut"
+        assert "ok" in oracle_spans[0].attrs
+
+    def test_summary_unpolluted_by_observability(self):
+        _, summary = traced_run()
+        text = str(summary)
+        assert "wall_s" not in text
+        assert "cases_per_s" not in text
+
+
+class TestFuzzTraceDeterminism:
+    def test_fixed_seed_fixed_clock_byte_identical(self):
+        first, first_summary = traced_run(seed=0, cases=5)
+        second, second_summary = traced_run(seed=0, cases=5)
+        assert first == second
+        assert first_summary == second_summary
+
+    def test_different_seed_changes_the_trace(self):
+        first, _ = traced_run(seed=0, cases=5)
+        other, _ = traced_run(seed=7, cases=5)
+        # Same structure is possible but the attrs (ok counts etc.)
+        # essentially always differ across seeds; equality here would
+        # suggest the clock or seed is not actually threading through.
+        assert first != other

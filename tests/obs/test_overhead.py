@@ -1,0 +1,69 @@
+"""The disabled-tracing overhead bound.
+
+Instrumented hot paths pay one module-global check and a no-op call
+when tracing is off.  This smoke test bounds that dispatch cost at
+< 5% of real command cost: it times a workload of editor commands
+(tracing disabled), then times the same *number* of no-op span
+dispatches, and requires the dispatch total to be a small fraction of
+the workload total.
+"""
+
+import time
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.library.stock import filter_library
+from repro.obs import trace
+from repro.obs.trace import NULL_SPAN
+
+
+def command_workload(repeats: int) -> tuple[int, float]:
+    """Run a create/connect/abut-heavy session; returns (dispatch
+    count, wall seconds)."""
+    from repro.geometry.point import Point
+
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    editor.new_cell("demo")
+    t0 = time.perf_counter()
+    commands = 1
+    for i in range(repeats):
+        editor.create(
+            Point(0, 30000 * (i + 1)), cell_name="srcell", name=f"sr{i}"
+        )
+        editor.create(
+            Point(0, 30000 * (i + 1) - 10000), cell_name="nand", name=f"n{i}"
+        )
+        editor.connect(f"n{i}", "A", f"sr{i}", "TAP")
+        editor.do_abut()
+        commands += 4
+    return commands, time.perf_counter() - t0
+
+
+@pytest.mark.slow
+class TestDisabledOverhead:
+    def test_noop_dispatch_under_five_percent_of_command_cost(self):
+        assert not trace.enabled()
+        commands, workload_wall = command_workload(repeats=25)
+
+        # Per instrumented command there are a handful of span
+        # dispatches (command wrapper, engine, WAL); bound generously.
+        dispatches = commands * 8
+        t0 = time.perf_counter()
+        for _ in range(dispatches):
+            span = trace.span("noop.op", category="command", arg=1)
+            span.set("k", 2)
+            span.close()
+        dispatch_wall = time.perf_counter() - t0
+
+        assert dispatch_wall < 0.05 * workload_wall, (
+            f"no-op tracing dispatch took {dispatch_wall * 1000:.2f}ms "
+            f"for {dispatches} dispatches vs {workload_wall * 1000:.2f}ms "
+            f"of workload — over the 5% budget"
+        )
+
+    def test_disabled_span_allocates_nothing(self):
+        assert not trace.enabled()
+        spans = {id(trace.span(f"op{i}")) for i in range(100)}
+        assert spans == {id(NULL_SPAN)}

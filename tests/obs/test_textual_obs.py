@@ -1,0 +1,106 @@
+"""The observability surface of the textual interface.
+
+``stats``, ``trace on|off|status|save``, and the regression pinning
+``verify --timing`` threading: the session-wide ``--timing`` default
+and the per-invocation flag must both append the pipeline timing
+report to the verify response.
+"""
+
+import json
+
+from repro.obs import trace as obs_trace
+from repro.obs.export import validate_chrome
+
+from tests.obs.test_integration import session_interface
+
+
+def build_demo(interface):
+    for line in (
+        "new demo",
+        "create srcell 0 30000 nx=2 name=sr",
+        "create nand 0 20000 name=n0",
+        "connect n0 A sr TAP[0,0]",
+        "abut",
+    ):
+        response = interface.execute(line)
+        assert not response.startswith("error"), f"{line}: {response}"
+
+
+class TestStatsCommand:
+    def test_stats_reports_session_counters(self):
+        interface = session_interface()
+        build_demo(interface)
+        stats = interface.execute("stats")
+        assert "editor.commands 5" in stats
+        assert "abut.solved 1" in stats
+
+    def test_stats_takes_no_arguments(self):
+        interface = session_interface()
+        assert interface.execute("stats everything").startswith("error")
+
+
+class TestTraceCommand:
+    def test_on_off_status_save_cycle(self):
+        interface = session_interface()
+        assert interface.execute("trace status") == (
+            "tracing off (no spans collected)"
+        )
+        assert interface.execute("trace on") == "tracing on"
+        build_demo(interface)
+        status = interface.execute("trace status")
+        assert status.startswith("tracing on:")
+        assert interface.execute("trace off") == "tracing off"
+        assert not obs_trace.enabled()
+        saved = interface.execute("trace save session-trace.json")
+        assert "Chrome trace-event" in saved
+        doc = json.loads(interface.store.read("session-trace.json"))
+        assert validate_chrome(doc) == []
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "command.do_abut" in names
+
+    def test_save_without_tracing_is_an_error(self):
+        interface = session_interface()
+        assert interface.execute("trace save out.json").startswith("error")
+
+    def test_usage_errors(self):
+        interface = session_interface()
+        assert interface.execute("trace").startswith("error")
+        assert interface.execute("trace sideways").startswith("error")
+        assert interface.execute("trace save").startswith("error")
+
+    def test_off_preserves_spans_for_a_later_save(self):
+        interface = session_interface()
+        interface.execute("trace on")
+        build_demo(interface)
+        interface.execute("trace off")
+        # More (untraced) work, then save: the earlier spans are intact.
+        interface.execute("cells")
+        interface.execute("trace save late.json")
+        doc = json.loads(interface.store.read("late.json"))
+        assert len(doc["traceEvents"]) > 0
+
+
+class TestVerifyTimingRegression:
+    def test_per_invocation_timing_flag(self):
+        interface = session_interface()
+        build_demo(interface)
+        plain = interface.execute("verify demo")
+        timed = interface.execute("verify demo --timing")
+        assert "pipeline:" not in plain
+        assert "pipeline: jobs=1" in timed
+        assert "counters:" in timed
+
+    def test_session_default_threads_through(self):
+        interface = session_interface()
+        interface.verify_defaults["timing"] = True  # what --timing sets
+        build_demo(interface)
+        timed = interface.execute("verify demo")
+        assert "pipeline: jobs=1" in timed
+
+    def test_invocation_overrides_session_jobs_default(self):
+        interface = session_interface()
+        interface.verify_defaults["timing"] = True
+        interface.verify_defaults["jobs"] = 1
+        build_demo(interface)
+        response = interface.execute("verify demo --jobs 2")
+        assert "pipeline: jobs=2" in response

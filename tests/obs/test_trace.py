@@ -1,0 +1,156 @@
+"""The tracing substrate: spans, nesting, the no-op fast path."""
+
+import threading
+
+from repro.obs import trace
+from repro.obs.clock import FixedClock
+from repro.obs.trace import NULL_SPAN, Tracer
+
+
+class TestTracer:
+    def test_span_measures_wall_and_cpu(self):
+        tracer = Tracer(clock=FixedClock(step=1.0, cpu_step=0.5))
+        with tracer.span("op"):
+            pass
+        (rec,) = tracer.finished()
+        assert rec.name == "op"
+        assert rec.wall == 1.0
+        assert rec.cpu == 0.5
+
+    def test_nested_spans_record_parentage(self):
+        tracer = Tracer(clock=FixedClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {r.name: r for r in tracer.finished()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer(clock=FixedClock())
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        by_name = {r.name: r for r in tracer.finished()}
+        assert by_name["a"].parent_id == by_name["parent"].span_id
+        assert by_name["b"].parent_id == by_name["parent"].span_id
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer(clock=FixedClock())
+        with tracer.span("op", wires=4) as span:
+            span.set("tracks", 2).set("spilled", False)
+        (rec,) = tracer.finished()
+        assert rec.attrs == {"wires": 4, "tracks": 2, "spilled": False}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer(clock=FixedClock())
+        try:
+            with tracer.span("op"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (rec,) = tracer.finished()
+        assert rec.attrs["error"] == "ValueError"
+
+    def test_explicit_close_is_idempotent(self):
+        tracer = Tracer(clock=FixedClock())
+        span = tracer.span("op")
+        span.close()
+        span.close()
+        assert len(tracer.finished()) == 1
+        assert tracer.open_count() == 0
+
+    def test_open_count_tracks_unclosed_spans(self):
+        tracer = Tracer(clock=FixedClock())
+        span = tracer.span("op")
+        assert tracer.open_count() == 1
+        assert tracer.open_names() == ["op"]
+        span.close()
+        assert tracer.open_count() == 0
+
+    def test_record_synthesizes_a_child_of_the_open_span(self):
+        tracer = Tracer(clock=FixedClock())
+        with tracer.span("verify") as outer:
+            tracer.record("task", wall=2.0, cpu=1.0, task="drc:chip")
+        by_name = {r.name: r for r in tracer.finished()}
+        task = by_name["task"]
+        assert task.parent_id == outer.record.span_id
+        assert task.wall == 2.0
+        assert task.cpu == 1.0
+        assert task.attrs["task"] == "drc:chip"
+
+    def test_threads_get_logical_ids_and_separate_stacks(self):
+        tracer = Tracer(clock=FixedClock())
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("worker-op"):
+                pass
+            done.set()
+
+        with tracer.span("main-op"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        by_name = {r.name: r for r in tracer.finished()}
+        # The worker's span is not a child of the main thread's span,
+        # and the two threads get distinct small logical ids.
+        assert by_name["worker-op"].parent_id is None
+        assert {by_name["main-op"].tid, by_name["worker-op"].tid} == {0, 1}
+
+    def test_finished_is_sorted_by_start_then_id(self):
+        tracer = Tracer(clock=FixedClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        starts = [(r.start_wall, r.span_id) for r in tracer.finished()]
+        assert starts == sorted(starts)
+
+
+class TestModuleSwitch:
+    def test_disabled_span_is_the_shared_null_span(self):
+        assert not trace.enabled()
+        span = trace.span("anything", wires=9)
+        assert span is NULL_SPAN
+        # All null-span operations are no-ops.
+        with span as s:
+            s.set("k", "v").close()
+
+    def test_enable_then_span_records(self):
+        tracer = trace.enable(Tracer(clock=FixedClock()))
+        with trace.span("op"):
+            pass
+        assert [r.name for r in tracer.finished()] == ["op"]
+
+    def test_disable_returns_the_tracer(self):
+        tracer = trace.enable()
+        assert trace.active() is tracer
+        assert trace.disable() is tracer
+        assert trace.active() is None
+
+    def test_record_is_a_noop_while_disabled(self):
+        assert trace.record("task", wall=1.0, cpu=0.5) is None
+
+    def test_traced_decorator(self):
+        @trace.traced("decorated.op")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3  # disabled: plain call
+        tracer = trace.enable(Tracer(clock=FixedClock()))
+        assert add(3, 4) == 7
+        assert [r.name for r in tracer.finished()] == ["decorated.op"]
+
+    def test_traced_decorator_defaults_to_qualname(self):
+        @trace.traced()
+        def solo():
+            return 42
+
+        tracer = trace.enable(Tracer(clock=FixedClock()))
+        solo()
+        (rec,) = tracer.finished()
+        assert "solo" in rec.name

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file produced by ``--trace``.
+
+Shape-checks the document with :func:`repro.obs.export.validate_chrome`
+(every event needs name/ph/ts/pid/tid, complete events a non-negative
+``dur``, and no span may be left unclosed at exit), then optionally
+asserts that specific span names are present — the CI obs-smoke job
+requires the paper's connection commands and the pipeline to show up::
+
+    PYTHONPATH=src python tools/check_trace.py trace.json \\
+        --require command.do_abut --require pipeline.task
+
+Exits non-zero with one problem per line on failure; on success prints
+a one-line summary (event count, distinct names).
+
+Usage: python tools/check_trace.py FILE [--require NAME]...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import validate_chrome  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a span with this name is present (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        doc = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"check_trace: cannot read {args.trace}: {exc}")
+        return 2
+
+    problems = validate_chrome(doc)
+    events = doc.get("traceEvents", []) if isinstance(doc, dict) else []
+    names = {e.get("name") for e in events if isinstance(e, dict)}
+    for required in args.require:
+        if required not in names:
+            problems.append(f"required span {required!r} not in trace")
+
+    if problems:
+        for problem in problems:
+            print(f"check_trace: {problem}")
+        return 1
+    print(
+        f"check_trace: ok — {len(events)} event(s), "
+        f"{len(names)} distinct span name(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
