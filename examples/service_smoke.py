@@ -1,0 +1,172 @@
+"""Service smoke test: concurrency, crash isolation, WAL recovery.
+
+The scenario CI runs:
+
+1. start a ``python -m repro serve`` subprocess with per-session
+   journaling;
+2. session ``alpha`` (a thread in this process) drives the full
+   ABUT + ROUTE + STRETCH worked example through the typed client;
+   session ``bravo`` (a *separate client subprocess*) hammers edit
+   commands in a loop;
+3. mid-stream, ``bravo``'s client process is SIGKILLed — the paper's
+   abnormally-terminated session, per seat;
+4. assert ``alpha`` completes every command untouched (crash
+   isolation), then shut the service down gracefully (checkpointing
+   every WAL);
+5. recover both sessions' journals offline: ``alpha``'s replays
+   cleanly in strict mode; ``bravo``'s replays cleanly to its last
+   committed command — nothing torn, nothing half-applied.
+
+Run directly: ``python examples/service_smoke.py``.  Exit code 0 on
+success.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+#: The worked example: abutment, river routing, stretching.
+ALPHA_TAPE = [
+    ("new_cell", {"name": "demo"}),
+    ("create", {"at": (0, 30000), "cell_name": "srcell", "nx": 4, "name": "sr"}),
+    ("create", {"at": (0, 20000), "cell_name": "nand", "name": "n0"}),
+    ("connect", {"from_instance": "n0", "from_connector": "A",
+                 "to_instance": "sr", "to_connector": "TAP[0,0]"}),
+    ("do_abut", {}),
+    ("create", {"at": (4000, 20000), "cell_name": "nand", "name": "n1"}),
+    ("connect", {"from_instance": "n1", "from_connector": "A",
+                 "to_instance": "sr", "to_connector": "TAP[1,0]"}),
+    ("do_route", {}),
+    ("create", {"at": (0, 10000), "cell_name": "nand", "name": "m0"}),
+    ("connect", {"from_instance": "m0", "from_connector": "A",
+                 "to_instance": "n0", "to_connector": "OUT"}),
+    ("connect", {"from_instance": "m0", "from_connector": "B",
+                 "to_instance": "n1", "to_connector": "OUT"}),
+    ("do_stretch", {"overlap": True}),
+]
+
+
+def child_main(host: str, port: int) -> int:
+    """The doomed client: session ``bravo`` editing until SIGKILLed."""
+    with ServiceClient(host, int(port), session="bravo") as client:
+        client.call("new_cell", name="crashy")
+        client.call("create", at=(0, 0), cell_name="nand", name="g0")
+        print("ready", flush=True)  # parent aims the SIGKILL after this
+        while True:
+            client.call("rotate", name="g0")
+            client.call("move_by", name="g0", dx=100, dy=0)
+    return 0  # pragma: no cover - unreachable
+
+
+def start_server(journal_dir: str) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--journal-dir", journal_dir],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.match(r"listening on (\S+):(\d+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"server did not start: {line!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def recover_journal(path: Path):
+    """Offline recovery: salvage the WAL and strict-replay it into a
+    fresh editor with the stock library (the server's own setup)."""
+    from repro.core import wal
+    from repro.core.editor import RiotEditor
+    from repro.library.stock import filter_library
+
+    editor = RiotEditor()
+    editor.library = filter_library(editor.technology)
+    journal = wal.load_path(path)
+    report = journal.replay(editor, mode="strict")
+    return journal, report, editor
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="service_smoke_wal_")
+    server, host, port = start_server(tmp)
+    try:
+        # Session bravo: a separate client process we can kill -9.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        child = subprocess.Popen(
+            [sys.executable, __file__, "--child", host, str(port)],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        assert child.stdout.readline().strip() == "ready"
+
+        # Session alpha: the full worked example, concurrently.
+        alpha_errors: list[Exception] = []
+
+        def run_alpha() -> None:
+            try:
+                with ServiceClient(host, port, session="alpha") as client:
+                    for method, params in ALPHA_TAPE:
+                        client.call(method, **params)
+            except Exception as exc:  # pragma: no cover - failure path
+                alpha_errors.append(exc)
+
+        alpha = threading.Thread(target=run_alpha)
+        alpha.start()
+        time.sleep(0.2)  # let bravo get mid-stream
+        os.kill(child.pid, signal.SIGKILL)
+        child.wait()
+        alpha.join(timeout=60)
+        assert not alpha.is_alive(), "alpha session hung"
+        assert not alpha_errors, f"alpha was disturbed: {alpha_errors!r}"
+        print("ok: alpha completed ABUT+ROUTE+STRETCH beside the crash")
+
+        # The server survived the client crash and still answers.
+        with ServiceClient(host, port) as control:
+            stats = control.call("service.stats")
+            assert stats.sessions == 2, stats
+            control.call("service.shutdown")
+        server.wait(timeout=60)
+        print("ok: graceful shutdown after client SIGKILL")
+    finally:
+        if server.poll() is None:  # pragma: no cover - failure path
+            server.kill()
+            server.wait()
+
+    # Offline recovery of both WALs.
+    _, alpha_report, editor = recover_journal(Path(tmp) / "alpha.wal")
+    assert alpha_report.clean, alpha_report.to_text()
+    assert alpha_report.executed == len(ALPHA_TAPE), alpha_report.to_text()
+    assert "demo" in editor.library.names
+    print(f"ok: alpha WAL replayed {alpha_report.executed} command(s) clean")
+
+    bravo_journal, bravo_report, _ = recover_journal(Path(tmp) / "bravo.wal")
+    assert bravo_report.clean, bravo_report.to_text()
+    assert bravo_report.executed == bravo_report.total >= 2, bravo_report.to_text()
+    assert bravo_journal.corruption is None
+    print(
+        f"ok: bravo WAL replayed {bravo_report.executed} committed "
+        "command(s) clean after SIGKILL"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1 and sys.argv[1] == "--child":
+        sys.exit(child_main(sys.argv[2], int(sys.argv[3])))
+    sys.exit(main())

@@ -51,10 +51,16 @@ Observability:
     ``chrome://tracing``).  The ``trace on|off|save`` textual commands
     control the same machinery from inside a session.
 
-``--metrics``
-    print the session's metrics counters (river tracks used, channels
+``--metrics [FILE]``
+    report the session's metrics counters (river tracks used, channels
     spilled, abutment refusals, REST iterations, WAL appends/fsyncs,
-    pipeline cache hits/misses, ...) to stdout at exit.
+    pipeline cache hits/misses, ...) at exit: bare, as text on stdout;
+    with FILE, as a JSON snapshot.  Both flags mean the same thing on
+    every subcommand (``fuzz``, ``serve``) — see :mod:`repro.cli`.
+
+Long-lived service: ``python -m repro serve`` hosts many concurrent
+sessions behind the same typed command API over a socket — see
+:mod:`repro.service`.
 """
 
 from __future__ import annotations
@@ -102,6 +108,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.proptest.runner import main as fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.server import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Riot textual command interface",
@@ -141,16 +151,9 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="have verify print its per-stage timing and cache-counter report",
     )
-    parser.add_argument(
-        "--trace",
-        metavar="FILE",
-        help="trace the session and write FILE in Chrome trace-event format",
-    )
-    parser.add_argument(
-        "--metrics",
-        action="store_true",
-        help="print the session's metrics counters at exit",
-    )
+    from repro.cli import add_obs_flags
+
+    add_obs_flags(parser)
     args = parser.parse_args(argv)
 
     interface = build_interface()
@@ -180,13 +183,12 @@ def main(argv: list[str] | None = None) -> int:
 
         interface.editor.journal.attach(JournalWriter(args.journal))
 
-    tracer = None
-    if args.trace:
-        from repro.obs import trace
+    from repro.cli import obs_from_flags
 
-        tracer = interface.tracer = trace.enable(trace.Tracer())
     failures = 0
-    try:
+    with obs_from_flags(args.trace, args.metrics) as tracer:
+        if tracer is not None:
+            interface.tracer = tracer
         if args.script:
             with open(args.script) as f:
                 failures = run(f, interface)
@@ -199,28 +201,6 @@ def main(argv: list[str] | None = None) -> int:
             # Interactive/pipe mode keeps exit code 0: errors were
             # already reported inline, the way a REPL does.
             run(sys.stdin, interface)
-    finally:
-        if tracer is not None:
-            from repro.obs import trace
-
-            trace.disable()
-    if tracer is not None:
-        from repro.obs import metrics
-        from repro.obs.export import write_chrome
-
-        unclosed = tracer.open_count()
-        write_chrome(
-            args.trace,
-            tracer.finished(),
-            metrics.registry().snapshot(),
-            unclosed=unclosed,
-        )
-        if unclosed:
-            print(f"warning: {unclosed} trace span(s) never closed")
-    if args.metrics:
-        from repro.obs import metrics
-
-        print(metrics.registry().render_text())
     return 1 if failures else 0
 
 

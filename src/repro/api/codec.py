@@ -1,0 +1,145 @@
+"""Strict, reversible dataclass <-> JSON conversion.
+
+The protocol's compatibility story rests on two properties this module
+enforces:
+
+* **Totality** — ``to_jsonable`` always emits every field (defaults
+  included), so re-encoding a decoded object reproduces the original
+  bytes under canonical JSON; the golden round-trip tests pin this.
+* **Strictness** — ``from_jsonable`` rejects unknown fields, missing
+  required fields and type mismatches with :class:`BadRequest`.
+  Rejecting unknown fields now is what lets protocol version 2 add
+  fields later and *know* old servers refuse them instead of silently
+  dropping semantics.
+
+Supported field types: ``int``, ``float``, ``str``, ``bool``,
+``None``, optionals/unions of those, fixed and variadic tuples, and
+nested (frozen) dataclasses.  That is the whole wire vocabulary —
+anything richer belongs in an explicit dataclass.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import types
+import typing
+
+from repro.api.errors import BadRequest
+
+_HINTS_CACHE: dict[type, dict[str, object]] = {}
+
+
+def _hints(cls: type) -> dict[str, object]:
+    hints = _HINTS_CACHE.get(cls)
+    if hints is None:
+        hints = _HINTS_CACHE[cls] = typing.get_type_hints(cls)
+    return hints
+
+
+def to_jsonable(value):
+    """A dataclass (or plain value) as JSON-ready data: dicts, lists
+    and scalars, every field present."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: to_jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: to_jsonable(item) for key, item in value.items()}
+    return value
+
+
+def canonical_json(value) -> str:
+    """The one serialisation both sides agree on: key-sorted, compact."""
+    return json.dumps(to_jsonable(value), sort_keys=True, separators=(",", ":"))
+
+
+def from_jsonable(cls: type, data, where: str | None = None):
+    """Build ``cls`` from decoded JSON, strictly."""
+    where = where or cls.__name__
+    if not isinstance(data, dict):
+        raise BadRequest(f"{where}: expected an object, got {type(data).__name__}")
+    field_list = dataclasses.fields(cls)
+    known = {f.name for f in field_list}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise BadRequest(f"{where}: unknown field(s) {', '.join(unknown)}")
+    hints = _hints(cls)
+    kwargs = {}
+    for f in field_list:
+        if f.name in data:
+            kwargs[f.name] = _convert(
+                hints[f.name], data[f.name], f"{where}.{f.name}"
+            )
+        elif (
+            f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ):
+            raise BadRequest(f"{where}: missing required field {f.name!r}")
+    return cls(**kwargs)
+
+
+def _convert(hint, value, where: str):
+    origin = typing.get_origin(hint)
+    if origin is None:
+        if dataclasses.is_dataclass(hint):
+            return from_jsonable(hint, value, where)
+        if hint is typing.Any:
+            return value
+        if hint is type(None):
+            if value is not None:
+                raise BadRequest(f"{where}: expected null")
+            return None
+        if hint is float:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise BadRequest(f"{where}: expected a number")
+            return float(value)
+        if hint is int:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise BadRequest(f"{where}: expected an integer")
+            return value
+        if hint is bool or hint is str:
+            if not isinstance(value, hint):
+                raise BadRequest(f"{where}: expected {hint.__name__}")
+            return value
+        if hint is dict:
+            if not isinstance(value, dict):
+                raise BadRequest(f"{where}: expected an object")
+            return value
+        raise BadRequest(f"{where}: unsupported field type {hint!r}")
+    if origin is tuple:
+        args = typing.get_args(hint)
+        if not isinstance(value, list):
+            raise BadRequest(f"{where}: expected an array")
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(
+                _convert(args[0], item, f"{where}[{i}]")
+                for i, item in enumerate(value)
+            )
+        if len(value) != len(args):
+            raise BadRequest(f"{where}: expected {len(args)} element(s)")
+        return tuple(
+            _convert(arg, item, f"{where}[{i}]")
+            for i, (arg, item) in enumerate(zip(args, value))
+        )
+    if origin in (typing.Union, types.UnionType):
+        for arg in typing.get_args(hint):
+            try:
+                return _convert(arg, value, where)
+            except BadRequest:
+                continue
+        raise BadRequest(f"{where}: no union arm accepts the value")
+    if origin is dict:
+        key_t, val_t = typing.get_args(hint)
+        if not isinstance(value, dict):
+            raise BadRequest(f"{where}: expected an object")
+        if key_t is not str:
+            raise BadRequest(f"{where}: only str-keyed mappings travel")
+        return {
+            key: _convert(val_t, item, f"{where}[{key}]")
+            for key, item in value.items()
+        }
+    raise BadRequest(f"{where}: unsupported field type {hint!r}")

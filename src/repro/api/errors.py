@@ -1,0 +1,37 @@
+"""API-layer errors: protocol mistakes, not engine failures.
+
+These cover the boundary between a transport and the typed command
+surface — an unknown method name, a malformed or over-specified
+request, a protocol version this server does not speak.  Engine
+failures (routing infeasible, unknown cell, ...) keep their own
+subsystem errors; see :mod:`repro.errors` for the code contract.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ApiError(ReproError):
+    """A request never reached a command handler."""
+
+    code = "api.error"
+
+
+class UnknownCommand(ApiError):
+    """The method name matches no registered command."""
+
+    code = "api.unknown_command"
+
+
+class BadRequest(ApiError):
+    """The request body does not fit the command's request dataclass:
+    unknown field, missing required field, or a type mismatch."""
+
+    code = "api.bad_request"
+
+
+class VersionError(ApiError):
+    """The envelope speaks a protocol version this side does not."""
+
+    code = "api.version"

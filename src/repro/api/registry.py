@@ -1,0 +1,485 @@
+"""The command table: method name -> (request, result, handler).
+
+Handlers hold the logic the textual interface used to inline; they
+take a :class:`repro.api.session.Session` and a request dataclass and
+return the paired result dataclass (or raise — error mapping is the
+transport's job).  Editor verbs are flagged ``replayable``: that subset
+is, by construction, the REPLAY journal's command allowlist, and a test
+asserts it matches :data:`repro.core.replay.REPLAYABLE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path as FsPath
+from typing import Callable
+
+from repro.api import types as t
+from repro.api.errors import UnknownCommand
+from repro.core.errors import RiotError
+from repro.geometry.point import Point
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One entry in the command surface."""
+
+    name: str
+    request: type
+    result: type
+    handler: Callable
+    replayable: bool = False
+
+
+REGISTRY: dict[str, CommandSpec] = {}
+SPEC_BY_REQUEST: dict[type, CommandSpec] = {}
+
+
+def command(name: str, request: type, result: type, replayable: bool = False):
+    def register(handler):
+        spec = CommandSpec(name, request, result, handler, replayable)
+        REGISTRY[name] = spec
+        SPEC_BY_REQUEST[request] = spec
+        return handler
+
+    return register
+
+
+def spec_for(name: str) -> CommandSpec:
+    spec = REGISTRY.get(name)
+    if spec is None:
+        raise UnknownCommand(f"unknown command {name!r}")
+    return spec
+
+
+def replayable_commands() -> frozenset[str]:
+    return frozenset(n for n, s in REGISTRY.items() if s.replayable)
+
+
+# -- environment: files, plots, reports ------------------------------------
+
+
+@command("read", t.ReadRequest, t.ReadResult)
+def _read(session, req: t.ReadRequest) -> t.ReadResult:
+    text = session.store.read(req.name)
+    if req.name.endswith(".cif"):
+        added = session.editor.read_cif(text, source_file=req.name)
+    elif req.name.endswith(".sticks"):
+        added = session.editor.read_sticks(text, source_file=req.name)
+    elif req.name.endswith(".comp"):
+        added = session.editor.read_composition(text)
+    else:
+        raise RiotError(
+            f"cannot tell the format of {req.name!r} "
+            "(expect .cif, .sticks or .comp)"
+        )
+    return t.ReadResult(cells=tuple(added))
+
+
+@command("write", t.WriteRequest, t.WriteResult)
+def _write(session, req: t.WriteRequest) -> t.WriteResult:
+    session.store.write(req.name, session.editor.write_composition())
+    return t.WriteResult(path=req.name)
+
+
+@command("writecif", t.WriteCifRequest, t.WriteCifResult)
+def _writecif(session, req: t.WriteCifRequest) -> t.WriteCifResult:
+    from repro.core.convert import composition_to_cif
+
+    cell = session.composition(req.cell)
+    session.store.write(
+        req.path, composition_to_cif(cell, session.editor.technology)
+    )
+    return t.WriteCifResult(cell=req.cell, path=req.path)
+
+
+@command("writesticks", t.WriteSticksRequest, t.WriteSticksResult)
+def _writesticks(session, req: t.WriteSticksRequest) -> t.WriteSticksResult:
+    from repro.core.convert import composition_to_sticks
+    from repro.sticks.writer import write_sticks
+
+    cell = session.composition(req.cell)
+    flat, warnings = composition_to_sticks(cell, session.editor.technology)
+    session.store.write(req.path, write_sticks([flat]))
+    return t.WriteSticksResult(
+        cell=req.cell, path=req.path, warnings=len(warnings)
+    )
+
+
+@command("plot", t.PlotRequest, t.PlotResult)
+def _plot(session, req: t.PlotRequest) -> t.PlotResult:
+    from repro.core.convert import composition_to_cif
+    from repro.graphics.svg import render_mask, render_symbolic
+
+    cell = session.composition(req.cell)
+    if req.mask:
+        from repro.cif.parser import parse_cif
+        from repro.cif.semantics import elaborate
+
+        text = composition_to_cif(cell, session.editor.technology)
+        design = elaborate(parse_cif(text), session.editor.technology)
+        svg = render_mask(design.cell(cell.name).flatten())
+    else:
+        svg = render_symbolic(cell)
+    session.store.write(req.path, svg)
+    return t.PlotResult(cell=req.cell, path=req.path)
+
+
+@command("report", t.ReportRequest, t.ReportResult)
+def _report(session, req: t.ReportRequest) -> t.ReportResult:
+    from repro.core.report import report_cell
+
+    return t.ReportResult(text=report_cell(session.composition(req.cell)).to_text())
+
+
+@command("verify", t.VerifyRequest, t.VerifyResult)
+def _verify(session, req: t.VerifyRequest) -> t.VerifyResult:
+    from repro.pipeline import run_verification
+
+    if not req.cells:
+        raise RiotError("verify: no cells named")
+    defaults = session.verify_defaults
+    jobs = req.jobs if req.jobs is not None else defaults["jobs"]
+    cache = req.cache if req.cache is not None else defaults["cache"]
+    timing = req.timing if req.timing is not None else defaults["timing"]
+    cells = [session.composition(name) for name in req.cells]
+    with obs_trace.span(
+        "command.verify",
+        category="command",
+        cells=list(req.cells),
+        jobs=jobs,
+    ):
+        result = run_verification(
+            cells, session.editor.technology, jobs=jobs, cache=cache
+        )
+    summaries = tuple(result.reports[cell.name].summary() for cell in cells)
+    return t.VerifyResult(
+        summaries=summaries,
+        timing=result.timing.to_text() if timing else None,
+    )
+
+
+# -- environment: settings and inspection ----------------------------------
+
+
+@command("set_tracks", t.SetTracksRequest, t.SetTracksResult)
+def _set_tracks(session, req: t.SetTracksRequest) -> t.SetTracksResult:
+    if req.tracks < 1:
+        raise RiotError("tracks must be >= 1")
+    session.editor.tracks_per_channel = req.tracks
+    return t.SetTracksResult(tracks=req.tracks)
+
+
+@command("cells", t.CellsRequest, t.CellsResult)
+def _cells(session, req: t.CellsRequest) -> t.CellsResult:
+    return t.CellsResult(names=tuple(session.editor.library.names))
+
+
+@command("pending", t.PendingRequest, t.PendingResult)
+def _pending(session, req: t.PendingRequest) -> t.PendingResult:
+    return t.PendingResult(
+        entries=tuple(session.editor.pending.display_strings())
+    )
+
+
+@command("check", t.CheckRequest, t.CheckResult)
+def _check(session, req: t.CheckRequest) -> t.CheckResult:
+    report = session.editor.check()
+    return t.CheckResult(
+        made=report.made_count,
+        near_misses=len(report.near_misses),
+        overlapping=len(report.overlapping_instances),
+        unconnected=len(report.unconnected),
+    )
+
+
+@command("help", t.HelpRequest, t.HelpResult)
+def _help(session, req: t.HelpRequest) -> t.HelpResult:
+    return t.HelpResult(commands=tuple(sorted(REGISTRY)))
+
+
+# -- replay, journaling, recovery ------------------------------------------
+
+
+@command("savereplay", t.SaveReplayRequest, t.SaveReplayResult)
+def _savereplay(session, req: t.SaveReplayRequest) -> t.SaveReplayResult:
+    journal = session.editor.journal
+    session.store.write(req.path, journal.to_text())
+    return t.SaveReplayResult(path=req.path, commands=len(journal))
+
+
+@command("replay", t.ReplayFileRequest, t.ReplayFileResult)
+def _replay(session, req: t.ReplayFileRequest) -> t.ReplayFileResult:
+    executed = session.editor.replay_from(session.store.read(req.path))
+    return t.ReplayFileResult(executed=executed)
+
+
+@command("journal", t.JournalRequest, t.JournalResult)
+def _journal(session, req: t.JournalRequest) -> t.JournalResult:
+    root = getattr(session.store, "root", None)
+    if root is None:
+        raise RiotError("journal requires a disk-backed store")
+    from repro.core.wal import JournalWriter
+
+    session.editor.journal.attach(JournalWriter(FsPath(root) / req.path))
+    return t.JournalResult(
+        path=req.path, checkpointed=len(session.editor.journal)
+    )
+
+
+@command("recover", t.RecoverRequest, t.RecoverResult)
+def _recover(session, req: t.RecoverRequest) -> t.RecoverResult:
+    report = session.editor.recover_from(session.store.read(req.path))
+    return t.RecoverResult(
+        total=report.total,
+        executed=report.executed,
+        skipped=tuple(
+            t.SkippedEntryInfo(
+                command=s.command, error=s.error, index=s.index, lineno=s.lineno
+            )
+            for s in report.skipped
+        ),
+        corruption=(
+            t.CorruptionInfo(
+                lineno=report.corruption.lineno, reason=report.corruption.reason
+            )
+            if report.corruption is not None
+            else None
+        ),
+    )
+
+
+# -- observability ----------------------------------------------------------
+
+
+@command("stats", t.StatsRequest, t.StatsResult)
+def _stats(session, req: t.StatsRequest) -> t.StatsResult:
+    return t.StatsResult(text=session.metrics.render_text())
+
+
+@command("trace", t.TraceRequest, t.TraceResult)
+def _trace(session, req: t.TraceRequest) -> t.TraceResult:
+    usage = "usage: trace on|off|status|save <file>"
+    verb = req.verb
+    if verb in ("on", "off", "status") and req.path is not None:
+        raise RiotError(usage)
+    if verb == "on":
+        session.trace_on()
+        return _trace_status(session, state="on")
+    if verb == "off":
+        session.trace_off()
+        return _trace_status(session, state="off")
+    if verb == "status":
+        return _trace_status(session)
+    if verb == "save":
+        if req.path is None:
+            raise RiotError(usage)
+        from repro.obs.export import chrome_text
+
+        tracer = session.current_tracer()
+        if tracer is None:
+            raise RiotError("nothing traced yet (try: trace on)")
+        session.store.write(
+            req.path,
+            chrome_text(
+                tracer.finished(),
+                session.metrics.snapshot(),
+                unclosed=tracer.open_count(),
+            ),
+        )
+        status = _trace_status(session)
+        return t.TraceResult(
+            state=status.state,
+            collecting=True,
+            finished=status.finished,
+            open=status.open,
+            path=req.path,
+        )
+    raise RiotError(usage)
+
+
+def _trace_status(session, state: str | None = None) -> t.TraceResult:
+    tracer = session.current_tracer()
+    if state is None:
+        state = "on" if session.tracing_enabled() else "off"
+    if tracer is None:
+        return t.TraceResult(
+            state=state, collecting=False, finished=0, open=0, path=None
+        )
+    return t.TraceResult(
+        state=state,
+        collecting=True,
+        finished=len(tracer.finished()),
+        open=tracer.open_count(),
+        path=None,
+    )
+
+
+# -- editor verbs (the REPLAY command set) ---------------------------------
+
+
+@command("new_cell", t.NewCellRequest, t.NewCellResult, replayable=True)
+def _new_cell(session, req: t.NewCellRequest) -> t.NewCellResult:
+    session.editor.new_cell(req.name)
+    return t.NewCellResult(name=req.name)
+
+
+@command("edit", t.EditRequest, t.EditResult, replayable=True)
+def _edit(session, req: t.EditRequest) -> t.EditResult:
+    session.editor.edit(req.name)
+    return t.EditResult(name=req.name)
+
+
+@command("finish", t.FinishRequest, t.FinishResult, replayable=True)
+def _finish(session, req: t.FinishRequest) -> t.FinishResult:
+    return t.FinishResult(connectors=tuple(session.editor.finish()))
+
+
+@command("delete_cell", t.DeleteCellRequest, t.DeleteCellResult, replayable=True)
+def _delete_cell(session, req: t.DeleteCellRequest) -> t.DeleteCellResult:
+    session.editor.delete_cell(req.name)
+    return t.DeleteCellResult(name=req.name)
+
+
+@command("rename_cell", t.RenameCellRequest, t.RenameCellResult, replayable=True)
+def _rename_cell(session, req: t.RenameCellRequest) -> t.RenameCellResult:
+    session.editor.rename_cell(req.old, req.new)
+    return t.RenameCellResult(old=req.old, new=req.new)
+
+
+@command("select", t.SelectRequest, t.SelectResult, replayable=True)
+def _select(session, req: t.SelectRequest) -> t.SelectResult:
+    session.editor.select(req.cell_name)
+    return t.SelectResult(cell_name=req.cell_name)
+
+
+@command("create", t.CreateRequest, t.CreateResult, replayable=True)
+def _create(session, req: t.CreateRequest) -> t.CreateResult:
+    instance = session.editor.create(
+        Point(req.at[0], req.at[1]),
+        cell_name=req.cell_name,
+        orientation=req.orientation,
+        nx=req.nx,
+        ny=req.ny,
+        dx=req.dx,
+        dy=req.dy,
+        name=req.name,
+    )
+    return t.CreateResult(name=instance.name, x=req.at[0], y=req.at[1])
+
+
+@command(
+    "delete_instance",
+    t.DeleteInstanceRequest,
+    t.DeleteInstanceResult,
+    replayable=True,
+)
+def _delete_instance(session, req: t.DeleteInstanceRequest) -> t.DeleteInstanceResult:
+    session.editor.delete_instance(req.name)
+    return t.DeleteInstanceResult(name=req.name)
+
+
+@command("move", t.MoveRequest, t.MoveResult, replayable=True)
+def _move(session, req: t.MoveRequest) -> t.MoveResult:
+    session.editor.move(req.name, Point(req.to[0], req.to[1]))
+    return t.MoveResult(name=req.name, x=req.to[0], y=req.to[1])
+
+
+@command("move_by", t.MoveByRequest, t.MoveByResult, replayable=True)
+def _move_by(session, req: t.MoveByRequest) -> t.MoveByResult:
+    session.editor.move_by(req.name, req.dx, req.dy)
+    return t.MoveByResult(name=req.name, dx=req.dx, dy=req.dy)
+
+
+@command("rotate", t.RotateRequest, t.RotateResult, replayable=True)
+def _rotate(session, req: t.RotateRequest) -> t.RotateResult:
+    session.editor.rotate(req.name)
+    return t.RotateResult(name=req.name)
+
+
+@command("mirror", t.MirrorRequest, t.MirrorResult, replayable=True)
+def _mirror(session, req: t.MirrorRequest) -> t.MirrorResult:
+    session.editor.mirror(req.name, req.axis)
+    return t.MirrorResult(name=req.name, axis=req.axis)
+
+
+@command("replicate", t.ReplicateRequest, t.ReplicateResult, replayable=True)
+def _replicate(session, req: t.ReplicateRequest) -> t.ReplicateResult:
+    session.editor.replicate(req.name, req.nx, req.ny, req.dx, req.dy)
+    return t.ReplicateResult(name=req.name, nx=req.nx, ny=req.ny)
+
+
+@command("connect", t.ConnectRequest, t.ConnectResult, replayable=True)
+def _connect(session, req: t.ConnectRequest) -> t.ConnectResult:
+    display = session.editor.connect(
+        req.from_instance, req.from_connector, req.to_instance, req.to_connector
+    )
+    return t.ConnectResult(display=display)
+
+
+@command("bus", t.BusRequest, t.BusResult, replayable=True)
+def _bus(session, req: t.BusRequest) -> t.BusResult:
+    paired = session.editor.bus(req.from_instance, req.to_instance)
+    return t.BusResult(paired=paired)
+
+
+@command("unconnect", t.UnconnectRequest, t.UnconnectResult, replayable=True)
+def _unconnect(session, req: t.UnconnectRequest) -> t.UnconnectResult:
+    return t.UnconnectResult(display=session.editor.unconnect(req.index))
+
+
+@command(
+    "clear_pending", t.ClearPendingRequest, t.ClearPendingResult, replayable=True
+)
+def _clear_pending(session, req: t.ClearPendingRequest) -> t.ClearPendingResult:
+    session.editor.clear_pending()
+    return t.ClearPendingResult()
+
+
+@command("do_abut", t.AbutRequest, t.AbutCommandResult, replayable=True)
+def _do_abut(session, req: t.AbutRequest) -> t.AbutCommandResult:
+    result = session.editor.do_abut(overlap=req.overlap)
+    return t.AbutCommandResult(made=result.made, warnings=tuple(result.warnings))
+
+
+@command(
+    "do_abut_edges", t.AbutEdgesRequest, t.AbutCommandResult, replayable=True
+)
+def _do_abut_edges(session, req: t.AbutEdgesRequest) -> t.AbutCommandResult:
+    result = session.editor.do_abut_edges(req.from_instance, req.to_instance)
+    return t.AbutCommandResult(made=result.made, warnings=tuple(result.warnings))
+
+
+@command("do_route", t.RouteRequest, t.RouteCommandResult, replayable=True)
+def _do_route(session, req: t.RouteRequest) -> t.RouteCommandResult:
+    result = session.editor.do_route(move_from=req.move_from)
+    return t.RouteCommandResult(
+        route_cell=result.route_cell,
+        instance=result.instance.name,
+        wires=result.solved.wire_count,
+        channels=result.solved.channels,
+        height=result.solved.height,
+        moved_dx=result.moved_by.x,
+        moved_dy=result.moved_by.y,
+    )
+
+
+@command("do_stretch", t.StretchRequest, t.StretchCommandResult, replayable=True)
+def _do_stretch(session, req: t.StretchRequest) -> t.StretchCommandResult:
+    result = session.editor.do_stretch(overlap=req.overlap)
+    return t.StretchCommandResult(
+        old_cell=result.old_cell,
+        new_cell=result.new_cell,
+        axis=result.axis,
+        warnings=tuple(result.warnings),
+    )
+
+
+@command("bring_out", t.BringOutRequest, t.BringOutResult, replayable=True)
+def _bring_out(session, req: t.BringOutRequest) -> t.BringOutResult:
+    instance = session.editor.bring_out(
+        req.instance_name, list(req.connector_names), req.side
+    )
+    return t.BringOutResult(instance=instance.name, cell=instance.cell.name)

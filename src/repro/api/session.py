@@ -1,0 +1,136 @@
+"""One editor session behind the typed command surface.
+
+A :class:`Session` owns exactly what the paper's single-seat tool
+owned — an editor (cell menu, cell under edit, pending connections,
+REPLAY journal), a file store, and session defaults — and exposes one
+entry point, :meth:`dispatch`, that every transport funnels through:
+the textual REPL, journal replay, the fuzz oracles, and the socket
+service.
+
+Observability scoping: a plain session (the CLI) drives the
+process-wide trace switch, exactly as the ``trace`` textual command
+always has.  A service session is created with ``scoped_obs=True`` and
+gets its *own* tracer and metrics registry; its command executions are
+wrapped in :func:`repro.obs.trace.scope`, so concurrent sessions trace
+independently without touching the global switch.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from repro.api.codec import from_jsonable
+from repro.api.registry import SPEC_BY_REQUEST, spec_for
+from repro.api.store import MemoryStore
+from repro.api.errors import UnknownCommand
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+class Session:
+    """Editor + store + defaults: the unit the service multiplexes."""
+
+    def __init__(
+        self,
+        editor=None,
+        store=None,
+        *,
+        scoped_obs: bool = False,
+    ) -> None:
+        if editor is None:
+            from repro.core.editor import RiotEditor
+
+            editor = RiotEditor()
+        self.editor = editor
+        self.store = store if store is not None else MemoryStore()
+        #: Session-wide defaults for the ``verify`` command, set by the
+        #: CLI's ``--jobs`` / ``--cache`` / ``--timing`` flags.
+        self.verify_defaults: dict = {"jobs": 1, "cache": None, "timing": False}
+        #: The tracer last enabled by ``trace on`` (kept after ``trace
+        #: off`` so ``trace save`` can still export its spans).
+        self.tracer = None
+        self.scoped_obs = scoped_obs
+        self._scoped_tracing = False
+        self._metrics = obs_metrics.MetricsRegistry() if scoped_obs else None
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self, request):
+        """Execute one typed request; returns the typed result.
+
+        Raises whatever the command raises — mapping exceptions to
+        ``error:`` strings or wire error codes is the transport's job.
+        """
+        spec = SPEC_BY_REQUEST.get(type(request))
+        if spec is None:
+            raise UnknownCommand(
+                f"no command registered for {type(request).__name__}"
+            )
+        with self.obs_scope():
+            return spec.handler(self, request)
+
+    def dispatch_named(self, method: str, params: dict | None):
+        """Wire-side dispatch: decode ``params`` strictly into the
+        method's request type, then execute.  Returns (spec, result)."""
+        spec = spec_for(method)
+        request = from_jsonable(spec.request, params or {}, where=method)
+        return spec, self.dispatch(request)
+
+    # -- helpers used by command handlers ----------------------------------
+
+    def composition(self, name: str):
+        from repro.core.errors import RiotError
+
+        cell = self.editor.library.get(name)
+        if cell.is_leaf:
+            raise RiotError(f"{name!r} is a leaf cell")
+        return cell
+
+    @property
+    def metrics(self):
+        """The registry this session's ``stats``/``trace save`` read:
+        its own when observability is scoped, the process-wide one
+        otherwise."""
+        if self._metrics is not None:
+            return self._metrics
+        return obs_metrics.registry()
+
+    # -- observability scoping ---------------------------------------------
+
+    def obs_scope(self):
+        """The context commands run under: for a scoped session, its
+        own metrics registry (always) and its own tracer (when this
+        session's tracing is on); a no-op for a plain session."""
+        if not self.scoped_obs:
+            return contextlib.nullcontext()
+        stack = contextlib.ExitStack()
+        stack.enter_context(obs_metrics.scope(self._metrics))
+        if self._scoped_tracing and self.tracer is not None:
+            stack.enter_context(obs_trace.scope(self.tracer))
+        return stack
+
+    def trace_on(self) -> None:
+        if self.scoped_obs:
+            if self.tracer is None:
+                self.tracer = obs_trace.Tracer()
+            self._scoped_tracing = True
+        else:
+            self.tracer = obs_trace.enable(self.tracer)
+
+    def trace_off(self) -> None:
+        if self.scoped_obs:
+            self._scoped_tracing = False
+        else:
+            previous = obs_trace.disable()
+            if previous is not None:
+                self.tracer = previous
+
+    def tracing_enabled(self) -> bool:
+        if self.scoped_obs:
+            return self._scoped_tracing
+        return obs_trace.enabled()
+
+    def current_tracer(self):
+        if self.scoped_obs:
+            return self.tracer
+        return obs_trace.active() or self.tracer

@@ -1,0 +1,68 @@
+"""Pluggable file stores for session commands.
+
+Commands that touch "files" (``read``, ``write``, ``plot``, ...) go
+through a store object so sessions run hermetically under test
+(:class:`MemoryStore`, the default) or against the real filesystem
+(:class:`DiskStore`).  Service sessions get a private
+:class:`MemoryStore` each, which is what keeps one session's files
+invisible to another.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path as FsPath
+
+from repro.core.errors import RiotError
+
+
+class MemoryStore(dict):
+    """The default in-memory file store."""
+
+    def read(self, name: str) -> str:
+        try:
+            return self[name]
+        except KeyError:
+            raise RiotError(f"no such file {name!r}") from None
+
+    def write(self, name: str, content: str) -> None:
+        self[name] = content
+
+
+class DiskStore:
+    """A file store over the real filesystem, rooted at a directory.
+
+    Writes are atomic: content lands in a sibling temp file, is
+    fsynced, and then renamed over the target with ``os.replace`` — a
+    crash mid-save can never leave a torn composition or CIF file,
+    only the old version or the new one.
+    """
+
+    def __init__(self, root: str = ".") -> None:
+        self.root = FsPath(root)
+
+    def read(self, name: str) -> str:
+        target = self.root / name
+        if not target.exists():
+            raise RiotError(f"no such file {name!r}")
+        return target.read_text()
+
+    def write(self, name: str, content: str) -> None:
+        target = self.root / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(content)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

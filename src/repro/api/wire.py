@@ -1,0 +1,167 @@
+"""Protocol version 1: newline-delimited JSON envelopes.
+
+One request per line, one response per line, canonical JSON (sorted
+keys, compact separators) both ways:
+
+Request::
+
+    {"id":1,"method":"do_abut","params":{"overlap":false},
+     "session":"alice","v":1}
+
+Success::
+
+    {"id":1,"method":"do_abut","ok":true,
+     "result":{"made":1,"warnings":[]},"v":1}
+
+Error::
+
+    {"error":{"code":"riot.command","message":"..."},"id":1,
+     "ok":false,"v":1}
+
+Envelope rules, enforced strictly on both sides so version 2 can
+evolve safely:
+
+* ``v`` is required and must equal :data:`PROTOCOL_VERSION`
+  (:class:`VersionError` otherwise);
+* unknown envelope fields are rejected (:class:`BadRequest`), as are
+  unknown fields inside ``params``/``result`` (see
+  :mod:`repro.api.codec`);
+* ``error.code`` is the machine contract — stable strings from
+  :mod:`repro.errors` — and ``error.message`` is prose.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.api.codec import canonical_json, from_jsonable, to_jsonable
+from repro.api.errors import BadRequest, VersionError
+from repro.api.registry import spec_for
+from repro.api.types import PROTOCOL_VERSION
+from repro.errors import ReproError, error_code
+
+
+@dataclass(frozen=True)
+class RequestEnvelope:
+    """One request line, decoded but with ``params`` still raw."""
+
+    method: str
+    params: dict
+    id: int | str | None = None
+    session: str | None = None
+    v: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    code: str
+    message: str
+
+
+@dataclass(frozen=True)
+class ResponseEnvelope:
+    """One response line; exactly one of ``result``/``error`` is set."""
+
+    ok: bool
+    id: int | str | None = None
+    method: str | None = None
+    result: dict | None = None
+    error: ErrorInfo | None = None
+    v: int = PROTOCOL_VERSION
+
+
+def _check_version(data: dict, where: str) -> None:
+    if "v" not in data:
+        raise BadRequest(f"{where}: missing protocol version field 'v'")
+    if data["v"] != PROTOCOL_VERSION:
+        raise VersionError(
+            f"{where}: protocol version {data['v']!r} not supported "
+            f"(this side speaks {PROTOCOL_VERSION})"
+        )
+
+
+def _parse_object(line: str | bytes, where: str) -> dict:
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise BadRequest(f"{where}: not JSON ({exc.msg})") from None
+    if not isinstance(data, dict):
+        raise BadRequest(f"{where}: expected a JSON object")
+    return data
+
+
+# -- requests ---------------------------------------------------------------
+
+
+def encode_request(
+    method: str,
+    request,
+    *,
+    id: int | str | None = None,
+    session: str | None = None,
+) -> str:
+    """One canonical request line (no trailing newline)."""
+    envelope = RequestEnvelope(
+        method=method, params=to_jsonable(request), id=id, session=session
+    )
+    return canonical_json(envelope)
+
+
+def parse_request(line: str | bytes) -> RequestEnvelope:
+    data = _parse_object(line, "request")
+    _check_version(data, "request")
+    envelope = from_jsonable(RequestEnvelope, data, where="request")
+    if not envelope.method:
+        raise BadRequest("request: empty method")
+    return envelope
+
+
+def decode_params(envelope: RequestEnvelope):
+    """The typed request a parsed envelope carries."""
+    spec = spec_for(envelope.method)
+    return from_jsonable(spec.request, envelope.params, where=envelope.method)
+
+
+# -- responses --------------------------------------------------------------
+
+
+def encode_result(id, method: str, result) -> str:
+    envelope = ResponseEnvelope(
+        ok=True, id=id, method=method, result=to_jsonable(result)
+    )
+    return canonical_json(envelope)
+
+
+def encode_error(id, exc_or_code, message: str | None = None) -> str:
+    """An error line from an exception (code derived) or a code string."""
+    if isinstance(exc_or_code, BaseException):
+        code = error_code(exc_or_code)
+        message = str(exc_or_code)
+    else:
+        code = exc_or_code
+        message = message or ""
+    envelope = ResponseEnvelope(
+        ok=False, id=id, error=ErrorInfo(code=code, message=message)
+    )
+    return canonical_json(envelope)
+
+
+def parse_response(line: str | bytes) -> ResponseEnvelope:
+    data = _parse_object(line, "response")
+    _check_version(data, "response")
+    envelope = from_jsonable(ResponseEnvelope, data, where="response")
+    if envelope.ok and envelope.result is None:
+        raise BadRequest("response: ok without result")
+    if not envelope.ok and envelope.error is None:
+        raise BadRequest("response: failure without error")
+    return envelope
+
+
+def decode_result(envelope: ResponseEnvelope):
+    """The typed result a success envelope carries; raises the wire
+    error as a :class:`ReproError` (code preserved) on a failure."""
+    if not envelope.ok:
+        raise ReproError(envelope.error.message, code=envelope.error.code)
+    spec = spec_for(envelope.method)
+    return from_jsonable(spec.result, envelope.result, where=envelope.method)

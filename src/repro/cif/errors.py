@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 
-class CifError(Exception):
+
+class CifError(ReproError):
     """A syntax or semantic error in a CIF stream.
 
     ``line`` and ``column`` are 1-based positions into the source text
     when known; semantic errors raised after parsing may omit them.
     """
+
+    code = "cif.error"
 
     def __init__(self, message: str, line: int | None = None, column: int | None = None):
         self.line = line

@@ -1,0 +1,85 @@
+"""Shared CLI wiring for the observability flags.
+
+Every ``python -m repro`` subcommand — the REPL, ``fuzz``, ``serve`` —
+accepts the same two flags with the same semantics:
+
+``--trace FILE``
+    trace the whole run and write FILE in Chrome trace-event format at
+    exit (open it in Perfetto or ``chrome://tracing``).
+
+``--metrics [FILE]``
+    bare, print the metrics registry as ``name value`` text to stdout
+    at exit; with FILE, write the snapshot as key-sorted JSON instead.
+
+One ``add_obs_flags`` call declares them and one ``obs_from_flags``
+context manager wires them, so a subcommand cannot drift from the
+others.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+
+
+def add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Declare ``--trace`` / ``--metrics`` on ``parser``."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="trace the run and write FILE in Chrome trace-event format",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        nargs="?",
+        const="-",
+        default=None,
+        help=(
+            "report the metrics registry at exit: bare, print "
+            "'name value' text; with FILE, write a JSON snapshot"
+        ),
+    )
+
+
+@contextlib.contextmanager
+def obs_from_flags(
+    trace_path: str | None, metrics_dest: str | None, *, echo=print
+):
+    """Run the body under the flags' observability contract.
+
+    Enables process-wide tracing when ``trace_path`` is given (yielding
+    the tracer, ``None`` otherwise) and, on the way out — including the
+    error path, so a failed run still leaves its trace behind — writes
+    the trace file, warns about unclosed spans, and emits the metrics
+    report ``--metrics`` asked for.
+    """
+    from repro.obs import metrics, trace
+
+    tracer = trace.enable(trace.Tracer()) if trace_path else None
+    try:
+        yield tracer
+    finally:
+        if tracer is not None:
+            from repro.obs.export import write_chrome
+
+            trace.disable()
+            unclosed = tracer.open_count()
+            write_chrome(
+                trace_path,
+                tracer.finished(),
+                metrics.registry().snapshot(),
+                unclosed=unclosed,
+            )
+            if unclosed:
+                echo(f"warning: {unclosed} trace span(s) never closed")
+        if metrics_dest == "-":
+            echo(metrics.registry().render_text())
+        elif metrics_dest:
+            with open(metrics_dest, "w", encoding="utf-8") as fh:
+                json.dump(
+                    metrics.registry().snapshot(), fh, indent=2, sort_keys=True
+                )
+                fh.write("\n")

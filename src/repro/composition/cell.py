@@ -12,6 +12,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.cif.semantics import CifCell
 from repro.composition.connector import Connector
+from repro.errors import ReproError
 from repro.geometry.box import Box, union_all
 from repro.geometry.layers import Technology
 from repro.sticks.expand import expanded_bounding_box
@@ -21,8 +22,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.composition.instance import Instance
 
 
-class CompositionError(Exception):
+class CompositionError(ReproError):
     """A violation of the separated-hierarchy rules."""
+
+    code = "composition.error"
 
 
 class LeafCell:

@@ -27,6 +27,7 @@ from repro.composition.cell import Cell, CompositionCell, CompositionError, Leaf
 from repro.composition.connector import Connector
 from repro.composition.instance import Instance
 from repro.composition.library import CellLibrary
+from repro.errors import ReproError
 from repro.geometry.orientation import Orientation
 from repro.geometry.point import Point
 from repro.geometry.transform import Transform
@@ -34,8 +35,10 @@ from repro.geometry.transform import Transform
 FORMAT_VERSION = 1
 
 
-class CompositionFormatError(Exception):
+class CompositionFormatError(ReproError):
     """A malformed composition file."""
+
+    code = "composition.format"
 
     def __init__(self, message: str, line: int | None = None):
         self.line = line

@@ -4,13 +4,21 @@ A small hierarchy rooted at :class:`RiotError` so callers can catch
 "anything a Riot command may report" with one clause while the journal
 and replay machinery raises structured subclasses carrying enough
 context to act on (which entry, which command, what went wrong).
+
+All of it descends from :class:`repro.errors.ReproError`, so every
+editor error carries a stable machine-readable ``code`` the typed API
+layer puts on the wire.
 """
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 
-class RiotError(Exception):
+
+class RiotError(ReproError):
     """A command cannot be carried out as given."""
+
+    code = "riot.command"
 
 
 class ConnectionError_(RiotError):
@@ -18,10 +26,14 @@ class ConnectionError_(RiotError):
     opposed, same instance, ...).  Named with a trailing underscore to
     avoid shadowing the builtin ``ConnectionError``."""
 
+    code = "riot.connection"
+
 
 class JournalError(RiotError):
     """A replay journal cannot be parsed: malformed JSON, a missing
     command field, a CRC mismatch, or a non-allowlisted command."""
+
+    code = "riot.journal"
 
 
 class ReplayError(RiotError):
@@ -38,6 +50,8 @@ class ReplayError(RiotError):
     ``original``
         the exception the command raised.
     """
+
+    code = "riot.replay"
 
     def __init__(self, entry_index: int, command: str, original: BaseException):
         super().__init__(

@@ -9,8 +9,11 @@ abnormally-terminated editing session or an accidentally-deleted
 file."
 
 The journal records every editor command as a name plus JSON
-arguments, one per line.  Replaying executes the same methods against
-a (possibly different) library: connection commands re-resolve
+arguments, one per line — which makes an entry exactly a typed-API
+request body (see :mod:`repro.api.types`).  Replaying decodes each
+entry strictly and dispatches it through :class:`repro.api.session.
+Session` against a (possibly different) library: connection commands
+re-resolve
 connector positions, which is exactly why replay survives leaf-cell
 edits that positional connections do not.
 
@@ -266,8 +269,13 @@ class Journal:
         """
         if mode not in ("strict", "skip"):
             raise ValueError(f"replay mode must be 'strict' or 'skip', got {mode!r}")
-        from repro.geometry.point import Point
+        # Lazy: repro.api imports the editor package, so a module-level
+        # import here would cycle.
+        from repro.api.codec import from_jsonable
+        from repro.api.registry import spec_for
+        from repro.api.session import Session
 
+        session = Session(editor=editor)
         report = RecoveryReport(
             total=len(self.entries),
             corruption=self.corruption,
@@ -277,14 +285,15 @@ class Journal:
         editor.journal.recording = False
         try:
             for index, entry in enumerate(self.entries):
-                method = getattr(editor, entry.command)
-                kwargs = dict(entry.kwargs)
-                # Points travel as [x, y] pairs.
-                for key in ("at", "to"):
-                    if key in kwargs and isinstance(kwargs[key], list):
-                        kwargs[key] = Point(*kwargs[key])
                 try:
-                    method(**kwargs)
+                    # A journal entry *is* a request body: decode it
+                    # strictly and dispatch through the same typed
+                    # surface every other transport uses.
+                    spec = spec_for(entry.command)
+                    request = from_jsonable(
+                        spec.request, entry.kwargs, where=entry.command
+                    )
+                    session.dispatch(request)
                 except Exception as exc:
                     if mode == "strict":
                         raise ReplayError(index, entry.command, exc) from exc

@@ -6,6 +6,15 @@ and retrieve cells on disk, set plotting parameters, generate hardcopy
 plots of cells, set defaults for routing operations, and invoke the
 graphical command editor to modify a composition cell."
 
+Since the api_redesign this module is a *shell*: each ``_cmd_`` method
+parses its argument words into a frozen request dataclass from
+:mod:`repro.api.types`, dispatches it through the session's typed
+command surface (:class:`repro.api.session.Session`), and formats the
+typed result back into the exact response text the tool has always
+printed — a regression test pins the output byte-for-byte.  The same
+typed entry points serve REPLAY, the fuzz oracles and the socket
+service; this file owns only words-to-requests and results-to-words.
+
 Files are accessed through a pluggable store (a dict-like object by
 default) so sessions run hermetically under test; pass
 :class:`DiskStore` to touch the real filesystem.
@@ -13,91 +22,26 @@ default) so sessions run hermetically under test; pass
 
 from __future__ import annotations
 
-import os
-import tempfile
-from pathlib import Path as FsPath
-
-from repro.cif.errors import CifError
-from repro.composition.cell import CompositionCell, CompositionError
-from repro.composition.format import CompositionFormatError
-from repro.core.convert import composition_to_cif, composition_to_sticks
+from repro.api import types as t
+from repro.api.session import Session
+from repro.api.store import DiskStore, MemoryStore  # noqa: F401 (re-export)
 from repro.core.editor import RiotEditor
 from repro.core.errors import RiotError
-from repro.geometry.point import Point
-from repro.graphics.svg import render_mask, render_symbolic
-from repro.obs import metrics as obs_metrics
-from repro.obs import trace as obs_trace
-from repro.rest.errors import InfeasibleConstraints
-from repro.sticks.errors import SticksError
-from repro.sticks.writer import write_sticks
+from repro.errors import ReproError
 
 #: Everything an interactive command may fail with; anything else is a
-#: bug and propagates.
+#: bug and propagates.  Every subsystem error family now descends from
+#: :class:`ReproError`; the two builtins cover bad lookups and bad
+#: literals in argument words.
 COMMAND_ERRORS = (
-    RiotError,
-    CompositionError,
-    CompositionFormatError,
-    CifError,
-    SticksError,
-    InfeasibleConstraints,
+    ReproError,
     KeyError,
     ValueError,
 )
 
 
-class MemoryStore(dict):
-    """The default in-memory file store."""
-
-    def read(self, name: str) -> str:
-        try:
-            return self[name]
-        except KeyError:
-            raise RiotError(f"no such file {name!r}") from None
-
-    def write(self, name: str, content: str) -> None:
-        self[name] = content
-
-
-class DiskStore:
-    """A file store over the real filesystem, rooted at a directory.
-
-    Writes are atomic: content lands in a sibling temp file, is
-    fsynced, and then renamed over the target with ``os.replace`` — a
-    crash mid-save can never leave a torn composition or CIF file,
-    only the old version or the new one.
-    """
-
-    def __init__(self, root: str = ".") -> None:
-        self.root = FsPath(root)
-
-    def read(self, name: str) -> str:
-        target = self.root / name
-        if not target.exists():
-            raise RiotError(f"no such file {name!r}")
-        return target.read_text()
-
-    def write(self, name: str, content: str) -> None:
-        target = self.root / name
-        target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=target.parent, prefix=target.name + ".", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                f.write(content)
-                f.flush()
-                os.fsync(f.fileno())
-            os.replace(tmp, target)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-
 class TextualInterface:
-    """Executes command lines against an editor.
+    """Executes command lines against an editor session.
 
     ``execute`` returns the response text; command errors come back as
     ``error: ...`` strings rather than exceptions, the way an
@@ -105,15 +49,40 @@ class TextualInterface:
     """
 
     def __init__(self, editor: RiotEditor, store=None) -> None:
-        self.editor = editor
-        self.store = store if store is not None else MemoryStore()
+        self.session = Session(editor=editor, store=store)
         self.last_error: Exception | None = None
-        #: Session-wide defaults for the ``verify`` command, set by the
-        #: CLI's ``--jobs`` / ``--cache`` / ``--timing`` flags.
-        self.verify_defaults: dict = {"jobs": 1, "cache": None, "timing": False}
-        #: The tracer last enabled by ``trace on`` (kept after ``trace
-        #: off`` so ``trace save`` can still export its spans).
-        self.tracer = None
+
+    # -- compatibility surface over the session ---------------------------
+
+    @property
+    def editor(self) -> RiotEditor:
+        return self.session.editor
+
+    @editor.setter
+    def editor(self, editor: RiotEditor) -> None:
+        self.session.editor = editor
+
+    @property
+    def store(self):
+        return self.session.store
+
+    @store.setter
+    def store(self, store) -> None:
+        self.session.store = store
+
+    @property
+    def verify_defaults(self) -> dict:
+        return self.session.verify_defaults
+
+    @property
+    def tracer(self):
+        return self.session.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self.session.tracer = tracer
+
+    # -- the line interpreter ----------------------------------------------
 
     def execute(self, line: str) -> str:
         self.last_error = None
@@ -135,106 +104,83 @@ class TextualInterface:
     def run_script(self, lines: list[str]) -> list[str]:
         return [self.execute(line) for line in lines]
 
+    def _do(self, request):
+        return self.session.dispatch(request)
+
     # -- environment commands ----------------------------------------------
 
     def _cmd_read(self, args: list[str]) -> str:
         if len(args) != 1:
             raise RiotError("usage: read <file>")
-        name = args[0]
-        text = self.store.read(name)
-        if name.endswith(".cif"):
-            added = self.editor.read_cif(text, source_file=name)
-        elif name.endswith(".sticks"):
-            added = self.editor.read_sticks(text, source_file=name)
-        elif name.endswith(".comp"):
-            added = self.editor.read_composition(text)
-        else:
-            raise RiotError(
-                f"cannot tell the format of {name!r} "
-                "(expect .cif, .sticks or .comp)"
-            )
-        return f"read {len(added)} cell(s): {', '.join(added)}"
+        result = self._do(t.ReadRequest(name=args[0]))
+        return f"read {len(result.cells)} cell(s): {', '.join(result.cells)}"
 
     def _cmd_write(self, args: list[str]) -> str:
         if len(args) != 1:
             raise RiotError("usage: write <file.comp>")
-        self.store.write(args[0], self.editor.write_composition())
-        return f"wrote session to {args[0]}"
+        result = self._do(t.WriteRequest(name=args[0]))
+        return f"wrote session to {result.path}"
 
     def _cmd_writecif(self, args: list[str]) -> str:
         if len(args) != 2:
             raise RiotError("usage: writecif <cell> <file>")
-        cell = self._composition(args[0])
-        self.store.write(args[1], composition_to_cif(cell, self.editor.technology))
-        return f"wrote CIF for {args[0]} to {args[1]}"
+        result = self._do(t.WriteCifRequest(cell=args[0], path=args[1]))
+        return f"wrote CIF for {result.cell} to {result.path}"
 
     def _cmd_writesticks(self, args: list[str]) -> str:
         if len(args) != 2:
             raise RiotError("usage: writesticks <cell> <file>")
-        cell = self._composition(args[0])
-        flat, warnings = composition_to_sticks(cell, self.editor.technology)
-        self.store.write(args[1], write_sticks([flat]))
-        message = f"wrote Sticks for {args[0]} to {args[1]}"
-        if warnings:
-            message += f" ({len(warnings)} warning(s))"
+        result = self._do(t.WriteSticksRequest(cell=args[0], path=args[1]))
+        message = f"wrote Sticks for {result.cell} to {result.path}"
+        if result.warnings:
+            message += f" ({result.warnings} warning(s))"
         return message
 
     def _cmd_plot(self, args: list[str]) -> str:
         """Hardcopy: symbolic view by default, mask view with 'mask'."""
         if len(args) not in (2, 3):
             raise RiotError("usage: plot <cell> <file.svg> [mask]")
-        cell = self._composition(args[0])
-        if len(args) == 3 and args[2] == "mask":
-            from repro.cif.parser import parse_cif
-            from repro.cif.semantics import elaborate
-
-            text = composition_to_cif(cell, self.editor.technology)
-            design = elaborate(parse_cif(text), self.editor.technology)
-            svg = render_mask(design.cell(cell.name).flatten())
-        else:
-            svg = render_symbolic(cell)
-        self.store.write(args[1], svg)
-        return f"plotted {args[0]} to {args[1]}"
+        mask = len(args) == 3 and args[2] == "mask"
+        result = self._do(t.PlotRequest(cell=args[0], path=args[1], mask=mask))
+        return f"plotted {result.cell} to {result.path}"
 
     # -- editing lifecycle ------------------------------------------------------
 
     def _cmd_new(self, args: list[str]) -> str:
         if len(args) != 1:
             raise RiotError("usage: new <cell>")
-        self.editor.new_cell(args[0])
-        return f"editing new cell {args[0]}"
+        result = self._do(t.NewCellRequest(name=args[0]))
+        return f"editing new cell {result.name}"
 
     def _cmd_edit(self, args: list[str]) -> str:
         if len(args) != 1:
             raise RiotError("usage: edit <cell>")
-        self.editor.edit(args[0])
-        return f"editing {args[0]}"
+        result = self._do(t.EditRequest(name=args[0]))
+        return f"editing {result.name}"
 
     def _cmd_finish(self, args: list[str]) -> str:
-        promoted = self.editor.finish()
-        return f"finished; {len(promoted)} connector(s): {', '.join(promoted)}"
+        result = self._do(t.FinishRequest())
+        connectors = result.connectors
+        return f"finished; {len(connectors)} connector(s): {', '.join(connectors)}"
 
     def _cmd_delete(self, args: list[str]) -> str:
         if len(args) != 1:
             raise RiotError("usage: delete <cell>")
-        self.editor.delete_cell(args[0])
-        return f"deleted {args[0]}"
+        result = self._do(t.DeleteCellRequest(name=args[0]))
+        return f"deleted {result.name}"
 
     def _cmd_rename(self, args: list[str]) -> str:
         if len(args) != 2:
             raise RiotError("usage: rename <old> <new>")
-        self.editor.rename_cell(args[0], args[1])
-        return f"renamed {args[0]} to {args[1]}"
+        result = self._do(t.RenameCellRequest(old=args[0], new=args[1]))
+        return f"renamed {result.old} to {result.new}"
 
     # -- environment settings -----------------------------------------------------
 
     def _cmd_set(self, args: list[str]) -> str:
         if len(args) == 2 and args[0] == "tracks":
-            value = int(args[1])
-            if value < 1:
-                raise RiotError("tracks must be >= 1")
-            self.editor.tracks_per_channel = value
-            return f"routing tracks per channel = {value}"
+            result = self._do(t.SetTracksRequest(tracks=int(args[1])))
+            return f"routing tracks per channel = {result.tracks}"
         raise RiotError("usage: set tracks <n>")
 
     # -- editing verbs (the graphical commands, scriptable) -----------------
@@ -242,8 +188,8 @@ class TextualInterface:
     def _cmd_select(self, args: list[str]) -> str:
         if len(args) != 1:
             raise RiotError("usage: select <cell>")
-        self.editor.select(args[0])
-        return f"selected {args[0]}"
+        result = self._do(t.SelectRequest(cell_name=args[0]))
+        return f"selected {result.cell_name}"
 
     def _cmd_create(self, args: list[str]) -> str:
         """CREATE from a script line: positional cell + position, then
@@ -265,22 +211,30 @@ class TextualInterface:
             options["orientation" if key == "orient" else key] = (
                 allowed[key](value)
             )
-        instance = self.editor.create(
-            Point(x, y), cell_name=cell_name, **options
+        result = self._do(
+            t.CreateRequest(at=(x, y), cell_name=cell_name, **options)
         )
-        return f"created {instance.name} at ({x}, {y})"
+        return f"created {result.name} at ({result.x}, {result.y})"
 
     def _cmd_connect(self, args: list[str]) -> str:
         if len(args) != 4:
             raise RiotError(
                 "usage: connect <from-inst> <from-conn> <to-inst> <to-conn>"
             )
-        return "pending: " + self.editor.connect(*args)
+        result = self._do(
+            t.ConnectRequest(
+                from_instance=args[0],
+                from_connector=args[1],
+                to_instance=args[2],
+                to_connector=args[3],
+            )
+        )
+        return "pending: " + result.display
 
     def _cmd_abut(self, args: list[str]) -> str:
         if args not in ([], ["overlap"]):
             raise RiotError("usage: abut [overlap]")
-        result = self.editor.do_abut(overlap=bool(args))
+        result = self._do(t.AbutRequest(overlap=bool(args)))
         message = f"abutted: {result.made} connection(s) made"
         if result.warnings:
             message += f", {len(result.warnings)} unmade"
@@ -291,17 +245,16 @@ class TextualInterface:
         instance where it is (``move_from=False``)."""
         if args not in ([], ["stay"]):
             raise RiotError("usage: route [stay]")
-        result = self.editor.do_route(move_from=not args)
-        solved = result.solved
+        result = self._do(t.RouteRequest(move_from=not args))
         return (
-            f"routed: cell {result.route_cell}, {solved.wire_count} wire(s), "
-            f"{solved.channels} channel(s), height {solved.height}"
+            f"routed: cell {result.route_cell}, {result.wires} wire(s), "
+            f"{result.channels} channel(s), height {result.height}"
         )
 
     def _cmd_stretch(self, args: list[str]) -> str:
         if args not in ([], ["overlap"]):
             raise RiotError("usage: stretch [overlap]")
-        result = self.editor.do_stretch(overlap=bool(args))
+        result = self._do(t.StretchRequest(overlap=bool(args)))
         return (
             f"stretched {result.old_cell} -> {result.new_cell} "
             f"along {result.axis}"
@@ -310,54 +263,54 @@ class TextualInterface:
     # -- inspection -----------------------------------------------------------------
 
     def _cmd_cells(self, args: list[str]) -> str:
-        names = self.editor.library.names
+        result = self._do(t.CellsRequest())
+        names = result.names
         return "cells: " + (", ".join(names) if names else "(none)")
 
     def _cmd_pending(self, args: list[str]) -> str:
-        entries = self.editor.pending.display_strings()
+        result = self._do(t.PendingRequest())
+        entries = result.entries
         return "pending: " + ("; ".join(entries) if entries else "(none)")
 
     def _cmd_check(self, args: list[str]) -> str:
-        report = self.editor.check()
+        result = self._do(t.CheckRequest())
         return (
-            f"connections made: {report.made_count}, "
-            f"near misses: {len(report.near_misses)}, "
-            f"overlapping instances: {len(report.overlapping_instances)}, "
-            f"unconnected: {len(report.unconnected)}"
+            f"connections made: {result.made}, "
+            f"near misses: {result.near_misses}, "
+            f"overlapping instances: {result.overlapping}, "
+            f"unconnected: {result.unconnected}"
         )
 
     def _cmd_report(self, args: list[str]) -> str:
         """Hierarchy and area report for a composition cell."""
-        from repro.core.report import report_cell
-
         if len(args) != 1:
             raise RiotError("usage: report <cell>")
-        return report_cell(self._composition(args[0])).to_text()
+        return self._do(t.ReportRequest(cell=args[0])).text
 
     def _cmd_verify(self, args: list[str]) -> str:
         """Full verification through the parallel pipeline:
         netcheck + DRC + mask extraction, fanned out with ``--jobs``,
         artifact-cached with ``--cache``, timed with ``--timing``."""
-        from repro.pipeline import run_verification
-
         usage = "usage: verify <cell>... [--jobs N] [--cache DIR] [--timing]"
         names: list[str] = []
-        options = dict(self.verify_defaults)
+        jobs: int | None = None
+        cache: str | None = None
+        timing: bool | None = None
         i = 0
         while i < len(args):
             arg = args[i]
             if arg == "--jobs":
                 if i + 1 >= len(args):
                     raise RiotError(usage)
-                options["jobs"] = int(args[i + 1])
+                jobs = int(args[i + 1])
                 i += 2
             elif arg == "--cache":
                 if i + 1 >= len(args):
                     raise RiotError(usage)
-                options["cache"] = args[i + 1]
+                cache = args[i + 1]
                 i += 2
             elif arg == "--timing":
-                options["timing"] = True
+                timing = True
                 i += 1
             elif arg.startswith("--"):
                 raise RiotError(usage)
@@ -366,22 +319,14 @@ class TextualInterface:
                 i += 1
         if not names:
             raise RiotError(usage)
-        cells = [self._composition(name) for name in names]
-        with obs_trace.span(
-            "command.verify",
-            category="command",
-            cells=names,
-            jobs=options["jobs"],
-        ):
-            result = run_verification(
-                cells,
-                self.editor.technology,
-                jobs=options["jobs"],
-                cache=options["cache"],
+        result = self._do(
+            t.VerifyRequest(
+                cells=tuple(names), jobs=jobs, cache=cache, timing=timing
             )
-        lines = [result.reports[cell.name].summary() for cell in cells]
-        if options["timing"]:
-            lines.append(result.timing.to_text())
+        )
+        lines = list(result.summaries)
+        if result.timing is not None:
+            lines.append(result.timing)
         return "\n".join(lines)
 
     # -- replay -----------------------------------------------------------------------
@@ -389,35 +334,48 @@ class TextualInterface:
     def _cmd_savereplay(self, args: list[str]) -> str:
         if len(args) != 1:
             raise RiotError("usage: savereplay <file>")
-        self.store.write(args[0], self.editor.journal.to_text())
-        return f"saved replay ({len(self.editor.journal)} commands) to {args[0]}"
+        result = self._do(t.SaveReplayRequest(path=args[0]))
+        return f"saved replay ({result.commands} commands) to {result.path}"
 
     def _cmd_replay(self, args: list[str]) -> str:
         if len(args) != 1:
             raise RiotError("usage: replay <file>")
-        executed = self.editor.replay_from(self.store.read(args[0]))
-        return f"replayed {executed} command(s)"
+        result = self._do(t.ReplayFileRequest(path=args[0]))
+        return f"replayed {result.executed} command(s)"
 
     def _cmd_journal(self, args: list[str]) -> str:
         """Attach a write-ahead journal: every future command is
         durably appended to the file before it executes."""
         if len(args) != 1:
             raise RiotError("usage: journal <file>")
-        root = getattr(self.store, "root", None)
-        if root is None:
-            raise RiotError("journal requires a disk-backed store")
-        from repro.core.wal import JournalWriter
-
-        self.editor.journal.attach(JournalWriter(FsPath(root) / args[0]))
-        count = len(self.editor.journal)
-        return f"journaling to {args[0]} ({count} command(s) checkpointed)"
+        result = self._do(t.JournalRequest(path=args[0]))
+        return (
+            f"journaling to {result.path} "
+            f"({result.checkpointed} command(s) checkpointed)"
+        )
 
     def _cmd_recover(self, args: list[str]) -> str:
         """Crash recovery: salvage and replay a journal in skip mode."""
         if len(args) != 1:
             raise RiotError("usage: recover <file>")
-        report = self.editor.recover_from(self.store.read(args[0]))
-        return report.to_text()
+        result = self._do(t.RecoverRequest(path=args[0]))
+        lines = [
+            f"recovered {result.executed} of {result.total} command(s)"
+            + (f", {len(result.skipped)} skipped" if result.skipped else "")
+        ]
+        for entry in result.skipped:
+            where = (
+                f"entry {entry.index}"
+                if entry.index is not None
+                else f"line {entry.lineno}"
+            )
+            lines.append(f"  skipped {where} ({entry.command}): {entry.error}")
+        if result.corruption is not None:
+            lines.append(
+                "  journal corrupt tail at "
+                f"line {result.corruption.lineno}: {result.corruption.reason}"
+            )
+        return "\n".join(lines)
 
     # -- observability --------------------------------------------------------
 
@@ -425,7 +383,7 @@ class TextualInterface:
         """Dump the session's metrics registry as ``name value`` lines."""
         if args:
             raise RiotError("usage: stats")
-        return obs_metrics.registry().render_text()
+        return self._do(t.StatsRequest()).text
 
     def _cmd_trace(self, args: list[str]) -> str:
         """Runtime tracing control: ``trace on`` starts collecting
@@ -433,56 +391,30 @@ class TextualInterface:
         ``trace save <file>`` writes the Chrome trace-event document,
         ``trace status`` reports the switch and span counts."""
         usage = "usage: trace on|off|status|save <file>"
-        if not args:
+        if not args or len(args) > 2:
             raise RiotError(usage)
         verb = args[0]
-        if verb == "on" and len(args) == 1:
-            self.tracer = obs_trace.enable(self.tracer)
+        path = args[1] if len(args) == 2 else None
+        result = self._do(t.TraceRequest(verb=verb, path=path))
+        if verb == "on":
             return "tracing on"
-        if verb == "off" and len(args) == 1:
-            previous = obs_trace.disable()
-            if previous is not None:
-                self.tracer = previous
+        if verb == "off":
             return "tracing off"
-        if verb == "status" and len(args) == 1:
-            tracer = obs_trace.active() or self.tracer
-            if tracer is None:
-                return "tracing off (no spans collected)"
-            state = "on" if obs_trace.enabled() else "off"
+        if verb == "save":
             return (
-                f"tracing {state}: {len(tracer.finished())} span(s) "
-                f"finished, {tracer.open_count()} open"
-            )
-        if verb == "save" and len(args) == 2:
-            from repro.obs.export import chrome_text
-
-            tracer = obs_trace.active() or self.tracer
-            if tracer is None:
-                raise RiotError("nothing traced yet (try: trace on)")
-            self.store.write(
-                args[1],
-                chrome_text(
-                    tracer.finished(),
-                    obs_metrics.registry().snapshot(),
-                    unclosed=tracer.open_count(),
-                ),
-            )
-            return (
-                f"saved {len(tracer.finished())} span(s) to {args[1]} "
+                f"saved {result.finished} span(s) to {result.path} "
                 "(Chrome trace-event format)"
             )
-        raise RiotError(usage)
+        if not result.collecting:
+            return "tracing off (no spans collected)"
+        return (
+            f"tracing {result.state}: {result.finished} span(s) "
+            f"finished, {result.open} open"
+        )
 
     def _cmd_help(self, args: list[str]) -> str:
         commands = sorted(
             name[5:] for name in dir(self) if name.startswith("_cmd_")
         )
-        return "commands: " + ", ".join(commands)
-
-    # -- helpers -------------------------------------------------------------------------
-
-    def _composition(self, name: str) -> CompositionCell:
-        cell = self.editor.library.get(name)
-        if cell.is_leaf:
-            raise RiotError(f"{name!r} is a leaf cell")
-        return cell
+        result = t.HelpResult(commands=tuple(commands))
+        return "commands: " + ", ".join(result.commands)

@@ -1,0 +1,49 @@
+"""The root of every structured error the system reports.
+
+Each subsystem keeps its own exception family (``core``, ``cif``,
+``sticks``, ``rest``, ``composition``, ``api``, ``service``) but all of
+them derive from :class:`ReproError` and carry a stable,
+machine-readable ``code`` string.  The code — not the message text — is
+the contract: the typed API layer (:mod:`repro.api`) maps exceptions
+into error responses by code, wire clients branch on it, and tests pin
+it.  Messages remain free-form human prose and may change.
+
+Codes are dotted paths, subsystem first (``riot.command``,
+``cif.error``, ``rest.infeasible``, ``service.backpressure``), chosen
+once and then kept stable across protocol versions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class: an operation could not be carried out as requested.
+
+    ``code`` is a class attribute so subclasses declare their code once;
+    an instance may override it via the ``code=`` keyword when a single
+    class reports distinguishable conditions.
+    """
+
+    code: str = "error"
+
+    def __init__(self, message: str = "", *, code: str | None = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable code for any exception a command may raise.
+
+    :class:`ReproError` subclasses carry their own; the handful of
+    builtin exceptions the command surface tolerates (bad lookups, bad
+    literals) map to fixed codes; anything else is an internal error —
+    a bug, not a user mistake.
+    """
+    if isinstance(exc, ReproError):
+        return exc.code
+    if isinstance(exc, KeyError):
+        return "args.key"
+    if isinstance(exc, ValueError):
+        return "args.value"
+    return "internal"

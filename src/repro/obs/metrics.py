@@ -12,6 +12,8 @@ Snapshots are key-sorted, so exports are deterministic.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import threading
 
 
@@ -149,10 +151,33 @@ def _fmt(value) -> str:
 
 _registry = MetricsRegistry()
 
+#: A context-local override of the process-wide registry.  The service
+#: hosts many sessions in one process; wrapping each session's command
+#: execution in :func:`scope` routes its counters to its own registry,
+#: so ``stats`` in one session never shows another's work.
+#: ``asyncio.to_thread`` copies the caller's context, so a scope set
+#: around the thread call travels with it.
+_scoped: contextvars.ContextVar[MetricsRegistry | None] = contextvars.ContextVar(
+    "repro.obs.metrics.scoped", default=None
+)
+
+
+@contextlib.contextmanager
+def scope(reg: MetricsRegistry):
+    """Route instrument lookups in this context to ``reg``, shadowing
+    the process-wide registry."""
+    token = _scoped.set(reg)
+    try:
+        yield reg
+    finally:
+        _scoped.reset(token)
+
 
 def registry() -> MetricsRegistry:
-    """The process-wide default registry."""
-    return _registry
+    """The registry instrument lookups currently resolve to: the
+    context-local override when one is active, the process-wide default
+    otherwise."""
+    return _scoped.get() or _registry
 
 
 def set_registry(reg: MetricsRegistry | None) -> MetricsRegistry:
@@ -164,12 +189,12 @@ def set_registry(reg: MetricsRegistry | None) -> MetricsRegistry:
 
 
 def counter(name: str) -> Counter:
-    return _registry.counter(name)
+    return registry().counter(name)
 
 
 def gauge(name: str) -> Gauge:
-    return _registry.gauge(name)
+    return registry().gauge(name)
 
 
 def histogram(name: str) -> Histogram:
-    return _registry.histogram(name)
+    return registry().histogram(name)

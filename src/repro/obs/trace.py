@@ -27,6 +27,8 @@ reach the export.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import functools
 import threading
 from dataclasses import dataclass, field
@@ -236,6 +238,27 @@ class Tracer:
 
 _active: Tracer | None = None
 
+#: A context-local override of the process-wide switch.  The service
+#: hosts many sessions in one process; wrapping each session's command
+#: execution in :func:`scope` routes its spans to its own tracer
+#: without touching (or seeing) the global one.  ``asyncio.to_thread``
+#: copies the caller's context, so a scope set around the thread call
+#: travels with it.
+_scoped: contextvars.ContextVar[Tracer | None] = contextvars.ContextVar(
+    "repro.obs.trace.scoped", default=None
+)
+
+
+@contextlib.contextmanager
+def scope(tracer: Tracer):
+    """Route spans opened in this context to ``tracer``, shadowing the
+    process-wide switch."""
+    token = _scoped.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _scoped.reset(token)
+
 
 def enabled() -> bool:
     return _active is not None
@@ -267,14 +290,14 @@ def disable() -> Tracer | None:
 def span(name: str, category: str = "riot", **attrs):
     """The instrumentation entry point: a real span when tracing is on,
     the shared :data:`NULL_SPAN` when it is off."""
-    tracer = _active
+    tracer = _scoped.get() or _active
     if tracer is None:
         return NULL_SPAN
     return tracer.span(name, category, **attrs)
 
 
 def record(name: str, wall: float, cpu: float, category: str = "riot", **attrs):
-    tracer = _active
+    tracer = _scoped.get() or _active
     if tracer is None:
         return None
     return tracer.record(name, wall, cpu, category, **attrs)
@@ -288,7 +311,7 @@ def traced(name: str | None = None, category: str = "riot"):
 
         @functools.wraps(func)
         def wrapper(*args, **kwargs):
-            tracer = _active
+            tracer = _scoped.get() or _active
             if tracer is None:
                 return func(*args, **kwargs)
             with tracer.span(span_name, category):

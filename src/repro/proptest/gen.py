@@ -508,10 +508,17 @@ def build_session_library(case: dict) -> CellLibrary:
 def apply_session_ops(editor: RiotEditor, case: dict) -> list[str]:
     """Run the command tape; returns the instance names created.
 
+    The tape is dispatched through the typed command API — the same
+    entry points the REPL, REPLAY and the service use — so the fuzz
+    oracle exercises the real command surface, not editor internals.
     Command failures are tolerated (and recorded nowhere — the
     transactional editor rolls them back, including the WAL tail);
     structurally impossible ops (index before any create) are skipped.
     """
+    from repro.api import types as t
+    from repro.api.session import Session
+
+    session = Session(editor=editor)
     leaf_names = [leaf["name"] for leaf in case.get("leaves", [])]
     instances: list[str] = []
 
@@ -522,43 +529,55 @@ def apply_session_ops(editor: RiotEditor, case: dict) -> list[str]:
 
     for op in case.get("ops", []):
         kind = op.get("op")
+        request = None
+        created_name = None
+        if kind == "new_cell":
+            request = t.NewCellRequest(name=str(op["name"]))
+        elif kind == "create":
+            leaf = leaf_names[int(op["leaf"]) % len(leaf_names)]
+            created_name = f"I{len(instances)}"
+            request = t.CreateRequest(
+                at=(int(op["at"][0]), int(op["at"][1])),
+                cell_name=leaf,
+                orientation=str(op.get("orientation", "R0")),
+                nx=int(op.get("nx", 1)),
+                ny=int(op.get("ny", 1)),
+                name=created_name,
+            )
+        elif kind == "move" and inst(op):
+            request = t.MoveRequest(
+                name=inst(op), to=(int(op["to"][0]), int(op["to"][1]))
+            )
+        elif kind == "move_by" and inst(op):
+            request = t.MoveByRequest(
+                name=inst(op), dx=int(op["dx"]), dy=int(op["dy"])
+            )
+        elif kind == "rotate" and inst(op):
+            request = t.RotateRequest(name=inst(op))
+        elif kind == "mirror" and inst(op):
+            request = t.MirrorRequest(name=inst(op), axis=str(op.get("axis", "x")))
+        elif kind == "replicate" and inst(op):
+            request = t.ReplicateRequest(
+                name=inst(op), nx=int(op.get("nx", 1)), ny=int(op.get("ny", 1))
+            )
+        elif kind == "bus" and len(instances) >= 2:
+            request = t.BusRequest(
+                from_instance=inst(op, "from"), to_instance=inst(op, "to")
+            )
+        elif kind == "do_abut":
+            request = t.AbutRequest()
+        elif kind == "do_route":
+            request = t.RouteRequest()
+        elif kind == "finish":
+            request = t.FinishRequest()
+        if request is None:
+            continue
         try:
-            if kind == "new_cell":
-                editor.new_cell(str(op["name"]))
-            elif kind == "create":
-                leaf = leaf_names[int(op["leaf"]) % len(leaf_names)]
-                name = f"I{len(instances)}"
-                editor.create(
-                    Point(int(op["at"][0]), int(op["at"][1])),
-                    cell_name=leaf,
-                    orientation=str(op.get("orientation", "R0")),
-                    nx=int(op.get("nx", 1)),
-                    ny=int(op.get("ny", 1)),
-                    name=name,
-                )
-                instances.append(name)
-            elif kind == "move" and inst(op):
-                editor.move(inst(op), Point(int(op["to"][0]), int(op["to"][1])))
-            elif kind == "move_by" and inst(op):
-                editor.move_by(inst(op), int(op["dx"]), int(op["dy"]))
-            elif kind == "rotate" and inst(op):
-                editor.rotate(inst(op))
-            elif kind == "mirror" and inst(op):
-                editor.mirror(inst(op), str(op.get("axis", "x")))
-            elif kind == "replicate" and inst(op):
-                editor.replicate(
-                    inst(op), int(op.get("nx", 1)), int(op.get("ny", 1))
-                )
-            elif kind == "bus" and len(instances) >= 2:
-                editor.bus(inst(op, "from"), inst(op, "to"))
-            elif kind == "do_abut":
-                editor.do_abut()
-            elif kind == "do_route":
-                editor.do_route()
-            elif kind == "finish":
-                editor.finish()
+            session.dispatch(request)
         except Exception:
             continue  # transactional: the editor rolled it back
+        if created_name is not None:
+            instances.append(created_name)
     return instances
 
 

@@ -197,47 +197,24 @@ def main(argv: list[str] | None = None) -> int:
         "--out", metavar="FILE", default=None,
         help="write the JSON summary to FILE instead of stdout",
     )
-    parser.add_argument(
-        "--trace", metavar="FILE", default=None,
-        help="write a Chrome trace-event file of the run (open in Perfetto)",
-    )
-    parser.add_argument(
-        "--metrics", metavar="FILE", dest="metrics_out", default=None,
-        help="write the metrics snapshot (per-oracle wall time, case "
-             "throughput, engine counters) as JSON",
-    )
+    from repro.cli import add_obs_flags, obs_from_flags
+
+    add_obs_flags(parser)
     args = parser.parse_args(argv)
 
-    tracer = trace.enable(trace.Tracer()) if args.trace else None
-    try:
-        summary = run_fuzz(
-            seed=args.seed,
-            cases=args.cases,
-            oracles=args.oracles,
-            corpus_dir=args.corpus,
-            shrink=not args.no_shrink,
-            save_dir=args.save,
-        )
-    except ValueError as exc:
-        print(f"repro fuzz: {exc}", file=sys.stderr)
-        return 2
-    finally:
-        if tracer is not None:
-            trace.disable()
-
-    if tracer is not None:
-        from repro.obs.export import write_chrome
-
-        write_chrome(
-            args.trace,
-            tracer.finished(),
-            metrics.registry().snapshot(),
-            unclosed=tracer.open_count(),
-        )
-    if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as fh:
-            json.dump(metrics.registry().snapshot(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+    with obs_from_flags(args.trace, args.metrics):
+        try:
+            summary = run_fuzz(
+                seed=args.seed,
+                cases=args.cases,
+                oracles=args.oracles,
+                corpus_dir=args.corpus,
+                shrink=not args.no_shrink,
+                save_dir=args.save,
+            )
+        except ValueError as exc:
+            print(f"repro fuzz: {exc}", file=sys.stderr)
+            return 2
 
     text = format_summary(summary)
     if args.out:

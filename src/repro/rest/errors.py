@@ -2,14 +2,18 @@
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 
-class InfeasibleConstraints(Exception):
+
+class InfeasibleConstraints(ReproError):
     """The constraint system admits no solution.
 
     Raised when pinned connector positions contradict each other or
     the design rules (a positive cycle in the constraint graph).
     ``cycle`` lists the variables on one offending cycle when known.
     """
+
+    code = "rest.infeasible"
 
     def __init__(self, message: str, cycle: list | None = None):
         self.cycle = cycle or []

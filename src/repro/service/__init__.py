@@ -1,0 +1,38 @@
+"""The concurrent multi-session Riot service.
+
+The paper's tool is single-seat: one user, one editor, one REPLAY
+file.  This package lifts the same typed command surface
+(:mod:`repro.api`) onto a socket so many independent sessions run
+concurrently in one process — each with its own editor, cell library,
+write-ahead journal, and trace/metrics scope.  The wire protocol is
+version 1 of :mod:`repro.api.wire`: newline-delimited JSON, no
+dependencies, talkable with ``nc``.
+
+* :mod:`repro.service.server` — the asyncio server
+  (``python -m repro serve``).
+* :mod:`repro.service.client` — a small blocking client.
+* :mod:`repro.service.control` — the ``service.*`` control commands.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.errors import (
+    BackpressureError,
+    BadSessionName,
+    ServiceError,
+    ServiceTimeout,
+    SessionLimitError,
+    ShutdownError,
+)
+from repro.service.server import RiotService, ServiceThread
+
+__all__ = [
+    "BackpressureError",
+    "BadSessionName",
+    "RiotService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceThread",
+    "ServiceTimeout",
+    "SessionLimitError",
+    "ShutdownError",
+]

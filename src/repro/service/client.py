@@ -1,0 +1,88 @@
+"""A small blocking client for the service.
+
+One socket, strict request/response: each :meth:`ServiceClient.call`
+sends one canonical protocol-v1 line and blocks for its answer.
+Results come back as the same typed dataclasses the server produced
+(:mod:`repro.api.types` / :mod:`repro.service.control`); failures
+raise :class:`repro.errors.ReproError` carrying the wire error code::
+
+    with ServiceClient("127.0.0.1", 7450, session="alice") as c:
+        c.call("new_cell", name="top")
+        c.call("create", at=(0, 20000), cell_name="nand", name="n0")
+        routed = c.call("do_route")          # RouteCommandResult
+        print(routed.wires, routed.channels)
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.api.codec import from_jsonable
+from repro.api.registry import spec_for
+from repro.api.wire import encode_request, parse_response
+from repro.errors import ReproError
+from repro.service.control import CONTROL
+from repro.service.errors import ServiceError
+
+
+def method_types(method: str) -> tuple[type, type]:
+    """(request type, result type) for any wire method, control plane
+    included."""
+    pair = CONTROL.get(method)
+    if pair is not None:
+        return pair
+    spec = spec_for(method)
+    return spec.request, spec.result
+
+
+class ServiceClient:
+    """A blocking protocol-v1 connection bound to one session name."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        session: str | None = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self.session = session
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def call(self, method: str, **params):
+        """Build the typed request from ``params``, round-trip it, and
+        return the typed result (raising the wire error otherwise)."""
+        request_cls, _ = method_types(method)
+        return self.request(method, request_cls(**params))
+
+    def request(self, method: str, request):
+        """Round-trip an already-built request dataclass."""
+        self._next_id += 1
+        id = self._next_id
+        line = encode_request(method, request, id=id, session=self.session)
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ServiceError("connection closed by server")
+        envelope = parse_response(raw)
+        if envelope.id != id:
+            raise ServiceError(
+                f"response id {envelope.id!r} does not match request {id!r}"
+            )
+        if not envelope.ok:
+            raise ReproError(envelope.error.message, code=envelope.error.code)
+        _, result_cls = method_types(method)
+        return from_jsonable(result_cls, envelope.result, where=method)
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

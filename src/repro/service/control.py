@@ -1,0 +1,90 @@
+"""The ``service.*`` control commands.
+
+Session commands go to a session's worker; these four are answered by
+the server itself and need no ``session`` field.  Their request/result
+dataclasses follow the same rules as :mod:`repro.api.types` (frozen,
+total, strictly decoded) — they are part of protocol version 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.errors import UnknownCommand
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class PingResult:
+    version: int
+    sessions: int
+
+
+@dataclass(frozen=True)
+class SessionsRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class SessionInfo:
+    """One live session as the server sees it."""
+
+    name: str
+    queued: int
+    executed: int
+    failed: int
+    journal: str | None
+
+
+@dataclass(frozen=True)
+class SessionsResult:
+    sessions: tuple[SessionInfo, ...]
+
+
+@dataclass(frozen=True)
+class ServiceStatsRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class ServiceStatsResult:
+    connections: int
+    requests: int
+    errors: int
+    timeouts: int
+    backpressure: int
+    sessions: int
+
+
+@dataclass(frozen=True)
+class ShutdownRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class ShutdownResult:
+    """Acknowledged before the drain: sessions still open and how many
+    of them have a WAL to checkpoint on the way down."""
+
+    sessions: int
+    journaled: int
+
+
+#: method name -> (request type, result type)
+CONTROL: dict[str, tuple[type, type]] = {
+    "service.ping": (PingRequest, PingResult),
+    "service.sessions": (SessionsRequest, SessionsResult),
+    "service.stats": (ServiceStatsRequest, ServiceStatsResult),
+    "service.shutdown": (ShutdownRequest, ShutdownResult),
+}
+
+
+def control_types(method: str) -> tuple[type, type]:
+    pair = CONTROL.get(method)
+    if pair is None:
+        raise UnknownCommand(f"unknown control command {method!r}")
+    return pair

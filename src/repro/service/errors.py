@@ -1,0 +1,48 @@
+"""The service's error family.
+
+Every condition the server itself (as opposed to a command) can raise
+carries a stable ``service.*`` code — clients program against the code,
+never the message text.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base for conditions raised by the service layer itself."""
+
+    code = "service.error"
+
+
+class BadSessionName(ServiceError):
+    """The session name cannot name a session (or a WAL file)."""
+
+    code = "service.bad_session"
+
+
+class SessionLimitError(ServiceError):
+    """Opening one more session would exceed ``--max-sessions``."""
+
+    code = "service.session_limit"
+
+
+class BackpressureError(ServiceError):
+    """The session's command queue is full; the client should retry."""
+
+    code = "service.backpressure"
+
+
+class ServiceTimeout(ServiceError):
+    """The command exceeded the per-request deadline.  The command
+    itself still runs to completion (the session stays serialized);
+    only the response was abandoned."""
+
+    code = "service.timeout"
+
+
+class ShutdownError(ServiceError):
+    """The service is draining for shutdown and takes no new work."""
+
+    code = "service.shutdown"

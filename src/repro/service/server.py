@@ -1,0 +1,517 @@
+"""The asyncio socket server hosting many editor sessions.
+
+Concurrency model, in one paragraph: each session is a
+:class:`SessionWorker` — an editor + :class:`repro.api.session.Session`
+behind a bounded queue drained by one dedicated thread (a
+single-worker executor), so commands *within* a session execute
+strictly one at a time, in arrival order, while commands in
+*different* sessions run on different threads and overlap freely (one
+session's slow ROUTE, or its WAL fsync, never stalls another's).  A
+full queue answers immediately with
+``service.backpressure`` instead of buffering unboundedly; a command
+that outlives the per-request deadline answers ``service.timeout`` but
+still runs to completion before its session takes the next command, so
+the editor is never mutated concurrently.
+
+Crash isolation: a failing command is rolled back by the editor's
+transactional wrapper (memory and WAL tail both) and reported as an
+error response; nothing a session does — including dying mid-command
+with its client — can disturb another session's state.  With
+``--journal-dir`` every session writes its own fsync-per-command WAL,
+checkpointed on graceful shutdown; an existing WAL for a session name
+is salvaged and replayed when the session opens, which is the paper's
+REPLAY recovery story, per seat.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import re
+import signal
+import sys
+from pathlib import Path
+
+from repro.api import wire
+from repro.api.codec import from_jsonable
+from repro.api.errors import BadRequest
+from repro.api.session import Session
+from repro.api.store import MemoryStore
+from repro.api.types import PROTOCOL_VERSION
+from repro.errors import ReproError
+from repro.service import control
+from repro.service.errors import (
+    BackpressureError,
+    BadSessionName,
+    ServiceError,
+    ServiceTimeout,
+    SessionLimitError,
+    ShutdownError,
+)
+
+#: Session names double as WAL file stems, so keep them path-safe.
+_SESSION_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class SessionWorker:
+    """One session: an editor behind a single-thread executor.
+
+    The executor's one thread *is* the serialization guarantee —
+    commands run in submission order, one at a time — and its queue,
+    bounded by the ``depth`` count kept on the event loop, is the
+    session's command queue.  Session init (library build, WAL
+    salvage) is simply the first job submitted, so it is ordered
+    before every command without any handshake.
+    """
+
+    def __init__(self, service: "RiotService", name: str) -> None:
+        import concurrent.futures
+
+        self.service = service
+        self.name = name
+        self.depth = 0  # commands submitted and not yet finished
+        self.executed = 0
+        self.failed = 0
+        self.session: Session | None = None
+        self.journal_path: Path | None = None
+        if service.journal_dir is not None:
+            self.journal_path = service.journal_dir / f"{name}.wal"
+        self._init_error: Exception | None = None
+        self.executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"session-{name}"
+        )
+        self.executor.submit(self._init)
+
+    # -- blocking parts, always run on the session's one thread -------------
+
+    def _init(self) -> None:
+        """Build the editor (stock library, own store, scoped obs) and
+        wire up — salvaging first, when a previous life left a WAL."""
+        try:
+            from repro.core.editor import RiotEditor
+            from repro.library.stock import filter_library
+
+            editor = RiotEditor()
+            editor.library = filter_library(editor.technology)
+            self.session = Session(
+                editor=editor, store=MemoryStore(), scoped_obs=True
+            )
+            if self.journal_path is None:
+                return
+            from repro.core import wal
+
+            if self.journal_path.exists():
+                wal.recover(editor, wal.load_path(self.journal_path), mode="skip")
+            editor.journal.attach(wal.JournalWriter(self.journal_path))
+        except Exception as exc:
+            self._init_error = exc
+
+    def _dispatch(self, envelope: wire.RequestEnvelope) -> str:
+        if self._init_error is not None:
+            return wire.encode_error(envelope.id, self._init_error)
+        try:
+            _, result = self.session.dispatch_named(
+                envelope.method, dict(envelope.params)
+            )
+        except Exception as exc:
+            # The transactional editor already rolled the command back;
+            # this session (and every other) continues untouched.
+            self.failed += 1
+            self.service.counters["errors"] += 1
+            return wire.encode_error(envelope.id, exc)
+        self.executed += 1
+        return wire.encode_result(envelope.id, envelope.method, result)
+
+    def _checkpoint(self) -> None:
+        journal = self.session.editor.journal if self.session else None
+        if journal is not None and journal.writer is not None:
+            journal.writer.checkpoint(journal.entries)
+            journal.writer.close()
+
+    # -- event-loop side -----------------------------------------------------
+
+    async def execute(self, envelope: wire.RequestEnvelope) -> str:
+        """Queue one command and await its response line.
+
+        Raises :class:`BackpressureError` instead of queueing past the
+        bound.  On deadline, answers ``service.timeout`` immediately —
+        but the command still finishes on the session thread before the
+        next one starts, so the editor is never mutated concurrently.
+        """
+        if self.depth >= self.service.queue_limit:
+            raise BackpressureError(
+                f"session {self.name!r} already has "
+                f"{self.service.queue_limit} command(s) queued; retry later"
+            )
+        self.depth += 1
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self.executor, self._dispatch, envelope)
+        future.add_done_callback(self._finished)  # runs on the loop
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(future), self.service.timeout
+            )
+        except asyncio.TimeoutError:
+            self.service.counters["timeouts"] += 1
+            return wire.encode_error(
+                envelope.id,
+                ServiceTimeout(
+                    f"{envelope.method} exceeded the "
+                    f"{self.service.timeout:g}s deadline"
+                ),
+            )
+
+    def _finished(self, future: asyncio.Future) -> None:
+        self.depth -= 1
+        if not future.cancelled():
+            future.exception()  # consume, so abandoned errors don't warn
+
+    async def stop(self) -> None:
+        """Drain the queue, then checkpoint and close the WAL."""
+
+        def drain() -> None:
+            self.executor.shutdown(wait=True)
+            self._checkpoint()
+
+        await asyncio.to_thread(drain)
+
+
+class RiotService:
+    """The server: session registry, control plane, graceful drain."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions: int = 32,
+        queue_limit: int = 16,
+        timeout: float = 30.0,
+        journal_dir: str | Path | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_sessions = max_sessions
+        self.queue_limit = queue_limit
+        self.timeout = timeout
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.workers: dict[str, SessionWorker] = {}
+        self.counters = {
+            "connections": 0,
+            "requests": 0,
+            "errors": 0,
+            "timeouts": 0,
+            "backpressure": 0,
+        }
+        self._server: asyncio.AbstractServer | None = None
+        self._closing = False
+        self._closed: asyncio.Event | None = None
+        self._shutdown_task: asyncio.Task | None = None
+
+    async def start(self) -> "RiotService":
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self._closed = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_forever(self) -> None:
+        await self._closed.wait()
+
+    # -- connections --------------------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self.counters["connections"] += 1
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._serve_line(line, writer, write_lock)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (ConnectionResetError, OSError):
+            pass
+        finally:
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes, writer, write_lock) -> None:
+        self.counters["requests"] += 1
+        response = await self._respond(line)
+        async with write_lock:
+            with contextlib.suppress(ConnectionResetError, OSError):
+                writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+
+    async def _respond(self, line: bytes) -> str:
+        try:
+            envelope = wire.parse_request(line)
+        except ReproError as exc:
+            self.counters["errors"] += 1
+            return wire.encode_error(_fish_id(line), exc)
+        if envelope.method.startswith("service."):
+            try:
+                return await self._control(envelope)
+            except ReproError as exc:
+                self.counters["errors"] += 1
+                return wire.encode_error(envelope.id, exc)
+        if self._closing:
+            return wire.encode_error(
+                envelope.id, ShutdownError("service is shutting down")
+            )
+        if not envelope.session:
+            self.counters["errors"] += 1
+            return wire.encode_error(
+                envelope.id,
+                BadRequest(
+                    f"method {envelope.method!r} needs a 'session' field"
+                ),
+            )
+        try:
+            worker = self._worker(envelope.session)
+        except ServiceError as exc:
+            self.counters["errors"] += 1
+            return wire.encode_error(envelope.id, exc)
+        try:
+            return await worker.execute(envelope)
+        except BackpressureError as exc:
+            self.counters["backpressure"] += 1
+            return wire.encode_error(envelope.id, exc)
+
+    # -- sessions ------------------------------------------------------------
+
+    def _worker(self, name: str) -> SessionWorker:
+        worker = self.workers.get(name)
+        if worker is not None:
+            return worker
+        if not _SESSION_NAME.match(name):
+            raise BadSessionName(
+                f"bad session name {name!r} (want [A-Za-z0-9._-], "
+                "64 chars max, not starting with . or -)"
+            )
+        if len(self.workers) >= self.max_sessions:
+            raise SessionLimitError(
+                f"session limit reached ({self.max_sessions})"
+            )
+        worker = self.workers[name] = SessionWorker(self, name)
+        return worker
+
+    # -- the control plane ---------------------------------------------------
+
+    async def _control(self, envelope: wire.RequestEnvelope) -> str:
+        request_cls, _ = control.control_types(envelope.method)
+        from_jsonable(request_cls, dict(envelope.params), where=envelope.method)
+        if envelope.method == "service.ping":
+            result = control.PingResult(
+                version=PROTOCOL_VERSION, sessions=len(self.workers)
+            )
+        elif envelope.method == "service.sessions":
+            result = control.SessionsResult(
+                sessions=tuple(
+                    control.SessionInfo(
+                        name=w.name,
+                        queued=w.depth,
+                        executed=w.executed,
+                        failed=w.failed,
+                        journal=(
+                            str(w.journal_path)
+                            if w.journal_path is not None
+                            else None
+                        ),
+                    )
+                    for w in self.workers.values()
+                )
+            )
+        elif envelope.method == "service.stats":
+            result = control.ServiceStatsResult(
+                connections=self.counters["connections"],
+                requests=self.counters["requests"],
+                errors=self.counters["errors"],
+                timeouts=self.counters["timeouts"],
+                backpressure=self.counters["backpressure"],
+                sessions=len(self.workers),
+            )
+        else:  # service.shutdown — ack, then drain in the background.
+            result = control.ShutdownResult(
+                sessions=len(self.workers),
+                journaled=sum(
+                    1
+                    for w in self.workers.values()
+                    if w.journal_path is not None
+                ),
+            )
+            self.request_shutdown()
+        return wire.encode_result(envelope.id, envelope.method, result)
+
+    # -- shutdown -------------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent, signal-handler safe):
+        stop accepting, finish queued commands, checkpoint every WAL."""
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.ensure_future(self._shutdown())
+
+    async def _shutdown(self) -> None:
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for worker in list(self.workers.values()):
+            await worker.stop()
+        self._closed.set()
+
+
+def _fish_id(line: bytes):
+    """Best-effort request id recovery from an unparseable envelope."""
+    try:
+        data = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if isinstance(data, dict):
+        id = data.get("id")
+        if isinstance(id, (int, str)):
+            return id
+    return None
+
+
+# -- in-process harness (tests, benchmarks) ---------------------------------
+
+
+class ServiceThread:
+    """Run a :class:`RiotService` on a background thread's event loop.
+
+    A context manager::
+
+        with ServiceThread(journal_dir=tmp) as srv:
+            client = ServiceClient(*srv.address, session="alice")
+
+    Note the GIL applies: in-process, concurrent sessions overlap their
+    waits but not their compute.  The benchmark drives a subprocess
+    server for honest numbers; this harness is for tests.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+        self.service: RiotService | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = None
+        self._ready = None
+
+    def start(self) -> "ServiceThread":
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._amain()),
+            name="riot-service",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServiceError("service thread failed to start")
+        return self
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.service = await RiotService(**self._kwargs).start()
+        self._ready.set()
+        await self.service.serve_forever()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.service.host, self.service.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.service.request_shutdown)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# -- the serve subcommand ----------------------------------------------------
+
+
+async def _amain(args) -> None:
+    service = await RiotService(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        journal_dir=args.journal_dir,
+    ).start()
+    print(f"listening on {service.host}:{service.port}", flush=True)
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, service.request_shutdown)
+    await service.serve_forever()
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli import add_obs_flags, obs_from_flags
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Host many concurrent Riot editor sessions over newline-"
+            "delimited JSON (protocol v1).  Each session gets its own "
+            "editor, stock cell library and, with --journal-dir, its "
+            "own crash-safe write-ahead journal."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick a free one, printed at startup)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=32,
+        help="refuse new session names beyond this many (default 32)",
+    )
+    parser.add_argument(
+        "--journal-dir", metavar="DIR", default=None,
+        help="per-session write-ahead journals (NAME.wal) live here; "
+             "an existing journal is recovered when its session opens",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request deadline in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="per-session command queue bound; a full queue answers "
+             "service.backpressure (default 16)",
+    )
+    add_obs_flags(parser)
+    args = parser.parse_args(argv)
+    with obs_from_flags(args.trace, args.metrics):
+        try:
+            asyncio.run(_amain(args))
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

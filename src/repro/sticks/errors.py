@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 
-class SticksError(Exception):
+
+class SticksError(ReproError):
     """A syntax or semantic error in a Sticks description."""
+
+    code = "sticks.error"
 
     def __init__(self, message: str, line: int | None = None):
         self.line = line

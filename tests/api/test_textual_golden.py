@@ -1,0 +1,122 @@
+"""The textual interface's output is pinned byte-for-byte.
+
+The api_redesign moved every command's logic into the typed
+:mod:`repro.api` layer, leaving ``core/textual.py`` a parse/format
+shell.  This golden transcript — captured from the pre-refactor
+implementation — asserts the move changed nothing a user (or a script
+diffing session logs) can see: same success strings, same error
+strings, same multi-line reports.
+
+Regenerate with ``pytest tests/api/test_textual_golden.py
+--update-golden`` only when an output change is intentional.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.core.textual import TextualInterface
+from repro.library.stock import filter_library
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+GOLDEN = Path(__file__).parent / "golden_textual_transcript.txt"
+
+#: Every textual command family, success and failure paths, in an
+#: order whose outputs are deterministic (fresh metrics registry, no
+#: wall-clock-dependent commands, memory store).
+COMMANDS = [
+    # lifecycle + editing
+    "new demo",
+    "create srcell 0 30000 nx=4 name=sr",
+    "create nand 0 20000 name=n0",
+    "connect n0 A sr TAP[0,0]",
+    "pending",
+    "abut",
+    "create nand 4000 20000 name=n1",
+    "connect n1 A sr TAP[1,0]",
+    "route",
+    "create nand 0 10000 name=m0",
+    "connect m0 A n0 OUT",
+    "connect m0 B n1 OUT",
+    "stretch overlap",
+    "finish",
+    # environment + inspection
+    "set tracks 4",
+    "select nand",
+    "cells",
+    "check",
+    "report demo",
+    "verify demo",
+    # files (memory store)
+    "savereplay demo.replay",
+    "write session.comp",
+    "writecif demo demo.cif",
+    "writesticks demo demo.sticks",
+    "plot demo demo.svg",
+    "plot demo demo-mask.svg mask",
+    "read demo.cif",
+    # observability
+    "stats",
+    "trace status",
+    "trace on",
+    "trace status",
+    "trace off",
+    # renames and deletion
+    "rename demo demo2",
+    "edit demo2",
+    "delete demo2",
+    # error paths: unknown command, usage errors, engine errors
+    "bogus",
+    "create",
+    "connect a b c",
+    "route",
+    "abut sideways",
+    "stretch sideways",
+    "edit nosuch",
+    "select nosuch",
+    "set tracks 0",
+    "set tracks x",
+    "read missing.txt",
+    "read noformat",
+    "report nand",
+    "verify",
+    "journal j.rpl",
+    "trace",
+    "trace save t.json",
+    "new demo",
+    "create nand 0 0 name=n0",
+    "create nand 0 0 bogus=1",
+    "connect n0 A n0 A",
+    "help",
+]
+
+
+def run_transcript() -> str:
+    previous = obs_metrics.set_registry(obs_metrics.MetricsRegistry())
+    tracing_before = obs_trace.active()
+    try:
+        editor = RiotEditor()
+        editor.library = filter_library(editor.technology)
+        interface = TextualInterface(editor)
+        chunks = []
+        for command in COMMANDS:
+            chunks.append(f"$ {command}\n{interface.execute(command)}\n")
+        return "".join(chunks)
+    finally:
+        obs_trace.disable()
+        if tracing_before is not None:
+            obs_trace.enable(tracing_before)
+        obs_metrics.set_registry(previous)
+
+
+def test_textual_output_byte_identical(request):
+    transcript = run_transcript()
+    if request.config.getoption("--update-golden"):
+        GOLDEN.write_text(transcript, encoding="utf-8")
+        pytest.skip("golden transcript rewritten")
+    expected = GOLDEN.read_text(encoding="utf-8")
+    assert transcript == expected

@@ -227,7 +227,9 @@ class TestRecoveryReport:
         journal = load_text('{"command": "finish", "bogus": 1}')
         report = journal.replay(ed, mode="skip")
         assert report.executed == 0
-        assert report.skipped[0].error.startswith("TypeError")
+        # Strict request decoding rejects the stray field by name.
+        assert report.skipped[0].error.startswith("BadRequest")
+        assert "bogus" in report.skipped[0].error
 
     def test_corrupt_tail_reported_at_salvage_point(self):
         lines = good_lines(
