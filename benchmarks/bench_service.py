@@ -21,6 +21,18 @@ Two closed-loop workloads, at 1 / 8 / 32 concurrent sessions:
   fsyncs and socket turnarounds; compute cannot scale past the core
   count (reported as ``cores``).
 
+Then the supervised sharded deployment (``--shards``), which breaks
+the single-interpreter ceiling by spreading sessions across worker
+*processes*:
+
+* ``sharded`` — the interactive workload at 256 sessions over 4 shard
+  processes.  The headline ``sharded_vs_single_32`` compares its
+  aggregate throughput against the best single-process interactive
+  run; it must exceed 1.0 or the supervisor is overhead, not scale.
+* ``recovery`` — SIGKILL one shard mid-session and time from the kill
+  to the session's next acknowledged command (restart + WAL replay +
+  client retry, end to end).  Budget: under two seconds.
+
 Writes ``BENCH_service.json`` at the repo root.
 """
 
@@ -43,14 +55,23 @@ JSON_PATH = REPO_ROOT / "BENCH_service.json"
 
 sys.path.insert(0, str(SRC))
 
-from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.client import RetryPolicy, ServiceClient  # noqa: E402
 
 COMMANDS_PER_SESSION = 120
 THINK_TIME_S = 0.020
 SESSION_COUNTS = (1, 8, 32)
+SHARDS = 4
+SHARDED_SESSIONS = 256
+
+#: Rides out a shard restart during the recovery measurement.
+PATIENT = RetryPolicy(
+    attempts=12, base_delay=0.05, max_delay=1.0, connect_window=30.0
+)
 
 
-def start_server(journal_dir: str) -> tuple[subprocess.Popen, str, int]:
+def start_server(
+    journal_dir: str, *, shards: int = 0, max_sessions: int = 64
+) -> tuple[subprocess.Popen, str, int]:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC)
     proc = subprocess.Popen(
@@ -62,7 +83,9 @@ def start_server(journal_dir: str) -> tuple[subprocess.Popen, str, int]:
             "--port",
             "0",
             "--max-sessions",
-            "64",
+            str(max_sessions),
+            "--shards",
+            str(shards),
             "--journal-dir",
             journal_dir,
         ],
@@ -84,8 +107,9 @@ def run_session(
     name: str,
     think_s: float,
     latencies: list[float],
+    retry: RetryPolicy | None = None,
 ) -> None:
-    with ServiceClient(host, port, session=name) as client:
+    with ServiceClient(host, port, session=name, retry=retry) as client:
         client.call("new_cell", name="bench")
         client.call("create", at=(0, 0), cell_name="nand", name="g0")
         for _ in range(COMMANDS_PER_SESSION):
@@ -96,12 +120,19 @@ def run_session(
                 time.sleep(think_s)
 
 
-def measure(host: str, port: int, sessions: int, think_s: float, tag: str) -> dict:
+def measure(
+    host: str,
+    port: int,
+    sessions: int,
+    think_s: float,
+    tag: str,
+    retry: RetryPolicy | None = None,
+) -> dict:
     latencies: list[float] = []
     threads = [
         threading.Thread(
             target=run_session,
-            args=(host, port, f"{tag}-{i}", think_s, latencies),
+            args=(host, port, f"{tag}-{i}", think_s, latencies, retry),
         )
         for i in range(sessions)
     ]
@@ -125,6 +156,32 @@ def measure(host: str, port: int, sessions: int, think_s: float, tag: str) -> di
             ordered[int(len(ordered) * 0.95) - 1] * 1000, 3
         ),
         "latency_max_ms": round(ordered[-1] * 1000, 3),
+    }
+
+
+def measure_recovery(host: str, port: int) -> dict:
+    """SIGKILL one shard and time kill -> next acknowledged command
+    on a session living there (restart + WAL replay + client retry)."""
+    import signal
+
+    with ServiceClient(
+        host, port, session="recovery", retry=PATIENT
+    ) as client:
+        client.call("new_cell", name="bench")
+        client.call("create", at=(0, 0), cell_name="nand", name="g0")
+        listed = client.call("service.sessions").sessions
+        (index,) = [s.shard for s in listed if s.name == "recovery"]
+        stats = client.call("service.stats")
+        (pid,) = [s.pid for s in stats.shards if s.index == index]
+        t0 = time.perf_counter()
+        os.kill(pid, signal.SIGKILL)
+        client.call("rotate", name="g0")
+        recovery_s = time.perf_counter() - t0
+        retries = client.retries
+    return {
+        "shard": index,
+        "recovery_s": round(recovery_s, 4),
+        "client_retries": retries,
     }
 
 
@@ -154,6 +211,32 @@ def main() -> None:
             proc.terminate()
             proc.wait(timeout=30)
 
+    # The sharded deployment: 256 interactive seats over 4 worker
+    # processes, then a shard-kill recovery measurement on the same
+    # supervisor.
+    with tempfile.TemporaryDirectory(prefix="bench_sharded_wal_") as tmp:
+        proc, host, port = start_server(
+            tmp, shards=SHARDS, max_sessions=SHARDED_SESSIONS + 8
+        )
+        try:
+            run = measure(
+                host,
+                port,
+                SHARDED_SESSIONS,
+                THINK_TIME_S,
+                "sharded",
+                retry=PATIENT,
+            )
+            results["workloads"]["sharded"] = {
+                "shards": SHARDS,
+                "think_time_ms": THINK_TIME_S * 1000,
+                "runs": [run],
+            }
+            results["recovery"] = measure_recovery(host, port)
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+
     def speedup(workload: str, sessions: int) -> float:
         runs = {
             r["sessions"]: r["throughput_rps"]
@@ -166,6 +249,19 @@ def main() -> None:
     results["speedup_8_vs_1"] = speedup("interactive", 8)
     results["speedup_32_vs_1"] = speedup("interactive", 32)
     results["tight_speedup_8_vs_1"] = speedup("tight", 8)
+
+    # Sharding must buy throughput past the single-process ceiling,
+    # and a killed shard must come back inside the two-second budget.
+    single_32 = next(
+        r["throughput_rps"]
+        for r in results["workloads"]["interactive"]["runs"]
+        if r["sessions"] == 32
+    )
+    sharded_rps = results["workloads"]["sharded"]["runs"][0]["throughput_rps"]
+    results["sharded_vs_single_32"] = round(sharded_rps / single_32, 2)
+    assert results["sharded_vs_single_32"] > 1.0, results
+    assert results["recovery"]["recovery_s"] < 2.0, results["recovery"]
+
     JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
 

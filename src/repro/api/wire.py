@@ -57,6 +57,10 @@ class RequestEnvelope:
 class ErrorInfo:
     code: str
     message: str
+    #: Optional pacing hint: retryable conditions (``service.overloaded``,
+    #: ``service.shard_failed``) tell the client how many milliseconds to
+    #: wait before trying again.  Absent (``None``) everywhere else.
+    retry_after_ms: int | None = None
 
 
 @dataclass(frozen=True)
@@ -135,14 +139,20 @@ def encode_result(id, method: str, result) -> str:
 
 def encode_error(id, exc_or_code, message: str | None = None) -> str:
     """An error line from an exception (code derived) or a code string."""
+    retry_after_ms = None
     if isinstance(exc_or_code, BaseException):
         code = error_code(exc_or_code)
         message = str(exc_or_code)
+        retry_after_ms = getattr(exc_or_code, "retry_after_ms", None)
     else:
         code = exc_or_code
         message = message or ""
     envelope = ResponseEnvelope(
-        ok=False, id=id, error=ErrorInfo(code=code, message=message)
+        ok=False,
+        id=id,
+        error=ErrorInfo(
+            code=code, message=message, retry_after_ms=retry_after_ms
+        ),
     )
     return canonical_json(envelope)
 
@@ -158,10 +168,19 @@ def parse_response(line: str | bytes) -> ResponseEnvelope:
     return envelope
 
 
+def response_error(envelope: ResponseEnvelope) -> ReproError:
+    """The failure a response envelope carries, rebuilt as a
+    :class:`ReproError` with the code — and any ``retry_after_ms``
+    pacing hint — preserved."""
+    error = ReproError(envelope.error.message, code=envelope.error.code)
+    error.retry_after_ms = envelope.error.retry_after_ms
+    return error
+
+
 def decode_result(envelope: ResponseEnvelope):
     """The typed result a success envelope carries; raises the wire
     error as a :class:`ReproError` (code preserved) on a failure."""
     if not envelope.ok:
-        raise ReproError(envelope.error.message, code=envelope.error.code)
+        raise response_error(envelope)
     spec = spec_for(envelope.method)
     return from_jsonable(spec.result, envelope.result, where=envelope.method)

@@ -37,6 +37,22 @@ POOL = "pool"
 INLINE = "inline"
 RETRIED = "retried-inline"
 
+#: Tasks whose ``cost`` hint (subtree component count) is below this
+#: run in-process even with a pool available: forking a worker and
+#: pickling payload + result costs more wall time than the work
+#: itself for small cells, which is how ``--jobs N`` used to run
+#: *slower* than serial on the stock corpus (largest stock target:
+#: ~350 units, ~2ms of work).  Tasks with ``cost=0`` (no hint) ship
+#: to the pool as before.
+POOL_COST_THRESHOLD = 1000
+
+
+def _pool_worthy(task: Task) -> bool:
+    """Is this task worth shipping to a worker process?"""
+    if task.local:
+        return False
+    return task.cost == 0 or task.cost >= POOL_COST_THRESHOLD
+
 
 @dataclass(frozen=True)
 class Span:
@@ -208,7 +224,7 @@ class Scheduler:
         finished_count = 0
 
         pool = None
-        if self.jobs > 1 and any(not t.local for t in pending):
+        if self.jobs > 1 and any(_pool_worthy(t) for t in pending):
             context = _fork_context()
             pool = ProcessPoolExecutor(
                 max_workers=self.jobs, mp_context=context
@@ -253,7 +269,7 @@ class Scheduler:
             while ready or futures:
                 while ready:
                     t = ready.pop(0)
-                    if t.local or pool is None:
+                    if pool is None or not _pool_worthy(t):
                         run_inline(t, INLINE)
                         continue
                     inputs = {d: results[d] for d in t.deps}

@@ -55,7 +55,11 @@ class Task:
     ``payload`` holds the static inputs; results of ``deps`` arrive at
     execution time keyed by task id.  ``cache_key`` is ``None`` for
     uncacheable tasks; ``local`` pins a task to the coordinating
-    process (identity-sensitive or too trivial to ship).
+    process (identity-sensitive or too trivial to ship).  ``cost`` is
+    a size hint in component units (the cell subtree's total Sticks
+    component count): the scheduler keeps tasks under its cost
+    threshold in-process, where fork + pickle overhead would exceed
+    the work.  ``0`` means unknown — treated as big enough to ship.
     """
 
     id: str
@@ -65,6 +69,7 @@ class Task:
     deps: tuple[str, ...] = ()
     cache_key: str | None = None
     local: bool = False
+    cost: int = 0
 
 
 #: kind name -> fn(payload, inputs) -> result
@@ -174,12 +179,32 @@ def _sticks_leaves(cell: CompositionCell, out: dict[int, LeafCell]) -> None:
             out.setdefault(id(child), child)
 
 
+def _leaf_cost(leaf: LeafCell) -> int:
+    sticks = leaf.sticks_cell
+    return sticks.component_count if sticks is not None else 1
+
+
+def _subtree_cost(cell, memo: dict[int, int]) -> int:
+    """Total Sticks component count under ``cell``, instances counted
+    with multiplicity (the work elaborate/drc/extract actually do)."""
+    cached = memo.get(id(cell))
+    if cached is not None:
+        return cached
+    if isinstance(cell, CompositionCell):
+        cost = sum(_subtree_cost(inst.cell, memo) for inst in cell.instances)
+    else:
+        cost = _leaf_cost(cell) if isinstance(cell, LeafCell) else 1
+    memo[id(cell)] = cost
+    return cost
+
+
 def build_verification_dag(
     cells: list[CompositionCell], technology: Technology
 ) -> list[Task]:
     """Tasks verifying every cell in ``cells``, expansions shared."""
     tech_hash = hash_technology(technology)
     memo: dict[int, str] = {}
+    cost_memo: dict[int, int] = {}
     tasks: list[Task] = []
     seen_names: set[str] = set()
     expand_task_by_leaf: dict[int, Task] = {}
@@ -194,6 +219,7 @@ def build_verification_dag(
             raise PipelineError(f"duplicate verification target {cell.name!r}")
         seen_names.add(cell.name)
         cell_hash = hash_cell(cell, memo)
+        cell_cost = _subtree_cost(cell, cost_memo)
 
         leaves: dict[int, LeafCell] = {}
         _sticks_leaves(cell, leaves)
@@ -208,6 +234,7 @@ def build_verification_dag(
                     cell_name=leaf.name,
                     payload={"sticks": leaf.sticks_cell, "technology": technology},
                     cache_key=task_key("expand", leaf_hash, tech_hash),
+                    cost=_leaf_cost(leaf),
                 )
                 expand_task_by_leaf[id(leaf)] = task
                 tasks.append(task)
@@ -224,6 +251,7 @@ def build_verification_dag(
             },
             deps=tuple(expansions.values()),
             cache_key=task_key("cif", cell_hash, tech_hash),
+            cost=cell_cost,
         )
         elaborate_task = Task(
             id=f"elaborate:{cell.name}",
@@ -236,6 +264,7 @@ def build_verification_dag(
             },
             deps=(cif_task.id,),
             cache_key=task_key("elaborate", cell_hash, tech_hash),
+            cost=cell_cost,
         )
         drc_task = Task(
             id=f"drc:{cell.name}",
@@ -244,6 +273,7 @@ def build_verification_dag(
             payload={"flat": elaborate_task.id, "technology": technology},
             deps=(elaborate_task.id,),
             cache_key=task_key("drc", cell_hash, tech_hash),
+            cost=cell_cost,
         )
         extract_task = Task(
             id=f"extract:{cell.name}",
@@ -252,6 +282,7 @@ def build_verification_dag(
             payload={"flat": elaborate_task.id, "technology": technology},
             deps=(elaborate_task.id,),
             cache_key=task_key("extract", cell_hash, tech_hash),
+            cost=cell_cost,
         )
         netcheck_task = Task(
             id=f"netcheck:{cell.name}",

@@ -11,18 +11,88 @@ raise :class:`repro.errors.ReproError` carrying the wire error code::
         c.call("create", at=(0, 20000), cell_name="nand", name="n0")
         routed = c.call("do_route")          # RouteCommandResult
         print(routed.wires, routed.channels)
+
+The client rides out transient failures by itself (capped exponential
+backoff with jitter, see :class:`RetryPolicy`):
+
+* **connect** retries ``ConnectionRefusedError`` until the window
+  closes — a client started moments before its server wins the race;
+* ``service.overloaded`` / ``service.backpressure`` are always
+  retried — nothing executed, and the server's ``retry_after_ms``
+  pacing hint is honored when present;
+* ``service.shard_failed`` and a dropped connection are retried (after
+  reconnecting) only for *replayable* commands and the ``service.*``
+  control plane.  A replayable command that reached the WAL before the
+  crash is re-applied by replay, so the retry converges on the same
+  state; a non-replayable command (plots, file writes) is not known to
+  be idempotent and its failure is surfaced instead.
+
+Everything else — command errors, bad requests, shutdown — raises
+immediately; retrying cannot help.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+from dataclasses import dataclass
 
 from repro.api.codec import from_jsonable
-from repro.api.registry import spec_for
-from repro.api.wire import encode_request, parse_response
+from repro.api.registry import REGISTRY, spec_for
+from repro.api.wire import encode_request, parse_response, response_error
 from repro.errors import ReproError
 from repro.service.control import CONTROL
 from repro.service.errors import ServiceError
+
+#: Error codes retried regardless of the method: the server refused to
+#: start the work, so a retry can never duplicate anything.
+RETRY_ALWAYS = frozenset({"service.overloaded", "service.backpressure"})
+
+#: Error codes retried only when the method is safe to re-run: the
+#: work may have started (even reached the WAL) before the failure.
+RETRY_IF_REPLAYABLE = frozenset({"service.shard_failed"})
+
+#: Pure queries — no editor mutation, no WAL entry, no file written —
+#: so re-running one is always harmless even though none is flagged
+#: ``replayable`` (there is nothing to replay).
+READONLY_METHODS = frozenset(
+    {"cells", "pending", "check", "help", "stats", "trace"}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule for connects and retryable failures.
+
+    Delay for attempt *n* (0-based) is ``base_delay * 2**n`` capped at
+    ``max_delay``, then multiplied by a random factor in
+    ``[1 - jitter, 1]`` so a thundering herd spreads out; a server
+    ``retry_after_ms`` hint acts as a floor on top.  ``attempts=1``
+    disables request retries entirely (fail on first error), and
+    ``connect_window=0`` disables connect retries.
+    """
+
+    attempts: int = 8
+    base_delay: float = 0.05
+    max_delay: float = 1.0
+    jitter: float = 0.5
+    connect_window: float = 10.0
+    #: Seed for the jitter RNG — set it in tests for reproducibility.
+    seed: int | None = None
+
+    def delay(
+        self, attempt: int, rng: random.Random, hint_ms: int | None = None
+    ) -> float:
+        base = min(self.max_delay, self.base_delay * (2**attempt))
+        jittered = base * (1.0 - self.jitter * rng.random())
+        if hint_ms:
+            jittered = max(jittered, hint_ms / 1000.0)
+        return jittered
+
+
+#: Retries disabled — every failure surfaces on the first attempt.
+NO_RETRY = RetryPolicy(attempts=1, connect_window=0.0)
 
 
 def method_types(method: str) -> tuple[type, type]:
@@ -35,6 +105,14 @@ def method_types(method: str) -> tuple[type, type]:
     return spec.request, spec.result
 
 
+def _replay_safe(method: str) -> bool:
+    """May a retry duplicate-execute this method without harm?"""
+    if method in CONTROL or method in READONLY_METHODS:
+        return True
+    spec = REGISTRY.get(method)
+    return spec is not None and spec.replayable
+
+
 class ServiceClient:
     """A blocking protocol-v1 connection bound to one session name."""
 
@@ -45,11 +123,49 @@ class ServiceClient:
         *,
         session: str | None = None,
         timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
     ) -> None:
+        self.host = host
+        self.port = port
         self.session = session
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._rng = random.Random(self.retry.seed)
+        self._sock: socket.socket | None = None
+        self._file = None
         self._next_id = 0
+        #: Retries performed over this client's lifetime (observability).
+        self.retries = 0
+        self._connect()
+
+    # -- connection ----------------------------------------------------------
+
+    def _connect(self) -> None:
+        deadline = time.monotonic() + self.retry.connect_window
+        attempt = 0
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._file = self._sock.makefile("rwb")
+                return
+            except (ConnectionRefusedError, ConnectionResetError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(
+                    min(
+                        self.retry.delay(attempt, self._rng),
+                        max(0.0, deadline - time.monotonic()),
+                    )
+                )
+                attempt += 1
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
+
+    # -- requests ------------------------------------------------------------
 
     def call(self, method: str, **params):
         """Build the typed request from ``params``, round-trip it, and
@@ -58,7 +174,36 @@ class ServiceClient:
         return self.request(method, request_cls(**params))
 
     def request(self, method: str, request):
-        """Round-trip an already-built request dataclass."""
+        """Round-trip an already-built request dataclass, retrying
+        transient failures per the client's :class:`RetryPolicy`."""
+        for attempt in range(max(1, self.retry.attempts)):
+            last_attempt = attempt >= self.retry.attempts - 1
+            try:
+                return self._round_trip(method, request)
+            except ReproError as exc:
+                code = getattr(exc, "code", None)
+                if last_attempt:
+                    raise
+                if code in RETRY_ALWAYS:
+                    pass
+                elif code in RETRY_IF_REPLAYABLE and _replay_safe(method):
+                    pass
+                else:
+                    raise
+                hint = getattr(exc, "retry_after_ms", None)
+                self.retries += 1
+                time.sleep(self.retry.delay(attempt, self._rng, hint))
+            except (ConnectionError, BrokenPipeError, OSError):
+                # The socket itself failed; whether the request reached
+                # the server is unknown — same contract as shard_failed.
+                if last_attempt or not _replay_safe(method):
+                    raise
+                self.retries += 1
+                time.sleep(self.retry.delay(attempt, self._rng))
+                self._reconnect()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _round_trip(self, method: str, request):
         self._next_id += 1
         id = self._next_id
         line = encode_request(method, request, id=id, session=self.session)
@@ -66,20 +211,30 @@ class ServiceClient:
         self._file.flush()
         raw = self._file.readline()
         if not raw:
-            raise ServiceError("connection closed by server")
+            raise ConnectionResetError("connection closed by server")
         envelope = parse_response(raw)
         if envelope.id != id:
             raise ServiceError(
                 f"response id {envelope.id!r} does not match request {id!r}"
             )
         if not envelope.ok:
-            raise ReproError(envelope.error.message, code=envelope.error.code)
+            raise response_error(envelope)
         _, result_cls = method_types(method)
         return from_jsonable(result_cls, envelope.result, where=method)
 
     def close(self) -> None:
-        self._file.close()
-        self._sock.close()
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self

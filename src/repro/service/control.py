@@ -38,6 +38,9 @@ class SessionInfo:
     executed: int
     failed: int
     journal: str | None
+    #: Which shard hosts the session (supervisor mode); ``None`` on a
+    #: single-process server.
+    shard: int | None = None
 
 
 @dataclass(frozen=True)
@@ -51,13 +54,41 @@ class ServiceStatsRequest:
 
 
 @dataclass(frozen=True)
+class ShardStats:
+    """One worker process as the supervisor sees it."""
+
+    index: int
+    pid: int | None
+    alive: bool
+    restarts: int
+    sessions: int
+    queued: int
+    circuit_open: bool = False
+
+
+@dataclass(frozen=True)
 class ServiceStatsResult:
+    """Service-wide counters.
+
+    The six original fields keep their protocol-v1 meaning (on a
+    supervisor they aggregate over every shard); the defaulted fields
+    were added with sharding and old writers simply omit them —
+    ``pid``/``queued`` describe the answering process, ``shed`` counts
+    admission-control refusals, ``shard_failures`` counts in-flight
+    requests failed by shard deaths, and ``shards`` carries one
+    :class:`ShardStats` per worker process (empty single-process)."""
+
     connections: int
     requests: int
     errors: int
     timeouts: int
     backpressure: int
     sessions: int
+    pid: int | None = None
+    queued: int = 0
+    shed: int = 0
+    shard_failures: int = 0
+    shards: tuple[ShardStats, ...] = ()
 
 
 @dataclass(frozen=True)

@@ -46,3 +46,36 @@ class ShutdownError(ServiceError):
     """The service is draining for shutdown and takes no new work."""
 
     code = "service.shutdown"
+
+
+class ShardFailedError(ServiceError):
+    """The shard hosting the session died with this request in flight
+    (or is currently restarting).  The command may or may not have
+    reached the session's WAL before the crash; acknowledged history is
+    preserved by salvage + replay when the shard comes back.  Clients
+    may retry replayable commands — the session resumes where its WAL
+    left off.  ``retry_after_ms``, when set, estimates how long the
+    restart will take."""
+
+    code = "service.shard_failed"
+
+    def __init__(
+        self, message: str = "", *, retry_after_ms: int | None = None, **kwargs
+    ):
+        super().__init__(message, **kwargs)
+        self.retry_after_ms = retry_after_ms
+
+
+class OverloadedError(ServiceError):
+    """Admission control refused the request — per-shard queue depth
+    over the shed threshold, or the shard's crash-loop circuit open.
+    Nothing was executed; the request is always safe to retry after
+    ``retry_after_ms``."""
+
+    code = "service.overloaded"
+
+    def __init__(
+        self, message: str = "", *, retry_after_ms: int | None = None, **kwargs
+    ):
+        super().__init__(message, **kwargs)
+        self.retry_after_ms = retry_after_ms

@@ -111,6 +111,11 @@ class SessionWorker:
     def _dispatch(self, envelope: wire.RequestEnvelope) -> str:
         if self._init_error is not None:
             return wire.encode_error(envelope.id, self._init_error)
+        chaos = self.service.chaos
+        if chaos is not None and chaos.slow_worker_ms:
+            import time
+
+            time.sleep(chaos.command_delay())
         try:
             _, result = self.session.dispatch_named(
                 envelope.method, dict(envelope.params)
@@ -190,6 +195,7 @@ class RiotService:
         queue_limit: int = 16,
         timeout: float = 30.0,
         journal_dir: str | Path | None = None,
+        chaos=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -197,6 +203,9 @@ class RiotService:
         self.queue_limit = queue_limit
         self.timeout = timeout
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        #: Fault-injection policy (:class:`repro.service.chaos.ChaosPolicy`),
+        #: normally ``None``; set by ``REPRO_CHAOS`` runs.
+        self.chaos = chaos
         self.workers: dict[str, SessionWorker] = {}
         self.counters = {
             "connections": 0,
@@ -209,6 +218,7 @@ class RiotService:
         self._closing = False
         self._closed: asyncio.Event | None = None
         self._shutdown_task: asyncio.Task | None = None
+        self._conn_writers: set = set()
 
     async def start(self) -> "RiotService":
         if self.journal_dir is not None:
@@ -227,6 +237,7 @@ class RiotService:
 
     async def _serve_connection(self, reader, writer) -> None:
         self.counters["connections"] += 1
+        self._conn_writers.add(writer)
         write_lock = asyncio.Lock()
         pending: set[asyncio.Task] = set()
         try:
@@ -244,6 +255,7 @@ class RiotService:
         except (ConnectionResetError, OSError):
             pass
         finally:
+            self._conn_writers.discard(writer)
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
             writer.close()
@@ -253,12 +265,17 @@ class RiotService:
     async def _serve_line(self, line: bytes, writer, write_lock) -> None:
         self.counters["requests"] += 1
         response = await self._respond(line)
+        if response is None:  # chaos swallowed it (drop-heartbeat)
+            return
         async with write_lock:
             with contextlib.suppress(ConnectionResetError, OSError):
                 writer.write(response.encode("utf-8") + b"\n")
                 await writer.drain()
+        if self.chaos is not None:
+            # The acknowledgement point: the response is on the wire.
+            self.chaos.after_response(line, response)
 
-    async def _respond(self, line: bytes) -> str:
+    async def _respond(self, line: bytes) -> str | None:
         try:
             envelope = wire.parse_request(line)
         except ReproError as exc:
@@ -313,10 +330,12 @@ class RiotService:
 
     # -- the control plane ---------------------------------------------------
 
-    async def _control(self, envelope: wire.RequestEnvelope) -> str:
+    async def _control(self, envelope: wire.RequestEnvelope) -> str | None:
         request_cls, _ = control.control_types(envelope.method)
         from_jsonable(request_cls, dict(envelope.params), where=envelope.method)
         if envelope.method == "service.ping":
+            if self.chaos is not None and self.chaos.drop_ping():
+                return None  # simulate a wedged worker: no answer at all
             result = control.PingResult(
                 version=PROTOCOL_VERSION, sessions=len(self.workers)
             )
@@ -338,6 +357,8 @@ class RiotService:
                 )
             )
         elif envelope.method == "service.stats":
+            import os
+
             result = control.ServiceStatsResult(
                 connections=self.counters["connections"],
                 requests=self.counters["requests"],
@@ -345,6 +366,8 @@ class RiotService:
                 timeouts=self.counters["timeouts"],
                 backpressure=self.counters["backpressure"],
                 sessions=len(self.workers),
+                pid=os.getpid(),
+                queued=sum(w.depth for w in self.workers.values()),
             )
         else:  # service.shutdown — ack, then drain in the background.
             result = control.ShutdownResult(
@@ -373,6 +396,13 @@ class RiotService:
             await self._server.wait_closed()
         for worker in list(self.workers.values()):
             await worker.stop()
+        # Hang up on open connections so their handler tasks finish
+        # before the loop does (a cancelled readline is noisy).
+        for writer in list(self._conn_writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        await asyncio.sleep(0.01)
         self._closed.set()
 
 
@@ -452,6 +482,28 @@ class ServiceThread:
 
 
 async def _amain(args) -> None:
+    if args.shards > 0:
+        from repro.service.supervisor import Supervisor
+
+        service = await Supervisor(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            max_sessions=args.max_sessions,
+            queue_limit=args.queue_limit,
+            timeout=args.timeout,
+            shed_at=args.shed_at,
+            journal_dir=args.journal_dir,
+        ).start()
+        print(f"listening on {service.host}:{service.port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, service.request_shutdown)
+        await service.serve_forever()
+        return
+    from repro.service.chaos import ChaosPolicy
+
     service = await RiotService(
         host=args.host,
         port=args.port,
@@ -459,6 +511,7 @@ async def _amain(args) -> None:
         queue_limit=args.queue_limit,
         timeout=args.timeout,
         journal_dir=args.journal_dir,
+        chaos=ChaosPolicy.from_env(),
     ).start()
     print(f"listening on {service.host}:{service.port}", flush=True)
     loop = asyncio.get_running_loop()
@@ -502,6 +555,19 @@ def main(argv: list[str] | None = None) -> int:
         "--queue-limit", type=int, default=16,
         help="per-session command queue bound; a full queue answers "
              "service.backpressure (default 16)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="run a supervisor over this many crash-isolated worker "
+             "processes (default 0: single process, no supervisor); "
+             "sessions map to shards by consistent hash and resume "
+             "from their WALs when a dead shard is restarted",
+    )
+    parser.add_argument(
+        "--shed-at", type=int, default=256,
+        help="supervisor mode: refuse (service.overloaded, with a "
+             "retry_after_ms hint) once a shard has this many requests "
+             "in flight (default 256)",
     )
     add_obs_flags(parser)
     args = parser.parse_args(argv)

@@ -1,0 +1,91 @@
+"""One worker process of the sharded service.
+
+A shard is a full :class:`repro.service.server.RiotService` — the same
+session workers, queues, deadlines and per-session WALs as the
+single-process server — running in its own interpreter with its own
+WAL directory, listening on a loopback port it prints at startup
+(``listening on HOST:PORT``) for the supervisor to connect to.  Crash
+isolation is the point: a shard that segfaults, OOMs, or is SIGKILLed
+takes only its own sessions down, and those resume by WAL salvage +
+replay when the supervisor restarts it.
+
+The supervisor speaks ordinary protocol v1 to the shard (there is no
+second wire format to version): session commands are forwarded
+verbatim with remapped ids, and ``service.ping`` doubles as the
+heartbeat.  A shard also watches its stdin — the pipe the supervisor
+holds — and drains gracefully on EOF, so an orphaned shard never
+outlives a dead supervisor.
+
+Runnable directly for debugging::
+
+    python -m repro.service.shard --index 0 --journal-dir wals/shard-0
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+
+from repro.service.chaos import ChaosPolicy
+from repro.service.server import RiotService
+
+
+def _watch_stdin(loop: asyncio.AbstractEventLoop, service: RiotService) -> None:
+    """Block until the supervisor's pipe closes, then drain."""
+    try:
+        sys.stdin.buffer.read()
+    except (OSError, ValueError):  # pragma: no cover - closed abruptly
+        pass
+    loop.call_soon_threadsafe(service.request_shutdown)
+
+
+async def amain(args) -> None:
+    service = await RiotService(
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        journal_dir=args.journal_dir,
+        chaos=ChaosPolicy.from_env(),
+    ).start()
+    print(f"listening on {service.host}:{service.port}", flush=True)
+    if not sys.stdin.isatty():
+        threading.Thread(
+            target=_watch_stdin,
+            args=(asyncio.get_running_loop(), service),
+            name=f"shard-{args.index}-stdin",
+            daemon=True,
+        ).start()
+    await service.serve_forever()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.shard",
+        description="One worker process of the sharded Riot service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument(
+        "--index", type=int, default=0, help="this shard's index (labels only)"
+    )
+    parser.add_argument("--max-sessions", type=int, default=1024)
+    parser.add_argument("--queue-limit", type=int, default=16)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--journal-dir", metavar="DIR", default=None,
+        help="this shard's own WAL directory (one NAME.wal per session)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive use only
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

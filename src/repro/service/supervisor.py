@@ -1,0 +1,840 @@
+"""The supervisor: accept/route in front of a sharded worker pool.
+
+``python -m repro serve --shards N`` runs this process in front of N
+:mod:`repro.service.shard` subprocesses.  The supervisor owns the
+listening socket and the routing decision — sessions map to shards by
+consistent hash (:class:`HashRing`), so a session name lands on the
+same shard across requests, connections *and shard restarts* — and
+forwards protocol-v1 lines verbatim with remapped request ids.  The
+wire format is unchanged: a :class:`~repro.service.client.ServiceClient`
+cannot tell a supervisor from a single-process server except by the
+new stats fields.
+
+Robustness model, in order of the request path:
+
+* **Admission control** — a new session name beyond ``max_sessions``
+  answers ``service.session_limit``; a shard whose in-flight queue is
+  at ``shed_at`` answers ``service.overloaded`` with a
+  ``retry_after_ms`` pacing hint instead of buffering unboundedly.
+* **Crash isolation** — a shard death (exit, SIGKILL, heartbeat
+  timeout) fails only that shard's in-flight requests, each with
+  ``service.shard_failed`` (safe to retry for replayable commands);
+  every other shard keeps serving untouched.
+* **Supervision** — the dead shard is restarted under a
+  :class:`~repro.service.health.RestartGovernor`: prompt restart after
+  productive lives, exponential backoff for crash loops, and a circuit
+  breaker that stops restarting a shard that never serves (requests
+  then shed with ``service.overloaded`` until the cooldown ends).
+* **Recovery** — each shard owns a WAL directory
+  (``journal_dir/shard-K``), so its sessions' journals survive it; on
+  restart the supervisor warms every affected session back up, which
+  salvages + replays its WAL through the registry — the paper's REPLAY
+  recovery, per seat, automated.
+
+Heartbeats ride the ordinary wire: the supervisor periodically sends
+``service.ping`` down each shard connection and SIGKILLs a shard that
+stays silent past the timeout (a wedged process is as dead as an
+exited one).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+
+from repro.api import wire
+from repro.api.codec import from_jsonable
+from repro.api.errors import BadRequest
+from repro.api.types import PROTOCOL_VERSION
+from repro.errors import ReproError
+from repro.obs import metrics
+from repro.service import control
+from repro.service.errors import (
+    BadSessionName,
+    OverloadedError,
+    ServiceError,
+    SessionLimitError,
+    ShardFailedError,
+    ShutdownError,
+)
+from repro.service.health import RestartGovernor
+from repro.service.server import _SESSION_NAME, _fish_id
+
+#: Extra margin on the first restart's ``retry_after_ms`` hint: rough
+#: worst-case interpreter start + listen time for a shard subprocess.
+_SPAWN_ESTIMATE_MS = 500
+
+
+class HashRing:
+    """Consistent hashing of session names onto shard indexes.
+
+    Each shard owns ``vnodes`` points on a ring keyed by SHA-1, and a
+    session maps to the owner of the first point at or after its own
+    hash.  Deterministic across processes and Python versions (no
+    ``hash()``), stable under restarts, and adding a shard moves only
+    ~1/N of the keyspace.
+    """
+
+    def __init__(self, shards: int, vnodes: int = 64) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        points: list[tuple[int, int]] = []
+        for index in range(shards):
+            for v in range(vnodes):
+                points.append((self._hash(f"shard-{index}#{v}"), index))
+        points.sort()
+        self._keys = [p[0] for p in points]
+        self._owners = [p[1] for p in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        return int.from_bytes(
+            hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+        )
+
+    def shard_for(self, session: str) -> int:
+        point = bisect.bisect_right(self._keys, self._hash(session))
+        if point == len(self._keys):
+            point = 0
+        return self._owners[point]
+
+
+class ShardHandle:
+    """One supervised worker process (across its restarts)."""
+
+    def __init__(self, supervisor: "Supervisor", index: int) -> None:
+        self.supervisor = supervisor
+        self.index = index
+        self.proc: asyncio.subprocess.Process | None = None
+        self.reader: asyncio.StreamReader | None = None
+        self.writer: asyncio.StreamWriter | None = None
+        self.alive = False
+        #: Bumped on every death; guards stale pump/watcher callbacks.
+        self.generation = 0
+        #: Supervisor-assigned uid -> (client id, response future).
+        self.pending: dict[int, tuple[object, asyncio.Future]] = {}
+        self._next_uid = 0
+        self.restarts = 0
+        #: ok responses to session commands in the current life.
+        self.acked = 0
+        self.governor = RestartGovernor(**supervisor.governor_kwargs)
+        #: ms estimate handed out in shard_failed errors while down.
+        self.retry_hint_ms = _SPAWN_ESTIMATE_MS
+        self.restart_task: asyncio.Task | None = None
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if (self.proc and self.alive) else None
+
+    def next_uid(self) -> int:
+        self._next_uid += 1
+        return self._next_uid
+
+
+class Supervisor:
+    """Accept/route server over a pool of shard subprocesses."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        shards: int = 2,
+        max_sessions: int = 256,
+        queue_limit: int = 16,
+        timeout: float = 30.0,
+        shed_at: int = 256,
+        journal_dir: str | Path | None = None,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float = 2.0,
+        spawn_timeout: float = 30.0,
+        governor_kwargs: dict | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if shed_at < 1:
+            raise ValueError("shed_at must be >= 1")
+        self.host = host
+        self.port = port
+        self.shard_count = shards
+        self.max_sessions = max_sessions
+        self.queue_limit = queue_limit
+        self.timeout = timeout
+        self.shed_at = shed_at
+        self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.spawn_timeout = spawn_timeout
+        self.governor_kwargs = governor_kwargs or {}
+        self.ring = HashRing(shards)
+        self.shards = [ShardHandle(self, i) for i in range(shards)]
+        #: session name -> shard index (the admission-control census).
+        self.session_shard: dict[str, int] = {}
+        self.counters = {
+            "connections": 0,
+            "requests": 0,
+            "errors": 0,
+            "shed": 0,
+            "shard_failures": 0,
+        }
+        self._server: asyncio.AbstractServer | None = None
+        self._conn_writers: set = set()
+        self._closing = False
+        self._closed: asyncio.Event | None = None
+        self._shutdown_task: asyncio.Task | None = None
+        self._heartbeat_tasks: list[asyncio.Task] = []
+        self._background: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "Supervisor":
+        if self.journal_dir is not None:
+            self.journal_dir.mkdir(parents=True, exist_ok=True)
+        self._closed = asyncio.Event()
+        await asyncio.gather(*(self._spawn(h) for h in self.shards))
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for handle in self.shards:
+            self._heartbeat_tasks.append(
+                asyncio.ensure_future(self._heartbeat(handle))
+            )
+        return self
+
+    async def serve_forever(self) -> None:
+        await self._closed.wait()
+
+    def _spawn_background(self, coro) -> None:
+        task = asyncio.ensure_future(coro)
+        self._background.add(task)
+        task.add_done_callback(self._background.discard)
+
+    # -- shard processes -----------------------------------------------------
+
+    def _shard_command(self, handle: ShardHandle) -> list[str]:
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.service.shard",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--index",
+            str(handle.index),
+            "--max-sessions",
+            str(self.max_sessions),
+            "--queue-limit",
+            str(self.queue_limit),
+            "--timeout",
+            str(self.timeout),
+        ]
+        if self.journal_dir is not None:
+            cmd += [
+                "--journal-dir",
+                str(self.journal_dir / f"shard-{handle.index}"),
+            ]
+        return cmd
+
+    @staticmethod
+    def _shard_env() -> dict[str, str]:
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src if not existing else src + os.pathsep + existing
+        )
+        return env
+
+    async def _spawn(self, handle: ShardHandle) -> None:
+        """Start one shard life: subprocess, handshake, connection."""
+        proc = await asyncio.create_subprocess_exec(
+            *self._shard_command(handle),
+            stdin=asyncio.subprocess.PIPE,
+            stdout=asyncio.subprocess.PIPE,
+            env=self._shard_env(),
+        )
+        try:
+            line = await asyncio.wait_for(
+                proc.stdout.readline(), self.spawn_timeout
+            )
+            text = line.decode("utf-8", "replace").strip()
+            if not text.startswith("listening on "):
+                raise ServiceError(
+                    f"shard {handle.index} did not start: {text!r}"
+                )
+            host, _, port = text.removeprefix("listening on ").rpartition(":")
+            reader, writer = await asyncio.open_connection(host, int(port))
+        except BaseException:
+            with contextlib.suppress(ProcessLookupError):
+                proc.kill()
+            raise
+        handle.proc = proc
+        handle.reader = reader
+        handle.writer = writer
+        handle.acked = 0
+        handle.alive = True
+        generation = handle.generation
+        self._spawn_background(self._pump(handle, generation))
+        self._spawn_background(self._watch_exit(handle, generation))
+        if handle.restarts and self.journal_dir is not None:
+            self._spawn_background(self._resume_sessions(handle, generation))
+
+    async def _watch_exit(self, handle: ShardHandle, generation: int) -> None:
+        proc = handle.proc
+        await proc.wait()
+        self._shard_down(
+            handle, generation, f"exited with code {proc.returncode}"
+        )
+
+    async def _pump(self, handle: ShardHandle, generation: int) -> None:
+        """Relay shard responses back to their waiting futures."""
+        reader = handle.reader
+        try:
+            while True:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                try:
+                    data = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(data, dict):
+                    continue
+                entry = handle.pending.pop(data.get("id"), None)
+                if entry is None:
+                    continue
+                if data.get("ok") and not str(
+                    data.get("method") or ""
+                ).startswith("service."):
+                    # Productive work: the crash-loop breaker resets.
+                    handle.acked += 1
+                    handle.governor.record_progress()
+                original_id, future = entry
+                data["id"] = original_id
+                if not future.done():
+                    future.set_result(
+                        json.dumps(data, sort_keys=True, separators=(",", ":"))
+                    )
+        except (ConnectionResetError, OSError):
+            pass
+        self._shard_down(handle, generation, "connection lost")
+
+    def _shard_down(
+        self, handle: ShardHandle, generation: int, reason: str
+    ) -> None:
+        """One death, handled exactly once per shard life."""
+        if handle.generation != generation or not handle.alive:
+            return
+        handle.alive = False
+        handle.generation += 1
+        if handle.proc is not None:
+            with contextlib.suppress(ProcessLookupError):
+                handle.proc.kill()
+        if handle.writer is not None:
+            handle.writer.close()
+        pending, handle.pending = handle.pending, {}
+        self.counters["shard_failures"] += len(pending)
+        failure = ShardFailedError(
+            f"shard {handle.index} died ({reason}) with this request in "
+            "flight; its sessions resume from their WALs after restart",
+            retry_after_ms=handle.retry_hint_ms,
+        )
+        for _, future in pending.values():
+            if not future.done():
+                future.set_exception(failure)
+        if self._closing:
+            return
+        metrics.counter("service.shard_restarts").inc()
+        decision = handle.governor.record_death(progress=handle.acked > 0)
+        handle.restarts += 1
+        handle.retry_hint_ms = int(decision.delay * 1000) + _SPAWN_ESTIMATE_MS
+        handle.restart_task = asyncio.ensure_future(
+            self._restart_later(handle, decision.delay)
+        )
+
+    async def _restart_later(self, handle: ShardHandle, delay: float) -> None:
+        await asyncio.sleep(delay)
+        if self._closing or handle.alive:
+            return
+        if not handle.governor.may_attempt():
+            return  # circuit opened meanwhile; its own probe is scheduled
+        generation = handle.generation
+        try:
+            await self._spawn(handle)
+        except (ServiceError, OSError, asyncio.TimeoutError):
+            if self._closing:
+                return
+            decision = handle.governor.record_death(progress=False)
+            handle.generation = generation + 1
+            handle.restarts += 1
+            handle.retry_hint_ms = (
+                int(decision.delay * 1000) + _SPAWN_ESTIMATE_MS
+            )
+            handle.restart_task = asyncio.ensure_future(
+                self._restart_later(handle, decision.delay)
+            )
+
+    async def _heartbeat(self, handle: ShardHandle) -> None:
+        """Ping the shard on the wire; silence past the timeout kills."""
+        while not self._closing:
+            await asyncio.sleep(self.heartbeat_interval)
+            if self._closing:
+                return
+            if not handle.alive:
+                continue
+            generation = handle.generation
+            metrics.gauge(f"service.shard.{handle.index}.queued").set(
+                len(handle.pending)
+            )
+            try:
+                await asyncio.wait_for(
+                    self._shard_call(handle, "service.ping"),
+                    self.heartbeat_timeout,
+                )
+            except asyncio.TimeoutError:
+                self._shard_down(handle, generation, "heartbeat timeout")
+            except ServiceError:
+                pass  # already detected down by another path
+
+    # -- forwarding ----------------------------------------------------------
+
+    async def _shard_call(
+        self,
+        handle: ShardHandle,
+        method: str,
+        *,
+        session: str | None = None,
+        params: dict | None = None,
+    ) -> str:
+        """A supervisor-originated request down the shard connection."""
+        envelope = wire.RequestEnvelope(
+            method=method, params=params or {}, id=None, session=session
+        )
+        return await self._forward_envelope(handle, envelope, admission=False)
+
+    async def _forward_envelope(
+        self,
+        handle: ShardHandle,
+        envelope: wire.RequestEnvelope,
+        *,
+        admission: bool = True,
+    ) -> str:
+        if not handle.alive:
+            if handle.governor.circuit_open:
+                raise OverloadedError(
+                    f"shard {handle.index} is crash-looping; circuit open",
+                    retry_after_ms=handle.governor.retry_after_ms(),
+                )
+            raise ShardFailedError(
+                f"shard {handle.index} is restarting",
+                retry_after_ms=handle.retry_hint_ms,
+            )
+        if admission and len(handle.pending) >= self.shed_at:
+            self.counters["shed"] += 1
+            metrics.counter("service.shed").inc()
+            # Pace the retry by how far past the threshold we are: one
+            # queue_limit's worth of backlog is ~one scheduling round.
+            backlog = len(handle.pending) - self.shed_at + 1
+            raise OverloadedError(
+                f"shard {handle.index} has {len(handle.pending)} request(s) "
+                f"in flight (shed at {self.shed_at}); retry later",
+                retry_after_ms=min(2000, 25 * backlog + 25),
+            )
+        uid = handle.next_uid()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        handle.pending[uid] = (envelope.id, future)
+        line = wire.canonical_json(
+            wire.RequestEnvelope(
+                method=envelope.method,
+                params=envelope.params,
+                id=uid,
+                session=envelope.session,
+            )
+        )
+        try:
+            handle.writer.write(line.encode("utf-8") + b"\n")
+            await handle.writer.drain()
+        except (ConnectionResetError, OSError):
+            handle.pending.pop(uid, None)
+            raise ShardFailedError(
+                f"shard {handle.index} connection failed mid-send",
+                retry_after_ms=handle.retry_hint_ms,
+            ) from None
+        try:
+            return await future
+        finally:
+            handle.pending.pop(uid, None)
+
+    async def _resume_sessions(
+        self, handle: ShardHandle, generation: int
+    ) -> None:
+        """Warm every session of a restarted shard back up: the first
+        command a session sees salvages + replays its WAL, so a cheap
+        read (``cells``) performs the recovery eagerly."""
+        names = sorted(
+            name
+            for name, index in self.session_shard.items()
+            if index == handle.index
+        )
+        for name in names:
+            if self._closing or not handle.alive:
+                return
+            if handle.generation != generation:
+                return
+            with contextlib.suppress(ServiceError, ReproError):
+                await self._shard_call(handle, "cells", session=name)
+
+    # -- the client-facing server --------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self.counters["connections"] += 1
+        self._conn_writers.add(writer)
+        write_lock = asyncio.Lock()
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._serve_line(line, writer, write_lock)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+        except (ConnectionResetError, OSError):
+            pass
+        finally:
+            self._conn_writers.discard(writer)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_line(self, line: bytes, writer, write_lock) -> None:
+        self.counters["requests"] += 1
+        response = await self._respond(line)
+        async with write_lock:
+            with contextlib.suppress(ConnectionResetError, OSError):
+                writer.write(response.encode("utf-8") + b"\n")
+                await writer.drain()
+
+    async def _respond(self, line: bytes) -> str:
+        try:
+            envelope = wire.parse_request(line)
+        except ReproError as exc:
+            self.counters["errors"] += 1
+            return wire.encode_error(_fish_id(line), exc)
+        if envelope.method.startswith("service."):
+            try:
+                return await self._control(envelope)
+            except ReproError as exc:
+                self.counters["errors"] += 1
+                return wire.encode_error(envelope.id, exc)
+        if self._closing:
+            return wire.encode_error(
+                envelope.id, ShutdownError("service is shutting down")
+            )
+        if not envelope.session:
+            self.counters["errors"] += 1
+            return wire.encode_error(
+                envelope.id,
+                BadRequest(
+                    f"method {envelope.method!r} needs a 'session' field"
+                ),
+            )
+        try:
+            handle = self._route(envelope.session)
+            return await self._forward_envelope(handle, envelope)
+        except ServiceError as exc:
+            self.counters["errors"] += 1
+            return wire.encode_error(envelope.id, exc)
+
+    def _route(self, name: str) -> ShardHandle:
+        index = self.session_shard.get(name)
+        if index is None:
+            if not _SESSION_NAME.match(name):
+                raise BadSessionName(
+                    f"bad session name {name!r} (want [A-Za-z0-9._-], "
+                    "64 chars max, not starting with . or -)"
+                )
+            if len(self.session_shard) >= self.max_sessions:
+                raise SessionLimitError(
+                    f"session limit reached ({self.max_sessions})"
+                )
+            index = self.ring.shard_for(name)
+            self.session_shard[name] = index
+        return self.shards[index]
+
+    # -- the control plane ---------------------------------------------------
+
+    async def _control(self, envelope: wire.RequestEnvelope) -> str:
+        request_cls, _ = control.control_types(envelope.method)
+        from_jsonable(request_cls, dict(envelope.params), where=envelope.method)
+        if envelope.method == "service.ping":
+            result = control.PingResult(
+                version=PROTOCOL_VERSION, sessions=len(self.session_shard)
+            )
+        elif envelope.method == "service.sessions":
+            result = await self._collect_sessions()
+        elif envelope.method == "service.stats":
+            result = await self._collect_stats()
+        else:  # service.shutdown — ack, then drain in the background.
+            result = control.ShutdownResult(
+                sessions=len(self.session_shard),
+                journaled=(
+                    len(self.session_shard)
+                    if self.journal_dir is not None
+                    else 0
+                ),
+            )
+            self.request_shutdown()
+        return wire.encode_result(envelope.id, envelope.method, result)
+
+    async def _control_fanout(self, method: str, result_cls):
+        """(handle, typed result | None) for every shard, concurrently."""
+
+        async def one(handle: ShardHandle):
+            if not handle.alive:
+                return handle, None
+            try:
+                raw = await asyncio.wait_for(
+                    self._shard_call(handle, method), self.heartbeat_timeout
+                )
+                parsed = wire.parse_response(raw)
+                if not parsed.ok:
+                    return handle, None
+                return handle, from_jsonable(
+                    result_cls, parsed.result, where=method
+                )
+            except (ServiceError, ReproError, asyncio.TimeoutError, OSError):
+                return handle, None
+
+        return await asyncio.gather(*(one(h) for h in self.shards))
+
+    async def _collect_sessions(self) -> control.SessionsResult:
+        collected = await self._control_fanout(
+            "service.sessions", control.SessionsResult
+        )
+        merged: list[control.SessionInfo] = []
+        for handle, result in collected:
+            if result is None:
+                continue
+            for info in result.sessions:
+                merged.append(
+                    control.SessionInfo(
+                        name=info.name,
+                        queued=info.queued,
+                        executed=info.executed,
+                        failed=info.failed,
+                        journal=info.journal,
+                        shard=handle.index,
+                    )
+                )
+        merged.sort(key=lambda info: info.name)
+        return control.SessionsResult(sessions=tuple(merged))
+
+    async def _collect_stats(self) -> control.ServiceStatsResult:
+        collected = await self._control_fanout(
+            "service.stats", control.ServiceStatsResult
+        )
+        errors = self.counters["errors"]
+        timeouts = 0
+        backpressure = 0
+        queued = 0
+        shard_stats: list[control.ShardStats] = []
+        for handle, stats in collected:
+            if stats is not None:
+                errors += stats.errors
+                timeouts += stats.timeouts
+                backpressure += stats.backpressure
+                queued += stats.queued
+            shard_stats.append(
+                control.ShardStats(
+                    index=handle.index,
+                    pid=handle.pid,
+                    alive=handle.alive,
+                    restarts=handle.restarts,
+                    sessions=stats.sessions if stats is not None else 0,
+                    queued=stats.queued if stats is not None else 0,
+                    circuit_open=handle.governor.circuit_open,
+                )
+            )
+        return control.ServiceStatsResult(
+            connections=self.counters["connections"],
+            requests=self.counters["requests"],
+            errors=errors,
+            timeouts=timeouts,
+            backpressure=backpressure,
+            sessions=len(self.session_shard),
+            pid=os.getpid(),
+            queued=queued,
+            shed=self.counters["shed"],
+            shard_failures=self.counters["shard_failures"],
+            shards=tuple(shard_stats),
+        )
+
+    # -- shutdown ------------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain (idempotent, signal-handler safe)."""
+        if self._shutdown_task is None:
+            self._shutdown_task = asyncio.ensure_future(self._shutdown())
+
+    async def _shutdown(self) -> None:
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for handle in self.shards:
+            if handle.restart_task is not None:
+                handle.restart_task.cancel()
+            if not handle.alive:
+                continue
+            # Graceful: the shard drains its queues and checkpoints
+            # every WAL before exiting; SIGKILL only past the deadline.
+            with contextlib.suppress(
+                ServiceError, ReproError, asyncio.TimeoutError
+            ):
+                await asyncio.wait_for(
+                    self._shard_call(handle, "service.shutdown"), 5.0
+                )
+            if handle.proc is not None:
+                try:
+                    await asyncio.wait_for(handle.proc.wait(), 30.0)
+                except asyncio.TimeoutError:  # pragma: no cover - stuck shard
+                    with contextlib.suppress(ProcessLookupError):
+                        handle.proc.kill()
+                    await handle.proc.wait()
+            handle.alive = False
+        for task in self._heartbeat_tasks:
+            task.cancel()
+        # Hang up on open client connections so their handler tasks
+        # finish before the loop does (a cancelled readline is noisy).
+        for writer in list(self._conn_writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        await asyncio.sleep(0.01)
+        self._closed.set()
+
+
+def _install_signal_handlers(service) -> None:
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(sig, service.request_shutdown)
+
+
+async def _amain(args) -> None:
+    supervisor = await Supervisor(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        max_sessions=args.max_sessions,
+        queue_limit=args.queue_limit,
+        timeout=args.timeout,
+        shed_at=args.shed_at,
+        journal_dir=args.journal_dir,
+    ).start()
+    print(f"listening on {supervisor.host}:{supervisor.port}", flush=True)
+    _install_signal_handlers(supervisor)
+    await supervisor.serve_forever()
+
+
+# -- in-process harness (tests, benchmarks) ---------------------------------
+
+
+class SupervisorThread:
+    """Run a :class:`Supervisor` on a background thread's event loop.
+
+    Mirrors :class:`repro.service.server.ServiceThread`; the shards are
+    real subprocesses either way, so this harness exercises the full
+    crash-isolation story from a test.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self._kwargs = kwargs
+        self.supervisor: Supervisor | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = None
+        self._ready = None
+        self._startup_error: BaseException | None = None
+
+    def start(self) -> "SupervisorThread":
+        import threading
+
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="riot-supervisor", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=120):
+            raise ServiceError("supervisor thread failed to start")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - startup failures
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            self.supervisor = await Supervisor(**self._kwargs).start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.supervisor.serve_forever()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.supervisor.host, self.supervisor.port
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.supervisor.request_shutdown)
+        self._thread.join(timeout=120)
+
+    def __enter__(self) -> "SupervisorThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+#: Recovery-time bookkeeping for benchmarks: wall-clock helpers only.
+def wait_for_shard_alive(
+    client, index: int, deadline_s: float = 30.0
+) -> float:
+    """Poll ``service.stats`` until shard ``index`` is alive again;
+    returns the seconds waited (benchmark helper)."""
+    start = time.perf_counter()
+    while time.perf_counter() - start < deadline_s:
+        stats = client.call("service.stats")
+        for shard in stats.shards:
+            if shard.index == index and shard.alive:
+                return time.perf_counter() - start
+        time.sleep(0.02)
+    raise TimeoutError(f"shard {index} did not come back within {deadline_s}s")

@@ -217,9 +217,11 @@ class TestRegistryContract:
         from repro.service.errors import (
             BackpressureError,
             BadSessionName,
+            OverloadedError,
             ServiceError,
             ServiceTimeout,
             SessionLimitError,
+            ShardFailedError,
             ShutdownError,
         )
 
@@ -234,6 +236,30 @@ class TestRegistryContract:
             BackpressureError: "service.backpressure",
             ServiceTimeout: "service.timeout",
             ShutdownError: "service.shutdown",
+            ShardFailedError: "service.shard_failed",
+            OverloadedError: "service.overloaded",
         }
         for exc_type, code in codes.items():
             assert exc_type("x").code == code
+
+    def test_retry_after_hint_survives_the_wire(self):
+        from repro.api import wire
+        from repro.service.errors import OverloadedError
+
+        line = wire.encode_error(
+            7, OverloadedError("shed", retry_after_ms=250)
+        )
+        envelope = wire.parse_response(line)
+        assert envelope.error.retry_after_ms == 250
+        rebuilt = wire.response_error(envelope)
+        assert rebuilt.code == "service.overloaded"
+        assert rebuilt.retry_after_ms == 250
+
+    def test_retry_after_hint_defaults_to_none(self):
+        from repro.api import wire
+        from repro.api.errors import BadRequest
+
+        envelope = wire.parse_response(
+            wire.encode_error(1, BadRequest("nope"))
+        )
+        assert envelope.error.retry_after_ms is None

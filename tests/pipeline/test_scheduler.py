@@ -1,5 +1,7 @@
 """Scheduler semantics: ordering, parallel/serial equivalence, timing."""
 
+import os
+
 import pytest
 
 from repro.geometry.point import Point
@@ -162,6 +164,67 @@ class TestParallelVerification:
         report = run_verification([row], TECH, jobs=2).reports["row"]
         assert report.probe("IN[0,0]", "OUT[3,0]", row)
         assert ("IN[0,0]", "OUT[3,0]", True) in report.probes
+
+
+def _which_pid(payload, inputs):
+    return os.getpid()
+
+
+register_kind("test-pid", _which_pid)
+
+
+def pid_task(task_id, cost):
+    return Task(id=task_id, kind="test-pid", cell_name="t", cost=cost)
+
+
+class TestCostThreshold:
+    """Small tasks stay in-process: fork + pickle overhead exceeds the
+    work below the threshold, which is how ``--jobs N`` used to run
+    slower than serial on the stock corpus."""
+
+    def test_threshold_value_pinned(self):
+        from repro.pipeline.scheduler import POOL_COST_THRESHOLD
+
+        assert POOL_COST_THRESHOLD == 1000
+
+    def test_cheap_tasks_run_inline_despite_jobs(self):
+        from repro.pipeline.scheduler import INLINE, POOL_COST_THRESHOLD
+
+        tasks = [
+            pid_task(f"c{i}", cost=POOL_COST_THRESHOLD - 1) for i in range(4)
+        ]
+        results, timing = Scheduler(jobs=2).run(tasks)
+        assert all(pid == os.getpid() for pid in results.values())
+        assert {s.source for s in timing.spans} == {INLINE}
+
+    def test_expensive_tasks_still_ship(self):
+        from repro.pipeline.scheduler import POOL, POOL_COST_THRESHOLD
+
+        tasks = [
+            pid_task(f"e{i}", cost=POOL_COST_THRESHOLD) for i in range(2)
+        ]
+        results, timing = Scheduler(jobs=2).run(tasks)
+        assert {s.source for s in timing.spans} == {POOL}
+        assert all(pid != os.getpid() for pid in results.values())
+
+    def test_unknown_cost_still_ships(self):
+        from repro.pipeline.scheduler import POOL
+
+        results, timing = Scheduler(jobs=2).run([pid_task("u", cost=0)])
+        assert timing.spans[0].source == POOL
+        assert results["u"] != os.getpid()
+
+    def test_stock_corpus_stays_inline(self):
+        """Every stock verification task is under the threshold — the
+        whole regression case (parallel_speedup < 1) runs inline now."""
+        from repro.pipeline.scheduler import POOL_COST_THRESHOLD
+
+        editor = stock_editor()
+        row = make_row(editor, "row", nx=4)
+        tasks = build_verification_dag([row], TECH)
+        shippable = [t for t in tasks if not t.local]
+        assert shippable
+        assert all(0 < t.cost < POOL_COST_THRESHOLD for t in shippable)
 
 
 class TestTimingReport:

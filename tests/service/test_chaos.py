@@ -1,0 +1,102 @@
+"""ChaosPolicy parsing and counters (the kill itself is exercised by
+the supervisor crash-point tests and the CI chaos smoke)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.chaos import ChaosError, ChaosPolicy
+
+
+class TestParse:
+    def test_kill_after(self):
+        policy = ChaosPolicy.parse("kill-shard-after:50")
+        assert policy.kill_after == 50
+        assert policy.drop_heartbeat_after is None
+        assert policy.slow_worker_ms == 0
+
+    def test_composed_specs(self):
+        policy = ChaosPolicy.parse(
+            "kill-shard-after:3, slow-worker:5, drop-heartbeat-after:0"
+        )
+        assert policy.kill_after == 3
+        assert policy.slow_worker_ms == 5
+        assert policy.drop_heartbeat_after == 0
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ChaosError, match="unknown chaos spec"):
+            ChaosPolicy.parse("set-on-fire:1")
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ChaosError, match="integer"):
+            ChaosPolicy.parse("kill-shard-after:soon")
+
+    def test_minimums_enforced(self):
+        with pytest.raises(ChaosError, match=">= 1"):
+            ChaosPolicy.parse("kill-shard-after:0")
+        with pytest.raises(ChaosError, match=">= 0"):
+            ChaosPolicy.parse("drop-heartbeat-after:-1")
+        with pytest.raises(ChaosError, match=">= 1"):
+            ChaosPolicy.parse("slow-worker:0")
+
+    def test_describe_round_trips(self):
+        spec = "kill-shard-after:50,slow-worker:5"
+        assert ChaosPolicy.parse(spec).describe() == spec
+
+
+class TestFromEnv:
+    def test_unset_means_no_chaos(self):
+        assert ChaosPolicy.from_env({}) is None
+        assert ChaosPolicy.from_env({"REPRO_CHAOS": "  "}) is None
+
+    def test_set_parses(self):
+        policy = ChaosPolicy.from_env({"REPRO_CHAOS": "slow-worker:2"})
+        assert policy is not None
+        assert policy.slow_worker_ms == 2
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ChaosError):
+            ChaosPolicy.from_env({"REPRO_CHAOS": "nope"})
+
+
+class TestCounters:
+    def test_drop_ping_answers_first_n(self):
+        policy = ChaosPolicy(drop_heartbeat_after=2)
+        assert [policy.drop_ping() for _ in range(4)] == [
+            False,
+            False,
+            True,
+            True,
+        ]
+
+    def test_no_drop_when_unconfigured(self):
+        policy = ChaosPolicy()
+        assert not policy.drop_ping()
+
+    def test_command_delay(self):
+        assert ChaosPolicy(slow_worker_ms=250).command_delay() == 0.25
+        assert ChaosPolicy().command_delay() == 0.0
+
+    def test_ack_counter_ignores_control_and_failures(self):
+        fired = []
+        policy = ChaosPolicy(kill_after=2)
+        # Count acknowledged session commands only: control-plane
+        # responses and failures must not advance the kill point.
+        ok = '{"id":1,"method":"new_cell","ok":true,"result":{},"v":1}'
+        bad = '{"error":{"code":"x","message":""},"id":2,"ok":false,"v":1}'
+        import repro.service.chaos as chaos_mod
+
+        original = chaos_mod.os.kill
+        chaos_mod.os.kill = lambda pid, sig: fired.append((pid, sig))
+        try:
+            policy.after_response(b'{"method":"service.ping"}', ok)
+            policy.after_response(b'{"method":"new_cell"}', bad)
+            policy.after_response(b'{"method":"new_cell"}', ok)
+            assert not fired
+            policy.after_response(b'{"method":"create"}', ok)
+            assert len(fired) == 1
+            # exactly once: later acks do not re-fire
+            policy.after_response(b'{"method":"create"}', ok)
+            assert len(fired) == 1
+        finally:
+            chaos_mod.os.kill = original

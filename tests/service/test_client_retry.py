@@ -1,0 +1,231 @@
+"""ServiceClient retry/backoff against a scripted fake server: which
+codes retry, which raise, how ``retry_after_ms`` paces, and the
+connect-time backoff window."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api.types import PROTOCOL_VERSION
+from repro.api.wire import encode_error, encode_result
+from repro.errors import ReproError
+from repro.service.client import NO_RETRY, RetryPolicy, ServiceClient
+from repro.service.control import PingResult
+from repro.service.errors import (
+    BackpressureError,
+    OverloadedError,
+    ShardFailedError,
+)
+
+#: A fast schedule so tests spend milliseconds, not seconds.
+FAST = RetryPolicy(
+    attempts=8, base_delay=0.005, max_delay=0.02, connect_window=5.0, seed=7
+)
+
+
+def _respond(behavior: str, envelope: dict) -> str | None:
+    """The wire line a scripted behavior answers with (None = hang up)."""
+    id, method = envelope.get("id"), envelope.get("method", "")
+    if behavior == "ok":
+        if method == "service.ping":
+            return encode_result(
+                id, method, PingResult(version=PROTOCOL_VERSION, sessions=0)
+            )
+        # Echo-style success for session commands under test.
+        from repro.api.registry import spec_for
+
+        result = spec_for(method).result(**envelope.get("params", {}))
+        return encode_result(id, method, result)
+    if behavior == "overloaded":
+        return encode_error(
+            id, OverloadedError("shed", retry_after_ms=10)
+        )
+    if behavior == "backpressure":
+        return encode_error(id, BackpressureError("queue full"))
+    if behavior == "shard_failed":
+        return encode_error(
+            id, ShardFailedError("shard died", retry_after_ms=5)
+        )
+    assert behavior == "drop"
+    return None
+
+
+class ScriptedServer:
+    """One behavior per request, in order; 'drop' closes the socket
+    (the client is expected to reconnect for the next behavior)."""
+
+    def __init__(self, behaviors: list[str]) -> None:
+        self.behaviors = list(behaviors)
+        self.requests: list[dict] = []
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.1)  # poll _closing while accepting
+        self.port = self._listener.getsockname()[1]
+        self._closing = False
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while self.behaviors and not self._closing:
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn.settimeout(0.1)  # poll _closing while reading
+            # The makefile must be closed explicitly below: it holds
+            # the fd open past conn.close(), so a 'drop' would never
+            # actually send FIN to the client otherwise.
+            file = conn.makefile("rwb")
+            try:
+                while self.behaviors and not self._closing:
+                    try:
+                        raw = file.readline()
+                    except socket.timeout:
+                        continue
+                    if not raw:
+                        break
+                    envelope = json.loads(raw)
+                    self.requests.append(envelope)
+                    behavior = self.behaviors.pop(0)
+                    response = _respond(behavior, envelope)
+                    if response is None:
+                        break  # hang up; next behavior reconnects
+                    file.write(response.encode() + b"\n")
+                    file.flush()
+            finally:
+                file.close()
+                conn.close()
+
+    def close(self) -> None:
+        self._closing = True
+        self._listener.close()
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ScriptedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def client_for(server: ScriptedServer, **kwargs) -> ServiceClient:
+    kwargs.setdefault("retry", FAST)
+    return ServiceClient("127.0.0.1", server.port, session="s", **kwargs)
+
+
+class TestErrorRetries:
+    def test_overloaded_retried_until_success(self):
+        with ScriptedServer(["overloaded", "overloaded", "ok"]) as srv:
+            with client_for(srv) as client:
+                result = client.call("new_cell", name="top")
+        assert result.name == "top"
+        assert client.retries == 2
+
+    def test_backpressure_retried(self):
+        with ScriptedServer(["backpressure", "ok"]) as srv:
+            with client_for(srv) as client:
+                assert client.call("new_cell", name="t").name == "t"
+
+    def test_overloaded_honors_retry_after_hint(self):
+        with ScriptedServer(["overloaded", "ok"]) as srv:
+            with client_for(srv) as client:
+                start = time.monotonic()
+                client.call("new_cell", name="top")
+                waited = time.monotonic() - start
+        # the 10ms hint floors the (otherwise ~5ms) backoff delay
+        assert waited >= 0.010
+
+    def test_shard_failed_retried_for_replayable(self):
+        with ScriptedServer(["shard_failed", "ok"]) as srv:
+            with client_for(srv) as client:
+                assert client.call("new_cell", name="top").name == "top"
+                assert client.retries == 1
+
+    def test_shard_failed_retried_for_control_plane(self):
+        with ScriptedServer(["shard_failed", "ok"]) as srv:
+            with client_for(srv) as client:
+                pong = client.call("service.ping")
+        assert pong.version == PROTOCOL_VERSION
+
+    def test_shard_failed_not_retried_for_side_effect_commands(self):
+        with ScriptedServer(["shard_failed", "ok"]) as srv:
+            with client_for(srv) as client:
+                with pytest.raises(ReproError) as excinfo:
+                    client.call("writecif", cell="top", path="/tmp/x.cif")
+        assert excinfo.value.code == "service.shard_failed"
+        assert len(srv.requests) == 1  # no second attempt went out
+
+    def test_attempts_exhausted_raises_last_error(self):
+        policy = RetryPolicy(
+            attempts=3, base_delay=0.001, max_delay=0.002, seed=1
+        )
+        with ScriptedServer(["overloaded"] * 3) as srv:
+            with client_for(srv, retry=policy) as client:
+                with pytest.raises(ReproError) as excinfo:
+                    client.call("new_cell", name="x")
+        assert excinfo.value.code == "service.overloaded"
+        assert len(srv.requests) == 3
+
+    def test_no_retry_policy_fails_fast(self):
+        with ScriptedServer(["overloaded", "ok"]) as srv:
+            with client_for(srv, retry=NO_RETRY) as client:
+                with pytest.raises(ReproError) as excinfo:
+                    client.call("new_cell", name="x")
+        assert excinfo.value.code == "service.overloaded"
+        assert len(srv.requests) == 1
+
+
+class TestConnectionLoss:
+    def test_dropped_connection_retried_for_replayable(self):
+        with ScriptedServer(["drop", "ok"]) as srv:
+            with client_for(srv) as client:
+                assert client.call("new_cell", name="top").name == "top"
+
+    def test_dropped_connection_not_retried_for_side_effects(self):
+        with ScriptedServer(["drop", "ok"]) as srv:
+            with client_for(srv) as client:
+                with pytest.raises((ConnectionError, OSError)):
+                    client.call("writecif", cell="top", path="/tmp/x.cif")
+
+
+class TestConnectBackoff:
+    def test_connects_to_late_starting_server(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        listener.close()  # nothing listening yet
+        accepted = threading.Event()
+
+        def start_late():
+            time.sleep(0.3)
+            late = socket.create_server(("127.0.0.1", port))
+            conn, _ = late.accept()
+            accepted.set()
+            conn.close()
+            late.close()
+
+        threading.Thread(target=start_late, daemon=True).start()
+        client = ServiceClient(
+            "127.0.0.1",
+            port,
+            session="s",
+            retry=RetryPolicy(
+                base_delay=0.02, max_delay=0.1, connect_window=10.0, seed=3
+            ),
+        )
+        client.close()
+        assert accepted.wait(timeout=5)
+
+    def test_zero_window_fails_fast(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        listener.close()
+        start = time.monotonic()
+        with pytest.raises(OSError):
+            ServiceClient("127.0.0.1", port, session="s", retry=NO_RETRY)
+        assert time.monotonic() - start < 2.0
