@@ -1,0 +1,214 @@
+"""Cell-store benchmark: publish throughput, resolve latency, and the
+headline — invalidation-cascade cost versus dependent count.
+
+Workloads (all against a real on-disk store in a temp directory):
+
+* ``publish`` — throughput of publishing distinct generated leaf
+  cells (``proptest.gen`` sticks cases, so payloads vary realistically
+  in size and content).  Every publish is a blob fsync plus a refs-log
+  fsync: this measures the durable floor, not an in-memory append.
+* ``resolve`` — latency of ``name@version`` and ``name@latest``
+  lookups against a store of 200 cells, p50/p95 over 2000 calls.
+* ``cascade`` — the cost of assessing a new leaf version's impact
+  when 10 / 100 / 1000 published compositions depend on it.  Each
+  dependent carries a real REPLAY journal (new_cell + two creates,
+  positions generated per-composition); the cascade replays every one
+  of them against the candidate through the typed command API.  The
+  number that matters is ``per_dependent_ms`` — it should stay flat
+  as dependents grow (the cascade is linear, one scratch replay per
+  dependent).
+
+Writes ``BENCH_library.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+JSON_PATH = REPO_ROOT / "BENCH_library.json"
+
+sys.path.insert(0, str(SRC))
+
+from repro.cellstore import CellStore, assess_impact  # noqa: E402
+from repro.cellstore.store import text_digest  # noqa: E402
+from repro.core.wal import JournalEntry, journal_text  # noqa: E402
+from repro.proptest.gen import build_sticks_cell, gen_sticks_case  # noqa: E402
+from repro.proptest.prng import Rng  # noqa: E402
+from repro.sticks.writer import write_sticks  # noqa: E402
+
+PUBLISHES = 200
+RESOLVES = 2000
+DEPENDENT_COUNTS = (10, 100, 1000)
+
+
+def generated_leaf_payloads(count: int) -> list[str]:
+    """``count`` distinct sticks sources from the fuzzer's generator."""
+    rng = Rng(0xCE11)
+    payloads = []
+    for i in range(count):
+        case = gen_sticks_case(rng.fork(i), name=f"leaf{i}")
+        payloads.append(write_sticks([build_sticks_cell(case)]))
+    return payloads
+
+
+def bench_publish(payloads: list[str]) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-library-") as tmp:
+        store = CellStore(Path(tmp) / "lib")
+        start = time.perf_counter()
+        for i, payload in enumerate(payloads):
+            store.publish(
+                f"leaf{i}",
+                "sticks",
+                payload,
+                content_hash=text_digest(payload),
+            )
+        wall = time.perf_counter() - start
+    return {
+        "publishes": len(payloads),
+        "wall_s": round(wall, 4),
+        "throughput_per_s": round(len(payloads) / wall, 1),
+    }
+
+
+def bench_resolve(payloads: list[str]) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-library-") as tmp:
+        store = CellStore(Path(tmp) / "lib")
+        for i, payload in enumerate(payloads):
+            store.publish(
+                f"leaf{i}",
+                "sticks",
+                payload,
+                content_hash=text_digest(payload),
+            )
+        rng = Rng(0x5E50)
+        refs = [
+            f"leaf{rng.fork(i).randint(0, len(payloads) - 1)}"
+            + ("" if rng.fork(i).chance(0.5) else "@1")
+            for i in range(RESOLVES)
+        ]
+        latencies = []
+        for ref in refs:
+            start = time.perf_counter()
+            store.resolve(ref)
+            latencies.append((time.perf_counter() - start) * 1000.0)
+    quantiles = statistics.quantiles(latencies, n=100)
+    return {
+        "resolves": len(refs),
+        "latency_p50_ms": round(quantiles[49], 4),
+        "latency_p95_ms": round(quantiles[94], 4),
+        "latency_max_ms": round(max(latencies), 4),
+    }
+
+
+def dependent_journal(index: int, rng: Rng) -> str:
+    """A real REPLAY journal for one dependent composition: define
+    the composition, instantiate the hot leaf twice."""
+    lam = 250
+    entries = [JournalEntry("new_cell", {"name": f"dep{index}"})]
+    for j in range(2):
+        r = rng.fork(index * 2 + j)
+        entries.append(
+            JournalEntry(
+                "create",
+                {
+                    "at": [r.randint(0, 60) * lam, r.randint(0, 60) * lam],
+                    "cell_name": "hot",
+                    "name": f"u{j}",
+                },
+            )
+        )
+    return journal_text(entries)
+
+
+def bench_cascade() -> list[dict]:
+    # The hot leaf's sticks source names the cell "hot" — the cascade
+    # overlays the candidate under its own cell name, which must match
+    # the published ref (exactly as a real session's publish does).
+    case = gen_sticks_case(Rng(0x407).fork(0), name="hot")
+    hot_payload = write_sticks([build_sticks_cell(case)])
+    runs = []
+    comp_payload = "# dependent composition placeholder\n"
+    for count in DEPENDENT_COUNTS:
+        with tempfile.TemporaryDirectory(prefix="bench-library-") as tmp:
+            store = CellStore(Path(tmp) / "lib")
+            store.publish(
+                "hot",
+                "sticks",
+                hot_payload,
+                content_hash=text_digest(hot_payload),
+            )
+            rng = Rng(0xDE9)
+            for i in range(count):
+                journal = dependent_journal(i, rng)
+                store.publish(
+                    f"dep{i}",
+                    "composition",
+                    comp_payload,
+                    content_hash=text_digest(comp_payload + str(i)),
+                    deps=("hot@1",),
+                    journal_payload=journal,
+                )
+            start = time.perf_counter()
+            entries = assess_impact(store, "hot", hot_payload, "sticks")
+            wall = time.perf_counter() - start
+        survivors = sum(1 for e in entries if e.survived)
+        assert len(entries) == count, (len(entries), count)
+        runs.append(
+            {
+                "dependents": count,
+                "survivors": survivors,
+                "wall_s": round(wall, 4),
+                "per_dependent_ms": round(wall * 1000.0 / count, 3),
+            }
+        )
+        print(
+            f"cascade over {count:4d} dependents: {wall:.3f}s "
+            f"({wall * 1000.0 / count:.2f} ms each, {survivors} survived)",
+            flush=True,
+        )
+    return runs
+
+
+def main() -> None:
+    payloads = generated_leaf_payloads(PUBLISHES)
+    publish = bench_publish(payloads)
+    print(
+        f"publish: {publish['publishes']} cells in {publish['wall_s']}s "
+        f"({publish['throughput_per_s']}/s)",
+        flush=True,
+    )
+    resolve = bench_resolve(payloads)
+    print(
+        f"resolve: p50 {resolve['latency_p50_ms']}ms "
+        f"p95 {resolve['latency_p95_ms']}ms",
+        flush=True,
+    )
+    cascade = bench_cascade()
+
+    scaling = round(
+        cascade[-1]["per_dependent_ms"] / cascade[0]["per_dependent_ms"], 2
+    )
+    results = {
+        "benchmark": "library",
+        "publish": publish,
+        "resolve": resolve,
+        "cascade": {
+            "runs": cascade,
+            # ~1.0 = linear cascade (flat per-dependent cost); the
+            # headline regression guard.
+            "per_dependent_ratio_1000_vs_10": scaling,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

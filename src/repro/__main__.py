@@ -73,10 +73,17 @@ from repro.core.textual import DiskStore, TextualInterface
 from repro.library.stock import filter_library
 
 
-def build_interface(root: str = ".", journal: str | None = None) -> TextualInterface:
+def build_interface(
+    root: str = ".", journal: str | None = None, library: str | None = None
+) -> TextualInterface:
     editor = RiotEditor()
     editor.library = filter_library(editor.technology)
-    interface = TextualInterface(editor, DiskStore(root))
+    cellstore = None
+    if library is not None:
+        from repro.cellstore import CellStore
+
+        cellstore = CellStore(library)
+    interface = TextualInterface(editor, DiskStore(root), cellstore=cellstore)
     if journal is not None:
         from repro.core.wal import JournalWriter
 
@@ -112,6 +119,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "cellstore":
+        from repro.cellstore.cli import main as cellstore_main
+
+        return cellstore_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Riot textual command interface",
@@ -151,12 +162,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="have verify print its per-stage timing and cache-counter report",
     )
+    parser.add_argument(
+        "--library",
+        metavar="DIR",
+        help="shared cell store directory for the 'library' textual commands",
+    )
     from repro.cli import add_obs_flags
 
     add_obs_flags(parser)
     args = parser.parse_args(argv)
 
-    interface = build_interface()
+    interface = build_interface(library=args.library)
     if args.jobs is not None:
         if args.jobs < 1:
             print("error: --jobs must be >= 1")

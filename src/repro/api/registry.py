@@ -483,3 +483,231 @@ def _bring_out(session, req: t.BringOutRequest) -> t.BringOutResult:
         req.instance_name, list(req.connector_names), req.side
     )
     return t.BringOutResult(instance=instance.name, cell=instance.cell.name)
+
+
+# -- the shared cell library (repro.cellstore) ------------------------------
+#
+# Not replayable: the REPLAY journal describes one session's edits; the
+# store is cross-session state, and replaying a journal must never
+# republish into it.
+
+
+def _require_cellstore(session):
+    store = getattr(session, "cellstore", None)
+    if store is None:
+        from repro.cellstore.errors import Unavailable
+
+        raise Unavailable(
+            "this session has no cell store attached "
+            "(start with --library DIR, or the service with --library-dir DIR)"
+        )
+    return store
+
+
+def _library_payload(session, cell):
+    """Serialise a session cell for publication: (kind, payload text,
+    journal text or None, consumed dependency names)."""
+    if cell.is_leaf:
+        if cell.is_stretchable:
+            from repro.sticks.writer import write_sticks
+
+            return "sticks", write_sticks([cell.sticks_cell]), None, ()
+        from repro.cif.writer import write_cif
+
+        return "cif", write_cif([cell.cif_cell], instantiate_top=False), None, ()
+    from repro.cellstore.cascade import journal_dependencies
+    from repro.composition.format import save_composition
+
+    # The session journal is what the cascade will replay; the cells it
+    # consumes (create/select) are the composition's dependencies.
+    journal_payload = session.editor.journal.to_text()
+    return (
+        "composition",
+        save_composition([cell]),
+        journal_payload,
+        journal_dependencies(journal_payload),
+    )
+
+
+def _pin_deps(session, store, names) -> tuple[str, ...]:
+    """Dependency names -> refs: the version this session loaded (or
+    last published), else the store head, else the bare name (a stock
+    cell every session has)."""
+    from repro.cellstore.errors import LibraryError
+    from repro.cellstore.refs import format_ref
+
+    pinned = []
+    for name in names:
+        version = session.library_pins.get(name)
+        if version is None:
+            try:
+                version = store.resolve(name).version
+            except LibraryError:
+                version = None
+        pinned.append(format_ref(name, version) if version else name)
+    return tuple(pinned)
+
+
+def _impact_info(entries) -> tuple[t.ImpactEntryInfo, ...]:
+    return tuple(
+        t.ImpactEntryInfo(
+            composition=e.composition,
+            dependency=e.dependency,
+            survived=e.survived,
+            executed=e.executed,
+            total=e.total,
+            failures=tuple(
+                t.ImpactFailureInfo(command=f.command, code=f.code, error=f.error)
+                for f in e.failures
+            ),
+        )
+        for e in entries
+    )
+
+
+def _evict_superseded(session, store, name: str, new_version: int) -> None:
+    """A new version orphans the pipeline artifacts keyed on the old
+    version's content hash; drop them from the session's artifact
+    cache so ``verify`` never reports stale results as hits."""
+    cache_dir = session.verify_defaults.get("cache")
+    if not cache_dir or new_version < 2:
+        return
+    from repro.cellstore.errors import LibraryError
+    from repro.pipeline.cache import ContentCache
+    from repro.pipeline.hashing import hash_technology, task_key
+
+    try:
+        old = store.versions(name)[-2]
+    except (LibraryError, IndexError):
+        return
+    cache = ContentCache(cache_dir)
+    tech = hash_technology(session.editor.technology)
+    for stage in ("expand", "cif", "elaborate", "drc", "extract"):
+        cache.evict(task_key(stage, old.hash, tech))
+
+
+@command("library.publish", t.LibraryPublishRequest, t.LibraryPublishResult)
+def _library_publish(session, req: t.LibraryPublishRequest) -> t.LibraryPublishResult:
+    from repro.cellstore.cascade import assess_impact
+    from repro.pipeline.hashing import hash_cell
+
+    store = _require_cellstore(session)
+    cell = session.editor.library.get(req.name)
+    kind, payload, journal_payload, dep_names = _library_payload(session, cell)
+    record = store.publish(
+        req.name,
+        kind,
+        payload,
+        content_hash=hash_cell(cell),
+        deps=_pin_deps(session, store, dep_names),
+        journal_payload=journal_payload,
+        expected_version=req.expected_version,
+    )
+    session.library_pins[req.name] = record.version
+    _evict_superseded(session, store, req.name, record.version)
+    impact = ()
+    if req.cascade:
+        impact = _impact_info(
+            assess_impact(
+                store,
+                req.name,
+                payload,
+                kind,
+                technology=session.editor.technology,
+            )
+        )
+    return t.LibraryPublishResult(
+        name=record.name,
+        version=record.version,
+        hash=record.hash,
+        kind=record.kind,
+        deps=record.deps,
+        impact=impact,
+    )
+
+
+@command("library.get", t.LibraryGetRequest, t.LibraryGetResult)
+def _library_get(session, req: t.LibraryGetRequest) -> t.LibraryGetResult:
+    from repro.cellstore.cascade import load_closure
+
+    store = _require_cellstore(session)
+    record = store.resolve(req.ref)
+    pins: dict[str, int] = {}
+    loaded = load_closure(store, session.editor.library, record, pins=pins)
+    session.library_pins.update(pins)
+    return t.LibraryGetResult(
+        ref=record.ref, kind=record.kind, hash=record.hash, loaded=tuple(loaded)
+    )
+
+
+@command("library.resolve", t.LibraryResolveRequest, t.LibraryResolveResult)
+def _library_resolve(session, req: t.LibraryResolveRequest) -> t.LibraryResolveResult:
+    store = _require_cellstore(session)
+    record = store.resolve(req.ref)
+    return t.LibraryResolveResult(
+        name=record.name,
+        version=record.version,
+        hash=record.hash,
+        kind=record.kind,
+        deprecated=store.is_deprecated(record.name, record.version),
+        deps=record.deps,
+    )
+
+
+@command("library.list", t.LibraryListRequest, t.LibraryListResult)
+def _library_list(session, req: t.LibraryListRequest) -> t.LibraryListResult:
+    store = _require_cellstore(session)
+    records = store.versions(req.name) if req.name else store.records()
+    return t.LibraryListResult(
+        entries=tuple(
+            t.LibraryCellInfo(
+                name=r.name,
+                version=r.version,
+                hash=r.hash,
+                kind=r.kind,
+                deprecated=store.is_deprecated(r.name, r.version),
+                deps=r.deps,
+            )
+            for r in records
+        )
+    )
+
+
+@command("library.deprecate", t.LibraryDeprecateRequest, t.LibraryDeprecateResult)
+def _library_deprecate(
+    session, req: t.LibraryDeprecateRequest
+) -> t.LibraryDeprecateResult:
+    store = _require_cellstore(session)
+    record = store.deprecate(req.name, req.version)
+    return t.LibraryDeprecateResult(name=record.name, version=record.version)
+
+
+@command("library.deps", t.LibraryDepsRequest, t.LibraryDepsResult)
+def _library_deps(session, req: t.LibraryDepsRequest) -> t.LibraryDepsResult:
+    store = _require_cellstore(session)
+    record = store.resolve(req.ref)
+    return t.LibraryDepsResult(
+        ref=record.ref,
+        deps=record.deps,
+        dependents=tuple(r.ref for r in store.dependents_of(record.name)),
+    )
+
+
+@command("library.impact", t.LibraryImpactRequest, t.LibraryImpactResult)
+def _library_impact(session, req: t.LibraryImpactRequest) -> t.LibraryImpactResult:
+    from repro.cellstore.cascade import assess_impact
+
+    store = _require_cellstore(session)
+    record = store.resolve(req.ref)
+    return t.LibraryImpactResult(
+        ref=record.ref,
+        impact=_impact_info(
+            assess_impact(
+                store,
+                record.name,
+                store.payload(record),
+                record.kind,
+                technology=session.editor.technology,
+            )
+        ),
+    )

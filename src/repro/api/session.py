@@ -35,6 +35,7 @@ class Session:
         editor=None,
         store=None,
         *,
+        cellstore=None,
         scoped_obs: bool = False,
     ) -> None:
         if editor is None:
@@ -43,6 +44,13 @@ class Session:
             editor = RiotEditor()
         self.editor = editor
         self.store = store if store is not None else MemoryStore()
+        #: The shared cell library (:class:`repro.cellstore.CellStore`)
+        #: behind the ``library.*`` commands; ``None`` when the session
+        #: was started without one (``--library`` / ``--library-dir``).
+        self.cellstore = cellstore
+        #: Store versions this session has loaded or published, by cell
+        #: name — what ``library.publish`` pins dependencies to.
+        self.library_pins: dict[str, int] = {}
         #: Session-wide defaults for the ``verify`` command, set by the
         #: CLI's ``--jobs`` / ``--cache`` / ``--timing`` flags.
         self.verify_defaults: dict = {"jobs": 1, "cache": None, "timing": False}

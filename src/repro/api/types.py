@@ -516,3 +516,146 @@ class BringOutRequest:
 class BringOutResult:
     instance: str
     cell: str
+
+
+# -- the shared cell library (repro.cellstore) ------------------------------
+
+
+@dataclass(frozen=True)
+class ImpactFailureInfo:
+    """One replayed command a candidate version breaks."""
+
+    command: str
+    code: str
+    error: str
+
+
+@dataclass(frozen=True)
+class ImpactEntryInfo:
+    """One dependent composition's fate under a candidate version."""
+
+    composition: str
+    dependency: str
+    survived: bool
+    executed: int
+    total: int
+    failures: tuple[ImpactFailureInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class LibraryCellInfo:
+    """One published version as the listing shows it."""
+
+    name: str
+    version: int
+    hash: str
+    kind: str
+    deprecated: bool = False
+    deps: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LibraryPublishRequest:
+    """Publish the named session cell as its next store version.
+
+    ``expected_version`` is the optimistic-concurrency guard (0 = "I am
+    creating this cell"; ``None`` skips the check); ``cascade=False``
+    skips the dependent-replay impact report.
+    """
+
+    name: str
+    expected_version: int | None = None
+    cascade: bool = True
+
+
+@dataclass(frozen=True)
+class LibraryPublishResult:
+    name: str
+    version: int
+    hash: str
+    kind: str
+    deps: tuple[str, ...] = ()
+    impact: tuple[ImpactEntryInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class LibraryGetRequest:
+    """Load a stored cell (and its pinned dependency closure) into the
+    session's cell menu."""
+
+    ref: str
+
+
+@dataclass(frozen=True)
+class LibraryGetResult:
+    ref: str
+    kind: str
+    hash: str
+    #: Every cell name the load defined or replaced, closure order.
+    loaded: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LibraryResolveRequest:
+    ref: str
+
+
+@dataclass(frozen=True)
+class LibraryResolveResult:
+    name: str
+    version: int
+    hash: str
+    kind: str
+    deprecated: bool = False
+    deps: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LibraryListRequest:
+    #: Restrict to one cell's versions; ``None`` lists everything.
+    name: str | None = None
+
+
+@dataclass(frozen=True)
+class LibraryListResult:
+    entries: tuple[LibraryCellInfo, ...] = ()
+
+
+@dataclass(frozen=True)
+class LibraryDeprecateRequest:
+    name: str
+    version: int
+
+
+@dataclass(frozen=True)
+class LibraryDeprecateResult:
+    name: str
+    version: int
+
+
+@dataclass(frozen=True)
+class LibraryDepsRequest:
+    ref: str
+
+
+@dataclass(frozen=True)
+class LibraryDepsResult:
+    ref: str
+    #: What this version was published against (pinned refs).
+    deps: tuple[str, ...] = ()
+    #: Live compositions that depend on this cell (refs).
+    dependents: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class LibraryImpactRequest:
+    """Dry-run cascade: what would publishing the stored version at
+    ``ref`` as the latest break?"""
+
+    ref: str
+
+
+@dataclass(frozen=True)
+class LibraryImpactResult:
+    ref: str
+    impact: tuple[ImpactEntryInfo, ...] = ()

@@ -1,0 +1,69 @@
+"""repro.cellstore — the shared, durable, content-addressed cell library.
+
+The paper's Riot is a single-seat tool: one user, one session, leaf
+cells read from files by hand.  This package is the multi-session
+generalisation the service needs: published cells live in one
+WAL-backed store directory, versioned as ``name@N`` with ``@latest``
+floating over tombstones, payloads content-addressed by SHA-256 and
+identified semantically by the pipeline's content hash.  Publishing a
+new version of a cell replays every stored composition that depends on
+it (the invalidation cascade) and reports exactly what the change
+breaks — the paper's REPLAY idea promoted from crash recovery to a
+library-wide impact oracle.
+
+Exposed to every transport as the ``library.*`` typed commands.
+"""
+
+from repro.cellstore.cascade import (
+    ImpactEntry,
+    ImpactFailure,
+    assess_impact,
+    journal_dependencies,
+    overlay_payload,
+)
+from repro.cellstore.errors import (
+    BadRef,
+    Conflict,
+    Corrupt,
+    Deprecated,
+    LibraryError,
+    MissingDep,
+    NotFound,
+    Unavailable,
+)
+from repro.cellstore.fsck import FsckIssue, FsckReport, fsck
+from repro.cellstore.refs import Ref, format_ref, parse_ref
+from repro.cellstore.store import (
+    KINDS,
+    STORE_HEADER,
+    STORE_OPS,
+    CellRecord,
+    CellStore,
+)
+
+__all__ = [
+    "BadRef",
+    "CellRecord",
+    "CellStore",
+    "Conflict",
+    "Corrupt",
+    "Deprecated",
+    "FsckIssue",
+    "FsckReport",
+    "ImpactEntry",
+    "ImpactFailure",
+    "KINDS",
+    "LibraryError",
+    "MissingDep",
+    "NotFound",
+    "Ref",
+    "STORE_HEADER",
+    "STORE_OPS",
+    "Unavailable",
+    "assess_impact",
+    "format_ref",
+    "fsck",
+    "journal_dependencies",
+    "overlay_payload",
+    "parse_ref",
+]

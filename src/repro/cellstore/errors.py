@@ -1,0 +1,68 @@
+"""The cell store's exception family.
+
+All codes live under ``library.*`` — the store is exposed to every
+transport as the ``library.*`` typed commands, and wire clients branch
+on these codes (a ``library.conflict`` publish is retried with a fresh
+``expected_version``; a ``library.corrupt`` store is handed to fsck).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class LibraryError(ReproError):
+    """Base of every cell-store failure."""
+
+    code = "library.error"
+
+
+class BadRef(LibraryError):
+    """A cell reference that does not parse (want ``name`` or
+    ``name@version`` or ``name@latest``)."""
+
+    code = "library.bad_ref"
+
+
+class NotFound(LibraryError):
+    """No such cell name, or no such version of it."""
+
+    code = "library.not_found"
+
+
+class Conflict(LibraryError):
+    """Optimistic-concurrency failure: the publisher's
+    ``expected_version`` is not the store's current head."""
+
+    code = "library.conflict"
+
+    def __init__(self, message: str = "", *, head: int | None = None):
+        super().__init__(message)
+        #: The version the store actually holds, for retry logic.
+        self.head = head
+
+
+class Deprecated(LibraryError):
+    """The referenced version is tombstoned."""
+
+    code = "library.deprecated"
+
+
+class Corrupt(LibraryError):
+    """The refs log or a blob failed an integrity check; run fsck."""
+
+    code = "library.corrupt"
+
+
+class Unavailable(LibraryError):
+    """This session has no cell store attached (start the CLI with
+    ``--library DIR`` or the service with ``--library-dir DIR``)."""
+
+    code = "library.unavailable"
+
+
+class MissingDep(LibraryError):
+    """A recorded dependency of a stored composition cannot be
+    resolved (deleted by a repair, or deprecated underneath it)."""
+
+    code = "library.missing_dep"

@@ -1,0 +1,64 @@
+"""Human-facing cell references: ``name``, ``name@3``, ``name@latest``.
+
+A ref is how users and compositions point into the store without
+knowing content hashes.  A bare name (or ``@latest``) floats to the
+newest non-deprecated version; ``name@N`` pins one immutable version —
+the form recorded in a composition's dependency list, so a cascade can
+rebuild exactly the library the composition was published against.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.cellstore.errors import BadRef
+
+#: Cell names double as blob-directory components and journal kwargs,
+#: so keep them path-safe; same shape the service enforces on session
+#: names.
+_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A parsed cell reference; ``version=None`` means latest."""
+
+    name: str
+    version: int | None = None
+
+    def __str__(self) -> str:
+        if self.version is None:
+            return self.name
+        return f"{self.name}@{self.version}"
+
+
+def format_ref(name: str, version: int) -> str:
+    return f"{name}@{version}"
+
+
+def parse_ref(text: str) -> Ref:
+    """Parse ``name[@version]``; raises :class:`BadRef` on anything
+    else (empty, bad name characters, version < 1, trailing junk)."""
+    if not isinstance(text, str) or not text:
+        raise BadRef(f"empty cell ref {text!r}")
+    name, sep, version = text.partition("@")
+    if not _NAME.match(name):
+        raise BadRef(
+            f"bad cell name {name!r} (want [A-Za-z0-9._-], 64 chars max, "
+            "not starting with . or -)"
+        )
+    if not sep:
+        return Ref(name)
+    if version == "latest":
+        return Ref(name)
+    try:
+        number = int(version)
+    except ValueError:
+        raise BadRef(
+            f"bad version {version!r} in ref {text!r} "
+            "(want an integer or 'latest')"
+        ) from None
+    if number < 1:
+        raise BadRef(f"version must be >= 1, got {number} in ref {text!r}")
+    return Ref(name, number)

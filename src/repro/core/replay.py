@@ -163,9 +163,9 @@ class RecoveryReport:
         return "\n".join(lines)
 
 
-def journal_text(entries: list[JournalEntry]) -> str:
+def journal_text(entries: list[JournalEntry], header: str = JOURNAL_HEADER) -> str:
     """The full on-disk form of a journal: header plus framed lines."""
-    lines = [JOURNAL_HEADER]
+    lines = [header]
     lines.extend(entry.to_line() for entry in entries)
     return "\n".join(lines) + "\n"
 

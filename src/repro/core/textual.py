@@ -48,8 +48,8 @@ class TextualInterface:
     interactive tool reports them (``last_error`` keeps the exception).
     """
 
-    def __init__(self, editor: RiotEditor, store=None) -> None:
-        self.session = Session(editor=editor, store=store)
+    def __init__(self, editor: RiotEditor, store=None, cellstore=None) -> None:
+        self.session = Session(editor=editor, store=store, cellstore=cellstore)
         self.last_error: Exception | None = None
 
     # -- compatibility surface over the session ---------------------------
@@ -376,6 +376,136 @@ class TextualInterface:
                 f"line {result.corruption.lineno}: {result.corruption.reason}"
             )
         return "\n".join(lines)
+
+    # -- the shared cell library ----------------------------------------------
+
+    def _cmd_library(self, args: list[str]) -> str:
+        """The shared cell store: publish/consume versioned cells and
+        see what a new version breaks (the invalidation cascade)."""
+        usage = (
+            "usage: library publish <cell> [--expect N] [--no-cascade] | "
+            "get <ref> | resolve <ref> | list [name] | "
+            "deprecate <name> <version> | deps <ref> | impact <ref>"
+        )
+        if not args:
+            raise RiotError(usage)
+        verb, rest = args[0], args[1:]
+        if verb == "publish":
+            expected: int | None = None
+            cascade = True
+            names: list[str] = []
+            i = 0
+            while i < len(rest):
+                if rest[i] == "--expect":
+                    if i + 1 >= len(rest):
+                        raise RiotError(usage)
+                    expected = int(rest[i + 1])
+                    i += 2
+                elif rest[i] == "--no-cascade":
+                    cascade = False
+                    i += 1
+                elif rest[i].startswith("--"):
+                    raise RiotError(usage)
+                else:
+                    names.append(rest[i])
+                    i += 1
+            if len(names) != 1:
+                raise RiotError(usage)
+            result = self._do(
+                t.LibraryPublishRequest(
+                    name=names[0], expected_version=expected, cascade=cascade
+                )
+            )
+            lines = [f"published {result.name}@{result.version} ({result.kind})"]
+            if result.deps:
+                lines[0] += " deps: " + ", ".join(result.deps)
+            lines.extend(self._impact_lines(result.impact))
+            return "\n".join(lines)
+        if verb == "get":
+            if len(rest) != 1:
+                raise RiotError(usage)
+            result = self._do(t.LibraryGetRequest(ref=rest[0]))
+            return (
+                f"loaded {result.ref} ({result.kind}): "
+                + (", ".join(result.loaded) if result.loaded else "(nothing new)")
+            )
+        if verb == "resolve":
+            if len(rest) != 1:
+                raise RiotError(usage)
+            result = self._do(t.LibraryResolveRequest(ref=rest[0]))
+            text = (
+                f"{result.name}@{result.version} ({result.kind}) "
+                f"hash {result.hash[:12]}"
+            )
+            if result.deprecated:
+                text += " [deprecated]"
+            if result.deps:
+                text += " deps: " + ", ".join(result.deps)
+            return text
+        if verb == "list":
+            if len(rest) > 1:
+                raise RiotError(usage)
+            result = self._do(
+                t.LibraryListRequest(name=rest[0] if rest else None)
+            )
+            if not result.entries:
+                return "library: (empty)"
+            lines = []
+            for entry in result.entries:
+                line = f"{entry.name}@{entry.version} ({entry.kind})"
+                if entry.deprecated:
+                    line += " [deprecated]"
+                if entry.deps:
+                    line += " deps: " + ", ".join(entry.deps)
+                lines.append(line)
+            return "\n".join(lines)
+        if verb == "deprecate":
+            if len(rest) != 2:
+                raise RiotError(usage)
+            result = self._do(
+                t.LibraryDeprecateRequest(name=rest[0], version=int(rest[1]))
+            )
+            return f"deprecated {result.name}@{result.version}"
+        if verb == "deps":
+            if len(rest) != 1:
+                raise RiotError(usage)
+            result = self._do(t.LibraryDepsRequest(ref=rest[0]))
+            return (
+                f"{result.ref} deps: "
+                + (", ".join(result.deps) if result.deps else "(none)")
+                + "; dependents: "
+                + (
+                    ", ".join(result.dependents)
+                    if result.dependents
+                    else "(none)"
+                )
+            )
+        if verb == "impact":
+            if len(rest) != 1:
+                raise RiotError(usage)
+            result = self._do(t.LibraryImpactRequest(ref=rest[0]))
+            lines = [f"impact of {result.ref}:"]
+            lines.extend(self._impact_lines(result.impact) or ["  (no dependents)"])
+            return "\n".join(lines)
+        raise RiotError(usage)
+
+    @staticmethod
+    def _impact_lines(impact) -> list[str]:
+        """The cascade report, one dependent per line."""
+        lines = []
+        for entry in impact:
+            if entry.survived:
+                lines.append(
+                    f"  {entry.composition} (via {entry.dependency}): "
+                    f"ok ({entry.executed}/{entry.total} commands)"
+                )
+            else:
+                first = entry.failures[0]
+                lines.append(
+                    f"  {entry.composition} (via {entry.dependency}): "
+                    f"BROKEN at {first.command} [{first.code}] {first.error}"
+                )
+        return lines
 
     # -- observability --------------------------------------------------------
 

@@ -68,15 +68,21 @@ class JournalWriter:
     old journal intact.
     """
 
-    def __init__(self, path, checkpoint_interval: int = 512) -> None:
+    def __init__(
+        self,
+        path,
+        checkpoint_interval: int = 512,
+        header: str = JOURNAL_HEADER,
+    ) -> None:
         self.path = Path(path)
         self.checkpoint_interval = checkpoint_interval
+        self.header = header
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._file = open(self.path, "ab")
         self._offset = os.fstat(self._file.fileno()).st_size
         self._appends = 0
         if self._offset == 0:
-            self._write((JOURNAL_HEADER + "\n").encode("utf-8"))
+            self._write((self.header + "\n").encode("utf-8"))
 
     def _write(self, data: bytes) -> None:
         self._file.write(data)
@@ -119,7 +125,7 @@ class JournalWriter:
         )
         try:
             with os.fdopen(fd, "wb") as f:
-                f.write(journal_text(entries).encode("utf-8"))
+                f.write(journal_text(entries, header=self.header).encode("utf-8"))
                 f.flush()
                 os.fsync(f.fileno())
             os.replace(tmp, self.path)
@@ -148,7 +154,7 @@ class JournalWriter:
 # -- salvage reading ------------------------------------------------------
 
 
-def load_text(text: str) -> Journal:
+def load_text(text: str, allowlist: frozenset = REPLAYABLE) -> Journal:
     """Read a journal, salvaging as much as a damaged file allows.
 
     Unlike the strict parser, a structurally broken line — truncated
@@ -157,6 +163,10 @@ def load_text(text: str) -> Journal:
     ``corruption`` field records the salvage point.  A well-framed line
     naming a non-allowlisted command is not tearing; it is rejected
     (listed in ``rejected``) and the scan continues.
+
+    ``allowlist`` defaults to the editor's :data:`REPLAYABLE` set; other
+    journal dialects built on the same framing (the cell store's refs
+    log) pass their own command set.
     """
     entries: list[JournalEntry] = []
     rejected: list[SkippedEntry] = []
@@ -178,7 +188,7 @@ def load_text(text: str) -> Journal:
             corruption = CorruptionPoint(lineno, "CRC mismatch")
             break
         command = data.pop("command")
-        if command not in REPLAYABLE:
+        if command not in allowlist:
             rejected.append(
                 SkippedEntry(
                     command=command,

@@ -21,6 +21,8 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+from repro.obs import metrics
+
 
 class ContentCache:
     """A pickle-valued store keyed by content hashes."""
@@ -51,6 +53,7 @@ class ContentCache:
                 path.unlink()
             except OSError:
                 pass
+            metrics.counter("pipeline.cache.evictions").inc()
             return False, None
 
     def put(self, key: str, value: Any) -> bool:
@@ -77,6 +80,17 @@ class ContentCache:
             except OSError:
                 pass
             raise
+        return True
+
+    def evict(self, key: str) -> bool:
+        """Drop one entry (library publishes use this to invalidate
+        artifacts keyed on a superseded cell version); returns whether
+        anything was there to drop."""
+        try:
+            self._path(key).unlink()
+        except OSError:
+            return False
+        metrics.counter("pipeline.cache.evictions").inc()
         return True
 
     def __contains__(self, key: str) -> bool:

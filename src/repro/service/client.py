@@ -57,7 +57,18 @@ RETRY_IF_REPLAYABLE = frozenset({"service.shard_failed"})
 #: so re-running one is always harmless even though none is flagged
 #: ``replayable`` (there is nothing to replay).
 READONLY_METHODS = frozenset(
-    {"cells", "pending", "check", "help", "stats", "trace"}
+    {
+        "cells",
+        "pending",
+        "check",
+        "help",
+        "stats",
+        "trace",
+        "library.resolve",
+        "library.list",
+        "library.deps",
+        "library.impact",
+    }
 )
 
 
@@ -124,18 +135,30 @@ class ServiceClient:
         session: str | None = None,
         timeout: float = 60.0,
         retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        sleep=None,
     ) -> None:
         self.host = host
         self.port = port
         self.session = session
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
-        self._rng = random.Random(self.retry.seed)
+        #: The jitter source.  Injectable two ways: pass ``rng`` to
+        #: substitute the whole generator (a stub returning 0.0 makes
+        #: delays exact), or set ``RetryPolicy.seed`` to keep real
+        #: jitter but a reproducible stream.
+        self._rng = rng if rng is not None else random.Random(self.retry.seed)
+        #: Injectable clock for retry pauses — tests pass a recorder so
+        #: retry-path assertions run in zero wall time.
+        self._sleep = sleep if sleep is not None else time.sleep
         self._sock: socket.socket | None = None
         self._file = None
         self._next_id = 0
         #: Retries performed over this client's lifetime (observability).
         self.retries = 0
+        #: The delay handed to each retry sleep, in order (tests assert
+        #: the schedule; bounded by attempts so it cannot grow unruly).
+        self.retry_delays: list[float] = []
         self._connect()
 
     # -- connection ----------------------------------------------------------
@@ -153,7 +176,7 @@ class ServiceClient:
             except (ConnectionRefusedError, ConnectionResetError, OSError):
                 if time.monotonic() >= deadline:
                     raise
-                time.sleep(
+                self._sleep(
                     min(
                         self.retry.delay(attempt, self._rng),
                         max(0.0, deadline - time.monotonic()),
@@ -191,17 +214,20 @@ class ServiceClient:
                 else:
                     raise
                 hint = getattr(exc, "retry_after_ms", None)
-                self.retries += 1
-                time.sleep(self.retry.delay(attempt, self._rng, hint))
+                self._pause(self.retry.delay(attempt, self._rng, hint))
             except (ConnectionError, BrokenPipeError, OSError):
                 # The socket itself failed; whether the request reached
                 # the server is unknown — same contract as shard_failed.
                 if last_attempt or not _replay_safe(method):
                     raise
-                self.retries += 1
-                time.sleep(self.retry.delay(attempt, self._rng))
+                self._pause(self.retry.delay(attempt, self._rng))
                 self._reconnect()
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _pause(self, delay: float) -> None:
+        self.retries += 1
+        self.retry_delays.append(delay)
+        self._sleep(delay)
 
     def _round_trip(self, method: str, request):
         self._next_id += 1

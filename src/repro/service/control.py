@@ -89,6 +89,15 @@ class ServiceStatsResult:
     shed: int = 0
     shard_failures: int = 0
     shards: tuple[ShardStats, ...] = ()
+    #: Shared cell library traffic (zero when no --library-dir).
+    library_publishes: int = 0
+    library_conflicts: int = 0
+    library_cascades: int = 0
+    #: Pipeline artifact-cache traffic summed over this process's
+    #: sessions (the supervisor sums over shards).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
 
 
 @dataclass(frozen=True)

@@ -96,7 +96,10 @@ class SessionWorker:
             editor = RiotEditor()
             editor.library = filter_library(editor.technology)
             self.session = Session(
-                editor=editor, store=MemoryStore(), scoped_obs=True
+                editor=editor,
+                store=MemoryStore(),
+                cellstore=self.service.cellstore,
+                scoped_obs=True,
             )
             if self.journal_path is None:
                 return
@@ -195,6 +198,7 @@ class RiotService:
         queue_limit: int = 16,
         timeout: float = 30.0,
         journal_dir: str | Path | None = None,
+        library_dir: str | Path | None = None,
         chaos=None,
     ) -> None:
         self.host = host
@@ -203,6 +207,14 @@ class RiotService:
         self.queue_limit = queue_limit
         self.timeout = timeout
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        #: The shared cell library every session publishes into; the
+        #: store's own file lock serializes cross-process publishes, so
+        #: shards simply point at the same directory.
+        self.cellstore = None
+        if library_dir is not None:
+            from repro.cellstore import CellStore
+
+            self.cellstore = CellStore(library_dir)
         #: Fault-injection policy (:class:`repro.service.chaos.ChaosPolicy`),
         #: normally ``None``; set by ``REPRO_CHAOS`` runs.
         self.chaos = chaos
@@ -359,6 +371,12 @@ class RiotService:
         elif envelope.method == "service.stats":
             import os
 
+            library = (
+                self.cellstore.counters
+                if self.cellstore is not None
+                else {}
+            )
+            cache = self._cache_counters()
             result = control.ServiceStatsResult(
                 connections=self.counters["connections"],
                 requests=self.counters["requests"],
@@ -368,6 +386,12 @@ class RiotService:
                 sessions=len(self.workers),
                 pid=os.getpid(),
                 queued=sum(w.depth for w in self.workers.values()),
+                library_publishes=library.get("publishes", 0),
+                library_conflicts=library.get("conflicts", 0),
+                library_cascades=library.get("cascades", 0),
+                cache_hits=cache["hits"],
+                cache_misses=cache["misses"],
+                cache_evictions=cache["evictions"],
             )
         else:  # service.shutdown — ack, then drain in the background.
             result = control.ShutdownResult(
@@ -380,6 +404,21 @@ class RiotService:
             )
             self.request_shutdown()
         return wire.encode_result(envelope.id, envelope.method, result)
+
+    def _cache_counters(self) -> dict:
+        """Pipeline artifact-cache traffic summed across this process's
+        sessions (each session has its own scoped metrics registry)."""
+        totals = {"hits": 0, "misses": 0, "evictions": 0}
+        for worker in self.workers.values():
+            session = worker.session
+            if session is None:
+                continue
+            snapshot = session.metrics.snapshot()
+            for short in totals:
+                value = snapshot.get(f"pipeline.cache.{short}", 0)
+                if isinstance(value, int):
+                    totals[short] += value
+        return totals
 
     # -- shutdown -------------------------------------------------------------
 
@@ -494,6 +533,7 @@ async def _amain(args) -> None:
             timeout=args.timeout,
             shed_at=args.shed_at,
             journal_dir=args.journal_dir,
+            library_dir=args.library_dir,
         ).start()
         print(f"listening on {service.host}:{service.port}", flush=True)
         loop = asyncio.get_running_loop()
@@ -511,6 +551,7 @@ async def _amain(args) -> None:
         queue_limit=args.queue_limit,
         timeout=args.timeout,
         journal_dir=args.journal_dir,
+        library_dir=args.library_dir,
         chaos=ChaosPolicy.from_env(),
     ).start()
     print(f"listening on {service.host}:{service.port}", flush=True)
@@ -546,6 +587,12 @@ def main(argv: list[str] | None = None) -> int:
         "--journal-dir", metavar="DIR", default=None,
         help="per-session write-ahead journals (NAME.wal) live here; "
              "an existing journal is recovered when its session opens",
+    )
+    parser.add_argument(
+        "--library-dir", metavar="DIR", default=None,
+        help="shared cell library (repro.cellstore) enabling the "
+             "library.* commands; sessions — across every shard — "
+             "publish and consume versioned cells here",
     )
     parser.add_argument(
         "--timeout", type=float, default=30.0,

@@ -49,6 +49,7 @@ async def amain(args) -> None:
         queue_limit=args.queue_limit,
         timeout=args.timeout,
         journal_dir=args.journal_dir,
+        library_dir=args.library_dir,
         chaos=ChaosPolicy.from_env(),
     ).start()
     print(f"listening on {service.host}:{service.port}", flush=True)
@@ -78,6 +79,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--journal-dir", metavar="DIR", default=None,
         help="this shard's own WAL directory (one NAME.wal per session)",
+    )
+    parser.add_argument(
+        "--library-dir", metavar="DIR", default=None,
+        help="the shared cell library directory (same for every shard; "
+             "the store's file lock serializes cross-shard publishes)",
     )
     args = parser.parse_args(argv)
     try:

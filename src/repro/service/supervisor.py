@@ -154,6 +154,7 @@ class Supervisor:
         timeout: float = 30.0,
         shed_at: int = 256,
         journal_dir: str | Path | None = None,
+        library_dir: str | Path | None = None,
         heartbeat_interval: float = 0.5,
         heartbeat_timeout: float = 2.0,
         spawn_timeout: float = 30.0,
@@ -171,6 +172,11 @@ class Supervisor:
         self.timeout = timeout
         self.shed_at = shed_at
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
+        #: One store directory shared by every shard: the store's own
+        #: file lock is the cross-process publish serialization point.
+        self.library_dir = (
+            Path(library_dir) if library_dir is not None else None
+        )
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.spawn_timeout = spawn_timeout
@@ -244,6 +250,8 @@ class Supervisor:
                 "--journal-dir",
                 str(self.journal_dir / f"shard-{handle.index}"),
             ]
+        if self.library_dir is not None:
+            cmd += ["--library-dir", str(self.library_dir)]
         return cmd
 
     @staticmethod
@@ -657,6 +665,12 @@ class Supervisor:
         timeouts = 0
         backpressure = 0
         queued = 0
+        cache_hits = 0
+        cache_misses = 0
+        cache_evictions = 0
+        library_publishes = 0
+        library_conflicts = 0
+        library_cascades = 0
         shard_stats: list[control.ShardStats] = []
         for handle, stats in collected:
             if stats is not None:
@@ -664,6 +678,15 @@ class Supervisor:
                 timeouts += stats.timeouts
                 backpressure += stats.backpressure
                 queued += stats.queued
+                cache_hits += stats.cache_hits
+                cache_misses += stats.cache_misses
+                cache_evictions += stats.cache_evictions
+                # Each operation executes in exactly one shard, so
+                # summing the per-process store counters gives the
+                # store-wide totals.
+                library_publishes += stats.library_publishes
+                library_conflicts += stats.library_conflicts
+                library_cascades += stats.library_cascades
             shard_stats.append(
                 control.ShardStats(
                     index=handle.index,
@@ -687,6 +710,12 @@ class Supervisor:
             shed=self.counters["shed"],
             shard_failures=self.counters["shard_failures"],
             shards=tuple(shard_stats),
+            library_publishes=library_publishes,
+            library_conflicts=library_conflicts,
+            library_cascades=library_cascades,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            cache_evictions=cache_evictions,
         )
 
     # -- shutdown ------------------------------------------------------------

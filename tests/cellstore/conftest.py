@@ -1,0 +1,29 @@
+"""Shared fixtures for the cell-store suite: a store on disk and
+sessions wired to it the way every transport wires them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.session import Session
+from repro.cellstore import CellStore
+from repro.core.editor import RiotEditor
+from repro.library.stock import filter_library
+
+
+@pytest.fixture
+def store(tmp_path) -> CellStore:
+    return CellStore(tmp_path / "lib")
+
+
+@pytest.fixture
+def session_for(store):
+    """Factory: a fresh editor + session sharing the test's store —
+    each call simulates another user of the shared library."""
+
+    def make(cellstore: CellStore | None = None) -> Session:
+        editor = RiotEditor()
+        editor.library = filter_library(editor.technology)
+        return Session(editor=editor, cellstore=cellstore or store)
+
+    return make

@@ -1,0 +1,45 @@
+"""Ref parsing: the ``name@version`` grammar and its rejections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cellstore import BadRef, Ref, format_ref, parse_ref
+
+
+class TestParse:
+    def test_bare_name_is_latest(self):
+        assert parse_ref("nand") == Ref("nand", None)
+
+    def test_explicit_latest(self):
+        assert parse_ref("nand@latest") == Ref("nand", None)
+
+    def test_pinned_version(self):
+        assert parse_ref("nand@3") == Ref("nand", 3)
+
+    def test_names_allow_dots_dashes_underscores(self):
+        assert parse_ref("fit_corner-v2.1@7").name == "fit_corner-v2.1"
+
+    def test_format_round_trip(self):
+        assert parse_ref(format_ref("alu", 12)) == Ref("alu", 12)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "@1",
+            "nand@0",
+            "nand@-1",
+            "nand@1.5",
+            "nand@one",
+            "nand@1@2",
+            "has space",
+            "../escape",
+            ".hidden",
+            "x" * 65,
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(BadRef) as excinfo:
+            parse_ref(bad)
+        assert excinfo.value.code == "library.bad_ref"

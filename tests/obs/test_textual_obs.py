@@ -38,6 +38,21 @@ class TestStatsCommand:
         interface = session_interface()
         assert interface.execute("stats everything").startswith("error")
 
+    def test_stats_reports_pipeline_cache_counters(self, tmp_path):
+        interface = session_interface()
+        build_demo(interface)
+        for _ in range(2):  # cold run misses, warm run hits
+            response = interface.execute(f"verify demo --cache {tmp_path}")
+            assert not response.startswith("error"), response
+        stats = interface.execute("stats")
+        counters = {
+            line.split()[0]: int(line.split()[1])
+            for line in stats.splitlines()
+            if line.startswith("pipeline.cache.")
+        }
+        assert counters["pipeline.cache.misses"] > 0
+        assert counters["pipeline.cache.hits"] > 0
+
 
 class TestTraceCommand:
     def test_on_off_status_save_cycle(self):

@@ -51,6 +51,41 @@ class TestContentCache:
         assert len(cache) == 2
 
 
+class TestEviction:
+    def test_evict_removes_entry(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        cache.put("ab" * 32, 1)
+        assert cache.evict("ab" * 32) is True
+        assert cache.get("ab" * 32) == (False, None)
+
+    def test_evicting_absent_key_is_a_noop(self, tmp_path):
+        cache = ContentCache(tmp_path)
+        assert cache.evict("cd" * 32) is False
+
+    def test_evictions_are_counted(self, tmp_path):
+        from repro.obs import metrics
+
+        reg = metrics.MetricsRegistry()
+        cache = ContentCache(tmp_path)
+        cache.put("ab" * 32, 1)
+        with metrics.scope(reg):
+            cache.evict("ab" * 32)
+            cache.evict("ab" * 32)  # miss: not counted
+        assert reg.snapshot()["pipeline.cache.evictions"] == 1
+
+    def test_corrupt_drop_counts_as_eviction(self, tmp_path):
+        from repro.obs import metrics
+
+        reg = metrics.MetricsRegistry()
+        cache = ContentCache(tmp_path)
+        key = "ef" * 32
+        cache.put(key, 42)
+        cache._path(key).write_bytes(b"\x80garbage")
+        with metrics.scope(reg):
+            assert cache.get(key) == (False, None)
+        assert reg.snapshot()["pipeline.cache.evictions"] == 1
+
+
 def report_fingerprint(report):
     """Everything observable about a VerificationReport, as data."""
     return (

@@ -5,6 +5,7 @@ connect-time backoff window."""
 from __future__ import annotations
 
 import json
+import random
 import socket
 import threading
 import time
@@ -192,6 +193,71 @@ class TestConnectionLoss:
             with client_for(srv) as client:
                 with pytest.raises((ConnectionError, OSError)):
                     client.call("writecif", cell="top", path="/tmp/x.cif")
+
+
+class _ZeroJitter(random.Random):
+    """An injected RNG whose ``random()`` is always 0.0 — the jitter
+    factor becomes exactly 1, so delays equal the deterministic
+    ``base * 2**n`` schedule."""
+
+    def random(self) -> float:  # noqa: A003 - mirrors random.Random
+        return 0.0
+
+
+class TestDeterministicBackoff:
+    """The injectable rng/sleep seams: retry schedules asserted
+    exactly, in zero wall time."""
+
+    def test_injected_rng_and_sleep_pin_the_schedule(self):
+        slept: list[float] = []
+        policy = RetryPolicy(
+            attempts=4, base_delay=0.05, max_delay=1.0, jitter=0.5
+        )
+        with ScriptedServer(["backpressure"] * 3 + ["ok"]) as srv:
+            with client_for(
+                srv, retry=policy, rng=_ZeroJitter(), sleep=slept.append
+            ) as client:
+                client.call("new_cell", name="top")
+        # backpressure carries no retry_after_ms hint, so the pure
+        # exponential schedule shows through: base * 2**attempt.
+        assert client.retry_delays == [0.05, 0.1, 0.2]
+        assert slept == client.retry_delays
+
+    def test_retry_after_hint_floors_injected_schedule(self):
+        slept: list[float] = []
+        policy = RetryPolicy(attempts=3, base_delay=0.001, max_delay=1.0)
+        with ScriptedServer(["overloaded", "ok"]) as srv:
+            with client_for(
+                srv, retry=policy, rng=_ZeroJitter(), sleep=slept.append
+            ) as client:
+                client.call("new_cell", name="top")
+        # overloaded's 10ms hint floors the otherwise 1ms delay.
+        assert slept == [0.010]
+
+    def test_same_seed_same_delays(self):
+        def run(seed: int) -> list[float]:
+            policy = RetryPolicy(
+                attempts=4, base_delay=0.001, max_delay=0.004, seed=seed
+            )
+            slept: list[float] = []
+            with ScriptedServer(["backpressure"] * 3 + ["ok"]) as srv:
+                with client_for(srv, retry=policy, sleep=slept.append) as client:
+                    client.call("new_cell", name="top")
+            return slept
+
+        assert run(99) == run(99)
+        assert run(99) != run(100)
+
+    def test_injected_sleep_never_blocks(self):
+        # Eight scripted failures, zero real sleeping: the whole retry
+        # storm resolves in well under the schedule's nominal seconds.
+        start = time.monotonic()
+        policy = RetryPolicy(attempts=8, base_delay=0.5, max_delay=4.0, seed=1)
+        with ScriptedServer(["overloaded"] * 7 + ["ok"]) as srv:
+            with client_for(srv, retry=policy, sleep=lambda _d: None) as client:
+                client.call("new_cell", name="top")
+        assert client.retries == 7
+        assert time.monotonic() - start < 2.0
 
 
 class TestConnectBackoff:
