@@ -1,0 +1,124 @@
+"""Big-floorplan benchmark: assembly wall time, router pressure, and
+verification cost as the synthetic chip grows.
+
+Per tier (small through xl, ~16 to ~2000 slice instances) this:
+
+1. generates the seeded chip case (`repro.floorplan.generator`, fixed
+   seed — the numbers are reproducible byte for byte),
+2. assembles it through the typed command surface with the greedy
+   abut/stretch/route optimizer, timing the whole build,
+3. records the router-pressure numbers (channels used, channels that
+   overflowed ``tracks_per_channel`` — the river overflow rate),
+4. runs the invariant checks (abut coincidence, route separation,
+   sibling overlap, strict WAL replay) so every published number comes
+   from a chip that is actually correct,
+5. times the verification pipeline over every block plus the chip,
+   cold and then warm against the same content-addressed cache.
+
+Writes ``BENCH_floorplan.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+JSON_PATH = REPO_ROOT / "BENCH_floorplan.json"
+
+sys.path.insert(0, str(SRC))
+
+from repro.floorplan.assemble import assemble_floorplan  # noqa: E402
+from repro.floorplan.checks import run_floorplan_checks  # noqa: E402
+from repro.floorplan.generator import TIERS, gen_floorplan_case  # noqa: E402
+from repro.pipeline import run_verification  # noqa: E402
+from repro.proptest.prng import Rng  # noqa: E402
+
+SEED = 0
+VERIFY_TIERS = ("small", "medium")  # DRC over the big tiers is minutes
+
+
+def bench_tier(name: str) -> dict:
+    case = gen_floorplan_case(Rng(SEED), name)
+
+    start = time.perf_counter()
+    report = assemble_floorplan(case)
+    assemble_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    checks = run_floorplan_checks(report)
+    checks_s = time.perf_counter() - start
+
+    stats = report.to_dict()
+    row = {
+        "tier": name,
+        "seed": SEED,
+        "instances": stats["instances"],
+        "cells": stats["cells"],
+        "commands": stats["commands"],
+        "abuts": stats["abuts"],
+        "stretches": stats["stretches"],
+        "routes": stats["routes"],
+        "route_channels": stats["route_channels"],
+        "route_spills": stats["route_spills"],
+        "overflow_rate": stats["overflow_rate"],
+        "wirelength": stats["wirelength"],
+        "area": stats["area"],
+        "fallbacks": stats["fallbacks"],
+        "assemble_s": round(assemble_s, 3),
+        "checks_s": round(checks_s, 3),
+        "commands_per_s": round(stats["commands"] / assemble_s, 1),
+        "oracle_violations": 0,  # run_floorplan_checks raises otherwise
+        "checked": checks,
+    }
+
+    if name in VERIFY_TIERS:
+        editor = report.editor
+        cells = [
+            editor.library.get(n) for n in [*report.blocks, report.top]
+        ]
+        with tempfile.TemporaryDirectory(prefix="bench-floorplan-") as tmp:
+            start = time.perf_counter()
+            cold = run_verification(cells, editor.technology, jobs=1, cache=tmp)
+            cold_s = time.perf_counter() - start
+            start = time.perf_counter()
+            run_verification(cells, editor.technology, jobs=1, cache=tmp)
+            warm_s = time.perf_counter() - start
+        row["verify_cold_s"] = round(cold_s, 3)
+        row["verify_warm_s"] = round(warm_s, 3)
+        row["drc_violations"] = sum(
+            len(rep.drc.violations) for rep in cold.reports.values()
+        )
+    return row
+
+
+def main() -> None:
+    tiers = []
+    for name in TIERS:
+        row = bench_tier(name)
+        tiers.append(row)
+        line = (
+            f"{name:6s} {row['instances']:5d} inst  "
+            f"assemble {row['assemble_s']:7.3f}s "
+            f"({row['commands_per_s']:7.1f} cmd/s)  "
+            f"overflow {row['overflow_rate']:.4f}"
+        )
+        if "verify_cold_s" in row:
+            line += (
+                f"  verify {row['verify_cold_s']:.3f}s cold / "
+                f"{row['verify_warm_s']:.3f}s warm, "
+                f"{row['drc_violations']} DRC violations"
+            )
+        print(line, flush=True)
+
+    results = {"benchmark": "floorplan", "seed": SEED, "tiers": tiers}
+    JSON_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+
+
+if __name__ == "__main__":
+    main()

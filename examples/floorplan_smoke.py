@@ -1,0 +1,92 @@
+"""Big-floorplan smoke test: generate, assemble, verify, replay.
+
+The scenario CI runs:
+
+1. generate the seed-0 medium-tier synthetic chip (a few hundred
+   slice instances across six datapath blocks plus a pad ring);
+2. assemble it with the greedy abut/stretch/route optimizer through
+   the typed command surface — every placement and connection is an
+   ordinary journaled command;
+3. run the floorplan invariant checks (abut coincidence, stretch
+   rebinding, route separation, no sibling overlaps);
+4. run the verification pipeline over every block and the chip —
+   geometry must expand and DRC must pass with zero violations;
+5. strict-replay the session's write-ahead journal into a fresh
+   editor and require an equivalent session (same menu, same
+   instances, same placements).
+
+Run directly: ``python examples/floorplan_smoke.py [seed] [tier]``.
+Exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.core.editor import RiotEditor  # noqa: E402
+from repro.floorplan.assemble import assemble_floorplan  # noqa: E402
+from repro.floorplan.checks import run_floorplan_checks  # noqa: E402
+from repro.floorplan.generator import gen_floorplan_case, install_palette  # noqa: E402
+from repro.pipeline import run_verification  # noqa: E402
+from repro.proptest.gen import describe_editor  # noqa: E402
+from repro.proptest.prng import Rng  # noqa: E402
+
+
+def check(condition: bool, what: str) -> None:
+    if not condition:
+        print(f"FAIL: {what}")
+        sys.exit(1)
+    print(f"ok: {what}")
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    tier = sys.argv[2] if len(sys.argv) > 2 else "medium"
+
+    case = gen_floorplan_case(Rng(seed), tier)
+    start = time.perf_counter()
+    report = assemble_floorplan(case)
+    wall = time.perf_counter() - start
+    stats = report.to_dict()
+    print(
+        f"assembled {stats['top']} ({tier}, seed {seed}) in {wall:.2f}s: "
+        f"{stats['instances']} instances, {stats['abuts']} abuts / "
+        f"{stats['stretches']} stretches / {stats['routes']} routes, "
+        f"{stats['route_spills']} spill(s)"
+    )
+    check(stats["instances"] > 0, "chip has instances")
+    check(stats["fallbacks"] == 0, "every strategy choice executed")
+
+    summary = run_floorplan_checks(report)
+    check(
+        summary["abuts"] == stats["abuts"]
+        and summary["routes"] == stats["routes"],
+        f"floorplan invariants hold ({summary})",
+    )
+
+    editor = report.editor
+    cells = [editor.library.get(n) for n in [*report.blocks, report.top]]
+    with tempfile.TemporaryDirectory(prefix="floorplan-smoke-") as tmp:
+        result = run_verification(cells, editor.technology, jobs=1, cache=tmp)
+    violations = sum(len(r.drc.violations) for r in result.reports.values())
+    check(violations == 0, f"DRC clean over {len(cells)} cells")
+
+    fresh = RiotEditor(tracks_per_channel=editor.tracks_per_channel)
+    install_palette(fresh.library, case)
+    executed = fresh.replay_from(editor.journal.to_text())
+    check(
+        describe_editor(fresh) == describe_editor(editor),
+        f"strict WAL replay reproduces the session ({executed} commands)",
+    )
+    print("floorplan smoke: all good")
+
+
+if __name__ == "__main__":
+    main()

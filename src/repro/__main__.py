@@ -123,6 +123,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cellstore.cli import main as cellstore_main
 
         return cellstore_main(argv[1:])
+    if argv and argv[0] == "floorplan":
+        from repro.floorplan.cli import main as floorplan_main
+
+        return floorplan_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Riot textual command interface",

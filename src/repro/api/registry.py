@@ -635,6 +635,15 @@ def _library_get(session, req: t.LibraryGetRequest) -> t.LibraryGetResult:
     pins: dict[str, int] = {}
     loaded = load_closure(store, session.editor.library, record, pins=pins)
     session.library_pins.update(pins)
+    # Re-fetching a composition the session already holds replaces the
+    # library entry; if it was the cell under edit, rebind the editor to
+    # the fresh definition (the pending list named the old instances).
+    editor = session.editor
+    if editor.cell is not None and editor.cell.name in loaded:
+        fresh = editor.library.get(editor.cell.name)
+        if fresh is not editor.cell:
+            editor.cell = fresh
+            editor.pending.clear()
     return t.LibraryGetResult(
         ref=record.ref, kind=record.kind, hash=record.hash, loaded=tuple(loaded)
     )
@@ -710,4 +719,42 @@ def _library_impact(session, req: t.LibraryImpactRequest) -> t.LibraryImpactResu
                 technology=session.editor.technology,
             )
         ),
+    )
+
+
+# -- floorplan: seeded big-chip workload -----------------------------------
+# Not replayable: the build *emits* journal entries (every placement and
+# connection dispatches through this same session), so replaying the
+# journal already reproduces the chip without re-running the generator.
+
+
+@command("floorplan.build", t.FloorplanBuildRequest, t.FloorplanBuildResult)
+def _floorplan_build(session, req: t.FloorplanBuildRequest) -> t.FloorplanBuildResult:
+    from repro.floorplan.assemble import assemble_floorplan
+    from repro.floorplan.generator import gen_floorplan_case, resolve_tier
+    from repro.proptest.prng import Rng
+
+    tier = resolve_tier(req.tier)  # reject unknown tiers before generating
+    case = gen_floorplan_case(Rng(req.seed), tier)
+    report = assemble_floorplan(case, session=session, strategy=req.strategy)
+    stats = report.to_dict()
+    return t.FloorplanBuildResult(seed=req.seed, **stats)
+
+
+@command("floorplan.tiers", t.FloorplanTiersRequest, t.FloorplanTiersResult)
+def _floorplan_tiers(session, req: t.FloorplanTiersRequest) -> t.FloorplanTiersResult:
+    from repro.floorplan.generator import TIERS
+
+    return t.FloorplanTiersResult(
+        tiers=tuple(
+            t.FloorplanTierInfo(
+                name=tier.name,
+                grid=tier.grid,
+                block_rows=tier.block_rows,
+                block_cols=tier.block_cols,
+                pads_per_side=tier.pads_per_side,
+                slice_instances=tier.slice_instances,
+            )
+            for tier in TIERS.values()
+        )
     )

@@ -659,3 +659,62 @@ class LibraryImpactRequest:
 class LibraryImpactResult:
     ref: str
     impact: tuple[ImpactEntryInfo, ...] = ()
+
+
+# -- floorplan: the synthetic big-chip workload ----------------------------
+
+
+@dataclass(frozen=True)
+class FloorplanBuildRequest:
+    """Generate a seeded synthetic chip and assemble it in this session."""
+
+    seed: int = 0
+    tier: str = "small"
+    #: Assembly strategy name (``greedy``, ``route-only``); ``None``
+    #: uses the default greedy optimizer.
+    strategy: str | None = None
+
+
+@dataclass(frozen=True)
+class FloorplanBuildResult:
+    tier: str
+    seed: int
+    top: str
+    instances: int
+    cells: int
+    blocks: int
+    edges: int
+    abuts: int
+    stretches: int
+    routes: int
+    route_channels: int
+    route_spills: int
+    overflow_rate: float
+    wirelength: int
+    width: int
+    height: int
+    area: int
+    pads_placed: int
+    pads_connected: int
+    fallbacks: int
+    commands: int
+
+
+@dataclass(frozen=True)
+class FloorplanTiersRequest:
+    pass
+
+
+@dataclass(frozen=True)
+class FloorplanTierInfo:
+    name: str
+    grid: tuple[int, int]
+    block_rows: int
+    block_cols: int
+    pads_per_side: int
+    slice_instances: int
+
+
+@dataclass(frozen=True)
+class FloorplanTiersResult:
+    tiers: tuple[FloorplanTierInfo, ...] = ()

@@ -102,7 +102,7 @@ def overlay_payload(library, kind: str, payload: str) -> list[str]:
     elif kind == "composition":
         from repro.composition.format import load_composition
 
-        return [c.name for c in load_composition(payload, library)]
+        return [c.name for c in load_composition(payload, library, replace=True)]
     else:
         raise ValueError(f"unknown payload kind {kind!r}")
     for cell in cells:

@@ -83,7 +83,7 @@ def save_composition(cells: list[CompositionCell]) -> str:
 
 
 def load_composition(
-    text: str, library: CellLibrary
+    text: str, library: CellLibrary, *, replace: bool = False
 ) -> list[CompositionCell]:
     """Load composition cells, resolving instances against ``library``.
 
@@ -92,6 +92,12 @@ def load_composition(
     recorded source file so the caller knows what to load.  Every
     loaded composition cell is added to the library; the list returned
     is in file order.
+
+    With ``replace=True`` a cell whose name is already in the library
+    rebinds the existing definition (every instance of it re-points at
+    the loaded shape) instead of erroring — re-fetching a published
+    composition into a session that already holds it is a rebind, not
+    a collision.
     """
     lines = text.splitlines()
     if not lines or not lines[0].strip().startswith("RIOTCOMP"):
@@ -152,7 +158,10 @@ def load_composition(
             if current is None:
                 raise CompositionFormatError("END without COMPOSITION", lineno)
             try:
-                library.add(current)
+                if replace and current.name in library:
+                    library.replace(current.name, current)
+                else:
+                    library.add(current)
             except CompositionError as exc:
                 raise CompositionFormatError(str(exc), lineno) from None
             loaded.append(current)

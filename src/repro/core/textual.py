@@ -507,6 +507,66 @@ class TextualInterface:
                 )
         return lines
 
+    # -- the big-floorplan workload -------------------------------------------
+
+    def _cmd_floorplan(self, args: list[str]) -> str:
+        """Generate and assemble a seeded synthetic chip in this
+        session: ``floorplan build [seed] [tier] [--strategy NAME]``
+        places pad ring, datapath blocks and routing channels through
+        the normal command surface; ``floorplan tiers`` lists sizes."""
+        usage = (
+            "usage: floorplan build [seed] [tier] [--strategy NAME] | "
+            "floorplan tiers"
+        )
+        if not args:
+            raise RiotError(usage)
+        verb, rest = args[0], args[1:]
+        if verb == "tiers":
+            if rest:
+                raise RiotError(usage)
+            result = self._do(t.FloorplanTiersRequest())
+            lines = []
+            for tier in result.tiers:
+                cols, rows = tier.grid
+                lines.append(
+                    f"{tier.name}: {cols}x{rows} blocks of "
+                    f"{tier.block_rows}x{tier.block_cols} slices, "
+                    f"{tier.pads_per_side} pads/side "
+                    f"(~{tier.slice_instances} slice instances)"
+                )
+            return "\n".join(lines)
+        if verb == "build":
+            strategy: str | None = None
+            positional: list[str] = []
+            i = 0
+            while i < len(rest):
+                if rest[i] == "--strategy":
+                    if i + 1 >= len(rest):
+                        raise RiotError(usage)
+                    strategy = rest[i + 1]
+                    i += 2
+                elif rest[i].startswith("--"):
+                    raise RiotError(usage)
+                else:
+                    positional.append(rest[i])
+                    i += 1
+            if len(positional) > 2:
+                raise RiotError(usage)
+            seed = int(positional[0]) if positional else 0
+            tier = positional[1] if len(positional) > 1 else "small"
+            result = self._do(
+                t.FloorplanBuildRequest(seed=seed, tier=tier, strategy=strategy)
+            )
+            return (
+                f"assembled {result.top} ({result.tier}, seed {result.seed}): "
+                f"{result.instances} instances in {result.cells} cells, "
+                f"{result.abuts} abuts / {result.stretches} stretches / "
+                f"{result.routes} routes, {result.route_spills} spill(s), "
+                f"{result.pads_connected}/{result.pads_placed} pads strapped, "
+                f"area {result.area}"
+            )
+        raise RiotError(usage)
+
     # -- observability --------------------------------------------------------
 
     def _cmd_stats(self, args: list[str]) -> str:

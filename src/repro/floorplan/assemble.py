@@ -1,0 +1,520 @@
+"""The global batch assembly driver.
+
+Everything goes through the typed command API (``Session.dispatch``),
+so an assembled floorplan is an ordinary editor session: it journals,
+replays, publishes, and fuzzes like a hand-driven one.  Per edge the
+driver scores the three primitives geometrically — the connection
+commands clear the pending list even on failure, so feasibility is
+decided *before* dispatching — and a pluggable
+:class:`~repro.floorplan.strategy.AssemblyStrategy` picks one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import types as t
+from repro.floorplan.generator import install_palette, resolve_tier
+from repro.floorplan.strategy import EdgeContext, OpOption, make_strategy
+from repro.obs import metrics, trace
+
+#: Cost-model constants (in lambda): estimated river track pitch and
+#: entry margin.  These only rank options; the router decides reality.
+_TRACK_PITCH_LAM = 4
+_ENTRY_MARGIN_LAM = 4
+
+_OPPOSITE = {"left": "right", "right": "left", "top": "bottom", "bottom": "top"}
+
+
+@dataclass
+class EdgeRecord:
+    """One executed edge, as the scale-regression checks replay it."""
+
+    scope: str
+    cell: str
+    op: str
+    from_instance: str
+    to_instance: str
+    pairs: int
+    made: int = 0
+    warnings: tuple[str, ...] = ()
+    route_cell: str | None = None
+    route_instance: str | None = None
+    channels: int = 0
+    height: int = 0
+    stretch_old: str | None = None
+    stretch_new: str | None = None
+    fallback: bool = False
+
+
+@dataclass
+class FloorplanReport:
+    """What one assembly produced: live handles plus JSON-able counts."""
+
+    case: dict
+    top: str
+    session: object
+    edges: list[EdgeRecord] = field(default_factory=list)
+    blocks: list[str] = field(default_factory=list)
+    pads_placed: int = 0
+    pads_connected: int = 0
+    fallbacks: int = 0
+
+    @property
+    def editor(self):
+        return self.session.editor
+
+    def edge_count(self, op: str) -> int:
+        return sum(1 for e in self.edges if e.op == op)
+
+    @property
+    def instances(self) -> int:
+        """Placed instances across this build's composition cells
+        (array elements counted individually)."""
+        library = self.editor.library
+        return sum(
+            inst.nx * inst.ny
+            for name in [*self.blocks, self.top]
+            for inst in library.get(name).instances
+        )
+
+    @property
+    def route_channels(self) -> int:
+        return sum(e.channels for e in self.edges if e.op == "route")
+
+    @property
+    def route_spills(self) -> int:
+        """Routes that overflowed one channel — the river overflow rate's
+        numerator."""
+        return sum(1 for e in self.edges if e.op == "route" and e.channels > 1)
+
+    @property
+    def wirelength(self) -> int:
+        """Total routed wire, measured from the solved route cells'
+        sticks geometry (exact, not the planning estimate)."""
+        total = 0
+        for edge in self.edges:
+            if edge.route_cell is None:
+                continue
+            cell = self.editor.library.get(edge.route_cell)
+            for wire in cell.sticks_cell.wires:
+                for p1, p2 in zip(wire.points, wire.points[1:]):
+                    total += abs(p2.x - p1.x) + abs(p2.y - p1.y)
+        return total
+
+    def chip_box(self):
+        return self.editor.library.get(self.top).bounding_box()
+
+    def to_dict(self) -> dict:
+        box = self.chip_box()
+        routes = self.edge_count("route")
+        return {
+            "tier": self.case.get("tier"),
+            "top": self.top,
+            "instances": self.instances,
+            "cells": len(self.editor.library.names),
+            "blocks": len(self.blocks),
+            "edges": len(self.edges),
+            "abuts": self.edge_count("abut"),
+            "stretches": self.edge_count("stretch"),
+            "routes": routes,
+            "route_channels": self.route_channels,
+            "route_spills": self.route_spills,
+            "overflow_rate": round(self.route_spills / routes, 4) if routes else 0.0,
+            "wirelength": self.wirelength,
+            "width": box.width,
+            "height": box.height,
+            "area": box.width * box.height,
+            "pads_placed": self.pads_placed,
+            "pads_connected": self.pads_connected,
+            "fallbacks": self.fallbacks,
+            "commands": len(self.editor.journal.entries),
+        }
+
+
+def assemble_floorplan(case: dict, *, session=None, strategy=None) -> FloorplanReport:
+    """Place and connect ``case``'s chip; returns the report."""
+    return _Assembler(case, session=session, strategy=strategy).run()
+
+
+class _Assembler:
+    def __init__(self, case: dict, *, session=None, strategy=None) -> None:
+        if session is None:
+            from repro.api.session import Session
+
+            session = Session()
+        self.case = case
+        self.session = session
+        self.editor = session.editor
+        self.strategy = make_strategy(strategy)
+        self.lam = int(case.get("lambda", 250))
+        self.gaps = {k: int(v) * self.lam for k, v in case.get("gaps", {}).items()}
+        self.spec = resolve_tier(case["tier"])
+        # Composition names are allocated per build, so a second build
+        # in the same session (a different seed, say) never collides
+        # with the first chip's cells.
+        library = self.editor.library
+        self._block_names = {
+            block["name"]: library.unique_name(block["name"])
+            for block in case.get("blocks", [])
+        }
+        self.report = FloorplanReport(
+            case=case, top=library.unique_name("chip"), session=session
+        )
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _do(self, request):
+        return self.session.dispatch(request)
+
+    def _instance(self, name: str):
+        for inst in self.editor.cell.instances:
+            if inst.name == name:
+                return inst
+        raise KeyError(f"no instance {name!r} in {self.editor.cell.name!r}")
+
+    def _row_pitch(self, chip_row: dict) -> int:
+        """Vertical strip height one slice row occupies inside a block:
+        tall enough for the deepest palette member plus clearance."""
+        tallest = max(
+            (len(m["lanes"]) + 1) * int(m["pitch"])
+            for m in chip_row["palette"]
+        )
+        return tallest + self.gaps["row"]
+
+    # -- edge scoring -----------------------------------------------------
+
+    def _match_pairs(self, from_conns, to_conns, tolerance: int):
+        """Greedy monotone matching of facing connectors by position.
+
+        Both lists arrive sorted by the channel coordinate; matched
+        pairs are monotone in both, which is exactly the river
+        router's planarity precondition.
+        """
+        pairs = []
+        i = j = 0
+        while i < len(from_conns) and j < len(to_conns):
+            fc, tc = from_conns[i], to_conns[j]
+            fu, tu = self._u(fc.position), self._u(tc.position)
+            if abs(fu - tu) <= tolerance and fc.layer.name == tc.layer.name:
+                pairs.append((fc, tc))
+                i += 1
+                j += 1
+            elif fu <= tu:
+                i += 1
+            else:
+                j += 1
+        return pairs
+
+    @staticmethod
+    def _u(position):
+        """Channel coordinate for a vertical seam (to-side left/right)."""
+        return position.y
+
+    def _options(self, scope, from_inst, pairs):
+        lam = self.lam
+        deltas = [
+            (tc.position.x - fc.position.x, tc.position.y - fc.position.y)
+            for fc, tc in pairs
+        ]
+        # A feasible abut needs one uniform translation — and, across a
+        # vertical seam, a *purely horizontal* one: a dy component would
+        # drift the chain out of its row strip, and over a long chain
+        # the drift compounds into the neighbouring row.
+        abut_ok = (
+            scope != "pad"
+            and bool(deltas)
+            and all(d == deltas[0] for d in deltas)
+            and deltas[0][1] == 0
+        )
+        abut = OpOption("abut", abut_ok, reason="" if abut_ok else "pitch mismatch")
+
+        stretch_ok, stretch_area, reason = False, 0.0, "not a slice chain"
+        if scope == "row" and not abut_ok and len(pairs) >= 2:
+            cell = from_inst.cell
+            if not (cell.is_leaf and cell.is_stretchable and not from_inst.is_array):
+                reason = "from-cell not stretchable"
+            else:
+                from_u = [self._u(fc.position) for fc, _ in pairs]
+                to_u = [self._u(tc.position) for _, tc in pairs]
+                cur_gaps = [b - a for a, b in zip(from_u, from_u[1:])]
+                new_gaps = [b - a for a, b in zip(to_u, to_u[1:])]
+                if all(n >= c for n, c in zip(new_gaps, cur_gaps)):
+                    stretch_ok = True
+                    grow = (to_u[-1] - to_u[0]) - (from_u[-1] - from_u[0])
+                    stretch_area = from_inst.bounding_box().width * grow
+                else:
+                    reason = "targets would shrink a pin gap"
+        stretch = OpOption(
+            "stretch", stretch_ok, area=stretch_area, reason="" if stretch_ok else reason
+        )
+
+        route_ok = bool(pairs)
+        route_area = route_wl = 0.0
+        if route_ok:
+            from_u = [self._u(fc.position) for fc, _ in pairs]
+            to_u = [self._u(tc.position) for _, tc in pairs]
+            jogs = sum(1 for f, u in zip(from_u, to_u) if f != u)
+            height = (jogs + 2) * _TRACK_PITCH_LAM * lam
+            span = (
+                max(max(from_u), max(to_u))
+                - min(min(from_u), min(to_u))
+                + 2 * _ENTRY_MARGIN_LAM * lam
+            )
+            route_area = float(height * span)
+            route_wl = float(
+                sum(abs(f - u) for f, u in zip(from_u, to_u)) + len(pairs) * height
+            )
+        route = OpOption(
+            "route",
+            route_ok,
+            area=route_area,
+            wirelength=route_wl,
+            reason="" if route_ok else "no facing connector pairs",
+        )
+        return (abut, stretch, route)
+
+    # -- edge execution ---------------------------------------------------
+
+    def _connect_edge(self, scope, from_name, to_name, tolerance) -> EdgeRecord | None:
+        """Score, choose, and execute one edge.  Returns None when the
+        instances share no facing connectors (placement-only edge)."""
+        from_inst = self._instance(from_name)
+        to_inst = self._instance(to_name)
+        to_side = "right" if from_inst.bounding_box().llx >= to_inst.bounding_box().llx else "left"
+        from_conns = sorted(
+            from_inst.connectors_on_side(_OPPOSITE[to_side]),
+            key=lambda c: self._u(c.position),
+        )
+        to_conns = sorted(
+            to_inst.connectors_on_side(to_side), key=lambda c: self._u(c.position)
+        )
+        pairs = self._match_pairs(from_conns, to_conns, tolerance)
+        if not pairs:
+            return None
+        options = self._options(scope, from_inst, pairs)
+        edge = EdgeContext(
+            scope=scope,
+            cell=self.editor.cell.name,
+            from_instance=from_name,
+            to_instance=to_name,
+            pairs=len(pairs),
+            options=options,
+        )
+        op = self.strategy.choose(edge)
+        record = self._execute(scope, op, from_name, to_name, pairs)
+        if record is None:
+            # The chosen primitive was refused at solve time (the
+            # geometric precheck is an estimate, not the solver): the
+            # rollback restored placement, the pending list is clear —
+            # fall back to a route, which is always solvable on a
+            # monotone pair set.
+            metrics.counter("floorplan.fallbacks").inc()
+            self.report.fallbacks += 1
+            record = self._execute(scope, "route", from_name, to_name, pairs)
+            if record is None:
+                raise RuntimeError(
+                    f"edge {from_name}->{to_name}: route fallback failed"
+                )
+            record.fallback = True
+        self.report.edges.append(record)
+        return record
+
+    def _execute(self, scope, op, from_name, to_name, pairs) -> EdgeRecord | None:
+        from repro.errors import ReproError
+
+        for fc, tc in pairs:
+            self._do(
+                t.ConnectRequest(
+                    from_instance=from_name,
+                    from_connector=fc.name,
+                    to_instance=to_name,
+                    to_connector=tc.name,
+                )
+            )
+        record = EdgeRecord(
+            scope=scope,
+            cell=self.editor.cell.name,
+            op=op,
+            from_instance=from_name,
+            to_instance=to_name,
+            pairs=len(pairs),
+        )
+        try:
+            if op == "abut":
+                result = self._do(t.AbutRequest())
+                record.made, record.warnings = result.made, result.warnings
+            elif op == "stretch":
+                result = self._do(t.StretchRequest())
+                record.stretch_old = result.old_cell
+                record.stretch_new = result.new_cell
+                record.warnings = result.warnings
+                record.made = len(pairs)
+            else:
+                result = self._do(t.RouteRequest(move_from=(scope != "pad")))
+                record.route_cell = result.route_cell
+                record.route_instance = result.instance
+                record.channels = result.channels
+                record.height = result.height
+                record.made = result.wires
+        except ReproError:
+            return None
+        plural = {"abut": "abuts", "stretch": "stretches", "route": "routes"}
+        metrics.counter(f"floorplan.{plural[op]}").inc()
+        return record
+
+    # -- assembly phases --------------------------------------------------
+
+    def _assemble_block(self, block: dict) -> None:
+        chip_row = self.case["chip_rows"][block["row"]]
+        palette = chip_row["palette"]
+        row_pitch = self._row_pitch(chip_row)
+        tolerance = row_pitch // 2
+        name = self._block_names[block["name"]]
+        with trace.span("floorplan.block", block=name):
+            self._do(t.NewCellRequest(name=name))
+            for br, row in enumerate(block["slices"]):
+                y = br * row_pitch
+                prev = None
+                for bc, pick in enumerate(row):
+                    member = palette[pick]
+                    inst = f"r{br}c{bc}"
+                    if prev is None:
+                        at = (0, y)
+                    else:
+                        box = self._instance(prev).bounding_box()
+                        at = (box.urx + self.gaps["slice"], y)
+                    self._do(
+                        t.CreateRequest(at=at, cell_name=member["name"], name=inst)
+                    )
+                    if prev is not None:
+                        self._connect_edge("row", inst, prev, tolerance)
+                    prev = inst
+            self._do(t.FinishRequest())
+        self.report.blocks.append(name)
+
+    def _assemble_top(self) -> None:
+        grid_cols, grid_rows = self.case["grid"]
+        self._do(t.NewCellRequest(name=self.report.top))
+        y = 0
+        for r in range(grid_rows):
+            chip_row = self.case["chip_rows"][r]
+            row_pitch = self._row_pitch(chip_row)
+            tolerance = row_pitch // 2
+            prev = None
+            for c in range(grid_cols):
+                block = self.case["blocks"][r * grid_cols + c]
+                inst = f"b_r{r}c{c}"
+                if prev is None:
+                    at = (0, y)
+                else:
+                    box = self._instance(prev).bounding_box()
+                    at = (box.urx + self.gaps["block"], y)
+                self._do(
+                    t.CreateRequest(
+                        at=at, cell_name=self._block_names[block["name"]], name=inst
+                    )
+                )
+                if prev is not None:
+                    self._connect_edge("block", inst, prev, tolerance)
+                prev = inst
+            y += self.spec.block_rows * row_pitch + self.gaps["chip_row"]
+
+    def _pad_targets(self, side: str):
+        """Spacing-filtered strap targets on the chip's ``side`` edge:
+        metal connectors of the outermost block column, bottom to top,
+        far enough apart that pads placed on them cannot overlap."""
+        grid_cols, grid_rows = self.case["grid"]
+        col = 0 if side == "left" else grid_cols - 1
+        conns = []
+        for r in range(grid_rows):
+            inst = self._instance(f"b_r{r}c{col}")
+            conns.extend(
+                c for c in inst.connectors_on_side(side) if c.layer.name == "metal"
+            )
+        conns.sort(key=lambda c: c.position.y)
+        max_pad = max(
+            (int(p["size"]) for p in self.case["pads"][side]), default=0
+        )
+        spacing = max_pad + 2 * self.lam
+        targets, last_y = [], None
+        for conn in conns:
+            if last_y is None or conn.position.y - last_y >= spacing:
+                targets.append(conn)
+                last_y = conn.position.y
+        return targets
+
+    def _place_pads(self) -> None:
+        box = self.report.chip_box()
+        pad_gap = self.gaps["pad"]
+        ring_y = {"top": box.ury + pad_gap, "bottom": None}
+        for side in ("left", "right"):
+            pads = self.case["pads"][side]
+            targets = self._pad_targets(side)
+            overflow_at = box.ury + pad_gap  # park unstrapped pads above
+            for i, pad in enumerate(pads):
+                size = int(pad["size"])
+                inst = pad["name"]
+                if i < len(targets):
+                    target = targets[i]
+                    x = (
+                        target.position.x - pad_gap - size
+                        if side == "left"
+                        else target.position.x + pad_gap
+                    )
+                    at = (x, target.position.y - size // 2)
+                    self._do(t.CreateRequest(at=at, cell_name=pad["name"], name=inst))
+                    self._do(
+                        t.ConnectRequest(
+                            from_instance=inst,
+                            from_connector="PAD",
+                            to_instance=target.instance.name,
+                            to_connector=target.name,
+                        )
+                    )
+                    record = self._execute("pad", "route", inst, target.instance.name, [])
+                    if record is not None:
+                        record.pairs = record.made
+                        self.report.edges.append(record)
+                        self.report.pads_connected += 1
+                else:
+                    x = box.llx - pad_gap - size if side == "left" else box.urx + pad_gap
+                    self._do(
+                        t.CreateRequest(
+                            at=(x, overflow_at), cell_name=pad["name"], name=inst
+                        )
+                    )
+                    overflow_at += size + 2 * self.lam
+                self.report.pads_placed += 1
+        for side in ("top", "bottom"):
+            pads = self.case["pads"][side]
+            x = box.llx
+            for pad in pads:
+                size = int(pad["size"])
+                y = ring_y["top"] if side == "top" else box.lly - pad_gap - size
+                self._do(
+                    t.CreateRequest(
+                        at=(x, y), cell_name=pad["name"], name=pad["name"]
+                    )
+                )
+                x += size + 4 * self.lam
+                self.report.pads_placed += 1
+
+    def run(self) -> FloorplanReport:
+        case = self.case
+        with trace.span(
+            "floorplan.assemble",
+            tier=str(case.get("tier")),
+            slices=self.spec.slice_instances,
+        ):
+            install_palette(self.editor.library, case)
+            if "tracks_per_channel" in case:
+                self._do(t.SetTracksRequest(tracks=int(case["tracks_per_channel"])))
+            for block in case["blocks"]:
+                self._assemble_block(block)
+            with trace.span("floorplan.top"):
+                self._assemble_top()
+                self._place_pads()
+                self._do(t.FinishRequest())
+        metrics.counter("floorplan.assemblies").inc()
+        return self.report

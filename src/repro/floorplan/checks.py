@@ -1,0 +1,210 @@
+"""Floorplan-scale invariant checks.
+
+These re-state the proptest oracles' claims over a whole assembled
+chip instead of a two-cell setup: every abutted pair coincides, every
+river route is separation-clean and terminates on its connectors,
+every stretch hit its targets, the journal strict-replays into an
+equivalent editor, and the verification pipeline agrees with itself
+warm and cold.  Both ``tests/floorplan`` and the ``floorplan`` fuzz
+oracle call them; failures raise plain :class:`AssertionError` so
+either harness can wrap them.
+"""
+
+from __future__ import annotations
+
+from repro.floorplan.generator import install_palette
+
+
+def _connector_positions(editor, cell_name, inst_name):
+    cell = editor.library.get(cell_name)
+    for inst in cell.instances:
+        if inst.name == inst_name:
+            return {c.name: c.position for c in inst.connectors()}
+    raise AssertionError(f"{cell_name}: instance {inst_name!r} vanished")
+
+
+def check_abut_edges(report) -> int:
+    """Every executed abut made all its pairs with no warnings, and the
+    paired connectors coincide in the finished geometry."""
+    checked = 0
+    editor = report.editor
+    for edge in report.edges:
+        if edge.op != "abut":
+            continue
+        assert edge.made == edge.pairs, (
+            f"{edge.cell}: abut {edge.from_instance}->{edge.to_instance} made "
+            f"{edge.made} of {edge.pairs} pairs"
+        )
+        assert not edge.warnings, (
+            f"{edge.cell}: abut {edge.from_instance}->{edge.to_instance} "
+            f"warned: {edge.warnings}"
+        )
+        checked += 1
+    # Spot geometry: paired connectors of abutted slice chains coincide.
+    for edge in report.edges:
+        if edge.op != "abut" or edge.scope != "row":
+            continue
+        from_pos = _connector_positions(editor, edge.cell, edge.from_instance)
+        to_pos = _connector_positions(editor, edge.cell, edge.to_instance)
+        shared = [
+            name
+            for name in from_pos
+            if name.startswith("L") and name.replace("L", "R", 1) in to_pos
+        ]
+        assert shared, f"{edge.cell}: abutted pair shares no lanes"
+        for name in shared:
+            other = name.replace("L", "R", 1)
+            assert from_pos[name] == to_pos[other], (
+                f"{edge.cell}: {edge.from_instance}.{name} at {from_pos[name]} "
+                f"!= {edge.to_instance}.{other} at {to_pos[other]}"
+            )
+    return checked
+
+
+def check_stretch_edges(report) -> int:
+    """Every stretch produced a new cell, rebound the instance, and its
+    follow-up abutment made every pair silently."""
+    editor = report.editor
+    checked = 0
+    for edge in report.edges:
+        if edge.op != "stretch":
+            continue
+        assert not edge.warnings, (
+            f"{edge.cell}: stretch {edge.from_instance} warned: {edge.warnings}"
+        )
+        assert edge.stretch_new and edge.stretch_new in editor.library, (
+            f"{edge.cell}: stretched cell {edge.stretch_new!r} not in library"
+        )
+        cell = editor.library.get(edge.cell)
+        inst = next(
+            i for i in cell.instances if i.name == edge.from_instance
+        )
+        assert inst.cell.name == edge.stretch_new, (
+            f"{edge.cell}: {edge.from_instance} still bound to "
+            f"{inst.cell.name!r}, expected {edge.stretch_new!r}"
+        )
+        checked += 1
+    return checked
+
+
+def _segments(points):
+    return list(zip(points, points[1:]))
+
+
+def _seg_touch(a, b) -> bool:
+    """Axis-aligned closed segments share a point (centreline meet)."""
+    (a1, a2), (b1, b2) = a, b
+    ax_lo, ax_hi = sorted((a1.x, a2.x))
+    ay_lo, ay_hi = sorted((a1.y, a2.y))
+    bx_lo, bx_hi = sorted((b1.x, b2.x))
+    by_lo, by_hi = sorted((b1.y, b2.y))
+    return (
+        ax_lo <= bx_hi
+        and bx_lo <= ax_hi
+        and ay_lo <= by_hi
+        and by_lo <= ay_hi
+    )
+
+
+def check_route_edges(report) -> int:
+    """Every route cell's solved wires terminate on the route cell's
+    own connectors and distinct same-layer centrelines never meet —
+    the river oracle's claim, read back from the built geometry."""
+    editor = report.editor
+    checked = 0
+    for edge in report.edges:
+        if edge.op != "route" or edge.route_cell is None:
+            continue
+        cell = editor.library.get(edge.route_cell)
+        sticks = cell.sticks_cell
+        pin_points = {pin.point for pin in sticks.pins}
+        by_layer: dict[str, list] = {}
+        for wire in sticks.wires:
+            assert wire.points[0] in pin_points or wire.points[-1] in pin_points, (
+                f"{edge.route_cell}: wire does not terminate on a connector"
+            )
+            by_layer.setdefault(wire.layer, []).append(wire)
+        total = sum(len(group) for group in by_layer.values())
+        assert total == edge.made, (
+            f"{edge.route_cell}: {total} wires, command reported {edge.made}"
+        )
+        for group in by_layer.values():
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    crossed = any(
+                        _seg_touch(sa, sb)
+                        for sa in _segments(a.points)
+                        for sb in _segments(b.points)
+                    )
+                    assert not crossed, (
+                        f"{edge.route_cell}: same-layer wires meet"
+                    )
+        checked += 1
+    return checked
+
+
+def check_no_overlaps(report) -> int:
+    """Sibling instances never overlap (interiors open — touching is
+    the whole point of abutment)."""
+    editor = report.editor
+    checked = 0
+    for cell_name in [*report.blocks, report.top]:
+        cell = editor.library.get(cell_name)
+        boxes = [(inst.name, inst.bounding_box()) for inst in cell.instances]
+        for i, (name_a, box_a) in enumerate(boxes):
+            for name_b, box_b in boxes[i + 1 :]:
+                assert not box_a.overlaps(box_b), (
+                    f"{cell_name}: {name_a} {box_a} overlaps {name_b} {box_b}"
+                )
+        checked += 1
+    return checked
+
+
+def check_wal_replay(report) -> None:
+    """The session journal strict-replays against a fresh editor with
+    the same palette into an equivalent session."""
+    from repro.core.editor import RiotEditor
+    from repro.proptest.gen import describe_editor
+
+    editor = report.editor
+    fresh = RiotEditor(tracks_per_channel=editor.tracks_per_channel)
+    install_palette(fresh.library, report.case)
+    fresh.replay_from(editor.journal.to_text())
+    before = describe_editor(editor)
+    after = describe_editor(fresh)
+    assert before == after, "strict WAL replay diverged from the live session"
+
+
+def check_verify_pipeline(report, *, jobs: int = 1) -> dict:
+    """The verification pipeline runs clean over the assembled chip:
+    geometry expands, DRC passes, and a warm cache agrees with a cold
+    one.  Returns the violation counts per cell."""
+    import tempfile
+
+    from repro.pipeline import run_verification
+
+    editor = report.editor
+    cells = [editor.library.get(name) for name in [*report.blocks, report.top]]
+    with tempfile.TemporaryDirectory(prefix="floorplan-verify-") as tmp:
+        cold = run_verification(cells, editor.technology, jobs=jobs, cache=tmp)
+        warm = run_verification(cells, editor.technology, jobs=jobs, cache=tmp)
+    assert {n: r.summary() for n, r in cold.reports.items()} == {
+        n: r.summary() for n, r in warm.reports.items()
+    }, "warm verification disagrees with cold"
+    return {
+        name: len(rep.drc.violations) for name, rep in cold.reports.items()
+    }
+
+
+def run_floorplan_checks(report, *, verify: bool = False) -> dict:
+    """Run every floorplan invariant; returns a coverage summary."""
+    summary = {
+        "abuts": check_abut_edges(report),
+        "stretches": check_stretch_edges(report),
+        "routes": check_route_edges(report),
+        "cells": check_no_overlaps(report),
+    }
+    check_wal_replay(report)
+    if verify:
+        summary["verified"] = len(check_verify_pipeline(report))
+    return summary

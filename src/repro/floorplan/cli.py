@@ -1,0 +1,108 @@
+"""``python -m repro floorplan`` — the big-chip workload, end to end.
+
+Generates a seeded synthetic chip at a named size tier, assembles it
+through the typed command surface (every placement and connection is
+an ordinary journaled command), optionally checks the floorplan
+invariants and runs the verification pipeline, and writes the chip's
+CIF and/or a JSON report.  The same (seed, tier) pair always produces
+byte-identical output — this is the determinism the golden tests and
+the scale-regression suite pin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli import add_obs_flags, obs_from_flags
+    from repro.floorplan.assemble import assemble_floorplan
+    from repro.floorplan.checks import run_floorplan_checks
+    from repro.floorplan.generator import TIERS, gen_floorplan_case
+    from repro.floorplan.strategy import STRATEGIES
+    from repro.proptest.prng import Rng
+
+    parser = argparse.ArgumentParser(
+        prog="repro floorplan",
+        description=(
+            "Generate a seeded synthetic chip and assemble it with the "
+            "paper's abut/route/stretch primitives."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="PRNG seed")
+    parser.add_argument(
+        "--tier",
+        choices=sorted(TIERS),
+        default="small",
+        help="chip size tier",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=sorted(STRATEGIES),
+        default=None,
+        help="per-edge assembly strategy (default: greedy)",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE", default=None, help="write the chip CIF to FILE"
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        default=None,
+        help="write the assembly report as JSON to FILE ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the floorplan invariant checks after assembly",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the verification pipeline (implies --check)",
+    )
+    add_obs_flags(parser)
+    args = parser.parse_args(argv)
+
+    with obs_from_flags(args.trace, args.metrics):
+        case = gen_floorplan_case(Rng(args.seed), args.tier)
+        report = assemble_floorplan(case, strategy=args.strategy)
+        stats = report.to_dict()
+        print(
+            f"assembled {stats['top']} ({stats['tier']}, seed {args.seed}): "
+            f"{stats['instances']} instances, {stats['abuts']} abuts / "
+            f"{stats['stretches']} stretches / {stats['routes']} routes, "
+            f"{stats['route_spills']} spill(s), area {stats['area']}"
+        )
+        if args.check or args.verify:
+            try:
+                summary = run_floorplan_checks(report, verify=args.verify)
+            except AssertionError as exc:
+                print(f"CHECK FAILED: {exc}", file=sys.stderr)
+                return 1
+            print(
+                "checks ok: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(summary.items()))
+            )
+        if args.out:
+            from repro.core.convert import composition_to_cif
+
+            chip = report.editor.library.get(report.top)
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(composition_to_cif(chip, report.editor.technology))
+            print(f"wrote CIF to {args.out}")
+        if args.report == "-":
+            json.dump(stats, sys.stdout, indent=2, sort_keys=True)
+            print()
+        elif args.report:
+            with open(args.report, "w", encoding="utf-8") as fh:
+                json.dump(stats, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote report to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

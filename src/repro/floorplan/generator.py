@@ -1,0 +1,181 @@
+"""Seeded synthetic chip generation, parameterized by size tier.
+
+A floorplan *case* is a plain JSON-able dict (the ``proptest``
+convention): every coordinate and palette choice is drawn from
+SplitMix64 substreams of one seed, so the same (seed, tier) pair
+always describes byte-for-byte the same chip.
+
+The chip's shape follows the paper's assembly vocabulary:
+
+* **datapath blocks** — grids of two-sided bit slices chained left to
+  right; neighbouring slices share lane layers but may differ in lane
+  pitch, which is exactly what makes the abut/stretch/route choice
+  interesting;
+* **channel hierarchies** — blocks are arranged in a chip-level grid
+  and connected across vertical routing channels;
+* **pad ring** — bond pads around the perimeter, strapped to the
+  outermost blocks with fixed-height river routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.composition.cell import LeafCell
+from repro.proptest.gen import (
+    SLICE_PITCHES,
+    build_pad_cell,
+    build_slice_cell,
+    gen_lane_layers,
+    gen_pad_case,
+    gen_slice_case,
+)
+from repro.proptest.prng import Rng
+
+PAD_SIDES = ("left", "right", "top", "bottom")
+
+#: Which way a pad on each ring side faces (toward the core).
+PAD_FACING = {"left": "right", "right": "left", "top": "bottom", "bottom": "top"}
+
+
+@dataclass(frozen=True)
+class Tier:
+    """One size tier of the synthetic-chip corpus."""
+
+    name: str
+    grid: tuple[int, int]  #: chip grid of blocks: (columns, rows)
+    block_rows: int  #: slice rows per block
+    block_cols: int  #: slices per row
+    lanes: tuple[int, int]  #: lanes per chip row, drawn from this range
+    palette: int  #: slice palette size per chip row
+    pads_per_side: int
+
+    @property
+    def slice_instances(self) -> int:
+        cols, rows = self.grid
+        return cols * rows * self.block_rows * self.block_cols
+
+
+TIERS: dict[str, Tier] = {
+    "small": Tier("small", (2, 1), 2, 4, (2, 3), 2, 3),
+    "medium": Tier("medium", (3, 2), 4, 10, (2, 5), 3, 8),
+    "large": Tier("large", (4, 3), 6, 14, (3, 6), 3, 12),
+    "xl": Tier("xl", (6, 3), 8, 14, (4, 7), 3, 16),
+}
+
+
+def resolve_tier(tier: str | Tier) -> Tier:
+    if isinstance(tier, Tier):
+        return tier
+    try:
+        return TIERS[tier]
+    except KeyError:
+        raise ValueError(
+            f"unknown floorplan tier {tier!r} (have {', '.join(sorted(TIERS))})"
+        ) from None
+
+
+def gen_floorplan_case(rng: Rng, tier: str | Tier = "small") -> dict:
+    """Generate one chip description for ``tier`` from ``rng``.
+
+    Lane count and lane layers are per *chip row* (a datapath spans
+    the chip horizontally, so blocks that face each other across a
+    channel share a bus shape); slice pitch and width vary per palette
+    member, so some slice edges abut exactly, some stretch, and the
+    rest route.
+    """
+    spec = resolve_tier(tier)
+    grid_cols, grid_rows = spec.grid
+    lam = 250
+    case: dict = {
+        "tier": spec.name,
+        "lambda": lam,
+        # Narrow channels make the biggest routes overflow into extra
+        # channels — the river overflow rate the benchmark tracks.
+        "tracks_per_channel": rng.fork(f"tracks_{spec.name}").randint(1, 2),
+        "grid": [grid_cols, grid_rows],
+        "block_rows": spec.block_rows,
+        "block_cols": spec.block_cols,
+        "chip_rows": [],
+        "blocks": [],
+        "pads": {},
+        # Assembly clearances, in lambda.  "row" and "chip_row" budget
+        # for the river router's median-offset slide: ROUTE with
+        # move_from recenters the from instance along the channel axis,
+        # so routed slices drift vertically within a bounded envelope
+        # and the strips must absorb it.
+        "gaps": {"slice": 25, "row": 24, "block": 60, "chip_row": 80, "pad": 30},
+    }
+    for r in range(grid_rows):
+        row_rng = rng.fork(f"chiprow{r}")
+        lanes = row_rng.fork("lanes").randint(*spec.lanes)
+        lane_layers = gen_lane_layers(row_rng.fork("layers"), lanes)
+        palette = []
+        for k in range(spec.palette):
+            member = row_rng.fork(f"palette{k}")
+            palette.append(
+                gen_slice_case(
+                    member,
+                    f"sl_r{r}_{k}",
+                    lane_layers,
+                    member.fork("pitch").choice(SLICE_PITCHES),
+                )
+            )
+        case["chip_rows"].append(
+            {"lanes": lanes, "lane_layers": lane_layers, "palette": palette}
+        )
+    for r in range(grid_rows):
+        for c in range(grid_cols):
+            block_rng = rng.fork(f"block{r}_{c}")
+            slices = [
+                [
+                    block_rng.fork(f"pick{br}_{bc}").randint(0, spec.palette - 1)
+                    for bc in range(spec.block_cols)
+                ]
+                for br in range(spec.block_rows)
+            ]
+            case["blocks"].append(
+                {"name": f"blk_r{r}c{c}", "row": r, "col": c, "slices": slices}
+            )
+    for side in PAD_SIDES:
+        pads = []
+        for i in range(spec.pads_per_side):
+            pads.append(
+                gen_pad_case(
+                    rng.fork(f"pad_{side}{i}"), f"pad_{side}{i}", PAD_FACING[side]
+                )
+            )
+        case["pads"][side] = pads
+    return case
+
+
+def palette_cells(case: dict) -> list:
+    """All leaf :class:`SticksCell`s the case needs, in a fixed order."""
+    cells = []
+    for chip_row in case.get("chip_rows", []):
+        for member in chip_row.get("palette", []):
+            cells.append(build_slice_cell(member))
+    for side in PAD_SIDES:
+        for pad in case.get("pads", {}).get(side, []):
+            cells.append(build_pad_cell(pad))
+    return cells
+
+
+def install_palette(library, case: dict) -> list[str]:
+    """Materialise the case's leaf palette into ``library``.
+
+    Both the assembler and a WAL replay of an assembled session call
+    this, so a replayed editor starts from the identical cell menu.
+    A same-named cell already in the library is replaced (rebinding
+    its instances) — the cell-redefinition semantics the paper's
+    REPLAY exists for — so re-running a build in a live session works.
+    """
+    names = []
+    for sticks in palette_cells(case):
+        leaf = LeafCell.from_sticks(sticks, library.technology)
+        if leaf.name in library:
+            library.replace(leaf.name, leaf)
+        else:
+            library.add(leaf)
+        names.append(sticks.name)
+    return names

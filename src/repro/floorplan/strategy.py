@@ -1,0 +1,122 @@
+"""The abut-vs-stretch-vs-route decision seam.
+
+The assembler scores each edge's three candidate primitives
+*geometrically* — feasibility must be decided before dispatching,
+because the connection commands clear the pending list even on
+failure — and hands an :class:`EdgeContext` to a strategy.  The
+default :class:`GreedyStrategy` minimises estimated area plus
+weighted wirelength; the registry keeps the seam pluggable so a
+search strategy (Bayesian optimisation over placements, simulated
+annealing, ...) can drop in later without touching the driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Candidate primitives, in preference order for cost ties: abutment
+#: is free, stretching grows one cell, routing adds a channel cell.
+OPS = ("abut", "stretch", "route")
+
+
+@dataclass(frozen=True)
+class OpOption:
+    """One candidate primitive for an edge, with its estimated cost."""
+
+    op: str
+    feasible: bool
+    area: float = 0.0  #: centimicrons^2 the op is estimated to add
+    wirelength: float = 0.0  #: centimicrons of new wire
+    reason: str = ""  #: why infeasible (empty when feasible)
+
+
+@dataclass(frozen=True)
+class EdgeContext:
+    """Everything a strategy may consider for one edge."""
+
+    scope: str  #: "row" (slice chain), "block" (chip channel), "pad"
+    cell: str  #: composition cell under edit
+    from_instance: str
+    to_instance: str
+    pairs: int  #: matched connector pairs across the edge
+    options: tuple[OpOption, ...] = field(default_factory=tuple)
+
+    def option(self, op: str) -> OpOption:
+        for candidate in self.options:
+            if candidate.op == op:
+                return candidate
+        raise KeyError(op)
+
+
+class AssemblyStrategy:
+    """Chooses one primitive per edge.  Subclass and register."""
+
+    name = "base"
+
+    def choose(self, edge: EdgeContext) -> str:
+        raise NotImplementedError
+
+
+class GreedyStrategy(AssemblyStrategy):
+    """Minimise ``area + alpha * wirelength`` over the feasible ops.
+
+    Ties break toward the cheaper primitive class (abut, then
+    stretch, then route) — the paper's own bias: connect by geometry
+    when you can, add wire only when you must.
+    """
+
+    name = "greedy"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        self.alpha = alpha
+
+    def choose(self, edge: EdgeContext) -> str:
+        feasible = [o for o in edge.options if o.feasible]
+        if not feasible:
+            raise ValueError(
+                f"edge {edge.from_instance}->{edge.to_instance} has no feasible op"
+            )
+        best = min(
+            feasible,
+            key=lambda o: (o.area + self.alpha * o.wirelength, OPS.index(o.op)),
+        )
+        return best.op
+
+
+class RouteOnlyStrategy(AssemblyStrategy):
+    """Always route (the maximally conservative plan): every edge
+    becomes a river channel.  Exists to prove the seam is pluggable
+    and as the worst-case area baseline in tests."""
+
+    name = "route-only"
+
+    def choose(self, edge: EdgeContext) -> str:
+        option = edge.option("route")
+        if option.feasible:
+            return "route"
+        return GreedyStrategy().choose(edge)
+
+
+STRATEGIES: dict[str, type[AssemblyStrategy]] = {}
+
+
+def register_strategy(cls: type[AssemblyStrategy]) -> type[AssemblyStrategy]:
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+register_strategy(GreedyStrategy)
+register_strategy(RouteOnlyStrategy)
+
+
+def make_strategy(name: str | AssemblyStrategy | None) -> AssemblyStrategy:
+    if name is None:
+        return GreedyStrategy()
+    if isinstance(name, AssemblyStrategy):
+        return name
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown assembly strategy {name!r} (have {', '.join(sorted(STRATEGIES))})"
+        ) from None

@@ -625,3 +625,123 @@ def gen_pipeline_case(rng: Rng) -> dict:
             "dy": rng.randint(-15, 15) * lam,
         },
     }
+
+
+# -- floorplan building blocks ----------------------------------------------
+
+#: Lane pitches (in lambda) the datapath-slice generator draws from.
+#: All clear the worst same-layer separation two horizontal lane wires
+#: plus a mid-lane contact can demand, so slices satisfy the design
+#: rules as built and stretching to a *larger* pitch stays feasible.
+SLICE_PITCHES = (8, 10, 12)
+
+
+def gen_lane_layers(rng: Rng, lanes: int) -> list[str]:
+    """Per-lane routing layers for one datapath row family.
+
+    Lane 0 is always metal so pad straps (metal pins) can land on
+    every row.  Some rows are solid metal buses — the configuration
+    that piles same-layer jogs into one channel and makes narrow
+    river channels overflow; the rest mix metal and poly.
+    """
+    if rng.fork("bus").chance(0.35):
+        return ["metal"] * lanes
+    return ["metal"] + [rng.choice(("metal", "poly")) for _ in range(lanes - 1)]
+
+
+def gen_slice_case(
+    rng: Rng,
+    name: str,
+    lane_layers: list[str],
+    pitch_lam: int,
+) -> dict:
+    """A two-sided datapath bit-slice: one horizontal wire per lane,
+    with ``L{i}``/``R{i}`` pins at the *same* height on the left and
+    right boundary edges.
+
+    Because each lane's pins share a y coordinate, REST stretches
+    (which re-space y coordinates as a unit) keep the two sides
+    aligned — a stretched slice still chains.  Lanes sit strictly
+    inside the explicit boundary's vertical extent so only the L/R
+    pins are promoted when slices compose.
+    """
+    lam = 250
+    case: dict = {
+        "kind": "slice",
+        "name": name,
+        "lambda": lam,
+        "pitch": int(pitch_lam) * lam,
+        "width": rng.randint(10, 16) * lam,
+        "lanes": [],
+    }
+    for i, layer in enumerate(lane_layers):
+        lane = {"layer": layer, "contact": False}
+        if rng.chance(0.3):
+            lane["contact"] = True
+        case["lanes"].append(lane)
+    return case
+
+
+def build_slice_cell(case: dict) -> SticksCell:
+    lanes = case.get("lanes", [])
+    pitch = int(case["pitch"])
+    width = int(case["width"])
+    if not lanes or pitch <= 0 or width <= 0:
+        raise CaseInvalid("degenerate slice case")
+    cell = SticksCell(str(case["name"]))
+    for i, lane in enumerate(lanes):
+        y = (i + 1) * pitch
+        layer = str(lane["layer"])
+        cell.pins.append(Pin(f"L{i}", layer, Point(0, y)))
+        cell.pins.append(Pin(f"R{i}", layer, Point(width, y)))
+        cell.wires.append(SymbolicWire(layer, (Point(0, y), Point(width, y))))
+        if lane.get("contact"):
+            other = "poly" if layer == "metal" else "metal"
+            cell.contacts.append(Contact(layer, other, Point(width // 2, y)))
+    cell.boundary = Box(0, 0, width, (len(lanes) + 1) * pitch)
+    try:
+        cell.validate()
+    except Exception as exc:
+        raise CaseInvalid(str(exc)) from None
+    return cell
+
+
+def gen_pad_case(rng: Rng, name: str, facing: str) -> dict:
+    """A bond-pad leaf with a single metal pin centred on the
+    ``facing`` edge (the side that looks at the core)."""
+    if facing not in _FACING:
+        raise CaseInvalid(f"unknown pad facing {facing!r}")
+    lam = 250
+    return {
+        "kind": "pad",
+        "name": name,
+        "lambda": lam,
+        "facing": facing,
+        "size": rng.randint(20, 26) * lam,
+        "contact": rng.chance(0.5),
+    }
+
+
+def build_pad_cell(case: dict) -> SticksCell:
+    size = int(case["size"])
+    facing = str(case["facing"])
+    if size <= 0 or facing not in _FACING:
+        raise CaseInvalid("degenerate pad case")
+    mid = size // 2
+    edge = {
+        "left": Point(0, mid),
+        "right": Point(size, mid),
+        "bottom": Point(mid, 0),
+        "top": Point(mid, size),
+    }[facing]
+    cell = SticksCell(str(case["name"]))
+    cell.pins.append(Pin("PAD", "metal", edge))
+    cell.wires.append(SymbolicWire("metal", (edge, Point(mid, mid))))
+    if case.get("contact"):
+        cell.contacts.append(Contact("metal", "poly", Point(mid, mid)))
+    cell.boundary = Box(0, 0, size, size)
+    try:
+        cell.validate()
+    except Exception as exc:
+        raise CaseInvalid(str(exc)) from None
+    return cell

@@ -412,6 +412,37 @@ def check_pipeline(case: dict) -> str | None:
     return None
 
 
+# -- floorplan -------------------------------------------------------------
+
+
+def gen_floorplan(rng: Rng) -> dict:
+    """A small-tier synthetic chip (the full generator, smallest size)."""
+    from repro.floorplan.generator import gen_floorplan_case
+
+    return gen_floorplan_case(rng, "small")
+
+
+def check_floorplan(case: dict) -> str | None:
+    """Assemble the chip end to end and run every floorplan invariant:
+    abut coincidence, stretch rebinding, route separation, no sibling
+    overlaps, and strict WAL replay equivalence."""
+    from repro.errors import ReproError
+    from repro.floorplan.assemble import assemble_floorplan
+    from repro.floorplan.checks import run_floorplan_checks
+
+    try:
+        report = assemble_floorplan(case)
+    except ReproError as exc:
+        raise OracleFailure(f"assembly failed: {exc}") from exc
+    try:
+        run_floorplan_checks(report)
+    except OracleFailure:
+        raise
+    except AssertionError as exc:
+        raise OracleFailure(str(exc)) from exc
+    return None
+
+
 # -- registry --------------------------------------------------------------
 
 ORACLES: dict[str, Oracle] = {
@@ -453,6 +484,16 @@ ORACLES: dict[str, Oracle] = {
             generate=gen.gen_session_case,
             check=check_wal,
             cost=4,
+        ),
+        Oracle(
+            name="floorplan",
+            claim=(
+                "a generated chip assembles with abut/stretch/route edges "
+                "that coincide, separate, and strict-replay from the journal"
+            ),
+            generate=gen_floorplan,
+            check=check_floorplan,
+            cost=16,
         ),
         Oracle(
             name="pipeline",

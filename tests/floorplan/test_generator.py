@@ -1,0 +1,77 @@
+"""The synthetic chip generator: tier shapes, determinism, palette."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.editor import RiotEditor
+from repro.floorplan.generator import (
+    TIERS,
+    gen_floorplan_case,
+    install_palette,
+    palette_cells,
+    resolve_tier,
+)
+from repro.proptest.prng import Rng
+
+
+class TestTiers:
+    def test_known_tiers_cover_three_orders_of_magnitude(self):
+        sizes = {name: tier.slice_instances for name, tier in TIERS.items()}
+        assert sizes["small"] < 100
+        assert sizes["medium"] > 100
+        assert sizes["large"] > 1000
+        assert sizes["xl"] >= 2000  # the acceptance floor
+
+    def test_resolve_tier_accepts_name_or_spec(self):
+        assert resolve_tier("small") is TIERS["small"]
+        assert resolve_tier(TIERS["large"]) is TIERS["large"]
+        with pytest.raises(ValueError, match="unknown floorplan tier"):
+            resolve_tier("galactic")
+
+
+class TestCase:
+    def test_case_is_deterministic_in_seed(self):
+        a = gen_floorplan_case(Rng(7), "small")
+        b = gen_floorplan_case(Rng(7), "small")
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        cases = [gen_floorplan_case(Rng(seed), "small") for seed in range(8)]
+        assert any(c != cases[0] for c in cases[1:])
+
+    def test_case_shape_matches_tier(self):
+        tier = TIERS["medium"]
+        case = gen_floorplan_case(Rng(3), tier)
+        cols, rows = tier.grid
+        assert len(case["blocks"]) == cols * rows
+        assert len(case["chip_rows"]) == rows
+        for block in case["blocks"]:
+            assert len(block["slices"]) == tier.block_rows
+            assert all(len(r) == tier.block_cols for r in block["slices"])
+        for side, pads in case["pads"].items():
+            assert len(pads) == tier.pads_per_side
+
+    def test_case_is_json_plain(self):
+        import json
+
+        case = gen_floorplan_case(Rng(0), "small")
+        assert json.loads(json.dumps(case)) == case
+
+
+class TestPalette:
+    def test_palette_cells_validate_and_have_boundaries(self):
+        case = gen_floorplan_case(Rng(0), "small")
+        cells = palette_cells(case)
+        assert cells
+        for cell in cells:
+            assert cell.boundary is not None
+            assert cell.pins
+
+    def test_install_palette_twice_rebinds_instead_of_erroring(self):
+        case = gen_floorplan_case(Rng(0), "small")
+        editor = RiotEditor()
+        first = install_palette(editor.library, case)
+        again = install_palette(editor.library, case)
+        assert first == again
+        assert set(first) <= set(editor.library.names)

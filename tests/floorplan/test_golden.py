@@ -1,0 +1,58 @@
+"""Determinism pins: same seed, same chip, byte for byte.
+
+The golden CIF freezes the seed-0 small-tier chip end to end —
+generator draws, strategy decisions, river solutions, REST stretches,
+CIF serialisation.  Any unintended behaviour change in that whole
+stack shows up as a golden diff.  Regenerate with ``pytest
+tests/floorplan/test_golden.py --update-golden`` only when the change
+is intentional.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.convert import composition_to_cif
+from repro.floorplan.assemble import assemble_floorplan
+from repro.floorplan.generator import gen_floorplan_case
+from repro.proptest.gen import describe_editor
+from repro.proptest.prng import Rng
+
+GOLDEN = Path(__file__).parent / "golden_seed0_small.cif"
+
+
+def chip_cif(seed: int = 0, tier: str = "small") -> str:
+    report = assemble_floorplan(gen_floorplan_case(Rng(seed), tier))
+    chip = report.editor.library.get(report.top)
+    return composition_to_cif(chip, report.editor.technology)
+
+
+class TestGoldenCif:
+    def test_seed0_small_chip_cif_is_pinned(self, request):
+        cif = chip_cif()
+        if request.config.getoption("--update-golden"):
+            GOLDEN.write_text(cif)
+        assert GOLDEN.exists(), (
+            "golden missing; run with --update-golden to create it"
+        )
+        assert cif == GOLDEN.read_text(), (
+            "seed-0 small-tier chip CIF changed; if intentional, "
+            "regenerate with --update-golden"
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_builds_identical_sessions(self):
+        reports = [
+            assemble_floorplan(gen_floorplan_case(Rng(42), "small"))
+            for _ in range(2)
+        ]
+        digests = [describe_editor(r.editor) for r in reports]
+        assert digests[0] == digests[1]
+        assert reports[0].to_dict() == reports[1].to_dict()
+
+    def test_same_seed_builds_identical_cif_bytes(self):
+        assert chip_cif(5) == chip_cif(5)
+
+    def test_different_seed_builds_a_different_chip(self):
+        assert chip_cif(0) != chip_cif(1)

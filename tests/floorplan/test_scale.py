@@ -1,0 +1,72 @@
+"""The scale-regression suite: seeds x tiers through every invariant.
+
+Each case generates a chip, assembles it with the paper's three
+primitives, and runs the full floorplan check stack (abut coincidence,
+stretch rebinding, route separation, sibling overlap, strict WAL
+replay).  The small tier is part of tier-1; the 1000+-instance tiers
+carry the ``slow`` marker and run in the scheduled/smoke jobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan.assemble import assemble_floorplan
+from repro.floorplan.checks import check_verify_pipeline, run_floorplan_checks
+from repro.floorplan.generator import TIERS, gen_floorplan_case
+from repro.proptest.prng import Rng
+
+
+def build(seed: int, tier: str):
+    return assemble_floorplan(gen_floorplan_case(Rng(seed), tier))
+
+
+def assert_clean(report) -> dict:
+    summary = run_floorplan_checks(report)
+    assert report.fallbacks == 0, "strategy choices should all execute"
+    assert summary["abuts"] + summary["stretches"] + summary["routes"] > 0
+    return summary
+
+
+class TestSmallTier:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_small_chip_assembles_clean(self, seed):
+        report = build(seed, "small")
+        assert_clean(report)
+        assert report.instances >= TIERS["small"].slice_instances
+
+    def test_uses_all_three_primitives_across_seeds(self):
+        # One seed may not exercise every primitive; the seed sweep must.
+        ops = set()
+        for seed in range(4):
+            report = build(seed, "small")
+            ops.update(e.op for e in report.edges)
+        assert ops == {"abut", "stretch", "route"}
+
+    def test_verification_pipeline_clean_on_seed0(self):
+        report = build(0, "small")
+        violations = check_verify_pipeline(report)
+        assert set(violations) == {*report.blocks, report.top}
+        assert all(count == 0 for count in violations.values())
+
+
+@pytest.mark.slow
+class TestBigTiers:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_medium_chip_assembles_clean(self, seed):
+        assert_clean(build(seed, "medium"))
+
+    def test_large_chip_assembles_clean(self):
+        report = build(0, "large")
+        assert_clean(report)
+        assert report.instances > 1000
+
+    def test_xl_chip_meets_the_acceptance_floor(self):
+        report = build(0, "xl")
+        assert_clean(report)
+        assert report.instances >= 2000
+        stats = report.to_dict()
+        # The workload is only interesting if the optimizer had real
+        # choices to make and the router was under real pressure.
+        assert stats["abuts"] and stats["stretches"] and stats["routes"]
+        assert stats["route_channels"] >= stats["routes"]

@@ -1,0 +1,104 @@
+"""The pluggable assembly-strategy seam."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.floorplan.assemble import assemble_floorplan
+from repro.floorplan.generator import gen_floorplan_case
+from repro.floorplan.strategy import (
+    STRATEGIES,
+    AssemblyStrategy,
+    EdgeContext,
+    GreedyStrategy,
+    OpOption,
+    make_strategy,
+    register_strategy,
+)
+from repro.proptest.prng import Rng
+
+
+def edge_with(*options: OpOption) -> EdgeContext:
+    return EdgeContext(
+        scope="row",
+        cell="blk",
+        from_instance="a",
+        to_instance="b",
+        pairs=2,
+        options=tuple(options),
+    )
+
+
+class TestGreedy:
+    def test_prefers_cheapest_feasible_op(self):
+        edge = edge_with(
+            OpOption("abut", False, reason="deltas differ"),
+            OpOption("stretch", True, area=500.0),
+            OpOption("route", True, area=100.0, wirelength=50.0),
+        )
+        assert GreedyStrategy().choose(edge) == "route"
+
+    def test_ties_break_toward_the_simpler_primitive(self):
+        edge = edge_with(
+            OpOption("abut", True, area=0.0),
+            OpOption("route", True, area=0.0),
+        )
+        assert GreedyStrategy().choose(edge) == "abut"
+
+    def test_alpha_weights_wirelength(self):
+        edge = edge_with(
+            OpOption("stretch", True, area=100.0, wirelength=0.0),
+            OpOption("route", True, area=0.0, wirelength=10.0),
+        )
+        assert GreedyStrategy(alpha=1.0).choose(edge) == "route"
+        assert GreedyStrategy(alpha=100.0).choose(edge) == "stretch"
+
+    def test_no_feasible_op_is_an_error(self):
+        edge = edge_with(OpOption("abut", False, reason="overlap"))
+        with pytest.raises(ValueError, match="no feasible op"):
+            GreedyStrategy().choose(edge)
+
+
+class TestRegistry:
+    def test_stock_strategies_registered(self):
+        assert {"greedy", "route-only"} <= set(STRATEGIES)
+
+    def test_make_strategy_resolves_names_and_instances(self):
+        assert isinstance(make_strategy(None), GreedyStrategy)
+        assert isinstance(make_strategy("greedy"), GreedyStrategy)
+        custom = GreedyStrategy(alpha=2.0)
+        assert make_strategy(custom) is custom
+        with pytest.raises(ValueError, match="unknown assembly strategy"):
+            make_strategy("annealing")
+
+    def test_custom_strategy_plugs_into_the_assembler(self):
+        class StretchNever(AssemblyStrategy):
+            name = "stretch-never"
+
+            def choose(self, edge):
+                feasible = [
+                    o.op for o in edge.options if o.feasible and o.op != "stretch"
+                ]
+                return feasible[0] if feasible else "route"
+
+        register_strategy(StretchNever)
+        try:
+            case = gen_floorplan_case(Rng(0), "small")
+            report = assemble_floorplan(case, strategy="stretch-never")
+            assert report.edge_count("stretch") == 0
+        finally:
+            del STRATEGIES["stretch-never"]
+
+
+class TestStrategiesDiffer:
+    def test_route_only_routes_every_edge_greedy_does_not(self):
+        case = gen_floorplan_case(Rng(0), "small")
+        greedy = assemble_floorplan(case, strategy="greedy")
+        routed = assemble_floorplan(
+            gen_floorplan_case(Rng(0), "small"), strategy="route-only"
+        )
+        assert greedy.edge_count("abut") > 0
+        assert routed.edge_count("route") > greedy.edge_count("route")
+        # Routing everything costs area: the optimizer must beat the
+        # conservative baseline, or it is not optimizing.
+        assert greedy.chip_box().width <= routed.chip_box().width

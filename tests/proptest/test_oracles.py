@@ -16,7 +16,14 @@ from repro.proptest.prng import Rng
 
 
 def test_registry_names_and_claims():
-    assert sorted(ORACLES) == ["abut", "pipeline", "river", "stretch", "wal"]
+    assert sorted(ORACLES) == [
+        "abut",
+        "floorplan",
+        "pipeline",
+        "river",
+        "stretch",
+        "wal",
+    ]
     for oracle in ORACLES.values():
         assert oracle.claim
         assert oracle.cost >= 1

@@ -142,3 +142,62 @@ class TestServiceStats:
             stats = client.call("service.stats")
         assert stats.library_publishes == 1
         assert stats.library_conflicts == 1
+
+
+class TestRepeatedGet:
+    """``library.get`` of a composition the session already holds is a
+    rebind, not a collision (regression: it used to raise
+    ``composition.format`` from the loader's ``library.add``)."""
+
+    def publish_composition(self, library_dir) -> None:
+        local = local_session(library_dir)
+        local.dispatch(t.NewCellRequest(name="duo"))
+        local.dispatch(t.CreateRequest(cell_name="nand", name="g1", at=(0, 0)))
+        local.dispatch(t.CreateRequest(cell_name="nand", name="g2", at=(0, 20000)))
+        local.dispatch(t.FinishRequest())
+        local.dispatch(t.LibraryPublishRequest(name="nand"))
+        local.dispatch(t.LibraryPublishRequest(name="duo"))
+
+    def test_get_twice_over_socket_rebinds(self, server, library_dir):
+        self.publish_composition(library_dir)
+        with client_for(server, "regetter") as client:
+            first = client.call("library.get", ref="duo")
+            second = client.call("library.get", ref="duo")
+            # The session is still usable: the re-fetched composition
+            # opens for edit, and a third get while it is under edit
+            # rebinds silently too.
+            client.call("edit", name="duo")
+            third = client.call("library.get", ref="duo")
+            check = client.call("check")
+        assert first.loaded == second.loaded == third.loaded == ("nand", "duo")
+        assert check.overlapping == 0
+
+    def test_get_rebinds_the_cell_under_edit(self, library_dir):
+        self.publish_composition(library_dir)
+        session = local_session(library_dir)
+        session.dispatch(t.LibraryGetRequest(ref="duo"))
+        session.dispatch(t.EditRequest(name="duo"))
+        session.dispatch(
+            t.ConnectRequest(
+                from_instance="g1",
+                from_connector="OUT",
+                to_instance="g2",
+                to_connector="A",
+            )
+        )
+        assert len(session.editor.pending) == 1
+        again = session.dispatch(t.LibraryGetRequest(ref="duo"))
+        assert "duo" in again.loaded
+        # The editor now edits the freshly loaded definition, and the
+        # pending list (which named the old instances) was dropped.
+        assert session.editor.cell is session.editor.library.get("duo")
+        assert len(session.editor.pending) == 0
+        # Follow-on edits work against the rebound cell.
+        session.dispatch(
+            t.CreateRequest(cell_name="nand", name="g3", at=(8000, 0))
+        )
+        assert [i.name for i in session.editor.cell.instances] == [
+            "g1",
+            "g2",
+            "g3",
+        ]
