@@ -60,7 +60,9 @@ Observability:
 
 Long-lived service: ``python -m repro serve`` hosts many concurrent
 sessions behind the same typed command API over a socket — see
-:mod:`repro.service`.
+:mod:`repro.service` — and ``python -m repro top`` renders a running
+service's request telemetry (per-class and per-stage latency
+quantiles, per-shard breakdown, ``--slow`` flight recorder).
 """
 
 from __future__ import annotations
@@ -119,6 +121,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.service.top import main as top_main
+
+        return top_main(argv[1:])
     if argv and argv[0] == "cellstore":
         from repro.cellstore.cli import main as cellstore_main
 

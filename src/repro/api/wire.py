@@ -51,6 +51,13 @@ class RequestEnvelope:
     id: int | str | None = None
     session: str | None = None
     v: int = PROTOCOL_VERSION
+    #: Distributed-trace context: ``{"id": trace id, "parent":
+    #: "<process label>:<span id>"}``.  A client opens the root span
+    #: for a request and sends its reference here; the supervisor
+    #: relays with its own relay span as the parent, so one request
+    #: yields a single stitched trace across client, supervisor and
+    #: shard.  ``None`` (the default) everywhere tracing is off.
+    trace: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -73,6 +80,12 @@ class ResponseEnvelope:
     result: dict | None = None
     error: ErrorInfo | None = None
     v: int = PROTOCOL_VERSION
+    #: Per-request stage decomposition in integer microseconds
+    #: (``{"shard_queue": ..., "handler": ..., "fsync": ...}`` from the
+    #: shard, plus ``supervisor_queue``/``relay`` stamped by the
+    #: supervisor on the way back).  Telemetry, not contract: absent
+    #: (``None``) when the server has nothing to report.
+    stages: dict | None = None
 
 
 def _check_version(data: dict, where: str) -> None:
@@ -104,10 +117,15 @@ def encode_request(
     *,
     id: int | str | None = None,
     session: str | None = None,
+    trace: dict | None = None,
 ) -> str:
     """One canonical request line (no trailing newline)."""
     envelope = RequestEnvelope(
-        method=method, params=to_jsonable(request), id=id, session=session
+        method=method,
+        params=to_jsonable(request),
+        id=id,
+        session=session,
+        trace=trace,
     )
     return canonical_json(envelope)
 
@@ -130,14 +148,16 @@ def decode_params(envelope: RequestEnvelope):
 # -- responses --------------------------------------------------------------
 
 
-def encode_result(id, method: str, result) -> str:
+def encode_result(id, method: str, result, *, stages: dict | None = None) -> str:
     envelope = ResponseEnvelope(
-        ok=True, id=id, method=method, result=to_jsonable(result)
+        ok=True, id=id, method=method, result=to_jsonable(result), stages=stages
     )
     return canonical_json(envelope)
 
 
-def encode_error(id, exc_or_code, message: str | None = None) -> str:
+def encode_error(
+    id, exc_or_code, message: str | None = None, *, stages: dict | None = None
+) -> str:
     """An error line from an exception (code derived) or a code string."""
     retry_after_ms = None
     if isinstance(exc_or_code, BaseException):
@@ -153,6 +173,7 @@ def encode_error(id, exc_or_code, message: str | None = None) -> str:
         error=ErrorInfo(
             code=code, message=message, retry_after_ms=retry_after_ms
         ),
+        stages=stages,
     )
     return canonical_json(envelope)
 

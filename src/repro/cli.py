@@ -63,23 +63,28 @@ def obs_from_flags(
         yield tracer
     finally:
         if tracer is not None:
+            import os
+
             from repro.obs.export import write_chrome
 
             trace.disable()
             unclosed = tracer.open_count()
+            label = trace.process_label_explicit()
             write_chrome(
                 trace_path,
                 tracer.finished(),
-                metrics.registry().snapshot(),
+                metrics.export_snapshot(),
                 unclosed=unclosed,
+                pid=os.getpid() if label is not None else None,
+                process_name=label,
             )
             if unclosed:
                 echo(f"warning: {unclosed} trace span(s) never closed")
         if metrics_dest == "-":
-            echo(metrics.registry().render_text())
+            echo(metrics.render_snapshot_text(metrics.export_snapshot()))
         elif metrics_dest:
             with open(metrics_dest, "w", encoding="utf-8") as fh:
                 json.dump(
-                    metrics.registry().snapshot(), fh, indent=2, sort_keys=True
+                    metrics.export_snapshot(), fh, indent=2, sort_keys=True
                 )
                 fh.write("\n")

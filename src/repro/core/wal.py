@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.core.replay import (
@@ -81,13 +82,19 @@ class JournalWriter:
         self._file = open(self.path, "ab")
         self._offset = os.fstat(self._file.fileno()).st_size
         self._appends = 0
+        #: Cumulative wall seconds spent inside ``fsync`` — the service
+        #: reads the before/after delta around a command to attribute
+        #: per-request durability cost in its stage telemetry.
+        self.fsync_seconds = 0.0
         if self._offset == 0:
             self._write((self.header + "\n").encode("utf-8"))
 
     def _write(self, data: bytes) -> None:
         self._file.write(data)
         self._file.flush()
+        t0 = time.perf_counter()
         os.fsync(self._file.fileno())
+        self.fsync_seconds += time.perf_counter() - t0
         metrics.counter("wal.fsyncs").inc()
         self._offset += len(data)
 

@@ -67,24 +67,23 @@ def jsonl_lines(spans, metrics: dict | None = None) -> list[str]:
         )
     ]
     for rec in sorted(spans, key=_span_sort_key):
-        lines.append(
-            json.dumps(
-                {
-                    "type": "span",
-                    "id": rec.span_id,
-                    "parent": rec.parent_id,
-                    "name": rec.name,
-                    "cat": rec.category,
-                    "tid": rec.tid,
-                    "start_us": _us(rec.start_wall),
-                    "dur_us": _us(rec.wall),
-                    "cpu_us": _us(rec.cpu),
-                    "attrs": _json_attr(rec.attrs),
-                },
-                sort_keys=True,
-                separators=(",", ":"),
-            )
-        )
+        data = {
+            "type": "span",
+            "id": rec.span_id,
+            "parent": rec.parent_id,
+            "name": rec.name,
+            "cat": rec.category,
+            "tid": rec.tid,
+            "start_us": _us(rec.start_wall),
+            "dur_us": _us(rec.wall),
+            "cpu_us": _us(rec.cpu),
+            "attrs": _json_attr(rec.attrs),
+        }
+        if rec.trace_id is not None:
+            data["trace_id"] = rec.trace_id
+        if rec.remote_parent is not None:
+            data["xparent"] = rec.remote_parent
+        lines.append(json.dumps(data, sort_keys=True, separators=(",", ":")))
     for name, value in sorted((metrics or {}).items()):
         lines.append(
             json.dumps(
@@ -124,13 +123,17 @@ def read_jsonl(text: str) -> tuple[list[dict], dict]:
 # -- Chrome trace-event format --------------------------------------------
 
 
-def chrome_events(spans) -> list[dict]:
+def chrome_events(spans, pid: int = PID) -> list[dict]:
     """Complete ("X") events, one per span, Perfetto-ready."""
     events = []
     for rec in sorted(spans, key=_span_sort_key):
         args = {"span_id": rec.span_id, "cpu_us": _us(rec.cpu)}
         if rec.parent_id is not None:
             args["parent_id"] = rec.parent_id
+        if rec.trace_id is not None:
+            args["trace_id"] = rec.trace_id
+        if rec.remote_parent is not None:
+            args["xparent"] = rec.remote_parent
         for key, value in rec.attrs.items():
             args[key] = _json_attr(value)
         events.append(
@@ -140,7 +143,7 @@ def chrome_events(spans) -> list[dict]:
                 "ph": "X",
                 "ts": _us(rec.start_wall),
                 "dur": _us(rec.wall),
-                "pid": PID,
+                "pid": pid,
                 "tid": rec.tid,
                 "args": args,
             }
@@ -149,10 +152,39 @@ def chrome_events(spans) -> list[dict]:
 
 
 def chrome_document(
-    spans, metrics: dict | None = None, unclosed: int = 0
+    spans,
+    metrics: dict | None = None,
+    unclosed: int = 0,
+    *,
+    pid: int | None = None,
+    process_name: str | None = None,
 ) -> dict:
+    """The trace-event document.
+
+    Single-process exports keep the fixed logical ``pid`` 1 so fixed-
+    clock traces stay byte-identical.  Multi-process (service) exports
+    pass the *real* ``pid`` plus a ``process_name`` — the process
+    label used in cross-process span references — so stitched
+    supervisor+shard traces open as separate, labelled process lanes
+    in ``chrome://tracing`` and :mod:`tools.check_trace` can resolve
+    ``xparent`` references across files.
+    """
+    real_pid = PID if pid is None else pid
+    events = chrome_events(spans, pid=real_pid)
+    if process_name is not None:
+        events.insert(
+            0,
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": real_pid,
+                "tid": 0,
+                "args": {"name": process_name},
+            },
+        )
     doc = {
-        "traceEvents": chrome_events(spans),
+        "traceEvents": events,
         "displayTimeUnit": "ms",
         "riot": {
             "format": JSONL_FORMAT,
@@ -161,22 +193,45 @@ def chrome_document(
             "metrics": _json_attr(metrics or {}),
         },
     }
+    if process_name is not None:
+        doc["riot"]["process"] = process_name
+        doc["riot"]["pid"] = real_pid
     return doc
 
 
-def chrome_text(spans, metrics: dict | None = None, unclosed: int = 0) -> str:
+def chrome_text(
+    spans,
+    metrics: dict | None = None,
+    unclosed: int = 0,
+    *,
+    pid: int | None = None,
+    process_name: str | None = None,
+) -> str:
     return (
         json.dumps(
-            chrome_document(spans, metrics, unclosed), sort_keys=True, indent=1
+            chrome_document(
+                spans, metrics, unclosed, pid=pid, process_name=process_name
+            ),
+            sort_keys=True,
+            indent=1,
         )
         + "\n"
     )
 
 
 def write_chrome(
-    path, spans, metrics: dict | None = None, unclosed: int = 0
+    path,
+    spans,
+    metrics: dict | None = None,
+    unclosed: int = 0,
+    *,
+    pid: int | None = None,
+    process_name: str | None = None,
 ) -> None:
-    Path(path).write_text(chrome_text(spans, metrics, unclosed), encoding="utf-8")
+    Path(path).write_text(
+        chrome_text(spans, metrics, unclosed, pid=pid, process_name=process_name),
+        encoding="utf-8",
+    )
 
 
 def read_chrome(text: str) -> dict:
@@ -188,8 +243,9 @@ def validate_chrome(doc) -> list[str]:
 
     Returns a list of problems (empty means valid): the top level must
     hold a ``traceEvents`` list, every event needs name/ph/ts/pid/tid,
-    complete events need a non-negative ``dur``, and the session must
-    have closed every span it opened.
+    complete events need a non-negative ``dur`` (metadata "M" events —
+    process names in multi-process traces — need none), and the
+    session must have closed every span it opened.
     """
     problems: list[str] = []
     if not isinstance(doc, dict):

@@ -8,10 +8,23 @@ command, the ``--metrics`` session flag and the exporters all read.
 Naming convention: dotted paths, subsystem first —
 ``river.tracks_used``, ``wal.fsyncs``, ``pipeline.cache.hits``.
 Snapshots are key-sorted, so exports are deterministic.
+
+Two histogram shapes coexist:
+
+* :class:`Histogram` — bucket-free count/total/min/max, for report
+  summaries where four scalars are enough.
+* :class:`QuantileHistogram` — log-bucketed with *fixed* boundaries
+  (ten per decade from 1 µs to 100 s), so p50/p90/p99/p99.9 come out
+  deterministic: the same observations always land in the same
+  buckets and a quantile is always a boundary value (or the exact
+  max), never an interpolation over noisy floats.  Snapshots carry
+  the sparse bucket counts, so two processes' snapshots merge exactly
+  (:func:`merge_snapshots`) — that is how shard telemetry aggregates.
 """
 
 from __future__ import annotations
 
+import bisect
 import contextlib
 import contextvars
 import threading
@@ -83,6 +96,162 @@ class Histogram:
             }
 
 
+#: Fixed log-spaced bucket boundaries shared by every
+#: :class:`QuantileHistogram`: ten per decade, 1e-6 .. 1e2 (seconds).
+#: Bucket *i* holds values in ``(BOUNDS[i-1], BOUNDS[i]]``; the last
+#: bucket (index ``len(BOUNDS)``) is the overflow.
+QUANTILE_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (k / 10.0) for k in range(-60, 21)
+)
+
+#: The quantiles every summary reports, as (key, fraction).
+QUANTILE_POINTS: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+
+def quantile_from_buckets(
+    buckets: dict, count: int, lo, hi, q: float
+):
+    """The q-quantile a sparse ``{bucket index: count}`` map implies.
+
+    Deterministic by construction: the answer is the upper boundary of
+    the bucket the rank lands in, clamped to the exact observed
+    ``[lo, hi]`` range.  Works on snapshot dicts (str or int keys), so
+    merged cross-process snapshots re-derive their percentiles.
+    """
+    if not count:
+        return None
+    rank = max(1, int(q * count) + (0 if (q * count).is_integer() else 1))
+    seen = 0
+    for index in sorted(int(k) for k in buckets):
+        seen += buckets[str(index)] if str(index) in buckets else buckets[index]
+        if seen >= rank:
+            if index >= len(QUANTILE_BOUNDS):
+                return hi
+            value = QUANTILE_BOUNDS[index]
+            if hi is not None and value > hi:
+                value = hi
+            if lo is not None and value < lo:
+                value = lo
+            return value
+    return hi
+
+
+class QuantileHistogram:
+    """Log-bucketed distribution with deterministic quantiles.
+
+    Boundaries are the fixed :data:`QUANTILE_BOUNDS` (tuned for
+    latencies in seconds); values outside the range land in the under-
+    or overflow bucket and quantiles clamp to the exact min/max, so no
+    observation is ever lost, only coarsened.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_buckets", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._buckets: dict[int, int] = {}
+        self._lock = lock
+
+    def observe(self, value) -> None:
+        index = bisect.bisect_left(QUANTILE_BOUNDS, value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def quantile(self, q: float):
+        with self._lock:
+            return quantile_from_buckets(
+                dict(self._buckets), self.count, self.min, self.max, q
+            )
+
+    def summary(self) -> dict:
+        """Snapshot dict: scalars, the standard quantile points, and
+        the sparse bucket counts (string keys, JSON-ready) that make
+        two snapshots mergeable."""
+        with self._lock:
+            buckets = dict(self._buckets)
+            count, total = self.count, self.total
+            lo, hi = self.min, self.max
+        out = {
+            "count": count,
+            "total": total,
+            "min": lo,
+            "max": hi,
+            "mean": total / count if count else 0,
+        }
+        for key, q in QUANTILE_POINTS:
+            out[key] = quantile_from_buckets(buckets, count, lo, hi, q)
+        out["buckets"] = {str(i): n for i, n in sorted(buckets.items())}
+        return out
+
+
+def _merge_histogram_summaries(a: dict, b: dict) -> dict:
+    """Merge two histogram summary dicts (bucket-free or quantile)."""
+    count = a.get("count", 0) + b.get("count", 0)
+    total = a.get("total", 0) + b.get("total", 0)
+    mins = [v for v in (a.get("min"), b.get("min")) if v is not None]
+    maxs = [v for v in (a.get("max"), b.get("max")) if v is not None]
+    lo = min(mins) if mins else None
+    hi = max(maxs) if maxs else None
+    out = {
+        "count": count,
+        "total": total,
+        "min": lo,
+        "max": hi,
+        "mean": total / count if count else 0,
+    }
+    if "buckets" in a or "buckets" in b:
+        buckets: dict[str, int] = {}
+        for src in (a.get("buckets") or {}, b.get("buckets") or {}):
+            for key, n in src.items():
+                buckets[key] = buckets.get(key, 0) + n
+        for key, q in QUANTILE_POINTS:
+            out[key] = quantile_from_buckets(buckets, count, lo, hi, q)
+        out["buckets"] = {k: buckets[k] for k in sorted(buckets, key=int)}
+    return out
+
+
+def merge_snapshots(*snapshots: dict) -> dict:
+    """Merge metric snapshots from several registries (or processes).
+
+    Numbers sum, histogram summaries merge (quantiles re-derived from
+    the combined buckets), and mismatched shapes keep the first value
+    seen — the deterministic choice when processes disagree.
+    """
+    merged: dict = {}
+    for snap in snapshots:
+        for name in sorted(snap):
+            value = snap[name]
+            if name not in merged:
+                merged[name] = (
+                    _merge_histogram_summaries({}, value)
+                    if isinstance(value, dict) and "count" in value
+                    else value
+                )
+            else:
+                have = merged[name]
+                if isinstance(have, dict) and isinstance(value, dict):
+                    merged[name] = _merge_histogram_summaries(have, value)
+                elif isinstance(have, (int, float)) and isinstance(
+                    value, (int, float)
+                ) and not isinstance(have, bool) and not isinstance(value, bool):
+                    merged[name] = have + value
+    return {name: merged[name] for name in sorted(merged)}
+
+
 class MetricsRegistry:
     """Named instruments, created on first use, type-checked on reuse."""
 
@@ -112,13 +281,16 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def quantile_histogram(self, name: str) -> QuantileHistogram:
+        return self._get(name, QuantileHistogram)
+
     def snapshot(self) -> dict:
         """All current values, key-sorted; histograms as summary dicts."""
         with self._lock:
             items = list(self._metrics.items())
         out: dict = {}
         for name, metric in sorted(items):
-            if isinstance(metric, Histogram):
+            if isinstance(metric, (Histogram, QuantileHistogram)):
                 out[name] = metric.summary()
             else:
                 out[name] = metric.value
@@ -126,17 +298,7 @@ class MetricsRegistry:
 
     def render_text(self) -> str:
         """The ``stats`` command's live dump: one ``name value`` line each."""
-        lines = []
-        for name, value in self.snapshot().items():
-            if isinstance(value, dict):
-                detail = " ".join(
-                    f"{k}={_fmt(value[k])}"
-                    for k in ("count", "total", "min", "max", "mean")
-                )
-                lines.append(f"{name} {detail}")
-            else:
-                lines.append(f"{name} {_fmt(value)}")
-        return "\n".join(lines) if lines else "(no metrics recorded)"
+        return render_snapshot_text(self.snapshot())
 
     def reset(self) -> None:
         with self._lock:
@@ -147,6 +309,28 @@ def _fmt(value) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)
+
+
+def render_snapshot_text(snapshot: dict) -> str:
+    """A snapshot dict as ``name value`` text, one line per metric."""
+    lines = []
+    for name, value in snapshot.items():
+        if isinstance(value, dict) and "buckets" in value:
+            detail = " ".join(
+                f"{k}={_fmt(value[k])}"
+                for k in ("count", "mean", "p50", "p90", "p99", "max")
+            )
+            lines.append(f"{name} {detail}")
+        elif isinstance(value, dict):
+            detail = " ".join(
+                f"{k}={_fmt(value[k])}"
+                for k in ("count", "total", "min", "max", "mean")
+                if k in value
+            )
+            lines.append(f"{name} {detail}")
+        else:
+            lines.append(f"{name} {_fmt(value)}")
+    return "\n".join(lines) if lines else "(no metrics recorded)"
 
 
 _registry = MetricsRegistry()
@@ -198,3 +382,41 @@ def gauge(name: str) -> Gauge:
 
 def histogram(name: str) -> Histogram:
     return registry().histogram(name)
+
+
+def quantile_histogram(name: str) -> QuantileHistogram:
+    return registry().quantile_histogram(name)
+
+
+# -- export providers -------------------------------------------------------
+
+#: Callables contributing extra entries to the ``--metrics`` export.
+#: The supervisor registers one that flattens the metric snapshots its
+#: shards piggybacked on heartbeats (``shard<i>.`` prefix), so a
+#: sharded run's export covers every process, not just the one holding
+#: the flag.  Providers run only at export time and must return a flat
+#: ``{name: value}`` dict.
+_export_providers: list = []
+
+
+def register_export_provider(provider) -> None:
+    _export_providers.append(provider)
+
+
+def unregister_export_provider(provider) -> None:
+    with contextlib.suppress(ValueError):
+        _export_providers.remove(provider)
+
+
+def export_snapshot() -> dict:
+    """The registry snapshot plus every export provider's entries,
+    key-sorted — what ``--metrics FILE`` actually writes."""
+    out = dict(registry().snapshot())
+    for provider in list(_export_providers):
+        try:
+            extra = provider()
+        except Exception:  # pragma: no cover - a dead provider never
+            continue  # blocks the export of everything else
+        for name, value in (extra or {}).items():
+            out.setdefault(name, value)
+    return {name: out[name] for name in sorted(out)}

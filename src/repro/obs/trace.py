@@ -50,6 +50,15 @@ class SpanRecord:
     start_cpu: float
     end_cpu: float
     attrs: dict = field(default_factory=dict)
+    #: Distributed-trace stitching: the request's trace id and, when
+    #: the logical parent span lives in *another process* (or another
+    #: thread's stack), its cross-process reference
+    #: (``"<process label>:<span id>"``).  ``None`` for purely local
+    #: spans, and then absent from every export — single-process
+    #: traces are byte-identical to what they were before these fields
+    #: existed.
+    trace_id: str | None = None
+    remote_parent: str | None = None
 
     @property
     def wall(self) -> float:
@@ -75,6 +84,22 @@ class Span:
         self.record.attrs[key] = value
         return self
 
+    def context(
+        self, trace_id: str | None, remote_parent: str | None = None
+    ) -> "Span":
+        """Stitch this span into a distributed trace; chainable."""
+        if trace_id is not None:
+            self.record.trace_id = trace_id
+        if remote_parent is not None:
+            self.record.remote_parent = remote_parent
+        return self
+
+    @property
+    def ref(self) -> str:
+        """This span's cross-process reference (``"label:id"``) — what
+        a child in another process carries as its ``remote_parent``."""
+        return f"{process_label()}:{self.record.span_id}"
+
     def close(self) -> None:
         """End the span explicitly (for non-``with`` call sites)."""
         self._tracer._close(self)
@@ -97,6 +122,13 @@ class _NullSpan:
     def set(self, key: str, value) -> "_NullSpan":
         return self
 
+    def context(self, trace_id, remote_parent=None) -> "_NullSpan":
+        return self
+
+    @property
+    def ref(self) -> None:
+        return None
+
     def close(self) -> None:
         return None
 
@@ -108,6 +140,63 @@ class _NullSpan:
 
 
 NULL_SPAN = _NullSpan()
+
+
+class DetachedSpan:
+    """An open span that never touches the thread-local stack.
+
+    The request path of the service opens spans that end on a
+    different thread (shard worker) or interleave with other requests
+    on one event loop (supervisor relay) — both would corrupt the
+    parent stack a :class:`Span` relies on.  A detached span allocates
+    its id eagerly (so children can reference it via :attr:`ref`
+    before it closes), takes no implicit parent, and simply records
+    itself when closed.
+    """
+
+    __slots__ = ("_tracer", "record", "_closed")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self.record = record
+        self._closed = False
+
+    def set(self, key: str, value) -> "DetachedSpan":
+        self.record.attrs[key] = value
+        return self
+
+    def context(
+        self, trace_id: str | None, remote_parent: str | None = None
+    ) -> "DetachedSpan":
+        if trace_id is not None:
+            self.record.trace_id = trace_id
+        if remote_parent is not None:
+            self.record.remote_parent = remote_parent
+        return self
+
+    @property
+    def ref(self) -> str:
+        return f"{process_label()}:{self.record.span_id}"
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        clock = self._tracer._clock_now()
+        self.record.end_wall = clock.wall()
+        self.record.end_cpu = clock.cpu()
+        with self._tracer._lock:
+            self._tracer._finished.append(self.record)
+            self._tracer._open -= 1
+
+    def __enter__(self) -> "DetachedSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.record.attrs.setdefault("error", exc_type.__name__)
+        self.close()
+        return False
 
 
 class Tracer:
@@ -167,6 +256,35 @@ class Tracer:
         span = Span(self, record)
         stack.append(span)
         return span
+
+    def begin(
+        self,
+        name: str,
+        category: str = "riot",
+        *,
+        trace_id: str | None = None,
+        remote_parent: str | None = None,
+        **attrs,
+    ) -> DetachedSpan:
+        """Open a :class:`DetachedSpan`: no stack parent, safe to close
+        from another thread or an interleaved coroutine."""
+        span_id, tid = self._alloc()
+        clock = self._clock_now()
+        record = SpanRecord(
+            span_id=span_id,
+            parent_id=None,
+            name=name,
+            category=category,
+            tid=tid,
+            start_wall=clock.wall(),
+            end_wall=0.0,
+            start_cpu=clock.cpu(),
+            end_cpu=0.0,
+            attrs=dict(attrs),
+            trace_id=trace_id,
+            remote_parent=remote_parent,
+        )
+        return DetachedSpan(self, record)
 
     def _close(self, span: Span) -> None:
         if span._closed:
@@ -232,6 +350,49 @@ class Tracer:
         stack = getattr(self._local, "stack", None) or []
         names.extend(s.record.name for s in stack)
         return names
+
+
+# -- distributed-trace identity --------------------------------------------
+
+#: The logical process label used in cross-process span references
+#: (``"label:span_id"``) and Chrome exports.  Set once at startup by
+#: whoever knows the process's role — ``"client"``, ``"supervisor"``,
+#: ``"shard0"`` — and deliberately *not* a real pid, so fixed-clock
+#: traces stay reproducible.
+_process_label: str | None = None
+_trace_seq = 0
+_trace_seq_lock = threading.Lock()
+
+
+def set_process_label(label: str | None) -> str | None:
+    """Name this process for cross-process span references; returns
+    the previous label (tests restore it)."""
+    global _process_label
+    previous = _process_label
+    _process_label = label
+    return previous
+
+
+def process_label() -> str:
+    return _process_label or "main"
+
+
+def process_label_explicit() -> str | None:
+    """The label only if one was set — ``None`` keeps single-process
+    exports byte-identical to the pre-distributed-tracing format."""
+    return _process_label
+
+
+def new_trace_id() -> str:
+    """A fresh request-scoped trace id, unique across processes: the
+    process label, the OS pid, and a process-local sequence number."""
+    global _trace_seq
+    import os
+
+    with _trace_seq_lock:
+        _trace_seq += 1
+        seq = _trace_seq
+    return f"{process_label()}-{os.getpid():x}-{seq}"
 
 
 # -- the module-level switch ----------------------------------------------
@@ -301,6 +462,25 @@ def record(name: str, wall: float, cpu: float, category: str = "riot", **attrs):
     if tracer is None:
         return None
     return tracer.record(name, wall, cpu, category, **attrs)
+
+
+def begin(
+    name: str,
+    category: str = "riot",
+    *,
+    trace_id: str | None = None,
+    remote_parent: str | None = None,
+    **attrs,
+):
+    """Open a detached span (see :meth:`Tracer.begin`) — or the shared
+    :data:`NULL_SPAN` when tracing is off, so call sites can use
+    ``span.ref`` (``None``) and ``span.close()`` unconditionally."""
+    tracer = _scoped.get() or _active
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.begin(
+        name, category, trace_id=trace_id, remote_parent=remote_parent, **attrs
+    )
 
 
 def traced(name: str | None = None, category: str = "riot"):

@@ -42,8 +42,12 @@ from repro.api.codec import from_jsonable
 from repro.api.registry import REGISTRY, spec_for
 from repro.api.wire import encode_request, parse_response, response_error
 from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.service.control import CONTROL
 from repro.service.errors import ServiceError
+from repro.service.telemetry import READONLY_METHODS, command_class
+from repro.service.telemetry import us as _us
 
 #: Error codes retried regardless of the method: the server refused to
 #: start the work, so a retry can never duplicate anything.
@@ -52,24 +56,6 @@ RETRY_ALWAYS = frozenset({"service.overloaded", "service.backpressure"})
 #: Error codes retried only when the method is safe to re-run: the
 #: work may have started (even reached the WAL) before the failure.
 RETRY_IF_REPLAYABLE = frozenset({"service.shard_failed"})
-
-#: Pure queries — no editor mutation, no WAL entry, no file written —
-#: so re-running one is always harmless even though none is flagged
-#: ``replayable`` (there is nothing to replay).
-READONLY_METHODS = frozenset(
-    {
-        "cells",
-        "pending",
-        "check",
-        "help",
-        "stats",
-        "trace",
-        "library.resolve",
-        "library.list",
-        "library.deps",
-        "library.impact",
-    }
-)
 
 
 @dataclass(frozen=True)
@@ -159,6 +145,10 @@ class ServiceClient:
         #: The delay handed to each retry sleep, in order (tests assert
         #: the schedule; bounded by attempts so it cannot grow unruly).
         self.retry_delays: list[float] = []
+        #: The last response's stage decomposition (integer µs), with
+        #: the client-measured round trip added under ``"client"`` —
+        #: ``{}`` until the first response carrying stages arrives.
+        self.last_stages: dict = {}
         self._connect()
 
     # -- connection ----------------------------------------------------------
@@ -232,13 +222,33 @@ class ServiceClient:
     def _round_trip(self, method: str, request):
         self._next_id += 1
         id = self._next_id
-        line = encode_request(method, request, id=id, session=self.session)
-        self._file.write(line.encode("utf-8") + b"\n")
-        self._file.flush()
-        raw = self._file.readline()
-        if not raw:
-            raise ConnectionResetError("connection closed by server")
-        envelope = parse_response(raw)
+        # The root span of the distributed trace: its reference rides
+        # the envelope so supervisor and shard spans stitch back to it.
+        span = trace.begin("client.request", method=method)
+        context = None
+        if span.ref is not None:
+            trace_id = trace.new_trace_id()
+            span.context(trace_id)
+            context = {"id": trace_id, "parent": span.ref}
+        t0 = time.perf_counter()
+        try:
+            line = encode_request(
+                method, request, id=id, session=self.session, trace=context
+            )
+            self._file.write(line.encode("utf-8") + b"\n")
+            self._file.flush()
+            raw = self._file.readline()
+            if not raw:
+                raise ConnectionResetError("connection closed by server")
+            envelope = parse_response(raw)
+        finally:
+            span.close()
+        elapsed = time.perf_counter() - t0
+        obs_metrics.quantile_histogram(
+            f"rpc.client.{command_class(method)}"
+        ).observe(elapsed)
+        self.last_stages = dict(envelope.stages or {})
+        self.last_stages["client"] = _us(elapsed)
         if envelope.id != id:
             raise ServiceError(
                 f"response id {envelope.id!r} does not match request {id!r}"

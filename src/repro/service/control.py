@@ -1,6 +1,6 @@
 """The ``service.*`` control commands.
 
-Session commands go to a session's worker; these four are answered by
+Session commands go to a session's worker; these five are answered by
 the server itself and need no ``session`` field.  Their request/result
 dataclasses follow the same rules as :mod:`repro.api.types` (frozen,
 total, strictly decoded) — they are part of protocol version 1.
@@ -15,13 +15,22 @@ from repro.api.errors import UnknownCommand
 
 @dataclass(frozen=True)
 class PingRequest:
-    pass
+    #: Ask the pong to carry the answering process's merged metrics
+    #: snapshot.  The supervisor's heartbeat sets this, so shard
+    #: telemetry rides the wire traffic that already exists instead of
+    #: needing a second channel.
+    telemetry: bool = False
 
 
 @dataclass(frozen=True)
 class PingResult:
     version: int
     sessions: int
+    #: The piggybacked snapshot (``telemetry=True`` requests only):
+    #: the process registry merged with every session's scoped registry
+    #: and the request-stage histograms, via
+    #: :func:`repro.obs.metrics.merge_snapshots`.
+    metrics: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -101,6 +110,59 @@ class ServiceStatsResult:
 
 
 @dataclass(frozen=True)
+class TelemetryRequest:
+    #: Include the flight recorder (the N slowest and the N most
+    #: recently errored requests, stage decomposition attached).
+    slow: bool = False
+
+
+@dataclass(frozen=True)
+class ShardTelemetry:
+    """One shard's latest piggybacked metrics snapshot."""
+
+    index: int
+    alive: bool
+    #: ``None`` until the first telemetry heartbeat answers (or while
+    #: the shard is down).
+    metrics: dict | None
+
+
+@dataclass(frozen=True)
+class FlightRecord:
+    """One flight-recorder entry: a slow or errored request."""
+
+    method: str
+    total_us: int
+    session: str | None = None
+    shard: int | None = None
+    trace_id: str | None = None
+    #: Stage decomposition in integer microseconds (see
+    #: :data:`repro.service.telemetry.STAGES`).
+    stages: dict | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class TelemetryResult:
+    """The distributed-telemetry view ``service.telemetry`` serves.
+
+    ``metrics`` is the answering process's own view (request-stage
+    quantile histograms under ``rpc.<class>.<stage>`` plus its
+    ``service.*`` counters); on a supervisor, ``shards`` carries each
+    worker's latest snapshot and ``merged`` is the whole-service merge
+    of all of them — histograms merge bucket-wise, so the merged
+    percentiles are exact over the union of observations."""
+
+    process: str
+    pid: int | None
+    metrics: dict
+    merged: dict
+    shards: tuple[ShardTelemetry, ...] = ()
+    slowest: tuple[FlightRecord, ...] = ()
+    errored: tuple[FlightRecord, ...] = ()
+
+
+@dataclass(frozen=True)
 class ShutdownRequest:
     pass
 
@@ -119,6 +181,7 @@ CONTROL: dict[str, tuple[type, type]] = {
     "service.ping": (PingRequest, PingResult),
     "service.sessions": (SessionsRequest, SessionsResult),
     "service.stats": (ServiceStatsRequest, ServiceStatsResult),
+    "service.telemetry": (TelemetryRequest, TelemetryResult),
     "service.shutdown": (ShutdownRequest, ShutdownResult),
 }
 

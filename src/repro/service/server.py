@@ -29,6 +29,7 @@ import argparse
 import asyncio
 import contextlib
 import json
+import os
 import re
 import signal
 import sys
@@ -41,7 +42,10 @@ from repro.api.session import Session
 from repro.api.store import MemoryStore
 from repro.api.types import PROTOCOL_VERSION
 from repro.errors import ReproError
-from repro.service import control
+from repro.errors import error_code as wire_error_code
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.service import control, telemetry
 from repro.service.errors import (
     BackpressureError,
     BadSessionName,
@@ -111,26 +115,100 @@ class SessionWorker:
         except Exception as exc:
             self._init_error = exc
 
-    def _dispatch(self, envelope: wire.RequestEnvelope) -> str:
-        if self._init_error is not None:
-            return wire.encode_error(envelope.id, self._init_error)
-        chaos = self.service.chaos
-        if chaos is not None and chaos.slow_worker_ms:
-            import time
+    def _journal_writer(self):
+        session = self.session
+        if session is None:
+            return None
+        journal = getattr(session.editor, "journal", None)
+        return getattr(journal, "writer", None) if journal is not None else None
 
-            time.sleep(chaos.command_delay())
+    def _dispatch(
+        self,
+        envelope: wire.RequestEnvelope,
+        t_enqueue: float | None = None,
+        request_span=trace.NULL_SPAN,
+    ) -> str:
+        import time
+
+        t_start = time.perf_counter()
+        trace_id = (envelope.trace or {}).get("id")
         try:
-            _, result = self.session.dispatch_named(
-                envelope.method, dict(envelope.params)
+            if self._init_error is not None:
+                return wire.encode_error(envelope.id, self._init_error)
+            chaos = self.service.chaos
+            if chaos is not None and chaos.slow_worker_ms:
+                time.sleep(chaos.command_delay())
+            writer = self._journal_writer()
+            fsync_before = writer.fsync_seconds if writer is not None else 0.0
+            t_handler = time.perf_counter()
+            error_code = None
+            try:
+                _, result = self.session.dispatch_named(
+                    envelope.method, dict(envelope.params)
+                )
+            except Exception as exc:
+                # The transactional editor already rolled the command
+                # back; this session (and every other) continues
+                # untouched.
+                self.failed += 1
+                self.service.counters["errors"] += 1
+                error_code = wire_error_code(exc)
+                result = None
+                response_exc = exc
+            t_done = time.perf_counter()
+            writer = self._journal_writer()
+            fsync_s = (
+                writer.fsync_seconds - fsync_before
+                if writer is not None
+                else 0.0
             )
-        except Exception as exc:
-            # The transactional editor already rolled the command back;
-            # this session (and every other) continues untouched.
-            self.failed += 1
-            self.service.counters["errors"] += 1
-            return wire.encode_error(envelope.id, exc)
-        self.executed += 1
-        return wire.encode_result(envelope.id, envelope.method, result)
+            queue_s = (
+                max(0.0, t_start - t_enqueue) if t_enqueue is not None else 0.0
+            )
+            handler_s = t_done - t_handler
+            stages = {
+                "shard_queue": telemetry.us(queue_s),
+                "handler": telemetry.us(handler_s),
+                "fsync": telemetry.us(max(0.0, fsync_s)),
+            }
+            total_us = telemetry.us(
+                t_done - (t_enqueue if t_enqueue is not None else t_start)
+            )
+            self.service.telemetry.record_request(
+                envelope.method,
+                total_us=total_us,
+                stages=stages,
+                session=self.name,
+                trace_id=trace_id,
+                error=error_code,
+            )
+            if queue_s > 0:
+                rec = trace.record("shard.queue", queue_s, 0.0)
+                if rec is not None:
+                    rec.trace_id = trace_id
+                    rec.remote_parent = request_span.ref
+            rec = trace.record(
+                "handler.execute", handler_s, 0.0, method=envelope.method
+            )
+            if rec is not None:
+                rec.trace_id = trace_id
+                rec.remote_parent = request_span.ref
+            if fsync_s > 0:
+                rec = trace.record("wal.fsync.request", fsync_s, 0.0)
+                if rec is not None:
+                    rec.trace_id = trace_id
+                    rec.remote_parent = request_span.ref
+            if error_code is not None:
+                request_span.set("error", error_code)
+                return wire.encode_error(
+                    envelope.id, response_exc, stages=stages
+                )
+            self.executed += 1
+            return wire.encode_result(
+                envelope.id, envelope.method, result, stages=stages
+            )
+        finally:
+            request_span.close()
 
     def _checkpoint(self) -> None:
         journal = self.session.editor.journal if self.session else None
@@ -153,9 +231,25 @@ class SessionWorker:
                 f"session {self.name!r} already has "
                 f"{self.service.queue_limit} command(s) queued; retry later"
             )
+        import time
+
         self.depth += 1
+        context = envelope.trace or {}
+        request_span = trace.begin(
+            "shard.request",
+            trace_id=context.get("id"),
+            remote_parent=context.get("parent"),
+            method=envelope.method,
+            session=self.name,
+        )
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(self.executor, self._dispatch, envelope)
+        future = loop.run_in_executor(
+            self.executor,
+            self._dispatch,
+            envelope,
+            time.perf_counter(),
+            request_span,
+        )
         future.add_done_callback(self._finished)  # runs on the loop
         try:
             return await asyncio.wait_for(
@@ -200,12 +294,19 @@ class RiotService:
         journal_dir: str | Path | None = None,
         library_dir: str | Path | None = None,
         chaos=None,
+        process_label: str = "server",
     ) -> None:
         self.host = host
         self.port = port
         self.max_sessions = max_sessions
         self.queue_limit = queue_limit
         self.timeout = timeout
+        #: This process's name in telemetry ("server", or "shard<i>"
+        #: when hosted by the supervisor).
+        self.process_label = process_label
+        #: Request-stage histograms + flight recorder, aggregated over
+        #: every session in this process.
+        self.telemetry = telemetry.TelemetryHub(process=process_label)
         self.journal_dir = Path(journal_dir) if journal_dir is not None else None
         #: The shared cell library every session publishes into; the
         #: store's own file lock serializes cross-process publishes, so
@@ -240,7 +341,34 @@ class RiotService:
             self._serve_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        # Session registries are context-scoped, so without this the
+        # process-wide ``--metrics`` export would miss every session's
+        # counters (and the request-stage histograms).
+        obs_metrics.register_export_provider(self._session_metrics)
         return self
+
+    def _session_metrics(self) -> dict:
+        """Everything the process registry alone cannot see: session-
+        scoped registries merged with the telemetry hub."""
+        snaps = [self.telemetry.snapshot()]
+        for worker in self.workers.values():
+            session = worker.session
+            if session is not None and session._metrics is not None:
+                snaps.append(session._metrics.snapshot())
+        return obs_metrics.merge_snapshots(*snaps)
+
+    def telemetry_snapshot(self) -> dict:
+        """This process's full metrics view — process registry, every
+        session's scoped registry, the request-stage histograms, and
+        the service counters — merged into one snapshot (what a shard
+        piggybacks on its heartbeat pong)."""
+        merged = obs_metrics.merge_snapshots(
+            obs_metrics.registry().snapshot(), self._session_metrics()
+        )
+        for key, value in self.counters.items():
+            name = f"service.{key}"
+            merged[name] = merged.get(name, 0) + value
+        return {name: merged[name] for name in sorted(merged)}
 
     async def serve_forever(self) -> None:
         await self._closed.wait()
@@ -344,12 +472,35 @@ class RiotService:
 
     async def _control(self, envelope: wire.RequestEnvelope) -> str | None:
         request_cls, _ = control.control_types(envelope.method)
-        from_jsonable(request_cls, dict(envelope.params), where=envelope.method)
+        request = from_jsonable(
+            request_cls, dict(envelope.params), where=envelope.method
+        )
         if envelope.method == "service.ping":
             if self.chaos is not None and self.chaos.drop_ping():
                 return None  # simulate a wedged worker: no answer at all
             result = control.PingResult(
-                version=PROTOCOL_VERSION, sessions=len(self.workers)
+                version=PROTOCOL_VERSION,
+                sessions=len(self.workers),
+                metrics=(
+                    self.telemetry_snapshot() if request.telemetry else None
+                ),
+            )
+        elif envelope.method == "service.telemetry":
+            snapshot = self.telemetry_snapshot()
+            slowest, errored = (
+                self.telemetry.flight() if request.slow else ([], [])
+            )
+            result = control.TelemetryResult(
+                process=self.process_label,
+                pid=os.getpid(),
+                metrics=snapshot,
+                merged=snapshot,
+                slowest=tuple(
+                    control.FlightRecord(**entry) for entry in slowest
+                ),
+                errored=tuple(
+                    control.FlightRecord(**entry) for entry in errored
+                ),
             )
         elif envelope.method == "service.sessions":
             result = control.SessionsResult(
@@ -369,8 +520,6 @@ class RiotService:
                 )
             )
         elif envelope.method == "service.stats":
-            import os
-
             library = (
                 self.cellstore.counters
                 if self.cellstore is not None
@@ -441,6 +590,11 @@ class RiotService:
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+        # Leave one final merged snapshot behind for the ``--metrics``
+        # export (the scoped session registries die with the workers).
+        final = self._session_metrics()
+        obs_metrics.unregister_export_provider(self._session_metrics)
+        obs_metrics.register_export_provider(lambda: final)
         await asyncio.sleep(0.01)
         self._closed.set()
 
@@ -524,6 +678,7 @@ async def _amain(args) -> None:
     if args.shards > 0:
         from repro.service.supervisor import Supervisor
 
+        trace.set_process_label("supervisor")
         service = await Supervisor(
             host=args.host,
             port=args.port,
@@ -534,6 +689,7 @@ async def _amain(args) -> None:
             shed_at=args.shed_at,
             journal_dir=args.journal_dir,
             library_dir=args.library_dir,
+            trace_path=args.trace,
         ).start()
         print(f"listening on {service.host}:{service.port}", flush=True)
         loop = asyncio.get_running_loop()

@@ -25,17 +25,27 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 import threading
 
+from repro.cli import add_obs_flags, obs_from_flags
+from repro.obs import trace
 from repro.service.chaos import ChaosPolicy
 from repro.service.server import RiotService
 
 
 def _watch_stdin(loop: asyncio.AbstractEventLoop, service: RiotService) -> None:
-    """Block until the supervisor's pipe closes, then drain."""
+    """Block until the supervisor's pipe closes, then drain.
+
+    Reads the raw fd, not ``sys.stdin.buffer``: this daemon thread may
+    still be blocked here when a graceful shutdown finalizes the
+    interpreter, and holding the buffered reader's lock at that point
+    aborts the process (``_enter_buffered_busy``)."""
     try:
-        sys.stdin.buffer.read()
+        fd = sys.stdin.fileno()
+        while os.read(fd, 4096):
+            pass
     except (OSError, ValueError):  # pragma: no cover - closed abruptly
         pass
     loop.call_soon_threadsafe(service.request_shutdown)
@@ -51,6 +61,7 @@ async def amain(args) -> None:
         journal_dir=args.journal_dir,
         library_dir=args.library_dir,
         chaos=ChaosPolicy.from_env(),
+        process_label=f"shard{args.index}",
     ).start()
     print(f"listening on {service.host}:{service.port}", flush=True)
     if not sys.stdin.isatty():
@@ -85,11 +96,14 @@ def main(argv: list[str] | None = None) -> int:
         help="the shared cell library directory (same for every shard; "
              "the store's file lock serializes cross-shard publishes)",
     )
+    add_obs_flags(parser)
     args = parser.parse_args(argv)
-    try:
-        asyncio.run(amain(args))
-    except KeyboardInterrupt:  # pragma: no cover - interactive use only
-        pass
+    trace.set_process_label(f"shard{args.index}")
+    with obs_from_flags(args.trace, args.metrics):
+        try:
+            asyncio.run(amain(args))
+        except KeyboardInterrupt:  # pragma: no cover - interactive use only
+            pass
     return 0
 
 

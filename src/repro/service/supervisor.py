@@ -55,8 +55,8 @@ from repro.api.codec import from_jsonable
 from repro.api.errors import BadRequest
 from repro.api.types import PROTOCOL_VERSION
 from repro.errors import ReproError
-from repro.obs import metrics
-from repro.service import control
+from repro.obs import metrics, trace
+from repro.service import control, telemetry
 from repro.service.errors import (
     BadSessionName,
     OverloadedError,
@@ -124,6 +124,9 @@ class ShardHandle:
         self.pending: dict[int, tuple[object, asyncio.Future]] = {}
         self._next_uid = 0
         self.restarts = 0
+        #: The latest metrics snapshot this shard piggybacked on a
+        #: heartbeat pong (``None`` until the first one answers).
+        self.last_metrics: dict | None = None
         #: ok responses to session commands in the current life.
         self.acked = 0
         self.governor = RestartGovernor(**supervisor.governor_kwargs)
@@ -159,6 +162,7 @@ class Supervisor:
         heartbeat_timeout: float = 2.0,
         spawn_timeout: float = 30.0,
         governor_kwargs: dict | None = None,
+        trace_path: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -181,6 +185,14 @@ class Supervisor:
         self.heartbeat_timeout = heartbeat_timeout
         self.spawn_timeout = spawn_timeout
         self.governor_kwargs = governor_kwargs or {}
+        #: When the supervisor itself is being traced, each shard gets
+        #: ``--trace <trace_path>.shard<i>`` so a run leaves one trace
+        #: file per process — the set ``tools/check_trace.py`` stitches.
+        self.trace_path = trace_path
+        self.process_label = "supervisor"
+        #: Request-stage histograms (supervisor_queue / relay / totals)
+        #: plus the flight recorder of the slowest/errored requests.
+        self.telemetry = telemetry.TelemetryHub(process="supervisor")
         self.ring = HashRing(shards)
         self.shards = [ShardHandle(self, i) for i in range(shards)]
         #: session name -> shard index (the admission-control census).
@@ -215,7 +227,18 @@ class Supervisor:
             self._heartbeat_tasks.append(
                 asyncio.ensure_future(self._heartbeat(handle))
             )
+        metrics.register_export_provider(self._telemetry_export)
         return self
+
+    def _telemetry_export(self) -> dict:
+        """The ``--metrics`` contribution beyond the process registry:
+        the supervisor's own stage histograms plus every shard's latest
+        piggybacked snapshot under a ``shard<i>.`` prefix."""
+        out = dict(self.telemetry.snapshot())
+        for handle in self.shards:
+            for name, value in (handle.last_metrics or {}).items():
+                out[f"shard{handle.index}.{name}"] = value
+        return out
 
     async def serve_forever(self) -> None:
         await self._closed.wait()
@@ -252,6 +275,8 @@ class Supervisor:
             ]
         if self.library_dir is not None:
             cmd += ["--library-dir", str(self.library_dir)]
+        if self.trace_path is not None:
+            cmd += ["--trace", f"{self.trace_path}.shard{handle.index}"]
         return cmd
 
     @staticmethod
@@ -333,9 +358,7 @@ class Supervisor:
                 original_id, future = entry
                 data["id"] = original_id
                 if not future.done():
-                    future.set_result(
-                        json.dumps(data, sort_keys=True, separators=(",", ":"))
-                    )
+                    future.set_result(data)
         except (ConnectionResetError, OSError):
             pass
         self._shard_down(handle, generation, "connection lost")
@@ -348,7 +371,12 @@ class Supervisor:
             return
         handle.alive = False
         handle.generation += 1
-        if handle.proc is not None:
+        if handle.proc is not None and not self._closing:
+            # During graceful shutdown the EOF on the relay connection
+            # is the shard *draining*, not dying: it still has WALs to
+            # checkpoint and its trace/metrics files to write, and
+            # ``_shutdown`` already waits on (and, past the deadline,
+            # kills) the process.
             with contextlib.suppress(ProcessLookupError):
                 handle.proc.kill()
         if handle.writer is not None:
@@ -408,14 +436,30 @@ class Supervisor:
                 len(handle.pending)
             )
             try:
-                await asyncio.wait_for(
-                    self._shard_call(handle, "service.ping"),
+                raw = await asyncio.wait_for(
+                    self._shard_call(
+                        handle, "service.ping", params={"telemetry": True}
+                    ),
                     self.heartbeat_timeout,
                 )
+                self._absorb_pong(handle, raw)
             except asyncio.TimeoutError:
                 self._shard_down(handle, generation, "heartbeat timeout")
             except ServiceError:
                 pass  # already detected down by another path
+
+    @staticmethod
+    def _absorb_pong(handle: ShardHandle, raw: str) -> None:
+        """Keep the metrics snapshot a telemetry pong piggybacked."""
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError:  # pragma: no cover - shard bug
+            return
+        if not isinstance(data, dict) or not data.get("ok"):
+            return
+        snapshot = (data.get("result") or {}).get("metrics")
+        if isinstance(snapshot, dict):
+            handle.last_metrics = snapshot
 
     # -- forwarding ----------------------------------------------------------
 
@@ -461,30 +505,101 @@ class Supervisor:
                 f"in flight (shed at {self.shed_at}); retry later",
                 retry_after_ms=min(2000, 25 * backlog + 25),
             )
+        t_recv = time.perf_counter()
+        context = envelope.trace or {}
+        trace_id = context.get("id")
+        request_span = relay_span = trace.NULL_SPAN
+        if admission:
+            request_span = trace.begin(
+                "supervisor.request",
+                trace_id=trace_id,
+                remote_parent=context.get("parent"),
+                method=envelope.method,
+                shard=handle.index,
+            )
         uid = handle.next_uid()
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         handle.pending[uid] = (envelope.id, future)
-        line = wire.canonical_json(
-            wire.RequestEnvelope(
-                method=envelope.method,
-                params=envelope.params,
-                id=uid,
-                session=envelope.session,
+        try:
+            if admission:
+                relay_span = trace.begin(
+                    "relay.hop",
+                    trace_id=trace_id,
+                    remote_parent=request_span.ref or context.get("parent"),
+                    shard=handle.index,
+                )
+            forwarded = None
+            if trace_id is not None:
+                forwarded = {
+                    "id": trace_id,
+                    "parent": (
+                        relay_span.ref
+                        or request_span.ref
+                        or context.get("parent")
+                    ),
+                }
+            line = wire.canonical_json(
+                wire.RequestEnvelope(
+                    method=envelope.method,
+                    params=envelope.params,
+                    id=uid,
+                    session=envelope.session,
+                    trace=forwarded,
+                )
             )
-        )
-        try:
-            handle.writer.write(line.encode("utf-8") + b"\n")
-            await handle.writer.drain()
-        except (ConnectionResetError, OSError):
-            handle.pending.pop(uid, None)
-            raise ShardFailedError(
-                f"shard {handle.index} connection failed mid-send",
-                retry_after_ms=handle.retry_hint_ms,
-            ) from None
-        try:
-            return await future
+            t_send = time.perf_counter()
+            try:
+                handle.writer.write(line.encode("utf-8") + b"\n")
+                await handle.writer.drain()
+            except (ConnectionResetError, OSError):
+                handle.pending.pop(uid, None)
+                raise ShardFailedError(
+                    f"shard {handle.index} connection failed mid-send",
+                    retry_after_ms=handle.retry_hint_ms,
+                ) from None
+            try:
+                data = await future
+            except ServiceError as exc:
+                if admission:
+                    now = time.perf_counter()
+                    code = getattr(exc, "code", "service.error")
+                    request_span.set("error", code)
+                    self.telemetry.record_request(
+                        envelope.method,
+                        total_us=telemetry.us(now - t_recv),
+                        stages={
+                            "supervisor_queue": telemetry.us(t_send - t_recv)
+                        },
+                        session=envelope.session,
+                        shard=handle.index,
+                        trace_id=trace_id,
+                        error=code,
+                    )
+                raise
+            finally:
+                handle.pending.pop(uid, None)
         finally:
-            handle.pending.pop(uid, None)
+            relay_span.close()
+            request_span.close()
+        if admission:
+            t_done = time.perf_counter()
+            stages = dict(data.get("stages") or {})
+            stages["supervisor_queue"] = telemetry.us(t_send - t_recv)
+            stages["relay"] = telemetry.us(t_done - t_send)
+            data["stages"] = stages
+            error = None
+            if not data.get("ok"):
+                error = (data.get("error") or {}).get("code")
+            self.telemetry.record_request(
+                envelope.method,
+                total_us=telemetry.us(t_done - t_recv),
+                stages=stages,
+                session=envelope.session,
+                shard=handle.index,
+                trace_id=trace_id,
+                error=error,
+            )
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     async def _resume_sessions(
         self, handle: ShardHandle, generation: int
@@ -593,15 +708,23 @@ class Supervisor:
 
     async def _control(self, envelope: wire.RequestEnvelope) -> str:
         request_cls, _ = control.control_types(envelope.method)
-        from_jsonable(request_cls, dict(envelope.params), where=envelope.method)
+        request = from_jsonable(
+            request_cls, dict(envelope.params), where=envelope.method
+        )
         if envelope.method == "service.ping":
             result = control.PingResult(
-                version=PROTOCOL_VERSION, sessions=len(self.session_shard)
+                version=PROTOCOL_VERSION,
+                sessions=len(self.session_shard),
+                metrics=(
+                    self._own_telemetry() if request.telemetry else None
+                ),
             )
         elif envelope.method == "service.sessions":
             result = await self._collect_sessions()
         elif envelope.method == "service.stats":
             result = await self._collect_stats()
+        elif envelope.method == "service.telemetry":
+            result = await self._collect_telemetry(request)
         else:  # service.shutdown — ack, then drain in the background.
             result = control.ShutdownResult(
                 sessions=len(self.session_shard),
@@ -613,6 +736,79 @@ class Supervisor:
             )
             self.request_shutdown()
         return wire.encode_result(envelope.id, envelope.method, result)
+
+    def _own_telemetry(self) -> dict:
+        """The supervisor process's own metrics: stage histograms,
+        the process registry, and the routing counters (prefixed
+        ``supervisor.`` so they never sum with the shards' distinct
+        ``service.*`` counters in a merge)."""
+        merged = metrics.merge_snapshots(
+            metrics.registry().snapshot(), self.telemetry.snapshot()
+        )
+        for key, value in self.counters.items():
+            name = f"supervisor.{key}"
+            merged[name] = merged.get(name, 0) + value
+        return {name: merged[name] for name in sorted(merged)}
+
+    async def _collect_telemetry(
+        self, request: control.TelemetryRequest
+    ) -> control.TelemetryResult:
+        """The distributed view: refresh every live shard's snapshot
+        (a telemetry ping, same as the heartbeat's), then merge."""
+
+        async def refresh(handle: ShardHandle) -> None:
+            if not handle.alive:
+                return
+            try:
+                raw = await asyncio.wait_for(
+                    self._shard_call(
+                        handle, "service.ping", params={"telemetry": True}
+                    ),
+                    self.heartbeat_timeout,
+                )
+                self._absorb_pong(handle, raw)
+            except (ServiceError, ReproError, asyncio.TimeoutError, OSError):
+                pass  # keep the last heartbeat's snapshot
+
+        await asyncio.gather(*(refresh(h) for h in self.shards))
+        own = self._own_telemetry()
+        # The supervisor's own histograms already fold in every stage
+        # of every relayed request (they ride the response envelope),
+        # so the merge takes ``rpc.*`` from the supervisor alone —
+        # merging the shards' copies too would double-count.  The
+        # per-shard rpc view stays available under ``shards[i]``.
+        merged = metrics.merge_snapshots(
+            own,
+            *(
+                {
+                    k: v
+                    for k, v in (h.last_metrics or {}).items()
+                    if not k.startswith("rpc.")
+                }
+                for h in self.shards
+            ),
+        )
+        slowest, errored = (
+            self.telemetry.flight() if request.slow else ([], [])
+        )
+        return control.TelemetryResult(
+            process=self.process_label,
+            pid=os.getpid(),
+            metrics=own,
+            merged=merged,
+            shards=tuple(
+                control.ShardTelemetry(
+                    index=h.index, alive=h.alive, metrics=h.last_metrics
+                )
+                for h in self.shards
+            ),
+            slowest=tuple(
+                control.FlightRecord(**entry) for entry in slowest
+            ),
+            errored=tuple(
+                control.FlightRecord(**entry) for entry in errored
+            ),
+        )
 
     async def _control_fanout(self, method: str, result_cls):
         """(handle, typed result | None) for every shard, concurrently."""
@@ -735,6 +931,19 @@ class Supervisor:
                 handle.restart_task.cancel()
             if not handle.alive:
                 continue
+            # One last telemetry fetch, so the ``--metrics`` export
+            # reflects the shard's final numbers, not its last
+            # heartbeat's.
+            with contextlib.suppress(
+                ServiceError, ReproError, asyncio.TimeoutError
+            ):
+                raw = await asyncio.wait_for(
+                    self._shard_call(
+                        handle, "service.ping", params={"telemetry": True}
+                    ),
+                    self.heartbeat_timeout,
+                )
+                self._absorb_pong(handle, raw)
             # Graceful: the shard drains its queues and checkpoints
             # every WAL before exiting; SIGKILL only past the deadline.
             with contextlib.suppress(

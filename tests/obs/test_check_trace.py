@@ -1,0 +1,150 @@
+"""The stitched-trace validator (``tools/check_trace.py``).
+
+Single-file mode must keep working exactly as the obs-smoke CI job
+uses it; multi-file mode must resolve every cross-process ``xparent``
+reference against the union of the given files and walk every traced
+span's parent chain back to a root.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "check_trace", REPO_ROOT / "tools" / "check_trace.py"
+)
+check_trace = importlib.util.module_from_spec(_spec)
+sys.modules["check_trace"] = check_trace
+_spec.loader.exec_module(check_trace)
+
+
+def event(name, span_id, *, xparent=None, trace_id=None):
+    args = {"span_id": span_id, "parent_id": None}
+    if xparent is not None:
+        args["xparent"] = xparent
+    if trace_id is not None:
+        args["trace_id"] = trace_id
+    return {
+        "name": name, "cat": "riot", "ph": "X",
+        "ts": span_id * 10, "dur": 5, "pid": 1, "tid": 1, "args": args,
+    }
+
+
+def write_doc(path: Path, label: str | None, *events) -> str:
+    doc = {"traceEvents": list(events)}
+    if label is not None:
+        doc["riot"] = {"process": label}
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def stitched_run(tmp_path: Path) -> list[str]:
+    """A healthy 3-process run: client -> supervisor -> shard0."""
+    client = write_doc(
+        tmp_path / "client.json", "client",
+        event("client.request", 1, trace_id="t-1"),
+    )
+    supervisor = write_doc(
+        tmp_path / "supervisor.json", "supervisor",
+        event("supervisor.request", 1, xparent="client:1", trace_id="t-1"),
+        event("relay.hop", 2, xparent="supervisor:1", trace_id="t-1"),
+    )
+    shard = write_doc(
+        tmp_path / "shard0.json", "shard0",
+        event("shard.request", 1, xparent="supervisor:2", trace_id="t-1"),
+        event("handler.execute", 2, xparent="shard0:1", trace_id="t-1"),
+    )
+    return [client, supervisor, shard]
+
+
+class TestSingleFile:
+    def test_valid_file_passes(self, tmp_path, capsys):
+        path = write_doc(
+            tmp_path / "t.json", None, event("command.do_abut", 1)
+        )
+        assert check_trace.main([path]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_required_span_missing_fails(self, tmp_path, capsys):
+        path = write_doc(tmp_path / "t.json", None, event("other", 1))
+        assert check_trace.main([path, "--require", "command.do_abut"]) == 1
+        assert "required span" in capsys.readouterr().out
+
+    def test_malformed_event_fails(self, tmp_path, capsys):
+        bad = event("x", 1)
+        del bad["dur"]
+        path = write_doc(tmp_path / "t.json", None, bad)
+        assert check_trace.main([path]) == 1
+
+    def test_unreadable_file_is_its_own_exit_code(self, tmp_path, capsys):
+        assert check_trace.main([str(tmp_path / "absent.json")]) == 2
+
+
+class TestStitching:
+    def test_healthy_multi_process_trace_passes(self, tmp_path, capsys):
+        files = stitched_run(tmp_path)
+        assert check_trace.main(files) == 0
+        out = capsys.readouterr().out
+        assert "5 traced span(s), 5 rooted" in out
+
+    def test_require_root_accepts_the_client_origin(self, tmp_path):
+        files = stitched_run(tmp_path)
+        assert (
+            check_trace.main(files + ["--require-root", "client.request"])
+            == 0
+        )
+
+    def test_require_root_rejects_an_orphan_chain(self, tmp_path, capsys):
+        files = stitched_run(tmp_path)
+        # A shard span whose chain roots at the supervisor, not the
+        # client: the supervisor started tracing but the client did
+        # not propagate context.
+        orphan = write_doc(
+            tmp_path / "shard1.json", "shard1",
+            event("shard.request", 1, trace_id="t-2"),
+        )
+        code = check_trace.main(
+            files + [orphan, "--require-root", "client.request"]
+        )
+        assert code == 1
+        assert "roots at" in capsys.readouterr().out
+
+    def test_unresolvable_xparent_fails(self, tmp_path, capsys):
+        files = stitched_run(tmp_path)[:2]  # drop the shard file
+        supervisor_only = write_doc(
+            tmp_path / "extra.json", "shard9",
+            event("shard.request", 1, xparent="supervisor:99"),
+        )
+        assert check_trace.main(files + [supervisor_only]) == 1
+        assert "unresolvable" in capsys.readouterr().out
+
+    def test_xparent_cycle_is_reported_not_hung(self, tmp_path, capsys):
+        a = write_doc(
+            tmp_path / "a.json", "a",
+            event("x", 1, xparent="b:1", trace_id="t-c"),
+        )
+        b = write_doc(
+            tmp_path / "b.json", "b",
+            event("y", 1, xparent="a:1"),
+        )
+        assert check_trace.main([a, b]) == 1
+        assert "cycle" in capsys.readouterr().out
+
+    def test_duplicate_process_labels_are_rejected(self, tmp_path, capsys):
+        one = write_doc(tmp_path / "one.json", "shard0", event("x", 1))
+        two = write_doc(tmp_path / "two.json", "shard0", event("y", 1))
+        assert check_trace.main([one, two]) == 1
+        assert "duplicate span reference" in capsys.readouterr().out
+
+    def test_unlabelled_docs_default_to_main(self, tmp_path):
+        parent = write_doc(tmp_path / "p.json", None, event("root", 1))
+        child = write_doc(
+            tmp_path / "c.json", "child",
+            event("leaf", 1, xparent="main:1", trace_id="t-3"),
+        )
+        assert check_trace.main([parent, child]) == 0

@@ -1,19 +1,30 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event file produced by ``--trace``.
+"""Validate Chrome trace-event files produced by ``--trace``.
 
-Shape-checks the document with :func:`repro.obs.export.validate_chrome`
+Each file is shape-checked with :func:`repro.obs.export.validate_chrome`
 (every event needs name/ph/ts/pid/tid, complete events a non-negative
-``dur``, and no span may be left unclosed at exit), then optionally
-asserts that specific span names are present — the CI obs-smoke job
-requires the paper's connection commands and the pipeline to show up::
+``dur``, and no span may be left unclosed at exit); specific span names
+can be required — the CI obs-smoke job requires the paper's connection
+commands and the pipeline to show up::
 
     PYTHONPATH=src python tools/check_trace.py trace.json \\
         --require command.do_abut --require pipeline.task
 
-Exits non-zero with one problem per line on failure; on success prints
-a one-line summary (event count, distinct names).
+Given *several* files — one per process of a sharded run (client,
+supervisor, ``shard<i>``) — the checker also stitches them: every
+cross-process parent reference (``args.xparent``, of the form
+``"<process label>:<span id>"``) must resolve to a span in one of the
+given files, and every span carrying a ``trace_id`` must reach, by
+following ``xparent`` links, a root span with no parent of its own —
+the client-side origin of the request.  ``--require-root NAME``
+additionally demands that every such chain terminates in a span with
+that name (the telemetry smoke uses ``client.request``).
 
-Usage: python tools/check_trace.py FILE [--require NAME]...
+Exits non-zero with one problem per line on failure; on success prints
+a one-line summary per file plus the stitching totals.
+
+Usage: python tools/check_trace.py FILE... [--require NAME]...
+       [--require-root NAME]
 """
 
 from __future__ import annotations
@@ -28,38 +39,168 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.obs.export import validate_chrome  # noqa: E402
 
 
+def load(path: str):
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def span_events(doc) -> list[dict]:
+    events = doc.get("traceEvents", []) if isinstance(doc, dict) else []
+    return [
+        e
+        for e in events
+        if isinstance(e, dict) and e.get("ph") == "X"
+    ]
+
+
+def process_of(doc, path: str) -> str:
+    riot = doc.get("riot", {}) if isinstance(doc, dict) else {}
+    label = riot.get("process")
+    if isinstance(label, str) and label:
+        return label
+    # Unlabelled single-process exports use the default label.
+    return "main"
+
+
+def stitch(docs: dict[str, dict], require_root: str | None) -> list[str]:
+    """Cross-process link validation over a set of trace documents.
+
+    Returns problems; empty means every ``xparent`` resolved and every
+    traced span reached a rootward span with no parent."""
+    problems: list[str] = []
+    # ref "label:span_id" -> event, across every file.
+    by_ref: dict[str, dict] = {}
+    for path, doc in docs.items():
+        label = process_of(doc, path)
+        for event in span_events(doc):
+            span_id = event.get("args", {}).get("span_id")
+            if span_id is None:
+                continue
+            ref = f"{label}:{span_id}"
+            if ref in by_ref:
+                problems.append(
+                    f"duplicate span reference {ref!r} "
+                    f"(process labels must be unique per run)"
+                )
+            by_ref[ref] = event
+    traced = 0
+    rooted = 0
+    for path, doc in docs.items():
+        label = process_of(doc, path)
+        for event in span_events(doc):
+            args = event.get("args", {})
+            xparent = args.get("xparent")
+            if xparent is not None and xparent not in by_ref:
+                problems.append(
+                    f"{path}: span {label}:{args.get('span_id')} "
+                    f"({event.get('name')}) has unresolvable "
+                    f"xparent {xparent!r}"
+                )
+            if args.get("trace_id") is None:
+                continue
+            traced += 1
+            # Follow the xparent chain to its root.
+            seen: set[str] = set()
+            current = event
+            current_ref = f"{label}:{args.get('span_id')}"
+            while True:
+                if current_ref in seen:
+                    problems.append(
+                        f"{path}: xparent cycle at {current_ref!r}"
+                    )
+                    break
+                seen.add(current_ref)
+                parent_ref = current.get("args", {}).get("xparent")
+                if parent_ref is None:
+                    if (
+                        require_root is not None
+                        and current.get("name") != require_root
+                    ):
+                        problems.append(
+                            f"{path}: span {event.get('name')!r} "
+                            f"(trace {args.get('trace_id')!r}) roots at "
+                            f"{current.get('name')!r}, "
+                            f"not {require_root!r}"
+                        )
+                    else:
+                        rooted += 1
+                    break
+                nxt = by_ref.get(parent_ref)
+                if nxt is None:
+                    # Already reported as unresolvable above (for this
+                    # span or for an ancestor in another file).
+                    break
+                current = nxt
+                current_ref = parent_ref
+    stitch.summary = f"{traced} traced span(s), {rooted} rooted"  # type: ignore[attr-defined]
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "traces",
+        nargs="+",
+        metavar="FILE",
+        help="Chrome trace-event JSON file(s) — one per process to "
+        "validate a stitched multi-process trace",
+    )
     parser.add_argument(
         "--require",
         action="append",
         default=[],
         metavar="NAME",
-        help="fail unless a span with this name is present (repeatable)",
+        help="fail unless a span with this name is present in the "
+        "union of the given files (repeatable)",
+    )
+    parser.add_argument(
+        "--require-root",
+        default=None,
+        metavar="NAME",
+        help="every span carrying a trace_id must chain (via xparent) "
+        "to a root span with this name",
     )
     args = parser.parse_args(argv)
 
-    try:
-        doc = json.loads(Path(args.trace).read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as exc:
-        print(f"check_trace: cannot read {args.trace}: {exc}")
-        return 2
+    docs: dict[str, dict] = {}
+    problems: list[str] = []
+    for path in args.traces:
+        try:
+            docs[path] = load(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"check_trace: cannot read {path}: {exc}")
+            return 2
+        problems.extend(
+            f"{path}: {problem}" for problem in validate_chrome(docs[path])
+        )
 
-    problems = validate_chrome(doc)
-    events = doc.get("traceEvents", []) if isinstance(doc, dict) else []
-    names = {e.get("name") for e in events if isinstance(e, dict)}
+    names = {
+        e.get("name")
+        for doc in docs.values()
+        for e in doc.get("traceEvents", [])
+        if isinstance(e, dict)
+    }
     for required in args.require:
         if required not in names:
-            problems.append(f"required span {required!r} not in trace")
+            problems.append(f"required span {required!r} not in trace(s)")
+
+    problems.extend(stitch(docs, args.require_root))
 
     if problems:
         for problem in problems:
             print(f"check_trace: {problem}")
         return 1
+    total = 0
+    for path, doc in docs.items():
+        events = doc.get("traceEvents", [])
+        total += len(events)
+        print(
+            f"check_trace: {path}: {process_of(doc, path)} — "
+            f"{len(events)} event(s)"
+        )
+    summary = getattr(stitch, "summary", "0 traced span(s), 0 rooted")
     print(
-        f"check_trace: ok — {len(events)} event(s), "
-        f"{len(names)} distinct span name(s)"
+        f"check_trace: ok — {total} event(s), "
+        f"{len(names)} distinct span name(s), {summary}"
     )
     return 0
 
