@@ -52,8 +52,10 @@ SHARDS = 2
 SESSIONS = 4
 EDITS_PER_SESSION = 6
 
-#: Stage keys every sharded response must decompose into.
-WIRE_STAGES = tuple(s for s in STAGES if s != "client")
+#: Stage keys every *relayed* sharded response must decompose into
+#: ("direct" is the data-plane analog of "relay" and never appears on
+#: a relayed response; direct_smoke.py covers that path).
+WIRE_STAGES = tuple(s for s in STAGES if s not in ("client", "direct"))
 
 
 def start_server(tmp: Path) -> tuple[subprocess.Popen, str, int]:
@@ -80,8 +82,11 @@ def start_server(tmp: Path) -> tuple[subprocess.Popen, str, int]:
 
 def run_session(host: str, port: int, name: str, failures: list) -> None:
     try:
+        # This smoke validates the *relay* path's stitched trace
+        # (client → supervisor → relay.hop → shard), so pin the relay;
+        # the direct data plane has its own smoke (direct_smoke.py).
         with ServiceClient(
-            host, port, session=name, retry=RetryPolicy(seed=0)
+            host, port, session=name, retry=RetryPolicy(seed=0), direct=False
         ) as client:
             client.call("new_cell", name="smoke")
             client.call("create", at=(0, 0), cell_name="nand", name="g0")
@@ -115,11 +120,11 @@ def check_telemetry(host: str, port: int) -> None:
         assert isinstance(hist["p99"], float), (stage, hist)
     assert len(result.shards) == SHARDS
     assert all(s.alive for s in result.shards)
-    shard_counts = sum(
-        (s.metrics or {}).get("rpc.all.total", {}).get("count", 0)
-        for s in result.shards
-    )
-    assert shard_counts >= total, shard_counts
+    # Relayed requests are accounted by the supervisor's hub (the
+    # shards' own rpc.* histograms carry only direct-path traffic, so
+    # each request is counted exactly once); the per-shard snapshots
+    # still arrive via the heartbeat piggyback.
+    assert all(s.metrics is not None for s in result.shards), result.shards
     assert result.slowest, "flight recorder empty after traffic"
     worst = result.slowest[0]
     assert worst.trace_id is not None, worst

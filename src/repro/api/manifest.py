@@ -1,0 +1,425 @@
+"""The machine-readable protocol manifest behind ``service.describe``.
+
+:func:`build_manifest` walks the typed registry (and optionally the
+``service.*`` control table) and exports every command's request and
+result schema as data: field names, a small type-string grammar,
+required flags, the ``replayable`` bit the journal allowlist is built
+from, and the stable dotted error codes.  The manifest is itself a
+frozen wire dataclass, so it travels protocol v1 like everything else.
+
+The type-string grammar covers exactly the codec's wire vocabulary
+(:mod:`repro.api.codec`):
+
+=====================  ==================================
+``int`` ``float``      JSON number (``float`` accepts an
+``str`` ``bool``       integer reading; neither accepts a
+``null`` ``dict``      boolean)
+``A|B``                union, arms tried in order
+``tuple[T,...]``       variadic array
+``tuple[A,B]``         fixed-arity array
+``dict[str,T]``        string-keyed mapping
+``Name``               a dataclass in the manifest's
+                       ``types`` table
+=====================  ==================================
+
+:class:`ManifestCodec` is the proof the export is complete: built from
+a manifest alone — no imports of the typed dataclasses — it samples,
+validates and encodes byte-identical canonical request lines for every
+registered command.  The property test in ``tests/api/test_describe.py``
+pins that equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import types
+import typing
+from dataclasses import dataclass
+
+from repro.api.codec import canonical_json
+from repro.api.errors import BadRequest
+from repro.api.registry import REGISTRY
+from repro.api.types import PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class FieldSchema:
+    """One field of a request/result/nested dataclass."""
+
+    name: str
+    type: str
+    required: bool
+
+
+@dataclass(frozen=True)
+class TypeSchema:
+    """One nested dataclass referenced by name from a type string."""
+
+    name: str
+    fields: tuple[FieldSchema, ...]
+
+
+@dataclass(frozen=True)
+class CommandSchema:
+    """One command: its name, flags and both sides of the exchange."""
+
+    name: str
+    replayable: bool
+    #: True for ``service.*`` control commands (answered by the server
+    #: itself, no ``session`` field); False for session commands.
+    control: bool
+    request: tuple[FieldSchema, ...]
+    result: tuple[FieldSchema, ...]
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The whole self-description ``service.describe`` returns."""
+
+    version: int
+    commands: tuple[CommandSchema, ...]
+    types: tuple[TypeSchema, ...]
+    error_codes: tuple[str, ...]
+
+
+_SCALARS = {int: "int", float: "float", str: "str", bool: "bool"}
+
+
+def _type_string(hint, types_out: dict[str, TypeSchema]) -> str:
+    """``hint`` as manifest grammar, registering nested dataclasses."""
+    origin = typing.get_origin(hint)
+    if origin is None:
+        if dataclasses.is_dataclass(hint):
+            _register_type(hint, types_out)
+            return hint.__name__
+        if hint in _SCALARS:
+            return _SCALARS[hint]
+        if hint is type(None):
+            return "null"
+        if hint is dict:
+            return "dict"
+        raise TypeError(f"no manifest spelling for {hint!r}")
+    if origin is tuple:
+        args = typing.get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return f"tuple[{_type_string(args[0], types_out)},...]"
+        inner = ",".join(_type_string(a, types_out) for a in args)
+        return f"tuple[{inner}]"
+    if origin in (typing.Union, types.UnionType):
+        return "|".join(
+            _type_string(a, types_out) for a in typing.get_args(hint)
+        )
+    if origin is dict:
+        key_t, val_t = typing.get_args(hint)
+        if key_t is not str:
+            raise TypeError(f"no manifest spelling for {hint!r}")
+        return f"dict[str,{_type_string(val_t, types_out)}]"
+    raise TypeError(f"no manifest spelling for {hint!r}")
+
+
+def _fields_of(cls: type, types_out: dict[str, TypeSchema]):
+    hints = typing.get_type_hints(cls)
+    return tuple(
+        FieldSchema(
+            name=f.name,
+            type=_type_string(hints[f.name], types_out),
+            required=(
+                f.default is dataclasses.MISSING
+                and f.default_factory is dataclasses.MISSING
+            ),
+        )
+        for f in dataclasses.fields(cls)
+    )
+
+
+def _register_type(cls: type, types_out: dict[str, TypeSchema]) -> None:
+    name = cls.__name__
+    if name in types_out:
+        return
+    # Placeholder first: breaks recursion if a type ever references
+    # itself (none do today, but the walk must not infinitely recurse).
+    types_out[name] = TypeSchema(name=name, fields=())
+    types_out[name] = TypeSchema(name=name, fields=_fields_of(cls, types_out))
+
+
+def _error_codes() -> tuple[str, ...]:
+    """Every stable dotted code an error response may carry."""
+    from repro.errors import ReproError
+
+    # Exception families register by being imported; pull in the ones a
+    # service deployment can raise (tolerating optional subsystems).
+    for module in (
+        "repro.api.errors",
+        "repro.core.errors",
+        "repro.cellstore.errors",
+        "repro.service.errors",
+    ):
+        try:
+            __import__(module)
+        except ImportError:  # pragma: no cover - optional subsystem
+            pass
+    codes = {"args.key", "args.value", "internal"}
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        code = cls.__dict__.get("code")
+        if isinstance(code, str):
+            codes.add(code)
+        stack.extend(cls.__subclasses__())
+    return tuple(sorted(codes))
+
+
+def build_manifest(control: dict | None = None) -> Manifest:
+    """The manifest for the registry, plus ``control`` when given (the
+    server passes :data:`repro.service.control.CONTROL` so the control
+    plane describes itself too)."""
+    types_out: dict[str, TypeSchema] = {}
+    commands = []
+    for name, spec in sorted(REGISTRY.items()):
+        commands.append(
+            CommandSchema(
+                name=name,
+                replayable=spec.replayable,
+                control=False,
+                request=_fields_of(spec.request, types_out),
+                result=_fields_of(spec.result, types_out),
+            )
+        )
+    for name, (request_cls, result_cls) in sorted((control or {}).items()):
+        commands.append(
+            CommandSchema(
+                name=name,
+                replayable=False,
+                control=True,
+                request=_fields_of(request_cls, types_out),
+                result=_fields_of(result_cls, types_out),
+            )
+        )
+    commands.sort(key=lambda c: c.name)
+    return Manifest(
+        version=PROTOCOL_VERSION,
+        commands=tuple(commands),
+        types=tuple(types_out[n] for n in sorted(types_out)),
+        error_codes=_error_codes(),
+    )
+
+
+# -- a client built from the manifest alone ---------------------------------
+
+
+def _split_top(text: str, sep: str) -> list[str]:
+    """Split on ``sep`` outside brackets."""
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(text):
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == sep and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+class ManifestCodec:
+    """Validate, sample and encode requests from a :class:`Manifest`
+    alone — no access to the typed dataclasses.
+
+    This is the consumer the manifest contract is tested against: if a
+    codec built from ``service.describe`` output can produce the same
+    canonical bytes as the typed encoder for every command, the export
+    is complete.
+    """
+
+    def __init__(self, manifest: Manifest):
+        self.manifest = manifest
+        self.commands = {c.name: c for c in manifest.commands}
+        self.types = {t.name: t for t in manifest.types}
+        self._parsed: dict[str, tuple] = {}
+
+    def command(self, name: str) -> CommandSchema:
+        schema = self.commands.get(name)
+        if schema is None:
+            raise BadRequest(f"manifest: unknown command {name!r}")
+        return schema
+
+    # -- type strings -> nodes ---------------------------------------------
+
+    def _node(self, text: str) -> tuple:
+        node = self._parsed.get(text)
+        if node is None:
+            node = self._parsed[text] = self._parse(text)
+        return node
+
+    def _parse(self, text: str) -> tuple:
+        arms = _split_top(text, "|")
+        if len(arms) > 1:
+            return ("union", tuple(self._parse(a) for a in arms))
+        if text.startswith("tuple[") and text.endswith("]"):
+            parts = _split_top(text[6:-1], ",")
+            if len(parts) == 2 and parts[1] == "...":
+                return ("vtuple", self._parse(parts[0]))
+            return ("tuple", tuple(self._parse(p) for p in parts))
+        if text.startswith("dict[") and text.endswith("]"):
+            parts = _split_top(text[5:-1], ",")
+            if len(parts) != 2 or parts[0] != "str":
+                raise BadRequest(f"manifest: bad mapping type {text!r}")
+            return ("map", self._parse(parts[1]))
+        if text in ("int", "float", "str", "bool", "null", "dict"):
+            return (text,)
+        if text in self.types:
+            return ("ref", text)
+        raise BadRequest(f"manifest: unknown type {text!r}")
+
+    # -- strict validation (mirrors repro.api.codec) -----------------------
+
+    def validate_params(self, method: str, data: dict) -> None:
+        self._validate_fields(
+            self.command(method).request, data, f"{method}.request"
+        )
+
+    def validate_result(self, method: str, data: dict) -> None:
+        self._validate_fields(
+            self.command(method).result, data, f"{method}.result"
+        )
+
+    def _validate_fields(self, fields, data, where: str) -> None:
+        if not isinstance(data, dict):
+            raise BadRequest(f"{where}: expected an object")
+        known = {f.name for f in fields}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise BadRequest(
+                f"{where}: unknown field(s) {', '.join(unknown)}"
+            )
+        for f in fields:
+            if f.name in data:
+                self._validate(
+                    self._node(f.type), data[f.name], f"{where}.{f.name}"
+                )
+            elif f.required:
+                raise BadRequest(
+                    f"{where}: missing required field {f.name!r}"
+                )
+
+    def _validate(self, node: tuple, value, where: str) -> None:
+        kind = node[0]
+        if kind == "int":
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise BadRequest(f"{where}: expected an integer")
+        elif kind == "float":
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise BadRequest(f"{where}: expected a number")
+        elif kind == "str":
+            if not isinstance(value, str):
+                raise BadRequest(f"{where}: expected str")
+        elif kind == "bool":
+            if not isinstance(value, bool):
+                raise BadRequest(f"{where}: expected bool")
+        elif kind == "null":
+            if value is not None:
+                raise BadRequest(f"{where}: expected null")
+        elif kind == "dict":
+            if not isinstance(value, dict):
+                raise BadRequest(f"{where}: expected an object")
+        elif kind == "vtuple":
+            if not isinstance(value, list):
+                raise BadRequest(f"{where}: expected an array")
+            for i, item in enumerate(value):
+                self._validate(node[1], item, f"{where}[{i}]")
+        elif kind == "tuple":
+            if not isinstance(value, list):
+                raise BadRequest(f"{where}: expected an array")
+            if len(value) != len(node[1]):
+                raise BadRequest(
+                    f"{where}: expected {len(node[1])} element(s)"
+                )
+            for i, (arm, item) in enumerate(zip(node[1], value)):
+                self._validate(arm, item, f"{where}[{i}]")
+        elif kind == "union":
+            for arm in node[1]:
+                try:
+                    self._validate(arm, value, where)
+                    return
+                except BadRequest:
+                    continue
+            raise BadRequest(f"{where}: no union arm accepts the value")
+        elif kind == "map":
+            if not isinstance(value, dict):
+                raise BadRequest(f"{where}: expected an object")
+            for key, item in value.items():
+                self._validate(node[1], item, f"{where}[{key}]")
+        elif kind == "ref":
+            self._validate_fields(self.types[node[1]].fields, value, where)
+        else:  # pragma: no cover - parser emits only the kinds above
+            raise BadRequest(f"{where}: unsupported node {kind!r}")
+
+    # -- samples (mirror tests/api/test_wire.py exactly) -------------------
+
+    def sample_params(self, method: str) -> dict:
+        return self._sample_fields(self.command(method).request, 0)
+
+    def sample_result(self, method: str) -> dict:
+        return self._sample_fields(self.command(method).result, 0)
+
+    def _sample_fields(self, fields, depth: int) -> dict:
+        return {
+            f.name: self._sample(self._node(f.type), depth) for f in fields
+        }
+
+    def _sample(self, node: tuple, depth: int):
+        kind = node[0]
+        if kind == "int":
+            return 7 + depth
+        if kind == "float":
+            return 1.5 + depth
+        if kind == "str":
+            return f"s{depth}"
+        if kind == "bool":
+            return True
+        if kind == "null":
+            return None
+        if kind == "dict":
+            return {"k": depth}
+        if kind == "vtuple":
+            return [
+                self._sample(node[1], depth),
+                self._sample(node[1], depth + 1),
+            ]
+        if kind == "tuple":
+            return [self._sample(arm, depth) for arm in node[1]]
+        if kind == "union":
+            arms = [a for a in node[1] if a[0] != "null"]
+            return self._sample(arms[0], depth)
+        if kind == "map":
+            return {"k": self._sample(node[1], depth)}
+        if kind == "ref":
+            return self._sample_fields(self.types[node[1]].fields, depth + 1)
+        raise BadRequest(f"manifest: cannot sample {kind!r}")
+
+    # -- encoding ----------------------------------------------------------
+
+    def encode_request_line(
+        self,
+        method: str,
+        params: dict,
+        *,
+        id=None,
+        session: str | None = None,
+    ) -> str:
+        """A canonical request line, byte-identical to what the typed
+        :func:`repro.api.wire.encode_request` emits for the same data."""
+        self.validate_params(method, params)
+        return canonical_json(
+            {
+                "id": id,
+                "method": method,
+                "params": params,
+                "session": session,
+                "trace": None,
+                "v": self.manifest.version,
+            }
+        )

@@ -58,6 +58,26 @@ class RequestEnvelope:
     #: yields a single stitched trace across client, supervisor and
     #: shard.  ``None`` (the default) everywhere tracing is off.
     trace: dict | None = None
+    #: Route-lease generation for a **direct-to-shard** request.  A
+    #: client that dialed a shard's data socket stamps the generation
+    #: from its ``service.route`` lease here; the shard refuses the
+    #: request with ``service.moved`` when the generation is stale
+    #: (the shard restarted) or the session hashes to a different
+    #: shard.  ``None`` (and omitted from the wire) on the relay path,
+    #: so old servers never see the field.
+    generation: int | None = None
+
+
+@dataclass(frozen=True)
+class ErrorDetail:
+    """Structured payload shared by routing errors (``service.moved``,
+    ``service.shard_failed``): which shard, which lease generation, and
+    — when the owner is reachable — the address to redial."""
+
+    shard: int | None = None
+    generation: int | None = None
+    host: str | None = None
+    port: int | None = None
 
 
 @dataclass(frozen=True)
@@ -65,9 +85,13 @@ class ErrorInfo:
     code: str
     message: str
     #: Optional pacing hint: retryable conditions (``service.overloaded``,
-    #: ``service.shard_failed``) tell the client how many milliseconds to
+    #: ``service.backpressure``, ``service.shard_failed``,
+    #: ``service.moved``) tell the client how many milliseconds to
     #: wait before trying again.  Absent (``None``) everywhere else.
     retry_after_ms: int | None = None
+    #: Structured routing detail; omitted from the wire when ``None``
+    #: so old clients keep parsing new servers' errors.
+    detail: ErrorDetail | None = None
 
 
 @dataclass(frozen=True)
@@ -118,6 +142,7 @@ def encode_request(
     id: int | str | None = None,
     session: str | None = None,
     trace: dict | None = None,
+    generation: int | None = None,
 ) -> str:
     """One canonical request line (no trailing newline)."""
     envelope = RequestEnvelope(
@@ -126,8 +151,14 @@ def encode_request(
         id=id,
         session=session,
         trace=trace,
+        generation=generation,
     )
-    return canonical_json(envelope)
+    data = to_jsonable(envelope)
+    if data["generation"] is None:
+        # Omitted, not null: relay-path lines stay parseable by
+        # pre-direct-routing servers (strict codec rejects unknowns).
+        del data["generation"]
+    return canonical_json(data)
 
 
 def parse_request(line: str | bytes) -> RequestEnvelope:
@@ -160,10 +191,14 @@ def encode_error(
 ) -> str:
     """An error line from an exception (code derived) or a code string."""
     retry_after_ms = None
+    detail = None
     if isinstance(exc_or_code, BaseException):
         code = error_code(exc_or_code)
         message = str(exc_or_code)
         retry_after_ms = getattr(exc_or_code, "retry_after_ms", None)
+        detail = getattr(exc_or_code, "detail", None)
+        if detail is not None and not isinstance(detail, ErrorDetail):
+            detail = None
     else:
         code = exc_or_code
         message = message or ""
@@ -171,11 +206,18 @@ def encode_error(
         ok=False,
         id=id,
         error=ErrorInfo(
-            code=code, message=message, retry_after_ms=retry_after_ms
+            code=code,
+            message=message,
+            retry_after_ms=retry_after_ms,
+            detail=detail,
         ),
         stages=stages,
     )
-    return canonical_json(envelope)
+    data = to_jsonable(envelope)
+    if data["error"]["detail"] is None:
+        # Omitted, not null: pre-direct-routing clients keep parsing.
+        del data["error"]["detail"]
+    return canonical_json(data)
 
 
 def parse_response(line: str | bytes) -> ResponseEnvelope:
@@ -192,9 +234,10 @@ def parse_response(line: str | bytes) -> ResponseEnvelope:
 def response_error(envelope: ResponseEnvelope) -> ReproError:
     """The failure a response envelope carries, rebuilt as a
     :class:`ReproError` with the code — and any ``retry_after_ms``
-    pacing hint — preserved."""
+    pacing hint or structured ``detail`` — preserved."""
     error = ReproError(envelope.error.message, code=envelope.error.code)
     error.retry_after_ms = envelope.error.retry_after_ms
+    error.detail = envelope.error.detail
     return error
 
 

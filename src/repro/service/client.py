@@ -1,8 +1,8 @@
 """A small blocking client for the service.
 
-One socket, strict request/response: each :meth:`ServiceClient.call`
-sends one canonical protocol-v1 line and blocks for its answer.
-Results come back as the same typed dataclasses the server produced
+Strict request/response: each :meth:`ServiceClient.call` sends one
+canonical protocol-v1 line and blocks for its answer.  Results come
+back as the same typed dataclasses the server produced
 (:mod:`repro.api.types` / :mod:`repro.service.control`); failures
 raise :class:`repro.errors.ReproError` carrying the wire error code::
 
@@ -12,6 +12,27 @@ raise :class:`repro.errors.ReproError` carrying the wire error code::
         routed = c.call("do_route")          # RouteCommandResult
         print(routed.wires, routed.channels)
 
+**Two wires, one client.**  The *control wire* is the socket given to
+the constructor — the supervisor (or single-process server).  On
+connect the client sends ``service.hello`` once; when the server
+advertises the ``direct_routing`` capability, session commands take
+the *data plane*: the client asks ``service.route`` for the owning
+shard's address (a lease with a generation number and a TTL), dials
+the shard directly, and stamps the generation on every request.  The
+``service.*`` control plane always stays on the control wire.
+
+The direct path degrades, never breaks:
+
+* a route answering ``direct=False`` (shard down, single process)
+  means *relay for now* — the client sends on the control wire and
+  re-asks after the lease interval;
+* a dead or unreachable shard socket drops the client back to the
+  relay path immediately (the supervisor still forwards);
+* ``service.moved`` — stale generation after a shard restart, or a
+  ring move — refreshes the route: when the error's ``detail`` carries
+  the new address and generation the client adopts it in place,
+  otherwise it re-asks the supervisor.
+
 The client rides out transient failures by itself (capped exponential
 backoff with jitter, see :class:`RetryPolicy`):
 
@@ -20,12 +41,13 @@ backoff with jitter, see :class:`RetryPolicy`):
 * ``service.overloaded`` / ``service.backpressure`` are always
   retried — nothing executed, and the server's ``retry_after_ms``
   pacing hint is honored when present;
-* ``service.shard_failed`` and a dropped connection are retried (after
-  reconnecting) only for *replayable* commands and the ``service.*``
-  control plane.  A replayable command that reached the WAL before the
-  crash is re-applied by replay, so the retry converges on the same
-  state; a non-replayable command (plots, file writes) is not known to
-  be idempotent and its failure is surfaced instead.
+* ``service.shard_failed``, ``service.moved`` and a dropped connection
+  are retried (after re-routing / reconnecting) only for *replayable*
+  commands, read-only queries and the ``service.*`` control plane.  A
+  replayable command that reached the WAL before the crash is
+  re-applied by replay, so the retry converges on the same state; a
+  non-replayable command (plots, file writes) is not known to be
+  idempotent and its failure is surfaced instead.
 
 Everything else — command errors, bad requests, shutdown — raises
 immediately; retrying cannot help.
@@ -36,7 +58,7 @@ from __future__ import annotations
 import random
 import socket
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.api.codec import from_jsonable
 from repro.api.registry import REGISTRY, spec_for
@@ -44,6 +66,7 @@ from repro.api.wire import encode_request, parse_response, response_error
 from repro.errors import ReproError
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
+from repro.service import control
 from repro.service.control import CONTROL
 from repro.service.errors import ServiceError
 from repro.service.telemetry import READONLY_METHODS, command_class
@@ -55,7 +78,9 @@ RETRY_ALWAYS = frozenset({"service.overloaded", "service.backpressure"})
 
 #: Error codes retried only when the method is safe to re-run: the
 #: work may have started (even reached the WAL) before the failure.
-RETRY_IF_REPLAYABLE = frozenset({"service.shard_failed"})
+#: ``service.moved`` sits here too: the refusing shard executed
+#: nothing, but the attempt that provoked the re-route may have.
+RETRY_IF_REPLAYABLE = frozenset({"service.shard_failed", "service.moved"})
 
 
 @dataclass(frozen=True)
@@ -123,12 +148,17 @@ class ServiceClient:
         retry: RetryPolicy | None = None,
         rng: random.Random | None = None,
         sleep=None,
+        direct: bool | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.session = session
         self.timeout = timeout
         self.retry = retry if retry is not None else RetryPolicy()
+        #: ``False`` pins every request to the control wire; ``True``
+        #: or ``None`` (the default) use the direct data plane whenever
+        #: the server's ``service.hello`` advertises ``direct_routing``.
+        self.direct = direct
         #: The jitter source.  Injectable two ways: pass ``rng`` to
         #: substitute the whole generator (a stub returning 0.0 makes
         #: delays exact), or set ``RetryPolicy.seed`` to keep real
@@ -139,17 +169,40 @@ class ServiceClient:
         self._sleep = sleep if sleep is not None else time.sleep
         self._sock: socket.socket | None = None
         self._file = None
+        #: The direct wire to the session's shard (lazy: ``None`` until
+        #: the first routed request, and again after every fallback).
+        self._direct_sock: socket.socket | None = None
+        self._direct_file = None
+        self._direct_target: tuple[str, int] | None = None
+        self._route: control.RouteResult | None = None
+        self._route_expires = 0.0
+        #: Monotonic deadline before which the client relays without
+        #: re-asking for a route (set when the server declines a direct
+        #: path or the shard socket refuses the dial).
+        self._relay_until = 0.0
         self._next_id = 0
+        #: What the server's ``service.hello`` advertised — empty for
+        #: pre-handshake servers, which reject the command.
+        self.capabilities: tuple[str, ...] = ()
+        self.server_version: int | None = None
+        self.server_label: str | None = None
         #: Retries performed over this client's lifetime (observability).
         self.retries = 0
         #: The delay handed to each retry sleep, in order (tests assert
         #: the schedule; bounded by attempts so it cannot grow unruly).
         self.retry_delays: list[float] = []
+        #: Requests answered over the shard's own data socket vs. the
+        #: control wire, and how many ``service.route`` round trips the
+        #: lease cache needed.
+        self.direct_calls = 0
+        self.relayed_calls = 0
+        self.route_refreshes = 0
         #: The last response's stage decomposition (integer µs), with
         #: the client-measured round trip added under ``"client"`` —
         #: ``{}`` until the first response carrying stages arrives.
         self.last_stages: dict = {}
         self._connect()
+        self._hello()
 
     # -- connection ----------------------------------------------------------
 
@@ -178,6 +231,128 @@ class ServiceClient:
         self.close()
         self._connect()
 
+    def _hello(self) -> None:
+        """Negotiate once per client, single-shot (no retry loop): an
+        old server rejecting the command (``api.unknown_command``) —
+        or even hanging up on it — simply means no capabilities, and
+        the client behaves exactly like its pre-direct-routing
+        ancestor."""
+        try:
+            answer = self._round_trip(
+                "service.hello",
+                control.HelloRequest(client="repro-client/1"),
+                file=self._file,
+            )
+        except (ReproError, ConnectionError, BrokenPipeError, OSError):
+            self.capabilities = ()
+            return
+        self.capabilities = tuple(answer.capabilities)
+        self.server_version = answer.version
+        self.server_label = answer.server
+
+    # -- routing -------------------------------------------------------------
+
+    def _direct_enabled(self) -> bool:
+        return self.direct is not False and "direct_routing" in self.capabilities
+
+    def _route_for(self, now: float) -> control.RouteResult | None:
+        """The cached route lease, refreshed through the supervisor
+        when missing or expired; ``None`` means *relay for now*."""
+        if self._route is not None and now < self._route_expires:
+            return self._route
+        self._route = None
+        answer = self.request(
+            "service.route", control.RouteRequest(session=self.session)
+        )
+        self.route_refreshes += 1
+        lease = max(answer.lease_ms, 0) / 1000.0
+        if answer.direct and answer.host and answer.port is not None:
+            self._route = answer
+            self._route_expires = time.monotonic() + lease
+            return answer
+        # The server declined a direct path (shard down or restarting):
+        # relay until the hinted interval passes, then ask again.
+        self._relay_until = time.monotonic() + (lease if lease > 0 else 0.25)
+        return None
+
+    def _direct_for(self, method: str) -> control.RouteResult | None:
+        """The route to send ``method`` on, with the direct wire
+        connected — or ``None`` when this request must relay."""
+        if self.session is None or not self._direct_enabled():
+            return None
+        if method in CONTROL or method.startswith("service."):
+            return None
+        now = time.monotonic()
+        if now < self._relay_until:
+            return None
+        route = self._route_for(now)
+        if route is None:
+            return None
+        target = (route.host, route.port)
+        if self._direct_file is None or self._direct_target != target:
+            try:
+                self._connect_direct(target)
+            except OSError:
+                # The lease points at a socket that will not answer;
+                # drop to the relay path and re-route shortly.
+                self._drop_direct(forget_route=True)
+                self._relay_until = time.monotonic() + 0.5
+                return None
+        return route
+
+    def _connect_direct(self, target: tuple[str, int]) -> None:
+        self._close_direct()
+        self._direct_sock = socket.create_connection(target, timeout=self.timeout)
+        self._direct_file = self._direct_sock.makefile("rwb")
+        self._direct_target = target
+
+    def _close_direct(self) -> None:
+        if self._direct_file is not None:
+            try:
+                self._direct_file.close()
+            except OSError:
+                pass
+            self._direct_file = None
+        if self._direct_sock is not None:
+            try:
+                self._direct_sock.close()
+            except OSError:
+                pass
+            self._direct_sock = None
+        self._direct_target = None
+
+    def _drop_direct(self, *, forget_route: bool = False) -> None:
+        self._close_direct()
+        if forget_route:
+            self._route = None
+            self._route_expires = 0.0
+
+    def _absorb_moved(self, exc: ReproError) -> None:
+        """Fold a ``service.moved`` into the route cache: adopt the
+        address/generation its detail carries (a restarted shard
+        answering on its pinned port), or forget the route so the next
+        attempt re-asks the supervisor."""
+        self._close_direct()
+        detail = getattr(exc, "detail", None)
+        route = self._route
+        self._route = None
+        if (
+            route is not None
+            and detail is not None
+            and detail.host
+            and detail.port is not None
+            and detail.generation is not None
+        ):
+            self._route = replace(
+                route,
+                shard=detail.shard if detail.shard is not None else route.shard,
+                host=detail.host,
+                port=detail.port,
+                generation=detail.generation,
+            )
+        else:
+            self._route_expires = 0.0
+
     # -- requests ------------------------------------------------------------
 
     def call(self, method: str, **params):
@@ -192,9 +367,34 @@ class ServiceClient:
         for attempt in range(max(1, self.retry.attempts)):
             last_attempt = attempt >= self.retry.attempts - 1
             try:
-                return self._round_trip(method, request)
+                route = self._direct_for(method)
+                if route is not None:
+                    try:
+                        result = self._round_trip(
+                            method,
+                            request,
+                            file=self._direct_file,
+                            generation=route.generation,
+                        )
+                    except (ConnectionError, BrokenPipeError, OSError):
+                        # The shard socket died mid-request; whether it
+                        # reached the shard is unknown — same contract
+                        # as shard_failed.  The control wire is fine:
+                        # fall back to relay, do not reconnect it.
+                        self._drop_direct(forget_route=True)
+                        if last_attempt or not _replay_safe(method):
+                            raise
+                        self._pause(self.retry.delay(attempt, self._rng))
+                        continue
+                    self.direct_calls += 1
+                    return result
+                result = self._round_trip(method, request, file=self._file)
+                self.relayed_calls += 1
+                return result
             except ReproError as exc:
                 code = getattr(exc, "code", None)
+                if code == "service.moved":
+                    self._absorb_moved(exc)
                 if last_attempt:
                     raise
                 if code in RETRY_ALWAYS:
@@ -206,8 +406,9 @@ class ServiceClient:
                 hint = getattr(exc, "retry_after_ms", None)
                 self._pause(self.retry.delay(attempt, self._rng, hint))
             except (ConnectionError, BrokenPipeError, OSError):
-                # The socket itself failed; whether the request reached
-                # the server is unknown — same contract as shard_failed.
+                # The control socket itself failed; whether the request
+                # reached the server is unknown — same contract as
+                # shard_failed.
                 if last_attempt or not _replay_safe(method):
                     raise
                 self._pause(self.retry.delay(attempt, self._rng))
@@ -219,7 +420,7 @@ class ServiceClient:
         self.retry_delays.append(delay)
         self._sleep(delay)
 
-    def _round_trip(self, method: str, request):
+    def _round_trip(self, method: str, request, *, file, generation=None):
         self._next_id += 1
         id = self._next_id
         # The root span of the distributed trace: its reference rides
@@ -233,11 +434,16 @@ class ServiceClient:
         t0 = time.perf_counter()
         try:
             line = encode_request(
-                method, request, id=id, session=self.session, trace=context
+                method,
+                request,
+                id=id,
+                session=self.session,
+                trace=context,
+                generation=generation,
             )
-            self._file.write(line.encode("utf-8") + b"\n")
-            self._file.flush()
-            raw = self._file.readline()
+            file.write(line.encode("utf-8") + b"\n")
+            file.flush()
+            raw = file.readline()
             if not raw:
                 raise ConnectionResetError("connection closed by server")
             envelope = parse_response(raw)
@@ -259,6 +465,7 @@ class ServiceClient:
         return from_jsonable(result_cls, envelope.result, where=method)
 
     def close(self) -> None:
+        self._close_direct()
         if self._file is not None:
             try:
                 self._file.close()

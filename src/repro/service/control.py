@@ -1,9 +1,22 @@
 """The ``service.*`` control commands.
 
-Session commands go to a session's worker; these five are answered by
-the server itself and need no ``session`` field.  Their request/result
+Session commands go to a session's worker; these are answered by the
+server itself and need no ``session`` field.  Their request/result
 dataclasses follow the same rules as :mod:`repro.api.types` (frozen,
 total, strictly decoded) — they are part of protocol version 1.
+
+Three of them form the negotiated routing handshake:
+
+* ``service.hello`` — version/capability negotiation.  A server
+  advertises what it can do (``direct_routing``, ``telemetry``);
+  clients gate behavior on the capability set instead of guessing
+  from the topology.
+* ``service.route`` — the supervisor maps a session id to its owning
+  shard's data-socket address plus a lease (generation number + TTL).
+  Clients dial the shard directly and re-route when the lease expires
+  or a ``service.moved`` error says the generation went stale.
+* ``service.describe`` — the typed registry exported as a
+  machine-readable :class:`repro.api.manifest.Manifest`.
 """
 
 from __future__ import annotations
@@ -11,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api.errors import UnknownCommand
+from repro.api.manifest import Manifest
+from repro.api.types import PROTOCOL_VERSION
 
 
 @dataclass(frozen=True)
@@ -97,6 +112,9 @@ class ServiceStatsResult:
     queued: int = 0
     shed: int = 0
     shard_failures: int = 0
+    #: Requests that arrived on a shard's own data socket (stamped with
+    #: a route-lease generation) rather than through the supervisor.
+    direct_requests: int = 0
     shards: tuple[ShardStats, ...] = ()
     #: Shared cell library traffic (zero when no --library-dir).
     library_publishes: int = 0
@@ -163,6 +181,63 @@ class TelemetryResult:
 
 
 @dataclass(frozen=True)
+class HelloRequest:
+    """Capability negotiation.  Sent once per connection, first."""
+
+    #: Free-form client label for logs (``"repro-client/1"``).
+    client: str = ""
+    #: The highest protocol version the client speaks.
+    protocol: int = PROTOCOL_VERSION
+
+
+@dataclass(frozen=True)
+class HelloResult:
+    version: int
+    #: Which process answered: ``"supervisor"``, ``"shard<N>"`` or
+    #: ``"service"`` (single-process).
+    server: str
+    #: Stable capability strings.  ``direct_routing`` — the server
+    #: answers ``service.route`` with dialable shard addresses;
+    #: ``telemetry`` — ``service.telemetry`` is live.  Old servers
+    #: reject ``service.hello`` entirely (``api.unknown_command``),
+    #: which clients treat as the empty set.
+    capabilities: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """Where does this session live?  Also performs admission: routing
+    an unknown session name claims it (subject to the session cap), so
+    the route errors carry the same codes a relayed first command
+    would."""
+
+    session: str
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    session: str
+    #: False when the server cannot (or will not) offer a direct path
+    #: right now — single-process, shard down/restarting — in which
+    #: case the client must relay and may re-ask after ``lease_ms``.
+    direct: bool
+    shard: int | None = None
+    host: str | None = None
+    port: int | None = None
+    #: The shard's restart generation.  Direct requests stamp it; a
+    #: mismatch (the shard restarted since) answers ``service.moved``.
+    generation: int | None = None
+    #: How long the lease is good for, in milliseconds.  After expiry
+    #: the client should re-route before the next direct dial.
+    lease_ms: int = 0
+
+
+@dataclass(frozen=True)
+class DescribeRequest:
+    pass
+
+
+@dataclass(frozen=True)
 class ShutdownRequest:
     pass
 
@@ -179,6 +254,9 @@ class ShutdownResult:
 #: method name -> (request type, result type)
 CONTROL: dict[str, tuple[type, type]] = {
     "service.ping": (PingRequest, PingResult),
+    "service.hello": (HelloRequest, HelloResult),
+    "service.route": (RouteRequest, RouteResult),
+    "service.describe": (DescribeRequest, Manifest),
     "service.sessions": (SessionsRequest, SessionsResult),
     "service.stats": (ServiceStatsRequest, ServiceStatsResult),
     "service.telemetry": (TelemetryRequest, TelemetryResult),

@@ -3,6 +3,13 @@
 Every condition the server itself (as opposed to a command) can raise
 carries a stable ``service.*`` code — clients program against the code,
 never the message text.
+
+The error *shape* is uniform across the family: every instance carries
+``retry_after_ms`` (a pacing hint in milliseconds, ``None`` when the
+condition is not retryable or the server has no estimate) and
+``detail`` (a structured :class:`repro.api.wire.ErrorDetail` naming the
+shard/generation/address involved, ``None`` elsewhere).  Both travel in
+the ``error`` object of the response envelope.
 """
 
 from __future__ import annotations
@@ -11,9 +18,25 @@ from repro.errors import ReproError
 
 
 class ServiceError(ReproError):
-    """Base for conditions raised by the service layer itself."""
+    """Base for conditions raised by the service layer itself.
+
+    Accepts the uniform retry/detail payload so every subclass shares
+    one error shape on the wire.
+    """
 
     code = "service.error"
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        retry_after_ms: int | None = None,
+        detail=None,
+        **kwargs,
+    ):
+        super().__init__(message, **kwargs)
+        self.retry_after_ms = retry_after_ms
+        self.detail = detail
 
 
 class BadSessionName(ServiceError):
@@ -55,15 +78,10 @@ class ShardFailedError(ServiceError):
     preserved by salvage + replay when the shard comes back.  Clients
     may retry replayable commands — the session resumes where its WAL
     left off.  ``retry_after_ms``, when set, estimates how long the
-    restart will take."""
+    restart will take; ``detail`` names the shard and the generation
+    the restart will supersede."""
 
     code = "service.shard_failed"
-
-    def __init__(
-        self, message: str = "", *, retry_after_ms: int | None = None, **kwargs
-    ):
-        super().__init__(message, **kwargs)
-        self.retry_after_ms = retry_after_ms
 
 
 class OverloadedError(ServiceError):
@@ -74,8 +92,13 @@ class OverloadedError(ServiceError):
 
     code = "service.overloaded"
 
-    def __init__(
-        self, message: str = "", *, retry_after_ms: int | None = None, **kwargs
-    ):
-        super().__init__(message, **kwargs)
-        self.retry_after_ms = retry_after_ms
+
+class SessionMovedError(ServiceError):
+    """A direct-to-shard request landed on the wrong shard or carried
+    a stale route-lease generation.  Nothing was executed.  ``detail``
+    carries the owner's coordinates when the shard knows them (its own
+    address + current generation for a stale lease); clients refresh
+    their route and retry replayable commands, or fall back to the
+    supervisor relay."""
+
+    code = "service.moved"

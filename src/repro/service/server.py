@@ -38,6 +38,7 @@ from pathlib import Path
 from repro.api import wire
 from repro.api.codec import from_jsonable
 from repro.api.errors import BadRequest
+from repro.api.manifest import build_manifest
 from repro.api.session import Session
 from repro.api.store import MemoryStore
 from repro.api.types import PROTOCOL_VERSION
@@ -49,9 +50,11 @@ from repro.service import control, telemetry
 from repro.service.errors import (
     BackpressureError,
     BadSessionName,
+    OverloadedError,
     ServiceError,
     ServiceTimeout,
     SessionLimitError,
+    SessionMovedError,
     ShutdownError,
 )
 
@@ -174,14 +177,25 @@ class SessionWorker:
             total_us = telemetry.us(
                 t_done - (t_enqueue if t_enqueue is not None else t_start)
             )
-            self.service.telemetry.record_request(
-                envelope.method,
-                total_us=total_us,
-                stages=stages,
-                session=self.name,
-                trace_id=trace_id,
-                error=error_code,
-            )
+            direct = envelope.generation is not None
+            if direct:
+                # The data-plane analog of ``relay``: the shard's own
+                # turnaround (queue + handler), no supervisor hop.
+                stages["direct"] = total_us
+            if direct or self.service.shard_index is None:
+                # Channel ownership keeps the merged view exact: the
+                # supervisor records every *relayed* request, so a
+                # shard records only the direct ones (plus everything,
+                # single-process) — each request counted exactly once.
+                self.service.telemetry.record_request(
+                    envelope.method,
+                    total_us=total_us,
+                    stages=stages,
+                    session=self.name,
+                    shard=self.service.shard_index,
+                    trace_id=trace_id,
+                    error=error_code,
+                )
             if queue_s > 0:
                 rec = trace.record("shard.queue", queue_s, 0.0)
                 if rec is not None:
@@ -234,6 +248,7 @@ class SessionWorker:
         import time
 
         self.depth += 1
+        self.service.inflight += 1
         context = envelope.trace or {}
         request_span = trace.begin(
             "shard.request",
@@ -267,6 +282,7 @@ class SessionWorker:
 
     def _finished(self, future: asyncio.Future) -> None:
         self.depth -= 1
+        self.service.inflight -= 1
         if not future.cancelled():
             future.exception()  # consume, so abandoned errors don't warn
 
@@ -295,12 +311,37 @@ class RiotService:
         library_dir: str | Path | None = None,
         chaos=None,
         process_label: str = "server",
+        shard_count: int = 0,
+        shard_index: int | None = None,
+        generation: int = 0,
+        shed_at: int | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.max_sessions = max_sessions
         self.queue_limit = queue_limit
         self.timeout = timeout
+        #: Sharded-deployment coordinates (supervisor-hosted shards
+        #: only): which shard this process is, out of how many, and
+        #: the restart generation the supervisor spawned it with.
+        #: Direct-to-shard requests stamp the generation from their
+        #: route lease; a mismatch — or a session that hashes to a
+        #: different shard — answers ``service.moved``.
+        self.shard_count = shard_count
+        self.shard_index = shard_index
+        self.generation = generation
+        self._ring = None
+        if shard_index is not None and shard_count > 1:
+            from repro.service.supervisor import HashRing
+
+            self._ring = HashRing(shard_count)
+        #: Shard-level admission control: refuse session commands with
+        #: ``service.overloaded`` once this many are in flight process-
+        #: wide.  ``None`` (single-process default) disables shedding.
+        self.shed_at = shed_at
+        #: Commands submitted to any session and not yet finished —
+        #: the O(1) process-wide depth the shed check reads.
+        self.inflight = 0
         #: This process's name in telemetry ("server", or "shard<i>"
         #: when hosted by the supervisor).
         self.process_label = process_label
@@ -326,6 +367,8 @@ class RiotService:
             "errors": 0,
             "timeouts": 0,
             "backpressure": 0,
+            "shed": 0,
+            "direct": 0,
         }
         self._server: asyncio.AbstractServer | None = None
         self._closing = False
@@ -439,6 +482,22 @@ class RiotService:
                     f"method {envelope.method!r} needs a 'session' field"
                 ),
             )
+        if envelope.generation is not None:
+            self.counters["direct"] += 1
+            refused = self._check_direct(envelope)
+            if refused is not None:
+                self.counters["errors"] += 1
+                return wire.encode_error(envelope.id, refused)
+        if self.shed_at is not None and self.inflight >= self.shed_at:
+            self.counters["shed"] += 1
+            return wire.encode_error(
+                envelope.id,
+                OverloadedError(
+                    f"shard has {self.inflight} request(s) in flight "
+                    f"(shed threshold {self.shed_at}); retry later",
+                    retry_after_ms=min(2000, 25 * self.inflight + 25),
+                ),
+            )
         try:
             worker = self._worker(envelope.session)
         except ServiceError as exc:
@@ -449,6 +508,39 @@ class RiotService:
         except BackpressureError as exc:
             self.counters["backpressure"] += 1
             return wire.encode_error(envelope.id, exc)
+
+    def _check_direct(self, envelope) -> SessionMovedError | None:
+        """Validate a direct-to-shard request's route lease.  ``None``
+        when the lease is good (always, on a single-process server —
+        the connection already is the data path)."""
+        if self.shard_index is None:
+            return None
+        if self._ring is not None:
+            owner = self._ring.shard_for(envelope.session)
+            if owner != self.shard_index:
+                return SessionMovedError(
+                    f"session {envelope.session!r} lives on shard "
+                    f"{owner}, not {self.shard_index}; re-route via the "
+                    "supervisor",
+                    detail=wire.ErrorDetail(shard=owner),
+                )
+        if envelope.generation != self.generation:
+            # This shard restarted since the lease was issued: the WAL
+            # has been replayed and the address may have been handed
+            # around, so the client must refresh before trusting it.
+            return SessionMovedError(
+                f"route lease generation {envelope.generation} is stale "
+                f"(shard {self.shard_index} is at {self.generation}); "
+                "refresh the route",
+                retry_after_ms=25,
+                detail=wire.ErrorDetail(
+                    shard=self.shard_index,
+                    generation=self.generation,
+                    host=self.host,
+                    port=self.port,
+                ),
+            )
+        return None
 
     # -- sessions ------------------------------------------------------------
 
@@ -475,7 +567,25 @@ class RiotService:
         request = from_jsonable(
             request_cls, dict(envelope.params), where=envelope.method
         )
-        if envelope.method == "service.ping":
+        if envelope.method == "service.hello":
+            result = control.HelloResult(
+                version=PROTOCOL_VERSION,
+                server=self.process_label,
+                # No ``direct_routing``: this process has no shards to
+                # redirect to — the connection already is the data path.
+                capabilities=("telemetry",),
+            )
+        elif envelope.method == "service.route":
+            if not _SESSION_NAME.match(request.session):
+                raise BadSessionName(
+                    f"bad session name {request.session!r} (want "
+                    "[A-Za-z0-9._-], 64 chars max, not starting with "
+                    ". or -)"
+                )
+            result = control.RouteResult(session=request.session, direct=False)
+        elif envelope.method == "service.describe":
+            result = build_manifest(control.CONTROL)
+        elif envelope.method == "service.ping":
             if self.chaos is not None and self.chaos.drop_ping():
                 return None  # simulate a wedged worker: no answer at all
             result = control.PingResult(
@@ -535,6 +645,8 @@ class RiotService:
                 sessions=len(self.workers),
                 pid=os.getpid(),
                 queued=sum(w.depth for w in self.workers.values()),
+                shed=self.counters["shed"],
+                direct_requests=self.counters["direct"],
                 library_publishes=library.get("publishes", 0),
                 library_conflicts=library.get("conflicts", 0),
                 library_cascades=library.get("cascades", 0),
@@ -687,6 +799,7 @@ async def _amain(args) -> None:
             queue_limit=args.queue_limit,
             timeout=args.timeout,
             shed_at=args.shed_at,
+            heartbeat_timeout=args.heartbeat_timeout,
             journal_dir=args.journal_dir,
             library_dir=args.library_dir,
             trace_path=args.trace,
@@ -771,6 +884,13 @@ def main(argv: list[str] | None = None) -> int:
         help="supervisor mode: refuse (service.overloaded, with a "
              "retry_after_ms hint) once a shard has this many requests "
              "in flight (default 256)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=2.0,
+        help="supervisor mode: SIGKILL a shard whose health ping goes "
+             "unanswered this long (default 2.0); raise it for "
+             "saturating workloads where a busy-but-healthy shard may "
+             "be slow to reach the ping",
     )
     add_obs_flags(parser)
     args = parser.parse_args(argv)

@@ -4,7 +4,11 @@ A shard is a full :class:`repro.service.server.RiotService` — the same
 session workers, queues, deadlines and per-session WALs as the
 single-process server — running in its own interpreter with its own
 WAL directory, listening on a loopback port it prints at startup
-(``listening on HOST:PORT``) for the supervisor to connect to.  Crash
+(``listening on HOST:PORT``).  That socket is both the supervisor's
+relay connection and the shard's **data plane**: clients holding a
+``service.route`` lease dial it directly, stamping the lease's
+generation on each request; the shard refuses stale generations and
+wrong-shard sessions with ``service.moved``.  Crash
 isolation is the point: a shard that segfaults, OOMs, or is SIGKILLed
 takes only its own sessions down, and those resume by WAL salvage +
 replay when the supervisor restarts it.
@@ -62,6 +66,10 @@ async def amain(args) -> None:
         library_dir=args.library_dir,
         chaos=ChaosPolicy.from_env(),
         process_label=f"shard{args.index}",
+        shard_count=args.shards,
+        shard_index=args.index,
+        generation=args.generation,
+        shed_at=args.shed_at,
     ).start()
     print(f"listening on {service.host}:{service.port}", flush=True)
     if not sys.stdin.isatty():
@@ -82,7 +90,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument(
-        "--index", type=int, default=0, help="this shard's index (labels only)"
+        "--index", type=int, default=0,
+        help="this shard's index (labels, and ring-ownership checks "
+             "for direct requests when --shards > 1)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="total shard count; > 1 enables the consistent-hash "
+             "ownership check on direct-to-shard requests",
+    )
+    parser.add_argument(
+        "--generation", type=int, default=0,
+        help="restart generation the supervisor spawned this shard "
+             "with; direct requests carrying a different generation "
+             "are refused with service.moved",
+    )
+    parser.add_argument(
+        "--shed-at", type=int, default=None,
+        help="refuse session commands (service.overloaded) once this "
+             "many are in flight process-wide (default: no shedding)",
     )
     parser.add_argument("--max-sessions", type=int, default=1024)
     parser.add_argument("--queue-limit", type=int, default=16)

@@ -1,14 +1,31 @@
-"""The supervisor: accept/route in front of a sharded worker pool.
+"""The supervisor: router + control plane in front of a sharded pool.
 
 ``python -m repro serve --shards N`` runs this process in front of N
 :mod:`repro.service.shard` subprocesses.  The supervisor owns the
-listening socket and the routing decision — sessions map to shards by
-consistent hash (:class:`HashRing`), so a session name lands on the
-same shard across requests, connections *and shard restarts* — and
-forwards protocol-v1 lines verbatim with remapped request ids.  The
-wire format is unchanged: a :class:`~repro.service.client.ServiceClient`
-cannot tell a supervisor from a single-process server except by the
-new stats fields.
+routing decision — sessions map to shards by consistent hash
+(:class:`HashRing`), so a session name lands on the same shard across
+requests, connections *and shard restarts*.
+
+The planes are split:
+
+* **Control plane** (this socket): ``service.*`` commands, and the
+  ``service.route`` handshake that maps a session to its owning
+  shard's own listening address plus a lease — the shard index, its
+  restart *generation*, and a TTL.
+* **Data plane**: a client holding a route lease dials the shard
+  directly and stamps the generation on every request; the shard
+  refuses stale generations and wrong-shard sessions with
+  ``service.moved`` (carrying its current coordinates), at which point
+  the client refreshes its route or falls back to the relay.
+* **Relay fallback** (also this socket): session commands sent here
+  are forwarded to the owning shard verbatim with remapped request
+  ids, exactly as before the split — old clients keep working, and
+  new clients relay whenever a shard is down or mid-restart.
+
+Shard data ports are *pinned* across restarts (the respawn reuses the
+dead shard's port), so the address in a stale client's lease — and in
+the ``service.moved`` detail — usually survives the restart; only the
+generation moves.
 
 Robustness model, in order of the request path:
 
@@ -53,6 +70,7 @@ from pathlib import Path
 from repro.api import wire
 from repro.api.codec import from_jsonable
 from repro.api.errors import BadRequest
+from repro.api.manifest import build_manifest
 from repro.api.types import PROTOCOL_VERSION
 from repro.errors import ReproError
 from repro.obs import metrics, trace
@@ -118,8 +136,19 @@ class ShardHandle:
         self.reader: asyncio.StreamReader | None = None
         self.writer: asyncio.StreamWriter | None = None
         self.alive = False
-        #: Bumped on every death; guards stale pump/watcher callbacks.
+        #: Bumped on every death; guards stale pump/watcher callbacks
+        #: *and* is the route-lease generation clients stamp on direct
+        #: requests (the shard is spawned with ``--generation`` set to
+        #: it, so both sides agree).
         self.generation = 0
+        #: The shard's own listening address — the direct data plane.
+        #: ``data_port`` is pinned across restarts: the respawn asks
+        #: for the same port, so stale leases still point somewhere
+        #: that answers (with ``service.moved`` and the new
+        #: generation).  Reset to ``None`` when a pinned respawn fails
+        #: (port stolen) so the next attempt falls back to port 0.
+        self.data_host: str | None = None
+        self.data_port: int | None = None
         #: Supervisor-assigned uid -> (client id, response future).
         self.pending: dict[int, tuple[object, asyncio.Future]] = {}
         self._next_uid = 0
@@ -163,6 +192,7 @@ class Supervisor:
         spawn_timeout: float = 30.0,
         governor_kwargs: dict | None = None,
         trace_path: str | None = None,
+        route_lease: float = 5.0,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -184,6 +214,8 @@ class Supervisor:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.spawn_timeout = spawn_timeout
+        #: How long a ``service.route`` lease is good for, in seconds.
+        self.route_lease = route_lease
         self.governor_kwargs = governor_kwargs or {}
         #: When the supervisor itself is being traced, each shard gets
         #: ``--trace <trace_path>.shard<i>`` so a run leaves one trace
@@ -257,10 +289,19 @@ class Supervisor:
             "repro.service.shard",
             "--host",
             "127.0.0.1",
+            # Pin the data port across restarts (0 only the first
+            # life): stale route leases keep pointing at a socket
+            # that answers, so redirected clients recover in place.
             "--port",
-            "0",
+            str(handle.data_port or 0),
             "--index",
             str(handle.index),
+            "--shards",
+            str(self.shard_count),
+            "--generation",
+            str(handle.generation),
+            "--shed-at",
+            str(self.shed_at),
             "--max-sessions",
             str(self.max_sessions),
             "--queue-limit",
@@ -317,6 +358,8 @@ class Supervisor:
         handle.proc = proc
         handle.reader = reader
         handle.writer = writer
+        handle.data_host = host
+        handle.data_port = int(port)
         handle.acked = 0
         handle.alive = True
         generation = handle.generation
@@ -387,6 +430,9 @@ class Supervisor:
             f"shard {handle.index} died ({reason}) with this request in "
             "flight; its sessions resume from their WALs after restart",
             retry_after_ms=handle.retry_hint_ms,
+            detail=wire.ErrorDetail(
+                shard=handle.index, generation=handle.generation
+            ),
         )
         for _, future in pending.values():
             if not future.done():
@@ -413,6 +459,10 @@ class Supervisor:
         except (ServiceError, OSError, asyncio.TimeoutError):
             if self._closing:
                 return
+            # The pinned port may be what killed the spawn (stolen by
+            # another process while the shard was down); give the next
+            # attempt a fresh one.
+            handle.data_port = None
             decision = handle.governor.record_death(progress=False)
             handle.generation = generation + 1
             handle.restarts += 1
@@ -493,6 +543,9 @@ class Supervisor:
             raise ShardFailedError(
                 f"shard {handle.index} is restarting",
                 retry_after_ms=handle.retry_hint_ms,
+                detail=wire.ErrorDetail(
+                    shard=handle.index, generation=handle.generation
+                ),
             )
         if admission and len(handle.pending) >= self.shed_at:
             self.counters["shed"] += 1
@@ -556,6 +609,9 @@ class Supervisor:
                 raise ShardFailedError(
                     f"shard {handle.index} connection failed mid-send",
                     retry_after_ms=handle.retry_hint_ms,
+                    detail=wire.ErrorDetail(
+                        shard=handle.index, generation=handle.generation
+                    ),
                 ) from None
             try:
                 data = await future
@@ -719,6 +775,16 @@ class Supervisor:
                     self._own_telemetry() if request.telemetry else None
                 ),
             )
+        elif envelope.method == "service.hello":
+            result = control.HelloResult(
+                version=PROTOCOL_VERSION,
+                server=self.process_label,
+                capabilities=("direct_routing", "telemetry"),
+            )
+        elif envelope.method == "service.route":
+            result = self._route_result(request.session)
+        elif envelope.method == "service.describe":
+            result = build_manifest(control.CONTROL)
         elif envelope.method == "service.sessions":
             result = await self._collect_sessions()
         elif envelope.method == "service.stats":
@@ -736,6 +802,30 @@ class Supervisor:
             )
             self.request_shutdown()
         return wire.encode_result(envelope.id, envelope.method, result)
+
+    def _route_result(self, session: str) -> "control.RouteResult":
+        """Answer ``service.route``: where the session lives, and — when
+        its shard is up — a direct lease.  Routing *admits* the session
+        (same census as a relayed first command), so the error codes a
+        client sees here match what the relay would have said."""
+        handle = self._route(session)
+        if handle.alive and handle.data_port is not None:
+            return control.RouteResult(
+                session=session,
+                direct=True,
+                shard=handle.index,
+                host=handle.data_host,
+                port=handle.data_port,
+                generation=handle.generation,
+                lease_ms=int(self.route_lease * 1000),
+            )
+        # Down or mid-restart: relay for now, re-ask after the hint.
+        return control.RouteResult(
+            session=session,
+            direct=False,
+            shard=handle.index,
+            lease_ms=handle.retry_hint_ms,
+        )
 
     def _own_telemetry(self) -> dict:
         """The supervisor process's own metrics: stage histograms,
@@ -772,25 +862,39 @@ class Supervisor:
 
         await asyncio.gather(*(refresh(h) for h in self.shards))
         own = self._own_telemetry()
-        # The supervisor's own histograms already fold in every stage
-        # of every relayed request (they ride the response envelope),
-        # so the merge takes ``rpc.*`` from the supervisor alone —
-        # merging the shards' copies too would double-count.  The
-        # per-shard rpc view stays available under ``shards[i]``.
+        # Channel ownership keeps the merge exact: the supervisor's
+        # histograms hold every *relayed* request, each shard's hold
+        # only its *direct* ones (see SessionWorker._dispatch), so
+        # merging them counts each request exactly once, whichever
+        # plane it travelled.
         merged = metrics.merge_snapshots(
-            own,
-            *(
-                {
-                    k: v
-                    for k, v in (h.last_metrics or {}).items()
-                    if not k.startswith("rpc.")
-                }
-                for h in self.shards
-            ),
+            own, *((h.last_metrics or {}) for h in self.shards)
         )
-        slowest, errored = (
-            self.telemetry.flight() if request.slow else ([], [])
-        )
+        slowest_records: list = []
+        errored_records: list = []
+        if request.slow:
+            slowest, errored = self.telemetry.flight()
+            slowest_records = [
+                control.FlightRecord(**entry) for entry in slowest
+            ]
+            errored_records = [
+                control.FlightRecord(**entry) for entry in errored
+            ]
+            # Direct traffic never crosses the supervisor, so its
+            # flight records live in the shards; pull them in.
+            for _, result in await self._control_fanout(
+                "service.telemetry",
+                control.TelemetryResult,
+                params={"slow": True},
+            ):
+                if result is None:
+                    continue
+                slowest_records.extend(result.slowest)
+                errored_records.extend(result.errored)
+            keep = self.telemetry.recorder.keep
+            slowest_records.sort(key=lambda r: -r.total_us)
+            del slowest_records[keep:]
+            del errored_records[keep:]
         return control.TelemetryResult(
             process=self.process_label,
             pid=os.getpid(),
@@ -802,15 +906,13 @@ class Supervisor:
                 )
                 for h in self.shards
             ),
-            slowest=tuple(
-                control.FlightRecord(**entry) for entry in slowest
-            ),
-            errored=tuple(
-                control.FlightRecord(**entry) for entry in errored
-            ),
+            slowest=tuple(slowest_records),
+            errored=tuple(errored_records),
         )
 
-    async def _control_fanout(self, method: str, result_cls):
+    async def _control_fanout(
+        self, method: str, result_cls, *, params: dict | None = None
+    ):
         """(handle, typed result | None) for every shard, concurrently."""
 
         async def one(handle: ShardHandle):
@@ -818,7 +920,8 @@ class Supervisor:
                 return handle, None
             try:
                 raw = await asyncio.wait_for(
-                    self._shard_call(handle, method), self.heartbeat_timeout
+                    self._shard_call(handle, method, params=params),
+                    self.heartbeat_timeout,
                 )
                 parsed = wire.parse_response(raw)
                 if not parsed.ok:
@@ -861,6 +964,8 @@ class Supervisor:
         timeouts = 0
         backpressure = 0
         queued = 0
+        shed = self.counters["shed"]
+        direct_requests = 0
         cache_hits = 0
         cache_misses = 0
         cache_evictions = 0
@@ -874,6 +979,8 @@ class Supervisor:
                 timeouts += stats.timeouts
                 backpressure += stats.backpressure
                 queued += stats.queued
+                shed += stats.shed
+                direct_requests += stats.direct_requests
                 cache_hits += stats.cache_hits
                 cache_misses += stats.cache_misses
                 cache_evictions += stats.cache_evictions
@@ -903,8 +1010,9 @@ class Supervisor:
             sessions=len(self.session_shard),
             pid=os.getpid(),
             queued=queued,
-            shed=self.counters["shed"],
+            shed=shed,
             shard_failures=self.counters["shard_failures"],
+            direct_requests=direct_requests,
             shards=tuple(shard_stats),
             library_publishes=library_publishes,
             library_conflicts=library_conflicts,

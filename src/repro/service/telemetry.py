@@ -14,10 +14,16 @@ The stage names, in request order:
     the whole round trip as the client measured it (only the client
     knows this one; it reports it into its own process's registry);
 ``supervisor_queue``
-    parse-to-forward time inside the supervisor (absent single-process);
+    parse-to-forward time inside the supervisor (absent single-process
+    and on the direct path);
 ``relay``
     supervisor→shard hop: forward written to response line read back
-    (absent single-process);
+    (absent single-process and on the direct path);
+``direct``
+    the shard's own turnaround for a direct-to-shard request: line
+    parsed to response encoded, queue and handler included — the
+    data-plane analog of ``relay``, without the supervisor hop
+    (absent on relayed requests);
 ``shard_queue``
     waiting in the session's bounded command queue for its one thread;
 ``handler``
@@ -49,6 +55,7 @@ STAGES: tuple[str, ...] = (
     "client",
     "supervisor_queue",
     "relay",
+    "direct",
     "shard_queue",
     "handler",
     "fsync",

@@ -1,0 +1,164 @@
+"""``service.describe`` contract: the manifest is a complete export.
+
+The property pinned here is the ISSUE's acceptance criterion: a codec
+built from the manifest alone (:class:`repro.api.manifest.ManifestCodec`
+— no imports of the typed dataclasses) samples, validates and encodes
+**byte-identical** canonical request lines for every registered
+command, and validates every result, with unknown fields rejected.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.api import wire
+from repro.api.codec import canonical_json, from_jsonable, to_jsonable
+from repro.api.errors import BadRequest
+from repro.api.manifest import Manifest, ManifestCodec, build_manifest
+from repro.api.registry import REGISTRY
+from repro.api.types import PROTOCOL_VERSION
+from repro.service.control import CONTROL
+
+from .test_wire import sample_instance
+
+MANIFEST = build_manifest(CONTROL)
+CODEC = ManifestCodec(MANIFEST)
+
+#: (method, request class, result class) for everything registered.
+METHODS = sorted(
+    [(m, s.request, s.result) for m, s in REGISTRY.items()]
+    + [(m, req, res) for m, (req, res) in CONTROL.items()]
+)
+
+
+class TestManifestShape:
+    def test_covers_registry_and_control_plane(self):
+        assert {c.name for c in MANIFEST.commands} == set(REGISTRY) | set(
+            CONTROL
+        )
+
+    def test_version_and_flags(self):
+        assert MANIFEST.version == PROTOCOL_VERSION
+        by_name = {c.name: c for c in MANIFEST.commands}
+        assert by_name["rotate"].replayable
+        assert not by_name["writecif"].replayable
+        assert by_name["service.ping"].control
+        assert not by_name["rotate"].control
+
+    def test_replayable_flags_match_registry(self):
+        by_name = {c.name: c for c in MANIFEST.commands}
+        for method, spec in REGISTRY.items():
+            assert by_name[method].replayable == spec.replayable
+
+    def test_error_codes_include_the_pinned_vocabulary(self):
+        codes = set(MANIFEST.error_codes)
+        assert {
+            "api.bad_request",
+            "api.unknown_command",
+            "service.backpressure",
+            "service.moved",
+            "service.overloaded",
+            "service.shard_failed",
+        } <= codes
+
+    def test_manifest_travels_protocol_v1(self):
+        encoded = canonical_json(MANIFEST)
+        decoded = from_jsonable(Manifest, json.loads(encoded))
+        assert decoded == MANIFEST
+        assert canonical_json(decoded) == encoded
+
+
+class TestManifestCodecProperty:
+    """Per command: the manifest-only codec agrees with the typed one."""
+
+    @pytest.mark.parametrize(
+        "method,request_cls,result_cls",
+        METHODS,
+        ids=[m for m, _, _ in METHODS],
+    )
+    def test_samples_match_the_typed_encoding(
+        self, method, request_cls, result_cls
+    ):
+        assert CODEC.sample_params(method) == to_jsonable(
+            sample_instance(request_cls)
+        )
+        assert CODEC.sample_result(method) == to_jsonable(
+            sample_instance(result_cls)
+        )
+
+    @pytest.mark.parametrize(
+        "method,request_cls,result_cls",
+        METHODS,
+        ids=[m for m, _, _ in METHODS],
+    )
+    def test_encoded_lines_are_byte_identical(
+        self, method, request_cls, result_cls
+    ):
+        typed = wire.encode_request(
+            method, sample_instance(request_cls), id=3, session="alice"
+        )
+        from_manifest = CODEC.encode_request_line(
+            method, CODEC.sample_params(method), id=3, session="alice"
+        )
+        assert from_manifest == typed
+
+    @pytest.mark.parametrize(
+        "method,request_cls,result_cls",
+        METHODS,
+        ids=[m for m, _, _ in METHODS],
+    )
+    def test_results_validate_and_unknowns_reject(
+        self, method, request_cls, result_cls
+    ):
+        result = to_jsonable(sample_instance(result_cls))
+        CODEC.validate_result(method, result)
+        result["definitely_not_a_field"] = 1
+        with pytest.raises(BadRequest, match="definitely_not_a_field"):
+            CODEC.validate_result(method, result)
+
+    def test_unknown_param_rejected(self):
+        params = CODEC.sample_params("rotate")
+        params["definitely_not_a_field"] = 1
+        with pytest.raises(BadRequest, match="definitely_not_a_field"):
+            CODEC.encode_request_line("rotate", params, id=1, session="s")
+
+    def test_missing_required_param_rejected(self):
+        with pytest.raises(BadRequest, match="name"):
+            CODEC.encode_request_line("rotate", {}, id=1, session="s")
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(BadRequest, match="no_such"):
+            CODEC.sample_params("no_such")
+
+
+class TestDescribeEndToEnd:
+    def test_manifest_fetched_over_the_wire_drives_a_raw_client(self):
+        # The full loop: fetch the manifest with service.describe, then
+        # speak the protocol from it alone over a bare socket.
+        from repro.service.client import ServiceClient
+        from repro.service.server import ServiceThread
+
+        with ServiceThread() as srv:
+            host, port = srv.address
+            with ServiceClient(host, port) as control:
+                fetched = control.call("service.describe")
+            assert fetched == MANIFEST
+            codec = ManifestCodec(fetched)
+            line = codec.encode_request_line(
+                "new_cell",
+                {"name": "from-manifest"},
+                id=1,
+                session="describe-e2e",
+            )
+            with socket.create_connection((host, port), timeout=10) as sock:
+                file = sock.makefile("rwb")
+                file.write(line.encode() + b"\n")
+                file.flush()
+                raw = file.readline()
+        envelope = wire.parse_response(raw)
+        assert envelope.ok
+        codec.validate_result("new_cell", envelope.result)
+        assert envelope.result["name"] == "from-manifest"

@@ -12,14 +12,16 @@ import time
 
 import pytest
 
+from repro.api.errors import UnknownCommand
 from repro.api.types import PROTOCOL_VERSION
-from repro.api.wire import encode_error, encode_result
+from repro.api.wire import ErrorDetail, encode_error, encode_result
 from repro.errors import ReproError
 from repro.service.client import NO_RETRY, RetryPolicy, ServiceClient
-from repro.service.control import PingResult
+from repro.service.control import HelloResult, PingResult
 from repro.service.errors import (
     BackpressureError,
     OverloadedError,
+    SessionMovedError,
     ShardFailedError,
 )
 
@@ -52,15 +54,31 @@ def _respond(behavior: str, envelope: dict) -> str | None:
         return encode_error(
             id, ShardFailedError("shard died", retry_after_ms=5)
         )
+    if behavior == "moved":
+        return encode_error(
+            id,
+            SessionMovedError(
+                "route lease generation 0 is stale",
+                retry_after_ms=5,
+                detail=ErrorDetail(shard=1, generation=2),
+            ),
+        )
     assert behavior == "drop"
     return None
 
 
 class ScriptedServer:
     """One behavior per request, in order; 'drop' closes the socket
-    (the client is expected to reconnect for the next behavior)."""
+    (the client is expected to reconnect for the next behavior).
 
-    def __init__(self, behaviors: list[str]) -> None:
+    ``service.hello`` is answered transparently — not scripted, not
+    recorded — because every new client opens with the handshake;
+    ``hello=False`` simulates a pre-handshake server that rejects it
+    with ``api.unknown_command``.  Either way no capabilities are
+    advertised, so clients under test always relay."""
+
+    def __init__(self, behaviors: list[str], *, hello: bool = True) -> None:
+        self.hello = hello
         self.behaviors = list(behaviors)
         self.requests: list[dict] = []
         self._listener = socket.create_server(("127.0.0.1", 0))
@@ -92,6 +110,27 @@ class ScriptedServer:
                     if not raw:
                         break
                     envelope = json.loads(raw)
+                    if envelope.get("method") == "service.hello":
+                        if self.hello:
+                            answer = encode_result(
+                                envelope.get("id"),
+                                "service.hello",
+                                HelloResult(
+                                    version=PROTOCOL_VERSION,
+                                    server="scripted",
+                                    capabilities=(),
+                                ),
+                            )
+                        else:
+                            answer = encode_error(
+                                envelope.get("id"),
+                                UnknownCommand(
+                                    "unknown command 'service.hello'"
+                                ),
+                            )
+                        file.write(answer.encode() + b"\n")
+                        file.flush()
+                        continue
                     self.requests.append(envelope)
                     behavior = self.behaviors.pop(0)
                     response = _respond(behavior, envelope)
@@ -173,6 +212,25 @@ class TestErrorRetries:
         assert excinfo.value.code == "service.overloaded"
         assert len(srv.requests) == 3
 
+    def test_moved_retried_for_replayable(self):
+        # A stale route lease on the relay path: refresh and retry —
+        # new_cell is replayable, so a duplicate send is safe.
+        with ScriptedServer(["moved", "ok"]) as srv:
+            with client_for(srv) as client:
+                assert client.call("new_cell", name="top").name == "top"
+                assert client.retries == 1
+
+    def test_moved_not_retried_for_side_effect_commands(self):
+        # writecif is not replayable: the attempt that provoked the
+        # re-route may already have written the file, so surface it.
+        with ScriptedServer(["moved", "ok"]) as srv:
+            with client_for(srv) as client:
+                with pytest.raises(ReproError) as excinfo:
+                    client.call("writecif", cell="top", path="/tmp/x.cif")
+        assert excinfo.value.code == "service.moved"
+        assert excinfo.value.detail.generation == 2
+        assert len(srv.requests) == 1  # no second attempt went out
+
     def test_no_retry_policy_fails_fast(self):
         with ScriptedServer(["overloaded", "ok"]) as srv:
             with client_for(srv, retry=NO_RETRY) as client:
@@ -193,6 +251,25 @@ class TestConnectionLoss:
             with client_for(srv) as client:
                 with pytest.raises((ConnectionError, OSError)):
                     client.call("writecif", cell="top", path="/tmp/x.cif")
+
+
+class TestHello:
+    def test_capabilities_recorded_from_handshake(self):
+        with ScriptedServer(["ok"]) as srv:
+            with client_for(srv) as client:
+                assert client.call("new_cell", name="t").name == "t"
+        assert client.capabilities == ()
+        assert client.server_label == "scripted"
+        assert client.server_version == PROTOCOL_VERSION
+
+    def test_old_server_rejecting_hello_still_works(self):
+        # A pre-handshake server answers api.unknown_command; the
+        # client treats that as the empty capability set and relays.
+        with ScriptedServer(["ok"], hello=False) as srv:
+            with client_for(srv) as client:
+                assert client.call("new_cell", name="t").name == "t"
+        assert client.capabilities == ()
+        assert client.server_label is None
 
 
 class _ZeroJitter(random.Random):

@@ -313,10 +313,28 @@ class TestShardedTelemetry:
         assert result.merged["service.requests"] >= 1
 
     def test_sharded_stage_decomposition_reaches_the_client(self, sharded):
+        # The client negotiated direct routing, so the decomposition is
+        # the data-plane one: the shard's own turnaround under
+        # ``direct``, no supervisor hop at all.
         host, port = sharded.supervisor.host, sharded.supervisor.port
         _, stages = drive(host, port, "tel-decomp")
-        for stage in STAGES:
+        for stage in ("client", "direct", "shard_queue", "handler", "fsync"):
             assert stage in stages, stages
+        assert "relay" not in stages and "supervisor_queue" not in stages
+        assert stages["client"] >= stages["direct"] >= stages["handler"]
+
+    def test_relay_path_still_decomposes_supervisor_stages(self, sharded):
+        host, port = sharded.supervisor.host, sharded.supervisor.port
+        with ServiceClient(
+            host, port, session="tel-relayed", direct=False
+        ) as client:
+            client.call("new_cell", name="bench")
+            stages = dict(client.last_stages)
+        for stage in STAGES:
+            if stage == "direct":
+                assert stage not in stages, stages
+            else:
+                assert stage in stages, stages
         assert stages["client"] >= stages["relay"]
 
     def test_flight_recorder_attributes_shard_and_session(self, sharded):
@@ -328,7 +346,10 @@ class TestShardedTelemetry:
         entry = result.slowest[0]
         assert entry.session is not None
         assert entry.shard in (0, 1)
-        assert set(entry.stages) >= {"supervisor_queue", "relay"}
+        # Relayed entries carry the supervisor's stages; direct entries
+        # (merged in from the shards' own recorders) carry ``direct``.
+        stages = set(entry.stages)
+        assert stages >= {"supervisor_queue", "relay"} or "direct" in stages
 
     def test_trace_context_stitches_when_client_traces(self, sharded):
         host, port = sharded.supervisor.host, sharded.supervisor.port
